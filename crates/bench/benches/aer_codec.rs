@@ -1,0 +1,40 @@
+//! AER codec throughput and the readout-bus model — the sensor-output path
+//! of §II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evlab_bench::uniform_stream;
+use evlab_events::aer::{AerBus, AerCodec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_aer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aer");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let stream = uniform_stream(100_000, 1280, 100_000, 1);
+    let codec = AerCodec::new((1280, 720));
+    // Clamp y into range for the 1280x720 codec.
+    let events: Vec<_> = stream
+        .as_slice()
+        .iter()
+        .map(|e| evlab_events::Event::new(e.t.as_micros(), e.x, e.y % 720, e.polarity))
+        .collect();
+    let words = codec.encode_all(&events);
+
+    group.bench_function("encode_100k", |b| {
+        b.iter(|| black_box(codec.encode_all(black_box(&events))))
+    });
+    group.bench_function("decode_100k", |b| {
+        b.iter(|| black_box(codec.decode_all(black_box(&words)).expect("valid words")))
+    });
+    group.bench_function("bus_transfer_100k", |b| {
+        let bus = AerBus::new(1.066e9, 8192);
+        b.iter(|| black_box(bus.transfer(black_box(&stream))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aer);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! T1-R12 / §IV: per-event asynchronous GNN inference vs full recompute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evlab_bench::moving_cluster_stream;
+use evlab_gnn::async_update::AsyncGnn;
+use evlab_gnn::build::{GraphConfig, IncrementalGraphBuilder};
+use evlab_gnn::network::{GnnConfig, GnnNetwork};
+use evlab_tensor::OpCount;
+use evlab_util::Rng64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_gnn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let stream = moving_cluster_stream(500, 64, 30_000, 1);
+    let config = GraphConfig::new();
+
+    group.bench_function("stream_500_events_async", |b| {
+        b.iter(|| {
+            let mut rng = Rng64::seed_from_u64(1);
+            let mut net = GnnNetwork::new(&GnnConfig::new(4), &mut rng);
+            let mut engine = AsyncGnn::new(&mut net, config, 4);
+            let mut ops = OpCount::new();
+            for e in stream.iter() {
+                black_box(engine.update(*e, &mut ops));
+            }
+        })
+    });
+
+    group.bench_function("stream_500_events_full_recompute", |b| {
+        b.iter(|| {
+            let mut rng = Rng64::seed_from_u64(1);
+            let mut net = GnnNetwork::new(&GnnConfig::new(4), &mut rng);
+            let mut builder = IncrementalGraphBuilder::new(config);
+            let mut ops = OpCount::new();
+            for e in stream.iter() {
+                builder.insert(*e, &mut ops);
+                black_box(net.forward(builder.graph(), &mut ops));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_async);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! FIG2-CNN: compressed feature-map formats (Fig. 2 centre) across
+//! sparsity levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlab_bench::sparse_map;
+use evlab_tensor::sparse::{SparsityMapEncoding, ZeroRunLength};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &sparsity in &[0.5f64, 0.8, 0.95] {
+        let map = sparse_map(65_536, sparsity, 7);
+        group.bench_with_input(
+            BenchmarkId::new("sparsity_map_encode", format!("{sparsity}")),
+            &map,
+            |b, m| b.iter(|| black_box(SparsityMapEncoding::encode(black_box(m)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zrle_encode", format!("{sparsity}")),
+            &map,
+            |b, m| b.iter(|| black_box(ZeroRunLength::encode(black_box(m)))),
+        );
+        let enc = SparsityMapEncoding::encode(&map);
+        group.bench_with_input(
+            BenchmarkId::new("sparsity_map_decode", format!("{sparsity}")),
+            &enc,
+            |b, e| b.iter(|| black_box(e.decode())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

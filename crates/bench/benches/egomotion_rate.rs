@@ -1,0 +1,37 @@
+//! CL-G: camera simulation under egomotion at increasing resolution, with
+//! and without in-sensor downsampling — the §II mitigation experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlab_events::downsample::SpatialDownsampler;
+use evlab_sensor::scene::EgomotionPan;
+use evlab_sensor::{CameraConfig, EventCamera, PixelConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_egomotion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egomotion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &res in &[32u16, 64, 128] {
+        let camera = EventCamera::new(
+            CameraConfig::new((res, res))
+                .with_pixel(PixelConfig::ideal())
+                .with_sample_period_us(1_000),
+        );
+        let scene = EgomotionPan::new(0.002, 6.0, 7);
+        group.bench_with_input(BenchmarkId::new("record_10ms", res), &res, |b, _| {
+            b.iter(|| black_box(camera.record(&scene, 0, 10_000, 1)))
+        });
+        let stream = camera.record(&scene, 0, 10_000, 1);
+        group.bench_with_input(BenchmarkId::new("downsample_2x", res), &res, |b, _| {
+            let down = SpatialDownsampler::new(2, 1_000);
+            b.iter(|| black_box(down.apply(black_box(&stream))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_egomotion);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! FIG2-CNN: throughput of the event-to-frame encoders (the CNN
+//! data-preparation stage of Fig. 2 centre).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlab_bench::uniform_stream;
+use evlab_cnn::encode::{
+    FrameEncoder, LinearTimeSurface, SignedCount, TimeSurface, TwoChannel, VoxelGrid,
+};
+use evlab_tensor::OpCount;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_encoders");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let stream = uniform_stream(50_000, 64, 50_000, 1);
+    let encoders: Vec<(&str, Box<dyn FrameEncoder>)> = vec![
+        ("signed_count", Box::new(SignedCount::new())),
+        ("two_channel", Box::new(TwoChannel::new())),
+        ("time_surface", Box::new(TimeSurface::new(10_000.0))),
+        ("linear_surface", Box::new(LinearTimeSurface::new(50_000))),
+        ("voxel_grid_5", Box::new(VoxelGrid::new(5))),
+    ];
+    for (name, encoder) in &encoders {
+        group.bench_with_input(BenchmarkId::new("50k_events", name), name, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCount::new();
+                black_box(encoder.encode(black_box(stream.as_slice()), (64, 64), &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

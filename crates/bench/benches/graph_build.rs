@@ -1,0 +1,47 @@
+//! FIG2-GNN / CL-F: event-graph construction strategies — the naive scan,
+//! the kd-tree batch build, and the incremental spatial-hash insertion
+//! whose speed-up §IV credits with making real-time event graphs possible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlab_bench::moving_cluster_stream;
+use evlab_gnn::build::{incremental_build, kdtree_build, naive_build, GraphConfig};
+use evlab_tensor::OpCount;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let config = GraphConfig::new();
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let stream = moving_cluster_stream(n, 256, 100_000, 3);
+        let events = stream.as_slice();
+        if n <= 5_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut ops = OpCount::new();
+                    black_box(naive_build(black_box(events), &config, &mut ops))
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCount::new();
+                black_box(kdtree_build(black_box(events), &config, &mut ops))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCount::new();
+                black_box(incremental_build(black_box(events), &config, &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders);
+criterion_main!(benches);

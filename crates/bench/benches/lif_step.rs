@@ -1,0 +1,54 @@
+//! FIG2-SNN: LIF dynamics — single-neuron stepping and layer-level clocked
+//! updates at different input activity levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlab_snn::layer::LifLayer;
+use evlab_snn::neuron::{LifConfig, LifNeuron};
+use evlab_tensor::OpCount;
+use evlab_util::Rng64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lif");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("single_neuron_1k_steps", |b| {
+        b.iter(|| {
+            let mut n = LifNeuron::new(&LifConfig::new());
+            let mut spikes = 0u32;
+            for t in 0..1000 {
+                if n.step(black_box(0.1 + (t % 7) as f32 * 0.05)).fired() {
+                    spikes += 1;
+                }
+            }
+            black_box(spikes)
+        })
+    });
+
+    let mut rng = Rng64::seed_from_u64(1);
+    let mut layer = LifLayer::new(1024, 256, LifConfig::new(), &mut rng);
+    for &active in &[0usize, 16, 128, 1024] {
+        let mut input = vec![0.0f32; 1024];
+        for i in 0..active {
+            input[i * (1024 / active.max(1)).max(1) % 1024] = 1.0;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("layer_1024x256_step", active),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut ops = OpCount::new();
+                    black_box(layer.step(black_box(input), &mut ops))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lif);
+criterion_main!(benches);

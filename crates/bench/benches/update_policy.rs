@@ -1,0 +1,60 @@
+//! CL-B: clocked vs event-driven SNN simulation cost across input
+//! activity levels — the [42]/[44] trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evlab_snn::encode::SpikeTrain;
+use evlab_snn::event_driven::EventDrivenSnn;
+use evlab_snn::network::{SnnConfig, SnnNetwork};
+use evlab_tensor::OpCount;
+use evlab_util::Rng64;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn make_train(spikes_per_step: usize, seed: u64) -> SpikeTrain {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut t = SpikeTrain::new(128, 30);
+    for step in 0..30 {
+        for _ in 0..spikes_per_step {
+            t.push(step, rng.next_index(128) as u32);
+        }
+    }
+    t
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_policy");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let mut rng = Rng64::seed_from_u64(1);
+    let mut net = SnnNetwork::new(SnnConfig::new(128, 4).with_hidden(vec![128]), &mut rng);
+    let mut ed = EventDrivenSnn::from_network(&net);
+    for &activity in &[1usize, 8, 64] {
+        let train = make_train(activity, 7);
+        group.bench_with_input(
+            BenchmarkId::new("clocked", activity),
+            &train,
+            |b, train| {
+                b.iter(|| {
+                    let mut ops = OpCount::new();
+                    black_box(net.forward(black_box(train), &mut ops))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("event_driven", activity),
+            &train,
+            |b, train| {
+                b.iter(|| {
+                    let mut ops = OpCount::new();
+                    black_box(ed.process(black_box(train), &mut ops))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

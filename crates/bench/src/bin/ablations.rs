@@ -1,0 +1,173 @@
+//! Ablations over the design choices DESIGN.md calls out: graph radius and
+//! time scaling for the GNN, timestep count for the SNN, frame encoder and
+//! post-training pruning for the CNN.
+//!
+//! Run with: `cargo run --release -p evlab-bench --bin ablations`
+
+use evlab_cnn::prune::{prune_by_magnitude, quantize_weights};
+use evlab_core::cnn_pipeline::{CnnPipeline, CnnPipelineConfig, FrameKind};
+use evlab_core::gnn_pipeline::{GnnPipeline, GnnPipelineConfig};
+use evlab_core::pipeline::{test_accuracy, EventClassifier};
+use evlab_core::snn_pipeline::{SnnPipeline, SnnPipelineConfig};
+use evlab_datasets::direction::motion_direction_unpolarized;
+use evlab_datasets::shapes::shape_silhouettes;
+use evlab_datasets::DatasetConfig;
+use evlab_events::filters::BackgroundActivityFilter;
+use evlab_gnn::build::GraphConfig;
+use evlab_tensor::OpCount;
+
+fn main() {
+    let data_config = DatasetConfig::new((32, 32)).with_split(8, 4);
+    let shapes = shape_silhouettes(&data_config);
+    let temporal = motion_direction_unpolarized(&data_config);
+
+    println!("=== GNN: graph radius and time scaling (shapes, 32x32) ===");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12}",
+        "radius", "beta", "accuracy", "ops/inf", "mean degree"
+    );
+    for &(radius, beta) in &[(3.0, 0.001), (5.0, 0.001), (8.0, 0.001), (5.0, 0.01)] {
+        let config = GnnPipelineConfig {
+            graph: GraphConfig {
+                beta,
+                ..GraphConfig::new().with_radius(radius)
+            },
+            epochs: 15,
+            ..GnnPipelineConfig::new()
+        };
+        let mut clf = GnnPipeline::new(config, 11);
+        clf.fit(&shapes);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &shapes, &mut ops);
+        let mut probe = OpCount::new();
+        let graph = clf.build_graph(&shapes.test[0].stream, &mut probe);
+        println!(
+            "{:>8.1} {:>8.3} {:>10.2} {:>12.0} {:>12.2}",
+            radius,
+            beta,
+            acc,
+            ops.effective_arithmetic() as f64 / shapes.test.len() as f64,
+            graph.mean_degree()
+        );
+    }
+
+    println!("\n=== SNN: timestep count (shapes, 32x32) ===");
+    println!("{:>8} {:>10} {:>10} {:>14}", "steps", "dt us", "accuracy", "adds/inf");
+    for &(steps, dt_us) in &[(4usize, 8_000u64), (8, 4_000), (16, 2_000), (32, 1_000)] {
+        let config = SnnPipelineConfig {
+            steps,
+            dt_us,
+            epochs: 25,
+            ..SnnPipelineConfig::new()
+        };
+        let mut clf = SnnPipeline::new(config, 11);
+        clf.fit(&shapes);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &shapes, &mut ops);
+        println!(
+            "{:>8} {:>10} {:>10.2} {:>14.0}",
+            steps,
+            dt_us,
+            acc,
+            ops.adds as f64 / shapes.test.len() as f64
+        );
+    }
+
+    println!("\n=== CNN: frame encoder on the strictly-temporal task ===");
+    println!("{:>14} {:>10} {:>10}", "encoder", "accuracy", "chance");
+    for (name, frame) in [
+        ("two-channel", FrameKind::TwoChannel),
+        ("voxel-grid-5", FrameKind::VoxelGrid(5)),
+    ] {
+        let config = CnnPipelineConfig::new().with_frame(frame).with_epochs(20);
+        let mut clf = CnnPipeline::new(config, 11);
+        clf.fit(&temporal);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &temporal, &mut ops);
+        println!(
+            "{:>14} {:>10.2} {:>10.2}",
+            name,
+            acc,
+            1.0 / temporal.num_classes as f32
+        );
+    }
+
+    println!("\n=== CNN: post-training pruning and quantization (shapes) ===");
+    let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20), 11);
+    clf.fit(&shapes);
+    let mut ops = OpCount::new();
+    let baseline = test_accuracy(&mut clf, &shapes, &mut ops);
+    println!("{:>12} {:>10} {:>14}", "prune frac", "accuracy", "weight zeros");
+    println!("{:>12} {:>10.2} {:>14}", "0.0", baseline, "0%");
+    for &fraction in &[0.5f64, 0.7, 0.9] {
+        let mut pruned = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20), 11);
+        pruned.fit(&shapes);
+        let report =
+            prune_by_magnitude(pruned.network_mut().expect("trained"), fraction);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut pruned, &shapes, &mut ops);
+        println!(
+            "{:>12} {:>10.2} {:>13.0}%",
+            fraction,
+            acc,
+            report.weight_sparsity * 100.0
+        );
+    }
+    println!("{:>12} {:>10} {:>14}", "quant bits", "accuracy", "model bytes");
+    for &bits in &[8u32, 4, 2] {
+        let mut quant = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20), 11);
+        quant.fit(&shapes);
+        let report = quantize_weights(quant.network_mut().expect("trained"), bits);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut quant, &shapes, &mut ops);
+        println!("{:>12} {:>10.2} {:>14}", bits, acc, report.quantized_bytes);
+    }
+
+    println!("\n=== GNN: relational vs B-spline edge kernel (shapes) ===");
+    println!("{:>14} {:>10} {:>12}", "kernel", "accuracy", "params");
+    for (name, spline) in [("relational", false), ("spline-3", true)] {
+        let mut config = GnnPipelineConfig {
+            epochs: 15,
+            ..GnnPipelineConfig::new()
+        };
+        config.kernel_size = if spline { Some(3) } else { None };
+        let mut clf = GnnPipeline::new(config, 11);
+        clf.fit(&shapes);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &shapes, &mut ops);
+        println!("{:>14} {:>10.2} {:>12}", name, acc, clf.param_count());
+    }
+
+    println!("\n=== Noise robustness: background-activity filter under heavy sensor noise ===");
+    let noisy_config = DatasetConfig::new((32, 32)).with_split(6, 4).with_noise(true);
+    let noisy = shape_silhouettes(&noisy_config);
+    println!("{:>16} {:>10} {:>14}", "pipeline", "accuracy", "events/sample");
+    for (name, filter) in [("raw", false), ("BA-filtered", true)] {
+        let data = if filter {
+            let ba = BackgroundActivityFilter::new(5_000);
+            let mut d = noisy.clone();
+            for s in d.train.iter_mut().chain(d.test.iter_mut()) {
+                s.stream = ba.apply(&s.stream);
+            }
+            d
+        } else {
+            noisy.clone()
+        };
+        let mut clf = GnnPipeline::new(
+            GnnPipelineConfig {
+                epochs: 15,
+                ..GnnPipelineConfig::new()
+            },
+            11,
+        );
+        clf.fit(&data);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &data, &mut ops);
+        println!(
+            "{:>16} {:>10.2} {:>14.0}",
+            name,
+            acc,
+            data.mean_events_per_sample()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates Fig. 1: pixel-pitch and array-size scaling trends of
+//! published event-camera sensors, 2008–2022, plus the fill-factor jump
+//! from front-side illumination to 3-D stacking.
+//!
+//! Run with: `cargo run -p evlab-bench --bin fig1`
+
+use evlab_sensor::sensordb::{
+    array_trend, fill_factor_by_process, pitch_trend, published_sensors,
+};
+
+fn main() {
+    let db = published_sensors();
+    println!("Fig. 1 — event-camera scaling trends ({} devices)\n", db.len());
+    println!(
+        "{:<22} {:<22} {:>5} {:>9} {:>11} {:>7} {:>11} {:>9}",
+        "device", "vendor", "year", "pitch um", "array", "Mpx", "fill %", "readout"
+    );
+    for r in &db {
+        println!(
+            "{:<22} {:<22} {:>5} {:>9.2} {:>6}x{:<4} {:>6.3} {:>11} {:>9}",
+            r.name,
+            r.vendor,
+            r.year,
+            r.pitch_um,
+            r.width,
+            r.height,
+            r.megapixels(),
+            r.fill_factor_pct
+                .map(|f| format!("{f:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            r.readout_eps
+                .map(|e| format!("{:.2e}", e))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    let (p0, pf) = pitch_trend(&db).expect("pitch fit");
+    let (m0, mf) = array_trend(&db).expect("array fit");
+    println!("\npitch trend:  {:.1} um (2008) x {:.3}/year  (halving every {:.1} years)",
+        p0, pf, (0.5f64).ln() / pf.ln());
+    println!(
+        "array trend:  {:.3} Mpx (2008) x {:.2}/year (doubling every {:.1} years)",
+        m0,
+        mf,
+        (2.0f64).ln() / mf.ln()
+    );
+    let (fsi, stacked) = fill_factor_by_process(&db);
+    println!(
+        "fill factor:  FSI mean {:.0}% -> stacked mean {:.0}%  (\"one fifth to more than three quarters\")",
+        fsi.unwrap_or(0.0),
+        stacked.unwrap_or(0.0)
+    );
+}

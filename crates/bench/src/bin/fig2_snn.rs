@@ -1,0 +1,58 @@
+//! Regenerates the SNN panel of Fig. 2: the LIF membrane trace (the RC
+//! circuit response) and the surrogate-gradient curves that replace the
+//! spiking delta during training.
+//!
+//! Run with: `cargo run -p evlab-bench --bin fig2_snn`
+
+use evlab_snn::neuron::{LifConfig, LifNeuron};
+use evlab_snn::surrogate::Surrogate;
+
+fn ascii_bar(value: f64, max: f64, width: usize) -> String {
+    let filled = ((value / max).clamp(0.0, 1.0) * width as f64) as usize;
+    "#".repeat(filled)
+}
+
+fn main() {
+    println!("Fig. 2 (left) — LIF membrane response to an input spike train\n");
+    let mut neuron = LifNeuron::new(&LifConfig::new());
+    // Input: bursts of current followed by silence.
+    println!("{:>4} {:>8} {:>7}  trace", "t", "input", "V(t)");
+    for t in 0..40 {
+        let input = if (5..12).contains(&t) || (25..28).contains(&t) {
+            0.35
+        } else {
+            0.0
+        };
+        let out = neuron.step(input);
+        let marker = if out.spiked { " SPIKE" } else { "" };
+        println!(
+            "{:>4} {:>8.2} {:>7.3}  |{}{}",
+            t,
+            input,
+            out.membrane,
+            ascii_bar(out.membrane as f64, 1.2, 40),
+            marker
+        );
+    }
+
+    println!("\nFig. 2 (left) — surrogate gradients vs membrane distance to threshold\n");
+    let surrogates = [
+        ("fast-sigmoid(5)", Surrogate::FastSigmoid { slope: 5.0 }),
+        ("triangle(1)", Surrogate::Triangle { width: 1.0 }),
+        ("arctan(2)", Surrogate::Arctan { alpha: 2.0 }),
+    ];
+    print!("{:>8}", "v - th");
+    for (name, _) in &surrogates {
+        print!(" {name:>16}");
+    }
+    println!();
+    let mut x = -2.0f32;
+    while x <= 2.01 {
+        print!("{x:>8.2}");
+        for (_, s) in &surrogates {
+            print!(" {:>16.4}", s.grad(x));
+        }
+        println!();
+        x += 0.25;
+    }
+}

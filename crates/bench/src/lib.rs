@@ -1,0 +1,112 @@
+//! Shared workload generators for the benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate the paper's figures and table
+//! (`fig1`, `fig2_snn`, `fig2_gnn`, `table1`, `claims`); the criterion
+//! benches in `benches/` measure the performance-sensitive kernels
+//! (frame encoding, compression, graph construction, LIF stepping, the AER
+//! codec). See DESIGN.md §3 for the experiment index.
+
+use evlab_events::{Event, EventStream, Polarity};
+use evlab_util::Rng64;
+
+/// A random (time-sorted) event stream of `n` events over `span_us` on a
+/// square sensor: uniform spatial noise, the worst case for spatial
+/// locality.
+pub fn uniform_stream(n: usize, res: u16, span_us: u64, seed: u64) -> EventStream {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut ts: Vec<u64> = (0..n).map(|_| rng.next_below(span_us.max(1))).collect();
+    ts.sort_unstable();
+    let events: Vec<Event> = ts
+        .into_iter()
+        .map(|t| {
+            Event::new(
+                t,
+                rng.next_below(res as u64) as u16,
+                rng.next_below(res as u64) as u16,
+                if rng.bernoulli(0.5) {
+                    Polarity::On
+                } else {
+                    Polarity::Off
+                },
+            )
+        })
+        .collect();
+    EventStream::from_events((res, res), events).expect("sorted and in bounds")
+}
+
+/// A clustered stream: events follow a moving hot spot — the typical
+/// structure real scenes produce, and the best case for spatial hashing.
+pub fn moving_cluster_stream(n: usize, res: u16, span_us: u64, seed: u64) -> EventStream {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let events: Vec<Event> = (0..n)
+        .map(|i| {
+            let t = span_us * i as u64 / n.max(1) as u64;
+            let cx = (res as f64 * 0.2
+                + res as f64 * 0.6 * i as f64 / n.max(1) as f64) as i64;
+            let cy = res as i64 / 2;
+            let x = (cx + rng.gaussian(0.0, 2.0) as i64).clamp(0, res as i64 - 1);
+            let y = (cy + rng.gaussian(0.0, 2.0) as i64).clamp(0, res as i64 - 1);
+            Event::new(
+                t,
+                x as u16,
+                y as u16,
+                if rng.bernoulli(0.5) {
+                    Polarity::On
+                } else {
+                    Polarity::Off
+                },
+            )
+        })
+        .collect();
+    EventStream::from_events((res, res), events).expect("sorted and in bounds")
+}
+
+/// A flat feature map with the given zero fraction (for the compression
+/// benches).
+pub fn sparse_map(len: usize, zero_fraction: f64, seed: u64) -> Vec<f32> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.bernoulli(zero_fraction) {
+                0.0
+            } else {
+                rng.next_f32() + 0.01
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stream_is_valid() {
+        let s = uniform_stream(500, 64, 10_000, 1);
+        assert_eq!(s.len(), 500);
+        assert!(s.duration_us() <= 10_000);
+    }
+
+    #[test]
+    fn cluster_stream_is_local() {
+        let s = moving_cluster_stream(500, 128, 10_000, 2);
+        // Consecutive events stay close in space.
+        let close = s
+            .as_slice()
+            .windows(2)
+            .filter(|w| {
+                let dx = (w[0].x as i32 - w[1].x as i32).abs();
+                let dy = (w[0].y as i32 - w[1].y as i32).abs();
+                dx <= 10 && dy <= 10
+            })
+            .count();
+        assert!(close > 400, "cluster not local: {close}");
+    }
+
+    #[test]
+    fn sparse_map_hits_target() {
+        let m = sparse_map(10_000, 0.9, 3);
+        let zeros = m.iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f64 / 10_000.0 - 0.9).abs() < 0.02);
+    }
+}

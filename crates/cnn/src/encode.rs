@@ -1,0 +1,584 @@
+//! Event-to-frame encoders (paper Fig. 2 centre, §III-B).
+//!
+//! Each encoder converts a time window of events into a dense `[C, H, W]`
+//! tensor. The conversion cost (adds, multiplies, memory writes) is recorded
+//! so the Table I "Data – Preparation" row can be measured: dense-frame CNNs
+//! pay this cost every frame period, while SNNs and GNNs consume events
+//! directly.
+
+use evlab_events::Event;
+use evlab_tensor::{OpCount, Tensor};
+
+/// Converts a slice of events into a dense frame tensor.
+pub trait FrameEncoder {
+    /// Number of output channels.
+    fn channels(&self) -> usize;
+
+    /// Encodes `events` (time-sorted) into a `[channels, H, W]` tensor for a
+    /// `(width, height)` sensor, recording the preparation cost in `ops`.
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor;
+
+    /// Spatial size of the output for a given sensor resolution (identity
+    /// for pixel-aligned encoders; coarser for cell-based ones like HATS).
+    fn output_resolution(&self, resolution: (u16, u16)) -> (u16, u16) {
+        resolution
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Single-channel signed event count: ON events add +1, OFF events −1
+/// ([Liu & Delbruck 2018], [Maqueda et al. 2018]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignedCount;
+
+impl SignedCount {
+    /// Creates the encoder.
+    pub fn new() -> Self {
+        SignedCount
+    }
+}
+
+impl FrameEncoder for SignedCount {
+    fn channels(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let mut frame = Tensor::zeros(&[1, h, w]);
+        let data = frame.as_mut_slice();
+        for e in events {
+            data[e.y as usize * w + e.x as usize] += e.polarity.as_sign();
+        }
+        ops.record_add(events.len() as u64);
+        frame
+    }
+
+    fn name(&self) -> &'static str {
+        "signed-count"
+    }
+}
+
+/// Two-channel polarity histogram: ON counts in channel 0, OFF counts in
+/// channel 1 (Fig. 2 centre).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TwoChannel;
+
+impl TwoChannel {
+    /// Creates the encoder.
+    pub fn new() -> Self {
+        TwoChannel
+    }
+}
+
+impl FrameEncoder for TwoChannel {
+    fn channels(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let mut frame = Tensor::zeros(&[2, h, w]);
+        let data = frame.as_mut_slice();
+        for e in events {
+            let c = e.polarity.channel();
+            data[(c * h + e.y as usize) * w + e.x as usize] += 1.0;
+        }
+        ops.record_add(events.len() as u64);
+        frame
+    }
+
+    fn name(&self) -> &'static str {
+        "two-channel"
+    }
+}
+
+/// Exponential time surface ([Sironi et al. 2018]): each pixel holds
+/// `exp(-(t_end - t_last) / tau)` for its most recent event, per polarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSurface {
+    /// Decay constant in microseconds.
+    pub tau_us: f64,
+}
+
+impl TimeSurface {
+    /// Creates a time surface with decay `tau_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_us <= 0`.
+    pub fn new(tau_us: f64) -> Self {
+        assert!(tau_us > 0.0, "tau must be positive");
+        TimeSurface { tau_us }
+    }
+}
+
+impl FrameEncoder for TimeSurface {
+    fn channels(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let t_end = events.last().map(|e| e.t.as_micros()).unwrap_or(0);
+        // Last event time per pixel per polarity.
+        let mut last: Vec<Option<u64>> = vec![None; 2 * w * h];
+        for e in events {
+            let c = e.polarity.channel();
+            last[(c * h + e.y as usize) * w + e.x as usize] = Some(e.t.as_micros());
+        }
+        ops.record_write(events.len() as u64);
+        let mut frame = Tensor::zeros(&[2, h, w]);
+        let data = frame.as_mut_slice();
+        let mut exp_evals = 0u64;
+        for (i, t) in last.iter().enumerate() {
+            if let Some(t_last) = t {
+                let dt = t_end.saturating_sub(*t_last) as f64;
+                data[i] = (-dt / self.tau_us).exp() as f32;
+                exp_evals += 1;
+            }
+        }
+        // Model exp as ~4 multiplies (polynomial/LUT evaluation).
+        ops.record_mult(4 * exp_evals);
+        frame
+    }
+
+    fn name(&self) -> &'static str {
+        "time-surface"
+    }
+}
+
+/// Linear time surface: pixel value is the normalized age
+/// `1 - (t_end - t_last)/window`, clamped at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearTimeSurface {
+    /// Window length in microseconds used for normalization.
+    pub window_us: u64,
+}
+
+impl LinearTimeSurface {
+    /// Creates a linear time surface over `window_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_us == 0`.
+    pub fn new(window_us: u64) -> Self {
+        assert!(window_us > 0, "window must be positive");
+        LinearTimeSurface { window_us }
+    }
+}
+
+impl FrameEncoder for LinearTimeSurface {
+    fn channels(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let t_end = events.last().map(|e| e.t.as_micros()).unwrap_or(0);
+        let mut frame = Tensor::zeros(&[2, h, w]);
+        let data = frame.as_mut_slice();
+        for e in events {
+            let c = e.polarity.channel();
+            let age = t_end.saturating_sub(e.t.as_micros()) as f64 / self.window_us as f64;
+            data[(c * h + e.y as usize) * w + e.x as usize] = (1.0 - age).max(0.0) as f32;
+        }
+        ops.record_mult(events.len() as u64);
+        ops.record_write(events.len() as u64);
+        frame
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-time-surface"
+    }
+}
+
+/// Voxel grid ([Gehrig et al. 2019], [Zhu et al. 2018]): events are
+/// distributed over `bins` temporal channels with bilinear weighting,
+/// preserving coarse timing inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoxelGrid {
+    /// Number of temporal bins.
+    pub bins: usize,
+}
+
+impl VoxelGrid {
+    /// Creates a voxel grid with `bins` temporal channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        VoxelGrid { bins }
+    }
+}
+
+impl FrameEncoder for VoxelGrid {
+    fn channels(&self) -> usize {
+        self.bins
+    }
+
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let mut frame = Tensor::zeros(&[self.bins, h, w]);
+        if events.is_empty() {
+            return frame;
+        }
+        let t0 = events.first().expect("non-empty").t.as_micros() as f64;
+        let t1 = events.last().expect("non-empty").t.as_micros() as f64;
+        let span = (t1 - t0).max(1.0);
+        let data = frame.as_mut_slice();
+        for e in events {
+            let pos = (e.t.as_micros() as f64 - t0) / span * (self.bins - 1) as f64;
+            let b0 = pos.floor() as usize;
+            let frac = (pos - b0 as f64) as f32;
+            let sign = e.polarity.as_sign();
+            let idx = e.y as usize * w + e.x as usize;
+            data[b0 * h * w + idx] += sign * (1.0 - frac);
+            if b0 + 1 < self.bins {
+                data[(b0 + 1) * h * w + idx] += sign * frac;
+            }
+        }
+        // Two weighted accumulations (mult + add) per event.
+        ops.record_mult(2 * events.len() as u64);
+        ops.record_add(2 * events.len() as u64);
+        frame
+    }
+
+    fn name(&self) -> &'static str {
+        "voxel-grid"
+    }
+}
+
+/// Joint event-count + latest-timestamp representation
+/// ([Zhu et al. EV-FlowNet]): four channels — ON count, OFF count,
+/// normalized most-recent ON timestamp, normalized most-recent OFF
+/// timestamp. Counting and timing in one tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountAndSurface;
+
+impl CountAndSurface {
+    /// Creates the encoder.
+    pub fn new() -> Self {
+        CountAndSurface
+    }
+}
+
+impl FrameEncoder for CountAndSurface {
+    fn channels(&self) -> usize {
+        4
+    }
+
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let mut frame = Tensor::zeros(&[4, h, w]);
+        if events.is_empty() {
+            return frame;
+        }
+        let t0 = events.first().expect("non-empty").t.as_micros() as f64;
+        let t1 = events.last().expect("non-empty").t.as_micros() as f64;
+        let span = (t1 - t0).max(1.0);
+        let data = frame.as_mut_slice();
+        for e in events {
+            let c = e.polarity.channel();
+            let idx = e.y as usize * w + e.x as usize;
+            data[c * h * w + idx] += 1.0;
+            data[(2 + c) * h * w + idx] =
+                ((e.t.as_micros() as f64 - t0) / span) as f32;
+        }
+        ops.record_add(events.len() as u64);
+        ops.record_mult(events.len() as u64);
+        ops.record_write(2 * events.len() as u64);
+        frame
+    }
+
+    fn name(&self) -> &'static str {
+        "count-and-surface"
+    }
+}
+
+/// Histograms of Averaged Time Surfaces ([Sironi et al. HATS]): the sensor
+/// is tiled into `cell × cell` regions; every event contributes its local
+/// exponential time surface (a `(2R+1)²` patch per polarity), and each
+/// region averages the surfaces of its events. The output tensor has one
+/// channel per patch coordinate and polarity over the coarse cell grid —
+/// a compact, noise-robust descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hats {
+    /// Cell size in pixels.
+    pub cell: usize,
+    /// Surface neighbourhood radius R.
+    pub radius: usize,
+    /// Exponential decay constant in microseconds.
+    pub tau_us: f64,
+}
+
+impl Hats {
+    /// Creates a HATS encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell == 0` or `tau_us <= 0`.
+    pub fn new(cell: usize, radius: usize, tau_us: f64) -> Self {
+        assert!(cell > 0, "cell must be positive");
+        assert!(tau_us > 0.0, "tau must be positive");
+        Hats {
+            cell,
+            radius,
+            tau_us,
+        }
+    }
+
+    fn patch_dim(&self) -> usize {
+        (2 * self.radius + 1) * (2 * self.radius + 1)
+    }
+}
+
+impl FrameEncoder for Hats {
+    fn channels(&self) -> usize {
+        2 * self.patch_dim()
+    }
+
+    fn output_resolution(&self, resolution: (u16, u16)) -> (u16, u16) {
+        (
+            resolution.0.div_ceil(self.cell as u16),
+            resolution.1.div_ceil(self.cell as u16),
+        )
+    }
+
+    fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let (cw, ch) = (w.div_ceil(self.cell), h.div_ceil(self.cell));
+        let patch = self.patch_dim();
+        let side = 2 * self.radius + 1;
+        let mut sums = vec![0.0f64; 2 * patch * cw * ch];
+        let mut counts = vec![0u32; 2 * cw * ch];
+        // Per-pixel, per-polarity last-event time, maintained causally.
+        let mut last: Vec<Option<u64>> = vec![None; 2 * w * h];
+        for e in events {
+            let p = e.polarity.channel();
+            let t = e.t.as_micros();
+            let (cx, cy) = (e.x as usize / self.cell, e.y as usize / self.cell);
+            let cell_idx = p * cw * ch + cy * cw + cx;
+            counts[cell_idx] += 1;
+            for dy in 0..side {
+                let ny = e.y as isize + dy as isize - self.radius as isize;
+                if ny < 0 || ny >= h as isize {
+                    continue;
+                }
+                for dx in 0..side {
+                    let nx = e.x as isize + dx as isize - self.radius as isize;
+                    if nx < 0 || nx >= w as isize {
+                        continue;
+                    }
+                    if let Some(tn) = last[p * w * h + ny as usize * w + nx as usize] {
+                        let decay = (-((t - tn) as f64) / self.tau_us).exp();
+                        let channel = p * patch + dy * side + dx;
+                        sums[channel * cw * ch + cy * cw + cx] += decay;
+                        ops.record_mult(4); // LUT exp + accumulate
+                        ops.record_add(1);
+                    }
+                }
+            }
+            last[p * w * h + e.y as usize * w + e.x as usize] = Some(t);
+        }
+        let mut frame = Tensor::zeros(&[2 * patch, ch, cw]);
+        let data = frame.as_mut_slice();
+        for p in 0..2 {
+            for cell in 0..cw * ch {
+                let n = counts[p * cw * ch + cell];
+                if n == 0 {
+                    continue;
+                }
+                for k in 0..patch {
+                    let channel = p * patch + k;
+                    data[channel * cw * ch + cell] =
+                        (sums[channel * cw * ch + cell] / n as f64) as f32;
+                }
+            }
+        }
+        ops.record_mult((2 * patch * cw * ch) as u64);
+        frame
+    }
+
+    fn name(&self) -> &'static str {
+        "hats"
+    }
+}
+
+/// Normalizes a frame by its standard deviation (no mean subtraction, so
+/// the zero background stays exactly zero — the sparsity zero-skipping
+/// accelerators rely on). No-op for all-zero frames.
+pub fn normalize(frame: &Tensor) -> Tensor {
+    let n = frame.len() as f32;
+    let var: f32 = frame.as_slice().iter().map(|&v| v * v).sum::<f32>() / n;
+    if var < 1e-12 {
+        return frame.clone();
+    }
+    let std = var.sqrt();
+    frame.map(|v| v / std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::Polarity;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event::new(0, 1, 1, Polarity::On),
+            Event::new(500, 1, 1, Polarity::On),
+            Event::new(1_000, 2, 3, Polarity::Off),
+        ]
+    }
+
+    #[test]
+    fn signed_count_accumulates_polarity() {
+        let mut ops = OpCount::new();
+        let f = SignedCount::new().encode(&events(), (4, 4), &mut ops);
+        assert_eq!(f.shape(), &[1, 4, 4]);
+        assert_eq!(f.at(&[0, 1, 1]), 2.0);
+        assert_eq!(f.at(&[0, 3, 2]), -1.0);
+        assert_eq!(ops.adds, 3);
+    }
+
+    #[test]
+    fn two_channel_separates_polarity() {
+        let mut ops = OpCount::new();
+        let f = TwoChannel::new().encode(&events(), (4, 4), &mut ops);
+        assert_eq!(f.at(&[0, 1, 1]), 2.0);
+        assert_eq!(f.at(&[1, 3, 2]), 1.0);
+        assert_eq!(f.at(&[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn time_surface_decays_with_age() {
+        let mut ops = OpCount::new();
+        let f = TimeSurface::new(500.0).encode(&events(), (4, 4), &mut ops);
+        // Pixel (1,1) last fired at t=500; end is t=1000 -> exp(-1).
+        let v_old = f.at(&[0, 1, 1]);
+        let v_new = f.at(&[1, 3, 2]); // fired at t_end -> 1.0
+        assert!((v_old - (-1.0f32).exp()).abs() < 1e-5);
+        assert!((v_new - 1.0).abs() < 1e-6);
+        assert!(v_new > v_old);
+    }
+
+    #[test]
+    fn linear_time_surface_clamps() {
+        let mut ops = OpCount::new();
+        let f = LinearTimeSurface::new(800).encode(&events(), (4, 4), &mut ops);
+        // Age of (1,1): 500/800 -> 0.375 surface.
+        assert!((f.at(&[0, 1, 1]) - 0.375).abs() < 1e-6);
+        assert_eq!(f.at(&[1, 3, 2]), 1.0);
+    }
+
+    #[test]
+    fn voxel_grid_preserves_temporal_order() {
+        let mut ops = OpCount::new();
+        let f = VoxelGrid::new(4).encode(&events(), (4, 4), &mut ops);
+        assert_eq!(f.shape(), &[4, 4, 4]);
+        // First event lands fully in bin 0, last in the final bin.
+        assert!(f.at(&[0, 1, 1]) > 0.5);
+        assert!(f.at(&[3, 3, 2]) < -0.5);
+        // Middle event (t=500 of 1000) splits between bins 1 and 2.
+        assert!(f.at(&[1, 1, 1]) > 0.0 && f.at(&[2, 1, 1]) > 0.0);
+    }
+
+    #[test]
+    fn count_and_surface_tracks_both_quantities() {
+        let mut ops = OpCount::new();
+        let f = CountAndSurface::new().encode(&events(), (4, 4), &mut ops);
+        assert_eq!(f.shape(), &[4, 4, 4]);
+        assert_eq!(f.at(&[0, 1, 1]), 2.0, "ON count");
+        assert_eq!(f.at(&[1, 3, 2]), 1.0, "OFF count");
+        // Latest ON at (1,1) was t=500 of span 1000 -> 0.5.
+        assert!((f.at(&[2, 1, 1]) - 0.5).abs() < 1e-6);
+        assert!((f.at(&[3, 3, 2]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hats_averages_local_surfaces() {
+        let hats = Hats::new(4, 1, 500.0);
+        assert_eq!(hats.channels(), 18); // 2 polarities x 3x3 patch
+        let mut ops = OpCount::new();
+        // Two ON events at the same pixel 500us apart: the second sees the
+        // first at the patch centre with decay exp(-1).
+        let evs = vec![
+            Event::new(0, 1, 1, Polarity::On),
+            Event::new(500, 1, 1, Polarity::On),
+        ];
+        let f = hats.encode(&evs, (8, 8), &mut ops);
+        assert_eq!(f.shape(), &[18, 2, 2]);
+        // Patch centre channel for ON polarity: offset (dy=1, dx=1) -> k=4.
+        let center = f.at(&[4, 0, 0]);
+        assert!(
+            (center - (-1.0f32).exp() / 2.0).abs() < 1e-4,
+            "centre {center}: one of two events saw decay exp(-1)"
+        );
+        // A neighbouring patch cell never fired: zero.
+        assert_eq!(f.at(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn hats_is_causal() {
+        // An event must not see surfaces of *later* events.
+        let hats = Hats::new(4, 1, 500.0);
+        let mut ops = OpCount::new();
+        let only_later = vec![
+            Event::new(0, 1, 1, Polarity::On),
+            Event::new(100, 5, 5, Polarity::On), // far away
+        ];
+        let f = hats.encode(&only_later, (8, 8), &mut ops);
+        // First event had an empty neighbourhood: its cell's average
+        // surface is all zero except nothing (no prior events).
+        let patch_sum: f32 = (0..18).map(|c| f.at(&[c, 0, 0])).sum();
+        assert_eq!(patch_sum, 0.0);
+    }
+
+    #[test]
+    fn encoders_handle_empty_input() {
+        let mut ops = OpCount::new();
+        let encs: Vec<Box<dyn FrameEncoder>> = vec![
+            Box::new(SignedCount::new()),
+            Box::new(TwoChannel::new()),
+            Box::new(TimeSurface::new(100.0)),
+            Box::new(LinearTimeSurface::new(100)),
+            Box::new(VoxelGrid::new(3)),
+            Box::new(CountAndSurface::new()),
+            Box::new(Hats::new(4, 1, 100.0)),
+        ];
+        for e in encs {
+            let f = e.encode(&[], (4, 4), &mut ops);
+            assert_eq!(f.sum(), 0.0, "{} not empty", e.name());
+            assert_eq!(f.shape()[0], e.channels());
+        }
+    }
+
+    #[test]
+    fn preparation_cost_scales_with_events() {
+        let many: Vec<Event> = (0..1000)
+            .map(|i| Event::new(i, (i % 4) as u16, 0, Polarity::On))
+            .collect();
+        let mut ops_small = OpCount::new();
+        let mut ops_large = OpCount::new();
+        SignedCount::new().encode(&events(), (4, 4), &mut ops_small);
+        SignedCount::new().encode(&many, (4, 4), &mut ops_large);
+        assert!(ops_large.adds > 100 * ops_small.adds);
+    }
+
+    #[test]
+    fn normalize_scales_and_preserves_zeros() {
+        let f = Tensor::from_vec(&[1, 1, 4], vec![0.0, 2.0, 0.0, 4.0]).expect("ok");
+        let n = normalize(&f);
+        // Zeros stay exactly zero: sparsity survives normalization.
+        assert_eq!(n.zero_fraction(), 0.5);
+        let power: f32 = n.as_slice().iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((power - 1.0).abs() < 1e-5);
+        // All-zero frame untouched.
+        let z = Tensor::zeros(&[1, 2, 2]);
+        assert_eq!(normalize(&z), z);
+    }
+}

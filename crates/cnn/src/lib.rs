@@ -1,0 +1,45 @@
+//! The dense-frame CNN paradigm (paper §III-B).
+//!
+//! CNNs cannot consume event streams directly: a pre-processing step
+//! aggregates events into dense frames first. This crate implements that
+//! whole pipeline:
+//!
+//! * [`encode`] — the frame builders of Fig. 2 (centre): per-pixel event
+//!   counts, two-channel polarity histograms, linear and exponential time
+//!   surfaces, and multi-bin voxel grids. All encoders report their
+//!   preparation cost into an [`evlab_tensor::OpCount`] (Table I row
+//!   "Data – Preparation").
+//! * [`model`] — LeNet-style CNN classifiers built on `evlab-tensor`.
+//! * [`prune`] — magnitude pruning and uniform weight quantization, the two
+//!   techniques §III-B credits for making CNNs themselves sparse.
+//! * [`submanifold`] — event-driven submanifold sparse convolution
+//!   ([Messikommer et al. 2020]): per-event asynchronous updates of only the
+//!   affected active sites.
+//! * [`recurrent`] — a GRU head giving the CNN temporal memory, the §V
+//!   rebuttal ([Perot et al. 2020]) to "only SNNs have memory".
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_cnn::encode::{FrameEncoder, TwoChannel};
+//! use evlab_events::{Event, EventStream, Polarity};
+//! use evlab_tensor::OpCount;
+//!
+//! let stream = EventStream::from_events(
+//!     (8, 8),
+//!     vec![Event::new(0, 1, 2, Polarity::On)],
+//! )?;
+//! let mut ops = OpCount::new();
+//! let frame = TwoChannel::new().encode(stream.as_slice(), (8, 8), &mut ops);
+//! assert_eq!(frame.shape(), &[2, 8, 8]);
+//! assert_eq!(frame.at(&[0, 2, 1]), 1.0);
+//! # Ok::<(), evlab_events::EventOrderError>(())
+//! ```
+
+pub mod encode;
+pub mod model;
+pub mod prune;
+pub mod recurrent;
+pub mod submanifold;
+
+pub use encode::FrameEncoder;

@@ -1,0 +1,141 @@
+//! CNN classifier architectures.
+
+use evlab_tensor::layer::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use evlab_tensor::Sequential;
+use evlab_util::Rng64;
+
+/// Architecture hyperparameters for the standard classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnnConfig {
+    /// Input channels (set to the encoder's channel count).
+    pub in_channels: usize,
+    /// Input spatial size (square).
+    pub input_size: usize,
+    /// Channels of the first conv block; the second uses twice as many.
+    pub base_channels: usize,
+    /// Hidden units of the classifier head.
+    pub hidden: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl CnnConfig {
+    /// A small configuration suitable for 32×32 inputs.
+    pub fn small(in_channels: usize, input_size: usize, num_classes: usize) -> Self {
+        CnnConfig {
+            in_channels,
+            input_size,
+            base_channels: 8,
+            hidden: 64,
+            num_classes,
+        }
+    }
+
+    /// Returns a copy scaled by a width multiplier (for the scalability
+    /// sweep of Table I row "Configurability / Scalability").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier == 0`.
+    pub fn scaled(mut self, multiplier: usize) -> Self {
+        assert!(multiplier > 0, "multiplier must be positive");
+        self.base_channels *= multiplier;
+        self.hidden *= multiplier;
+        self
+    }
+}
+
+/// Builds the LeNet-style classifier:
+/// `conv3x3 → ReLU → pool2 → conv3x3 → ReLU → pool2 → flatten → fc → ReLU → fc`.
+///
+/// # Panics
+///
+/// Panics if `input_size` is not divisible by 4.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_cnn::model::{build_cnn, CnnConfig};
+/// use evlab_util::Rng64;
+///
+/// let mut rng = Rng64::seed_from_u64(0);
+/// let net = build_cnn(&CnnConfig::small(2, 32, 10), &mut rng);
+/// assert_eq!(net.output_shape(&[2, 32, 32]), vec![10]);
+/// ```
+pub fn build_cnn(config: &CnnConfig, rng: &mut Rng64) -> Sequential {
+    assert!(
+        config.input_size % 4 == 0,
+        "input size must be divisible by 4 (two 2x pools)"
+    );
+    let c1 = config.base_channels;
+    let c2 = config.base_channels * 2;
+    let spatial_after = config.input_size / 4;
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(config.in_channels, c1, 3, 1, rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2));
+    net.push(Conv2d::new(c1, c2, 3, 1, rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    net.push(Linear::new(c2 * spatial_after * spatial_after, config.hidden, rng));
+    net.push(Relu::new());
+    net.push(Linear::new(config.hidden, config.num_classes, rng));
+    net
+}
+
+/// Builds a single-hidden-layer MLP baseline over flattened frames — the
+/// floor any convolutional model should beat.
+pub fn build_mlp(
+    input_len: usize,
+    hidden: usize,
+    num_classes: usize,
+    rng: &mut Rng64,
+) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    net.push(Linear::new(input_len, hidden, rng));
+    net.push(Relu::new());
+    net.push(Linear::new(hidden, num_classes, rng));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_tensor::{OpCount, Tensor};
+
+    #[test]
+    fn cnn_shapes_flow() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut net = build_cnn(&CnnConfig::small(2, 32, 10), &mut rng);
+        let mut ops = OpCount::new();
+        let y = net.forward(&Tensor::zeros(&[2, 32, 32]), &mut ops);
+        assert_eq!(y.shape(), &[10]);
+        assert!(net.param_count() > 1_000);
+    }
+
+    #[test]
+    fn scaled_config_grows_parameters() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let base = build_cnn(&CnnConfig::small(2, 32, 4), &mut rng);
+        let wide = build_cnn(&CnnConfig::small(2, 32, 4).scaled(2), &mut rng);
+        assert!(wide.param_count() > 2 * base.param_count());
+    }
+
+    #[test]
+    fn mlp_baseline_shapes() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut net = build_mlp(2 * 32 * 32, 32, 4, &mut rng);
+        let mut ops = OpCount::new();
+        let y = net.forward(&Tensor::zeros(&[2, 32, 32]), &mut ops);
+        assert_eq!(y.shape(), &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn bad_input_size_panics() {
+        let mut rng = Rng64::seed_from_u64(4);
+        build_cnn(&CnnConfig::small(2, 30, 4), &mut rng);
+    }
+}

@@ -1,0 +1,447 @@
+//! Recurrent temporal memory for frame-based pipelines (paper §V).
+//!
+//! The paper's rebuttal to "SNNs are required for temporal memory" is that
+//! recurrent blocks can be incorporated into CNN pipelines ([Perot et al.
+//! 2020]). This module implements a GRU cell with full backpropagation
+//! through time and a sequence classifier that consumes a sequence of
+//! encoded event frames.
+
+use evlab_tensor::layer::Param;
+use evlab_tensor::loss::cross_entropy;
+use evlab_tensor::optim::Optimizer;
+use evlab_tensor::{OpCount, Tensor};
+use evlab_util::Rng64;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// `W x` for `W: [rows, cols]`, recording MACs.
+fn matvec(w: &Tensor, x: &[f32], ops: &mut OpCount) -> Vec<f32> {
+    let rows = w.shape()[0];
+    let cols = w.shape()[1];
+    assert_eq!(x.len(), cols, "matvec dimension mismatch");
+    let ws = w.as_slice();
+    let mut out = vec![0.0f32; rows];
+    for (r, slot) in out.iter_mut().enumerate() {
+        let row = &ws[r * cols..(r + 1) * cols];
+        *slot = row.iter().zip(x).map(|(a, b)| a * b).sum();
+    }
+    ops.record_mac((rows * cols) as u64, (rows * cols) as u64);
+    out
+}
+
+/// `W^T g` for `W: [rows, cols]`.
+fn matvec_t(w: &Tensor, g: &[f32], ops: &mut OpCount) -> Vec<f32> {
+    let rows = w.shape()[0];
+    let cols = w.shape()[1];
+    assert_eq!(g.len(), rows, "matvec_t dimension mismatch");
+    let ws = w.as_slice();
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        let gr = g[r];
+        if gr == 0.0 {
+            continue;
+        }
+        let row = &ws[r * cols..(r + 1) * cols];
+        for (o, &wv) in out.iter_mut().zip(row) {
+            *o += gr * wv;
+        }
+    }
+    ops.record_mac((rows * cols) as u64, (rows * cols) as u64);
+    out
+}
+
+/// Accumulates the outer product `g xᵀ` into `grad` (shape `[rows, cols]`).
+fn outer_acc(grad: &mut Tensor, g: &[f32], x: &[f32]) {
+    let cols = x.len();
+    let gs = grad.as_mut_slice();
+    for (r, &gr) in g.iter().enumerate() {
+        if gr == 0.0 {
+            continue;
+        }
+        for (c, &xc) in x.iter().enumerate() {
+            gs[r * cols + c] += gr * xc;
+        }
+    }
+}
+
+fn add_into(acc: &mut [f32], v: &[f32]) {
+    for (a, b) in acc.iter_mut().zip(v) {
+        *a += b;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    c: Vec<f32>,
+}
+
+/// A gated recurrent unit with full BPTT.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_cnn::recurrent::GruCell;
+/// use evlab_tensor::{OpCount, Tensor};
+/// use evlab_util::Rng64;
+///
+/// let mut rng = Rng64::seed_from_u64(0);
+/// let mut gru = GruCell::new(4, 8, &mut rng);
+/// let frames = vec![Tensor::zeros(&[4]), Tensor::zeros(&[4])];
+/// let mut ops = OpCount::new();
+/// let h = gru.forward_sequence(&frames, &mut ops);
+/// assert_eq!(h.shape(), &[8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: Param,
+    uz: Param,
+    bz: Param,
+    wr: Param,
+    ur: Param,
+    br: Param,
+    wc: Param,
+    uc: Param,
+    bc: Param,
+    input_size: usize,
+    hidden_size: usize,
+    caches: Vec<StepCache>,
+}
+
+impl GruCell {
+    /// Creates a GRU cell with Xavier-scaled weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut Rng64) -> Self {
+        assert!(input_size > 0 && hidden_size > 0, "zero-sized GRU");
+        let w = |rng: &mut Rng64, rows: usize, cols: usize| {
+            Param::new(evlab_tensor::init::xavier_uniform(
+                &[rows, cols],
+                cols,
+                rows,
+                rng,
+            ))
+        };
+        GruCell {
+            wz: w(rng, hidden_size, input_size),
+            uz: w(rng, hidden_size, hidden_size),
+            bz: Param::new(Tensor::zeros(&[hidden_size])),
+            wr: w(rng, hidden_size, input_size),
+            ur: w(rng, hidden_size, hidden_size),
+            br: Param::new(Tensor::zeros(&[hidden_size])),
+            wc: w(rng, hidden_size, input_size),
+            uc: w(rng, hidden_size, hidden_size),
+            bc: Param::new(Tensor::zeros(&[hidden_size])),
+            input_size,
+            hidden_size,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Hidden state dimensionality.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wz,
+            &mut self.uz,
+            &mut self.bz,
+            &mut self.wr,
+            &mut self.ur,
+            &mut self.br,
+            &mut self.wc,
+            &mut self.uc,
+            &mut self.bc,
+        ]
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        3 * (self.hidden_size * self.input_size
+            + self.hidden_size * self.hidden_size
+            + self.hidden_size)
+    }
+
+    fn step(&mut self, x: &[f32], h_prev: &[f32], ops: &mut OpCount) -> Vec<f32> {
+        let mut a_z = matvec(&self.wz.value, x, ops);
+        add_into(&mut a_z, &matvec(&self.uz.value, h_prev, ops));
+        add_into(&mut a_z, self.bz.value.as_slice());
+        let z: Vec<f32> = a_z.iter().map(|&v| sigmoid(v)).collect();
+
+        let mut a_r = matvec(&self.wr.value, x, ops);
+        add_into(&mut a_r, &matvec(&self.ur.value, h_prev, ops));
+        add_into(&mut a_r, self.br.value.as_slice());
+        let r: Vec<f32> = a_r.iter().map(|&v| sigmoid(v)).collect();
+
+        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(a, b)| a * b).collect();
+        let mut a_c = matvec(&self.wc.value, x, ops);
+        add_into(&mut a_c, &matvec(&self.uc.value, &rh, ops));
+        add_into(&mut a_c, self.bc.value.as_slice());
+        let c: Vec<f32> = a_c.iter().map(|&v| v.tanh()).collect();
+
+        let h: Vec<f32> = z
+            .iter()
+            .zip(&c)
+            .zip(h_prev)
+            .map(|((&z, &c), &h)| (1.0 - z) * h + z * c)
+            .collect();
+        ops.record_mult(4 * self.hidden_size as u64);
+        self.caches.push(StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            z,
+            r,
+            c: c.clone(),
+        });
+        h
+    }
+
+    /// Runs the cell over a sequence from a zero hidden state, caching every
+    /// step for BPTT, and returns the final hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or an input has the wrong length.
+    pub fn forward_sequence(&mut self, inputs: &[Tensor], ops: &mut OpCount) -> Tensor {
+        assert!(!inputs.is_empty(), "empty sequence");
+        self.caches.clear();
+        let mut h = vec![0.0f32; self.hidden_size];
+        for x in inputs {
+            assert_eq!(x.len(), self.input_size, "input size mismatch");
+            h = self.step(x.as_slice(), &h, ops);
+        }
+        Tensor::from_vec(&[self.hidden_size], h).expect("hidden shape")
+    }
+
+    /// Backpropagates a gradient at the final hidden state through every
+    /// cached step, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`GruCell::forward_sequence`].
+    pub fn backward_sequence(&mut self, grad_h_final: &Tensor, ops: &mut OpCount) {
+        assert!(!self.caches.is_empty(), "backward without forward");
+        let mut dh = grad_h_final.as_slice().to_vec();
+        let caches = std::mem::take(&mut self.caches);
+        for cache in caches.iter().rev() {
+            let StepCache { x, h_prev, z, r, c } = cache;
+            // h' = (1-z) h + z c
+            let dz: Vec<f32> = dh
+                .iter()
+                .zip(c.iter().zip(h_prev))
+                .map(|(&d, (&cv, &hv))| d * (cv - hv))
+                .collect();
+            let dc: Vec<f32> = dh.iter().zip(z).map(|(&d, &zv)| d * zv).collect();
+            let mut dh_prev: Vec<f32> =
+                dh.iter().zip(z).map(|(&d, &zv)| d * (1.0 - zv)).collect();
+
+            let da_c: Vec<f32> = dc
+                .iter()
+                .zip(c)
+                .map(|(&d, &cv)| d * (1.0 - cv * cv))
+                .collect();
+            outer_acc(&mut self.wc.grad, &da_c, x);
+            let rh: Vec<f32> = r.iter().zip(h_prev).map(|(a, b)| a * b).collect();
+            outer_acc(&mut self.uc.grad, &da_c, &rh);
+            add_into(self.bc.grad.as_mut_slice(), &da_c);
+            let drh = matvec_t(&self.uc.value, &da_c, ops);
+            let dr: Vec<f32> = drh.iter().zip(h_prev).map(|(&d, &hv)| d * hv).collect();
+            for (dhp, (&d, &rv)) in dh_prev.iter_mut().zip(drh.iter().zip(r)) {
+                *dhp += d * rv;
+            }
+
+            let da_r: Vec<f32> = dr
+                .iter()
+                .zip(r)
+                .map(|(&d, &rv)| d * rv * (1.0 - rv))
+                .collect();
+            outer_acc(&mut self.wr.grad, &da_r, x);
+            outer_acc(&mut self.ur.grad, &da_r, h_prev);
+            add_into(self.br.grad.as_mut_slice(), &da_r);
+            add_into(&mut dh_prev, &matvec_t(&self.ur.value, &da_r, ops));
+
+            let da_z: Vec<f32> = dz
+                .iter()
+                .zip(z)
+                .map(|(&d, &zv)| d * zv * (1.0 - zv))
+                .collect();
+            outer_acc(&mut self.wz.grad, &da_z, x);
+            outer_acc(&mut self.uz.grad, &da_z, h_prev);
+            add_into(self.bz.grad.as_mut_slice(), &da_z);
+            add_into(&mut dh_prev, &matvec_t(&self.uz.value, &da_z, ops));
+
+            dh = dh_prev;
+        }
+    }
+}
+
+/// GRU-over-frames sequence classifier.
+#[derive(Debug, Clone)]
+pub struct RecurrentClassifier {
+    cell: GruCell,
+    head_w: Param,
+    head_b: Param,
+    num_classes: usize,
+}
+
+impl RecurrentClassifier {
+    /// Creates a classifier with the given feature size, hidden size and
+    /// class count.
+    pub fn new(
+        input_size: usize,
+        hidden_size: usize,
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        RecurrentClassifier {
+            cell: GruCell::new(input_size, hidden_size, rng),
+            head_w: Param::new(evlab_tensor::init::xavier_uniform(
+                &[num_classes, hidden_size],
+                hidden_size,
+                num_classes,
+                rng,
+            )),
+            head_b: Param::new(Tensor::zeros(&[num_classes])),
+            num_classes,
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.cell.param_count() + self.head_w.len() + self.head_b.len()
+    }
+
+    /// Class logits for a frame sequence.
+    pub fn logits(&mut self, frames: &[Tensor], ops: &mut OpCount) -> Tensor {
+        let h = self.cell.forward_sequence(frames, ops);
+        let mut out = matvec(&self.head_w.value, h.as_slice(), ops);
+        add_into(&mut out, self.head_b.value.as_slice());
+        Tensor::from_vec(&[self.num_classes], out).expect("logit shape")
+    }
+
+    /// Predicted class for a frame sequence.
+    pub fn predict(&mut self, frames: &[Tensor], ops: &mut OpCount) -> usize {
+        self.logits(frames, ops).argmax()
+    }
+
+    /// One training sample: forward, cross-entropy backward, gradient
+    /// accumulation. Returns the loss.
+    pub fn accumulate(&mut self, frames: &[Tensor], label: usize, ops: &mut OpCount) -> f32 {
+        let h = self.cell.forward_sequence(frames, ops);
+        let mut logits = matvec(&self.head_w.value, h.as_slice(), ops);
+        add_into(&mut logits, self.head_b.value.as_slice());
+        let logits = Tensor::from_vec(&[self.num_classes], logits).expect("shape");
+        let (loss, grad) = cross_entropy(&logits, label);
+        // Head gradients.
+        outer_acc(&mut self.head_w.grad, grad.as_slice(), h.as_slice());
+        add_into(self.head_b.grad.as_mut_slice(), grad.as_slice());
+        let dh = matvec_t(&self.head_w.value, grad.as_slice(), ops);
+        let dh = Tensor::from_vec(&[self.cell.hidden_size()], dh).expect("shape");
+        self.cell.backward_sequence(&dh, ops);
+        loss
+    }
+
+    /// Applies an optimizer step to all parameters.
+    pub fn step(&mut self, optimizer: &mut dyn Optimizer) {
+        let mut params = self.cell.params_mut();
+        params.push(&mut self.head_w);
+        params.push(&mut self.head_b);
+        optimizer.step(&mut params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_tensor::optim::Adam;
+
+    #[test]
+    fn gru_gradients_match_finite_difference() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut gru = GruCell::new(3, 4, &mut rng);
+        let seq: Vec<Tensor> = (0..3)
+            .map(|i| {
+                Tensor::from_vec(
+                    &[3],
+                    vec![0.1 * i as f32, -0.2, 0.3 + 0.1 * i as f32],
+                )
+                .expect("ok")
+            })
+            .collect();
+        let mut ops = OpCount::new();
+        let h = gru.forward_sequence(&seq, &mut ops);
+        let ones = Tensor::filled(h.shape(), 1.0);
+        gru.backward_sequence(&ones, &mut ops);
+        // Check a sample of weights from each matrix by finite differences
+        // on the objective sum(h_final).
+        let eps = 1e-3f32;
+        for pi in 0..9 {
+            let analytic = gru.params_mut()[pi].grad.clone();
+            for wi in [0usize, 1] {
+                if wi >= analytic.len() {
+                    continue;
+                }
+                let orig = gru.params_mut()[pi].value.as_slice()[wi];
+                gru.params_mut()[pi].value.as_mut_slice()[wi] = orig + eps;
+                let f_plus = gru.forward_sequence(&seq, &mut ops).sum();
+                gru.params_mut()[pi].value.as_mut_slice()[wi] = orig - eps;
+                let f_minus = gru.forward_sequence(&seq, &mut ops).sum();
+                gru.params_mut()[pi].value.as_mut_slice()[wi] = orig;
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                let a = analytic.as_slice()[wi];
+                assert!(
+                    (numeric - a).abs() < 2e-2,
+                    "param {pi} weight {wi}: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gru_learns_temporal_order() {
+        // Two classes with identical frame *sets* but different order:
+        // only a model with memory can separate them.
+        let mut rng = Rng64::seed_from_u64(2);
+        let a = Tensor::from_vec(&[2], vec![1.0, 0.0]).expect("ok");
+        let b = Tensor::from_vec(&[2], vec![0.0, 1.0]).expect("ok");
+        let class0 = vec![a.clone(), b.clone()]; // a then b
+        let class1 = vec![b, a]; // b then a
+        let mut clf = RecurrentClassifier::new(2, 8, 2, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let mut ops = OpCount::new();
+        for _ in 0..200 {
+            clf.accumulate(&class0, 0, &mut ops);
+            clf.accumulate(&class1, 1, &mut ops);
+            clf.step(&mut opt);
+        }
+        assert_eq!(clf.predict(&class0, &mut ops), 0);
+        assert_eq!(clf.predict(&class1, &mut ops), 1);
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let gru = GruCell::new(5, 7, &mut rng);
+        assert_eq!(gru.param_count(), 3 * (7 * 5 + 7 * 7 + 7));
+        let clf = RecurrentClassifier::new(5, 7, 3, &mut rng);
+        assert_eq!(clf.param_count(), gru.param_count() + 3 * 7 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut gru = GruCell::new(2, 2, &mut rng);
+        gru.forward_sequence(&[], &mut OpCount::new());
+    }
+}

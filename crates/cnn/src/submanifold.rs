@@ -1,0 +1,540 @@
+//! Event-driven sparse convolutions (paper §III-B, [Messikommer et al.
+//! 2020]).
+//!
+//! Two asynchronous evaluation strategies are implemented:
+//!
+//! * [`EventDrivenConv`] — *delta propagation* through a single linear
+//!   convolution: each incoming event adds a weighted kernel footprint to
+//!   the output map. Exact, and costs `O·K²` MACs per event instead of a
+//!   full-frame reconvolution.
+//! * [`SubmanifoldNet`] — a stack of submanifold convolutions with ReLU:
+//!   sites are *active* only where the input has received events, outputs
+//!   are computed only at active sites, and each event triggers recomputation
+//!   of just the affected active sites in every layer.
+//!
+//! Both recover the per-event, low-latency computation style the paper
+//! attributes to SNNs/GNNs, at the price of growing per-layer dilation.
+
+use evlab_events::Event;
+use evlab_tensor::init::he_normal;
+use evlab_tensor::{OpCount, Tensor};
+use evlab_util::Rng64;
+use std::collections::BTreeSet;
+
+/// A single linear convolution evaluated by per-event delta propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDrivenConv {
+    weight: Tensor, // [O, C, K, K]
+    out_channels: usize,
+    in_channels: usize,
+    kernel: usize,
+    width: usize,
+    height: usize,
+    output: Tensor, // [O, H, W]
+}
+
+impl EventDrivenConv {
+    /// Creates a conv with random weights over a `(width, height)` frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is even (same-padding delta updates need odd
+    /// kernels) or any dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        resolution: (u16, u16),
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "kernel must be odd");
+        assert!(in_channels > 0 && out_channels > 0, "zero-sized conv");
+        let weight = he_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            in_channels * kernel * kernel,
+            rng,
+        );
+        EventDrivenConv {
+            weight,
+            out_channels,
+            in_channels,
+            kernel,
+            width: resolution.0 as usize,
+            height: resolution.1 as usize,
+            output: Tensor::zeros(&[
+                out_channels,
+                resolution.1 as usize,
+                resolution.0 as usize,
+            ]),
+        }
+    }
+
+    /// The current output map `[O, H, W]`.
+    pub fn output(&self) -> &Tensor {
+        &self.output
+    }
+
+    /// Resets the output map to zero.
+    pub fn reset(&mut self) {
+        self.output.fill_zero();
+    }
+
+    /// Applies one event: adds `sign × w[o, c, ·, ·]` around the event
+    /// location (channel `c` from the event polarity). Costs `O·K²` MACs.
+    pub fn update(&mut self, event: &Event, ops: &mut OpCount) {
+        let c = event.polarity.channel().min(self.in_channels - 1);
+        let sign = event.polarity.as_sign();
+        let k = self.kernel;
+        let half = (k / 2) as isize;
+        let w = self.weight.as_slice();
+        let out = self.output.as_mut_slice();
+        let mut effective = 0u64;
+        for o in 0..self.out_channels {
+            for ky in 0..k {
+                let oy = event.y as isize + half - ky as isize;
+                if oy < 0 || oy >= self.height as isize {
+                    continue;
+                }
+                for kx in 0..k {
+                    let ox = event.x as isize + half - kx as isize;
+                    if ox < 0 || ox >= self.width as isize {
+                        continue;
+                    }
+                    let wv = w[((o * self.in_channels + c) * k + ky) * k + kx];
+                    out[(o * self.height + oy as usize) * self.width + ox as usize] +=
+                        sign * wv;
+                    effective += 1;
+                }
+            }
+        }
+        ops.record_mac(effective, effective);
+        ops.record_write(effective);
+    }
+
+    /// Dense reference: convolves an accumulated `[C, H, W]` frame from
+    /// scratch. Used to validate the incremental path and to compare costs.
+    pub fn dense_forward(&self, frame: &Tensor, ops: &mut OpCount) -> Tensor {
+        assert_eq!(
+            frame.shape(),
+            &[self.in_channels, self.height, self.width],
+            "frame shape mismatch"
+        );
+        let k = self.kernel;
+        let half = (k / 2) as isize;
+        let x = frame.as_slice();
+        let w = self.weight.as_slice();
+        let mut out = Tensor::zeros(&[self.out_channels, self.height, self.width]);
+        let mut effective = 0u64;
+        {
+            let os = out.as_mut_slice();
+            for o in 0..self.out_channels {
+                for oy in 0..self.height {
+                    for ox in 0..self.width {
+                        let mut acc = 0.0f32;
+                        for c in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - half;
+                                if iy < 0 || iy >= self.height as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - half;
+                                    if ix < 0 || ix >= self.width as isize {
+                                        continue;
+                                    }
+                                    let xv =
+                                        x[(c * self.height + iy as usize) * self.width
+                                            + ix as usize];
+                                    if xv != 0.0 {
+                                        effective += 1;
+                                        acc += xv
+                                            * w[((o * self.in_channels + c) * k + ky) * k
+                                                + kx];
+                                    }
+                                }
+                            }
+                        }
+                        os[(o * self.height + oy) * self.width + ox] = acc;
+                    }
+                }
+            }
+        }
+        let nominal = (self.out_channels
+            * self.height
+            * self.width
+            * self.in_channels
+            * k
+            * k) as u64;
+        ops.record_mac(nominal, effective.min(nominal));
+        ops.record_write((self.out_channels * self.height * self.width) as u64);
+        out
+    }
+}
+
+/// One submanifold layer's weights.
+#[derive(Debug, Clone, PartialEq)]
+struct SmLayer {
+    weight: Tensor, // [O, C, K, K]
+    bias: Tensor,   // [O]
+    out_channels: usize,
+    in_channels: usize,
+}
+
+/// A stack of submanifold sparse convolutions with ReLU, updated per event.
+///
+/// The *active set* is the set of pixels that have received at least one
+/// event; all layers share it (the defining property of submanifold
+/// convolutions — activity cannot dilate). Outputs at inactive sites are
+/// identically zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmanifoldNet {
+    layers: Vec<SmLayer>,
+    kernel: usize,
+    width: usize,
+    height: usize,
+    input: Tensor,            // [2, H, W] accumulated polarity counts
+    activations: Vec<Tensor>, // per-layer [O, H, W]
+    active: BTreeSet<(u16, u16)>,
+}
+
+impl SubmanifoldNet {
+    /// Creates a net with the given per-layer output channel counts, all
+    /// `kernel × kernel`, over a two-channel polarity-count input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty or the kernel is even.
+    pub fn new(
+        channels: &[usize],
+        kernel: usize,
+        resolution: (u16, u16),
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(!channels.is_empty(), "need at least one layer");
+        assert!(kernel % 2 == 1, "kernel must be odd");
+        let (w, h) = (resolution.0 as usize, resolution.1 as usize);
+        let mut layers = Vec::new();
+        let mut in_c = 2usize;
+        let mut activations = Vec::new();
+        for &out_c in channels {
+            layers.push(SmLayer {
+                weight: he_normal(
+                    &[out_c, in_c, kernel, kernel],
+                    in_c * kernel * kernel,
+                    rng,
+                ),
+                bias: Tensor::zeros(&[out_c]),
+                out_channels: out_c,
+                in_channels: in_c,
+            });
+            activations.push(Tensor::zeros(&[out_c, h, w]));
+            in_c = out_c;
+        }
+        SubmanifoldNet {
+            layers,
+            kernel,
+            width: w,
+            height: h,
+            input: Tensor::zeros(&[2, h, w]),
+            activations,
+            active: BTreeSet::new(),
+        }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Currently active sites.
+    pub fn active_sites(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Final-layer activation map.
+    pub fn features(&self) -> &Tensor {
+        self.activations.last().expect("at least one layer")
+    }
+
+    /// Global sum pooling of the final features — a cheap readout vector.
+    pub fn global_pool(&self) -> Vec<f32> {
+        let f = self.features();
+        let c = f.shape()[0];
+        let hw = self.height * self.width;
+        (0..c)
+            .map(|ci| f.as_slice()[ci * hw..(ci + 1) * hw].iter().sum())
+            .collect()
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        self.input.fill_zero();
+        for a in &mut self.activations {
+            a.fill_zero();
+        }
+        self.active.clear();
+    }
+
+    fn compute_site(
+        &self,
+        layer_idx: usize,
+        x: usize,
+        y: usize,
+        ops: &mut OpCount,
+    ) -> Vec<f32> {
+        let layer = &self.layers[layer_idx];
+        let input: &Tensor = if layer_idx == 0 {
+            &self.input
+        } else {
+            &self.activations[layer_idx - 1]
+        };
+        let k = self.kernel;
+        let half = (k / 2) as isize;
+        let xs = input.as_slice();
+        let w = layer.weight.as_slice();
+        let mut out = vec![0.0f32; layer.out_channels];
+        let mut effective = 0u64;
+        for (o, slot) in out.iter_mut().enumerate() {
+            let mut acc = layer.bias.as_slice()[o];
+            for ky in 0..k {
+                let iy = y as isize + ky as isize - half;
+                if iy < 0 || iy >= self.height as isize {
+                    continue;
+                }
+                for kx in 0..k {
+                    let ix = x as isize + kx as isize - half;
+                    if ix < 0 || ix >= self.width as isize {
+                        continue;
+                    }
+                    // Submanifold rule: only read active sites.
+                    if !self.active.contains(&(ix as u16, iy as u16)) {
+                        continue;
+                    }
+                    for c in 0..layer.in_channels {
+                        let xv =
+                            xs[(c * self.height + iy as usize) * self.width + ix as usize];
+                        if xv != 0.0 {
+                            effective += 1;
+                            acc += xv
+                                * w[((o * layer.in_channels + c) * k + ky) * k + kx];
+                        }
+                    }
+                }
+            }
+            *slot = acc.max(0.0); // ReLU
+        }
+        ops.record_mac(effective, effective);
+        ops.record_compare(layer.out_channels as u64);
+        out
+    }
+
+    fn affected_sites(&self, seeds: &BTreeSet<(u16, u16)>) -> BTreeSet<(u16, u16)> {
+        let half = (self.kernel / 2) as isize;
+        let mut out = BTreeSet::new();
+        for &(x, y) in seeds {
+            for dy in -half..=half {
+                for dx in -half..=half {
+                    let nx = x as isize + dx;
+                    let ny = y as isize + dy;
+                    if nx < 0 || ny < 0 || nx >= self.width as isize || ny >= self.height as isize
+                    {
+                        continue;
+                    }
+                    let site = (nx as u16, ny as u16);
+                    if self.active.contains(&site) {
+                        out.insert(site);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Processes one event asynchronously: updates the input counts,
+    /// activates the site, and recomputes the affected active sites of every
+    /// layer. Returns the number of site recomputations.
+    pub fn update(&mut self, event: &Event, ops: &mut OpCount) -> usize {
+        let (x, y) = (event.x as usize, event.y as usize);
+        let c = event.polarity.channel();
+        let idx = (c * self.height + y) * self.width + x;
+        self.input.as_mut_slice()[idx] += 1.0;
+        self.active.insert((event.x, event.y));
+        ops.record_add(1);
+
+        let mut frontier: BTreeSet<(u16, u16)> = BTreeSet::new();
+        frontier.insert((event.x, event.y));
+        let mut recomputed = 0usize;
+        for l in 0..self.layers.len() {
+            let sites = self.affected_sites(&frontier);
+            for &(sx, sy) in &sites {
+                let values = self.compute_site(l, sx as usize, sy as usize, ops);
+                let act = &mut self.activations[l];
+                let hw = self.height * self.width;
+                for (o, v) in values.into_iter().enumerate() {
+                    act.as_mut_slice()[o * hw + sy as usize * self.width + sx as usize] = v;
+                }
+                recomputed += 1;
+            }
+            ops.record_write((sites.len() * self.layers[l].out_channels) as u64);
+            frontier = sites;
+        }
+        recomputed
+    }
+
+    /// Recomputes everything from the accumulated input (dense reference
+    /// honouring the submanifold active-set rule). The result must equal
+    /// the incrementally maintained state.
+    pub fn dense_refresh(&mut self, ops: &mut OpCount) {
+        let sites: Vec<(u16, u16)> = self.active.iter().copied().collect();
+        for l in 0..self.layers.len() {
+            for &(sx, sy) in &sites {
+                let values = self.compute_site(l, sx as usize, sy as usize, ops);
+                let act = &mut self.activations[l];
+                let hw = self.height * self.width;
+                for (o, v) in values.into_iter().enumerate() {
+                    act.as_mut_slice()[o * hw + sy as usize * self.width + sx as usize] = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::Polarity;
+
+    #[test]
+    fn delta_update_matches_dense_reconvolution() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut conv = EventDrivenConv::new(2, 4, 3, (8, 8), &mut rng);
+        let events = vec![
+            Event::new(0, 2, 2, Polarity::On),
+            Event::new(10, 3, 2, Polarity::Off),
+            Event::new(20, 2, 2, Polarity::On),
+            Event::new(30, 7, 7, Polarity::On),
+            Event::new(40, 0, 0, Polarity::Off),
+        ];
+        let mut ops = OpCount::new();
+        for e in &events {
+            conv.update(e, &mut ops);
+        }
+        // Accumulate signed counts the same way the delta path does: the
+        // delta path adds sign * w, i.e. the frame value is the signed sum.
+        let mut frame2 = Tensor::zeros(&[2, 8, 8]);
+        for e in &events {
+            let c = e.polarity.channel();
+            let idx = (c * 8 + e.y as usize) * 8 + e.x as usize;
+            frame2.as_mut_slice()[idx] += e.polarity.as_sign();
+        }
+        let dense = conv.dense_forward(&frame2, &mut ops);
+        for (a, b) in conv.output().as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "delta {a} vs dense {b}");
+        }
+    }
+
+    #[test]
+    fn per_event_cost_beats_full_frame() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut conv = EventDrivenConv::new(2, 8, 3, (64, 64), &mut rng);
+        let mut ops_event = OpCount::new();
+        conv.update(&Event::new(0, 32, 32, Polarity::On), &mut ops_event);
+        let mut ops_dense = OpCount::new();
+        let frame = Tensor::filled(&[2, 64, 64], 1.0);
+        conv.dense_forward(&frame, &mut ops_dense);
+        assert!(
+            ops_dense.macs > 100 * ops_event.macs,
+            "dense {} vs event {}",
+            ops_dense.macs,
+            ops_event.macs
+        );
+    }
+
+    #[test]
+    fn submanifold_keeps_inactive_sites_zero() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut net = SubmanifoldNet::new(&[4, 4], 3, (16, 16), &mut rng);
+        let mut ops = OpCount::new();
+        net.update(&Event::new(0, 5, 5, Polarity::On), &mut ops);
+        net.update(&Event::new(10, 6, 5, Polarity::Off), &mut ops);
+        assert_eq!(net.active_sites(), 2);
+        let f = net.features();
+        // Any site other than the two active ones must be zero, even
+        // neighbours inside the kernel radius.
+        let hw = 16 * 16;
+        for o in 0..4 {
+            for y in 0..16u16 {
+                for x in 0..16u16 {
+                    if (x, y) == (5, 5) || (x, y) == (6, 5) {
+                        continue;
+                    }
+                    let v = f.as_slice()[o * hw + y as usize * 16 + x as usize];
+                    assert_eq!(v, 0.0, "site ({x},{y}) chan {o} leaked: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_dense_refresh() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut net = SubmanifoldNet::new(&[3, 5], 3, (12, 12), &mut rng);
+        let mut ops = OpCount::new();
+        let events = vec![
+            Event::new(0, 3, 3, Polarity::On),
+            Event::new(5, 4, 3, Polarity::On),
+            Event::new(9, 3, 4, Polarity::Off),
+            Event::new(12, 9, 9, Polarity::On),
+            Event::new(20, 4, 4, Polarity::On),
+            Event::new(25, 3, 3, Polarity::Off),
+        ];
+        for e in &events {
+            net.update(e, &mut ops);
+        }
+        let incremental = net.features().clone();
+        net.dense_refresh(&mut ops);
+        for (a, b) in incremental.as_slice().iter().zip(net.features().as_slice()) {
+            assert!((a - b).abs() < 1e-4, "incremental {a} vs dense {b}");
+        }
+    }
+
+    #[test]
+    fn update_cost_grows_with_depth_but_stays_local() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut shallow = SubmanifoldNet::new(&[4], 3, (32, 32), &mut rng);
+        let mut deep = SubmanifoldNet::new(&[4, 4, 4], 3, (32, 32), &mut rng);
+        let mut ops_shallow = OpCount::new();
+        let mut ops_deep = OpCount::new();
+        // Activate a small cluster first.
+        for (i, net, ops) in [
+            (0, &mut shallow, &mut ops_shallow),
+            (1, &mut deep, &mut ops_deep),
+        ] {
+            let _ = i;
+            for e in [
+                Event::new(0, 10, 10, Polarity::On),
+                Event::new(1, 11, 10, Polarity::On),
+                Event::new(2, 10, 11, Polarity::On),
+            ] {
+                net.update(&e, ops);
+            }
+        }
+        let r_shallow = shallow.update(&Event::new(10, 10, 10, Polarity::On), &mut ops_shallow);
+        let r_deep = deep.update(&Event::new(10, 10, 10, Polarity::On), &mut ops_deep);
+        assert!(r_deep >= r_shallow, "deeper nets touch more sites");
+        // But still local: far fewer than all sites x layers.
+        assert!(r_deep < 3 * 32 * 32 / 4);
+    }
+
+    #[test]
+    fn global_pool_dimension() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let mut net = SubmanifoldNet::new(&[4, 7], 3, (8, 8), &mut rng);
+        let mut ops = OpCount::new();
+        net.update(&Event::new(0, 4, 4, Polarity::On), &mut ops);
+        assert_eq!(net.global_pool().len(), 7);
+        net.reset();
+        assert_eq!(net.active_sites(), 0);
+        assert_eq!(net.features().sum(), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The dense-frame CNN pipeline.
+//!
+//! Events are accumulated into a frame over the whole sample window (the
+//! "simplest solution" of §III-B) or a voxel grid (which retains coarse
+//! timing), then classified with the LeNet-style CNN of `evlab-cnn`.
+
+use crate::pipeline::{EventClassifier, FitReport};
+use evlab_cnn::encode::{normalize, FrameEncoder, Hats, TwoChannel, VoxelGrid};
+use evlab_cnn::model::{build_cnn, CnnConfig};
+use evlab_datasets::Dataset;
+use evlab_events::EventStream;
+use evlab_tensor::network::{evaluate, train_batch};
+use evlab_tensor::optim::Adam;
+use evlab_tensor::{OpCount, Sequential, Tensor};
+use evlab_util::Rng64;
+
+/// Which frame representation the pipeline feeds the CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Two-channel polarity histogram — discards intra-window timing.
+    TwoChannel,
+    /// Voxel grid with the given temporal bins — retains coarse timing.
+    VoxelGrid(usize),
+    /// Histograms of averaged time surfaces over `cell`-pixel regions with
+    /// a 3×3 surface patch — the HATS descriptor [Sironi et al. 2018].
+    Hats {
+        /// Cell size in pixels.
+        cell: usize,
+    },
+}
+
+/// Pipeline hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CnnPipelineConfig {
+    /// Frame representation.
+    pub frame: FrameKind,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Width multiplier over the base architecture.
+    pub width: usize,
+}
+
+impl CnnPipelineConfig {
+    /// Default: two-channel frames, 20 epochs.
+    pub fn new() -> Self {
+        CnnPipelineConfig {
+            frame: FrameKind::TwoChannel,
+            epochs: 20,
+            batch: 8,
+            lr: 0.003,
+            width: 1,
+        }
+    }
+
+    /// Returns a copy with a different frame kind.
+    pub fn with_frame(mut self, frame: FrameKind) -> Self {
+        self.frame = frame;
+        self
+    }
+
+    /// Returns a copy with different epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+impl Default for CnnPipelineConfig {
+    fn default() -> Self {
+        CnnPipelineConfig::new()
+    }
+}
+
+/// The dense-frame CNN classifier.
+pub struct CnnPipeline {
+    config: CnnPipelineConfig,
+    net: Option<Sequential>,
+    resolution: (u16, u16),
+    num_classes: usize,
+    seed: u64,
+}
+
+impl CnnPipeline {
+    /// Creates an untrained pipeline.
+    pub fn new(config: CnnPipelineConfig, seed: u64) -> Self {
+        CnnPipeline {
+            config,
+            net: None,
+            resolution: (0, 0),
+            num_classes: 0,
+            seed,
+        }
+    }
+
+    fn encoder(&self) -> Box<dyn FrameEncoder> {
+        match self.config.frame {
+            FrameKind::TwoChannel => Box::new(TwoChannel::new()),
+            FrameKind::VoxelGrid(bins) => Box::new(VoxelGrid::new(bins)),
+            FrameKind::Hats { cell } => Box::new(Hats::new(cell, 1, 10_000.0)),
+        }
+    }
+
+    /// Encodes a stream into a normalized frame tensor.
+    ///
+    /// The normalization pass is part of the preparation cost: it touches
+    /// every dense pixel (mean, variance, scaling) regardless of how few
+    /// events arrived — the fixed per-frame cost §III-B attributes to
+    /// dense-frame pipelines.
+    pub fn encode(&self, stream: &EventStream, ops: &mut OpCount) -> Tensor {
+        let frame = self
+            .encoder()
+            .encode(stream.as_slice(), stream.resolution(), ops);
+        let n = frame.len() as u64;
+        ops.record_add(n); // power accumulation
+        ops.record_mult(2 * n); // squaring + scaling
+        normalize(&frame)
+    }
+
+    /// The trained network, if any.
+    pub fn network(&self) -> Option<&Sequential> {
+        self.net.as_ref()
+    }
+
+    /// Mutable access to the trained network (e.g. for pruning passes).
+    pub fn network_mut(&mut self) -> Option<&mut Sequential> {
+        self.net.as_mut()
+    }
+}
+
+impl EventClassifier for CnnPipeline {
+    fn name(&self) -> &'static str {
+        "cnn"
+    }
+
+    fn fit(&mut self, data: &Dataset) -> FitReport {
+        let mut rng = Rng64::seed_from_u64(self.seed);
+        self.resolution = data.resolution;
+        self.num_classes = data.num_classes;
+        let encoder = self.encoder();
+        let channels = encoder.channels();
+        let out_res = encoder.output_resolution(data.resolution);
+        let config = CnnConfig::small(
+            channels,
+            out_res.0.max(out_res.1) as usize,
+            data.num_classes,
+        )
+        .scaled(self.config.width);
+        let mut net = build_cnn(&config, &mut rng);
+        let mut ops = OpCount::new();
+        let samples: Vec<(Tensor, usize)> = data
+            .train
+            .iter()
+            .map(|s| (self.encode(&s.stream, &mut ops), s.label))
+            .collect();
+        let mut opt = Adam::new(self.config.lr);
+        let mut last_loss = 0.0;
+        for _ in 0..self.config.epochs {
+            for chunk in samples.chunks(self.config.batch) {
+                let (loss, _) = train_batch(&mut net, chunk, &mut opt, &mut ops);
+                last_loss = loss;
+            }
+        }
+        let train_accuracy = evaluate(&mut net, &samples, &mut ops);
+        self.net = Some(net);
+        FitReport {
+            train_accuracy,
+            final_loss: last_loss,
+            epochs: self.config.epochs,
+            train_ops: ops,
+        }
+    }
+
+    fn predict(&mut self, stream: &EventStream, ops: &mut OpCount) -> usize {
+        let frame = self.encode(stream, ops);
+        let net = self.net.as_mut().expect("fit before predict");
+        net.forward(&frame, ops).argmax()
+    }
+
+    fn preparation_ops(&mut self, stream: &EventStream) -> OpCount {
+        let mut ops = OpCount::new();
+        self.encode(stream, &mut ops);
+        ops
+    }
+
+    fn param_count(&self) -> usize {
+        self.net.as_ref().map(|n| n.param_count()).unwrap_or(0)
+    }
+
+    fn state_words(&self) -> usize {
+        // Deployed state: the frame buffer being accumulated.
+        let encoder = self.encoder();
+        let (w, h) = encoder.output_resolution(self.resolution);
+        encoder.channels() * w as usize * h as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::test_accuracy;
+    use evlab_datasets::shapes::shape_silhouettes;
+    use evlab_datasets::DatasetConfig;
+
+    fn tiny_data() -> Dataset {
+        shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(6, 2))
+    }
+
+    #[test]
+    fn cnn_pipeline_learns_shapes() {
+        let data = tiny_data();
+        let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(25), 1);
+        let report = clf.fit(&data);
+        assert!(report.train_accuracy > 0.7, "train acc {}", report.train_accuracy);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &data, &mut ops);
+        assert!(acc > 0.5, "test acc {acc} above 4-class chance");
+        assert!(clf.param_count() > 1_000);
+    }
+
+    #[test]
+    fn preparation_cost_is_per_event() {
+        let data = tiny_data();
+        let mut clf = CnnPipeline::new(CnnPipelineConfig::new(), 1);
+        let prep = clf.preparation_ops(&data.test[0].stream);
+        assert!(prep.adds >= data.test[0].stream.len() as u64);
+        assert_eq!(prep.macs, 0, "no network work during preparation");
+    }
+
+    #[test]
+    fn voxel_frames_have_more_channels() {
+        let clf2 = CnnPipeline::new(CnnPipelineConfig::new(), 1);
+        let clf5 = CnnPipeline::new(
+            CnnPipelineConfig::new().with_frame(FrameKind::VoxelGrid(5)),
+            1,
+        );
+        assert_eq!(clf2.encoder().channels(), 2);
+        assert_eq!(clf5.encoder().channels(), 5);
+    }
+
+    #[test]
+    fn hats_pipeline_trains_on_coarse_grid() {
+        let data = tiny_data();
+        let config = CnnPipelineConfig::new()
+            .with_frame(FrameKind::Hats { cell: 4 })
+            .with_epochs(20);
+        let mut clf = CnnPipeline::new(config, 2);
+        let report = clf.fit(&data);
+        assert!(report.train_accuracy > 0.5, "train acc {}", report.train_accuracy);
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &data, &mut ops);
+        assert!(acc > 0.25, "HATS test acc {acc} above chance");
+        // Coarse 4x4 cell grid: state buffer far smaller than pixel frames.
+        assert_eq!(clf.state_words(), 18 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before predict")]
+    fn predict_before_fit_panics() {
+        let data = tiny_data();
+        let mut clf = CnnPipeline::new(CnnPipelineConfig::new(), 1);
+        let mut ops = OpCount::new();
+        clf.predict(&data.test[0].stream, &mut ops);
+    }
+}

@@ -1,0 +1,643 @@
+//! The comparison runner: trains all three paradigms on one dataset and
+//! measures every Table I axis.
+
+use crate::cnn_pipeline::{CnnPipeline, CnnPipelineConfig};
+use crate::gnn_pipeline::{GnnPipeline, GnnPipelineConfig};
+use crate::metrics::{price_cnn, price_gnn, price_snn, time_to_decision_us, DeploymentStyle};
+use crate::pipeline::EventClassifier;
+use crate::snn_pipeline::{SnnPipeline, SnnPipelineConfig};
+use crate::table::{grade_row, Row, PAPER_GRADES};
+use evlab_datasets::Dataset;
+use evlab_events::{Event, EventStream};
+use evlab_tensor::OpCount;
+use evlab_util::Rng64;
+use serde::Serialize;
+
+/// Everything measured about one paradigm on one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParadigmMeasurement {
+    /// Paradigm name.
+    pub name: String,
+    /// Accuracy on the test split.
+    pub test_accuracy: f64,
+    /// Accuracy on the test split with per-sample timestamp scrambling —
+    /// the temporal-information probe.
+    pub scrambled_accuracy: f64,
+    /// Trainable parameters.
+    pub params: usize,
+    /// Deployed state words.
+    pub state_words: usize,
+    /// Data-preparation arithmetic per test sample.
+    pub prep_ops: f64,
+    /// Effective (executed) arithmetic per inference.
+    pub effective_ops: f64,
+    /// Nominal (dense-equivalent) arithmetic per inference.
+    pub nominal_ops: f64,
+    /// Fraction of nominal work skipped.
+    pub computation_sparsity: f64,
+    /// Cost ratio quiet/busy input: how much of the per-inference cost is
+    /// *fixed* rather than activity-proportional (1.0 = fully fixed, the
+    /// dense-frame failure mode; →0 = fully data-driven).
+    pub fixed_cost_fraction: f64,
+    /// Memory traffic per inference in bytes (32-bit words).
+    pub mem_bytes: f64,
+    /// Energy per inference on the paradigm's natural accelerator (µJ).
+    pub energy_uj: f64,
+    /// Time-to-decision latency (µs).
+    pub latency_us: f64,
+    /// Model memory footprint in bytes (params + state at 32 bit).
+    pub footprint_bytes: f64,
+    /// Accuracy per kiloparameter — the parameter-efficiency proxy used
+    /// for the scalability row.
+    pub accuracy_per_kparam: f64,
+}
+
+/// Configuration of the full comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonConfig {
+    /// CNN pipeline settings.
+    pub cnn: CnnPipelineConfig,
+    /// SNN pipeline settings.
+    pub snn: SnnPipelineConfig,
+    /// GNN pipeline settings.
+    pub gnn: GnnPipelineConfig,
+}
+
+impl ComparisonConfig {
+    /// Full-strength settings (for the release-mode table binary).
+    pub fn new() -> Self {
+        ComparisonConfig {
+            cnn: CnnPipelineConfig::new().with_epochs(30),
+            snn: SnnPipelineConfig::new().with_epochs(40),
+            gnn: GnnPipelineConfig::new().with_epochs(40),
+        }
+    }
+
+    /// Reduced settings for tests and smoke runs.
+    pub fn fast() -> Self {
+        ComparisonConfig {
+            cnn: CnnPipelineConfig::new().with_epochs(8),
+            snn: SnnPipelineConfig {
+                hidden: vec![32],
+                epochs: 10,
+                ..SnnPipelineConfig::new()
+            },
+            gnn: GnnPipelineConfig {
+                hidden: vec![12, 12],
+                epochs: 10,
+                max_nodes: 128,
+                ..GnnPipelineConfig::new()
+            },
+        }
+    }
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        ComparisonConfig::new()
+    }
+}
+
+/// The full dichotomy report: per-paradigm measurements plus the graded
+/// Table I rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct DichotomyReport {
+    /// Dataset the comparison ran on.
+    pub dataset: String,
+    /// Measurements in `[snn, cnn, gnn]` order.
+    pub paradigms: Vec<ParadigmMeasurement>,
+    /// The twelve graded rows of Table I.
+    pub rows: Vec<Row>,
+}
+
+impl DichotomyReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        crate::table::render(self)
+    }
+
+    /// Serializes the report to pretty JSON (for archiving measured
+    /// results alongside EXPERIMENTS.md).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for reports produced by [`ComparisonRunner::run`]
+    /// (all fields are serializable).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+}
+
+/// Scrambles event timing within a stream: timestamps keep their sorted
+/// order, but which (x, y, polarity) tuple occurs at which time is
+/// permuted. Spatial histograms are untouched; temporal structure is
+/// destroyed.
+pub fn scramble_times(stream: &EventStream, rng: &mut Rng64) -> EventStream {
+    let times: Vec<u64> = stream.iter().map(|e| e.t.as_micros()).collect();
+    let mut payloads: Vec<(u16, u16, evlab_events::Polarity)> =
+        stream.iter().map(|e| (e.x, e.y, e.polarity)).collect();
+    rng.shuffle(&mut payloads);
+    let events: Vec<Event> = times
+        .into_iter()
+        .zip(payloads)
+        .map(|(t, (x, y, p))| Event::new(t, x, y, p))
+        .collect();
+    EventStream::from_events(stream.resolution(), events).expect("times stay sorted")
+}
+
+/// Runs the three-paradigm comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRunner {
+    config: ComparisonConfig,
+}
+
+impl ComparisonRunner {
+    /// Creates a runner.
+    pub fn new(config: ComparisonConfig) -> Self {
+        ComparisonRunner { config }
+    }
+
+    fn measure(
+        &self,
+        clf: &mut dyn EventClassifier,
+        data: &Dataset,
+        style: DeploymentStyle,
+        seed: u64,
+    ) -> (ParadigmMeasurement, OpCount) {
+        clf.fit(data);
+        // Per-sample inference measurements.
+        let mut total_ops = OpCount::new();
+        let mut correct = 0usize;
+        for s in &data.test {
+            let mut ops = OpCount::new();
+            if clf.predict(&s.stream, &mut ops) == s.label {
+                correct += 1;
+            }
+            total_ops += ops;
+        }
+        let n = data.test.len().max(1) as f64;
+        let test_accuracy = correct as f64 / n;
+        // Temporal probe.
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x7E3A);
+        let mut scrambled_correct = 0usize;
+        for s in &data.test {
+            let scrambled = scramble_times(&s.stream, &mut rng);
+            let mut ops = OpCount::new();
+            if clf.predict(&scrambled, &mut ops) == s.label {
+                scrambled_correct += 1;
+            }
+        }
+        let scrambled_accuracy = scrambled_correct as f64 / n;
+        // Preparation cost.
+        let prep: f64 = data
+            .test
+            .iter()
+            .map(|s| clf.preparation_ops(&s.stream).total_arithmetic() as f64)
+            .sum::<f64>()
+            / n;
+        let effective_ops = total_ops.effective_arithmetic() as f64 / n;
+        let nominal_ops = total_ops.total_arithmetic() as f64 / n;
+        let params = clf.param_count();
+        let state_words = clf.state_words();
+        let footprint_bytes = (params + state_words) as f64 * 4.0;
+        // Paradigm-appropriate sparsity definition (trait override):
+        // skipped MACs for frame CNNs, skipped dense-equivalent synapses
+        // for SNNs, untouched pixel sites for GNNs.
+        let sparsity = data
+            .test
+            .first()
+            .map(|s| clf.computation_sparsity(&s.stream))
+            .unwrap_or(0.0);
+        // Data-sparsity exploitation: does cost track activity? Process a
+        // near-silent stream (first 2% of events) and the full stream and
+        // compare total work.
+        let fixed_cost_fraction = data
+            .test
+            .first()
+            .map(|s| {
+                let full = s.stream.clone();
+                let cutoff = full
+                    .as_slice()
+                    .get(full.len() / 50)
+                    .map(|e| e.t.as_micros() + 1)
+                    .unwrap_or(1);
+                let quiet = EventStream::from_events(
+                    full.resolution(),
+                    full.window(0, cutoff).to_vec(),
+                )
+                .expect("prefix stays sorted");
+                if quiet.is_empty() {
+                    return 1.0;
+                }
+                let mut ops_quiet = OpCount::new();
+                clf.predict(&quiet, &mut ops_quiet);
+                let mut ops_full = OpCount::new();
+                clf.predict(&full, &mut ops_full);
+                (ops_quiet.effective_arithmetic() as f64
+                    / ops_full.effective_arithmetic().max(1) as f64)
+                    .min(1.0)
+            })
+            .unwrap_or(1.0);
+        let measurement = ParadigmMeasurement {
+            name: clf.name().to_string(),
+            test_accuracy,
+            scrambled_accuracy,
+            params,
+            state_words,
+            prep_ops: prep,
+            effective_ops,
+            nominal_ops,
+            computation_sparsity: sparsity,
+            fixed_cost_fraction,
+            mem_bytes: total_ops.mem_bytes(4) as f64 / n,
+            energy_uj: 0.0,  // filled by the caller (accelerator-specific)
+            latency_us: 0.0, // filled by the caller
+            footprint_bytes,
+            accuracy_per_kparam: test_accuracy / (params.max(1) as f64 / 1000.0),
+        };
+        let style_latency = style;
+        let _ = style_latency;
+        (measurement, total_ops)
+    }
+
+    /// Trains and measures all three paradigms on `data`.
+    pub fn run(&self, data: &Dataset, seed: u64) -> DichotomyReport {
+        let n = data.test.len().max(1) as f64;
+        let mean_events: f64 = data
+            .test
+            .iter()
+            .map(|s| s.stream.len() as f64)
+            .sum::<f64>()
+            / n;
+
+        // --- SNN ---
+        let mut snn = SnnPipeline::new(self.config.snn.clone(), seed);
+        let dt_us = self.config.snn.dt_us as f64;
+        let (mut snn_m, snn_ops) = self.measure(
+            &mut snn,
+            data,
+            DeploymentStyle::Stepped { dt_us },
+            seed,
+        );
+        let mut per_sample_ops = scale_ops(&snn_ops, 1.0 / n);
+        let snn_cost = price_snn(&per_sample_ops, snn_m.params, snn_m.state_words);
+        snn_m.energy_uj = snn_cost.total_uj();
+        // Per-step latency: one timestep of work.
+        let steps = self.config.snn.steps.max(1) as f64;
+        let step_cost = price_snn(
+            &scale_ops(&per_sample_ops, 1.0 / steps),
+            snn_m.params,
+            snn_m.state_words,
+        );
+        snn_m.latency_us =
+            time_to_decision_us(DeploymentStyle::Stepped { dt_us }, step_cost.latency_us);
+
+        // --- CNN ---
+        let mut cnn = CnnPipeline::new(self.config.cnn, seed);
+        let window_us = data.duration_us as f64;
+        let (mut cnn_m, cnn_ops) = self.measure(
+            &mut cnn,
+            data,
+            DeploymentStyle::Framed { window_us },
+            seed,
+        );
+        per_sample_ops = scale_ops(&cnn_ops, 1.0 / n);
+        let cnn_cost = price_cnn(&per_sample_ops, cnn_m.params, cnn_m.computation_sparsity);
+        cnn_m.energy_uj = cnn_cost.total_uj();
+        cnn_m.latency_us = time_to_decision_us(
+            DeploymentStyle::Framed { window_us },
+            cnn_cost.latency_us,
+        );
+
+        // --- GNN ---
+        let mut gnn = GnnPipeline::new(self.config.gnn.clone(), seed);
+        let (mut gnn_m, gnn_ops) = self.measure(&mut gnn, data, DeploymentStyle::PerEvent, seed);
+        per_sample_ops = scale_ops(&gnn_ops, 1.0 / n);
+        // Edge count of a representative graph.
+        let mut probe_ops = OpCount::new();
+        let edges = data
+            .test
+            .first()
+            .map(|s| gnn.build_graph(&s.stream, &mut probe_ops).edge_count() as u64)
+            .unwrap_or(0);
+        let feature_dim = self.config.gnn.hidden.last().copied().unwrap_or(16);
+        let gnn_cost = price_gnn(
+            &per_sample_ops,
+            edges,
+            feature_dim,
+            gnn_m.params + gnn_m.state_words,
+        );
+        gnn_m.energy_uj = gnn_cost.total_uj();
+        // Per-event latency: the asynchronous update touches ~1/N of the
+        // batch work.
+        let per_event = scale_ops(&per_sample_ops, 1.0 / mean_events.max(1.0));
+        let per_event_cost = price_gnn(
+            &per_event,
+            (edges as f64 / mean_events.max(1.0)).ceil() as u64,
+            feature_dim,
+            gnn_m.params + gnn_m.state_words,
+        );
+        gnn_m.latency_us =
+            time_to_decision_us(DeploymentStyle::PerEvent, per_event_cost.latency_us);
+
+        let paradigms = vec![snn_m, cnn_m, gnn_m];
+        let rows = build_rows(&paradigms, data);
+        DichotomyReport {
+            dataset: data.name.clone(),
+            paradigms,
+            rows,
+        }
+    }
+}
+
+fn scale_ops(ops: &OpCount, factor: f64) -> OpCount {
+    let s = |v: u64| (v as f64 * factor).round() as u64;
+    OpCount {
+        macs: s(ops.macs),
+        effective_macs: s(ops.effective_macs),
+        mults: s(ops.mults),
+        adds: s(ops.adds),
+        comparisons: s(ops.comparisons),
+        mem_reads: s(ops.mem_reads),
+        mem_writes: s(ops.mem_writes),
+    }
+}
+
+fn build_rows(p: &[ParadigmMeasurement], data: &Dataset) -> Vec<Row> {
+    let (snn, cnn, gnn) = (&p[0], &p[1], &p[2]);
+    let mut rows = Vec::new();
+    // 1. Temporal information: accuracy retained above chance after
+    //    scrambling, inverted — higher means more temporal exploitation.
+    let chance = 1.0 / data.num_classes as f64;
+    let temporal = |m: &ParadigmMeasurement| {
+        let span = (m.test_accuracy - chance).max(1e-9);
+        ((m.test_accuracy - m.scrambled_accuracy) / span).clamp(0.0, 1.0)
+    };
+    rows.push(grade_row(
+        Row::new(
+            "Data - Exploit temporal information",
+            [temporal(snn), temporal(cnn), temporal(gnn)],
+            false,
+            "accuracy drop under time-scrambling (fraction of margin)",
+        ),
+        PAPER_GRADES[0],
+    ));
+    // 2. Data sparsity exploitation: fraction of the inference cost that is
+    //    fixed (paid even for a near-silent input). Frame pipelines pay the
+    //    dense grid regardless of activity; event-driven pipelines scale
+    //    with the data.
+    rows.push(grade_row(
+        Row::new(
+            "Data - Sparsity",
+            [
+                snn.fixed_cost_fraction,
+                cnn.fixed_cost_fraction,
+                gnn.fixed_cost_fraction,
+            ],
+            true,
+            "cost(quiet input) / cost(busy input) — fixed-cost fraction",
+        ),
+        PAPER_GRADES[1],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "Data - Preparation (down)",
+            [snn.prep_ops, cnn.prep_ops, gnn.prep_ops],
+            true,
+            "arithmetic ops to prepare one sample",
+        ),
+        PAPER_GRADES[2],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "Computation - Sparsity",
+            [
+                snn.computation_sparsity,
+                cnn.computation_sparsity,
+                gnn.computation_sparsity,
+            ],
+            false,
+            "fraction of nominal compute skipped",
+        ),
+        PAPER_GRADES[3],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "Computation - # Operations (down)",
+            [snn.effective_ops, cnn.effective_ops, gnn.effective_ops],
+            true,
+            "executed arithmetic per inference",
+        ),
+        PAPER_GRADES[4],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "Application - Accuracy",
+            [snn.test_accuracy, cnn.test_accuracy, gnn.test_accuracy],
+            false,
+            "test accuracy",
+        ),
+        PAPER_GRADES[5],
+    ));
+    // 7. Hardware maturity: survey constant (count of silicon-proven
+    //    accelerator families reviewed in §III/§IV).
+    rows.push(grade_row(
+        Row::new(
+            "Hardware - Maturity",
+            [2.0, 3.0, 0.0],
+            false,
+            "silicon-proven accelerator families (survey constant)",
+        ),
+        PAPER_GRADES[6],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "Memory - Footprint (down)",
+            [snn.footprint_bytes, cnn.footprint_bytes, gnn.footprint_bytes],
+            true,
+            "params + state, bytes",
+        ),
+        PAPER_GRADES[7],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "Memory - Bandwidth (down)",
+            [snn.mem_bytes, cnn.mem_bytes, gnn.mem_bytes],
+            true,
+            "bytes moved per inference",
+        ),
+        PAPER_GRADES[8],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "System - Energy Efficiency",
+            [
+                1.0 / snn.energy_uj.max(1e-12),
+                1.0 / cnn.energy_uj.max(1e-12),
+                1.0 / gnn.energy_uj.max(1e-12),
+            ],
+            false,
+            "inferences per uJ on the natural accelerator",
+        ),
+        PAPER_GRADES[9],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "System - Configurability / Scalability",
+            [
+                snn.accuracy_per_kparam,
+                cnn.accuracy_per_kparam,
+                gnn.accuracy_per_kparam,
+            ],
+            false,
+            "accuracy per kiloparameter (parameter-efficiency proxy)",
+        ),
+        PAPER_GRADES[10],
+    ));
+    rows.push(grade_row(
+        Row::new(
+            "System - Latency (down)",
+            [snn.latency_us, cnn.latency_us, gnn.latency_us],
+            true,
+            "time-to-decision, us",
+        ),
+        PAPER_GRADES[11],
+    ));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_datasets::shapes::shape_silhouettes;
+    use evlab_datasets::DatasetConfig;
+
+    #[test]
+    fn scramble_preserves_histogram_destroys_order() {
+        let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)));
+        let stream = &data.train[0].stream;
+        let mut rng = Rng64::seed_from_u64(1);
+        let scrambled = scramble_times(stream, &mut rng);
+        assert_eq!(scrambled.len(), stream.len());
+        assert_eq!(scrambled.duration_us(), stream.duration_us());
+        // Same spatial histogram.
+        let hist = |s: &EventStream| {
+            let mut h = vec![0u32; 256];
+            for e in s.iter() {
+                h[e.y as usize * 16 + e.x as usize] += 1;
+            }
+            h
+        };
+        assert_eq!(hist(stream), hist(&scrambled));
+        assert_ne!(stream, &scrambled, "order must change");
+    }
+
+    #[test]
+    fn full_comparison_produces_all_rows() {
+        let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(4, 2));
+        let runner = ComparisonRunner::new(ComparisonConfig::fast());
+        let report = runner.run(&data, 3);
+        assert_eq!(report.rows.len(), 12);
+        assert_eq!(report.paradigms.len(), 3);
+        for m in &report.paradigms {
+            assert!(m.test_accuracy >= 0.0 && m.test_accuracy <= 1.0);
+            assert!(m.energy_uj > 0.0, "{} energy", m.name);
+            assert!(m.latency_us > 0.0, "{} latency", m.name);
+            assert!(m.params > 0, "{} params", m.name);
+        }
+        let rendered = report.render();
+        assert!(rendered.contains("Latency"));
+        assert!(rendered.contains("snn") || rendered.contains("SNN"));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(2, 1));
+        let runner = ComparisonRunner::new(ComparisonConfig::fast());
+        let report = runner.run(&data, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"dataset\""));
+        assert!(json.contains("\"paradigms\""));
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(parsed["rows"].as_array().expect("rows").len(), 12);
+    }
+
+    #[test]
+    fn expected_shape_cnn_latency_worst() {
+        let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(4, 2));
+        let runner = ComparisonRunner::new(ComparisonConfig::fast());
+        let report = runner.run(&data, 3);
+        let (snn, cnn, gnn) = (
+            &report.paradigms[0],
+            &report.paradigms[1],
+            &report.paradigms[2],
+        );
+        // The robust shape claims of Table I:
+        assert!(
+            cnn.latency_us > snn.latency_us && cnn.latency_us > gnn.latency_us,
+            "frame latency must dominate: snn {} cnn {} gnn {}",
+            snn.latency_us,
+            cnn.latency_us,
+            gnn.latency_us
+        );
+        assert!(
+            cnn.prep_ops > snn.prep_ops,
+            "frame building beats spike binning: {} vs {}",
+            cnn.prep_ops,
+            snn.prep_ops
+        );
+        assert!(
+            cnn.nominal_ops > cnn.effective_ops,
+            "sparse frames must let the CNN skip work: {} vs {}",
+            cnn.nominal_ops,
+            cnn.effective_ops
+        );
+        // NOTE: at this tiny 16x16 scale the paper's "GNN needs orders of
+        // magnitude fewer operations" does NOT hold (128 graph nodes vs 256
+        // pixels); the crossover with resolution is asserted in
+        // `gnn_ops_advantage_grows_with_resolution` below and measured in
+        // the table1 bench at realistic sizes.
+        let _ = gnn;
+    }
+
+    #[test]
+    fn gnn_ops_advantage_grows_with_resolution() {
+        // Dense CNN work scales with pixel count; event-graph work scales
+        // with event count. Measure forward-pass ops of untrained models
+        // at two resolutions with the same number of events.
+        use evlab_cnn::model::{build_cnn, CnnConfig};
+        use evlab_gnn::build::{incremental_build, GraphConfig};
+        use evlab_gnn::network::{GnnConfig, GnnNetwork};
+        let mut rng = Rng64::seed_from_u64(9);
+        let ratio_at = |res: usize, rng: &mut Rng64| {
+            let mut cnn = build_cnn(&CnnConfig::small(2, res, 4), rng);
+            let mut ops_cnn = OpCount::new();
+            cnn.forward(
+                &evlab_tensor::Tensor::filled(&[2, res, res], 1.0),
+                &mut ops_cnn,
+            );
+            let events: Vec<Event> = (0..256u64)
+                .map(|i| {
+                    Event::new(
+                        i * 50,
+                        (i % res as u64) as u16,
+                        ((i * 7) % res as u64) as u16,
+                        evlab_events::Polarity::On,
+                    )
+                })
+                .collect();
+            let mut ops_gnn = OpCount::new();
+            let graph = incremental_build(&events, &GraphConfig::new(), &mut ops_gnn);
+            let mut gnn = GnnNetwork::new(&GnnConfig::new(4), rng);
+            gnn.forward(&graph, &mut ops_gnn);
+            ops_cnn.total_arithmetic() as f64 / ops_gnn.total_arithmetic() as f64
+        };
+        let r32 = ratio_at(32, &mut rng);
+        let r64 = ratio_at(64, &mut rng);
+        assert!(
+            r64 > 2.0 * r32,
+            "CNN/GNN ops ratio must grow ~4x per resolution doubling: {r32} -> {r64}"
+        );
+        assert!(r64 > 2.0, "at 64x64 the GNN is already cheaper: {r64}");
+    }
+}

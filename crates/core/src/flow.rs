@@ -1,0 +1,300 @@
+//! Event-based optical-flow estimation (paper §IV task list, [53],[57],[72]).
+//!
+//! Two estimators over the [`FlowDataset`]:
+//!
+//! * [`plane_fit_flow`] — the classical local-plane-fit method: moving
+//!   edges trace planes in (x, y, t) space, and the gradient of the local
+//!   time surface is the inverse normal velocity. No learning; the
+//!   domain baseline every event-flow paper compares against.
+//! * [`GnnFlowRegressor`] — an event-graph network with a 2-output
+//!   regression head trained with MSE, predicting the global (vx, vy):
+//!   the §IV "event-GNNs do flow" claim in miniature.
+
+use evlab_datasets::flow::{FlowDataset, FlowSample};
+use evlab_events::EventStream;
+use evlab_gnn::build::GraphConfig;
+use evlab_gnn::network::{GnnConfig, GnnNetwork};
+use evlab_gnn::EventGraph;
+use evlab_tensor::loss::mse;
+use evlab_tensor::optim::{Adam, Optimizer};
+use evlab_tensor::{OpCount, Tensor};
+use evlab_util::Rng64;
+
+/// Endpoint error between an estimate and the ground truth, in px/µs.
+pub fn endpoint_error(estimate: (f64, f64), truth: (f64, f64)) -> f64 {
+    ((estimate.0 - truth.0).powi(2) + (estimate.1 - truth.1).powi(2)).sqrt()
+}
+
+/// Classical plane-fit flow: for each event, least-squares fit
+/// `t = a + b·x + c·y` over the recent events in its spatial
+/// neighbourhood; the local normal flow is `(b, c) / (b² + c²)`. The
+/// global estimate is the component-wise median of the local fits (robust
+/// to the aperture problem on textured scenes).
+///
+/// Returns `None` when fewer than `min_fits` neighbourhoods produce a
+/// stable fit.
+pub fn plane_fit_flow(
+    stream: &EventStream,
+    radius: u16,
+    window_us: u64,
+    min_fits: usize,
+) -> Option<(f64, f64)> {
+    let (w, h) = stream.resolution();
+    // Polarity-separated time surfaces: ON and OFF edges trace *different*
+    // planes (offset by the object width over speed); mixing them corrupts
+    // the fit.
+    let mut last: Vec<Option<u64>> = vec![None; 2 * w as usize * h as usize];
+    let mut vx = Vec::new();
+    let mut vy = Vec::new();
+    for e in stream.iter() {
+        let p = e.polarity.channel();
+        // Gather the most recent same-polarity timestamps nearby.
+        let mut pts: Vec<(f64, f64, f64)> = Vec::new();
+        for dy in -(radius as i32)..=radius as i32 {
+            for dx in -(radius as i32)..=radius as i32 {
+                let nx = e.x as i32 + dx;
+                let ny = e.y as i32 + dy;
+                if nx < 0 || ny < 0 || nx >= w as i32 || ny >= h as i32 {
+                    continue;
+                }
+                let idx = (p * h as usize + ny as usize) * w as usize + nx as usize;
+                if let Some(t) = last[idx] {
+                    if e.t.as_micros().saturating_sub(t) <= window_us {
+                        pts.push((nx as f64, ny as f64, t as f64));
+                    }
+                }
+            }
+        }
+        last[(p * h as usize + e.y as usize) * w as usize + e.x as usize] =
+            Some(e.t.as_micros());
+        if pts.len() < 6 {
+            continue;
+        }
+        if let Some((b, c)) = fit_plane(&pts) {
+            let mag_sq = b * b + c * c;
+            // Reject near-flat fits (no motion information) and absurd
+            // slopes (noise). Slopes are in us/px: accept speeds in
+            // [1e-4, 0.1] px/us.
+            if (1e2..1e8).contains(&mag_sq) {
+                vx.push(b / mag_sq);
+                vy.push(c / mag_sq);
+            }
+        }
+    }
+    if vx.len() < min_fits {
+        return None;
+    }
+    Some((median(&mut vx), median(&mut vy)))
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values[values.len() / 2]
+}
+
+/// Least-squares plane `t = a + b x + c y`; returns `(b, c)`.
+fn fit_plane(pts: &[(f64, f64, f64)]) -> Option<(f64, f64)> {
+    let n = pts.len() as f64;
+    let (mut sx, mut sy, mut st) = (0.0, 0.0, 0.0);
+    for &(x, y, t) in pts {
+        sx += x;
+        sy += y;
+        st += t;
+    }
+    let (mx, my, mt) = (sx / n, sy / n, st / n);
+    let (mut sxx, mut sxy, mut syy, mut sxt, mut syt) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(x, y, t) in pts {
+        let (dx, dy, dt) = (x - mx, y - my, t - mt);
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+        sxt += dx * dt;
+        syt += dy * dt;
+    }
+    let det = sxx * syy - sxy * sxy;
+    if det.abs() < 1e-9 {
+        return None;
+    }
+    Some(((syt * -sxy + sxt * syy) / det, (syt * sxx - sxt * sxy) / det))
+}
+
+/// Evaluates the plane-fit estimator over a dataset; returns the mean
+/// endpoint error in px/µs (skipped samples count as the mean speed —
+/// the "predict nothing" penalty).
+pub fn plane_fit_epe(data: &FlowDataset, radius: u16, window_us: u64) -> f64 {
+    let fallback = data.mean_speed();
+    let samples: Vec<&FlowSample> = data.test.iter().collect();
+    let mut total = 0.0;
+    for s in &samples {
+        let err = match plane_fit_flow(&s.stream, radius, window_us, 10) {
+            Some(est) => endpoint_error(est, s.velocity),
+            None => fallback,
+        };
+        total += err;
+    }
+    total / samples.len().max(1) as f64
+}
+
+/// An event-graph flow regressor: graph convolutions + mean pooling + a
+/// 2-output linear head trained with MSE.
+pub struct GnnFlowRegressor {
+    net: GnnNetwork,
+    graph: GraphConfig,
+    max_nodes: usize,
+    /// Velocity normalization: targets are divided by this scale during
+    /// training (px/µs).
+    pub velocity_scale: f64,
+}
+
+impl GnnFlowRegressor {
+    /// Creates an untrained regressor.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed);
+        GnnFlowRegressor {
+            net: GnnNetwork::new(&GnnConfig::new(2).with_hidden(vec![16, 16]), &mut rng),
+            graph: GraphConfig::new(),
+            max_nodes: 256,
+            velocity_scale: 0.003,
+        }
+    }
+
+    fn build_graph(&self, stream: &EventStream, ops: &mut OpCount) -> EventGraph {
+        let events = stream.as_slice();
+        let sampled: Vec<_> = if events.len() <= self.max_nodes {
+            events.to_vec()
+        } else {
+            let stride = events.len() as f64 / self.max_nodes as f64;
+            (0..self.max_nodes)
+                .map(|i| events[(i as f64 * stride) as usize])
+                .collect()
+        };
+        evlab_gnn::build::incremental_build(&sampled, &self.graph, ops)
+    }
+
+    /// Predicts `(vx, vy)` in px/µs.
+    pub fn predict(&mut self, stream: &EventStream, ops: &mut OpCount) -> (f64, f64) {
+        let graph = self.build_graph(stream, ops);
+        if graph.node_count() == 0 {
+            return (0.0, 0.0);
+        }
+        let out = self.net.forward(&graph, ops);
+        (
+            out.as_slice()[0] as f64 * self.velocity_scale,
+            out.as_slice()[1] as f64 * self.velocity_scale,
+        )
+    }
+
+    /// Trains for `epochs` over the dataset's training split; returns the
+    /// final mean training loss.
+    pub fn fit(&mut self, data: &FlowDataset, epochs: usize, ops: &mut OpCount) -> f32 {
+        let graphs: Vec<(EventGraph, Tensor)> = data
+            .train
+            .iter()
+            .filter(|s| !s.stream.is_empty())
+            .map(|s| {
+                let target = Tensor::from_vec(
+                    &[2],
+                    vec![
+                        (s.velocity.0 / self.velocity_scale) as f32,
+                        (s.velocity.1 / self.velocity_scale) as f32,
+                    ],
+                )
+                .expect("shape");
+                (self.build_graph(&s.stream, ops), target)
+            })
+            .collect();
+        let mut opt = Adam::new(0.01);
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            let mut loss_sum = 0.0;
+            for (graph, target) in &graphs {
+                let out = self.net.forward(graph, ops);
+                let (loss, grad) = mse(&out, target);
+                loss_sum += loss;
+                self.net.backward(graph, &grad, ops);
+                let mut params = self.net.params_mut();
+                let scale = 1.0;
+                for p in params.iter_mut() {
+                    p.grad.scale_assign(scale);
+                }
+                opt.step(&mut params);
+            }
+            last = loss_sum / graphs.len().max(1) as f32;
+        }
+        last
+    }
+
+    /// Mean endpoint error over the test split, px/µs.
+    pub fn epe(&mut self, data: &FlowDataset, ops: &mut OpCount) -> f64 {
+        let mut total = 0.0;
+        for s in &data.test {
+            let est = self.predict(&s.stream, ops);
+            total += endpoint_error(est, s.velocity);
+        }
+        total / data.test.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_datasets::DatasetConfig;
+    use evlab_sensor::scene::MovingBar;
+    use evlab_sensor::{CameraConfig, EventCamera, PixelConfig};
+
+    #[test]
+    fn plane_fit_recovers_bar_velocity() {
+        // A vertical bar sweeping at a known speed: the time surface is an
+        // exact plane t = x / v.
+        let v = 0.002; // px/us
+        let camera = EventCamera::new(
+            CameraConfig::new((48, 16)).with_pixel(PixelConfig::ideal()),
+        );
+        let stream = camera.record(&MovingBar::horizontal(v, 3.0), 0, 20_000, 1);
+        let (vx, vy) =
+            plane_fit_flow(&stream, 3, 5_000, 10).expect("enough structure");
+        assert!(
+            (vx - v).abs() < 0.3 * v,
+            "vx {vx} vs truth {v}"
+        );
+        assert!(vy.abs() < 0.3 * v, "vy {vy} should be ~0");
+    }
+
+    #[test]
+    fn plane_fit_beats_blind_guess_on_texture() {
+        let config = DatasetConfig::tiny((32, 32)).with_split(2, 3);
+        let data = evlab_datasets::flow::translating_texture(&config);
+        let epe = plane_fit_epe(&data, 2, 3_000);
+        let blind = data.mean_speed(); // error of predicting zero motion
+        assert!(
+            epe < blind,
+            "plane fit EPE {epe} must beat zero-motion {blind}"
+        );
+    }
+
+    #[test]
+    fn gnn_regressor_learns_flow() {
+        let config = DatasetConfig::tiny((32, 32)).with_split(4, 2);
+        let data = evlab_datasets::flow::translating_texture(&config);
+        let mut ops = OpCount::new();
+        let mut reg = GnnFlowRegressor::new(3);
+        let before = reg.epe(&data, &mut ops);
+        let final_loss = reg.fit(&data, 30, &mut ops);
+        let after = reg.epe(&data, &mut ops);
+        assert!(
+            after < before,
+            "training must reduce EPE: {before} -> {after} (loss {final_loss})"
+        );
+        assert!(
+            after < data.mean_speed(),
+            "EPE {after} must beat zero-motion {}",
+            data.mean_speed()
+        );
+    }
+
+    #[test]
+    fn endpoint_error_is_a_metric() {
+        assert_eq!(endpoint_error((1.0, 0.0), (1.0, 0.0)), 0.0);
+        assert!((endpoint_error((0.0, 0.0), (3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! The dichotomy framework — the paper's central contribution, made
+//! executable.
+//!
+//! The paper compares three ways of processing event-camera data (dense
+//! frame CNNs, SNNs, event-graph GNNs) along twelve qualitative axes
+//! (its Table I). This crate turns that comparison into a measurement:
+//!
+//! * [`pipeline::EventClassifier`] — one trait unifying the three
+//!   paradigms: fit on an event [`Dataset`], predict on an event stream,
+//!   report parameters/state and per-inference operation counts.
+//! * [`cnn_pipeline`], [`snn_pipeline`], [`gnn_pipeline`] — the three
+//!   implementations, each assembled from the corresponding paradigm crate.
+//! * [`metrics`] — the system-level metrics of Table I: time-to-decision
+//!   latency, preparation cost, sparsity, memory traffic.
+//! * [`dichotomy`] — [`dichotomy::ComparisonRunner`]: trains all three on
+//!   the same dataset and measures every axis.
+//! * [`table`] — renders the measured Table I with derived `++`/`+`/`−`
+//!   grades next to the paper's published grades.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use evlab_core::dichotomy::{ComparisonConfig, ComparisonRunner};
+//! use evlab_datasets::{shapes::shape_silhouettes, DatasetConfig};
+//!
+//! let data = shape_silhouettes(&DatasetConfig::new((32, 32)));
+//! let runner = ComparisonRunner::new(ComparisonConfig::fast());
+//! let report = runner.run(&data, 42);
+//! println!("{}", report.render());
+//! ```
+
+pub mod cnn_pipeline;
+pub mod dichotomy;
+pub mod flow;
+pub mod gnn_pipeline;
+pub mod metrics;
+pub mod pipeline;
+pub mod snn_pipeline;
+pub mod table;
+
+pub use dichotomy::{ComparisonConfig, ComparisonRunner, DichotomyReport};
+pub use evlab_datasets::Dataset;
+pub use pipeline::{EventClassifier, FitReport};

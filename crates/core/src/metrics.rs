@@ -1,0 +1,111 @@
+//! System-level metrics for the Table I comparison.
+
+use evlab_hw::energy::EnergyModel;
+use evlab_hw::gnn_accel::{GnnAccelerator, GnnDeployment};
+use evlab_hw::snn_core::{NeuromorphicCore, UpdatePolicy};
+use evlab_hw::zeroskip::ZeroSkipAccelerator;
+use evlab_hw::CostReport;
+use evlab_tensor::OpCount;
+
+/// How a paradigm is deployed, for latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeploymentStyle {
+    /// Frame-based: decisions only when a window closes.
+    Framed {
+        /// Frame period in microseconds.
+        window_us: f64,
+    },
+    /// Clocked event-driven: decisions every timestep.
+    Stepped {
+        /// Timestep in microseconds.
+        dt_us: f64,
+    },
+    /// Fully event-driven: a decision after every event.
+    PerEvent,
+}
+
+/// Time-to-decision latency: how long after the *decisive* event arrives
+/// can the system react, given its deployment style and its compute
+/// latency for one decision.
+///
+/// * Framed: on average half a window of waiting, plus preparation and a
+///   full inference.
+/// * Stepped: half a timestep plus one step of computation.
+/// * Per-event: just the per-event computation.
+pub fn time_to_decision_us(style: DeploymentStyle, compute_latency_us: f64) -> f64 {
+    match style {
+        DeploymentStyle::Framed { window_us } => window_us / 2.0 + compute_latency_us,
+        DeploymentStyle::Stepped { dt_us } => dt_us / 2.0 + compute_latency_us,
+        DeploymentStyle::PerEvent => compute_latency_us,
+    }
+}
+
+/// Prices an SNN inference on the digital neuromorphic core.
+pub fn price_snn(ops: &OpCount, param_words: usize, state_words: usize) -> CostReport {
+    NeuromorphicCore::new(EnergyModel::nm45(), UpdatePolicy::Clocked)
+        .price(ops, state_words, param_words)
+}
+
+/// Prices a CNN inference on the zero-skipping accelerator.
+///
+/// `activation_sparsity` feeds the compression model (NullHop stores
+/// feature maps compressed).
+pub fn price_cnn(ops: &OpCount, param_words: usize, activation_sparsity: f64) -> CostReport {
+    let compression = 1.0 / (1.0 - activation_sparsity.clamp(0.0, 0.95) + 0.0625);
+    ZeroSkipAccelerator::new(EnergyModel::nm45()).price(ops, 0.0, compression.max(1.0), param_words)
+}
+
+/// Prices a GNN inference on the edge graph accelerator.
+pub fn price_gnn(
+    ops: &OpCount,
+    edges: u64,
+    feature_dim: usize,
+    graph_words: usize,
+) -> CostReport {
+    GnnAccelerator::new(EnergyModel::nm45(), GnnDeployment::Edge)
+        .price(ops, edges, feature_dim, graph_words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framed_latency_dominated_by_window() {
+        let framed = time_to_decision_us(DeploymentStyle::Framed { window_us: 30_000.0 }, 100.0);
+        let per_event = time_to_decision_us(DeploymentStyle::PerEvent, 100.0);
+        assert!(framed > 100.0 * per_event);
+        assert_eq!(per_event, 100.0);
+    }
+
+    #[test]
+    fn stepped_latency_between_the_two() {
+        let framed = time_to_decision_us(DeploymentStyle::Framed { window_us: 30_000.0 }, 10.0);
+        let stepped = time_to_decision_us(DeploymentStyle::Stepped { dt_us: 2_000.0 }, 10.0);
+        let per_event = time_to_decision_us(DeploymentStyle::PerEvent, 10.0);
+        assert!(per_event < stepped && stepped < framed);
+    }
+
+    #[test]
+    fn pricing_functions_produce_nonzero_costs() {
+        let mut ops = OpCount::new();
+        ops.record_mac(10_000, 5_000);
+        ops.record_add(1_000);
+        let snn = price_snn(&ops, 10_000, 1_000);
+        let cnn = price_cnn(&ops, 10_000, 0.5);
+        let gnn = price_gnn(&ops, 2_000, 16, 20_000);
+        for (name, r) in [("snn", snn), ("cnn", cnn), ("gnn", gnn)] {
+            assert!(r.total_pj() > 0.0, "{name} zero energy");
+            assert!(r.latency_us > 0.0, "{name} zero latency");
+        }
+    }
+
+    #[test]
+    fn cnn_compression_grows_with_sparsity() {
+        let mut ops = OpCount::new();
+        ops.record_mac(100_000, 50_000);
+        let dense = price_cnn(&ops, 10_000, 0.0);
+        let sparse = price_cnn(&ops, 10_000, 0.9);
+        assert!(sparse.memory_pj < dense.memory_pj);
+    }
+}

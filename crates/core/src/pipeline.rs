@@ -1,0 +1,146 @@
+//! The unified event-classifier interface.
+
+use evlab_datasets::Dataset;
+use evlab_events::EventStream;
+use evlab_tensor::OpCount;
+
+/// Summary of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Final training accuracy.
+    pub train_accuracy: f32,
+    /// Final mean training loss.
+    pub final_loss: f32,
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Total training operation counts.
+    pub train_ops: OpCount,
+}
+
+/// A classifier consuming raw event streams — the common interface the
+/// dichotomy comparison runs against.
+pub trait EventClassifier {
+    /// Paradigm name ("snn", "cnn", "gnn").
+    fn name(&self) -> &'static str;
+
+    /// Trains on the dataset's training split.
+    fn fit(&mut self, data: &Dataset) -> FitReport;
+
+    /// Predicts the class of one event stream, recording *all* work —
+    /// including data preparation (frame building, spike binning, graph
+    /// construction) — into `ops`.
+    fn predict(&mut self, stream: &EventStream, ops: &mut OpCount) -> usize;
+
+    /// Operation count of the data-preparation stage alone for one stream.
+    fn preparation_ops(&mut self, stream: &EventStream) -> OpCount;
+
+    /// Trainable parameter count.
+    fn param_count(&self) -> usize;
+
+    /// Persistent state words the deployed model must hold besides
+    /// parameters (membranes, cached features, frame buffers).
+    fn state_words(&self) -> usize;
+
+    /// Fraction of nominal compute skipped thanks to sparsity on a probe
+    /// stream, in `[0, 1]`.
+    fn computation_sparsity(&mut self, stream: &EventStream) -> f64 {
+        let mut ops = OpCount::new();
+        self.predict(stream, &mut ops);
+        1.0 - ops.effective_arithmetic() as f64 / ops.total_arithmetic().max(1) as f64
+    }
+}
+
+/// Evaluates accuracy of a classifier over the dataset's test split,
+/// accumulating inference ops.
+pub fn test_accuracy(
+    clf: &mut dyn EventClassifier,
+    data: &Dataset,
+    ops: &mut OpCount,
+) -> f32 {
+    if data.test.is_empty() {
+        return 0.0;
+    }
+    let correct = data
+        .test
+        .iter()
+        .filter(|s| clf.predict(&s.stream, ops) == s.label)
+        .count();
+    correct as f32 / data.test.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_datasets::EventSample;
+    use evlab_events::{Event, Polarity};
+
+    /// A trivial classifier that counts events (even → 0, odd → 1).
+    struct ParityClassifier;
+
+    impl EventClassifier for ParityClassifier {
+        fn name(&self) -> &'static str {
+            "parity"
+        }
+        fn fit(&mut self, _data: &Dataset) -> FitReport {
+            FitReport {
+                train_accuracy: 1.0,
+                final_loss: 0.0,
+                epochs: 0,
+                train_ops: OpCount::new(),
+            }
+        }
+        fn predict(&mut self, stream: &EventStream, ops: &mut OpCount) -> usize {
+            ops.record_add(stream.len() as u64);
+            stream.len() % 2
+        }
+        fn preparation_ops(&mut self, _stream: &EventStream) -> OpCount {
+            OpCount::new()
+        }
+        fn param_count(&self) -> usize {
+            0
+        }
+        fn state_words(&self) -> usize {
+            1
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let make = |n: usize| {
+            EventStream::from_events(
+                (4, 4),
+                (0..n as u64).map(|i| Event::new(i, 0, 0, Polarity::On)).collect(),
+            )
+            .expect("ok")
+        };
+        Dataset {
+            name: "parity".into(),
+            num_classes: 2,
+            class_names: vec!["even".into(), "odd".into()],
+            resolution: (4, 4),
+            duration_us: 10,
+            train: vec![],
+            test: vec![
+                EventSample { stream: make(2), label: 0 },
+                EventSample { stream: make(3), label: 1 },
+                EventSample { stream: make(4), label: 1 }, // mislabeled
+            ],
+        }
+    }
+
+    #[test]
+    fn test_accuracy_counts_correct_predictions() {
+        let mut clf = ParityClassifier;
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(&mut clf, &dataset(), &mut ops);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(ops.adds, 9);
+    }
+
+    #[test]
+    fn default_sparsity_from_op_profile() {
+        let mut clf = ParityClassifier;
+        let s = clf.computation_sparsity(&dataset().test[0].stream);
+        // record_add counts as effective work: no sparsity.
+        assert_eq!(s, 0.0);
+    }
+}

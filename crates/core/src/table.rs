@@ -1,0 +1,194 @@
+//! Rendering the measured Table I.
+
+use serde::Serialize;
+
+/// The paper's published qualitative grades, `[SNN, CNN, GNN]` per row, in
+/// the row order of Table I.
+pub const PAPER_GRADES: [[&str; 3]; 12] = [
+    ["++", "-", "++"],     // Exploit temporal information
+    ["++", "-", "++"],     // Data sparsity
+    ["++", "+", "-"],      // Data preparation (lower better)
+    ["++", "+", "++"],     // Computation sparsity
+    ["+", "-", "++"],      // # Operations (lower better)
+    ["-", "+", "++"],      // Accuracy
+    ["+", "++", "-"],      // Hardware maturity
+    ["+", "++", "?"],      // Memory footprint
+    ["+", "-", "?"],       // Memory bandwidth
+    ["++", "+", "?"],      // Energy efficiency
+    ["-", "++", "++ (?)"], // Configurability / scalability
+    ["++", "-", "++ (?)"], // Latency
+];
+
+/// One measured row of the comparison table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (matching the paper's).
+    pub label: String,
+    /// Measured values in `[snn, cnn, gnn]` order.
+    pub values: [f64; 3],
+    /// Whether lower values are better for this axis.
+    pub lower_is_better: bool,
+    /// What the values mean.
+    pub unit: String,
+    /// Derived grades in `[snn, cnn, gnn]` order.
+    pub grades: [String; 3],
+    /// The paper's published grades.
+    pub paper: [String; 3],
+}
+
+impl Row {
+    /// Creates an ungraded row.
+    pub fn new(label: &str, values: [f64; 3], lower_is_better: bool, unit: &str) -> Self {
+        Row {
+            label: label.to_string(),
+            values,
+            lower_is_better,
+            unit: unit.to_string(),
+            grades: Default::default(),
+            paper: Default::default(),
+        }
+    }
+}
+
+/// Derives `++`/`+`/`-` grades from the measured values: the best value
+/// gets `++`, anything within 3× (or 75 % for higher-is-better fractions)
+/// of the best gets `+`, the rest `-`. Ties share grades.
+pub fn grade_row(mut row: Row, paper: [&str; 3]) -> Row {
+    let best = if row.lower_is_better {
+        row.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12)
+    } else {
+        row.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    };
+    for (i, &v) in row.values.iter().enumerate() {
+        let ratio = if row.lower_is_better {
+            v / best
+        } else if v <= 0.0 {
+            f64::INFINITY
+        } else {
+            best / v
+        };
+        row.grades[i] = if ratio <= 1.25 {
+            "++".to_string()
+        } else if ratio <= 4.0 {
+            "+".to_string()
+        } else {
+            "-".to_string()
+        };
+    }
+    row.paper = [
+        paper[0].to_string(),
+        paper[1].to_string(),
+        paper[2].to_string(),
+    ];
+    row
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-2 {
+        format!("{v:.2e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders the full report as an aligned text table.
+pub fn render(report: &crate::dichotomy::DichotomyReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table I (measured) — dataset: {}\n\n",
+        report.dataset
+    ));
+    out.push_str(&format!(
+        "{:<42} {:>12} {:>12} {:>12}   {:<17} {:<17}\n",
+        "Axis", "SNN", "CNN", "GNN", "measured grades", "paper grades"
+    ));
+    out.push_str(&"-".repeat(120));
+    out.push('\n');
+    for row in &report.rows {
+        out.push_str(&format!(
+            "{:<42} {:>12} {:>12} {:>12}   {:<17} {:<17}\n",
+            row.label,
+            fmt_value(row.values[0]),
+            fmt_value(row.values[1]),
+            fmt_value(row.values[2]),
+            format!("{}/{}/{}", row.grades[0], row.grades[1], row.grades[2]),
+            format!("{}/{}/{}", row.paper[0], row.paper[1], row.paper[2]),
+        ));
+        out.push_str(&format!("{:<42} ({})\n", "", row.unit));
+    }
+    out.push('\n');
+    out.push_str("Paradigm summaries:\n");
+    for m in &report.paradigms {
+        out.push_str(&format!(
+            "  {:<4} acc {:.2} (scrambled {:.2}), params {}, state {} words, {:.1} ops/inf, {:.3} uJ, {:.1} us latency\n",
+            m.name,
+            m.test_accuracy,
+            m.scrambled_accuracy,
+            m.params,
+            m.state_words,
+            m.effective_ops,
+            m.energy_uj,
+            m.latency_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grading_orders_correctly_lower_better() {
+        let row = grade_row(
+            Row::new("ops", [100.0, 1000.0, 110.0], true, "ops"),
+            ["+", "-", "++"],
+        );
+        assert_eq!(row.grades[0], "++");
+        assert_eq!(row.grades[1], "-");
+        assert_eq!(row.grades[2], "++");
+        assert_eq!(row.paper[2], "++");
+    }
+
+    #[test]
+    fn grading_orders_correctly_higher_better() {
+        let row = grade_row(
+            Row::new("acc", [0.5, 0.9, 0.3], false, "accuracy"),
+            ["-", "+", "++"],
+        );
+        assert_eq!(row.grades[1], "++");
+        assert_eq!(row.grades[0], "+");
+        assert_eq!(row.grades[2], "+");
+    }
+
+    #[test]
+    fn zero_values_grade_worst_when_higher_better() {
+        let row = grade_row(
+            Row::new("x", [0.0, 1.0, 0.5], false, "u"),
+            ["-", "-", "-"],
+        );
+        assert_eq!(row.grades[0], "-");
+        assert_eq!(row.grades[1], "++");
+    }
+
+    #[test]
+    fn formatting_covers_ranges() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert!(fmt_value(1.5e9).contains('e'));
+        assert_eq!(fmt_value(123.0), "123");
+        assert_eq!(fmt_value(0.5), "0.500");
+    }
+
+    #[test]
+    fn paper_grades_cover_all_rows() {
+        assert_eq!(PAPER_GRADES.len(), 12);
+    }
+}

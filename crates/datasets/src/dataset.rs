@@ -1,0 +1,204 @@
+//! Dataset container types.
+
+use evlab_events::EventStream;
+use serde::{Deserialize, Serialize};
+
+/// One labelled event recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSample {
+    /// The recorded event stream, rebased to start at t = 0.
+    pub stream: EventStream,
+    /// Class index in `[0, num_classes)`.
+    pub label: usize,
+}
+
+/// A labelled dataset with train/test splits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: String,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Human-readable class names (length `num_classes`).
+    pub class_names: Vec<String>,
+    /// Sensor resolution shared by all samples.
+    pub resolution: (u16, u16),
+    /// Duration of each sample in microseconds.
+    pub duration_us: u64,
+    /// Training split.
+    pub train: Vec<EventSample>,
+    /// Test split.
+    pub test: Vec<EventSample>,
+}
+
+impl Dataset {
+    /// Mean events per sample across both splits (0 when empty).
+    pub fn mean_events_per_sample(&self) -> f64 {
+        let total: usize = self
+            .train
+            .iter()
+            .chain(&self.test)
+            .map(|s| s.stream.len())
+            .sum();
+        let n = self.train.len() + self.test.len();
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+
+    /// Per-class sample counts over the training split.
+    pub fn train_class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for s in &self.train {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// Validates internal consistency (labels in range, resolutions match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency; meant for tests and generator
+    /// debugging.
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.class_names.len(), self.num_classes);
+        for s in self.train.iter().chain(&self.test) {
+            assert!(s.label < self.num_classes, "label out of range");
+            assert_eq!(s.stream.resolution(), self.resolution);
+        }
+    }
+}
+
+/// Generator configuration shared by all dataset families.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Sensor resolution.
+    pub resolution: (u16, u16),
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Sample duration in microseconds.
+    pub duration_us: u64,
+    /// Master seed; every sample derives its own stream from it.
+    pub seed: u64,
+    /// Whether to simulate sensor noise (leak events, threshold mismatch,
+    /// jitter). Noiseless data is useful for algorithm unit tests.
+    pub noisy: bool,
+}
+
+impl DatasetConfig {
+    /// A small default: 8 train + 2 test samples per class, 30 ms samples.
+    pub fn new(resolution: (u16, u16)) -> Self {
+        DatasetConfig {
+            resolution,
+            train_per_class: 8,
+            test_per_class: 2,
+            duration_us: 30_000,
+            seed: 0x0E01_1AB5,
+            noisy: true,
+        }
+    }
+
+    /// A minimal configuration for unit tests: 2 train + 1 test per class,
+    /// 20 ms, noiseless.
+    pub fn tiny(resolution: (u16, u16)) -> Self {
+        DatasetConfig {
+            resolution,
+            train_per_class: 2,
+            test_per_class: 1,
+            duration_us: 20_000,
+            seed: 7,
+            noisy: false,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with different split sizes.
+    pub fn with_split(mut self, train_per_class: usize, test_per_class: usize) -> Self {
+        self.train_per_class = train_per_class;
+        self.test_per_class = test_per_class;
+        self
+    }
+
+    /// Returns a copy with noise enabled or disabled.
+    pub fn with_noise(mut self, noisy: bool) -> Self {
+        self.noisy = noisy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::{Event, Polarity};
+
+    fn tiny_dataset() -> Dataset {
+        let stream = EventStream::from_events(
+            (8, 8),
+            vec![Event::new(0, 1, 1, Polarity::On)],
+        )
+        .expect("ok");
+        Dataset {
+            name: "toy".into(),
+            num_classes: 2,
+            class_names: vec!["a".into(), "b".into()],
+            resolution: (8, 8),
+            duration_us: 100,
+            train: vec![
+                EventSample {
+                    stream: stream.clone(),
+                    label: 0,
+                },
+                EventSample {
+                    stream: stream.clone(),
+                    label: 1,
+                },
+            ],
+            test: vec![EventSample { stream, label: 0 }],
+        }
+    }
+
+    #[test]
+    fn statistics() {
+        let d = tiny_dataset();
+        d.assert_consistent();
+        assert_eq!(d.mean_events_per_sample(), 1.0);
+        assert_eq!(d.train_class_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn inconsistent_label_detected() {
+        let mut d = tiny_dataset();
+        d.train[0].label = 5;
+        d.assert_consistent();
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = DatasetConfig::new((32, 32))
+            .with_seed(99)
+            .with_split(4, 2)
+            .with_noise(false);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.train_per_class, 4);
+        assert!(!c.noisy);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = tiny_dataset();
+        let json = serde_json::to_string(&d).expect("serialize");
+        let back: Dataset = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(d, back);
+    }
+}

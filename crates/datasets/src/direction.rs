@@ -1,0 +1,206 @@
+//! The MotionDirection dataset.
+//!
+//! Every sample shows the *same* dot crossing the centre of the sensor; the
+//! class is its direction of travel (8 compass directions). Any single
+//! accumulated event-count frame over the whole recording is (nearly)
+//! direction-symmetric, so the discriminative information lives in the
+//! *temporal order* of the events — the probe for the paper's claim that
+//! event-driven models exploit timing that dense frames discard
+//! (Table I row 1).
+
+use crate::dataset::{Dataset, DatasetConfig, EventSample};
+use crate::digits::camera_for;
+use evlab_sensor::scene::MovingDot;
+use evlab_util::Rng64;
+
+/// Number of direction classes.
+pub const NUM_DIRECTIONS: usize = 8;
+
+/// Direction angle in radians for a class index.
+///
+/// # Panics
+///
+/// Panics if `class >= NUM_DIRECTIONS`.
+pub fn class_angle(class: usize) -> f64 {
+    assert!(class < NUM_DIRECTIONS, "direction class out of range");
+    class as f64 * std::f64::consts::TAU / NUM_DIRECTIONS as f64
+}
+
+/// Generates the 8-class MotionDirection dataset.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_datasets::direction::motion_direction;
+/// use evlab_datasets::DatasetConfig;
+///
+/// let data = motion_direction(&DatasetConfig::tiny((32, 32)));
+/// assert_eq!(data.num_classes, 8);
+/// data.assert_consistent();
+/// ```
+pub fn motion_direction(config: &DatasetConfig) -> Dataset {
+    let camera = camera_for(config);
+    let mut rng = Rng64::seed_from_u64(config.seed ^ 0xD112);
+    let (w, h) = config.resolution;
+    let center = (w as f64 / 2.0, h as f64 / 2.0);
+    let travel = w.min(h) as f64 * 0.7;
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in 0..NUM_DIRECTIONS {
+        let angle = class_angle(class);
+        for i in 0..config.train_per_class + config.test_per_class {
+            // Small speed and lateral jitter so samples differ within a
+            // class without changing the direction.
+            let speed_scale = rng.range_f64(0.85, 1.15);
+            let speed = travel / config.duration_us as f64 * speed_scale;
+            let velocity = (speed * angle.cos(), speed * angle.sin());
+            let jitter = (rng.range_f64(-1.5, 1.5), rng.range_f64(-1.5, 1.5));
+            let start = (
+                center.0 + jitter.0 - velocity.0 * config.duration_us as f64 / 2.0,
+                center.1 + jitter.1 - velocity.1 * config.duration_us as f64 / 2.0,
+            );
+            let radius = w.min(h) as f64 / 12.0;
+            let scene = MovingDot::new(start, velocity, radius.max(1.5));
+            let stream = camera
+                .record(&scene, 0, config.duration_us, rng.next_u64())
+                .rebased();
+            let sample = EventSample {
+                stream,
+                label: class,
+            };
+            if i < config.train_per_class {
+                train.push(sample);
+            } else {
+                test.push(sample);
+            }
+        }
+    }
+    let mut shuffle_rng = Rng64::seed_from_u64(config.seed ^ 0x5F1F);
+    shuffle_rng.shuffle(&mut train);
+    Dataset {
+        name: "motion-direction".into(),
+        num_classes: NUM_DIRECTIONS,
+        class_names: ["E", "NE", "N", "NW", "W", "SW", "S", "SE"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        resolution: config.resolution,
+        duration_us: config.duration_us,
+        train,
+        test,
+    }
+}
+
+/// Generates the unpolarized 8-class MotionDirection dataset: identical to
+/// [`motion_direction`] but with every event's polarity re-drawn uniformly
+/// at random.
+///
+/// In the polarized version the direction leaks into space — the dot's
+/// leading edge emits ON events and its trailing edge OFF events, so even a
+/// static frame encodes the motion vector. Randomizing polarity removes
+/// that channel: opposite directions become *spatially indistinguishable*
+/// (the dot sweeps the same line), and only the temporal order of events
+/// identifies the class. This is the strict probe for Table I row 1.
+pub fn motion_direction_unpolarized(config: &DatasetConfig) -> Dataset {
+    use evlab_events::{Event, EventStream, Polarity};
+    let mut data = motion_direction(config);
+    let mut rng = Rng64::seed_from_u64(config.seed ^ 0x0091);
+    let scrub = |stream: &EventStream, rng: &mut Rng64| {
+        let events: Vec<Event> = stream
+            .iter()
+            .map(|e| Event {
+                polarity: if rng.bernoulli(0.5) {
+                    Polarity::On
+                } else {
+                    Polarity::Off
+                },
+                ..*e
+            })
+            .collect();
+        EventStream::from_events(stream.resolution(), events).expect("order unchanged")
+    };
+    for s in data.train.iter_mut().chain(data.test.iter_mut()) {
+        s.stream = scrub(&s.stream, &mut rng);
+    }
+    data.name = "motion-direction-unpolarized".into();
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_util::stats::mean;
+
+    #[test]
+    fn unpolarized_variant_has_mixed_polarity_everywhere() {
+        let data = motion_direction_unpolarized(&DatasetConfig::tiny((32, 32)));
+        data.assert_consistent();
+        for s in &data.train {
+            let (on, off) = s.stream.polarity_counts();
+            // Roughly balanced — no polarity-direction correlation left.
+            let total = (on + off) as f64;
+            assert!(on as f64 / total > 0.3 && on as f64 / total < 0.7);
+        }
+        // Same event geometry as the polarized version.
+        let polarized = motion_direction(&DatasetConfig::tiny((32, 32)));
+        for (a, b) in data.train.iter().zip(&polarized.train) {
+            assert_eq!(a.stream.len(), b.stream.len());
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn generates_balanced_splits() {
+        let data = motion_direction(&DatasetConfig::tiny((32, 32)));
+        data.assert_consistent();
+        assert_eq!(data.train.len(), 16);
+        assert_eq!(data.test.len(), 8);
+    }
+
+    #[test]
+    fn direction_is_encoded_in_time_not_space() {
+        // The event *centroid over the full recording* is nearly identical
+        // across classes (dot crosses the centre), but the centroid of the
+        // first quarter of events moves opposite to the motion direction.
+        let config = DatasetConfig::tiny((32, 32)).with_split(3, 0);
+        let data = motion_direction(&config);
+        let mut whole_by_class = vec![Vec::new(); NUM_DIRECTIONS];
+        let mut early_by_class = vec![Vec::new(); NUM_DIRECTIONS];
+        for s in &data.train {
+            let events = s.stream.as_slice();
+            let cx = mean(&events.iter().map(|e| e.x as f64).collect::<Vec<_>>());
+            whole_by_class[s.label].push(cx);
+            let quarter = &events[..events.len() / 4];
+            let cx_early = mean(&quarter.iter().map(|e| e.x as f64).collect::<Vec<_>>());
+            early_by_class[s.label].push(cx_early);
+        }
+        // Class 0 moves east (+x): early events sit west of centre.
+        let east_early = mean(&early_by_class[0]);
+        let west_early = mean(&early_by_class[4]);
+        assert!(
+            east_early + 4.0 < west_early,
+            "early centroids must separate: E {east_early} vs W {west_early}"
+        );
+        // Whole-recording centroids are much closer together than the early
+        // ones — the spatial signal washes out over the full window.
+        let whole_gap = (mean(&whole_by_class[0]) - mean(&whole_by_class[4])).abs();
+        let early_gap = (east_early - west_early).abs();
+        assert!(
+            whole_gap < early_gap * 0.6,
+            "whole gap {whole_gap} vs early gap {early_gap}"
+        );
+    }
+
+    #[test]
+    fn class_angles_cover_the_circle() {
+        assert_eq!(class_angle(0), 0.0);
+        assert!((class_angle(2) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((class_angle(4) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "direction class out of range")]
+    fn bad_class_panics() {
+        class_angle(8);
+    }
+}

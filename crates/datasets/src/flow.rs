@@ -1,0 +1,170 @@
+//! Optical-flow regression dataset: translating textures with known
+//! ground-truth velocity.
+//!
+//! §IV cites optical-flow estimation among the tasks where event-graph
+//! networks beat dense-frame CNNs ([Zhu et al. EV-FlowNet], [72]). Each
+//! sample is a textured scene translating at a constant, known velocity,
+//! recorded through the DVS simulator.
+
+use crate::dataset::DatasetConfig;
+use evlab_events::EventStream;
+use evlab_sensor::scene::EgomotionPan;
+use evlab_sensor::{CameraConfig, EventCamera, PixelConfig};
+use evlab_util::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// One labelled flow recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSample {
+    /// The event stream (rebased to t = 0).
+    pub stream: EventStream,
+    /// Ground-truth image velocity in pixels per microsecond `(vx, vy)`.
+    pub velocity: (f64, f64),
+}
+
+/// A flow-regression dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowDataset {
+    /// Sensor resolution.
+    pub resolution: (u16, u16),
+    /// Sample duration in microseconds.
+    pub duration_us: u64,
+    /// Training split.
+    pub train: Vec<FlowSample>,
+    /// Test split.
+    pub test: Vec<FlowSample>,
+}
+
+impl FlowDataset {
+    /// Mean ground-truth speed over both splits (px/us).
+    pub fn mean_speed(&self) -> f64 {
+        let all: Vec<f64> = self
+            .train
+            .iter()
+            .chain(&self.test)
+            .map(|s| (s.velocity.0.powi(2) + s.velocity.1.powi(2)).sqrt())
+            .collect();
+        if all.is_empty() {
+            0.0
+        } else {
+            all.iter().sum::<f64>() / all.len() as f64
+        }
+    }
+}
+
+/// Generates a flow dataset: horizontal texture pans at random speeds and
+/// *horizontal direction only* would make the task trivial, so the texture
+/// is panned along a random angle by rotating the sampling frame — here
+/// approximated by mixing horizontal pans with vertically-transposed
+/// recordings.
+///
+/// Speeds are drawn from `[0.0005, 0.003]` px/µs (0.5–3 kpx/s).
+pub fn translating_texture(config: &DatasetConfig) -> FlowDataset {
+    let mut rng = Rng64::seed_from_u64(config.seed ^ 0xF107);
+    let pixel = if config.noisy {
+        PixelConfig::new()
+    } else {
+        PixelConfig::ideal()
+    };
+    let camera = EventCamera::new(
+        CameraConfig::new(config.resolution)
+            .with_pixel(pixel)
+            .with_sample_period_us(250),
+    );
+    let make = |rng: &mut Rng64| {
+        let speed = rng.range_f64(0.0005, 0.003);
+        // EgomotionPan moves along +x; flip axes and signs for coverage of
+        // the four cardinal directions (±x, ±y).
+        let orientation = rng.next_below(4);
+        let scene = EgomotionPan::new(speed, 5.0, rng.next_u64());
+        let stream = camera
+            .record(&scene, 0, config.duration_us, rng.next_u64())
+            .rebased();
+        let (stream, velocity) = reorient(&stream, orientation, speed);
+        FlowSample { stream, velocity }
+    };
+    let n_train = config.train_per_class * 4;
+    let n_test = config.test_per_class * 4;
+    let train = (0..n_train).map(|_| make(&mut rng)).collect();
+    let test = (0..n_test).map(|_| make(&mut rng)).collect();
+    FlowDataset {
+        resolution: config.resolution,
+        duration_us: config.duration_us,
+        train,
+        test,
+    }
+}
+
+/// Remaps a horizontal-pan recording into one of the four cardinal
+/// orientations. The scene moves at `-speed` relative to the camera pan
+/// direction (+x pan makes features appear to move in −x).
+fn reorient(stream: &EventStream, orientation: u64, speed: f64) -> (EventStream, (f64, f64)) {
+    use evlab_events::Event;
+    let (w, h) = stream.resolution();
+    let map = |e: &Event| -> Event {
+        let (x, y) = match orientation {
+            0 => (e.x, e.y),                     // features move -x
+            1 => (w - 1 - e.x, e.y),             // features move +x
+            2 => (e.y % w, e.x % h),             // transpose: move -y
+            _ => (e.y % w, h - 1 - (e.x % h)),   // move +y
+        };
+        Event { x, y, ..*e }
+    };
+    let events: Vec<Event> = stream.iter().map(map).collect();
+    let velocity = match orientation {
+        0 => (-speed, 0.0),
+        1 => (speed, 0.0),
+        2 => (0.0, -speed),
+        _ => (0.0, speed),
+    };
+    (
+        EventStream::from_events((w, h), events).expect("order preserved"),
+        velocity,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_labelled_samples() {
+        let config = DatasetConfig::tiny((32, 32));
+        let data = translating_texture(&config);
+        assert_eq!(data.train.len(), 8);
+        assert_eq!(data.test.len(), 4);
+        for s in data.train.iter().chain(&data.test) {
+            assert!(s.stream.len() > 100, "texture pan must be busy");
+            let speed = (s.velocity.0.powi(2) + s.velocity.1.powi(2)).sqrt();
+            assert!((0.0005..=0.003).contains(&speed), "speed {speed}");
+        }
+        assert!(data.mean_speed() > 0.0005);
+    }
+
+    #[test]
+    fn all_four_directions_appear() {
+        let config = DatasetConfig::tiny((32, 32)).with_split(8, 0);
+        let data = translating_texture(&config);
+        let mut seen = [false; 4];
+        for s in &data.train {
+            let dir = match (
+                s.velocity.0 < 0.0,
+                s.velocity.0 > 0.0,
+                s.velocity.1 < 0.0,
+            ) {
+                (true, _, _) => 0,
+                (_, true, _) => 1,
+                (_, _, true) => 2,
+                _ => 3,
+            };
+            seen[dir] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 3, "{seen:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = DatasetConfig::tiny((32, 32));
+        assert_eq!(translating_texture(&config), translating_texture(&config));
+    }
+}

@@ -1,0 +1,113 @@
+//! Bitmap glyphs for the dataset generators: 5×7 digits and simple shapes.
+
+/// 5×7 bitmap patterns for digits 0–9.
+pub const DIGIT_PATTERNS: [[&str; 7]; 10] = [
+    [
+        ".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###.",
+    ],
+    [
+        "..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###.",
+    ],
+    [
+        ".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####",
+    ],
+    [
+        ".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###.",
+    ],
+    [
+        "...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#.",
+    ],
+    [
+        "#####", "#....", "####.", "....#", "....#", "#...#", ".###.",
+    ],
+    [
+        ".###.", "#....", "#....", "####.", "#...#", "#...#", ".###.",
+    ],
+    [
+        "#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#...",
+    ],
+    [
+        ".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###.",
+    ],
+    [
+        ".###.", "#...#", "#...#", ".####", "....#", "....#", ".###.",
+    ],
+];
+
+/// 7×7 bitmap patterns for the shape-silhouette dataset.
+pub const SHAPE_PATTERNS: [(&str, [&str; 7]); 4] = [
+    (
+        "square",
+        [
+            "#######", "#.....#", "#.....#", "#.....#", "#.....#", "#.....#", "#######",
+        ],
+    ),
+    (
+        "cross",
+        [
+            "..###..", "..###..", "#######", "#######", "#######", "..###..", "..###..",
+        ],
+    ),
+    (
+        "triangle",
+        [
+            "...#...", "...#...", "..###..", "..###..", ".#####.", ".#####.", "#######",
+        ],
+    ),
+    (
+        "diamond",
+        [
+            "...#...", "..###..", ".#####.", "#######", ".#####.", "..###..", "...#...",
+        ],
+    ),
+];
+
+/// Number of filled cells in a pattern — used by tests to confirm the
+/// classes are genuinely distinct.
+pub fn pattern_mass(pattern: &[&str]) -> usize {
+    pattern
+        .iter()
+        .map(|row| row.chars().filter(|&c| c == '#').count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_are_well_formed() {
+        for (i, p) in DIGIT_PATTERNS.iter().enumerate() {
+            for row in p {
+                assert_eq!(row.len(), 5, "digit {i} row width");
+            }
+            assert!(pattern_mass(p) >= 7, "digit {i} too sparse");
+        }
+    }
+
+    #[test]
+    fn digits_are_pairwise_distinct() {
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(
+                    DIGIT_PATTERNS[i], DIGIT_PATTERNS[j],
+                    "digits {i} and {j} identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_are_well_formed_and_distinct() {
+        for (name, p) in &SHAPE_PATTERNS {
+            for row in p {
+                assert_eq!(row.len(), 7, "shape {name} row width");
+            }
+        }
+        for i in 0..SHAPE_PATTERNS.len() {
+            for j in (i + 1)..SHAPE_PATTERNS.len() {
+                assert_ne!(SHAPE_PATTERNS[i].1, SHAPE_PATTERNS[j].1);
+            }
+        }
+    }
+}

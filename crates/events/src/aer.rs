@@ -1,0 +1,368 @@
+//! Address-Event Representation (AER) codec and bus model.
+//!
+//! Events leave the sensor die over a time-multiplexed digital bus using the
+//! AER protocol. This module provides:
+//!
+//! * [`AerCodec`] — packs an [`Event`] into a fixed-width word (address +
+//!   polarity, with either an absolute coarse timestamp or a delta-time
+//!   field) and unpacks it again.
+//! * [`AerBus`] — a finite-bandwidth bus with a FIFO: when the instantaneous
+//!   event rate exceeds the readout throughput, events are delayed
+//!   (timestamped later) and eventually dropped when the FIFO overflows.
+//!   This reproduces the readout saturation behaviour that motivates the
+//!   GEPS-class readout systems of §II and the event-rate controllers
+//!   of [Finateu et al. 2020].
+
+use crate::event::{Event, Polarity, Timestamp};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when decoding AER words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeAerError {
+    /// The x field exceeds the configured width.
+    XOutOfRange {
+        /// Decoded x value.
+        x: u16,
+    },
+    /// The y field exceeds the configured height.
+    YOutOfRange {
+        /// Decoded y value.
+        y: u16,
+    },
+}
+
+impl fmt::Display for DecodeAerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeAerError::XOutOfRange { x } => write!(f, "decoded x {x} outside sensor width"),
+            DecodeAerError::YOutOfRange { y } => write!(f, "decoded y {y} outside sensor height"),
+        }
+    }
+}
+
+impl Error for DecodeAerError {}
+
+/// Packs events into 64-bit AER words: `[timestamp:32 | y:15 | x:16 | p:1]`.
+///
+/// Real sensors use 32–40 bit words with wrapped timestamps; we keep a 32-bit
+/// microsecond timestamp field (wrapping every ~71 minutes) plus full
+/// addresses so the codec stays lossless for any supported resolution while
+/// still exposing a realistic bits-per-event figure through
+/// [`AerCodec::bits_per_event`].
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::aer::AerCodec;
+/// use evlab_events::{Event, Polarity};
+///
+/// let codec = AerCodec::new((1280, 720));
+/// let e = Event::new(123, 640, 360, Polarity::On);
+/// let word = codec.encode(&e);
+/// assert_eq!(codec.decode(word)?, e);
+/// # Ok::<(), evlab_events::aer::DecodeAerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AerCodec {
+    width: u16,
+    height: u16,
+}
+
+const TS_BITS: u32 = 32;
+const Y_BITS: u32 = 15;
+const X_BITS: u32 = 16;
+
+impl AerCodec {
+    /// Creates a codec for a sensor of the given `(width, height)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the height does not fit the 15-bit y field.
+    pub fn new(resolution: (u16, u16)) -> Self {
+        assert!(
+            (resolution.1 as u32) < (1 << Y_BITS),
+            "height exceeds AER y field"
+        );
+        AerCodec {
+            width: resolution.0,
+            height: resolution.1,
+        }
+    }
+
+    /// Encodes one event into a 64-bit word. The timestamp wraps at 2³² µs.
+    pub fn encode(&self, event: &Event) -> u64 {
+        let ts = (event.t.as_micros() & 0xFFFF_FFFF) as u64;
+        (ts << (Y_BITS + X_BITS + 1))
+            | ((event.y as u64) << (X_BITS + 1))
+            | ((event.x as u64) << 1)
+            | event.polarity.bit()
+    }
+
+    /// Decodes a 64-bit word back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address fields exceed the sensor resolution.
+    pub fn decode(&self, word: u64) -> Result<Event, DecodeAerError> {
+        let polarity = Polarity::from_bit(word);
+        let x = ((word >> 1) & ((1 << X_BITS) - 1)) as u16;
+        let y = ((word >> (X_BITS + 1)) & ((1 << Y_BITS) - 1)) as u16;
+        let ts = word >> (Y_BITS + X_BITS + 1);
+        if x >= self.width {
+            return Err(DecodeAerError::XOutOfRange { x });
+        }
+        if y >= self.height {
+            return Err(DecodeAerError::YOutOfRange { y });
+        }
+        Ok(Event {
+            t: Timestamp::from_micros(ts),
+            x,
+            y,
+            polarity,
+        })
+    }
+
+    /// Nominal payload size of one encoded event in bits.
+    pub fn bits_per_event(&self) -> u32 {
+        TS_BITS + Y_BITS + X_BITS + 1
+    }
+
+    /// Encodes a batch of events.
+    pub fn encode_all(&self, events: &[Event]) -> Vec<u64> {
+        events.iter().map(|e| self.encode(e)).collect()
+    }
+
+    /// Decodes a batch of words, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DecodeAerError`].
+    pub fn decode_all(&self, words: &[u64]) -> Result<Vec<Event>, DecodeAerError> {
+        words.iter().map(|&w| self.decode(w)).collect()
+    }
+}
+
+/// Outcome of pushing a stream through an [`AerBus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusTransfer {
+    /// Events as observed on the far side of the bus (possibly delayed).
+    pub delivered: Vec<Event>,
+    /// Number of events dropped to FIFO overflow.
+    pub dropped: usize,
+    /// Worst event delay through the FIFO, in microseconds.
+    pub max_delay_us: u64,
+}
+
+impl BusTransfer {
+    /// Fraction of offered events that were dropped.
+    pub fn drop_rate(&self, offered: usize) -> f64 {
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+}
+
+/// A finite-throughput AER readout bus with a bounded FIFO.
+///
+/// Models the arbitrated readout path of an event sensor: each event needs
+/// `1/throughput` seconds of bus time; events arriving while the bus is busy
+/// queue in a FIFO of `fifo_depth` entries and are re-timestamped with their
+/// delivery time; events arriving into a full FIFO are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::aer::AerBus;
+/// use evlab_events::{Event, EventStream, Polarity};
+///
+/// // 1 Mevent/s bus, 4-deep FIFO.
+/// let bus = AerBus::new(1_000_000.0, 4);
+/// let stream = EventStream::from_events(
+///     (8, 8),
+///     (0..8).map(|i| Event::new(i, 0, 0, Polarity::On)).collect(),
+/// )?;
+/// let out = bus.transfer(&stream);
+/// assert!(out.delivered.len() + out.dropped == 8);
+/// # Ok::<(), evlab_events::EventOrderError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AerBus {
+    throughput_eps: f64,
+    fifo_depth: usize,
+}
+
+impl AerBus {
+    /// Creates a bus with `throughput_eps` events/second and a FIFO holding
+    /// `fifo_depth` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throughput_eps` is not strictly positive.
+    pub fn new(throughput_eps: f64, fifo_depth: usize) -> Self {
+        assert!(throughput_eps > 0.0, "throughput must be positive");
+        AerBus {
+            throughput_eps,
+            fifo_depth,
+        }
+    }
+
+    /// Bus throughput in events per second.
+    pub fn throughput_eps(&self) -> f64 {
+        self.throughput_eps
+    }
+
+    /// Service time per event in microseconds.
+    pub fn service_time_us(&self) -> f64 {
+        1e6 / self.throughput_eps
+    }
+
+    /// Pushes a stream through the bus, returning delivered (re-timestamped)
+    /// events, the drop count and the worst-case delay.
+    pub fn transfer(&self, stream: &crate::stream::EventStream) -> BusTransfer {
+        let service = self.service_time_us();
+        // Time at which the bus becomes free, in exact (fractional) us.
+        let mut bus_free_at = 0.0f64;
+        let mut delivered = Vec::with_capacity(stream.len());
+        let mut dropped = 0usize;
+        let mut max_delay_us = 0u64;
+        for e in stream.iter() {
+            let arrival = e.t.as_micros() as f64;
+            // Queue occupancy: how many service slots are pending ahead of
+            // this event when it arrives.
+            let backlog = ((bus_free_at - arrival) / service).ceil().max(0.0) as usize;
+            if backlog > self.fifo_depth {
+                dropped += 1;
+                continue;
+            }
+            let start = bus_free_at.max(arrival);
+            bus_free_at = start + service;
+            let depart = bus_free_at;
+            let delay = (depart - arrival).max(0.0).round() as u64;
+            max_delay_us = max_delay_us.max(delay);
+            delivered.push(Event {
+                t: Timestamp::from_micros(depart.round() as u64),
+                ..*e
+            });
+        }
+        BusTransfer {
+            delivered,
+            dropped,
+            max_delay_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::EventStream;
+
+    #[test]
+    fn codec_round_trip_extremes() {
+        let codec = AerCodec::new((1280, 720));
+        for e in [
+            Event::new(0, 0, 0, Polarity::Off),
+            Event::new(u32::MAX as u64, 1279, 719, Polarity::On),
+            Event::new(42, 640, 0, Polarity::On),
+        ] {
+            assert_eq!(codec.decode(codec.encode(&e)).expect("round trip"), e);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_out_of_range_addresses() {
+        let small = AerCodec::new((4, 4));
+        let big = AerCodec::new((1280, 720));
+        let word = big.encode(&Event::new(0, 100, 2, Polarity::On));
+        assert_eq!(
+            small.decode(word),
+            Err(DecodeAerError::XOutOfRange { x: 100 })
+        );
+        let word = big.encode(&Event::new(0, 2, 100, Polarity::On));
+        assert_eq!(
+            small.decode(word),
+            Err(DecodeAerError::YOutOfRange { y: 100 })
+        );
+    }
+
+    #[test]
+    fn timestamp_wraps_at_32_bits() {
+        let codec = AerCodec::new((8, 8));
+        let e = Event::new((1u64 << 32) + 5, 1, 1, Polarity::On);
+        let decoded = codec.decode(codec.encode(&e)).expect("decode");
+        assert_eq!(decoded.t.as_micros(), 5);
+    }
+
+    #[test]
+    fn bits_per_event_is_fixed() {
+        assert_eq!(AerCodec::new((8, 8)).bits_per_event(), 64);
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let codec = AerCodec::new((64, 64));
+        let events: Vec<Event> = (0..100)
+            .map(|i| Event::new(i * 3, (i % 64) as u16, (i % 64) as u16, Polarity::from_bit(i)))
+            .collect();
+        let words = codec.encode_all(&events);
+        assert_eq!(codec.decode_all(&words).expect("ok"), events);
+    }
+
+    #[test]
+    fn fast_bus_delivers_everything_untouched() {
+        let bus = AerBus::new(1e9, 16);
+        let stream = EventStream::from_events(
+            (8, 8),
+            (0..50).map(|i| Event::new(i * 100, 0, 0, Polarity::On)).collect(),
+        )
+        .expect("ok");
+        let out = bus.transfer(&stream);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.delivered.len(), 50);
+        // Sub-us service time rounds away.
+        assert!(out.max_delay_us <= 1);
+    }
+
+    #[test]
+    fn slow_bus_drops_when_fifo_overflows() {
+        // 10k events/s bus = 100us per event; burst of 100 events at t=0.
+        let bus = AerBus::new(10_000.0, 8);
+        let stream = EventStream::from_events(
+            (8, 8),
+            (0..100).map(|_| Event::new(0, 0, 0, Polarity::On)).collect(),
+        )
+        .expect("ok");
+        let out = bus.transfer(&stream);
+        assert!(out.dropped > 80, "dropped {}", out.dropped);
+        assert!(out.delivered.len() <= 10);
+        assert!(out.max_delay_us >= 100);
+    }
+
+    #[test]
+    fn delivered_events_remain_sorted() {
+        let bus = AerBus::new(50_000.0, 32);
+        let stream = EventStream::from_events(
+            (8, 8),
+            (0..200).map(|i| Event::new(i / 4, 0, 0, Polarity::On)).collect(),
+        )
+        .expect("ok");
+        let out = bus.transfer(&stream);
+        for pair in out.delivered.windows(2) {
+            assert!(pair[0].t <= pair[1].t);
+        }
+    }
+
+    #[test]
+    fn drop_rate_helper() {
+        let t = BusTransfer {
+            delivered: vec![],
+            dropped: 5,
+            max_delay_us: 0,
+        };
+        assert_eq!(t.drop_rate(10), 0.5);
+        assert_eq!(t.drop_rate(0), 0.0);
+    }
+}

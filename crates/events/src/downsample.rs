@@ -1,0 +1,390 @@
+//! In-sensor event-rate mitigation strategies (paper §II).
+//!
+//! High-resolution event sensors can emit overwhelming rates under egomotion.
+//! The paper reviews four mitigation families, all implemented here:
+//!
+//! * [`SpatialDownsampler`] — block-wise address decimation with per-block
+//!   rate limiting ([Bouvier et al. 2021]).
+//! * [`EventRateController`] — a global token-bucket rate limiter, as in the
+//!   programmable event-rate controller of [Finateu et al. 2020].
+//! * [`FoveationMask`] — electronically foveated pixels: full resolution in a
+//!   region of interest, decimation outside ([Serrano-Gotarredona 2022]).
+//! * [`CenterSurroundFilter`] — a spatial band-pass that suppresses events in
+//!   uniformly-active regions ([Delbruck et al. 2022]).
+
+use crate::event::Event;
+use crate::stream::EventStream;
+
+/// Block-wise spatial downsampler.
+///
+/// Divides the array into `factor × factor` blocks; each block forwards at
+/// most one event per `block_dead_time_us`, remapped to the block address at
+/// reduced resolution.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::downsample::SpatialDownsampler;
+/// use evlab_events::{Event, EventStream, Polarity};
+///
+/// let s = EventStream::from_events(
+///     (8, 8),
+///     vec![
+///         Event::new(0, 0, 0, Polarity::On),
+///         Event::new(1, 1, 1, Polarity::On), // same 2x2 block, merged away
+///         Event::new(2, 4, 4, Polarity::On),
+///     ],
+/// )?;
+/// let out = SpatialDownsampler::new(2, 100).apply(&s);
+/// assert_eq!(out.resolution(), (4, 4));
+/// assert_eq!(out.len(), 2);
+/// # Ok::<(), evlab_events::EventOrderError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialDownsampler {
+    factor: u16,
+    block_dead_time_us: u64,
+}
+
+impl SpatialDownsampler {
+    /// Creates a downsampler merging `factor × factor` pixel blocks, with at
+    /// most one output event per block per `block_dead_time_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn new(factor: u16, block_dead_time_us: u64) -> Self {
+        assert!(factor > 0, "factor must be positive");
+        SpatialDownsampler {
+            factor,
+            block_dead_time_us,
+        }
+    }
+
+    /// Output resolution for a given input resolution (ceiling division).
+    pub fn output_resolution(&self, input: (u16, u16)) -> (u16, u16) {
+        (
+            input.0.div_ceil(self.factor),
+            input.1.div_ceil(self.factor),
+        )
+    }
+
+    /// Applies the downsampler.
+    pub fn apply(&self, stream: &EventStream) -> EventStream {
+        let out_res = self.output_resolution(stream.resolution());
+        let mut last: Vec<Option<u64>> = vec![None; out_res.0 as usize * out_res.1 as usize];
+        let mut out = EventStream::new(out_res);
+        for e in stream.iter() {
+            let bx = e.x / self.factor;
+            let by = e.y / self.factor;
+            let idx = by as usize * out_res.0 as usize + bx as usize;
+            let keep = match last[idx] {
+                Some(prev) => e.t.as_micros().saturating_sub(prev) >= self.block_dead_time_us,
+                None => true,
+            };
+            if keep {
+                last[idx] = Some(e.t.as_micros());
+                out.push(Event {
+                    x: bx,
+                    y: by,
+                    ..*e
+                })
+                .expect("downsampler preserves order and bounds");
+            }
+        }
+        out
+    }
+}
+
+/// Global token-bucket event-rate controller.
+///
+/// Tokens refill at `max_rate_eps` events/second up to `burst` tokens; each
+/// forwarded event consumes one token, and events arriving with an empty
+/// bucket are dropped. This is the behaviour of the programmable event-rate
+/// controller integrated in GEPS-class readout pipelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRateController {
+    max_rate_eps: f64,
+    burst: f64,
+}
+
+impl EventRateController {
+    /// Creates a controller with sustained rate `max_rate_eps` and burst
+    /// capacity `burst` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate_eps <= 0` or `burst < 1`.
+    pub fn new(max_rate_eps: f64, burst: usize) -> Self {
+        assert!(max_rate_eps > 0.0, "rate must be positive");
+        assert!(burst >= 1, "burst must be at least 1");
+        EventRateController {
+            max_rate_eps,
+            burst: burst as f64,
+        }
+    }
+
+    /// Applies the controller, returning `(kept, dropped_count)`.
+    pub fn apply(&self, stream: &EventStream) -> (EventStream, usize) {
+        let mut out = EventStream::new(stream.resolution());
+        let mut tokens = self.burst;
+        let mut last_t = stream.start().map(|t| t.as_micros()).unwrap_or(0);
+        let mut dropped = 0usize;
+        for e in stream.iter() {
+            let now = e.t.as_micros();
+            tokens = (tokens + (now - last_t) as f64 * 1e-6 * self.max_rate_eps).min(self.burst);
+            last_t = now;
+            if tokens >= 1.0 {
+                tokens -= 1.0;
+                out.push(*e).expect("controller preserves order and bounds");
+            } else {
+                dropped += 1;
+            }
+        }
+        (out, dropped)
+    }
+}
+
+/// Electronically foveated decimation.
+///
+/// Events inside the circular fovea pass untouched; outside, only one in
+/// `periphery_keep_ratio` events per pixel is kept (deterministic counter
+/// decimation, as a pixel-local divider circuit would implement).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoveationMask {
+    center: (u16, u16),
+    radius: f64,
+    periphery_keep_ratio: u32,
+}
+
+impl FoveationMask {
+    /// Creates a fovea of `radius` pixels at `center`; peripheral pixels keep
+    /// one event out of every `periphery_keep_ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periphery_keep_ratio == 0`.
+    pub fn new(center: (u16, u16), radius: f64, periphery_keep_ratio: u32) -> Self {
+        assert!(periphery_keep_ratio > 0, "keep ratio must be positive");
+        FoveationMask {
+            center,
+            radius,
+            periphery_keep_ratio,
+        }
+    }
+
+    /// Whether a pixel lies inside the fovea.
+    pub fn in_fovea(&self, x: u16, y: u16) -> bool {
+        let dx = x as f64 - self.center.0 as f64;
+        let dy = y as f64 - self.center.1 as f64;
+        dx * dx + dy * dy <= self.radius * self.radius
+    }
+
+    /// Applies the mask.
+    pub fn apply(&self, stream: &EventStream) -> EventStream {
+        let (w, h) = stream.resolution();
+        let mut counters: Vec<u32> = vec![0; w as usize * h as usize];
+        let mut out = EventStream::new((w, h));
+        for e in stream.iter() {
+            let keep = if self.in_fovea(e.x, e.y) {
+                true
+            } else {
+                let idx = e.y as usize * w as usize + e.x as usize;
+                counters[idx] += 1;
+                counters[idx] % self.periphery_keep_ratio == 1 || self.periphery_keep_ratio == 1
+            };
+            if keep {
+                out.push(*e).expect("mask preserves order and bounds");
+            }
+        }
+        out
+    }
+}
+
+/// Centre-surround antagonistic filter.
+///
+/// An event passes only if its local neighbourhood is *not* uniformly active:
+/// if the surround ring (radius 2) fired more recently on average than the
+/// centre's own dead time allows, the region is deemed uniformly active
+/// (e.g. flicker or global egomotion on texture) and the event is suppressed.
+/// This is a first-order model of the centre-surround event camera of
+/// [Delbruck et al. 2022].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CenterSurroundFilter {
+    window_us: u64,
+    /// Fraction of the surround ring that must be recently active for
+    /// suppression to kick in.
+    suppress_fraction: f64,
+}
+
+impl CenterSurroundFilter {
+    /// Creates a filter: an event is suppressed when at least
+    /// `suppress_fraction` of its 16-pixel surround ring fired within
+    /// `window_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suppress_fraction` is outside `(0, 1]`.
+    pub fn new(window_us: u64, suppress_fraction: f64) -> Self {
+        assert!(
+            suppress_fraction > 0.0 && suppress_fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        CenterSurroundFilter {
+            window_us,
+            suppress_fraction,
+        }
+    }
+
+    /// Applies the filter.
+    pub fn apply(&self, stream: &EventStream) -> EventStream {
+        let (w, h) = stream.resolution();
+        let mut last_seen: Vec<Option<u64>> = vec![None; w as usize * h as usize];
+        let mut out = EventStream::new((w, h));
+        for e in stream.iter() {
+            let t = e.t.as_micros();
+            let mut ring = 0usize;
+            let mut active = 0usize;
+            for dy in -2i32..=2 {
+                for dx in -2i32..=2 {
+                    if dx.abs() != 2 && dy.abs() != 2 {
+                        continue; // ring at Chebyshev radius 2 only
+                    }
+                    let nx = e.x as i32 + dx;
+                    let ny = e.y as i32 + dy;
+                    if nx < 0 || ny < 0 || nx >= w as i32 || ny >= h as i32 {
+                        continue;
+                    }
+                    ring += 1;
+                    let idx = ny as usize * w as usize + nx as usize;
+                    if let Some(prev) = last_seen[idx] {
+                        if t.saturating_sub(prev) <= self.window_us {
+                            active += 1;
+                        }
+                    }
+                }
+            }
+            last_seen[e.y as usize * w as usize + e.x as usize] = Some(t);
+            let uniform = ring > 0 && active as f64 / ring as f64 >= self.suppress_fraction;
+            if !uniform {
+                out.push(*e).expect("filter preserves order and bounds");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Polarity;
+
+    fn burst_at(pixels: &[(u16, u16)], t0: u64, res: (u16, u16)) -> EventStream {
+        EventStream::from_events(
+            res,
+            pixels
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Event::new(t0 + i as u64, x, y, Polarity::On))
+                .collect(),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn downsampler_remaps_addresses() {
+        let s = burst_at(&[(0, 0), (7, 7)], 0, (8, 8));
+        let out = SpatialDownsampler::new(4, 0).apply(&s);
+        assert_eq!(out.resolution(), (2, 2));
+        assert_eq!(out.as_slice()[0].x, 0);
+        assert_eq!(out.as_slice()[1].x, 1);
+        assert_eq!(out.as_slice()[1].y, 1);
+    }
+
+    #[test]
+    fn downsampler_dead_time_merges_blocks() {
+        let s = burst_at(&[(0, 0), (1, 0), (0, 1), (1, 1)], 0, (8, 8));
+        let out = SpatialDownsampler::new(2, 1_000).apply(&s);
+        assert_eq!(out.len(), 1, "four events in one block within dead time");
+    }
+
+    #[test]
+    fn downsampler_ceil_resolution() {
+        let d = SpatialDownsampler::new(4, 0);
+        assert_eq!(d.output_resolution((10, 9)), (3, 3));
+    }
+
+    #[test]
+    fn rate_controller_bounds_sustained_rate() {
+        // 1000 events over 1ms = 1Meps offered; cap at 100keps, burst 10.
+        let s = EventStream::from_events(
+            (8, 8),
+            (0..1000).map(|i| Event::new(i, 0, 0, Polarity::On)).collect(),
+        )
+        .expect("ok");
+        let (kept, dropped) = EventRateController::new(100_000.0, 10).apply(&s);
+        assert_eq!(kept.len() + dropped, 1000);
+        // ~1ms at 100keps sustains ~100 events plus the burst of 10.
+        assert!((100..=115).contains(&kept.len()), "kept {}", kept.len());
+    }
+
+    #[test]
+    fn rate_controller_passes_slow_streams() {
+        let s = EventStream::from_events(
+            (8, 8),
+            (0..10).map(|i| Event::new(i * 100_000, 0, 0, Polarity::On)).collect(),
+        )
+        .expect("ok");
+        let (kept, dropped) = EventRateController::new(1_000.0, 4).apply(&s);
+        assert_eq!(dropped, 0);
+        assert_eq!(kept.len(), 10);
+    }
+
+    #[test]
+    fn foveation_keeps_center_decimate_periphery() {
+        let center_events: Vec<Event> =
+            (0..10).map(|i| Event::new(i, 16, 16, Polarity::On)).collect();
+        let periph_events: Vec<Event> =
+            (10..20).map(|i| Event::new(i, 30, 30, Polarity::On)).collect();
+        let mut all = center_events;
+        all.extend(periph_events);
+        let s = EventStream::from_events((32, 32), all).expect("ok");
+        let out = FoveationMask::new((16, 16), 5.0, 5).apply(&s);
+        let in_fovea = out.iter().filter(|e| e.x == 16).count();
+        let periph = out.iter().filter(|e| e.x == 30).count();
+        assert_eq!(in_fovea, 10);
+        assert_eq!(periph, 2, "1 in 5 kept");
+    }
+
+    #[test]
+    fn center_surround_suppresses_uniform_activity() {
+        // Light up a whole region repeatedly: second pass should be
+        // suppressed because the surround ring is uniformly active.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for pass in 0..2 {
+            for y in 4..12u16 {
+                for x in 4..12u16 {
+                    events.push(Event::new(t + pass * 10, x, y, Polarity::On));
+                    t += 1;
+                }
+            }
+        }
+        let s = EventStream::from_unsorted((16, 16), events).expect("ok");
+        let out = CenterSurroundFilter::new(10_000, 0.5).apply(&s);
+        assert!(
+            out.len() < s.len() / 2,
+            "uniform region should be suppressed: {} of {}",
+            out.len(),
+            s.len()
+        );
+    }
+
+    #[test]
+    fn center_surround_keeps_isolated_edges() {
+        // A single moving point: surround never uniformly active.
+        let s = burst_at(&[(2, 2), (3, 2), (4, 2)], 0, (16, 16));
+        let out = CenterSurroundFilter::new(1_000, 0.5).apply(&s);
+        assert_eq!(out.len(), 3);
+    }
+}

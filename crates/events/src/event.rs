@@ -1,0 +1,268 @@
+//! The atomic event type produced by an event camera.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Microsecond-resolution timestamp.
+///
+/// Event cameras timestamp changes with microsecond granularity; all of
+/// `evlab` uses µs as the canonical time unit. The newtype prevents mixing
+/// timestamps with other integer quantities (pixel indices, counters).
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::Timestamp;
+///
+/// let t = Timestamp::from_micros(1_500);
+/// assert_eq!(t.as_micros(), 1_500);
+/// assert!((t.as_secs_f64() - 0.0015).abs() < 1e-12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Creates a timestamp from seconds, rounding to the nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
+        Timestamp((secs * 1e6).round() as u64)
+    }
+
+    /// Value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Saturating difference `self - earlier` in microseconds.
+    pub fn saturating_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Timestamp advanced by `us` microseconds (saturating).
+    pub fn offset(self, us: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(us))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(us: u64) -> Self {
+        Timestamp(us)
+    }
+}
+
+/// Contrast-change polarity: luminance increase ([`Polarity::On`]) or
+/// decrease ([`Polarity::Off`]).
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::Polarity;
+///
+/// assert_eq!(Polarity::On.as_sign(), 1.0);
+/// assert_eq!(Polarity::Off.as_sign(), -1.0);
+/// assert_eq!(Polarity::On.flip(), Polarity::Off);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Luminance increased past the ON contrast threshold.
+    On,
+    /// Luminance decreased past the OFF contrast threshold.
+    Off,
+}
+
+impl Polarity {
+    /// `+1.0` for ON, `-1.0` for OFF — the sign used when accumulating
+    /// polarity-signed frames.
+    pub fn as_sign(self) -> f32 {
+        match self {
+            Polarity::On => 1.0,
+            Polarity::Off => -1.0,
+        }
+    }
+
+    /// Channel index used by two-channel frame encoders (ON → 0, OFF → 1).
+    pub fn channel(self) -> usize {
+        match self {
+            Polarity::On => 0,
+            Polarity::Off => 1,
+        }
+    }
+
+    /// The opposite polarity.
+    pub fn flip(self) -> Polarity {
+        match self {
+            Polarity::On => Polarity::Off,
+            Polarity::Off => Polarity::On,
+        }
+    }
+
+    /// Single-bit encoding used by the AER codec (ON → 1, OFF → 0).
+    pub fn bit(self) -> u64 {
+        match self {
+            Polarity::On => 1,
+            Polarity::Off => 0,
+        }
+    }
+
+    /// Decodes the AER polarity bit.
+    pub fn from_bit(bit: u64) -> Polarity {
+        if bit & 1 == 1 {
+            Polarity::On
+        } else {
+            Polarity::Off
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::On => write!(f, "+"),
+            Polarity::Off => write!(f, "-"),
+        }
+    }
+}
+
+/// A single event: pixel address, timestamp and polarity.
+///
+/// This is the unit of data every paradigm in the paper consumes —
+/// "each comprising an XY pixel address, a timestamp and a polarity".
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::{Event, Polarity};
+///
+/// let e = Event::new(1_000, 12, 34, Polarity::On);
+/// assert_eq!(e.x, 12);
+/// assert_eq!(e.t.as_micros(), 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// Timestamp of the contrast change.
+    pub t: Timestamp,
+    /// Pixel column.
+    pub x: u16,
+    /// Pixel row.
+    pub y: u16,
+    /// Contrast-change direction.
+    pub polarity: Polarity,
+}
+
+impl Event {
+    /// Creates an event at `t` microseconds, pixel `(x, y)`.
+    pub fn new(t_us: u64, x: u16, y: u16, polarity: Polarity) -> Self {
+        Event {
+            t: Timestamp::from_micros(t_us),
+            x,
+            y,
+            polarity,
+        }
+    }
+
+    /// Squared spatiotemporal distance to another event, with time scaled by
+    /// `beta` pixels-per-microsecond. This is the metric event-graph
+    /// construction uses to connect events into a 3-D point cloud.
+    pub fn spacetime_dist_sq(&self, other: &Event, beta: f64) -> f64 {
+        let dx = self.x as f64 - other.x as f64;
+        let dy = self.y as f64 - other.y as f64;
+        let dt = (self.t.as_micros() as f64 - other.t.as_micros() as f64) * beta;
+        dx * dx + dy * dy + dt * dt
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {}, {})", self.t, self.x, self.y, self.polarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_conversions() {
+        let t = Timestamp::from_secs_f64(0.25);
+        assert_eq!(t.as_micros(), 250_000);
+        assert_eq!(t.as_secs_f64(), 0.25);
+        assert_eq!(Timestamp::from_micros(5).offset(3).as_micros(), 8);
+        assert_eq!(
+            Timestamp::from_micros(5).saturating_since(Timestamp::from_micros(9)),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_seconds_panic() {
+        Timestamp::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn polarity_round_trip_bit() {
+        for p in [Polarity::On, Polarity::Off] {
+            assert_eq!(Polarity::from_bit(p.bit()), p);
+        }
+    }
+
+    #[test]
+    fn polarity_channels_are_distinct() {
+        assert_ne!(Polarity::On.channel(), Polarity::Off.channel());
+    }
+
+    #[test]
+    fn spacetime_distance() {
+        let a = Event::new(0, 0, 0, Polarity::On);
+        let b = Event::new(100, 3, 4, Polarity::Off);
+        // beta = 0: purely spatial 3-4-5 triangle.
+        assert_eq!(a.spacetime_dist_sq(&b, 0.0), 25.0);
+        // beta = 0.01 px/us: dt contributes (100*0.01)^2 = 1.
+        assert!((a.spacetime_dist_sq(&b, 0.01) - 26.0).abs() < 1e-9);
+        // Symmetry.
+        assert_eq!(
+            a.spacetime_dist_sq(&b, 0.01),
+            b.spacetime_dist_sq(&a, 0.01)
+        );
+    }
+
+    #[test]
+    fn event_display_is_nonempty() {
+        let e = Event::new(7, 1, 2, Polarity::Off);
+        assert!(!format!("{e}").is_empty());
+        assert!(!format!("{e:?}").is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Event::new(99, 4, 5, Polarity::On);
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: Event = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,327 @@
+//! Event-stream filters.
+//!
+//! Event cameras and their host drivers commonly apply two filters before any
+//! neural processing: a per-pixel *refractory* filter (suppressing bursts
+//! from a single pixel) and a *background-activity* filter (suppressing
+//! isolated noise events with no spatiotemporal support). Both are provided
+//! here as pure stream-to-stream transforms, along with a polarity filter.
+
+use crate::stream::EventStream;
+
+/// Per-pixel refractory filter.
+///
+/// Drops any event whose pixel fired less than `refractory_us` ago,
+/// regardless of polarity — mirroring the analog refractory bias of DVS
+/// pixels.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::filters::RefractoryFilter;
+/// use evlab_events::{Event, EventStream, Polarity};
+///
+/// let s = EventStream::from_events(
+///     (4, 4),
+///     vec![
+///         Event::new(0, 1, 1, Polarity::On),
+///         Event::new(10, 1, 1, Polarity::On),  // too soon, dropped
+///         Event::new(200, 1, 1, Polarity::On), // kept
+///     ],
+/// )?;
+/// let out = RefractoryFilter::new(100).apply(&s);
+/// assert_eq!(out.len(), 2);
+/// # Ok::<(), evlab_events::EventOrderError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefractoryFilter {
+    refractory_us: u64,
+}
+
+impl RefractoryFilter {
+    /// Creates a filter with the given dead time in microseconds.
+    pub fn new(refractory_us: u64) -> Self {
+        RefractoryFilter { refractory_us }
+    }
+
+    /// Applies the filter, returning the surviving events.
+    pub fn apply(&self, stream: &EventStream) -> EventStream {
+        let (w, h) = stream.resolution();
+        let mut last_fire: Vec<Option<u64>> = vec![None; w as usize * h as usize];
+        let mut out = EventStream::new((w, h));
+        for e in stream.iter() {
+            let idx = e.y as usize * w as usize + e.x as usize;
+            let keep = match last_fire[idx] {
+                Some(prev) => e.t.as_micros().saturating_sub(prev) >= self.refractory_us,
+                None => true,
+            };
+            if keep {
+                last_fire[idx] = Some(e.t.as_micros());
+                out.push(*e).expect("filter preserves order and bounds");
+            }
+        }
+        out
+    }
+}
+
+/// Background-activity (noise) filter.
+///
+/// Keeps an event only if one of its 8-connected neighbours fired within the
+/// last `support_us` microseconds. Isolated shot-noise events have no such
+/// support and are removed; events on moving edges do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundActivityFilter {
+    support_us: u64,
+}
+
+impl BackgroundActivityFilter {
+    /// Creates a filter requiring neighbour support within `support_us`.
+    pub fn new(support_us: u64) -> Self {
+        BackgroundActivityFilter { support_us }
+    }
+
+    /// Applies the filter, returning the surviving events.
+    ///
+    /// Every incoming event updates its pixel's "last seen" time whether or
+    /// not it survives, matching hardware implementations that always write
+    /// the timestamp memory.
+    pub fn apply(&self, stream: &EventStream) -> EventStream {
+        let (w, h) = stream.resolution();
+        let mut last_seen: Vec<Option<u64>> = vec![None; w as usize * h as usize];
+        let mut out = EventStream::new((w, h));
+        for e in stream.iter() {
+            let t = e.t.as_micros();
+            let mut supported = false;
+            'scan: for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nx = e.x as i32 + dx;
+                    let ny = e.y as i32 + dy;
+                    if nx < 0 || ny < 0 || nx >= w as i32 || ny >= h as i32 {
+                        continue;
+                    }
+                    let idx = ny as usize * w as usize + nx as usize;
+                    if let Some(prev) = last_seen[idx] {
+                        if t.saturating_sub(prev) <= self.support_us {
+                            supported = true;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            last_seen[e.y as usize * w as usize + e.x as usize] = Some(t);
+            if supported {
+                out.push(*e).expect("filter preserves order and bounds");
+            }
+        }
+        out
+    }
+}
+
+/// Hot-pixel filter.
+///
+/// Defective "hot" pixels fire continuously regardless of the scene and can
+/// dominate a recording. This filter makes two passes: it measures each
+/// pixel's event rate over the stream, then removes all events from pixels
+/// whose rate exceeds `max_rate_hz`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotPixelFilter {
+    max_rate_hz: f64,
+}
+
+impl HotPixelFilter {
+    /// Creates a filter removing pixels that fire above `max_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate_hz <= 0`.
+    pub fn new(max_rate_hz: f64) -> Self {
+        assert!(max_rate_hz > 0.0, "rate must be positive");
+        HotPixelFilter { max_rate_hz }
+    }
+
+    /// Identifies the hot pixels of a stream (row-major mask).
+    pub fn hot_mask(&self, stream: &EventStream) -> Vec<bool> {
+        let counts = crate::stats::pixel_histogram(stream);
+        let duration_s = (stream.duration_us().max(1)) as f64 * 1e-6;
+        counts
+            .iter()
+            .map(|&c| c as f64 / duration_s > self.max_rate_hz)
+            .collect()
+    }
+
+    /// Applies the filter, returning `(survivors, hot_pixel_count)`.
+    pub fn apply(&self, stream: &EventStream) -> (EventStream, usize) {
+        let mask = self.hot_mask(stream);
+        let hot = mask.iter().filter(|&&m| m).count();
+        let w = stream.width() as usize;
+        let out = stream.filtered(|e| !mask[e.y as usize * w + e.x as usize]);
+        (out, hot)
+    }
+}
+
+/// Returns only the events of the given polarity.
+pub fn polarity_filter(stream: &EventStream, polarity: crate::event::Polarity) -> EventStream {
+    stream.filtered(|e| e.polarity == polarity)
+}
+
+/// Applies a chain of stream transforms in order.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::filters::{chain, BackgroundActivityFilter, RefractoryFilter};
+/// use evlab_events::EventStream;
+///
+/// let s = EventStream::new((8, 8));
+/// let refr = RefractoryFilter::new(100);
+/// let ba = BackgroundActivityFilter::new(1_000);
+/// let out = chain(&s, &[&|s| refr.apply(s), &|s| ba.apply(s)]);
+/// assert!(out.is_empty());
+/// ```
+pub fn chain(
+    stream: &EventStream,
+    stages: &[&dyn Fn(&EventStream) -> EventStream],
+) -> EventStream {
+    let mut current = stream.clone();
+    for stage in stages {
+        current = stage(&current);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Polarity};
+
+    #[test]
+    fn refractory_drops_fast_repeats() {
+        let s = EventStream::from_events(
+            (4, 4),
+            vec![
+                Event::new(0, 0, 0, Polarity::On),
+                Event::new(50, 0, 0, Polarity::Off),
+                Event::new(100, 0, 0, Polarity::On),
+                Event::new(100, 1, 1, Polarity::On), // other pixel, kept
+            ],
+        )
+        .expect("ok");
+        let out = RefractoryFilter::new(100).apply(&s);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.as_slice()[1].t.as_micros(), 100);
+    }
+
+    #[test]
+    fn refractory_zero_is_identity() {
+        let s = EventStream::from_events(
+            (4, 4),
+            vec![Event::new(0, 0, 0, Polarity::On), Event::new(0, 0, 0, Polarity::On)],
+        )
+        .expect("ok");
+        assert_eq!(RefractoryFilter::new(0).apply(&s).len(), 2);
+    }
+
+    #[test]
+    fn background_filter_removes_isolated_events() {
+        // Two events far apart in space: neither supports the other.
+        let s = EventStream::from_events(
+            (16, 16),
+            vec![Event::new(0, 1, 1, Polarity::On), Event::new(10, 10, 10, Polarity::On)],
+        )
+        .expect("ok");
+        let out = BackgroundActivityFilter::new(1_000).apply(&s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn background_filter_keeps_supported_events() {
+        // An edge: adjacent pixels firing close in time.
+        let s = EventStream::from_events(
+            (16, 16),
+            vec![
+                Event::new(0, 5, 5, Polarity::On),
+                Event::new(5, 6, 5, Polarity::On),
+                Event::new(10, 7, 5, Polarity::On),
+            ],
+        )
+        .expect("ok");
+        let out = BackgroundActivityFilter::new(100).apply(&s);
+        // The first event has no prior support; the following two do.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn background_filter_respects_time_window() {
+        let s = EventStream::from_events(
+            (16, 16),
+            vec![Event::new(0, 5, 5, Polarity::On), Event::new(10_000, 6, 5, Polarity::On)],
+        )
+        .expect("ok");
+        let out = BackgroundActivityFilter::new(100).apply(&s);
+        assert!(out.is_empty(), "support expired");
+    }
+
+    #[test]
+    fn hot_pixel_filter_removes_stuck_pixels() {
+        // One pixel fires 100 times over 10ms (10 kHz); the scene pixel
+        // fires 5 times (500 Hz).
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            events.push(Event::new(i * 100, 2, 2, Polarity::On));
+        }
+        for i in 0..5u64 {
+            events.push(Event::new(i * 2_000, 7, 7, Polarity::Off));
+        }
+        let s = EventStream::from_unsorted((8, 8), events).expect("ok");
+        let (out, hot) = HotPixelFilter::new(5_000.0).apply(&s);
+        assert_eq!(hot, 1);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|e| (e.x, e.y) == (7, 7)));
+    }
+
+    #[test]
+    fn hot_pixel_filter_passes_normal_streams() {
+        let s = EventStream::from_events(
+            (8, 8),
+            (0..20u64)
+                .map(|i| Event::new(i * 1_000, (i % 8) as u16, 1, Polarity::On))
+                .collect(),
+        )
+        .expect("ok");
+        let (out, hot) = HotPixelFilter::new(10_000.0).apply(&s);
+        assert_eq!(hot, 0);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn polarity_filter_selects() {
+        let s = EventStream::from_events(
+            (4, 4),
+            vec![Event::new(0, 0, 0, Polarity::On), Event::new(1, 0, 0, Polarity::Off)],
+        )
+        .expect("ok");
+        assert_eq!(polarity_filter(&s, Polarity::On).len(), 1);
+        assert_eq!(polarity_filter(&s, Polarity::Off).len(), 1);
+    }
+
+    #[test]
+    fn chain_applies_in_order() {
+        let s = EventStream::from_events(
+            (16, 16),
+            vec![
+                Event::new(0, 5, 5, Polarity::On),
+                Event::new(5, 6, 5, Polarity::On),
+                Event::new(6, 6, 5, Polarity::On), // refractory victim
+            ],
+        )
+        .expect("ok");
+        let refr = RefractoryFilter::new(100);
+        let ba = BackgroundActivityFilter::new(100);
+        let out = chain(&s, &[&|s| refr.apply(s), &|s| ba.apply(s)]);
+        // Refractory removes the third; BA removes the unsupported first.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.as_slice()[0].t.as_micros(), 5);
+    }
+}

@@ -1,0 +1,234 @@
+//! Binary event-stream serialization.
+//!
+//! A compact on-disk format in the spirit of AEDAT: a fixed header
+//! (magic, version, resolution, count) followed by the 64-bit AER words of
+//! the [`crate::aer::AerCodec`]. Write with [`write_stream`], read back with
+//! [`read_stream`]; both take generic `Write`/`Read` values, so a `&mut
+//! Vec<u8>` or a `&mut File` works equally (pass `&mut reader` to keep
+//! ownership).
+
+use crate::aer::{AerCodec, DecodeAerError};
+use crate::stream::{EventOrderError, EventStream};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// File magic: `EVLB`.
+pub const MAGIC: [u8; 4] = *b"EVLB";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors produced while reading a stream.
+#[derive(Debug)]
+pub enum ReadStreamError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// Unsupported format version.
+    BadVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// An AER word failed to decode.
+    Decode(DecodeAerError),
+    /// Decoded events were not time-ordered.
+    Order(EventOrderError),
+}
+
+impl fmt::Display for ReadStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadStreamError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadStreamError::BadMagic { found } => {
+                write!(f, "bad magic {found:?}, expected {MAGIC:?}")
+            }
+            ReadStreamError::BadVersion { found } => {
+                write!(f, "unsupported version {found}")
+            }
+            ReadStreamError::Decode(e) => write!(f, "decode error: {e}"),
+            ReadStreamError::Order(e) => write!(f, "order error: {e}"),
+        }
+    }
+}
+
+impl Error for ReadStreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadStreamError::Io(e) => Some(e),
+            ReadStreamError::Decode(e) => Some(e),
+            ReadStreamError::Order(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadStreamError {
+    fn from(e: io::Error) -> Self {
+        ReadStreamError::Io(e)
+    }
+}
+
+/// Serializes a stream. A `&mut` reference can be passed as the writer to
+/// keep using it afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_stream<W: Write>(stream: &EventStream, mut writer: W) -> io::Result<()> {
+    let (w, h) = stream.resolution();
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&w.to_le_bytes())?;
+    writer.write_all(&h.to_le_bytes())?;
+    writer.write_all(&(stream.len() as u64).to_le_bytes())?;
+    let codec = AerCodec::new((w, h));
+    for e in stream.iter() {
+        writer.write_all(&codec.encode(e).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a stream written by [`write_stream`]. A `&mut` reference
+/// can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`ReadStreamError`] on I/O failure, bad magic/version, AER
+/// decode failure, or out-of-order events.
+pub fn read_stream<R: Read>(mut reader: R) -> Result<EventStream, ReadStreamError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(ReadStreamError::BadMagic { found: magic });
+    }
+    let mut buf2 = [0u8; 2];
+    reader.read_exact(&mut buf2)?;
+    let version = u16::from_le_bytes(buf2);
+    if version != VERSION {
+        return Err(ReadStreamError::BadVersion { found: version });
+    }
+    reader.read_exact(&mut buf2)?;
+    let w = u16::from_le_bytes(buf2);
+    reader.read_exact(&mut buf2)?;
+    let h = u16::from_le_bytes(buf2);
+    let mut buf8 = [0u8; 8];
+    reader.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8);
+    let codec = AerCodec::new((w, h));
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        reader.read_exact(&mut buf8)?;
+        let word = u64::from_le_bytes(buf8);
+        events.push(codec.decode(word).map_err(ReadStreamError::Decode)?);
+    }
+    EventStream::from_events((w, h), events).map_err(ReadStreamError::Order)
+}
+
+/// Serialized size in bytes for a stream of `n` events.
+pub fn encoded_size(n: usize) -> usize {
+    4 + 2 + 2 + 2 + 8 + 8 * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Polarity};
+
+    fn sample() -> EventStream {
+        EventStream::from_events(
+            (640, 480),
+            (0..500u64)
+                .map(|i| {
+                    Event::new(
+                        i * 17,
+                        (i % 640) as u16,
+                        (i % 480) as u16,
+                        if i % 3 == 0 { Polarity::Off } else { Polarity::On },
+                    )
+                })
+                .collect(),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn round_trip() {
+        let stream = sample();
+        let mut buf = Vec::new();
+        write_stream(&stream, &mut buf).expect("write");
+        assert_eq!(buf.len(), encoded_size(stream.len()));
+        let back = read_stream(buf.as_slice()).expect("read");
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let stream = EventStream::new((8, 8));
+        let mut buf = Vec::new();
+        write_stream(&stream, &mut buf).expect("write");
+        let back = read_stream(buf.as_slice()).expect("read");
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = Vec::new();
+        write_stream(&sample(), &mut buf).expect("write");
+        buf[0] = b'X';
+        match read_stream(buf.as_slice()) {
+            Err(ReadStreamError::BadMagic { .. }) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut buf = Vec::new();
+        write_stream(&sample(), &mut buf).expect("write");
+        buf[4] = 99;
+        assert!(matches!(
+            read_stream(buf.as_slice()),
+            Err(ReadStreamError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_stream(&sample(), &mut buf).expect("write");
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(
+            read_stream(buf.as_slice()),
+            Err(ReadStreamError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_address_detected() {
+        let small = EventStream::from_events(
+            (4, 4),
+            vec![Event::new(0, 1, 1, Polarity::On)],
+        )
+        .expect("valid");
+        let mut buf = Vec::new();
+        write_stream(&small, &mut buf).expect("write");
+        // Overwrite the event word with an out-of-range x address.
+        let word = AerCodec::new((640, 480)).encode(&Event::new(0, 600, 1, Polarity::On));
+        let n = buf.len();
+        buf[n - 8..].copy_from_slice(&word.to_le_bytes());
+        assert!(matches!(
+            read_stream(buf.as_slice()),
+            Err(ReadStreamError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        let e = ReadStreamError::BadMagic { found: [0; 4] };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Event-camera data structures and stream processing.
+//!
+//! This crate is the data substrate shared by every paradigm in the
+//! workspace. It provides:
+//!
+//! * [`Event`], [`Polarity`], [`Timestamp`] — the atomic unit of event-camera
+//!   output: an (x, y) pixel address, a microsecond timestamp and an ON/OFF
+//!   polarity.
+//! * [`EventStream`] — a time-sorted sequence of events with windowing,
+//!   slicing and merging operations.
+//! * [`aer`] — the Address-Event Representation codec and a shared-bus model
+//!   with finite bandwidth and backpressure, mirroring how events leave the
+//!   sensor die.
+//! * [`filters`] — refractory and background-activity (noise) filters that
+//!   event cameras and their drivers commonly apply.
+//! * [`downsample`] — the in-sensor event-rate mitigation strategies the
+//!   paper's §II reviews: spatial downsampling, an event-rate controller,
+//!   foveation, and a centre-surround filter.
+//! * [`stats`] — event-rate and sparsity statistics used by the Table I
+//!   "Data sparsity" experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_events::{Event, EventStream, Polarity};
+//!
+//! let stream = EventStream::from_events(
+//!     (64, 64),
+//!     vec![
+//!         Event::new(10, 3, 4, Polarity::On),
+//!         Event::new(20, 3, 5, Polarity::Off),
+//!     ],
+//! )?;
+//! assert_eq!(stream.len(), 2);
+//! assert_eq!(stream.duration_us(), 10);
+//! # Ok::<(), evlab_events::EventOrderError>(())
+//! ```
+
+pub mod aer;
+pub mod downsample;
+pub mod event;
+pub mod filters;
+pub mod io;
+pub mod stats;
+pub mod stream;
+
+pub use event::{Event, Polarity, Timestamp};
+pub use stream::{EventOrderError, EventStream};

@@ -1,0 +1,185 @@
+//! Event-stream statistics.
+//!
+//! These measurements back the "Data – Sparsity" row of the paper's Table I:
+//! they quantify how much of the sensor array is actually active per time
+//! window, and how the event rate evolves over a recording.
+
+use crate::stream::EventStream;
+use evlab_util::stats::Running;
+
+/// Sparsity measurements of a stream over fixed windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityReport {
+    /// Fraction of pixels with at least one event, per window.
+    pub active_pixel_fraction: Running,
+    /// Events per window.
+    pub events_per_window: Running,
+    /// Events per active pixel per window (burstiness).
+    pub events_per_active_pixel: Running,
+    /// Window length used, in microseconds.
+    pub window_us: u64,
+}
+
+impl SparsityReport {
+    /// Compression factor of the raw event representation relative to a
+    /// dense frame of the same window: dense pixels / events.
+    ///
+    /// Returns infinity for silent streams.
+    pub fn event_vs_frame_compression(&self, pixel_count: usize) -> f64 {
+        let mean_events = self.events_per_window.mean();
+        if mean_events == 0.0 {
+            f64::INFINITY
+        } else {
+            pixel_count as f64 / mean_events
+        }
+    }
+}
+
+/// Computes sparsity statistics over consecutive `window_us` windows.
+///
+/// # Panics
+///
+/// Panics if `window_us == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::stats::sparsity;
+/// use evlab_events::{Event, EventStream, Polarity};
+///
+/// let s = EventStream::from_events(
+///     (10, 10),
+///     vec![Event::new(0, 1, 1, Polarity::On), Event::new(5, 2, 2, Polarity::On)],
+/// )?;
+/// let report = sparsity(&s, 1_000);
+/// assert!((report.active_pixel_fraction.mean() - 0.02).abs() < 1e-9);
+/// # Ok::<(), evlab_events::EventOrderError>(())
+/// ```
+pub fn sparsity(stream: &EventStream, window_us: u64) -> SparsityReport {
+    let pixel_count = stream.pixel_count();
+    let mut active_pixel_fraction = Running::new();
+    let mut events_per_window = Running::new();
+    let mut events_per_active_pixel = Running::new();
+    for window in stream.windows(window_us) {
+        let mut seen = vec![false; pixel_count];
+        let mut active = 0usize;
+        for e in window {
+            let idx = e.y as usize * stream.width() as usize + e.x as usize;
+            if !seen[idx] {
+                seen[idx] = true;
+                active += 1;
+            }
+        }
+        active_pixel_fraction.push(active as f64 / pixel_count as f64);
+        events_per_window.push(window.len() as f64);
+        if active > 0 {
+            events_per_active_pixel.push(window.len() as f64 / active as f64);
+        }
+    }
+    SparsityReport {
+        active_pixel_fraction,
+        events_per_window,
+        events_per_active_pixel,
+        window_us,
+    }
+}
+
+/// Event rate over time: one sample (events/s) per `window_us` window.
+pub fn rate_profile(stream: &EventStream, window_us: u64) -> Vec<f64> {
+    stream
+        .windows(window_us)
+        .iter()
+        .map(|w| w.len() as f64 / (window_us as f64 * 1e-6))
+        .collect()
+}
+
+/// Per-pixel event-count map, row-major `height × width`.
+pub fn pixel_histogram(stream: &EventStream) -> Vec<u32> {
+    let mut counts = vec![0u32; stream.pixel_count()];
+    for e in stream.iter() {
+        counts[e.y as usize * stream.width() as usize + e.x as usize] += 1;
+    }
+    counts
+}
+
+/// Peak instantaneous rate: the maximum events/s over sliding windows of
+/// `window_us`. Returns 0 for empty streams.
+pub fn peak_rate_hz(stream: &EventStream, window_us: u64) -> f64 {
+    rate_profile(stream, window_us)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Polarity};
+
+    fn uniform_stream(n: u64, res: (u16, u16)) -> EventStream {
+        EventStream::from_events(
+            res,
+            (0..n)
+                .map(|i| {
+                    Event::new(
+                        i * 10,
+                        (i % res.0 as u64) as u16,
+                        ((i / res.0 as u64) % res.1 as u64) as u16,
+                        Polarity::On,
+                    )
+                })
+                .collect(),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn sparsity_counts_distinct_pixels() {
+        let s = EventStream::from_events(
+            (10, 10),
+            vec![
+                Event::new(0, 1, 1, Polarity::On),
+                Event::new(1, 1, 1, Polarity::Off), // same pixel
+                Event::new(2, 2, 2, Polarity::On),
+            ],
+        )
+        .expect("ok");
+        let r = sparsity(&s, 1_000);
+        assert_eq!(r.events_per_window.mean(), 3.0);
+        assert!((r.active_pixel_fraction.mean() - 0.02).abs() < 1e-12);
+        assert!((r.events_per_active_pixel.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_factor() {
+        let s = uniform_stream(10, (32, 32));
+        let r = sparsity(&s, 1_000);
+        let c = r.event_vs_frame_compression(s.pixel_count());
+        assert!((c - 1024.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compression_infinite_for_silence() {
+        let r = sparsity(&EventStream::new((8, 8)), 100);
+        assert_eq!(r.event_vs_frame_compression(64), f64::INFINITY);
+    }
+
+    #[test]
+    fn rate_profile_flat_for_uniform_stream() {
+        let s = uniform_stream(100, (16, 16));
+        let profile = rate_profile(&s, 100);
+        assert!(!profile.is_empty());
+        // 1 event per 10us = 100k events/s in every full window.
+        for &r in &profile[..profile.len() - 1] {
+            assert!((r - 100_000.0).abs() < 1e-6, "rate {r}");
+        }
+        assert!((peak_rate_hz(&s, 100) - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pixel_histogram_totals() {
+        let s = uniform_stream(50, (8, 8));
+        let h = pixel_histogram(&s);
+        assert_eq!(h.iter().sum::<u32>(), 50);
+        assert_eq!(h.len(), 64);
+    }
+}

@@ -1,0 +1,482 @@
+//! Time-sorted event streams.
+
+use crate::event::{Event, Polarity, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a stream from events that are not sorted
+/// by timestamp or that fall outside the sensor resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventOrderError {
+    /// Event at `index` has a timestamp earlier than its predecessor.
+    OutOfOrder {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// Event at `index` lies outside the declared resolution.
+    OutOfBounds {
+        /// Index of the offending event.
+        index: usize,
+        /// Offending coordinates.
+        x: u16,
+        /// Offending coordinates.
+        y: u16,
+    },
+}
+
+impl fmt::Display for EventOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventOrderError::OutOfOrder { index } => {
+                write!(f, "event {index} is earlier than its predecessor")
+            }
+            EventOrderError::OutOfBounds { index, x, y } => {
+                write!(f, "event {index} at ({x}, {y}) is outside the sensor array")
+            }
+        }
+    }
+}
+
+impl Error for EventOrderError {}
+
+/// A monotonically time-sorted sequence of events from a sensor of known
+/// resolution.
+///
+/// The sortedness invariant is established at construction and preserved by
+/// every method, which lets windowing and merging use binary search, and lets
+/// downstream consumers (frame builders, event-driven simulators, incremental
+/// graph construction) assume causal ordering.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::{Event, EventStream, Polarity};
+///
+/// let s = EventStream::from_events(
+///     (32, 32),
+///     vec![
+///         Event::new(0, 1, 1, Polarity::On),
+///         Event::new(50, 2, 2, Polarity::Off),
+///         Event::new(120, 3, 3, Polarity::On),
+///     ],
+/// )?;
+/// let window = s.window(40, 130);
+/// assert_eq!(window.len(), 2);
+/// # Ok::<(), evlab_events::EventOrderError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventStream {
+    width: u16,
+    height: u16,
+    events: Vec<Event>,
+}
+
+impl EventStream {
+    /// Creates an empty stream for a `(width, height)` sensor.
+    pub fn new(resolution: (u16, u16)) -> Self {
+        EventStream {
+            width: resolution.0,
+            height: resolution.1,
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates a stream from already-sorted events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventOrderError::OutOfOrder`] if timestamps decrease, or
+    /// [`EventOrderError::OutOfBounds`] if an event lies outside the
+    /// resolution.
+    pub fn from_events(
+        resolution: (u16, u16),
+        events: Vec<Event>,
+    ) -> Result<Self, EventOrderError> {
+        for (i, e) in events.iter().enumerate() {
+            if e.x >= resolution.0 || e.y >= resolution.1 {
+                return Err(EventOrderError::OutOfBounds {
+                    index: i,
+                    x: e.x,
+                    y: e.y,
+                });
+            }
+            if i > 0 && e.t < events[i - 1].t {
+                return Err(EventOrderError::OutOfOrder { index: i });
+            }
+        }
+        Ok(EventStream {
+            width: resolution.0,
+            height: resolution.1,
+            events,
+        })
+    }
+
+    /// Creates a stream from unsorted events by stably sorting them by
+    /// timestamp first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventOrderError::OutOfBounds`] if an event lies outside the
+    /// resolution.
+    pub fn from_unsorted(
+        resolution: (u16, u16),
+        mut events: Vec<Event>,
+    ) -> Result<Self, EventOrderError> {
+        events.sort_by_key(|e| e.t);
+        Self::from_events(resolution, events)
+    }
+
+    /// Sensor resolution `(width, height)`.
+    pub fn resolution(&self) -> (u16, u16) {
+        (self.width, self.height)
+    }
+
+    /// Sensor width in pixels.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Sensor height in pixels.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of pixels in the array.
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events as a sorted slice.
+    pub fn as_slice(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates over the events in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Consumes the stream, returning the sorted event vector.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// First timestamp, or `None` when empty.
+    pub fn start(&self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.t)
+    }
+
+    /// Last timestamp, or `None` when empty.
+    pub fn end(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.t)
+    }
+
+    /// Duration between first and last event in microseconds (0 when fewer
+    /// than two events).
+    pub fn duration_us(&self) -> u64 {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) => e.saturating_since(s),
+            _ => 0,
+        }
+    }
+
+    /// Mean event rate in events per second (0 for degenerate streams).
+    pub fn mean_rate_hz(&self) -> f64 {
+        let d = self.duration_us();
+        if d == 0 {
+            0.0
+        } else {
+            self.events.len() as f64 / (d as f64 * 1e-6)
+        }
+    }
+
+    /// Appends an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the event would violate time ordering or bounds.
+    pub fn push(&mut self, event: Event) -> Result<(), EventOrderError> {
+        if event.x >= self.width || event.y >= self.height {
+            return Err(EventOrderError::OutOfBounds {
+                index: self.events.len(),
+                x: event.x,
+                y: event.y,
+            });
+        }
+        if let Some(last) = self.events.last() {
+            if event.t < last.t {
+                return Err(EventOrderError::OutOfOrder {
+                    index: self.events.len(),
+                });
+            }
+        }
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Returns the events with `t ∈ [from_us, to_us)` as a borrowed slice
+    /// (binary search, O(log n)).
+    pub fn window(&self, from_us: u64, to_us: u64) -> &[Event] {
+        let lo = self.events.partition_point(|e| e.t.as_micros() < from_us);
+        let hi = self.events.partition_point(|e| e.t.as_micros() < to_us);
+        &self.events[lo..hi]
+    }
+
+    /// Splits the stream into consecutive fixed-duration windows of
+    /// `window_us`, starting at the first event. The last partial window is
+    /// included. Returns an empty vector for an empty stream.
+    pub fn windows(&self, window_us: u64) -> Vec<&[Event]> {
+        assert!(window_us > 0, "window must be positive");
+        let Some(start) = self.start() else {
+            return Vec::new();
+        };
+        let end = self.end().expect("non-empty").as_micros();
+        let mut out = Vec::new();
+        let mut from = start.as_micros();
+        while from <= end {
+            out.push(self.window(from, from + window_us));
+            from += window_us;
+        }
+        out
+    }
+
+    /// Returns a new stream containing only events matching the predicate.
+    pub fn filtered<F: FnMut(&Event) -> bool>(&self, mut keep: F) -> EventStream {
+        EventStream {
+            width: self.width,
+            height: self.height,
+            events: self.events.iter().copied().filter(|e| keep(e)).collect(),
+        }
+    }
+
+    /// Returns a new stream with all timestamps shifted so the first event is
+    /// at t = 0. No-op for an empty stream.
+    pub fn rebased(&self) -> EventStream {
+        let Some(start) = self.start() else {
+            return self.clone();
+        };
+        EventStream {
+            width: self.width,
+            height: self.height,
+            events: self
+                .events
+                .iter()
+                .map(|e| Event {
+                    t: Timestamp::from_micros(e.t.saturating_since(start)),
+                    ..*e
+                })
+                .collect(),
+        }
+    }
+
+    /// Merges two streams of identical resolution into one sorted stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolutions differ.
+    pub fn merge(&self, other: &EventStream) -> EventStream {
+        assert_eq!(
+            self.resolution(),
+            other.resolution(),
+            "cannot merge streams of different resolution"
+        );
+        let mut events = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.events.len() && j < other.events.len() {
+            if self.events[i].t <= other.events[j].t {
+                events.push(self.events[i]);
+                i += 1;
+            } else {
+                events.push(other.events[j]);
+                j += 1;
+            }
+        }
+        events.extend_from_slice(&self.events[i..]);
+        events.extend_from_slice(&other.events[j..]);
+        EventStream {
+            width: self.width,
+            height: self.height,
+            events,
+        }
+    }
+
+    /// Counts events of each polarity, returned as `(on, off)`.
+    pub fn polarity_counts(&self) -> (usize, usize) {
+        let on = self
+            .events
+            .iter()
+            .filter(|e| e.polarity == Polarity::On)
+            .count();
+        (on, self.events.len() - on)
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for EventStream {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventStream {
+        EventStream::from_events(
+            (16, 16),
+            vec![
+                Event::new(0, 1, 1, Polarity::On),
+                Event::new(10, 2, 2, Polarity::Off),
+                Event::new(10, 3, 3, Polarity::On),
+                Event::new(25, 4, 4, Polarity::Off),
+                Event::new(100, 5, 5, Polarity::On),
+            ],
+        )
+        .expect("sorted")
+    }
+
+    #[test]
+    fn construction_validates_order() {
+        let err = EventStream::from_events(
+            (8, 8),
+            vec![Event::new(10, 0, 0, Polarity::On), Event::new(5, 0, 0, Polarity::On)],
+        )
+        .unwrap_err();
+        assert_eq!(err, EventOrderError::OutOfOrder { index: 1 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn construction_validates_bounds() {
+        let err =
+            EventStream::from_events((8, 8), vec![Event::new(0, 8, 0, Polarity::On)]).unwrap_err();
+        assert!(matches!(err, EventOrderError::OutOfBounds { index: 0, .. }));
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let s = EventStream::from_unsorted(
+            (8, 8),
+            vec![
+                Event::new(30, 0, 0, Polarity::On),
+                Event::new(10, 1, 1, Polarity::On),
+                Event::new(20, 2, 2, Polarity::On),
+            ],
+        )
+        .expect("in bounds");
+        let ts: Vec<u64> = s.iter().map(|e| e.t.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn window_half_open() {
+        let s = sample();
+        let w = s.window(10, 25);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|e| e.t.as_micros() == 10));
+        assert_eq!(s.window(0, 101).len(), 5);
+        assert_eq!(s.window(101, 200).len(), 0);
+    }
+
+    #[test]
+    fn windows_cover_everything() {
+        let s = sample();
+        let windows = s.windows(30);
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        assert_eq!(total, s.len());
+        // Duration 100us with 30us windows -> 4 windows (0,30,60,90 starts).
+        assert_eq!(windows.len(), 4);
+    }
+
+    #[test]
+    fn push_enforces_invariants() {
+        let mut s = sample();
+        assert!(s.push(Event::new(100, 0, 0, Polarity::On)).is_ok());
+        assert!(s.push(Event::new(99, 0, 0, Polarity::On)).is_err());
+        assert!(s.push(Event::new(200, 16, 0, Polarity::On)).is_err());
+    }
+
+    #[test]
+    fn merge_interleaves_sorted() {
+        let a = EventStream::from_events(
+            (8, 8),
+            vec![Event::new(0, 0, 0, Polarity::On), Event::new(20, 0, 0, Polarity::On)],
+        )
+        .expect("ok");
+        let b = EventStream::from_events(
+            (8, 8),
+            vec![Event::new(10, 1, 1, Polarity::Off), Event::new(30, 1, 1, Polarity::Off)],
+        )
+        .expect("ok");
+        let m = a.merge(&b);
+        let ts: Vec<u64> = m.iter().map(|e| e.t.as_micros()).collect();
+        assert_eq!(ts, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolution")]
+    fn merge_rejects_mismatched_resolution() {
+        let a = EventStream::new((8, 8));
+        let b = EventStream::new((16, 16));
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn rebased_starts_at_zero() {
+        let s = EventStream::from_events(
+            (8, 8),
+            vec![Event::new(50, 0, 0, Polarity::On), Event::new(80, 1, 1, Polarity::On)],
+        )
+        .expect("ok");
+        let r = s.rebased();
+        assert_eq!(r.start(), Some(Timestamp::ZERO));
+        assert_eq!(r.duration_us(), 30);
+    }
+
+    #[test]
+    fn rates_and_counts() {
+        let s = sample();
+        assert_eq!(s.duration_us(), 100);
+        assert!((s.mean_rate_hz() - 50_000.0).abs() < 1e-6);
+        assert_eq!(s.polarity_counts(), (3, 2));
+    }
+
+    #[test]
+    fn filtered_keeps_resolution() {
+        let s = sample();
+        let on_only = s.filtered(|e| e.polarity == Polarity::On);
+        assert_eq!(on_only.len(), 3);
+        assert_eq!(on_only.resolution(), s.resolution());
+    }
+
+    #[test]
+    fn empty_stream_edge_cases() {
+        let s = EventStream::new((4, 4));
+        assert!(s.is_empty());
+        assert_eq!(s.start(), None);
+        assert_eq!(s.duration_us(), 0);
+        assert_eq!(s.mean_rate_hz(), 0.0);
+        assert!(s.windows(10).is_empty());
+    }
+}

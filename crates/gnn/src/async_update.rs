@@ -1,0 +1,192 @@
+//! Asynchronous per-event inference (paper §IV, [Schaefer et al. AEGNN],
+//! [72]).
+//!
+//! "Event-graphs are inherently sparse and amenable to event-driven
+//! operation because graph convolutions could be triggered upon the
+//! generation of each event." With strictly causal edges (past → new), a
+//! newly inserted node never changes any existing node's neighbourhood, so
+//! per-event inference only has to:
+//!
+//! 1. insert the event into the incremental graph,
+//! 2. compute the *new node's* features through every layer from cached
+//!    neighbour features,
+//! 3. update the running mean pool and the logits.
+//!
+//! The per-event cost is `O(k · d² · L)` — independent of the graph size —
+//! versus a full recompute of `O(N · k · d² · L)`.
+
+use crate::build::{GraphConfig, IncrementalGraphBuilder};
+use crate::conv::NodeFeatures;
+use crate::network::GnnNetwork;
+use evlab_events::Event;
+use evlab_tensor::{OpCount, Tensor};
+
+/// Streaming inference engine wrapping a trained [`GnnNetwork`].
+pub struct AsyncGnn<'a> {
+    net: &'a mut GnnNetwork,
+    builder: IncrementalGraphBuilder,
+    /// Cached polarity input features, one row per absorbed node.
+    input_features: NodeFeatures,
+    /// Cached per-layer node features.
+    layer_features: Vec<NodeFeatures>,
+    /// Running sum of final-layer features (for O(1) mean pooling).
+    pool_sum: Vec<f32>,
+    classes: usize,
+}
+
+impl<'a> AsyncGnn<'a> {
+    /// Creates an engine over a trained network and a graph configuration.
+    pub fn new(net: &'a mut GnnNetwork, config: GraphConfig, classes: usize) -> Self {
+        let dims: Vec<usize> = net.convs().iter().map(|c| c.out_dim()).collect();
+        let last = *dims.last().expect("at least one conv layer");
+        AsyncGnn {
+            builder: IncrementalGraphBuilder::new(config),
+            input_features: NodeFeatures::zeros(0, 2),
+            layer_features: dims
+                .iter()
+                .map(|&d| NodeFeatures::zeros(0, d))
+                .collect(),
+            pool_sum: vec![0.0; last],
+            net,
+            classes,
+        }
+    }
+
+    /// Number of events absorbed so far.
+    pub fn node_count(&self) -> usize {
+        self.builder.graph().node_count()
+    }
+
+    /// Processes one event and returns the updated class logits.
+    pub fn update(&mut self, event: Event, ops: &mut OpCount) -> Tensor {
+        let idx = self.builder.insert(event, ops);
+        let graph = self.builder.graph();
+        self.input_features.push_row(&graph.node_features(idx));
+        let mut current_row: Vec<f32>;
+        {
+            let conv = &self.net.convs()[0];
+            current_row = conv.node_forward(graph, &self.input_features, idx, ops);
+            for v in &mut current_row {
+                *v = v.max(0.0);
+            }
+            self.layer_features[0].push_row(&current_row);
+        }
+        for l in 1..self.net.convs().len() {
+            let conv = &self.net.convs()[l];
+            let prev = &self.layer_features[l - 1];
+            let mut row = conv.node_forward(graph, prev, idx, ops);
+            for v in &mut row {
+                *v = v.max(0.0);
+            }
+            self.layer_features[l].push_row(&row);
+            current_row = row;
+        }
+        // O(1) pooled update.
+        for (s, &v) in self.pool_sum.iter_mut().zip(&current_row) {
+            *s += v;
+        }
+        ops.record_add(self.pool_sum.len() as u64);
+        let n = graph.node_count() as f32;
+        let pooled: Vec<f32> = self.pool_sum.iter().map(|&s| s / n).collect();
+        let logits = self.net.head_logits(&pooled, ops);
+        Tensor::from_vec(&[self.classes], logits).expect("logit shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::incremental_build;
+    use crate::network::GnnConfig;
+    use evlab_events::Polarity;
+    use evlab_util::Rng64;
+
+    fn stream(n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    i as u64 * 50,
+                    (2 + i % 20) as u16,
+                    (5 + (i / 20) % 5) as u16,
+                    if i % 3 == 0 { Polarity::Off } else { Polarity::On },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn async_logits_match_batch_forward() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let config = GraphConfig::new();
+        let events = stream(30);
+        let mut net = GnnNetwork::new(&GnnConfig::new(3).with_hidden(vec![6, 6]), &mut rng);
+        let mut ops = OpCount::new();
+        // Batch reference.
+        let graph = incremental_build(&events, &config, &mut ops);
+        let batch_logits = net.forward(&graph, &mut ops);
+        // Async streaming.
+        let mut async_net =
+            GnnNetwork::new(&GnnConfig::new(3).with_hidden(vec![6, 6]), &mut Rng64::seed_from_u64(1));
+        let mut engine = AsyncGnn::new(&mut async_net, config, 3);
+        let mut last = Tensor::zeros(&[3]);
+        for e in &events {
+            last = engine.update(*e, &mut ops);
+        }
+        for (a, b) in batch_logits.as_slice().iter().zip(last.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "batch {a} vs async {b}");
+        }
+    }
+
+    #[test]
+    fn per_event_cost_is_constant_in_graph_size() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut net = GnnNetwork::new(&GnnConfig::new(2), &mut rng);
+        let mut engine = AsyncGnn::new(&mut net, GraphConfig::new(), 2);
+        let events = stream(200);
+        let mut early_cost = 0u64;
+        let mut late_cost = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            let mut ops = OpCount::new();
+            engine.update(*e, &mut ops);
+            if (10..20).contains(&i) {
+                early_cost += ops.macs;
+            }
+            if (190..200).contains(&i) {
+                late_cost += ops.macs;
+            }
+        }
+        // Per-event work must not grow with the number of absorbed events.
+        assert!(
+            late_cost < 3 * early_cost,
+            "early {early_cost} vs late {late_cost}"
+        );
+    }
+
+    #[test]
+    fn async_beats_full_recompute() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let config = GraphConfig::new();
+        let events = stream(100);
+        let mut net = GnnNetwork::new(&GnnConfig::new(2), &mut rng);
+        // Full recompute on every event.
+        let mut ops_full = OpCount::new();
+        let mut builder = crate::build::IncrementalGraphBuilder::new(config);
+        for e in &events {
+            builder.insert(*e, &mut ops_full);
+            net.forward(builder.graph(), &mut ops_full);
+        }
+        // Async.
+        let mut async_net = GnnNetwork::new(&GnnConfig::new(2), &mut Rng64::seed_from_u64(3));
+        let mut engine = AsyncGnn::new(&mut async_net, config, 2);
+        let mut ops_async = OpCount::new();
+        for e in &events {
+            engine.update(*e, &mut ops_async);
+        }
+        assert!(
+            ops_full.macs > 20 * ops_async.macs,
+            "full {} vs async {}",
+            ops_full.macs,
+            ops_async.macs
+        );
+    }
+}

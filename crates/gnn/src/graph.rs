@@ -1,0 +1,252 @@
+//! The spatiotemporal event graph.
+
+use evlab_events::Event;
+
+/// A directed graph over events, with edges pointing from past events to
+/// newer ones (strict causality).
+///
+/// Node `i` stores the indices of its *in*-neighbours — the past events it
+/// aggregates information from. Causality is what makes streaming insertion
+/// and asynchronous inference cheap: a new node never changes the
+/// neighbourhood of an existing one.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::{Event, Polarity};
+/// use evlab_gnn::graph::EventGraph;
+///
+/// let mut g = EventGraph::new(0.01);
+/// g.push_node(Event::new(0, 1, 1, Polarity::On), vec![]);
+/// g.push_node(Event::new(50, 2, 1, Polarity::Off), vec![0]);
+/// assert_eq!(g.edge_count(), 1);
+/// let r = g.relative_offset(1, 0);
+/// assert_eq!(r[0], 1.0); // dx
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventGraph {
+    events: Vec<Event>,
+    in_edges: Vec<Vec<u32>>,
+    beta: f64,
+}
+
+impl EventGraph {
+    /// Creates an empty graph with time scaling `beta` (pixels per
+    /// microsecond) for the spatiotemporal metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is negative or not finite.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta.is_finite() && beta >= 0.0, "invalid beta {beta}");
+        EventGraph {
+            events: Vec::new(),
+            in_edges: Vec::new(),
+            beta,
+        }
+    }
+
+    /// The time-scaling factor.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.in_edges.iter().map(|e| e.len()).sum()
+    }
+
+    /// Mean in-degree (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.events.is_empty() {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.events.len() as f64
+        }
+    }
+
+    /// The event at node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn event(&self, i: usize) -> &Event {
+        &self.events[i]
+    }
+
+    /// All events in insertion (time) order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// In-neighbours (past events) of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn in_neighbors(&self, i: usize) -> &[u32] {
+        &self.in_edges[i]
+    }
+
+    /// Appends a node with the given in-neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is earlier than the previous node, or if any
+    /// neighbour index is not a strictly earlier node.
+    pub fn push_node(&mut self, event: Event, neighbors: Vec<u32>) -> usize {
+        if let Some(last) = self.events.last() {
+            assert!(event.t >= last.t, "events must arrive in time order");
+        }
+        let idx = self.events.len();
+        for &n in &neighbors {
+            assert!((n as usize) < idx, "edges must point to past events");
+        }
+        self.events.push(event);
+        self.in_edges.push(neighbors);
+        idx
+    }
+
+    /// The edge attribute for edge `j → i`: `(Δx, Δy, βΔt)` from the
+    /// neighbour to the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn relative_offset(&self, i: usize, j: usize) -> [f32; 3] {
+        let a = &self.events[i];
+        let b = &self.events[j];
+        [
+            a.x as f32 - b.x as f32,
+            a.y as f32 - b.y as f32,
+            ((a.t.as_micros() as f64 - b.t.as_micros() as f64) * self.beta) as f32,
+        ]
+    }
+
+    /// Initial node features: the polarity one-hot `[on, off]`.
+    pub fn node_features(&self, i: usize) -> [f32; 2] {
+        match self.events[i].polarity {
+            evlab_events::Polarity::On => [1.0, 0.0],
+            evlab_events::Polarity::Off => [0.0, 1.0],
+        }
+    }
+
+    /// Verifies the causal invariant; meant for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge points forward in time.
+    pub fn assert_causal(&self) {
+        for (i, nbrs) in self.in_edges.iter().enumerate() {
+            for &j in nbrs {
+                assert!(
+                    self.events[j as usize].t <= self.events[i].t,
+                    "edge {j} -> {i} violates causality"
+                );
+            }
+        }
+    }
+
+    /// Removes the oldest nodes, keeping the most recent `keep` (sliding
+    /// window maintenance). Edge indices are remapped; edges to evicted
+    /// nodes are dropped.
+    pub fn evict_oldest(&mut self, keep: usize) {
+        if self.events.len() <= keep {
+            return;
+        }
+        let drop = self.events.len() - keep;
+        self.events.drain(..drop);
+        self.in_edges.drain(..drop);
+        for nbrs in &mut self.in_edges {
+            nbrs.retain(|&j| j as usize >= drop);
+            for j in nbrs.iter_mut() {
+                *j -= drop as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::Polarity;
+
+    fn chain(n: usize) -> EventGraph {
+        let mut g = EventGraph::new(0.001);
+        for i in 0..n {
+            let nbrs = if i == 0 { vec![] } else { vec![(i - 1) as u32] };
+            g.push_node(
+                Event::new(i as u64 * 100, i as u16, 0, Polarity::On),
+                nbrs,
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = chain(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!((g.mean_degree() - 0.8).abs() < 1e-12);
+        g.assert_causal();
+    }
+
+    #[test]
+    fn relative_offsets() {
+        let g = chain(3);
+        let r = g.relative_offset(2, 1);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[1], 0.0);
+        assert!((r[2] - 0.1).abs() < 1e-6); // 100us * 0.001
+    }
+
+    #[test]
+    fn node_features_encode_polarity() {
+        let mut g = EventGraph::new(0.0);
+        g.push_node(Event::new(0, 0, 0, Polarity::On), vec![]);
+        g.push_node(Event::new(1, 0, 0, Polarity::Off), vec![]);
+        assert_eq!(g.node_features(0), [1.0, 0.0]);
+        assert_eq!(g.node_features(1), [0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges must point to past events")]
+    fn forward_edge_rejected() {
+        let mut g = EventGraph::new(0.0);
+        g.push_node(Event::new(0, 0, 0, Polarity::On), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_insert_rejected() {
+        let mut g = EventGraph::new(0.0);
+        g.push_node(Event::new(100, 0, 0, Polarity::On), vec![]);
+        g.push_node(Event::new(50, 0, 0, Polarity::On), vec![]);
+    }
+
+    #[test]
+    fn eviction_remaps_edges() {
+        let mut g = chain(5);
+        g.evict_oldest(3);
+        assert_eq!(g.node_count(), 3);
+        // Old node 2 (now 0) pointed to evicted node 1: edge dropped.
+        assert_eq!(g.in_neighbors(0), &[] as &[u32]);
+        // Old node 3 (now 1) pointed to old 2 (now 0).
+        assert_eq!(g.in_neighbors(1), &[0]);
+        assert_eq!(g.in_neighbors(2), &[1]);
+        g.assert_causal();
+    }
+
+    #[test]
+    fn eviction_noop_when_small() {
+        let mut g = chain(2);
+        g.evict_oldest(5);
+        assert_eq!(g.node_count(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Voxel-grid graph coarsening.
+//!
+//! Deeper event-graph networks pool nodes into spatiotemporal voxels
+//! between convolution stages (as in [Bi et al. 2019] and AEGNN),
+//! shrinking the graph while keeping its geometry.
+
+use crate::conv::NodeFeatures;
+use crate::graph::EventGraph;
+use evlab_events::{Event, Polarity, Timestamp};
+use std::collections::HashMap;
+
+/// Result of one pooling step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PooledGraph {
+    /// The coarsened graph (one node per occupied voxel, centroid events).
+    pub graph: EventGraph,
+    /// Mean-pooled features per coarse node.
+    pub features: NodeFeatures,
+    /// For each fine node, the coarse node it was assigned to.
+    pub assignment: Vec<u32>,
+}
+
+/// Pools a graph into voxels of `(cell_px, cell_us)`, averaging features and
+/// re-deriving edges: coarse node `b` is an in-neighbour of coarse node `a`
+/// if any fine edge crossed from `b`'s cluster into `a`'s and `b`'s centroid
+/// is not later than `a`'s.
+///
+/// # Panics
+///
+/// Panics if cell sizes are zero or the feature count mismatches the graph.
+pub fn voxel_pool(
+    graph: &EventGraph,
+    features: &NodeFeatures,
+    cell_px: u16,
+    cell_us: u64,
+) -> PooledGraph {
+    assert!(cell_px > 0 && cell_us > 0, "cell sizes must be positive");
+    assert_eq!(
+        features.nodes(),
+        graph.node_count(),
+        "feature/node count mismatch"
+    );
+    let dim = features.dim();
+    // Assign fine nodes to voxels.
+    let mut voxel_of: HashMap<(u16, u16, u64), u32> = HashMap::new();
+    let mut assignment = Vec::with_capacity(graph.node_count());
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    for (i, e) in graph.events().iter().enumerate() {
+        let key = (
+            e.x / cell_px,
+            e.y / cell_px,
+            e.t.as_micros() / cell_us,
+        );
+        let next_id = clusters.len() as u32;
+        let id = *voxel_of.entry(key).or_insert(next_id);
+        if id == next_id {
+            clusters.push(Vec::new());
+        }
+        clusters[id as usize].push(i as u32);
+        assignment.push(id);
+    }
+    // Centroid event + mean features per cluster.
+    struct Coarse {
+        event: Event,
+        features: Vec<f32>,
+    }
+    let mut coarse: Vec<Coarse> = clusters
+        .iter()
+        .map(|members| {
+            let k = members.len() as f64;
+            let mut cx = 0.0;
+            let mut cy = 0.0;
+            let mut ct = 0.0;
+            let mut on = 0usize;
+            let mut f = vec![0.0f32; dim];
+            for &m in members {
+                let e = graph.event(m as usize);
+                cx += e.x as f64;
+                cy += e.y as f64;
+                ct += e.t.as_micros() as f64;
+                if e.polarity == Polarity::On {
+                    on += 1;
+                }
+                for (slot, &v) in f.iter_mut().zip(features.row(m as usize)) {
+                    *slot += v;
+                }
+            }
+            for v in &mut f {
+                *v /= k as f32;
+            }
+            Coarse {
+                event: Event {
+                    t: Timestamp::from_micros((ct / k).round() as u64),
+                    x: (cx / k).round() as u16,
+                    y: (cy / k).round() as u16,
+                    polarity: if 2 * on >= members.len() {
+                        Polarity::On
+                    } else {
+                        Polarity::Off
+                    },
+                },
+                features: f,
+            }
+        })
+        .collect();
+    // Coarse edges from fine edges.
+    let mut edges: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); coarse.len()];
+    for i in 0..graph.node_count() {
+        let a = assignment[i];
+        for &j in graph.in_neighbors(i) {
+            let b = assignment[j as usize];
+            if a != b {
+                edges[a as usize].insert(b);
+            }
+        }
+    }
+    // Emit coarse nodes in centroid time order (graph requires it).
+    let mut order: Vec<u32> = (0..coarse.len() as u32).collect();
+    order.sort_by_key(|&c| coarse[c as usize].event.t);
+    let mut new_index = vec![0u32; coarse.len()];
+    for (new, &old) in order.iter().enumerate() {
+        new_index[old as usize] = new as u32;
+    }
+    let mut out_graph = EventGraph::new(graph.beta());
+    let mut out_features = NodeFeatures::zeros(0, dim);
+    for &old in &order {
+        let c = &mut coarse[old as usize];
+        // Keep only causal edges after reordering.
+        let nbrs: Vec<u32> = edges[old as usize]
+            .iter()
+            .map(|&b| new_index[b as usize])
+            .filter(|&b| (b as usize) < out_graph.node_count() + 1 && b < new_index[old as usize])
+            .collect();
+        let mut nbrs = nbrs;
+        nbrs.sort_unstable();
+        out_graph.push_node(c.event, nbrs);
+        out_features.push_row(&c.features);
+    }
+    // Remap assignment to the reordered ids.
+    let assignment = assignment
+        .into_iter()
+        .map(|a| new_index[a as usize])
+        .collect();
+    PooledGraph {
+        graph: out_graph,
+        features: out_features,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fine_graph() -> (EventGraph, NodeFeatures) {
+        let mut g = EventGraph::new(0.001);
+        // Two spatial clusters, 4 nodes each.
+        let positions = [
+            (2u16, 2u16),
+            (3, 2),
+            (2, 3),
+            (3, 3), // cluster A
+            (20, 20),
+            (21, 20),
+            (20, 21),
+            (21, 21), // cluster B
+        ];
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let nbrs = if i == 0 || i == 4 {
+                vec![]
+            } else {
+                vec![(i - 1) as u32]
+            };
+            g.push_node(Event::new(i as u64 * 10, x, y, Polarity::On), nbrs);
+        }
+        let mut f = NodeFeatures::zeros(8, 2);
+        for i in 0..8 {
+            f.row_mut(i).copy_from_slice(&[i as f32, 1.0]);
+        }
+        (g, f)
+    }
+
+    #[test]
+    fn pooling_merges_clusters() {
+        let (g, f) = fine_graph();
+        let pooled = voxel_pool(&g, &f, 8, 1_000_000);
+        assert_eq!(pooled.graph.node_count(), 2);
+        assert_eq!(pooled.assignment.len(), 8);
+        // Mean feature of cluster A nodes (0..4): first channel = 1.5.
+        let a_id = pooled.assignment[0] as usize;
+        assert!((pooled.features.row(a_id)[0] - 1.5).abs() < 1e-6);
+        pooled.graph.assert_causal();
+    }
+
+    #[test]
+    fn cross_cluster_edges_survive() {
+        let (mut g, mut f) = fine_graph();
+        // Bridge: a node in cluster B connecting back to cluster A.
+        g.push_node(Event::new(100, 20, 22, Polarity::On), vec![3]);
+        f.push_row(&[9.0, 1.0]);
+        let pooled = voxel_pool(&g, &f, 8, 1_000_000);
+        assert_eq!(pooled.graph.node_count(), 2);
+        let b_id = pooled.assignment[8] as usize;
+        assert!(
+            !pooled.graph.in_neighbors(b_id).is_empty(),
+            "bridge edge must appear at coarse level"
+        );
+    }
+
+    #[test]
+    fn identity_pooling_with_tiny_cells() {
+        let (g, f) = fine_graph();
+        let pooled = voxel_pool(&g, &f, 1, 1);
+        assert_eq!(pooled.graph.node_count(), 8, "each node its own voxel");
+        pooled.graph.assert_causal();
+    }
+}

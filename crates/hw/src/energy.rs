@@ -1,0 +1,123 @@
+//! Per-operation energy constants.
+//!
+//! Defaults follow the widely used 45 nm numbers (Horowitz, ISSCC 2014),
+//! which are also the basis of the paper's reference [40]: a 32-bit
+//! floating-point multiply costs ~3.7 pJ against ~0.9 pJ for an add — the
+//! "around four times less energy" claim §III-A builds on.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy model: picojoules per operation / access, at a given word width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Addition energy (pJ).
+    pub add_pj: f64,
+    /// Multiplication energy (pJ).
+    pub mult_pj: f64,
+    /// Comparison energy (pJ).
+    pub compare_pj: f64,
+    /// Register-file / small-buffer access (pJ).
+    pub rf_pj: f64,
+    /// On-chip SRAM access (pJ), for a ~32 kB bank.
+    pub sram_pj: f64,
+    /// Large on-chip SRAM / last-level buffer access (pJ), ~1 MB.
+    pub large_sram_pj: f64,
+    /// Off-chip DRAM access (pJ per word).
+    pub dram_pj: f64,
+    /// Bytes per word priced by the access constants.
+    pub bytes_per_word: u64,
+}
+
+impl EnergyModel {
+    /// 45 nm, 32-bit words (Horowitz ISSCC 2014).
+    pub fn nm45() -> Self {
+        EnergyModel {
+            add_pj: 0.9,
+            mult_pj: 3.7,
+            compare_pj: 0.05,
+            rf_pj: 0.1,
+            sram_pj: 5.0,
+            large_sram_pj: 20.0,
+            dram_pj: 640.0,
+            bytes_per_word: 4,
+        }
+    }
+
+    /// 45 nm, 8-bit integer words (quantized inference).
+    pub fn nm45_int8() -> Self {
+        EnergyModel {
+            add_pj: 0.03,
+            mult_pj: 0.2,
+            compare_pj: 0.01,
+            rf_pj: 0.03,
+            sram_pj: 1.25,
+            large_sram_pj: 5.0,
+            dram_pj: 160.0,
+            bytes_per_word: 1,
+        }
+    }
+
+    /// Where a working set of `words` 32-bit words physically lives,
+    /// returning the per-access energy: register files below 1 K words,
+    /// banked SRAM below 256 K words, large SRAM below 4 M words, DRAM
+    /// beyond.
+    pub fn access_energy_for_footprint(&self, words: usize) -> f64 {
+        if words <= 1 << 10 {
+            self.rf_pj
+        } else if words <= 1 << 18 {
+            self.sram_pj
+        } else if words <= 1 << 22 {
+            self.large_sram_pj
+        } else {
+            self.dram_pj
+        }
+    }
+
+    /// Ratio of multiply to add energy (≈ 4 at fp32, the [40] figure).
+    pub fn mult_add_ratio(&self) -> f64 {
+        self.mult_pj / self.add_pj
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::nm45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mult_is_about_four_times_add() {
+        let m = EnergyModel::nm45();
+        let ratio = m.mult_add_ratio();
+        assert!((3.5..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_hierarchy_is_monotone() {
+        let m = EnergyModel::nm45();
+        assert!(m.rf_pj < m.sram_pj);
+        assert!(m.sram_pj < m.large_sram_pj);
+        assert!(m.large_sram_pj < m.dram_pj);
+    }
+
+    #[test]
+    fn footprint_selects_level() {
+        let m = EnergyModel::nm45();
+        assert_eq!(m.access_energy_for_footprint(100), m.rf_pj);
+        assert_eq!(m.access_energy_for_footprint(100_000), m.sram_pj);
+        assert_eq!(m.access_energy_for_footprint(2_000_000), m.large_sram_pj);
+        assert_eq!(m.access_energy_for_footprint(100_000_000), m.dram_pj);
+    }
+
+    #[test]
+    fn int8_is_cheaper_than_fp32() {
+        let a = EnergyModel::nm45();
+        let b = EnergyModel::nm45_int8();
+        assert!(b.mult_pj < a.mult_pj);
+        assert!(b.sram_pj < a.sram_pj);
+    }
+}

@@ -1,0 +1,147 @@
+//! GNN accelerator models (paper §IV, [Liang EnGN], [Yan HyGCN]).
+//!
+//! Dedicated GNN accelerators split execution into a memory-bound *gather*
+//! phase (irregular neighbour fetches) and a compute-bound
+//! *aggregate/update* phase (dense MACs). The paper's point: existing
+//! designs target datacenter graphs and "are poorly adapted for the sparse
+//! streaming nature of event-data and low-power operation at the edge" —
+//! captured here by two presets whose memory hierarchies differ.
+
+use crate::energy::EnergyModel;
+use crate::report::CostReport;
+use evlab_tensor::OpCount;
+
+/// Where the graph and features live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GnnDeployment {
+    /// Datacenter accelerator: large graphs, features stream from DRAM,
+    /// wide MAC arrays.
+    Datacenter,
+    /// Hypothetical near-sensor accelerator: sliding-window graph held
+    /// entirely in on-chip SRAM — the "new neuromorphic event-graph
+    /// hardware" §V calls for.
+    Edge,
+}
+
+/// A gather–aggregate–update GNN accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnnAccelerator {
+    energy: EnergyModel,
+    deployment: GnnDeployment,
+    /// Parallel MAC lanes in the update phase.
+    pub lanes: usize,
+    /// Clock frequency (Hz).
+    pub clock_hz: f64,
+    /// Irregular-gather penalty on memory energy.
+    pub gather_penalty: f64,
+}
+
+impl GnnAccelerator {
+    /// Creates an accelerator for the given deployment.
+    pub fn new(energy: EnergyModel, deployment: GnnDeployment) -> Self {
+        match deployment {
+            GnnDeployment::Datacenter => GnnAccelerator {
+                energy,
+                deployment,
+                lanes: 512,
+                clock_hz: 1e9,
+                gather_penalty: 1.5,
+            },
+            GnnDeployment::Edge => GnnAccelerator {
+                energy,
+                deployment,
+                lanes: 16,
+                clock_hz: 200e6,
+                gather_penalty: 1.2,
+            },
+        }
+    }
+
+    /// The deployment preset.
+    pub fn deployment(&self) -> GnnDeployment {
+        self.deployment
+    }
+
+    /// Prices a workload.
+    ///
+    /// * `ops` — measured counts from the GNN forward pass(es).
+    /// * `edges` — gathered edges (each fetches one neighbour feature row).
+    /// * `feature_dim` — feature row width in words.
+    /// * `graph_words` — total graph + feature storage footprint in words.
+    pub fn price(
+        &self,
+        ops: &OpCount,
+        edges: u64,
+        feature_dim: usize,
+        graph_words: usize,
+    ) -> CostReport {
+        let compute_pj = ops.effective_macs as f64
+            * (self.energy.add_pj + self.energy.mult_pj)
+            + ops.adds as f64 * self.energy.add_pj
+            + ops.mults as f64 * self.energy.mult_pj;
+        // Gather: one feature row per edge, irregular.
+        let gather_words = edges as f64 * feature_dim as f64;
+        let access_pj = match self.deployment {
+            // Datacenter graphs spill to DRAM.
+            GnnDeployment::Datacenter => self.energy.dram_pj,
+            // Edge sliding window fits the footprint-selected level.
+            GnnDeployment::Edge => self.energy.access_energy_for_footprint(graph_words),
+        };
+        let memory_pj = gather_words * access_pj * self.gather_penalty;
+        let cycles = ops.effective_macs as f64 / self.lanes as f64;
+        CostReport {
+            compute_pj,
+            memory_pj,
+            latency_us: cycles / self.clock_hz * 1e6,
+            footprint_bytes: graph_words as u64 * self.energy.bytes_per_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gnn_ops() -> OpCount {
+        let mut ops = OpCount::new();
+        ops.record_mac(500_000, 500_000);
+        ops
+    }
+
+    #[test]
+    fn edge_preset_beats_datacenter_on_small_windows() {
+        // A 50k-word sliding window fits on-chip at the edge; the
+        // datacenter design streams it from DRAM.
+        let dc = GnnAccelerator::new(EnergyModel::nm45(), GnnDeployment::Datacenter);
+        let edge = GnnAccelerator::new(EnergyModel::nm45(), GnnDeployment::Edge);
+        let ops = gnn_ops();
+        let a = dc.price(&ops, 10_000, 16, 50_000);
+        let b = edge.price(&ops, 10_000, 16, 50_000);
+        assert!(
+            a.memory_pj > 50.0 * b.memory_pj,
+            "DRAM gather {} vs SRAM gather {}",
+            a.memory_pj,
+            b.memory_pj
+        );
+    }
+
+    #[test]
+    fn datacenter_wins_on_raw_latency() {
+        let dc = GnnAccelerator::new(EnergyModel::nm45(), GnnDeployment::Datacenter);
+        let edge = GnnAccelerator::new(EnergyModel::nm45(), GnnDeployment::Edge);
+        let ops = gnn_ops();
+        assert!(
+            dc.price(&ops, 10_000, 16, 50_000).latency_us
+                < edge.price(&ops, 10_000, 16, 50_000).latency_us
+        );
+    }
+
+    #[test]
+    fn gather_cost_scales_with_edges() {
+        let edge = GnnAccelerator::new(EnergyModel::nm45(), GnnDeployment::Edge);
+        let ops = gnn_ops();
+        let few = edge.price(&ops, 1_000, 16, 50_000);
+        let many = edge.price(&ops, 100_000, 16, 50_000);
+        assert!(many.memory_pj > 50.0 * few.memory_pj);
+    }
+}

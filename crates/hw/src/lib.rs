@@ -1,0 +1,47 @@
+//! First-order hardware cost models (paper §III and §V).
+//!
+//! The paper's hardware arguments are energy-accounting arguments: adds are
+//! ~4× cheaper than multiplies [40], memory accesses dominate neuromorphic
+//! core energy up to 99 % [42], zero-skipping trades deterministic SRAM
+//! access for compute savings [62]–[65], analog SNN cores consume roughly an
+//! order of magnitude less power [46]. This crate encodes those published
+//! constants into analytical models that *price* the measured operation
+//! counts ([`evlab_tensor::OpCount`]) of the three paradigms:
+//!
+//! * [`energy`] — per-operation and per-access energy constants
+//!   (Horowitz-style, 45 nm).
+//! * [`report`] — [`CostReport`]: energy breakdown, latency, memory
+//!   footprint.
+//! * [`snn_core`] — time-multiplexed digital neuromorphic core (clocked or
+//!   event-driven update policy) and the analog subthreshold core.
+//! * [`systolic`] — systolic PE array (TPU-style): massively parallel,
+//!   deterministic access, no zero skipping.
+//! * [`zeroskip`] — zero-skipping accelerator (NullHop/Cambricon-X-style)
+//!   with optional structured sparsity.
+//! * [`gnn_accel`] — gather/aggregate/update GNN accelerator
+//!   (EnGN/HyGCN-style) with a datacenter and an edge preset.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_hw::energy::EnergyModel;
+//! use evlab_hw::snn_core::{NeuromorphicCore, UpdatePolicy};
+//! use evlab_tensor::OpCount;
+//!
+//! let mut ops = OpCount::new();
+//! ops.record_add(10_000);
+//! let core = NeuromorphicCore::new(EnergyModel::nm45(), UpdatePolicy::Clocked);
+//! let report = core.price(&ops, 1_000, 10_000);
+//! assert!(report.memory_fraction() > 0.5, "memory dominates");
+//! ```
+
+pub mod energy;
+pub mod gnn_accel;
+pub mod report;
+pub mod snn_core;
+pub mod system;
+pub mod systolic;
+pub mod zeroskip;
+
+pub use energy::EnergyModel;
+pub use report::CostReport;

@@ -1,0 +1,141 @@
+//! Cost reports produced by the accelerator models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// The outcome of pricing a workload on a hardware model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Arithmetic (datapath) energy in picojoules.
+    pub compute_pj: f64,
+    /// Memory-access energy in picojoules.
+    pub memory_pj: f64,
+    /// Execution latency in microseconds.
+    pub latency_us: f64,
+    /// Parameter + state footprint in bytes.
+    pub footprint_bytes: u64,
+}
+
+impl CostReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        CostReport::default()
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.memory_pj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() * 1e-6
+    }
+
+    /// Fraction of energy spent on memory accesses — the [42] "up to 99 %"
+    /// metric. Returns 0 for an empty report.
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.memory_pj / total
+        }
+    }
+
+    /// Mean power in milliwatts given how much wall-clock time the workload
+    /// spans (e.g. the event window it processed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_us <= 0`.
+    pub fn mean_power_mw(&self, span_us: f64) -> f64 {
+        assert!(span_us > 0.0, "span must be positive");
+        // pJ / us = uW; /1000 -> mW.
+        self.total_pj() / span_us / 1000.0
+    }
+}
+
+impl Add for CostReport {
+    type Output = CostReport;
+    fn add(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            compute_pj: self.compute_pj + rhs.compute_pj,
+            memory_pj: self.memory_pj + rhs.memory_pj,
+            // Sequential composition.
+            latency_us: self.latency_us + rhs.latency_us,
+            footprint_bytes: self.footprint_bytes.max(rhs.footprint_bytes),
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} uJ ({:.0}% memory), {:.1} us, {} B",
+            self.total_uj(),
+            self.memory_fraction() * 100.0,
+            self.latency_us,
+            self.footprint_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let r = CostReport {
+            compute_pj: 1.0,
+            memory_pj: 99.0,
+            latency_us: 10.0,
+            footprint_bytes: 1024,
+        };
+        assert_eq!(r.total_pj(), 100.0);
+        assert!((r.memory_fraction() - 0.99).abs() < 1e-12);
+        assert!((r.mean_power_mw(100.0) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = CostReport::new();
+        assert_eq!(r.memory_fraction(), 0.0);
+        assert_eq!(r.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn addition_composes_sequentially() {
+        let a = CostReport {
+            compute_pj: 1.0,
+            memory_pj: 2.0,
+            latency_us: 3.0,
+            footprint_bytes: 100,
+        };
+        let b = CostReport {
+            compute_pj: 10.0,
+            memory_pj: 20.0,
+            latency_us: 30.0,
+            footprint_bytes: 50,
+        };
+        let c = a + b;
+        assert_eq!(c.total_pj(), 33.0);
+        assert_eq!(c.latency_us, 33.0);
+        assert_eq!(c.footprint_bytes, 100, "footprints do not add");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = CostReport {
+            compute_pj: 5e5,
+            memory_pj: 5e5,
+            latency_us: 1.0,
+            footprint_bytes: 64,
+        };
+        let s = r.to_string();
+        assert!(s.contains("uJ") && s.contains("%"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Neuromorphic SNN core models (paper §III-A).
+//!
+//! * [`NeuromorphicCore`] — a digital time-multiplexed core: neuron and
+//!   synapse state in SRAM, ALUs evaluating the state equations. Memory
+//!   traffic is priced through the [`EnergyModel`] hierarchy and dominates
+//!   total energy — the [42] observation that makes the "adds are cheaper
+//!   than mults" advantage "largely irrelevant". A [`UpdatePolicy`]
+//!   distinguishes the clocked scan from per-event updates (which touch the
+//!   timestamp memory and pay more traffic per update, [44]).
+//! * [`AnalogCore`] — a subthreshold analog core ([Moradi et al. DYNAP]):
+//!   membrane dynamics evolve in device physics, so state "accesses" are
+//!   free; only spike communication and the bias/weight DACs burn energy,
+//!   yielding the order-of-magnitude power advantage of §V — at the cost of
+//!   mismatch noise.
+
+use crate::energy::EnergyModel;
+use crate::report::CostReport;
+use evlab_tensor::OpCount;
+
+/// How the digital core updates neuron state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdatePolicy {
+    /// Clocked: every neuron's membrane is scanned and decayed every
+    /// timestep (the counters already include that traffic).
+    Clocked,
+    /// Event-driven: decay on demand; every synaptic update also reads and
+    /// rewrites a per-neuron timestamp (the counters already include that
+    /// traffic too).
+    EventDriven,
+}
+
+/// A digital time-multiplexed neuromorphic core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeuromorphicCore {
+    energy: EnergyModel,
+    policy: UpdatePolicy,
+    /// Synaptic operations the core retires per second.
+    throughput_sops: f64,
+}
+
+impl NeuromorphicCore {
+    /// Creates a core with a default 1 GSOP/s datapath.
+    pub fn new(energy: EnergyModel, policy: UpdatePolicy) -> Self {
+        NeuromorphicCore {
+            energy,
+            policy,
+            throughput_sops: 1e9,
+        }
+    }
+
+    /// Returns a copy with a different synaptic-op throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sops <= 0`.
+    pub fn with_throughput(mut self, sops: f64) -> Self {
+        assert!(sops > 0.0, "throughput must be positive");
+        self.throughput_sops = sops;
+        self
+    }
+
+    /// The update policy.
+    pub fn policy(&self) -> UpdatePolicy {
+        self.policy
+    }
+
+    /// Prices a measured operation count. `state_words` is the neuron-state
+    /// footprint, `weight_words` the synaptic memory; both decide which
+    /// memory level serves the accesses.
+    pub fn price(&self, ops: &OpCount, state_words: usize, weight_words: usize) -> CostReport {
+        let compute_pj = ops.adds as f64 * self.energy.add_pj
+            + ops.mults as f64 * self.energy.mult_pj
+            + (ops.macs as f64) * (self.energy.add_pj + self.energy.mult_pj)
+            + ops.comparisons as f64 * self.energy.compare_pj;
+        let access_pj = self
+            .energy
+            .access_energy_for_footprint(state_words + weight_words);
+        let memory_pj = ops.mem_accesses() as f64 * access_pj;
+        let total_ops = ops.total_arithmetic().max(1);
+        let latency_us = total_ops as f64 / self.throughput_sops * 1e6;
+        CostReport {
+            compute_pj,
+            memory_pj,
+            latency_us,
+            footprint_bytes: (state_words + weight_words) as u64 * self.energy.bytes_per_word,
+        }
+    }
+}
+
+/// An analog subthreshold neuromorphic core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogCore {
+    energy: EnergyModel,
+    /// Energy per spike event routed through the AER fabric (pJ).
+    spike_routing_pj: f64,
+    /// Static bias power per neuron (pW equivalent folded into per-op
+    /// cost).
+    per_synapse_event_pj: f64,
+    /// Relative standard deviation of effective weights due to transistor
+    /// mismatch — the robustness limit §III-A ends on.
+    pub mismatch_sigma: f64,
+}
+
+impl AnalogCore {
+    /// Creates a DYNAP-class analog core: ~30× lower energy per synaptic
+    /// event than the digital datapath + memory path, 5 % mismatch.
+    pub fn new(energy: EnergyModel) -> Self {
+        AnalogCore {
+            energy,
+            spike_routing_pj: 0.4,
+            per_synapse_event_pj: 0.1,
+            mismatch_sigma: 0.05,
+        }
+    }
+
+    /// Prices a measured operation count. Only additions (synaptic events)
+    /// and comparisons (spike generation) map to physical events; decay
+    /// multiplies are free (capacitor physics), and there is no state
+    /// memory traffic.
+    pub fn price(&self, ops: &OpCount, neurons: usize) -> CostReport {
+        let compute_pj = ops.adds as f64 * self.per_synapse_event_pj
+            + ops.comparisons as f64 * self.spike_routing_pj;
+        CostReport {
+            compute_pj,
+            memory_pj: 0.0,
+            // Continuous-time: latency is the physical time constant, not a
+            // clock; report the AER routing serialization only.
+            latency_us: ops.comparisons as f64 / 1e9 * 1e6,
+            footprint_bytes: neurons as u64 * self.energy.bytes_per_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical_snn_ops() -> OpCount {
+        // A typical inference: sparse synaptic adds, clocked decay mults.
+        let mut ops = OpCount::new();
+        ops.record_add(50_000); // synaptic accumulation
+        ops.record_mult(20_000); // clocked decay
+        ops.record_compare(20_000);
+        ops
+    }
+
+    #[test]
+    fn memory_dominates_digital_core_energy() {
+        let core = NeuromorphicCore::new(EnergyModel::nm45(), UpdatePolicy::Clocked);
+        // Realistic footprint: 100k synapses + 1k neurons -> SRAM.
+        let report = core.price(&typical_snn_ops(), 1_000, 100_000);
+        assert!(
+            report.memory_fraction() > 0.5,
+            "memory fraction {}",
+            report.memory_fraction()
+        );
+    }
+
+    #[test]
+    fn memory_fraction_approaches_published_extreme_for_big_cores() {
+        // With state spilling to large SRAM the fraction climbs toward the
+        // 99% of [42].
+        let core = NeuromorphicCore::new(EnergyModel::nm45(), UpdatePolicy::Clocked);
+        let report = core.price(&typical_snn_ops(), 1_000_000, 3_000_000);
+        assert!(
+            report.memory_fraction() > 0.9,
+            "memory fraction {}",
+            report.memory_fraction()
+        );
+    }
+
+    #[test]
+    fn analog_core_is_order_of_magnitude_cheaper() {
+        let ops = typical_snn_ops();
+        let digital = NeuromorphicCore::new(EnergyModel::nm45(), UpdatePolicy::Clocked)
+            .price(&ops, 1_000, 100_000);
+        let analog = AnalogCore::new(EnergyModel::nm45()).price(&ops, 1_000);
+        let ratio = digital.total_pj() / analog.total_pj();
+        assert!(
+            ratio > 8.0,
+            "analog should be ~an order of magnitude cheaper, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn latency_scales_with_ops() {
+        let core = NeuromorphicCore::new(EnergyModel::nm45(), UpdatePolicy::Clocked);
+        let small = core.price(&typical_snn_ops(), 100, 1_000);
+        let mut big_ops = typical_snn_ops();
+        big_ops.record_add(1_000_000);
+        let big = core.price(&big_ops, 100, 1_000);
+        assert!(big.latency_us > small.latency_us);
+    }
+
+    #[test]
+    fn mismatch_is_exposed() {
+        let core = AnalogCore::new(EnergyModel::nm45());
+        assert!(core.mismatch_sigma > 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Whole-system budget for the 3-D integrated smart imager (paper §I).
+//!
+//! The paper's forward-looking goal is "a multi-layer 3D-integrated smart
+//! imager chip whereby the event-camera is tightly integrated with an AI
+//! co-processor that can operate very effectively near the data-generating
+//! pixels" ([Vivet et al. 2019], [Bouvier et al. 2021]). This module
+//! composes the sensor, the event link (3-D via vs off-chip SerDes) and an
+//! accelerator [`CostReport`] into an end-to-end power and latency budget,
+//! making the in-sensor-processing argument quantitative.
+
+use crate::report::CostReport;
+use serde::{Deserialize, Serialize};
+
+/// How the sensor talks to the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Hybrid-bonded 3-D vias: femtojoule-class, sub-µs.
+    ThreeDStacked,
+    /// Off-chip SerDes / MIPI-style link: picojoule-per-bit, µs-class.
+    OffChip,
+}
+
+/// System-integration parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartImagerBudget {
+    /// Static sensor power (pixel front-ends + biasing), in microwatts.
+    pub sensor_static_uw: f64,
+    /// Energy to generate and arbitrate one event on-die, in picojoules.
+    pub event_energy_pj: f64,
+    /// Link energy per transferred bit, in picojoules.
+    pub link_pj_per_bit: f64,
+    /// Link serialization latency per event, in microseconds.
+    pub link_latency_us: f64,
+    /// Bits per transferred event.
+    pub bits_per_event: u32,
+    /// Link type (for reporting).
+    pub link: LinkKind,
+}
+
+impl SmartImagerBudget {
+    /// The 3-D stacked in-sensor configuration: ~0.05 pJ/bit vias, 0.1 µs.
+    pub fn three_d_stacked() -> Self {
+        SmartImagerBudget {
+            sensor_static_uw: 500.0, // mid-size array, hundreds of µW (§I)
+            event_energy_pj: 50.0,
+            link_pj_per_bit: 0.05,
+            link_latency_us: 0.1,
+            bits_per_event: 64,
+            link: LinkKind::ThreeDStacked,
+        }
+    }
+
+    /// The conventional off-chip configuration: ~5 pJ/bit SerDes, 2 µs.
+    pub fn off_chip() -> Self {
+        SmartImagerBudget {
+            sensor_static_uw: 500.0,
+            event_energy_pj: 50.0,
+            link_pj_per_bit: 5.0,
+            link_latency_us: 2.0,
+            bits_per_event: 64,
+            link: LinkKind::OffChip,
+        }
+    }
+
+    /// Evaluates the budget at a sustained event rate and decision rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative.
+    pub fn evaluate(
+        &self,
+        event_rate_hz: f64,
+        inference: &CostReport,
+        inferences_per_s: f64,
+    ) -> SystemPower {
+        assert!(event_rate_hz >= 0.0, "negative event rate");
+        assert!(inferences_per_s >= 0.0, "negative decision rate");
+        let sensor_mw = self.sensor_static_uw / 1000.0
+            + event_rate_hz * self.event_energy_pj * 1e-9; // pJ·Hz = 1e-12 W = 1e-9 mW
+        let link_mw =
+            event_rate_hz * self.bits_per_event as f64 * self.link_pj_per_bit * 1e-9;
+        let compute_mw = inference.compute_pj * inferences_per_s * 1e-9;
+        let memory_mw = inference.memory_pj * inferences_per_s * 1e-9;
+        SystemPower {
+            sensor_mw,
+            link_mw,
+            compute_mw,
+            memory_mw,
+            decision_latency_us: self.link_latency_us + inference.latency_us,
+        }
+    }
+}
+
+/// An end-to-end power and latency breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemPower {
+    /// Sensor power (static + per-event), milliwatts.
+    pub sensor_mw: f64,
+    /// Event-link power, milliwatts.
+    pub link_mw: f64,
+    /// Accelerator datapath power, milliwatts.
+    pub compute_mw: f64,
+    /// Accelerator memory power, milliwatts.
+    pub memory_mw: f64,
+    /// Event-to-decision latency, microseconds.
+    pub decision_latency_us: f64,
+}
+
+impl SystemPower {
+    /// Total system power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.sensor_mw + self.link_mw + self.compute_mw + self.memory_mw
+    }
+
+    /// Fraction of power spent moving events rather than computing.
+    pub fn transport_fraction(&self) -> f64 {
+        let total = self.total_mw();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.link_mw / total
+        }
+    }
+}
+
+impl std::fmt::Display for SystemPower {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2} mW (sensor {:.2}, link {:.3}, compute {:.2}, memory {:.2}), {:.1} us to decision",
+            self.total_mw(),
+            self.sensor_mw,
+            self.link_mw,
+            self.compute_mw,
+            self.memory_mw,
+            self.decision_latency_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inference() -> CostReport {
+        CostReport {
+            compute_pj: 2e5,
+            memory_pj: 8e5,
+            latency_us: 20.0,
+            footprint_bytes: 100_000,
+        }
+    }
+
+    #[test]
+    fn stacking_cuts_link_power_and_latency() {
+        let rate = 10e6; // 10 Meps
+        let stacked = SmartImagerBudget::three_d_stacked().evaluate(rate, &inference(), 100.0);
+        let off = SmartImagerBudget::off_chip().evaluate(rate, &inference(), 100.0);
+        assert!(
+            off.link_mw > 50.0 * stacked.link_mw,
+            "link {} vs {}",
+            off.link_mw,
+            stacked.link_mw
+        );
+        assert!(off.decision_latency_us > stacked.decision_latency_us);
+        // Sensor and compute power are integration-independent.
+        assert_eq!(off.sensor_mw, stacked.sensor_mw);
+        assert_eq!(off.compute_mw, stacked.compute_mw);
+    }
+
+    #[test]
+    fn power_is_in_the_published_regime() {
+        // §V: accelerators run at "hundreds of milliwatts" under load;
+        // sensors at hundreds of µW to tens of mW.
+        let budget = SmartImagerBudget::three_d_stacked();
+        let busy = budget.evaluate(50e6, &inference(), 1_000.0);
+        assert!(busy.total_mw() > 1.0 && busy.total_mw() < 1_000.0, "{}", busy.total_mw());
+        let idle = budget.evaluate(10e3, &inference(), 1.0);
+        assert!(idle.total_mw() < 1.0, "idle {} mW", idle.total_mw());
+    }
+
+    #[test]
+    fn transport_fraction_grows_with_rate_off_chip() {
+        let budget = SmartImagerBudget::off_chip();
+        let slow = budget.evaluate(1e5, &inference(), 10.0);
+        let fast = budget.evaluate(1e8, &inference(), 10.0);
+        assert!(fast.transport_fraction() > slow.transport_fraction());
+        assert!(fast.transport_fraction() > 0.5, "at 100 Meps the link dominates");
+    }
+
+    #[test]
+    fn display_has_all_components() {
+        let s = SmartImagerBudget::three_d_stacked().evaluate(1e6, &inference(), 50.0);
+        let txt = s.to_string();
+        assert!(txt.contains("sensor") && txt.contains("link") && txt.contains("decision"));
+    }
+}

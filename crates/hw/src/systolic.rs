@@ -1,0 +1,114 @@
+//! Systolic processing-element array (paper §III-B, [Jouppi et al. TPU]).
+//!
+//! Distributes convolutions over a PE grid with deterministic memory access
+//! and heavy data reuse, but executes the *nominal* MAC count — zeros in
+//! feature maps and weights are not skipped.
+
+use crate::energy::EnergyModel;
+use crate::report::CostReport;
+use evlab_tensor::OpCount;
+
+/// A weight-stationary systolic array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystolicArray {
+    energy: EnergyModel,
+    /// PE grid rows.
+    pub rows: usize,
+    /// PE grid columns.
+    pub cols: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Average spatial utilization of the grid for the mapped layer shapes
+    /// (1.0 = perfect fit).
+    pub utilization: f64,
+    /// Data-reuse factor: how many MACs each fetched word serves on
+    /// average (systolic forwarding between neighbours).
+    pub reuse: f64,
+}
+
+impl SystolicArray {
+    /// A 64×64 array at 700 MHz with 85 % utilization and 16× reuse.
+    pub fn new(energy: EnergyModel) -> Self {
+        SystolicArray {
+            energy,
+            rows: 64,
+            cols: 64,
+            clock_hz: 700e6,
+            utilization: 0.85,
+            reuse: 16.0,
+        }
+    }
+
+    /// Returns a copy with a different grid size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_grid(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be nonzero");
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Prices a workload. The array executes `ops.macs` (nominal — no zero
+    /// skipping); each fetched word is reused `reuse` times thanks to the
+    /// systolic dataflow; access pattern is deterministic (no penalty).
+    pub fn price(&self, ops: &OpCount, weight_words: usize) -> CostReport {
+        let macs = ops.macs as f64;
+        let compute_pj = macs * (self.energy.add_pj + self.energy.mult_pj);
+        let accesses = macs / self.reuse * 2.0; // weight + activation
+        let access_pj = self.energy.access_energy_for_footprint(weight_words);
+        let memory_pj = accesses * access_pj;
+        let pes = (self.rows * self.cols) as f64;
+        let cycles = macs / (pes * self.utilization);
+        CostReport {
+            compute_pj,
+            memory_pj,
+            latency_us: cycles / self.clock_hz * 1e6,
+            footprint_bytes: weight_words as u64 * self.energy.bytes_per_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_ops(nominal: u64, effective: u64) -> OpCount {
+        let mut ops = OpCount::new();
+        ops.record_mac(nominal, effective);
+        ops
+    }
+
+    #[test]
+    fn no_zero_skipping() {
+        let array = SystolicArray::new(EnergyModel::nm45());
+        let dense = array.price(&conv_ops(1_000_000, 1_000_000), 50_000);
+        let sparse = array.price(&conv_ops(1_000_000, 100_000), 50_000);
+        assert_eq!(
+            dense.total_pj(),
+            sparse.total_pj(),
+            "systolic arrays pay nominal cost regardless of sparsity"
+        );
+        assert_eq!(dense.latency_us, sparse.latency_us);
+    }
+
+    #[test]
+    fn reuse_cuts_memory_traffic() {
+        let mut low = SystolicArray::new(EnergyModel::nm45());
+        low.reuse = 1.0;
+        let mut high = SystolicArray::new(EnergyModel::nm45());
+        high.reuse = 32.0;
+        let ops = conv_ops(1_000_000, 1_000_000);
+        assert!(low.price(&ops, 50_000).memory_pj > 10.0 * high.price(&ops, 50_000).memory_pj);
+    }
+
+    #[test]
+    fn bigger_grid_is_faster() {
+        let small = SystolicArray::new(EnergyModel::nm45()).with_grid(16, 16);
+        let big = SystolicArray::new(EnergyModel::nm45()).with_grid(128, 128);
+        let ops = conv_ops(10_000_000, 10_000_000);
+        assert!(big.price(&ops, 50_000).latency_us < small.price(&ops, 50_000).latency_us);
+    }
+}

@@ -1,0 +1,183 @@
+//! Zero-skipping CNN accelerators (paper §III-B, [62]–[65]).
+//!
+//! Two innovations over the systolic baseline: (1) skip multiplications by
+//! zero — activation zeros ([Aimar NullHop]), weight zeros ([Zhang
+//! Cambricon-X]), or both ([Chen Eyeriss v2]); (2) store data in compressed
+//! form to cut memory traffic. The price: a non-deterministic SRAM access
+//! pattern, modelled as a memory-energy penalty, unless sparsity is
+//! *structured* ([Liu S2TA]), which restores determinism.
+
+use crate::energy::EnergyModel;
+use crate::report::CostReport;
+use evlab_tensor::OpCount;
+
+/// Zero-skipping accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroSkipAccelerator {
+    energy: EnergyModel,
+    /// Skip zero activations (feature-map sparsity).
+    pub skip_activations: bool,
+    /// Skip zero weights (pruned-model sparsity).
+    pub skip_weights: bool,
+    /// Sparsity has hardware-friendly structure: no access-pattern penalty.
+    pub structured: bool,
+    /// Memory-energy penalty factor for non-deterministic access.
+    pub irregular_penalty: f64,
+    /// Number of parallel MAC lanes.
+    pub lanes: usize,
+    /// Clock frequency (Hz).
+    pub clock_hz: f64,
+}
+
+impl ZeroSkipAccelerator {
+    /// A NullHop-class configuration: 128 lanes at 500 MHz, activation
+    /// skipping, unstructured (30 % memory penalty).
+    pub fn new(energy: EnergyModel) -> Self {
+        ZeroSkipAccelerator {
+            energy,
+            skip_activations: true,
+            skip_weights: false,
+            structured: false,
+            irregular_penalty: 1.3,
+            lanes: 128,
+            clock_hz: 500e6,
+        }
+    }
+
+    /// Returns a copy that also skips zero weights (Eyeriss-v2 style).
+    pub fn with_weight_skipping(mut self) -> Self {
+        self.skip_weights = true;
+        self
+    }
+
+    /// Returns a copy with structured sparsity (S2TA style): deterministic
+    /// access restored.
+    pub fn with_structured_sparsity(mut self) -> Self {
+        self.structured = true;
+        self
+    }
+
+    /// Prices a workload.
+    ///
+    /// * `weight_sparsity` — fraction of zero weights (from pruning).
+    /// * `compression_ratio` — feature-map compression achieved in storage
+    ///   (≥ 1; from `evlab_tensor::sparse`).
+    /// * `weight_words` — weight footprint (decides the memory level).
+    pub fn price(
+        &self,
+        ops: &OpCount,
+        weight_sparsity: f64,
+        compression_ratio: f64,
+        weight_words: usize,
+    ) -> CostReport {
+        assert!((0.0..=1.0).contains(&weight_sparsity), "sparsity in [0,1]");
+        assert!(compression_ratio > 0.0, "compression ratio must be positive");
+        let executed = if self.skip_activations {
+            ops.effective_macs as f64
+        } else {
+            ops.macs as f64
+        } * if self.skip_weights {
+            1.0 - weight_sparsity
+        } else {
+            1.0
+        };
+        let compute_pj = executed * (self.energy.add_pj + self.energy.mult_pj)
+            + ops.comparisons as f64 * self.energy.compare_pj;
+        // Memory: weight + activation fetch per executed MAC, activations
+        // compressed in storage; irregular access penalty unless
+        // structured.
+        let penalty = if self.structured {
+            1.0
+        } else {
+            self.irregular_penalty
+        };
+        let access_pj = self.energy.access_energy_for_footprint(weight_words);
+        let accesses = executed * 2.0 / compression_ratio.max(1.0);
+        let memory_pj = accesses * access_pj * penalty;
+        let cycles = executed / self.lanes as f64
+            // Skipping logic overhead: one detect cycle per 8 nominal MACs.
+            + ops.macs as f64 / (8.0 * self.lanes as f64);
+        // Weight storage shrinks only when the accelerator actually keeps
+        // the weights in compressed (skip-indexed) form.
+        let effective_weight_words = if self.skip_weights {
+            (weight_words as f64 * (1.0 - weight_sparsity)) as u64
+        } else {
+            weight_words as u64
+        };
+        CostReport {
+            compute_pj,
+            memory_pj,
+            latency_us: cycles / self.clock_hz * 1e6,
+            footprint_bytes: effective_weight_words * self.energy.bytes_per_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_ops(nominal: u64, effective: u64) -> OpCount {
+        let mut ops = OpCount::new();
+        ops.record_mac(nominal, effective);
+        ops
+    }
+
+    #[test]
+    fn activation_skipping_pays_off_with_sparsity() {
+        let accel = ZeroSkipAccelerator::new(EnergyModel::nm45());
+        let dense = accel.price(&conv_ops(1_000_000, 1_000_000), 0.0, 1.0, 50_000);
+        let sparse = accel.price(&conv_ops(1_000_000, 200_000), 0.0, 3.0, 50_000);
+        assert!(sparse.total_pj() < 0.35 * dense.total_pj());
+        assert!(sparse.latency_us < dense.latency_us);
+    }
+
+    #[test]
+    fn weight_skipping_multiplies_the_savings() {
+        let base = ZeroSkipAccelerator::new(EnergyModel::nm45());
+        let both = base.with_weight_skipping();
+        let ops = conv_ops(1_000_000, 500_000);
+        let a = base.price(&ops, 0.8, 1.0, 50_000);
+        let b = both.price(&ops, 0.8, 1.0, 50_000);
+        assert!(b.compute_pj < 0.3 * a.compute_pj);
+        assert!(b.footprint_bytes < a.footprint_bytes);
+    }
+
+    #[test]
+    fn structured_sparsity_removes_the_penalty() {
+        let unstructured = ZeroSkipAccelerator::new(EnergyModel::nm45());
+        let structured = unstructured.with_structured_sparsity();
+        let ops = conv_ops(1_000_000, 300_000);
+        let a = unstructured.price(&ops, 0.0, 2.0, 50_000);
+        let b = structured.price(&ops, 0.0, 2.0, 50_000);
+        assert!((a.memory_pj / b.memory_pj - 1.3).abs() < 1e-9);
+        assert_eq!(a.compute_pj, b.compute_pj);
+    }
+
+    #[test]
+    fn compression_cuts_memory_energy() {
+        let accel = ZeroSkipAccelerator::new(EnergyModel::nm45());
+        let ops = conv_ops(1_000_000, 400_000);
+        let raw = accel.price(&ops, 0.0, 1.0, 50_000);
+        let compressed = accel.price(&ops, 0.0, 4.0, 50_000);
+        assert!((raw.memory_pj / compressed.memory_pj - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_workload_on_zeroskip_vs_systolic() {
+        // On a fully dense workload the skipping logic is pure overhead:
+        // the systolic array should win on latency per MAC-lane.
+        let zs = ZeroSkipAccelerator::new(EnergyModel::nm45());
+        let ops = conv_ops(1_000_000, 1_000_000);
+        let report = zs.price(&ops, 0.0, 1.0, 50_000);
+        let ideal_cycles = 1_000_000.0 / zs.lanes as f64;
+        assert!(report.latency_us > ideal_cycles / zs.clock_hz * 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity in [0,1]")]
+    fn invalid_sparsity_panics() {
+        let accel = ZeroSkipAccelerator::new(EnergyModel::nm45());
+        accel.price(&OpCount::new(), 1.5, 1.0, 100);
+    }
+}

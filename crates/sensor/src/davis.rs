@@ -1,0 +1,157 @@
+//! Dual active + event pixel (DAVIS-style) capture.
+//!
+//! §II notes the renewed momentum of sensors whose pixels record both events
+//! and intensity frames ([Brandli et al. 2014], [Posch et al. 2010]). This
+//! module couples the DVS simulation with a frame sampler on a shared scene
+//! so both modalities are available to hybrid pipelines (e.g. the recurrent
+//! CNN of [Perot et al. 2020]).
+
+use crate::camera::{CameraConfig, EventCamera};
+use crate::scene::Scene;
+use evlab_events::EventStream;
+
+/// An intensity frame sampled from the scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntensityFrame {
+    /// Capture time in microseconds.
+    pub t_us: u64,
+    /// Frame width in pixels.
+    pub width: u16,
+    /// Frame height in pixels.
+    pub height: u16,
+    /// Row-major luminance values.
+    pub pixels: Vec<f32>,
+}
+
+impl IntensityFrame {
+    /// Luminance at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn at(&self, x: u16, y: u16) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        self.pixels[y as usize * self.width as usize + x as usize]
+    }
+}
+
+/// Output of a dual-pixel recording: events plus periodic frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualRecording {
+    /// The asynchronous event stream.
+    pub events: EventStream,
+    /// Global-shutter intensity frames at the configured frame period.
+    pub frames: Vec<IntensityFrame>,
+}
+
+/// A DAVIS-style camera producing events and frames simultaneously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DavisCamera {
+    camera: EventCamera,
+    frame_period_us: u64,
+}
+
+impl DavisCamera {
+    /// Creates a dual camera with the given event configuration and frame
+    /// period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_period_us == 0`.
+    pub fn new(config: CameraConfig, frame_period_us: u64) -> Self {
+        assert!(frame_period_us > 0, "frame period must be nonzero");
+        DavisCamera {
+            camera: EventCamera::new(config),
+            frame_period_us,
+        }
+    }
+
+    /// Frame period in microseconds.
+    pub fn frame_period_us(&self) -> u64 {
+        self.frame_period_us
+    }
+
+    /// Records both modalities over `[t_start_us, t_end_us)`.
+    pub fn record(
+        &self,
+        scene: &dyn Scene,
+        t_start_us: u64,
+        t_end_us: u64,
+        seed: u64,
+    ) -> DualRecording {
+        let events = self.camera.record(scene, t_start_us, t_end_us, seed);
+        let (w, h) = self.camera.config().resolution();
+        let mut frames = Vec::new();
+        let mut t = t_start_us;
+        while t < t_end_us {
+            let mut pixels = Vec::with_capacity(w as usize * h as usize);
+            for y in 0..h {
+                for x in 0..w {
+                    pixels.push(
+                        scene.luminance(x as f64 + 0.5, y as f64 + 0.5, t as f64) as f32,
+                    );
+                }
+            }
+            frames.push(IntensityFrame {
+                t_us: t,
+                width: w,
+                height: h,
+                pixels,
+            });
+            t += self.frame_period_us;
+        }
+        DualRecording { events, frames }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::PixelConfig;
+    use crate::scene::MovingBar;
+
+    #[test]
+    fn dual_recording_has_both_modalities() {
+        let cfg = CameraConfig::new((16, 16)).with_pixel(PixelConfig::ideal());
+        let davis = DavisCamera::new(cfg, 5_000);
+        let rec = davis.record(&MovingBar::horizontal(0.001, 2.0), 0, 20_000, 1);
+        assert_eq!(rec.frames.len(), 4);
+        assert!(!rec.events.is_empty());
+        assert_eq!(rec.frames[0].width, 16);
+    }
+
+    #[test]
+    fn frames_capture_the_moving_bar() {
+        let cfg = CameraConfig::new((32, 8)).with_pixel(PixelConfig::ideal());
+        let davis = DavisCamera::new(cfg, 10_000);
+        let rec = davis.record(&MovingBar::horizontal(0.001, 3.0), 0, 20_000, 1);
+        // At t = 10_000us the bar's leading edge is at x = 10.
+        let f = &rec.frames[1];
+        assert_eq!(f.t_us, 10_000);
+        assert!(f.at(8, 4) > f.at(20, 4), "bar brighter than background");
+    }
+
+    #[test]
+    fn events_between_frames_preserve_timing() {
+        let cfg = CameraConfig::new((16, 16)).with_pixel(PixelConfig::ideal());
+        let davis = DavisCamera::new(cfg, 10_000);
+        let rec = davis.record(&MovingBar::horizontal(0.001, 2.0), 0, 20_000, 1);
+        // Events exist strictly between the two frame times.
+        assert!(rec
+            .events
+            .iter()
+            .any(|e| e.t.as_micros() > 0 && e.t.as_micros() < 10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel out of range")]
+    fn frame_bounds_checked() {
+        let frame = IntensityFrame {
+            t_us: 0,
+            width: 2,
+            height: 2,
+            pixels: vec![0.0; 4],
+        };
+        frame.at(2, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Event-camera (DVS) simulation.
+//!
+//! The paper's comparison runs on data from physical event cameras; this
+//! crate substitutes a faithful behavioural simulator built from the
+//! standard temporal-contrast pixel model ([Lichtsteiner et al. 2008], the
+//! model every sensor in the paper's Fig. 1 implements):
+//!
+//! * [`scene`] — analytic luminance fields `L(x, y, t)`: moving bars and
+//!   dots, rotating disks, gratings, textured egomotion pans, and moving
+//!   glyphs (used by the dataset generators).
+//! * [`pixel`] — the per-pixel change detector: log-luminance front end,
+//!   ± contrast thresholds with mismatch, refractory period, leak (background
+//!   noise) events and shot-noise jitter.
+//! * [`camera`] — [`EventCamera`]: scans a scene at a configurable clock and
+//!   produces an [`evlab_events::EventStream`], optionally pushed through the
+//!   readout model.
+//! * [`readout`] — array readout with finite throughput (GEPS-class caps),
+//!   modelled via the AER bus of `evlab-events`.
+//! * [`davis`] — the dual active+event pixel (DAVIS-style): simultaneous
+//!   intensity frames and events.
+//! * [`sensordb`] — a database of published event sensors (2006–2022) used
+//!   to regenerate the paper's Fig. 1 scaling trends.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_sensor::{CameraConfig, EventCamera};
+//! use evlab_sensor::scene::MovingBar;
+//!
+//! let scene = MovingBar::horizontal(0.0005, 3.0);
+//! let camera = EventCamera::new(CameraConfig::new((64, 64)));
+//! let stream = camera.record(&scene, 0, 10_000, 7);
+//! assert!(stream.len() > 0);
+//! ```
+
+pub mod camera;
+pub mod davis;
+pub mod pixel;
+pub mod readout;
+pub mod scene;
+pub mod sensordb;
+
+pub use camera::{CameraConfig, EventCamera};
+pub use pixel::{DvsPixel, PixelConfig};
+pub use readout::ReadoutConfig;
+pub use sensordb::{SensorRecord, published_sensors};

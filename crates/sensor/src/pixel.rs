@@ -1,0 +1,336 @@
+//! The temporal-contrast (DVS) pixel model.
+//!
+//! Each pixel continuously compares the log of its photocurrent against a
+//! memorized reference level; when the difference exceeds the ON (+) or OFF
+//! (−) contrast threshold, the pixel emits an event and resets its reference.
+//! The model includes the non-idealities that shape real event data:
+//! threshold mismatch between pixels, a refractory dead time, background
+//! leak events, and timestamp jitter.
+
+use evlab_events::{Event, Polarity};
+use evlab_util::Rng64;
+
+/// Configuration of a single DVS pixel (shared by the whole array, with
+/// per-pixel mismatch applied on top).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelConfig {
+    /// Nominal ON/OFF contrast threshold in log-luminance units
+    /// (e.g. 0.2 ≈ 22 % contrast).
+    pub contrast_threshold: f64,
+    /// Relative per-pixel threshold mismatch (standard deviation as a
+    /// fraction of the threshold), mimicking transistor mismatch.
+    pub threshold_mismatch: f64,
+    /// Refractory period after each event, in microseconds.
+    pub refractory_us: u64,
+    /// Background leak-event rate per pixel, in events per second
+    /// (spontaneous ON events, the dominant DVS noise source).
+    pub leak_rate_hz: f64,
+    /// Timestamp jitter standard deviation, in microseconds.
+    pub jitter_us: f64,
+}
+
+impl PixelConfig {
+    /// A typical mid-sensitivity configuration (θ = 0.2, 3 % mismatch,
+    /// 50 µs refractory, 0.1 Hz leak, 20 µs jitter).
+    pub fn new() -> Self {
+        PixelConfig {
+            contrast_threshold: 0.2,
+            threshold_mismatch: 0.03,
+            refractory_us: 50,
+            leak_rate_hz: 0.1,
+            jitter_us: 20.0,
+        }
+    }
+
+    /// An idealized noiseless pixel — useful for deterministic tests.
+    pub fn ideal() -> Self {
+        PixelConfig {
+            contrast_threshold: 0.2,
+            threshold_mismatch: 0.0,
+            refractory_us: 0,
+            leak_rate_hz: 0.0,
+            jitter_us: 0.0,
+        }
+    }
+
+    /// Returns a copy with a different contrast threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta <= 0`.
+    pub fn with_threshold(mut self, theta: f64) -> Self {
+        assert!(theta > 0.0, "threshold must be positive");
+        self.contrast_threshold = theta;
+        self
+    }
+
+    /// Returns a copy with a different refractory period.
+    pub fn with_refractory_us(mut self, refractory_us: u64) -> Self {
+        self.refractory_us = refractory_us;
+        self
+    }
+
+    /// Returns a copy with a different leak rate.
+    pub fn with_leak_rate_hz(mut self, leak_rate_hz: f64) -> Self {
+        self.leak_rate_hz = leak_rate_hz;
+        self
+    }
+}
+
+impl Default for PixelConfig {
+    fn default() -> Self {
+        PixelConfig::new()
+    }
+}
+
+/// State of one simulated DVS pixel.
+///
+/// Feed it log-luminance samples in time order via [`DvsPixel::sample`];
+/// it returns any events generated between the previous and current sample.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_sensor::pixel::{DvsPixel, PixelConfig};
+/// use evlab_util::Rng64;
+///
+/// let mut rng = Rng64::seed_from_u64(1);
+/// let mut px = DvsPixel::new(3, 4, &PixelConfig::ideal(), &mut rng);
+/// px.reset(0.0_f64.ln().max(-10.0), 0);
+/// // A 4x luminance step crosses the 0.2 threshold several times.
+/// let events = px.sample(4.0_f64.ln(), 1_000, &mut rng);
+/// assert!(!events.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvsPixel {
+    x: u16,
+    y: u16,
+    theta_on: f64,
+    theta_off: f64,
+    refractory_us: u64,
+    leak_rate_hz: f64,
+    jitter_us: f64,
+    reference: f64,
+    last_event_t: Option<u64>,
+    last_sample_t: u64,
+    initialized: bool,
+}
+
+impl DvsPixel {
+    /// Creates a pixel at `(x, y)`, drawing its mismatched thresholds from
+    /// `rng`.
+    pub fn new(x: u16, y: u16, config: &PixelConfig, rng: &mut Rng64) -> Self {
+        let mismatch = |rng: &mut Rng64| {
+            (1.0 + config.threshold_mismatch * rng.next_gaussian()).max(0.1)
+        };
+        DvsPixel {
+            x,
+            y,
+            theta_on: config.contrast_threshold * mismatch(rng),
+            theta_off: config.contrast_threshold * mismatch(rng),
+            refractory_us: config.refractory_us,
+            leak_rate_hz: config.leak_rate_hz,
+            jitter_us: config.jitter_us,
+            reference: 0.0,
+            last_event_t: None,
+            last_sample_t: 0,
+            initialized: false,
+        }
+    }
+
+    /// Pixel coordinates.
+    pub fn position(&self) -> (u16, u16) {
+        (self.x, self.y)
+    }
+
+    /// Effective ON threshold after mismatch.
+    pub fn theta_on(&self) -> f64 {
+        self.theta_on
+    }
+
+    /// Effective OFF threshold after mismatch.
+    pub fn theta_off(&self) -> f64 {
+        self.theta_off
+    }
+
+    /// Initializes the reference level without generating events.
+    pub fn reset(&mut self, log_luminance: f64, t_us: u64) {
+        self.reference = log_luminance;
+        self.last_sample_t = t_us;
+        self.last_event_t = None;
+        self.initialized = true;
+    }
+
+    fn in_refractory(&self, t_us: u64) -> bool {
+        match self.last_event_t {
+            Some(last) => t_us.saturating_sub(last) < self.refractory_us,
+            None => false,
+        }
+    }
+
+    /// Advances the pixel to time `t_us` with the given log-luminance,
+    /// returning the events generated since the previous sample.
+    ///
+    /// Multiple threshold crossings within one sampling interval produce
+    /// multiple events with interpolated timestamps — this is how the model
+    /// retains sub-sample temporal precision.
+    pub fn sample(&mut self, log_luminance: f64, t_us: u64, rng: &mut Rng64) -> Vec<Event> {
+        if !self.initialized {
+            self.reset(log_luminance, t_us);
+            return Vec::new();
+        }
+        let mut events = Vec::new();
+        let prev_t = self.last_sample_t;
+        let dt = t_us.saturating_sub(prev_t);
+
+        // Leak (noise) events: Poisson with the configured rate.
+        if self.leak_rate_hz > 0.0 && dt > 0 {
+            let expected = self.leak_rate_hz * dt as f64 * 1e-6;
+            if rng.bernoulli(expected.min(1.0)) {
+                let t_noise = prev_t + rng.next_below(dt.max(1));
+                if !self.in_refractory(t_noise) {
+                    events.push(Event::new(t_noise, self.x, self.y, Polarity::On));
+                    self.last_event_t = Some(t_noise);
+                    // A leak event also resets the reference upward.
+                    self.reference += self.theta_on;
+                }
+            }
+        }
+
+        // Contrast crossings, with linear interpolation of crossing times.
+        let start_ref = self.reference;
+        let diff = log_luminance - start_ref;
+        let (theta, polarity) = if diff >= 0.0 {
+            (self.theta_on, Polarity::On)
+        } else {
+            (self.theta_off, Polarity::Off)
+        };
+        let crossings = (diff.abs() / theta).floor() as u64;
+        for k in 1..=crossings {
+            // Fraction of the interval at which the k-th crossing occurs.
+            let frac = if diff.abs() < f64::EPSILON {
+                1.0
+            } else {
+                (k as f64 * theta) / diff.abs()
+            };
+            let mut t_event = prev_t as f64 + frac.min(1.0) * dt as f64;
+            if self.jitter_us > 0.0 {
+                t_event += self.jitter_us * rng.next_gaussian();
+            }
+            let t_event = t_event.max(prev_t as f64).round() as u64;
+            if self.in_refractory(t_event) {
+                continue;
+            }
+            events.push(Event::new(t_event, self.x, self.y, polarity));
+            self.last_event_t = Some(t_event);
+            self.reference = start_ref
+                + polarity.as_sign() as f64 * k as f64 * theta;
+        }
+
+        self.last_sample_t = t_us;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_pixel(rng: &mut Rng64) -> DvsPixel {
+        DvsPixel::new(0, 0, &PixelConfig::ideal(), rng)
+    }
+
+    #[test]
+    fn no_events_without_change() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut px = ideal_pixel(&mut rng);
+        px.reset(0.5, 0);
+        for t in 1..100u64 {
+            assert!(px.sample(0.5, t * 10, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn step_generates_proportional_events() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut px = ideal_pixel(&mut rng);
+        px.reset(0.0, 0);
+        // Log step of 1.0 at threshold 0.2 -> 5 ON events.
+        let events = px.sample(1.0, 1_000, &mut rng);
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| e.polarity == Polarity::On));
+        // Timestamps interpolated within the interval, increasing.
+        for pair in events.windows(2) {
+            assert!(pair[0].t <= pair[1].t);
+        }
+        assert!(events[0].t.as_micros() >= 190 && events[0].t.as_micros() <= 210);
+    }
+
+    #[test]
+    fn negative_step_generates_off_events() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut px = ideal_pixel(&mut rng);
+        px.reset(1.0, 0);
+        let events = px.sample(0.0, 1_000, &mut rng);
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| e.polarity == Polarity::Off));
+    }
+
+    #[test]
+    fn reference_tracks_after_events() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut px = ideal_pixel(&mut rng);
+        px.reset(0.0, 0);
+        px.sample(0.5, 100, &mut rng); // 2 events, reference -> 0.4
+        // Going back to 0.41 produces nothing (|0.41-0.4| < 0.2).
+        assert!(px.sample(0.41, 200, &mut rng).is_empty());
+        // Dropping to 0.1 crosses one OFF threshold (0.4 - 0.2 = 0.2 > 0.1).
+        let events = px.sample(0.1, 300, &mut rng);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].polarity, Polarity::Off);
+    }
+
+    #[test]
+    fn refractory_suppresses_bursts() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let cfg = PixelConfig::ideal().with_refractory_us(10_000);
+        let mut px = DvsPixel::new(0, 0, &cfg, &mut rng);
+        px.reset(0.0, 0);
+        let events = px.sample(1.0, 1_000, &mut rng);
+        assert_eq!(events.len(), 1, "only the first of the burst survives");
+    }
+
+    #[test]
+    fn leak_events_fire_spontaneously() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let cfg = PixelConfig::ideal().with_leak_rate_hz(1_000.0);
+        let mut px = DvsPixel::new(0, 0, &cfg, &mut rng);
+        px.reset(0.0, 0);
+        let mut total = 0;
+        for i in 1..=100u64 {
+            total += px.sample(0.0, i * 10_000, &mut rng).len();
+        }
+        // 1 kHz leak over 1 s of simulated time: expect many events.
+        assert!(total > 20, "got {total} leak events");
+    }
+
+    #[test]
+    fn mismatch_varies_thresholds() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let cfg = PixelConfig {
+            threshold_mismatch: 0.1,
+            ..PixelConfig::ideal()
+        };
+        let a = DvsPixel::new(0, 0, &cfg, &mut rng);
+        let b = DvsPixel::new(1, 0, &cfg, &mut rng);
+        assert_ne!(a.theta_on(), b.theta_on());
+    }
+
+    #[test]
+    fn first_sample_initializes_silently() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let mut px = ideal_pixel(&mut rng);
+        assert!(px.sample(5.0, 0, &mut rng).is_empty());
+        assert!(!px.sample(5.2, 100, &mut rng).is_empty());
+    }
+}

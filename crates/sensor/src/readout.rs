@@ -1,0 +1,93 @@
+//! Array readout throughput model.
+//!
+//! The readout system arbitrates events from the pixel array onto the
+//! output bus. Modern sensors reach the GEPS (giga-events per second)
+//! range precisely so that temporal precision survives at large array sizes
+//! (paper §II); this module wraps the [`evlab_events::aer::AerBus`] model
+//! with named presets for the sensor generations in the Fig. 1 database.
+
+use evlab_events::aer::AerBus;
+
+/// Readout configuration: sustained throughput and FIFO depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutConfig {
+    throughput_eps: f64,
+    fifo_depth: usize,
+}
+
+impl ReadoutConfig {
+    /// Creates a readout sustaining `throughput_eps` events/second with a
+    /// FIFO of `fifo_depth` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throughput_eps <= 0`.
+    pub fn new(throughput_eps: f64, fifo_depth: usize) -> Self {
+        assert!(throughput_eps > 0.0, "throughput must be positive");
+        ReadoutConfig {
+            throughput_eps,
+            fifo_depth,
+        }
+    }
+
+    /// First-generation readout (~1 Meps), typical of 128×128 sensors.
+    pub fn first_generation() -> Self {
+        ReadoutConfig::new(1e6, 64)
+    }
+
+    /// Mid-generation readout (~50 Meps), typical of VGA-class sensors.
+    pub fn mid_generation() -> Self {
+        ReadoutConfig::new(50e6, 1024)
+    }
+
+    /// GEPS-class readout (~1.066 Geps, as in [Finateu et al. 2020]).
+    pub fn geps_class() -> Self {
+        ReadoutConfig::new(1.066e9, 8192)
+    }
+
+    /// Sustained throughput in events per second.
+    pub fn throughput_eps(&self) -> f64 {
+        self.throughput_eps
+    }
+
+    /// FIFO depth in events.
+    pub fn fifo_depth(&self) -> usize {
+        self.fifo_depth
+    }
+
+    /// The underlying bus model.
+    pub fn bus(&self) -> AerBus {
+        AerBus::new(self.throughput_eps, self.fifo_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::{Event, EventStream, Polarity};
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(
+            ReadoutConfig::first_generation().throughput_eps()
+                < ReadoutConfig::mid_generation().throughput_eps()
+        );
+        assert!(
+            ReadoutConfig::mid_generation().throughput_eps()
+                < ReadoutConfig::geps_class().throughput_eps()
+        );
+    }
+
+    #[test]
+    fn geps_readout_survives_burst_that_saturates_first_gen() {
+        let burst: Vec<Event> = (0..20_000)
+            .map(|i| Event::new(i / 100, (i % 64) as u16, 0, Polarity::On))
+            .collect();
+        let stream = EventStream::from_events((64, 64), burst).expect("ok");
+        let old = ReadoutConfig::first_generation().bus().transfer(&stream);
+        let new = ReadoutConfig::geps_class().bus().transfer(&stream);
+        assert!(old.dropped > 0, "first-gen drops under 100 Meps burst");
+        assert_eq!(new.dropped, 0, "GEPS-class passes it");
+        assert!(new.max_delay_us <= old.max_delay_us);
+    }
+}

@@ -1,0 +1,501 @@
+//! Analytic luminance scenes.
+//!
+//! A [`Scene`] is a deterministic luminance field `L(x, y, t)` sampled by the
+//! camera simulator. Coordinates are in pixels (continuous), time in
+//! microseconds, luminance in arbitrary positive units (the pixel model takes
+//! logs, so only ratios matter).
+
+/// A time-varying luminance field.
+///
+/// Implementors must return strictly positive luminance for all inputs; the
+/// log front-end of the pixel model divides by it.
+pub trait Scene {
+    /// Luminance at continuous pixel position `(x, y)` and time `t_us`.
+    fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64;
+}
+
+/// Background (dark) luminance level shared by the built-in scenes.
+pub const BACKGROUND_LUMINANCE: f64 = 1.0;
+/// Foreground (bright) luminance level shared by the built-in scenes.
+pub const FOREGROUND_LUMINANCE: f64 = 8.0;
+
+fn smooth_step(edge0: f64, edge1: f64, x: f64) -> f64 {
+    let t = ((x - edge0) / (edge1 - edge0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// A bright bar sweeping across the field of view at constant velocity.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_sensor::scene::{MovingBar, Scene};
+///
+/// let bar = MovingBar::horizontal(0.001, 2.0); // 0.001 px/us = 1000 px/s
+/// let before = bar.luminance(5.0, 10.0, 0.0);     // bar not yet at x=5
+/// let after = bar.luminance(5.0, 10.0, 6_000.0);  // leading edge passed x=5
+/// assert!(after > before);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingBar {
+    /// Velocity in px/us along the motion axis.
+    pub velocity: f64,
+    /// Bar width in pixels.
+    pub width: f64,
+    /// If true the bar is vertical and moves along x; otherwise horizontal
+    /// moving along y.
+    pub vertical_bar: bool,
+    /// Initial offset of the leading edge, in pixels.
+    pub offset: f64,
+}
+
+impl MovingBar {
+    /// A vertical bar moving horizontally (+x) at `velocity` px/us.
+    pub fn horizontal(velocity: f64, width: f64) -> Self {
+        MovingBar {
+            velocity,
+            width,
+            vertical_bar: true,
+            offset: 0.0,
+        }
+    }
+
+    /// A horizontal bar moving vertically (+y) at `velocity` px/us.
+    pub fn vertical(velocity: f64, width: f64) -> Self {
+        MovingBar {
+            velocity,
+            width,
+            vertical_bar: false,
+            offset: 0.0,
+        }
+    }
+}
+
+impl Scene for MovingBar {
+    fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64 {
+        let pos = if self.vertical_bar { x } else { y };
+        let leading = self.offset + self.velocity * t_us;
+        let inside = smooth_step(leading - self.width, leading - self.width + 1.0, pos)
+            * (1.0 - smooth_step(leading, leading + 1.0, pos));
+        BACKGROUND_LUMINANCE + (FOREGROUND_LUMINANCE - BACKGROUND_LUMINANCE) * inside
+    }
+}
+
+/// A bright dot moving along a straight line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingDot {
+    /// Start position in pixels.
+    pub start: (f64, f64),
+    /// Velocity in px/us.
+    pub velocity: (f64, f64),
+    /// Dot radius in pixels.
+    pub radius: f64,
+}
+
+impl MovingDot {
+    /// Creates a dot of `radius` starting at `start` with `velocity` px/us.
+    pub fn new(start: (f64, f64), velocity: (f64, f64), radius: f64) -> Self {
+        MovingDot {
+            start,
+            velocity,
+            radius,
+        }
+    }
+
+    /// Dot centre at time `t_us`.
+    pub fn center_at(&self, t_us: f64) -> (f64, f64) {
+        (
+            self.start.0 + self.velocity.0 * t_us,
+            self.start.1 + self.velocity.1 * t_us,
+        )
+    }
+}
+
+impl Scene for MovingDot {
+    fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64 {
+        let (cx, cy) = self.center_at(t_us);
+        let d = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+        let inside = 1.0 - smooth_step(self.radius - 0.5, self.radius + 0.5, d);
+        BACKGROUND_LUMINANCE + (FOREGROUND_LUMINANCE - BACKGROUND_LUMINANCE) * inside
+    }
+}
+
+/// A disk with painted spokes rotating about a centre — the classic DVS demo
+/// stimulus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotatingDisk {
+    /// Rotation centre in pixels.
+    pub center: (f64, f64),
+    /// Disk radius in pixels.
+    pub radius: f64,
+    /// Angular velocity in radians per microsecond.
+    pub omega: f64,
+    /// Number of bright spokes.
+    pub spokes: u32,
+}
+
+impl RotatingDisk {
+    /// Creates a disk with `spokes` spokes spinning at `omega` rad/us.
+    pub fn new(center: (f64, f64), radius: f64, omega: f64, spokes: u32) -> Self {
+        RotatingDisk {
+            center,
+            radius,
+            omega,
+            spokes,
+        }
+    }
+}
+
+impl Scene for RotatingDisk {
+    fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64 {
+        let dx = x - self.center.0;
+        let dy = y - self.center.1;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r > self.radius || r < 1.0 {
+            return BACKGROUND_LUMINANCE;
+        }
+        let angle = dy.atan2(dx) - self.omega * t_us;
+        let phase = (angle * self.spokes as f64).sin();
+        let bright = smooth_step(-0.2, 0.2, phase);
+        BACKGROUND_LUMINANCE + (FOREGROUND_LUMINANCE - BACKGROUND_LUMINANCE) * bright
+    }
+}
+
+/// A sinusoidal grating translating at constant velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranslatingGrating {
+    /// Spatial period in pixels.
+    pub period: f64,
+    /// Velocity in px/us along x.
+    pub velocity: f64,
+    /// Contrast in `(0, 1]` scaling the modulation depth.
+    pub contrast: f64,
+}
+
+impl TranslatingGrating {
+    /// Creates a grating of `period` px moving at `velocity` px/us with the
+    /// given `contrast`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0` or `contrast` outside `(0, 1]`.
+    pub fn new(period: f64, velocity: f64, contrast: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!(
+            contrast > 0.0 && contrast <= 1.0,
+            "contrast must be in (0, 1]"
+        );
+        TranslatingGrating {
+            period,
+            velocity,
+            contrast,
+        }
+    }
+}
+
+impl Scene for TranslatingGrating {
+    fn luminance(&self, x: f64, _y: f64, t_us: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (x - self.velocity * t_us) / self.period;
+        let mid = (BACKGROUND_LUMINANCE + FOREGROUND_LUMINANCE) / 2.0;
+        let amp = (FOREGROUND_LUMINANCE - BACKGROUND_LUMINANCE) / 2.0 * self.contrast;
+        mid + amp * phase.sin()
+    }
+}
+
+/// Camera egomotion over a static random texture.
+///
+/// Models the §II scenario in which *every* pixel sees contrast change: the
+/// camera pans at `velocity` px/us over a procedurally generated texture
+/// (value-noise with smooth interpolation), producing the resolution-
+/// dependent event-rate explosion of [Gehrig & Scaramuzza 2022].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgomotionPan {
+    /// Pan velocity in px/us along x.
+    pub velocity: f64,
+    /// Texture feature size in pixels.
+    pub feature_size: f64,
+    seed: u64,
+}
+
+impl EgomotionPan {
+    /// Creates a pan over texture with features of `feature_size` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_size <= 0`.
+    pub fn new(velocity: f64, feature_size: f64, seed: u64) -> Self {
+        assert!(feature_size > 0.0, "feature size must be positive");
+        EgomotionPan {
+            velocity,
+            feature_size,
+            seed,
+        }
+    }
+
+    fn lattice_value(&self, ix: i64, iy: i64) -> f64 {
+        // Hash the lattice point into [0, 1) deterministically.
+        let mut h = (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ self.seed.wrapping_mul(0x165667B19E3779F9);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Scene for EgomotionPan {
+    fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64 {
+        let u = (x + self.velocity * t_us) / self.feature_size;
+        let v = y / self.feature_size;
+        let (iu, iv) = (u.floor() as i64, v.floor() as i64);
+        let (fu, fv) = (u - iu as f64, v - iv as f64);
+        let (su, sv) = (fu * fu * (3.0 - 2.0 * fu), fv * fv * (3.0 - 2.0 * fv));
+        let v00 = self.lattice_value(iu, iv);
+        let v10 = self.lattice_value(iu + 1, iv);
+        let v01 = self.lattice_value(iu, iv + 1);
+        let v11 = self.lattice_value(iu + 1, iv + 1);
+        let noise = v00 * (1.0 - su) * (1.0 - sv)
+            + v10 * su * (1.0 - sv)
+            + v01 * (1.0 - su) * sv
+            + v11 * su * sv;
+        BACKGROUND_LUMINANCE + (FOREGROUND_LUMINANCE - BACKGROUND_LUMINANCE) * noise
+    }
+}
+
+/// A bitmap glyph translating across the field of view — the primitive the
+/// dataset generators use to render digit/shape classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingGlyph {
+    bitmap: Vec<bool>,
+    cols: usize,
+    rows: usize,
+    /// Top-left start position in pixels.
+    pub start: (f64, f64),
+    /// Velocity in px/us.
+    pub velocity: (f64, f64),
+    /// Integer scale factor applied to the bitmap.
+    pub scale: f64,
+}
+
+impl MovingGlyph {
+    /// Creates a moving glyph from a row-major boolean bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitmap.len() != cols * rows` or `scale <= 0`.
+    pub fn new(
+        bitmap: Vec<bool>,
+        cols: usize,
+        rows: usize,
+        start: (f64, f64),
+        velocity: (f64, f64),
+        scale: f64,
+    ) -> Self {
+        assert_eq!(bitmap.len(), cols * rows, "bitmap size mismatch");
+        assert!(scale > 0.0, "scale must be positive");
+        MovingGlyph {
+            bitmap,
+            cols,
+            rows,
+            start,
+            velocity,
+            scale,
+        }
+    }
+
+    /// Parses a glyph from rows of `'#'` (on) and `'.'`/' ' (off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or the pattern is empty.
+    pub fn from_pattern(
+        pattern: &[&str],
+        start: (f64, f64),
+        velocity: (f64, f64),
+        scale: f64,
+    ) -> Self {
+        assert!(!pattern.is_empty(), "empty glyph pattern");
+        let cols = pattern[0].len();
+        let mut bitmap = Vec::with_capacity(cols * pattern.len());
+        for row in pattern {
+            assert_eq!(row.len(), cols, "ragged glyph pattern");
+            bitmap.extend(row.chars().map(|c| c == '#'));
+        }
+        Self::new(bitmap, cols, pattern.len(), start, velocity, scale)
+    }
+
+    /// Glyph size in pixels `(width, height)` after scaling.
+    pub fn size(&self) -> (f64, f64) {
+        (self.cols as f64 * self.scale, self.rows as f64 * self.scale)
+    }
+}
+
+impl Scene for MovingGlyph {
+    fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64 {
+        let gx = (x - self.start.0 - self.velocity.0 * t_us) / self.scale;
+        let gy = (y - self.start.1 - self.velocity.1 * t_us) / self.scale;
+        if gx < 0.0 || gy < 0.0 {
+            return BACKGROUND_LUMINANCE;
+        }
+        let (cx, cy) = (gx as usize, gy as usize);
+        if cx >= self.cols || cy >= self.rows {
+            return BACKGROUND_LUMINANCE;
+        }
+        if self.bitmap[cy * self.cols + cx] {
+            FOREGROUND_LUMINANCE
+        } else {
+            BACKGROUND_LUMINANCE
+        }
+    }
+}
+
+/// A static uniform field — produces no events; useful as a noise-floor
+/// control in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniformField;
+
+impl Scene for UniformField {
+    fn luminance(&self, _x: f64, _y: f64, _t_us: f64) -> f64 {
+        BACKGROUND_LUMINANCE
+    }
+}
+
+/// Superposition of two scenes: the pixel sees whichever is brighter.
+/// Composes foreground objects over structured backgrounds (e.g. a moving
+/// dot over texture, a glyph over flicker) for robustness experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Superpose<A, B> {
+    /// Foreground scene.
+    pub foreground: A,
+    /// Background scene.
+    pub background: B,
+}
+
+impl<A: Scene, B: Scene> Superpose<A, B> {
+    /// Creates the composition.
+    pub fn new(foreground: A, background: B) -> Self {
+        Superpose {
+            foreground,
+            background,
+        }
+    }
+}
+
+impl<A: Scene, B: Scene> Scene for Superpose<A, B> {
+    fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64 {
+        self.foreground
+            .luminance(x, y, t_us)
+            .max(self.background.luminance(x, y, t_us))
+    }
+}
+
+/// A square-wave flicker of the whole field at `period_us` — stresses the
+/// rate controller and the centre-surround filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalFlicker {
+    /// Full flicker period in microseconds.
+    pub period_us: f64,
+}
+
+impl Scene for GlobalFlicker {
+    fn luminance(&self, _x: f64, _y: f64, t_us: f64) -> f64 {
+        if (t_us / self.period_us).fract() < 0.5 {
+            BACKGROUND_LUMINANCE
+        } else {
+            FOREGROUND_LUMINANCE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenes_positive_luminance() {
+        let scenes: Vec<Box<dyn Scene>> = vec![
+            Box::new(MovingBar::horizontal(0.001, 2.0)),
+            Box::new(MovingDot::new((5.0, 5.0), (0.001, 0.0), 2.0)),
+            Box::new(RotatingDisk::new((16.0, 16.0), 10.0, 1e-5, 4)),
+            Box::new(TranslatingGrating::new(8.0, 0.001, 0.9)),
+            Box::new(EgomotionPan::new(0.001, 4.0, 1)),
+            Box::new(UniformField),
+            Box::new(GlobalFlicker { period_us: 1000.0 }),
+        ];
+        for (i, s) in scenes.iter().enumerate() {
+            for t in [0.0, 123.0, 99_999.0] {
+                for (x, y) in [(0.0, 0.0), (7.5, 3.2), (31.0, 31.0)] {
+                    let l = s.luminance(x, y, t);
+                    assert!(l > 0.0 && l.is_finite(), "scene {i} at ({x},{y},{t}): {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moving_dot_travels() {
+        let dot = MovingDot::new((0.0, 0.0), (0.01, 0.005), 1.0);
+        assert_eq!(dot.center_at(1000.0), (10.0, 5.0));
+        // Bright at the centre, dark far away.
+        assert!(dot.luminance(10.0, 5.0, 1000.0) > dot.luminance(30.0, 30.0, 1000.0));
+    }
+
+    #[test]
+    fn grating_is_periodic() {
+        let g = TranslatingGrating::new(10.0, 0.0, 1.0);
+        let a = g.luminance(3.0, 0.0, 0.0);
+        let b = g.luminance(13.0, 0.0, 0.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egomotion_is_deterministic_and_translates() {
+        let e = EgomotionPan::new(0.001, 4.0, 42);
+        let l0 = e.luminance(10.0, 10.0, 0.0);
+        assert_eq!(l0, EgomotionPan::new(0.001, 4.0, 42).luminance(10.0, 10.0, 0.0));
+        // Panning by exactly one feature at v*t = x-shift reproduces value.
+        let shifted = e.luminance(9.0, 10.0, 1000.0); // x + v*t = 9 + 1 = 10
+        assert!((l0 - shifted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn glyph_pattern_parsing() {
+        let g = MovingGlyph::from_pattern(&["#.", ".#"], (0.0, 0.0), (0.0, 0.0), 2.0);
+        assert_eq!(g.size(), (4.0, 4.0));
+        assert_eq!(g.luminance(0.5, 0.5, 0.0), FOREGROUND_LUMINANCE);
+        assert_eq!(g.luminance(3.5, 0.5, 0.0), BACKGROUND_LUMINANCE);
+        assert_eq!(g.luminance(3.5, 3.5, 0.0), FOREGROUND_LUMINANCE);
+        assert_eq!(g.luminance(10.0, 10.0, 0.0), BACKGROUND_LUMINANCE);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged glyph pattern")]
+    fn ragged_glyph_panics() {
+        MovingGlyph::from_pattern(&["##", "#"], (0.0, 0.0), (0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn superpose_takes_the_brighter_scene() {
+        let dot = MovingDot::new((5.0, 5.0), (0.0, 0.0), 2.0);
+        let grating = TranslatingGrating::new(8.0, 0.0, 0.3);
+        let combo = Superpose::new(dot, grating);
+        // At the dot centre the foreground dominates.
+        assert_eq!(
+            combo.luminance(5.0, 5.0, 0.0),
+            dot.luminance(5.0, 5.0, 0.0)
+        );
+        // Far from the dot the background shows through.
+        assert_eq!(
+            combo.luminance(30.0, 30.0, 0.0),
+            grating.luminance(30.0, 30.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn flicker_alternates() {
+        let f = GlobalFlicker { period_us: 100.0 };
+        assert_eq!(f.luminance(0.0, 0.0, 10.0), BACKGROUND_LUMINANCE);
+        assert_eq!(f.luminance(0.0, 0.0, 60.0), FOREGROUND_LUMINANCE);
+    }
+}

@@ -1,0 +1,277 @@
+//! Database of published event-camera sensors (paper Fig. 1).
+//!
+//! The paper's Fig. 1 plots pixel pitch and array size of published
+//! event sensors across the decade, showing aggressive scaling driven by
+//! backside illumination (BSI) and 3-D wafer stacking. The records below are
+//! the publicly documented devices from the paper's §II references; the
+//! [`pitch_trend`] and [`array_trend`] fits regenerate the figure's two
+//! series.
+
+use evlab_util::stats::linear_fit;
+use serde::{Deserialize, Serialize};
+
+/// Fabrication style of the pixel front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PixelProcess {
+    /// Front-side illuminated, single die.
+    FrontSide,
+    /// Backside illuminated, single die.
+    BackSide,
+    /// Backside illuminated with 3-D wafer stacking.
+    Stacked,
+}
+
+/// One published event sensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorRecord {
+    /// Device or publication name.
+    pub name: &'static str,
+    /// Institution or company.
+    pub vendor: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// Pixel pitch in micrometres.
+    pub pitch_um: f64,
+    /// Array width in pixels.
+    pub width: u32,
+    /// Array height in pixels.
+    pub height: u32,
+    /// Pixel fill factor in percent, when published.
+    pub fill_factor_pct: Option<f64>,
+    /// Peak readout throughput in events/second, when published.
+    pub readout_eps: Option<f64>,
+    /// Process generation.
+    pub process: PixelProcess,
+    /// Whether the pixel also captures intensity (dual active+event).
+    pub dual_pixel: bool,
+}
+
+impl SensorRecord {
+    /// Array size in megapixels.
+    pub fn megapixels(&self) -> f64 {
+        self.width as f64 * self.height as f64 / 1e6
+    }
+}
+
+/// Returns the published sensors in chronological order.
+///
+/// Figures are taken from the cited publications ([6], [10]–[14], [16] of
+/// the paper, plus the widely documented Samsung Gen2/3 and CeleX devices).
+pub fn published_sensors() -> Vec<SensorRecord> {
+    vec![
+        SensorRecord {
+            name: "DVS128",
+            vendor: "ETH Zurich / iniVation",
+            year: 2008,
+            pitch_um: 40.0,
+            width: 128,
+            height: 128,
+            fill_factor_pct: Some(8.1),
+            readout_eps: Some(1e6),
+            process: PixelProcess::FrontSide,
+            dual_pixel: false,
+        },
+        SensorRecord {
+            name: "ATIS",
+            vendor: "AIT / Prophesee",
+            year: 2010,
+            pitch_um: 30.0,
+            width: 304,
+            height: 240,
+            fill_factor_pct: Some(20.0),
+            readout_eps: Some(10e6),
+            process: PixelProcess::FrontSide,
+            dual_pixel: true,
+        },
+        SensorRecord {
+            name: "128x128 TIA DVS",
+            vendor: "IMSE-CNM",
+            year: 2013,
+            pitch_um: 31.0,
+            width: 128,
+            height: 128,
+            fill_factor_pct: Some(10.5),
+            readout_eps: Some(20e6),
+            process: PixelProcess::FrontSide,
+            dual_pixel: false,
+        },
+        SensorRecord {
+            name: "DAVIS240",
+            vendor: "ETH Zurich / iniVation",
+            year: 2014,
+            pitch_um: 18.5,
+            width: 240,
+            height: 180,
+            fill_factor_pct: Some(22.0),
+            readout_eps: Some(12e6),
+            process: PixelProcess::FrontSide,
+            dual_pixel: true,
+        },
+        SensorRecord {
+            name: "Samsung DVS Gen2",
+            vendor: "Samsung",
+            year: 2017,
+            pitch_um: 9.0,
+            width: 640,
+            height: 480,
+            fill_factor_pct: Some(11.0),
+            readout_eps: Some(300e6),
+            process: PixelProcess::BackSide,
+            dual_pixel: false,
+        },
+        SensorRecord {
+            name: "CeleX-V",
+            vendor: "CelePixel / Omnivision",
+            year: 2019,
+            pitch_um: 9.8,
+            width: 1280,
+            height: 800,
+            fill_factor_pct: None,
+            readout_eps: Some(140e6),
+            process: PixelProcess::BackSide,
+            dual_pixel: true,
+        },
+        SensorRecord {
+            name: "Gen4 / IMX636",
+            vendor: "Prophesee / Sony",
+            year: 2020,
+            pitch_um: 4.86,
+            width: 1280,
+            height: 720,
+            fill_factor_pct: Some(77.0),
+            readout_eps: Some(1.066e9),
+            process: PixelProcess::Stacked,
+            dual_pixel: false,
+        },
+        SensorRecord {
+            name: "Samsung DVS Gen3",
+            vendor: "Samsung",
+            year: 2020,
+            pitch_um: 4.95,
+            width: 1280,
+            height: 960,
+            fill_factor_pct: Some(78.0),
+            readout_eps: Some(1.2e9),
+            process: PixelProcess::Stacked,
+            dual_pixel: false,
+        },
+        SensorRecord {
+            name: "Hybrid APS-DVS",
+            vendor: "CEA-Leti",
+            year: 2021,
+            pitch_um: 12.0,
+            width: 320,
+            height: 240,
+            fill_factor_pct: None,
+            readout_eps: Some(50e6),
+            process: PixelProcess::BackSide,
+            dual_pixel: true,
+        },
+    ]
+}
+
+/// Exponential-trend fit of a positive series vs year: returns
+/// `(value_at_year0, annual_factor)` such that
+/// `value(year) ≈ value_at_year0 * annual_factor^(year - year0)`.
+fn exp_trend(points: &[(u16, f64)], year0: u16) -> Option<(f64, f64)> {
+    let xs: Vec<f64> = points.iter().map(|&(y, _)| (y - year0) as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, v)| v.ln()).collect();
+    let (a, b) = linear_fit(&xs, &ys)?;
+    Some((a.exp(), b.exp()))
+}
+
+/// Fits the pixel-pitch scaling trend (µm vs year).
+///
+/// Returns `(pitch_2008_um, annual_factor)`; the annual factor is below one,
+/// reflecting the shrink from 40 µm (2008) towards ~5 µm (2020).
+pub fn pitch_trend(records: &[SensorRecord]) -> Option<(f64, f64)> {
+    let points: Vec<(u16, f64)> = records.iter().map(|r| (r.year, r.pitch_um)).collect();
+    exp_trend(&points, 2008)
+}
+
+/// Fits the array-size scaling trend (megapixels vs year).
+///
+/// Returns `(mpx_2008, annual_factor)`; the annual factor exceeds one.
+pub fn array_trend(records: &[SensorRecord]) -> Option<(f64, f64)> {
+    let points: Vec<(u16, f64)> = records.iter().map(|r| (r.year, r.megapixels())).collect();
+    exp_trend(&points, 2008)
+}
+
+/// Mean fill factor of front-side vs stacked devices, `(fsi, stacked)`,
+/// substantiating the "one fifth to more than three quarters" claim of §II.
+pub fn fill_factor_by_process(records: &[SensorRecord]) -> (Option<f64>, Option<f64>) {
+    let mean_of = |p: &dyn Fn(&SensorRecord) -> bool| {
+        let vals: Vec<f64> = records
+            .iter()
+            .filter(|r| p(r))
+            .filter_map(|r| r.fill_factor_pct)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    };
+    (
+        mean_of(&|r| r.process == PixelProcess::FrontSide),
+        mean_of(&|r| r.process == PixelProcess::Stacked),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_is_chronological_and_nonempty() {
+        let db = published_sensors();
+        assert!(db.len() >= 8);
+        for pair in db.windows(2) {
+            assert!(pair[0].year <= pair[1].year);
+        }
+    }
+
+    #[test]
+    fn pitch_shrinks_over_the_decade() {
+        let db = published_sensors();
+        let (p0, factor) = pitch_trend(&db).expect("fit");
+        assert!(p0 > 20.0, "2008 pitch near 40um, fit {p0}");
+        assert!(factor < 1.0, "pitch must shrink, factor {factor}");
+        // Roughly 40um -> ~5um over 12 years: factor ~ (5/40)^(1/12) ~ 0.84.
+        assert!(factor > 0.7 && factor < 0.95, "factor {factor}");
+    }
+
+    #[test]
+    fn array_size_grows_over_the_decade() {
+        let db = published_sensors();
+        let (m0, factor) = array_trend(&db).expect("fit");
+        assert!(m0 < 0.5, "2008 arrays were far below 1Mpx, fit {m0}");
+        assert!(factor > 1.2, "arrays grow, factor {factor}");
+    }
+
+    #[test]
+    fn fill_factor_jump_with_stacking() {
+        let db = published_sensors();
+        let (fsi, stacked) = fill_factor_by_process(&db);
+        let fsi = fsi.expect("fsi data");
+        let stacked = stacked.expect("stacked data");
+        // The paper: "from around one fifth to more than three quarters".
+        assert!(fsi < 25.0, "FSI mean {fsi}");
+        assert!(stacked > 75.0, "stacked mean {stacked}");
+    }
+
+    #[test]
+    fn geps_class_readout_exists_by_2020() {
+        let db = published_sensors();
+        assert!(db
+            .iter()
+            .any(|r| r.year >= 2020 && r.readout_eps.unwrap_or(0.0) >= 1e9));
+    }
+
+    #[test]
+    fn megapixels_computation() {
+        let db = published_sensors();
+        let gen4 = db.iter().find(|r| r.name.contains("Gen4")).expect("gen4");
+        assert!((gen4.megapixels() - 0.9216).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,521 @@
+//! Convolutional LIF layers and the convolutional spiking classifier.
+//!
+//! Event-vision SNNs are convolutional in practice (e.g. the converted
+//! Spiking-YOLO of §III-A [35]): weight sharing over the pixel grid with
+//! LIF dynamics per feature-map site. This module provides a `ConvLifLayer`
+//! (same-padded 3×3-style convolution feeding leaky integrate-and-fire
+//! units) and [`ConvSnnNetwork`], a conv → LIF → pool → readout classifier
+//! trained with surrogate-gradient BPTT.
+
+use crate::neuron::LifConfig;
+use crate::surrogate::Surrogate;
+use evlab_tensor::init::he_normal;
+use evlab_tensor::layer::Param;
+use evlab_tensor::loss::cross_entropy;
+use evlab_tensor::optim::Optimizer;
+use evlab_tensor::{OpCount, Tensor};
+use evlab_util::Rng64;
+
+/// A convolutional layer of LIF neurons over `[C, H, W]` spike maps.
+pub struct ConvLifLayer {
+    weight: Param, // [O, C, K, K]
+    config: LifConfig,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    height: usize,
+    width: usize,
+    v: Tensor, // [O, H, W]
+}
+
+impl ConvLifLayer {
+    /// Creates a same-padded convolutional LIF layer for `(width, height)`
+    /// maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero or the kernel is even.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        resolution: (usize, usize),
+        config: LifConfig,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "zero-sized layer");
+        assert!(kernel % 2 == 1, "kernel must be odd for same padding");
+        let mut weight = he_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            in_channels * kernel * kernel,
+            rng,
+        );
+        weight.scale_assign(3.0);
+        ConvLifLayer {
+            weight: Param::new(weight),
+            config,
+            in_channels,
+            out_channels,
+            kernel,
+            width: resolution.0,
+            height: resolution.1,
+            v: Tensor::zeros(&[out_channels, resolution.1, resolution.0]),
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Resets membranes to rest.
+    pub fn reset(&mut self) {
+        self.v.fill_zero();
+    }
+
+    /// Same-padded spike convolution: accumulates `W * spikes` into the
+    /// membranes (event-driven: only non-zero input sites are visited),
+    /// applies leak, thresholds, subtract-resets. Returns
+    /// `(pre-reset membranes, spikes)`.
+    pub fn step(&mut self, input: &Tensor, ops: &mut OpCount) -> (Tensor, Tensor) {
+        assert_eq!(
+            input.shape(),
+            &[self.in_channels, self.height, self.width],
+            "conv-lif input shape mismatch"
+        );
+        let k = self.kernel;
+        let half = (k / 2) as isize;
+        // Clocked leak.
+        self.v.scale_assign(self.config.leak);
+        ops.record_mult(self.v.len() as u64);
+        // Event-driven scatter: each input spike adds a weighted kernel
+        // footprint to every output channel.
+        let x = input.as_slice();
+        let w = self.weight.value.as_slice();
+        let mut active = 0u64;
+        {
+            let vs = self.v.as_mut_slice();
+            for c in 0..self.in_channels {
+                for y in 0..self.height {
+                    for xx in 0..self.width {
+                        let s = x[(c * self.height + y) * self.width + xx];
+                        if s == 0.0 {
+                            continue;
+                        }
+                        active += 1;
+                        for o in 0..self.out_channels {
+                            for ky in 0..k {
+                                let oy = y as isize + half - ky as isize;
+                                if oy < 0 || oy >= self.height as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ox = xx as isize + half - kx as isize;
+                                    if ox < 0 || ox >= self.width as isize {
+                                        continue;
+                                    }
+                                    vs[(o * self.height + oy as usize) * self.width
+                                        + ox as usize] += s
+                                        * w[((o * self.in_channels + c) * k + ky) * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ops.record_add(active * (self.out_channels * k * k) as u64);
+        // Threshold + subtract reset.
+        let membrane = self.v.clone();
+        let mut spikes = Tensor::zeros(self.v.shape());
+        {
+            let vs = self.v.as_mut_slice();
+            let ss = spikes.as_mut_slice();
+            for (j, v) in vs.iter_mut().enumerate() {
+                if *v >= self.config.threshold {
+                    ss[j] = 1.0;
+                    *v -= self.config.threshold;
+                }
+            }
+        }
+        ops.record_compare(self.v.len() as u64);
+        (membrane, spikes)
+    }
+}
+
+/// A one-conv-layer spiking classifier: conv-LIF → 2× sum-pool →
+/// leaky linear readout, trained with BPTT.
+pub struct ConvSnnNetwork {
+    conv: ConvLifLayer,
+    readout: Param, // [classes, pooled]
+    readout_leak: f32,
+    surrogate: Surrogate,
+    classes: usize,
+    pool: usize,
+    pooled_h: usize,
+    pooled_w: usize,
+    // BPTT caches.
+    cache_membranes: Vec<Tensor>,
+    cache_spikes: Vec<Tensor>,
+    cache_inputs: Vec<Tensor>,
+}
+
+impl ConvSnnNetwork {
+    /// Creates the network for `(width, height)` two-channel spike maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is not divisible by `pool`.
+    pub fn new(
+        resolution: (usize, usize),
+        out_channels: usize,
+        pool: usize,
+        classes: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(
+            resolution.0 % pool == 0 && resolution.1 % pool == 0,
+            "resolution must divide by the pool size"
+        );
+        let conv = ConvLifLayer::new(
+            2,
+            out_channels,
+            3,
+            resolution,
+            LifConfig::new(),
+            rng,
+        );
+        let pooled_w = resolution.0 / pool;
+        let pooled_h = resolution.1 / pool;
+        let pooled = out_channels * pooled_h * pooled_w;
+        ConvSnnNetwork {
+            conv,
+            readout: Param::new(he_normal(&[classes, pooled], pooled, rng)),
+            readout_leak: 0.95,
+            surrogate: Surrogate::new(),
+            classes,
+            pool,
+            pooled_h,
+            pooled_w,
+            cache_membranes: Vec::new(),
+            cache_spikes: Vec::new(),
+            cache_inputs: Vec::new(),
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.conv.weight.len() + self.readout.len()
+    }
+
+    fn pool_spikes(&self, spikes: &Tensor) -> Vec<f32> {
+        let o = self.conv.out_channels;
+        let (h, w) = (self.conv.height, self.conv.width);
+        let s = spikes.as_slice();
+        let mut out = vec![0.0f32; o * self.pooled_h * self.pooled_w];
+        for c in 0..o {
+            for y in 0..h {
+                for x in 0..w {
+                    out[(c * self.pooled_h + y / self.pool) * self.pooled_w + x / self.pool] +=
+                        s[(c * h + y) * w + x];
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the clocked simulation over per-step `[2, H, W]` spike maps and
+    /// returns the logits (final readout membranes). Caches for
+    /// [`ConvSnnNetwork::backward`].
+    pub fn forward(&mut self, steps: &[Tensor], ops: &mut OpCount) -> Tensor {
+        assert!(!steps.is_empty(), "empty sequence");
+        self.conv.reset();
+        self.cache_membranes.clear();
+        self.cache_spikes.clear();
+        self.cache_inputs.clear();
+        let mut readout_v = vec![0.0f32; self.classes];
+        let rw = self.readout.value.as_slice();
+        let pooled_len = self.readout.value.shape()[1];
+        for input in steps {
+            let (membrane, spikes) = self.conv.step(input, ops);
+            let pooled = self.pool_spikes(&spikes);
+            for v in &mut readout_v {
+                *v *= self.readout_leak;
+            }
+            let mut active = 0u64;
+            for (i, &p) in pooled.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                active += 1;
+                for (c, v) in readout_v.iter_mut().enumerate() {
+                    *v += p * rw[c * pooled_len + i];
+                }
+            }
+            ops.record_add(active * self.classes as u64);
+            ops.record_mult(self.classes as u64);
+            self.cache_membranes.push(membrane);
+            self.cache_spikes.push(spikes);
+            self.cache_inputs.push(input.clone());
+        }
+        Tensor::from_vec(&[self.classes], readout_v).expect("logit shape")
+    }
+
+    /// BPTT backward from a logit gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`ConvSnnNetwork::forward`].
+    pub fn backward(&mut self, grad_logits: &Tensor, ops: &mut OpCount) {
+        let steps = self.cache_inputs.len();
+        assert!(steps > 0, "backward without forward");
+        let g = grad_logits.as_slice();
+        let pooled_len = self.readout.value.shape()[1];
+        let rw = self.readout.value.as_slice().to_vec();
+        let theta = self.conv.config.threshold;
+        let leak = self.conv.config.leak;
+        let o = self.conv.out_channels;
+        let (h, w) = (self.conv.height, self.conv.width);
+        let k = self.conv.kernel;
+        let half = (k / 2) as isize;
+
+        // Readout gradients and per-step pooled-spike gradients.
+        let pooled_per_step: Vec<Vec<f32>> = (0..steps)
+            .map(|t| self.pool_spikes(&self.cache_spikes[t]))
+            .collect();
+        let mut ds_pooled: Vec<Vec<f32>> = vec![vec![0.0; pooled_len]; steps];
+        {
+            let rg = self.readout.grad.as_mut_slice();
+            let mut scale = 1.0f32;
+            for t in (0..steps).rev() {
+                let pooled = &pooled_per_step[t];
+                for c in 0..self.classes {
+                    let gc = g[c] * scale;
+                    if gc == 0.0 {
+                        continue;
+                    }
+                    for i in 0..pooled_len {
+                        rg[c * pooled_len + i] += gc * pooled[i];
+                        ds_pooled[t][i] += gc * rw[c * pooled_len + i];
+                    }
+                }
+                scale *= self.readout_leak;
+            }
+        }
+        // Through the pool (sum pooling broadcasts the gradient) and BPTT
+        // through the conv LIF dynamics.
+        let mut delta_next = Tensor::zeros(&[o, h, w]);
+        for t in (0..steps).rev() {
+            let membrane = &self.cache_membranes[t];
+            let input = &self.cache_inputs[t];
+            let mut delta = Tensor::zeros(&[o, h, w]);
+            {
+                let dm = delta.as_mut_slice();
+                let mv = membrane.as_slice();
+                let dn = delta_next.as_slice();
+                for c in 0..o {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let idx = (c * h + y) * w + x;
+                            let ds = ds_pooled[t][(c * self.pooled_h + y / self.pool)
+                                * self.pooled_w
+                                + x / self.pool];
+                            let sg = self.surrogate.grad(mv[idx] - theta);
+                            dm[idx] = sg * ds + leak * dn[idx];
+                        }
+                    }
+                }
+            }
+            // Weight gradients: correlation of delta with the input spikes.
+            {
+                let gw = self.conv.weight.grad.as_mut_slice();
+                let xs = input.as_slice();
+                let dm = delta.as_slice();
+                for c in 0..self.conv.in_channels {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            let s = xs[(c * h + y) * w + xx];
+                            if s == 0.0 {
+                                continue;
+                            }
+                            for oc in 0..o {
+                                for ky in 0..k {
+                                    let oy = y as isize + half - ky as isize;
+                                    if oy < 0 || oy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..k {
+                                        let ox = xx as isize + half - kx as isize;
+                                        if ox < 0 || ox >= w as isize {
+                                            continue;
+                                        }
+                                        gw[((oc * self.conv.in_channels + c) * k + ky) * k
+                                            + kx] += s
+                                            * dm[(oc * h + oy as usize) * w + ox as usize];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            delta_next = delta;
+        }
+        ops.record_mac(
+            (steps * o * h * w * self.conv.in_channels * k * k) as u64,
+            (steps * o * h * w * self.conv.in_channels * k * k) as u64,
+        );
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.conv.weight, &mut self.readout]
+    }
+
+    /// Predicted class for a step sequence.
+    pub fn predict(&mut self, steps: &[Tensor], ops: &mut OpCount) -> usize {
+        self.forward(steps, ops).argmax()
+    }
+
+    /// One gradient-accumulating training sample; returns the loss.
+    pub fn accumulate(&mut self, steps: &[Tensor], label: usize, ops: &mut OpCount) -> f32 {
+        let logits = self.forward(steps, ops);
+        let (loss, grad) = cross_entropy(&logits, label);
+        self.backward(&grad, ops);
+        loss
+    }
+
+    /// Applies an optimizer step.
+    pub fn step_optimizer(&mut self, optimizer: &mut dyn Optimizer) {
+        let mut params = self.params_mut();
+        optimizer.step(&mut params);
+    }
+}
+
+/// Converts a [`crate::encode::SpikeTrain`] over a `(width, height)`
+/// two-polarity grid into per-step `[2, H, W]` tensors for the
+/// convolutional network.
+///
+/// # Panics
+///
+/// Panics if the train size is not `2 * width * height`.
+pub fn spike_train_to_maps(
+    train: &crate::encode::SpikeTrain,
+    resolution: (usize, usize),
+) -> Vec<Tensor> {
+    let (w, h) = resolution;
+    assert_eq!(train.size(), 2 * w * h, "train size mismatch");
+    (0..train.num_steps())
+        .map(|t| {
+            let mut map = Tensor::zeros(&[2, h, w]);
+            let data = map.as_mut_slice();
+            for &i in train.at(t) {
+                data[i as usize] += 1.0;
+            }
+            map
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_tensor::optim::Adam;
+
+    /// Toy task: is the activity in the left or right half of the map?
+    fn toy_steps(class: usize, rng: &mut Rng64, size: usize, steps: usize) -> Vec<Tensor> {
+        (0..steps)
+            .map(|_| {
+                let mut map = Tensor::zeros(&[2, size, size]);
+                for _ in 0..3 {
+                    let x = if class == 0 {
+                        rng.next_index(size / 2)
+                    } else {
+                        size / 2 + rng.next_index(size / 2)
+                    };
+                    let y = rng.next_index(size);
+                    let c = rng.next_index(2);
+                    map.set(&[c, y, x], 1.0);
+                }
+                map
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conv_lif_fires_locally() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut layer =
+            ConvLifLayer::new(2, 4, 3, (8, 8), LifConfig::new(), &mut rng);
+        let mut input = Tensor::zeros(&[2, 8, 8]);
+        input.set(&[0, 4, 4], 1.0);
+        let mut ops = OpCount::new();
+        let (membrane, _) = layer.step(&input, &mut ops);
+        // Membrane response confined to the 3x3 neighbourhood of (4,4).
+        for y in 0..8 {
+            for x in 0..8 {
+                let m: f32 = (0..4).map(|o| membrane.at(&[o, y, x]).abs()).sum();
+                let near =
+                    (y as i32 - 4).abs() <= 1 && (x as i32 - 4).abs() <= 1;
+                if near {
+                    continue;
+                }
+                assert_eq!(m, 0.0, "leak at ({x},{y})");
+            }
+        }
+        assert_eq!(ops.adds, 4 * 9, "one spike fans out O*K^2 adds");
+    }
+
+    #[test]
+    fn conv_snn_learns_spatial_toy_task() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut net = ConvSnnNetwork::new((8, 8), 4, 2, 2, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let mut ops = OpCount::new();
+        for _ in 0..30 {
+            for k in 0..12 {
+                let class = k % 2;
+                let steps = toy_steps(class, &mut rng, 8, 6);
+                net.accumulate(&steps, class, &mut ops);
+            }
+            net.step_optimizer(&mut opt);
+        }
+        let mut correct = 0;
+        for k in 0..20 {
+            let class = k % 2;
+            let steps = toy_steps(class, &mut rng, 8, 6);
+            if net.predict(&steps, &mut ops) == class {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 17, "conv-SNN accuracy {correct}/20");
+    }
+
+    #[test]
+    fn weight_sharing_keeps_params_small() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let net = ConvSnnNetwork::new((16, 16), 8, 2, 4, &mut rng);
+        // conv: 8*2*9 = 144; readout: 4 * 8*8*8 = 2048.
+        assert_eq!(net.param_count(), 144 + 4 * 8 * 64);
+        // A dense LIF layer over the same input would need 2*256*hidden
+        // weights — orders more.
+        assert!(net.param_count() < 2 * 256 * 64 / 4);
+    }
+
+    #[test]
+    fn spike_train_conversion_round_trip() {
+        let mut train = crate::encode::SpikeTrain::new(2 * 4 * 4, 3);
+        train.push(0, 0); // channel 0, (0,0)
+        train.push(2, 16 + 5); // channel 1, (1,1)
+        let maps = spike_train_to_maps(&train, (4, 4));
+        assert_eq!(maps.len(), 3);
+        assert_eq!(maps[0].at(&[0, 0, 0]), 1.0);
+        assert_eq!(maps[2].at(&[1, 1, 1]), 1.0);
+        assert_eq!(maps[1].sum(), 0.0);
+    }
+}

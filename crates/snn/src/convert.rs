@@ -1,0 +1,406 @@
+//! ANN→SNN conversion by rate coding (paper §III-A).
+//!
+//! "SNNs are obtained through the conversion of a pre-trained neural network
+//! with continuous-valued outputs" — the activity of a spiking neuron
+//! approximates a ReLU activation via its firing rate. This module
+//! implements the standard pipeline:
+//!
+//! 1. train a ReLU MLP ([`ReluMlp`]),
+//! 2. normalize weights by per-layer peak activations on a calibration set
+//!    (threshold balancing, [Diehl et al. 2015]),
+//! 3. run integrate-and-fire neurons for `T` steps with the input applied
+//!    as a constant current.
+//!
+//! The *unevenness error* — the gap between the true activation and the
+//! rate approximation, shrinking with `T` — is measured by
+//! [`rate_approximation_error`].
+
+use evlab_tensor::layer::{Layer, Linear, Param, Relu};
+use evlab_tensor::loss::cross_entropy;
+use evlab_tensor::optim::Optimizer;
+use evlab_tensor::{OpCount, Tensor};
+use evlab_util::Rng64;
+
+/// A plain ReLU MLP with direct access to its weights (what conversion
+/// needs).
+pub struct ReluMlp {
+    linears: Vec<Linear>,
+    relus: Vec<Relu>,
+    sizes: Vec<usize>,
+}
+
+impl ReluMlp {
+    /// Creates an MLP with the given layer sizes, ReLU between all layers
+    /// (none after the last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], rng: &mut Rng64) -> Self {
+        assert!(sizes.len() >= 2, "need input and output sizes");
+        let linears = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect::<Vec<_>>();
+        let relus = (0..sizes.len() - 2).map(|_| Relu::new()).collect();
+        ReluMlp {
+            linears,
+            relus,
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// Layer sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Forward pass returning the logits.
+    pub fn forward(&mut self, x: &Tensor, ops: &mut OpCount) -> Tensor {
+        let mut current = x.clone();
+        for i in 0..self.linears.len() {
+            current = self.linears[i].forward(&current, ops);
+            if i < self.relus.len() {
+                current = self.relus[i].forward(&current, ops);
+            }
+        }
+        current
+    }
+
+    /// Forward pass returning every post-ReLU hidden activation plus the
+    /// logits (used for calibration).
+    pub fn forward_with_activations(
+        &mut self,
+        x: &Tensor,
+        ops: &mut OpCount,
+    ) -> (Vec<Tensor>, Tensor) {
+        let mut activations = Vec::new();
+        let mut current = x.clone();
+        for i in 0..self.linears.len() {
+            current = self.linears[i].forward(&current, ops);
+            if i < self.relus.len() {
+                current = self.relus[i].forward(&current, ops);
+                activations.push(current.clone());
+            }
+        }
+        (activations, current)
+    }
+
+    /// One gradient-accumulating training sample; returns the loss.
+    pub fn accumulate(&mut self, x: &Tensor, label: usize, ops: &mut OpCount) -> f32 {
+        let logits = self.forward(x, ops);
+        let (loss, grad) = cross_entropy(&logits, label);
+        let mut current = grad;
+        for i in (0..self.linears.len()).rev() {
+            if i < self.relus.len() {
+                current = self.relus[i].backward(&current, ops);
+            }
+            current = self.linears[i].backward(&current, ops);
+        }
+        loss
+    }
+
+    /// Applies an optimizer step to all parameters.
+    pub fn step(&mut self, optimizer: &mut dyn Optimizer) {
+        let mut params: Vec<&mut Param> = self
+            .linears
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect();
+        optimizer.step(&mut params);
+    }
+
+    /// The linear layers (weights `[out, in]` + biases).
+    pub fn linears(&self) -> &[Linear] {
+        &self.linears
+    }
+}
+
+/// A rate-coded integrate-and-fire network converted from a [`ReluMlp`].
+#[derive(Debug, Clone)]
+pub struct ConvertedSnn {
+    /// Per layer: normalized weights (row-major `[out, in]`).
+    weights: Vec<Vec<f32>>,
+    /// Per layer: normalized biases (applied as constant current).
+    biases: Vec<Vec<f32>>,
+    sizes: Vec<usize>,
+    /// Per-layer activation scale factors recorded at conversion.
+    scales: Vec<f32>,
+    /// Peak input value over the calibration set (input normalizer).
+    input_peak: f32,
+}
+
+/// Result of simulating a converted network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertedRun {
+    /// Output spike counts (class scores).
+    pub output_counts: Vec<u32>,
+    /// Firing rate (spikes/step) of every hidden layer, flattened per layer.
+    pub hidden_rates: Vec<Vec<f32>>,
+    /// Total spikes across all layers.
+    pub total_spikes: usize,
+}
+
+impl ConvertedSnn {
+    /// Converts a trained MLP using peak activations on `calibration`
+    /// inputs for threshold balancing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty.
+    pub fn convert(mlp: &mut ReluMlp, calibration: &[Tensor]) -> Self {
+        assert!(!calibration.is_empty(), "calibration set required");
+        let mut ops = OpCount::new();
+        let hidden_layers = mlp.linears().len() - 1;
+        let mut peaks = vec![0.0f32; hidden_layers];
+        let mut input_peak = 0.0f32;
+        for x in calibration {
+            input_peak = input_peak.max(x.max()).max(1e-6);
+            let (acts, _) = mlp.forward_with_activations(x, &mut ops);
+            for (i, a) in acts.iter().enumerate() {
+                peaks[i] = peaks[i].max(a.max());
+            }
+        }
+        for p in &mut peaks {
+            *p = p.max(1e-6);
+        }
+        // Weight normalization: w' = w * λ_prev / λ_cur, b' = b / λ_cur,
+        // where λ is the peak activation of the layer's output (input peak
+        // for layer 0's predecessor).
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        let mut scales = Vec::new();
+        let mut prev_scale = input_peak;
+        for (i, lin) in mlp.linears().iter().enumerate() {
+            let cur_scale = if i < hidden_layers { peaks[i] } else { 1.0 };
+            let w: Vec<f32> = lin
+                .weight()
+                .as_slice()
+                .iter()
+                .map(|&v| v * prev_scale / cur_scale)
+                .collect();
+            let b: Vec<f32> = lin
+                .bias()
+                .as_slice()
+                .iter()
+                .map(|&v| v / cur_scale)
+                .collect();
+            weights.push(w);
+            biases.push(b);
+            scales.push(cur_scale);
+            prev_scale = cur_scale;
+        }
+        ConvertedSnn {
+            weights,
+            biases,
+            sizes: mlp.sizes().to_vec(),
+            scales,
+            input_peak,
+        }
+    }
+
+    /// Per-layer scale factors chosen at conversion.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Simulates `steps` timesteps of integrate-and-fire neurons with the
+    /// (normalized) input applied as a constant current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length mismatches the network.
+    pub fn simulate(&self, input: &Tensor, steps: usize, ops: &mut OpCount) -> ConvertedRun {
+        assert_eq!(input.len(), self.sizes[0], "input size mismatch");
+        // Normalize by the calibration peak so the drive matches the scale
+        // the weights were balanced for (clipped at 1 spike/step).
+        let drive: Vec<f32> = input
+            .as_slice()
+            .iter()
+            .map(|&v| (v.max(0.0) / self.input_peak).min(1.0))
+            .collect();
+        let n_layers = self.weights.len();
+        let mut v: Vec<Vec<f32>> = self.sizes[1..]
+            .iter()
+            .map(|&n| vec![0.0f32; n])
+            .collect();
+        let mut counts: Vec<Vec<u32>> = self.sizes[1..]
+            .iter()
+            .map(|&n| vec![0u32; n])
+            .collect();
+        let mut total_spikes = 0usize;
+        for _ in 0..steps {
+            // Layer 0 receives the analog drive directly.
+            let mut input_rates: Vec<f32> = drive.clone();
+            for l in 0..n_layers {
+                let in_size = self.sizes[l];
+                let out_size = self.sizes[l + 1];
+                let w = &self.weights[l];
+                let mut spikes = vec![0.0f32; out_size];
+                for j in 0..out_size {
+                    let mut current = self.biases[l][j];
+                    for (i, &r) in input_rates.iter().enumerate() {
+                        if r != 0.0 {
+                            current += r * w[j * in_size + i];
+                        }
+                    }
+                    v[l][j] += current;
+                    if v[l][j] >= 1.0 {
+                        v[l][j] -= 1.0;
+                        spikes[j] = 1.0;
+                        counts[l][j] += 1;
+                        total_spikes += 1;
+                    }
+                }
+                let active = input_rates.iter().filter(|&&r| r != 0.0).count() as u64;
+                ops.record_add(active * out_size as u64);
+                ops.record_compare(out_size as u64);
+                input_rates = spikes;
+            }
+        }
+        let hidden_rates: Vec<Vec<f32>> = counts[..n_layers - 1]
+            .iter()
+            .map(|c| c.iter().map(|&n| n as f32 / steps as f32).collect())
+            .collect();
+        ConvertedRun {
+            output_counts: counts[n_layers - 1].clone(),
+            hidden_rates,
+            total_spikes,
+        }
+    }
+}
+
+/// Mean absolute error between the ANN's normalized hidden activations and
+/// the converted SNN's firing rates over the given inputs — the unevenness
+/// error, which shrinks as `steps` grows.
+pub fn rate_approximation_error(
+    mlp: &mut ReluMlp,
+    snn: &ConvertedSnn,
+    inputs: &[Tensor],
+    steps: usize,
+) -> f64 {
+    let mut ops = OpCount::new();
+    let mut err_sum = 0.0f64;
+    let mut count = 0usize;
+    for x in inputs {
+        let (acts, _) = mlp.forward_with_activations(x, &mut ops);
+        let run = snn.simulate(x, steps, &mut ops);
+        for (layer, act) in acts.iter().enumerate() {
+            let scale = snn.scales()[layer];
+            for (a, r) in act.as_slice().iter().zip(&run.hidden_rates[layer]) {
+                let normalized = (a / scale).clamp(0.0, 1.0);
+                err_sum += (normalized as f64 - *r as f64).abs();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        err_sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_tensor::optim::Adam;
+
+    fn trained_mlp(rng: &mut Rng64) -> (ReluMlp, Vec<(Tensor, usize)>) {
+        // Task: which of 4 input quadrants carries the mass.
+        let mut samples = Vec::new();
+        for i in 0..80 {
+            let class = i % 4;
+            let mut x = vec![0.0f32; 8];
+            for j in 0..2 {
+                x[class * 2 + j] = 0.5 + 0.5 * rng.next_f32();
+            }
+            samples.push((Tensor::from_vec(&[8], x).expect("ok"), class));
+        }
+        let mut mlp = ReluMlp::new(&[8, 16, 4], rng);
+        let mut opt = Adam::new(0.02);
+        let mut ops = OpCount::new();
+        for _ in 0..40 {
+            for (x, label) in &samples {
+                mlp.accumulate(x, *label, &mut ops);
+            }
+            mlp.step(&mut opt);
+        }
+        (mlp, samples)
+    }
+
+    #[test]
+    fn mlp_trains_on_quadrant_task() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let (mut mlp, samples) = trained_mlp(&mut rng);
+        let mut ops = OpCount::new();
+        let acc = samples
+            .iter()
+            .filter(|(x, l)| mlp.forward(x, &mut ops).argmax() == *l)
+            .count() as f64
+            / samples.len() as f64;
+        assert!(acc > 0.95, "ANN accuracy {acc}");
+    }
+
+    #[test]
+    fn converted_snn_matches_ann_predictions() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let (mut mlp, samples) = trained_mlp(&mut rng);
+        let calibration: Vec<Tensor> = samples.iter().take(20).map(|(x, _)| x.clone()).collect();
+        let snn = ConvertedSnn::convert(&mut mlp, &calibration);
+        let mut ops = OpCount::new();
+        let mut agree = 0usize;
+        for (x, _) in samples.iter().take(40) {
+            let ann_pred = mlp.forward(x, &mut ops).argmax();
+            let run = snn.simulate(x, 100, &mut ops);
+            let snn_pred = run
+                .output_counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| c)
+                .map(|(i, _)| i)
+                .expect("classes");
+            if ann_pred == snn_pred {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 34, "agreement {agree}/40");
+    }
+
+    #[test]
+    fn unevenness_error_shrinks_with_timesteps() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let (mut mlp, samples) = trained_mlp(&mut rng);
+        let calibration: Vec<Tensor> = samples.iter().take(20).map(|(x, _)| x.clone()).collect();
+        let snn = ConvertedSnn::convert(&mut mlp, &calibration);
+        let probe: Vec<Tensor> = samples.iter().take(10).map(|(x, _)| x.clone()).collect();
+        let short = rate_approximation_error(&mut mlp, &snn, &probe, 10);
+        let long = rate_approximation_error(&mut mlp, &snn, &probe, 200);
+        assert!(
+            long < short,
+            "error must shrink with T: T=10 -> {short}, T=200 -> {long}"
+        );
+        assert!(long < 0.1, "long-horizon error {long}");
+    }
+
+    #[test]
+    fn spike_activity_scales_with_timesteps() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let (mut mlp, samples) = trained_mlp(&mut rng);
+        let calibration: Vec<Tensor> = samples.iter().take(10).map(|(x, _)| x.clone()).collect();
+        let snn = ConvertedSnn::convert(&mut mlp, &calibration);
+        let mut ops = OpCount::new();
+        let x = &samples[0].0;
+        let short = snn.simulate(x, 20, &mut ops).total_spikes;
+        let long = snn.simulate(x, 200, &mut ops).total_spikes;
+        assert!(long > 5 * short, "rate coding cost grows with T: {short} -> {long}");
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration set required")]
+    fn empty_calibration_panics() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut mlp = ReluMlp::new(&[2, 3, 2], &mut rng);
+        ConvertedSnn::convert(&mut mlp, &[]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Event-to-spike encodings.
+
+use evlab_events::EventStream;
+use evlab_util::Rng64;
+
+/// A binary spike train: `steps × size`, stored as per-step lists of active
+/// indices (spikes are sparse).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeTrain {
+    size: usize,
+    steps: Vec<Vec<u32>>,
+}
+
+impl SpikeTrain {
+    /// Creates an empty train of `steps` timesteps over `size` inputs.
+    pub fn new(size: usize, steps: usize) -> Self {
+        SpikeTrain {
+            size,
+            steps: vec![Vec::new(); steps],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of timesteps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Active indices at step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn at(&self, t: usize) -> &[u32] {
+        &self.steps[t]
+    }
+
+    /// Adds a spike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `index` is out of range.
+    pub fn push(&mut self, t: usize, index: u32) {
+        assert!(t < self.steps.len(), "step out of range");
+        assert!((index as usize) < self.size, "index out of range");
+        self.steps[t].push(index);
+    }
+
+    /// Total number of spikes.
+    pub fn total_spikes(&self) -> usize {
+        self.steps.iter().map(|s| s.len()).sum()
+    }
+
+    /// Mean spikes per step per input — the input activity the event-driven
+    /// cost model scales with.
+    pub fn density(&self) -> f64 {
+        if self.steps.is_empty() || self.size == 0 {
+            return 0.0;
+        }
+        self.total_spikes() as f64 / (self.steps.len() * self.size) as f64
+    }
+
+    /// Dense `f32` view of step `t` (for BPTT training).
+    pub fn dense_step(&self, t: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.size];
+        for &i in self.at(t) {
+            v[i as usize] += 1.0;
+        }
+        v
+    }
+}
+
+/// Bins an event stream into a spike train: input index =
+/// `polarity_channel · (W·H) + y·W + x`, one timestep per `dt_us`.
+///
+/// Multiple events of one pixel in one bin produce multiple spikes (the
+/// weighted sum sees the multiplicity).
+///
+/// # Panics
+///
+/// Panics if `dt_us == 0` or `num_steps == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::{Event, EventStream, Polarity};
+/// use evlab_snn::encode::events_to_spikes;
+///
+/// let s = EventStream::from_events(
+///     (4, 4),
+///     vec![Event::new(0, 1, 1, Polarity::On), Event::new(1_500, 2, 2, Polarity::Off)],
+/// )?;
+/// let train = events_to_spikes(&s, 1_000, 3);
+/// assert_eq!(train.size(), 2 * 16);
+/// assert_eq!(train.at(0), &[5]);            // ON channel, (1,1)
+/// assert_eq!(train.at(1), &[16 + 10]);      // OFF channel, (2,2)
+/// # Ok::<(), evlab_events::EventOrderError>(())
+/// ```
+pub fn events_to_spikes(stream: &EventStream, dt_us: u64, num_steps: usize) -> SpikeTrain {
+    assert!(dt_us > 0, "dt must be positive");
+    assert!(num_steps > 0, "need at least one step");
+    let (w, h) = stream.resolution();
+    let pixels = w as usize * h as usize;
+    let mut train = SpikeTrain::new(2 * pixels, num_steps);
+    let t0 = stream.start().map(|t| t.as_micros()).unwrap_or(0);
+    for e in stream.iter() {
+        let step = ((e.t.as_micros() - t0) / dt_us) as usize;
+        if step >= num_steps {
+            break;
+        }
+        let index =
+            e.polarity.channel() * pixels + e.y as usize * w as usize + e.x as usize;
+        train.push(step, index as u32);
+    }
+    train
+}
+
+/// Poisson rate coding of an analog vector: each input fires with
+/// probability proportional to its (clamped, normalized) value per step.
+/// The standard input coding for ANN→SNN conversion ([Diehl et al. 2015]).
+///
+/// # Panics
+///
+/// Panics if `num_steps == 0` or `max_rate` is outside `(0, 1]`.
+pub fn rate_encode(
+    values: &[f32],
+    num_steps: usize,
+    max_rate: f64,
+    rng: &mut Rng64,
+) -> SpikeTrain {
+    assert!(num_steps > 0, "need at least one step");
+    assert!(
+        max_rate > 0.0 && max_rate <= 1.0,
+        "max_rate must be in (0, 1]"
+    );
+    let peak = values.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-12);
+    let mut train = SpikeTrain::new(values.len(), num_steps);
+    for t in 0..num_steps {
+        for (i, &v) in values.iter().enumerate() {
+            let p = (v.max(0.0) / peak) as f64 * max_rate;
+            if rng.bernoulli(p) {
+                train.push(t, i as u32);
+            }
+        }
+    }
+    train
+}
+
+/// Time-to-first-spike coding: each input fires exactly once, earlier for
+/// larger values; zero/negative values never fire. Produces far sparser
+/// activity than rate coding ([Rueckauer & Liu 2018]).
+///
+/// # Panics
+///
+/// Panics if `num_steps == 0`.
+pub fn ttfs_encode(values: &[f32], num_steps: usize) -> SpikeTrain {
+    assert!(num_steps > 0, "need at least one step");
+    let peak = values.iter().fold(0.0f32, |m, &v| m.max(v)).max(1e-12);
+    let mut train = SpikeTrain::new(values.len(), num_steps);
+    for (i, &v) in values.iter().enumerate() {
+        if v <= 0.0 {
+            continue;
+        }
+        // Largest value fires at step 0; smallest near the end.
+        let frac = 1.0 - (v / peak) as f64;
+        let t = (frac * (num_steps - 1) as f64).round() as usize;
+        train.push(t.min(num_steps - 1), i as u32);
+    }
+    train
+}
+
+/// Binary (temporal-pattern) coding ([Rueckauer & Liu 2021]): each value is
+/// quantized to `bits` bits and the spike at step `k` carries the bit of
+/// weight `2^-(k+1)`. At most `bits` spikes encode any value — far sparser
+/// than rate coding and exact up to quantization, at the price of requiring
+/// the decoder to weight spikes by their arrival step.
+///
+/// Values are clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 16`.
+pub fn binary_encode(values: &[f32], bits: usize) -> SpikeTrain {
+    assert!(bits > 0 && bits <= 16, "bits must be in 1..=16");
+    let mut train = SpikeTrain::new(values.len(), bits);
+    let levels = (1u32 << bits) - 1;
+    for (i, &v) in values.iter().enumerate() {
+        let q = (v.clamp(0.0, 1.0) * levels as f32).round() as u32;
+        for k in 0..bits {
+            // Bit of weight 2^-(k+1) is bit (bits-1-k) of q.
+            if q >> (bits - 1 - k) & 1 == 1 {
+                train.push(k, i as u32);
+            }
+        }
+    }
+    train
+}
+
+/// Decodes a binary-coded spike train back to values in `[0, 1]`.
+pub fn binary_decode(train: &SpikeTrain, bits: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; train.size()];
+    let levels = ((1u32 << bits) - 1) as f32;
+    for k in 0..train.num_steps().min(bits) {
+        let weight = (1u32 << (bits - 1 - k)) as f32 / levels;
+        for &i in train.at(k) {
+            out[i as usize] += weight;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::{Event, Polarity};
+
+    #[test]
+    fn spike_train_accounting() {
+        let mut t = SpikeTrain::new(4, 3);
+        t.push(0, 1);
+        t.push(0, 2);
+        t.push(2, 3);
+        assert_eq!(t.total_spikes(), 3);
+        assert_eq!(t.density(), 0.25);
+        assert_eq!(t.dense_step(0), vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(t.dense_step(1), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn push_validates_index() {
+        SpikeTrain::new(2, 1).push(0, 5);
+    }
+
+    #[test]
+    fn events_bin_correctly() {
+        let s = EventStream::from_events(
+            (4, 4),
+            vec![
+                Event::new(0, 0, 0, Polarity::On),
+                Event::new(999, 1, 0, Polarity::On),
+                Event::new(1_000, 1, 0, Polarity::On),
+                Event::new(5_000, 3, 3, Polarity::Off),
+            ],
+        )
+        .expect("ok");
+        let train = events_to_spikes(&s, 1_000, 4);
+        assert_eq!(train.at(0), &[0, 1]);
+        assert_eq!(train.at(1), &[1]);
+        // Event at 5ms is beyond the 4-step horizon: dropped.
+        assert_eq!(train.total_spikes(), 3);
+    }
+
+    #[test]
+    fn multiplicities_are_preserved() {
+        let s = EventStream::from_events(
+            (2, 2),
+            vec![
+                Event::new(0, 0, 0, Polarity::On),
+                Event::new(1, 0, 0, Polarity::On),
+            ],
+        )
+        .expect("ok");
+        let train = events_to_spikes(&s, 1_000, 1);
+        assert_eq!(train.dense_step(0)[0], 2.0);
+    }
+
+    #[test]
+    fn rate_encoding_tracks_values() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let values = vec![1.0, 0.5, 0.0];
+        let train = rate_encode(&values, 2000, 1.0, &mut rng);
+        let counts: Vec<usize> = (0..3)
+            .map(|i| {
+                (0..2000)
+                    .filter(|&t| train.at(t).contains(&(i as u32)))
+                    .count()
+            })
+            .collect();
+        assert!(counts[0] > 1900, "max value fires ~every step: {}", counts[0]);
+        assert!((counts[1] as f64 - 1000.0).abs() < 100.0, "{}", counts[1]);
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    fn binary_coding_round_trips_within_quantization() {
+        let values = vec![0.0, 0.25, 0.5, 0.75, 1.0, 0.33];
+        for bits in [4usize, 8, 12] {
+            let train = binary_encode(&values, bits);
+            let decoded = binary_decode(&train, bits);
+            let tol = 1.0 / (1u32 << bits) as f32;
+            for (v, d) in values.iter().zip(&decoded) {
+                assert!((v - d).abs() <= tol, "bits {bits}: {v} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_coding_is_sparser_than_rate_coding() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let values: Vec<f32> = (0..64).map(|_| rng.next_f32()).collect();
+        let binary = binary_encode(&values, 8);
+        let rate = rate_encode(&values, 256, 1.0, &mut rng);
+        // 8 bits give 8-bit precision; rate coding needs 256 steps for the
+        // same resolution and fires orders of magnitude more.
+        assert!(binary.total_spikes() <= 64 * 8);
+        assert!(
+            rate.total_spikes() > 5 * binary.total_spikes(),
+            "rate {} vs binary {}",
+            rate.total_spikes(),
+            binary.total_spikes()
+        );
+    }
+
+    #[test]
+    fn binary_coding_clamps_out_of_range() {
+        let train = binary_encode(&[-0.5, 2.0], 4);
+        let decoded = binary_decode(&train, 4);
+        assert_eq!(decoded[0], 0.0);
+        assert!((decoded[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ttfs_orders_by_magnitude_and_is_sparse() {
+        let values = vec![1.0, 0.5, 0.1, 0.0, -1.0];
+        let train = ttfs_encode(&values, 10);
+        // Exactly one spike per positive value.
+        assert_eq!(train.total_spikes(), 3);
+        let first_spike = |i: u32| {
+            (0..10)
+                .find(|&t| train.at(t).contains(&i))
+                .expect("spikes")
+        };
+        assert!(first_spike(0) < first_spike(1));
+        assert!(first_spike(1) < first_spike(2));
+        // TTFS is much sparser than rate coding for the same values.
+        let mut rng = Rng64::seed_from_u64(2);
+        let rate = rate_encode(&values, 10, 1.0, &mut rng);
+        assert!(train.total_spikes() < rate.total_spikes());
+    }
+}

@@ -1,0 +1,334 @@
+//! Eligibility propagation (paper §III-A, [Bellec et al. 2020]).
+//!
+//! Surrogate-gradient BPTT is "an unrealistic algorithm for on-chip
+//! learning due to the prohibitive amount of memory that would be required
+//! to store the activity of all neurons over a potentially large number of
+//! timesteps". E-prop replaces it with an *online* rule: each synapse keeps
+//! a local eligibility trace, and a learning signal is broadcast to hidden
+//! neurons through fixed random feedback weights ([Neftci et al. 2017],
+//! event-driven random backpropagation). Memory is O(parameters), constant
+//! in the sequence length — which is why processors like ReckOn [41] can
+//! support it on chip.
+
+use crate::encode::SpikeTrain;
+use crate::neuron::LifConfig;
+use crate::surrogate::Surrogate;
+use evlab_tensor::init::he_normal;
+use evlab_tensor::loss::softmax;
+use evlab_tensor::{OpCount, Tensor};
+use evlab_util::Rng64;
+
+/// A single-hidden-layer LIF classifier trained with e-prop.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_snn::eprop::EpropNetwork;
+/// use evlab_snn::encode::SpikeTrain;
+/// use evlab_tensor::OpCount;
+/// use evlab_util::Rng64;
+///
+/// let mut rng = Rng64::seed_from_u64(0);
+/// let mut net = EpropNetwork::new(8, 16, 2, &mut rng);
+/// let train = SpikeTrain::new(8, 5);
+/// let mut ops = OpCount::new();
+/// let logits = net.infer(&train, &mut ops);
+/// assert_eq!(logits.len(), 2);
+/// ```
+pub struct EpropNetwork {
+    w_in: Tensor,    // [hidden, input]
+    w_out: Tensor,   // [classes, hidden]
+    feedback: Tensor, // [hidden, classes] — fixed random, never trained
+    lif: LifConfig,
+    surrogate: Surrogate,
+    readout_leak: f32,
+    input: usize,
+    hidden: usize,
+    classes: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+/// Per-sample training outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpropStep {
+    /// Cross-entropy loss at the final step.
+    pub loss: f32,
+    /// Whether the prediction was correct.
+    pub correct: bool,
+    /// Peak memory words the rule needed beyond parameters — the on-chip
+    /// feasibility number (O(hidden + input), NOT O(T × neurons)).
+    pub trace_words: usize,
+}
+
+impl EpropNetwork {
+    /// Creates a network with random weights and random fixed feedback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    pub fn new(input: usize, hidden: usize, classes: usize, rng: &mut Rng64) -> Self {
+        assert!(input > 0 && hidden > 0 && classes > 0, "zero-sized network");
+        let mut w_in = he_normal(&[hidden, input], input, rng);
+        w_in.scale_assign(2.0);
+        EpropNetwork {
+            w_in,
+            w_out: he_normal(&[classes, hidden], hidden, rng),
+            feedback: he_normal(&[hidden, classes], classes, rng),
+            lif: LifConfig::new(),
+            surrogate: Surrogate::new(),
+            readout_leak: 0.95,
+            input,
+            hidden,
+            classes,
+            lr: 0.01,
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w_in.len() + self.w_out.len()
+    }
+
+    /// Inference only: returns the final readout membranes (logits).
+    pub fn infer(&mut self, train: &SpikeTrain, ops: &mut OpCount) -> Vec<f32> {
+        self.run(train, None, ops).0
+    }
+
+    /// One *online* training sample: runs the clocked simulation while
+    /// updating eligibility traces, applies the weight update at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the train size mismatches or `target >= classes`.
+    pub fn train_sample(
+        &mut self,
+        train: &SpikeTrain,
+        target: usize,
+        ops: &mut OpCount,
+    ) -> EpropStep {
+        assert!(target < self.classes, "target out of range");
+        let (logits, step) = self.run(train, Some(target), ops);
+        let probs = softmax(&Tensor::from_vec(&[self.classes], logits.clone()).expect("shape"));
+        let loss = -probs.as_slice()[target].max(1e-12).ln();
+        let correct = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            == Some(target);
+        EpropStep {
+            loss,
+            correct,
+            trace_words: step,
+        }
+    }
+
+    /// Shared simulation loop. With `target = Some(c)` the e-prop updates
+    /// are applied online.
+    fn run(
+        &mut self,
+        train: &SpikeTrain,
+        target: Option<usize>,
+        ops: &mut OpCount,
+    ) -> (Vec<f32>, usize) {
+        assert_eq!(train.size(), self.input, "input size mismatch");
+        let steps = train.num_steps();
+        let mut v = vec![0.0f32; self.hidden];
+        let mut readout = vec![0.0f32; self.classes];
+        // Online state: low-pass input traces and accumulated gradients.
+        let mut epsilon = vec![0.0f32; self.input];
+        let mut filtered_spikes = vec![0.0f32; self.hidden];
+        let mut grad_in = vec![0.0f32; self.hidden * self.input];
+        let mut grad_out = vec![0.0f32; self.classes * self.hidden];
+        let w_in = self.w_in.as_slice().to_vec();
+        let w_out = self.w_out.as_slice().to_vec();
+        let fb = self.feedback.as_slice().to_vec();
+        for t in 0..steps {
+            let x = train.dense_step(t);
+            // Input low-pass traces (the eligibility vector component).
+            for (e, &xi) in epsilon.iter_mut().zip(&x) {
+                *e = self.lif.leak * *e + xi;
+            }
+            ops.record_mult(self.input as u64);
+            // Membrane update (event-driven accumulation).
+            let mut active = 0u64;
+            for (j, vj) in v.iter_mut().enumerate() {
+                *vj *= self.lif.leak;
+                for (i, &xi) in x.iter().enumerate() {
+                    if xi != 0.0 {
+                        *vj += xi * w_in[j * self.input + i];
+                        active += 1;
+                    }
+                }
+            }
+            ops.record_mult(self.hidden as u64);
+            ops.record_add(active);
+            // Spikes + reset.
+            let mut spikes = vec![0.0f32; self.hidden];
+            for (j, vj) in v.iter_mut().enumerate() {
+                if *vj >= self.lif.threshold {
+                    spikes[j] = 1.0;
+                    *vj -= self.lif.threshold;
+                }
+            }
+            ops.record_compare(self.hidden as u64);
+            // Readout integration.
+            for (c, r) in readout.iter_mut().enumerate() {
+                *r *= self.readout_leak;
+                for (j, &s) in spikes.iter().enumerate() {
+                    if s != 0.0 {
+                        *r += s * w_out[c * self.hidden + j];
+                    }
+                }
+            }
+            for (f, &s) in filtered_spikes.iter_mut().zip(&spikes) {
+                *f = self.readout_leak * *f + s;
+            }
+            if let Some(target) = target {
+                // Per-step learning signal: broadcast error through the
+                // fixed random feedback (e-prop 1 / DFA).
+                let probs =
+                    softmax(&Tensor::from_vec(&[self.classes], readout.clone()).expect("shape"));
+                let err: Vec<f32> = probs
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &p)| p - f32::from(u8::from(c == target)))
+                    .collect();
+                // Readout gradient: err ⊗ filtered spikes.
+                for (c, &ec) in err.iter().enumerate() {
+                    for (j, &fs) in filtered_spikes.iter().enumerate() {
+                        grad_out[c * self.hidden + j] += ec * fs;
+                    }
+                }
+                // Hidden: L_j = Σ_c B_jc err_c, eligibility = ψ_j ε_i.
+                for j in 0..self.hidden {
+                    let l_j: f32 = (0..self.classes)
+                        .map(|c| fb[j * self.classes + c] * err[c])
+                        .sum();
+                    let psi = self.surrogate.grad(v[j] - self.lif.threshold);
+                    let coeff = l_j * psi;
+                    if coeff == 0.0 {
+                        continue;
+                    }
+                    for (i, &ei) in epsilon.iter().enumerate() {
+                        if ei != 0.0 {
+                            grad_in[j * self.input + i] += coeff * ei;
+                        }
+                    }
+                }
+                ops.record_mac(
+                    (self.hidden * (self.classes + self.input)) as u64,
+                    (self.hidden * (self.classes + self.input)) as u64,
+                );
+            }
+        }
+        if target.is_some() {
+            let scale = self.lr / steps.max(1) as f32;
+            for (w, g) in self.w_in.as_mut_slice().iter_mut().zip(&grad_in) {
+                *w -= scale * g;
+            }
+            for (w, g) in self.w_out.as_mut_slice().iter_mut().zip(&grad_out) {
+                *w -= scale * g;
+            }
+            ops.record_write((self.w_in.len() + self.w_out.len()) as u64);
+        }
+        // Online memory: traces only — independent of sequence length.
+        let trace_words = self.input + self.hidden + self.classes;
+        (readout, trace_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sample(class: usize, rng: &mut Rng64, input: usize, steps: usize) -> SpikeTrain {
+        let mut train = SpikeTrain::new(input, steps);
+        let half = input / 2;
+        for t in 0..steps {
+            for _ in 0..2 {
+                let i = if class == 0 {
+                    rng.next_index(half)
+                } else {
+                    half + rng.next_index(half)
+                };
+                train.push(t, i as u32);
+            }
+        }
+        train
+    }
+
+    #[test]
+    fn eprop_learns_without_backprop_through_time() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut net = EpropNetwork::new(16, 32, 2, &mut rng);
+        net.lr = 0.02;
+        let mut ops = OpCount::new();
+        for epoch in 0..40 {
+            let _ = epoch;
+            for k in 0..40 {
+                let class = k % 2;
+                let train = toy_sample(class, &mut rng, 16, 12);
+                net.train_sample(&train, class, &mut ops);
+            }
+        }
+        let mut correct = 0;
+        for k in 0..40 {
+            let class = k % 2;
+            let train = toy_sample(class, &mut rng, 16, 12);
+            let logits = net.infer(&train, &mut ops);
+            let pred = if logits[0] > logits[1] { 0 } else { 1 };
+            if pred == class {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 36, "e-prop accuracy {correct}/40");
+    }
+
+    #[test]
+    fn memory_is_constant_in_sequence_length() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut net = EpropNetwork::new(8, 16, 2, &mut rng);
+        let mut ops = OpCount::new();
+        let short = net.train_sample(&toy_sample(0, &mut rng, 8, 5), 0, &mut ops);
+        let long = net.train_sample(&toy_sample(0, &mut rng, 8, 500), 0, &mut ops);
+        assert_eq!(
+            short.trace_words, long.trace_words,
+            "e-prop memory must not grow with T (BPTT would grow 100x here)"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut net = EpropNetwork::new(16, 24, 2, &mut rng);
+        net.lr = 0.02;
+        let mut ops = OpCount::new();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..30 {
+            let mut sum = 0.0;
+            for k in 0..20 {
+                let class = k % 2;
+                let train = toy_sample(class, &mut rng, 16, 10);
+                sum += net.train_sample(&train, class, &mut ops).loss;
+            }
+            if epoch == 0 {
+                first = sum;
+            }
+            last = sum;
+        }
+        assert!(last < 0.7 * first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn bad_target_panics() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut net = EpropNetwork::new(4, 8, 2, &mut rng);
+        let train = SpikeTrain::new(4, 3);
+        net.train_sample(&train, 5, &mut OpCount::new());
+    }
+}

@@ -1,0 +1,52 @@
+//! The spiking neural network paradigm (paper §III-A).
+//!
+//! SNNs compute in an event-driven fashion "naturally compatible with the
+//! raw data" of event cameras. This crate implements the full §III-A stack:
+//!
+//! * [`neuron`] — the Leaky-Integrate-and-Fire neuron ("the model of choice
+//!   for most SNNs"), with subtraction reset and refractory period.
+//! * [`encode`] — event streams → spike trains (time binning) and the
+//!   rate/TTFS encodings used by ANN conversion.
+//! * [`layer`] / [`network`] — fully-connected LIF layers simulated with a
+//!   clocked timestep (how digital neuromorphic processors actually run,
+//!   §III-A) and a leaky-integrator readout.
+//! * [`surrogate`] — the surrogate-gradient functions of [Neftci et al.
+//!   2019] (fast sigmoid, triangle, arctan) and BPTT training with a
+//!   membrane-potential loss.
+//! * [`event_driven`] — the alternative *fully event-driven* simulation
+//!   ([Stuijt et al. µBrain]) with decay-on-demand, exposing the memory
+//!   traffic trade-off of [42]/[44].
+//! * [`convert`] — ANN→SNN conversion with threshold balancing and the
+//!   rate-approximation ("unevenness") error measurement of §III-A.
+//! * [`stdp`] — unsupervised spike-timing-dependent plasticity
+//!   ([Diehl & Cook 2015]), the backpropagation-free local learning rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_snn::neuron::{LifConfig, LifNeuron};
+//!
+//! let mut n = LifNeuron::new(&LifConfig::new());
+//! let mut spikes = 0;
+//! for _ in 0..100 {
+//!     if n.step(0.3).fired() {
+//!         spikes += 1;
+//!     }
+//! }
+//! assert!(spikes > 0);
+//! ```
+
+pub mod conv_layer;
+pub mod convert;
+pub mod encode;
+pub mod eprop;
+pub mod event_driven;
+pub mod layer;
+pub mod network;
+pub mod neuron;
+pub mod stdp;
+pub mod surrogate;
+
+pub use network::SnnNetwork;
+pub use neuron::{LifConfig, LifNeuron};
+pub use surrogate::Surrogate;

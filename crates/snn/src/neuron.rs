@@ -1,0 +1,221 @@
+//! The Leaky-Integrate-and-Fire neuron.
+//!
+//! The paper (§III-A): "The LIF neuron uses one equation to model the
+//! behaviour of the membrane potential of the neuron — corresponding to a
+//! simple resistor-capacitor circuit — and is the model of choice for most
+//! SNNs." The discrete-time form used throughout `evlab` is
+//!
+//! ```text
+//! v[t] = λ · v[t-1] + I[t] − θ · s[t-1]      (subtraction reset)
+//! s[t] = H(v[t] − θ)
+//! ```
+//!
+//! with leak factor `λ = exp(−dt/τ_m)`.
+
+/// LIF neuron parameters (per-layer constants on neuromorphic hardware).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifConfig {
+    /// Membrane leak factor per timestep, `λ = exp(-dt/τ_m)`.
+    pub leak: f32,
+    /// Firing threshold θ.
+    pub threshold: f32,
+    /// Refractory period in timesteps (0 disables).
+    pub refractory_steps: u32,
+}
+
+impl LifConfig {
+    /// A standard configuration: λ = 0.9, θ = 1.0, no refractory period.
+    pub fn new() -> Self {
+        LifConfig {
+            leak: 0.9,
+            threshold: 1.0,
+            refractory_steps: 0,
+        }
+    }
+
+    /// Builds the leak factor from a membrane time constant and timestep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not strictly positive.
+    pub fn from_tau(tau_us: f64, dt_us: f64) -> Self {
+        assert!(tau_us > 0.0 && dt_us > 0.0, "times must be positive");
+        LifConfig {
+            leak: (-dt_us / tau_us).exp() as f32,
+            threshold: 1.0,
+            refractory_steps: 0,
+        }
+    }
+
+    /// Returns a copy with a different threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold <= 0`.
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        self.threshold = threshold;
+        self
+    }
+
+    /// Returns a copy with a refractory period.
+    pub fn with_refractory(mut self, steps: u32) -> Self {
+        self.refractory_steps = steps;
+        self
+    }
+}
+
+impl Default for LifConfig {
+    fn default() -> Self {
+        LifConfig::new()
+    }
+}
+
+/// Result of one neuron timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Membrane potential after integration (before any reset).
+    pub membrane: f32,
+    /// Whether the neuron crossed threshold this step.
+    pub spiked: bool,
+}
+
+impl StepOutcome {
+    /// Whether the neuron fired.
+    pub fn fired(&self) -> bool {
+        self.spiked
+    }
+}
+
+/// A single LIF neuron with explicit state, for unit-level experiments
+/// (Fig. 2 left).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifNeuron {
+    config: LifConfig,
+    v: f32,
+    refractory_left: u32,
+}
+
+impl LifNeuron {
+    /// Creates a neuron at rest.
+    pub fn new(config: &LifConfig) -> Self {
+        LifNeuron {
+            config: *config,
+            v: 0.0,
+            refractory_left: 0,
+        }
+    }
+
+    /// Current membrane potential.
+    pub fn membrane(&self) -> f32 {
+        self.v
+    }
+
+    /// Advances one timestep with input current `i`.
+    pub fn step(&mut self, i: f32) -> StepOutcome {
+        if self.refractory_left > 0 {
+            self.refractory_left -= 1;
+            self.v *= self.config.leak;
+            return StepOutcome {
+                membrane: self.v,
+                spiked: false,
+            };
+        }
+        self.v = self.config.leak * self.v + i;
+        let spiked = self.v >= self.config.threshold;
+        let membrane = self.v;
+        if spiked {
+            self.v -= self.config.threshold;
+            self.refractory_left = self.config.refractory_steps;
+        }
+        StepOutcome { membrane, spiked }
+    }
+
+    /// Resets to the rest state.
+    pub fn reset(&mut self) {
+        self.v = 0.0;
+        self.refractory_left = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_and_fires() {
+        let mut n = LifNeuron::new(&LifConfig::new());
+        // Constant current 0.3 with leak 0.9: steady state v* = 3.0 > θ.
+        let mut first_spike = None;
+        for t in 0..50 {
+            if n.step(0.3).fired() && first_spike.is_none() {
+                first_spike = Some(t);
+            }
+        }
+        let t = first_spike.expect("must fire");
+        assert!(t >= 2, "needs a few steps to integrate, fired at {t}");
+    }
+
+    #[test]
+    fn subthreshold_input_never_fires() {
+        // Steady state 0.05 / (1 - 0.9) = 0.5 < 1.0.
+        let mut n = LifNeuron::new(&LifConfig::new());
+        for _ in 0..500 {
+            assert!(!n.step(0.05).fired());
+        }
+        assert!(n.membrane() < 1.0);
+    }
+
+    #[test]
+    fn leak_decays_toward_rest() {
+        let mut n = LifNeuron::new(&LifConfig::new());
+        n.step(0.8);
+        let v1 = n.membrane();
+        n.step(0.0);
+        assert!((n.membrane() - v1 * 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subtraction_reset_preserves_residual() {
+        let mut n = LifNeuron::new(&LifConfig::new().with_threshold(1.0));
+        let out = n.step(1.7);
+        assert!(out.fired());
+        assert!((n.membrane() - 0.7).abs() < 1e-6, "residual kept");
+    }
+
+    #[test]
+    fn refractory_blocks_firing() {
+        let cfg = LifConfig::new().with_refractory(3);
+        let mut n = LifNeuron::new(&cfg);
+        assert!(n.step(2.0).fired());
+        for _ in 0..3 {
+            assert!(!n.step(2.0).fired(), "refractory must block");
+        }
+        assert!(n.step(2.0).fired(), "recovers after refractory");
+    }
+
+    #[test]
+    fn firing_rate_grows_with_input() {
+        let rate = |i: f32| {
+            let mut n = LifNeuron::new(&LifConfig::new());
+            (0..1000).filter(|_| n.step(i).fired()).count()
+        };
+        let low = rate(0.15);
+        let high = rate(0.6);
+        assert!(high > 2 * low, "rate {low} -> {high}");
+    }
+
+    #[test]
+    fn from_tau_leak() {
+        let cfg = LifConfig::from_tau(10_000.0, 1_000.0);
+        assert!((cfg.leak - (-0.1f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_restores_rest() {
+        let mut n = LifNeuron::new(&LifConfig::new());
+        n.step(0.9);
+        n.reset();
+        assert_eq!(n.membrane(), 0.0);
+    }
+}

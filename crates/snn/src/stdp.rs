@@ -1,0 +1,304 @@
+//! Spike-timing-dependent plasticity (paper §III-A, [Diehl & Cook 2015]).
+//!
+//! The backpropagation-free, local, bio-inspired learning rule: synapses
+//! from inputs that fired shortly *before* an output spike are potentiated;
+//! all others are depressed. Combined with winner-take-all lateral
+//! inhibition, neurons self-organize into detectors for repeated input
+//! patterns — the kind of on-chip learning §V argues SNN hardware is
+//! uniquely suited for.
+
+use crate::neuron::LifConfig;
+use evlab_tensor::OpCount;
+use evlab_util::Rng64;
+
+/// STDP learning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StdpConfig {
+    /// Potentiation rate for recently-active presynaptic inputs.
+    pub lr_plus: f32,
+    /// Depression rate for inactive inputs at an output spike.
+    pub lr_minus: f32,
+    /// Presynaptic trace decay per step.
+    pub trace_decay: f32,
+    /// Maximum weight.
+    pub w_max: f32,
+    /// Homeostatic threshold boost added to a neuron on each win; makes
+    /// frequent winners harder to excite so other neurons can specialize
+    /// (the adaptive-threshold mechanism of [Diehl & Cook 2015]).
+    pub homeostasis: f32,
+    /// Per-step decay of the homeostatic boost back toward the base
+    /// threshold.
+    pub homeostasis_decay: f32,
+}
+
+impl StdpConfig {
+    /// Standard parameters.
+    pub fn new() -> Self {
+        StdpConfig {
+            lr_plus: 0.04,
+            lr_minus: 0.015,
+            trace_decay: 0.8,
+            w_max: 1.0,
+            homeostasis: 0.3,
+            homeostasis_decay: 0.995,
+        }
+    }
+}
+
+impl Default for StdpConfig {
+    fn default() -> Self {
+        StdpConfig::new()
+    }
+}
+
+/// A competitive STDP layer with winner-take-all inhibition.
+#[derive(Debug, Clone)]
+pub struct StdpLayer {
+    weights: Vec<f32>, // [out, in]
+    in_size: usize,
+    out_size: usize,
+    lif: LifConfig,
+    stdp: StdpConfig,
+    v: Vec<f32>,
+    pre_trace: Vec<f32>,
+    theta_boost: Vec<f32>,
+}
+
+impl StdpLayer {
+    /// Creates a layer with uniformly random initial weights in
+    /// `[0, w_max/2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(
+        in_size: usize,
+        out_size: usize,
+        lif: LifConfig,
+        stdp: StdpConfig,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(in_size > 0 && out_size > 0, "zero-sized layer");
+        let weights = (0..in_size * out_size)
+            .map(|_| rng.next_f32() * stdp.w_max / 2.0)
+            .collect();
+        StdpLayer {
+            weights,
+            in_size,
+            out_size,
+            lif,
+            stdp,
+            v: vec![0.0; out_size],
+            pre_trace: vec![0.0; in_size],
+            theta_boost: vec![0.0; out_size],
+        }
+    }
+
+    /// Weight row of output neuron `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn weights_of(&self, j: usize) -> &[f32] {
+        assert!(j < self.out_size, "neuron index out of range");
+        &self.weights[j * self.in_size..(j + 1) * self.in_size]
+    }
+
+    /// Resets membranes and traces (weights untouched).
+    pub fn reset_state(&mut self) {
+        self.v.iter_mut().for_each(|v| *v = 0.0);
+        self.pre_trace.iter_mut().for_each(|t| *t = 0.0);
+    }
+
+    /// One timestep with learning: integrates the input spikes, lets at most
+    /// one neuron fire (winner-take-all), applies STDP on a fire, and
+    /// returns the index of the winner if any.
+    pub fn step_learn(&mut self, input_spikes: &[f32], ops: &mut OpCount) -> Option<usize> {
+        assert_eq!(input_spikes.len(), self.in_size, "input size mismatch");
+        // Trace update.
+        for (t, &s) in self.pre_trace.iter_mut().zip(input_spikes) {
+            *t = *t * self.stdp.trace_decay + s;
+        }
+        ops.record_mult(self.in_size as u64);
+        // Membrane integration.
+        let mut active = 0u64;
+        for (j, v) in self.v.iter_mut().enumerate() {
+            *v *= self.lif.leak;
+            let row = &self.weights[j * self.in_size..(j + 1) * self.in_size];
+            for (i, &s) in input_spikes.iter().enumerate() {
+                if s != 0.0 {
+                    *v += s * row[i];
+                    active += 1;
+                }
+            }
+        }
+        ops.record_mult(self.out_size as u64);
+        ops.record_add(active);
+        // Homeostatic thresholds relax toward the base value.
+        for b in &mut self.theta_boost {
+            *b *= self.stdp.homeostasis_decay;
+        }
+        // Winner-take-all: the neuron most above its adaptive threshold
+        // fires.
+        let winner = self
+            .v
+            .iter()
+            .zip(&self.theta_boost)
+            .map(|(&v, &b)| v - (self.lif.threshold + b))
+            .enumerate()
+            .filter(|&(_, margin)| margin >= 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite membranes"))
+            .map(|(j, _)| j);
+        ops.record_compare(self.out_size as u64);
+        if let Some(j) = winner {
+            self.theta_boost[j] += self.stdp.homeostasis;
+            // Lateral inhibition: everyone resets.
+            self.v.iter_mut().for_each(|v| *v = 0.0);
+            // STDP update of the winner's row.
+            let row = &mut self.weights[j * self.in_size..(j + 1) * self.in_size];
+            for (w, &trace) in row.iter_mut().zip(&self.pre_trace) {
+                if trace > 0.0 {
+                    *w += self.stdp.lr_plus * trace * (self.stdp.w_max - *w);
+                } else {
+                    *w -= self.stdp.lr_minus * *w;
+                }
+                *w = w.clamp(0.0, self.stdp.w_max);
+            }
+            ops.record_mult(2 * self.in_size as u64);
+            ops.record_write(self.in_size as u64);
+        }
+        winner
+    }
+}
+
+/// Cosine similarity between a weight row and a binary pattern.
+pub fn pattern_similarity(weights: &[f32], pattern: &[bool]) -> f64 {
+    assert_eq!(weights.len(), pattern.len(), "length mismatch");
+    let dot: f64 = weights
+        .iter()
+        .zip(pattern)
+        .map(|(&w, &p)| w as f64 * f64::from(u8::from(p)))
+        .sum();
+    let wn: f64 = weights.iter().map(|&w| (w as f64).powi(2)).sum::<f64>().sqrt();
+    let pn: f64 = (pattern.iter().filter(|&&p| p).count() as f64).sqrt();
+    if wn == 0.0 || pn == 0.0 {
+        0.0
+    } else {
+        dot / (wn * pn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_spikes(pattern: &[bool], rng: &mut Rng64) -> Vec<f32> {
+        pattern
+            .iter()
+            .map(|&p| {
+                if p && rng.bernoulli(0.8) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stdp_learns_a_repeated_pattern() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let pattern: Vec<bool> = (0..16).map(|i| i < 6).collect();
+        let mut layer = StdpLayer::new(
+            16,
+            4,
+            LifConfig::new().with_threshold(1.5),
+            StdpConfig::new(),
+            &mut rng,
+        );
+        let before: f64 = (0..4)
+            .map(|j| pattern_similarity(layer.weights_of(j), &pattern))
+            .fold(0.0, f64::max);
+        let mut ops = OpCount::new();
+        for _ in 0..400 {
+            let spikes = pattern_spikes(&pattern, &mut rng);
+            layer.step_learn(&spikes, &mut ops);
+        }
+        let after: f64 = (0..4)
+            .map(|j| pattern_similarity(layer.weights_of(j), &pattern))
+            .fold(0.0, f64::max);
+        assert!(
+            after > before && after > 0.9,
+            "similarity {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn two_patterns_capture_different_neurons() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let pattern_a: Vec<bool> = (0..16).map(|i| i < 6).collect();
+        let pattern_b: Vec<bool> = (0..16).map(|i| i >= 10).collect();
+        let mut layer = StdpLayer::new(
+            16,
+            6,
+            LifConfig::new().with_threshold(1.5),
+            StdpConfig::new(),
+            &mut rng,
+        );
+        let mut ops = OpCount::new();
+        for k in 0..800 {
+            let p = if k % 2 == 0 { &pattern_a } else { &pattern_b };
+            let spikes = pattern_spikes(p, &mut rng);
+            layer.step_learn(&spikes, &mut ops);
+            layer.reset_state();
+        }
+        let best = |pattern: &[bool]| {
+            (0..6)
+                .map(|j| pattern_similarity(layer.weights_of(j), pattern))
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("neurons")
+        };
+        let (ja, sa) = best(&pattern_a);
+        let (jb, sb) = best(&pattern_b);
+        assert!(sa > 0.85 && sb > 0.85, "similarities {sa}, {sb}");
+        assert_ne!(ja, jb, "different neurons win different patterns");
+    }
+
+    #[test]
+    fn winner_take_all_allows_one_spike() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut layer = StdpLayer::new(
+            4,
+            3,
+            LifConfig::new().with_threshold(0.1),
+            StdpConfig::new(),
+            &mut rng,
+        );
+        let mut ops = OpCount::new();
+        // Strong input would push several above threshold; exactly one wins.
+        let winner = layer.step_learn(&[1.0, 1.0, 1.0, 1.0], &mut ops);
+        assert!(winner.is_some());
+    }
+
+    #[test]
+    fn weights_stay_bounded() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut layer = StdpLayer::new(
+            8,
+            2,
+            LifConfig::new().with_threshold(0.5),
+            StdpConfig::new(),
+            &mut rng,
+        );
+        let mut ops = OpCount::new();
+        for _ in 0..500 {
+            layer.step_learn(&[1.0; 8], &mut ops);
+        }
+        for j in 0..2 {
+            for &w in layer.weights_of(j) {
+                assert!((0.0..=1.0).contains(&w), "weight {w} out of bounds");
+            }
+        }
+    }
+}

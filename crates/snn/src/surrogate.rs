@@ -1,0 +1,108 @@
+//! Surrogate gradients for the spiking nonlinearity (paper §III-A,
+//! [Neftci et al. 2019]).
+//!
+//! The derivative of the spike function is a delta at threshold — zero
+//! everywhere else — so backpropagation replaces it with a smooth surrogate
+//! evaluated at the membrane distance to threshold.
+
+/// The surrogate-gradient family to use during BPTT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Surrogate {
+    /// `1 / (1 + slope·|x|)²` — the SuperSpike fast sigmoid.
+    FastSigmoid {
+        /// Sharpness; larger is closer to the true delta.
+        slope: f32,
+    },
+    /// `max(0, 1 − |x|/width) / width` — triangular window.
+    Triangle {
+        /// Half-width of the window.
+        width: f32,
+    },
+    /// `1 / (1 + (π·alpha·x)²) · alpha` — scaled arctan derivative.
+    Arctan {
+        /// Sharpness.
+        alpha: f32,
+    },
+}
+
+impl Surrogate {
+    /// The default used by the training code (fast sigmoid, slope 5).
+    pub fn new() -> Self {
+        Surrogate::FastSigmoid { slope: 5.0 }
+    }
+
+    /// Surrogate derivative at membrane distance `x = v − θ`.
+    pub fn grad(&self, x: f32) -> f32 {
+        match *self {
+            Surrogate::FastSigmoid { slope } => {
+                let d = 1.0 + slope * x.abs();
+                1.0 / (d * d)
+            }
+            Surrogate::Triangle { width } => {
+                let t = 1.0 - x.abs() / width;
+                if t > 0.0 {
+                    t / width
+                } else {
+                    0.0
+                }
+            }
+            Surrogate::Arctan { alpha } => {
+                let y = std::f32::consts::PI * alpha * x;
+                alpha / (1.0 + y * y)
+            }
+        }
+    }
+}
+
+impl Default for Surrogate {
+    fn default() -> Self {
+        Surrogate::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<Surrogate> {
+        vec![
+            Surrogate::FastSigmoid { slope: 5.0 },
+            Surrogate::Triangle { width: 1.0 },
+            Surrogate::Arctan { alpha: 2.0 },
+        ]
+    }
+
+    #[test]
+    fn peak_at_threshold() {
+        for s in all() {
+            let at_zero = s.grad(0.0);
+            for x in [-2.0f32, -0.5, 0.5, 2.0] {
+                assert!(s.grad(x) <= at_zero, "{s:?} not peaked at 0");
+            }
+            assert!(at_zero > 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        for s in all() {
+            for x in [0.1f32, 0.7, 1.3] {
+                assert!((s.grad(x) - s.grad(-x)).abs() < 1e-6, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decays_away_from_threshold() {
+        for s in all() {
+            assert!(s.grad(5.0) < 0.1 * s.grad(0.0), "{s:?} too wide");
+        }
+    }
+
+    #[test]
+    fn triangle_has_compact_support() {
+        let s = Surrogate::Triangle { width: 1.0 };
+        assert_eq!(s.grad(1.5), 0.0);
+        assert!(s.grad(0.9) > 0.0);
+    }
+}

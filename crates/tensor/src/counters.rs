@@ -1,0 +1,226 @@
+//! Arithmetic and memory-access instrumentation.
+//!
+//! Every layer in the substrate reports its work into an [`OpCount`]. The
+//! counters distinguish multiplications from additions (SNN hardware replaces
+//! multiplies with adds — paper §III-A), count *effective* MACs separately
+//! from nominal MACs (zero-skipping accelerators only pay for non-zero
+//! operands — §III-B), and track word-level memory reads/writes (memory
+//! traffic dominates energy in neuromorphic cores — up to 99 % per [42]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Operation and memory-access counters.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_tensor::counters::OpCount;
+///
+/// let mut ops = OpCount::new();
+/// ops.record_mac(100, 60); // 100 nominal MACs, 60 with non-zero inputs
+/// assert_eq!(ops.total_arithmetic(), 200);
+/// assert!((ops.mac_utilization() - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCount {
+    /// Nominal multiply–accumulate operations (dense equivalent).
+    pub macs: u64,
+    /// MACs whose activation operand was non-zero (what a zero-skipping
+    /// datapath actually executes).
+    pub effective_macs: u64,
+    /// Standalone multiplications (outside MACs).
+    pub mults: u64,
+    /// Standalone additions/subtractions (outside MACs). Event-driven SNN
+    /// synapse updates land here: they are adds, not MACs.
+    pub adds: u64,
+    /// Comparisons (thresholding, max-pooling, ReLU tests).
+    pub comparisons: u64,
+    /// Word reads from state/parameter memory.
+    pub mem_reads: u64,
+    /// Word writes to state/parameter memory.
+    pub mem_writes: u64,
+}
+
+impl OpCount {
+    /// An all-zero counter.
+    pub fn new() -> Self {
+        OpCount::default()
+    }
+
+    /// Records `nominal` MACs of which `effective` had non-zero activation
+    /// operands, plus the associated weight/activation reads and the
+    /// accumulator write-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effective > nominal`.
+    pub fn record_mac(&mut self, nominal: u64, effective: u64) {
+        assert!(effective <= nominal, "effective MACs exceed nominal");
+        self.macs += nominal;
+        self.effective_macs += effective;
+        // One weight read + one activation read per effective MAC;
+        // accumulators live in registers and are written once per output,
+        // which callers account via record_write.
+        self.mem_reads += 2 * effective;
+    }
+
+    /// Records standalone additions (with one state read + write each, the
+    /// pattern of event-driven synaptic accumulation).
+    pub fn record_add(&mut self, n: u64) {
+        self.adds += n;
+        self.mem_reads += n;
+        self.mem_writes += n;
+    }
+
+    /// Records standalone multiplications.
+    pub fn record_mult(&mut self, n: u64) {
+        self.mults += n;
+        self.mem_reads += n;
+    }
+
+    /// Records comparisons (no memory traffic assumed).
+    pub fn record_compare(&mut self, n: u64) {
+        self.comparisons += n;
+    }
+
+    /// Records raw memory reads.
+    pub fn record_read(&mut self, n: u64) {
+        self.mem_reads += n;
+    }
+
+    /// Records raw memory writes.
+    pub fn record_write(&mut self, n: u64) {
+        self.mem_writes += n;
+    }
+
+    /// Total arithmetic operations counting each nominal MAC as one multiply
+    /// plus one add.
+    pub fn total_arithmetic(&self) -> u64 {
+        2 * self.macs + self.mults + self.adds + self.comparisons
+    }
+
+    /// Effective arithmetic: each *effective* MAC as two ops, everything
+    /// else unchanged — what a sparsity-exploiting datapath executes.
+    pub fn effective_arithmetic(&self) -> u64 {
+        2 * self.effective_macs + self.mults + self.adds + self.comparisons
+    }
+
+    /// Fraction of nominal MACs that were effective (1.0 when no MACs were
+    /// recorded).
+    pub fn mac_utilization(&self) -> f64 {
+        if self.macs == 0 {
+            1.0
+        } else {
+            self.effective_macs as f64 / self.macs as f64
+        }
+    }
+
+    /// Total memory accesses (reads + writes).
+    pub fn mem_accesses(&self) -> u64 {
+        self.mem_reads + self.mem_writes
+    }
+
+    /// Memory traffic in bytes assuming `bytes_per_word` wide words.
+    pub fn mem_bytes(&self, bytes_per_word: u64) -> u64 {
+        self.mem_accesses() * bytes_per_word
+    }
+}
+
+impl Add for OpCount {
+    type Output = OpCount;
+    fn add(self, rhs: OpCount) -> OpCount {
+        OpCount {
+            macs: self.macs + rhs.macs,
+            effective_macs: self.effective_macs + rhs.effective_macs,
+            mults: self.mults + rhs.mults,
+            adds: self.adds + rhs.adds,
+            comparisons: self.comparisons + rhs.comparisons,
+            mem_reads: self.mem_reads + rhs.mem_reads,
+            mem_writes: self.mem_writes + rhs.mem_writes,
+        }
+    }
+}
+
+impl AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for OpCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "macs={} (eff {}), mults={}, adds={}, cmps={}, reads={}, writes={}",
+            self.macs,
+            self.effective_macs,
+            self.mults,
+            self.adds,
+            self.comparisons,
+            self.mem_reads,
+            self.mem_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_recording() {
+        let mut ops = OpCount::new();
+        ops.record_mac(10, 4);
+        assert_eq!(ops.macs, 10);
+        assert_eq!(ops.effective_macs, 4);
+        assert_eq!(ops.mem_reads, 8);
+        assert_eq!(ops.total_arithmetic(), 20);
+        assert_eq!(ops.effective_arithmetic(), 8);
+        assert!((ops.mac_utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "effective MACs exceed nominal")]
+    fn effective_above_nominal_panics() {
+        OpCount::new().record_mac(1, 2);
+    }
+
+    #[test]
+    fn add_recording_touches_memory_twice() {
+        let mut ops = OpCount::new();
+        ops.record_add(5);
+        assert_eq!(ops.adds, 5);
+        assert_eq!(ops.mem_reads, 5);
+        assert_eq!(ops.mem_writes, 5);
+        assert_eq!(ops.mem_accesses(), 10);
+        assert_eq!(ops.mem_bytes(4), 40);
+    }
+
+    #[test]
+    fn counters_sum() {
+        let mut a = OpCount::new();
+        a.record_mac(10, 10);
+        let mut b = OpCount::new();
+        b.record_add(3);
+        b.record_compare(2);
+        let c = a + b;
+        assert_eq!(c.macs, 10);
+        assert_eq!(c.adds, 3);
+        assert_eq!(c.comparisons, 2);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn utilization_defaults_to_one() {
+        assert_eq!(OpCount::new().mac_utilization(), 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!OpCount::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Weight initializers.
+
+use crate::tensor::Tensor;
+use evlab_util::Rng64;
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The right default for ReLU networks.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut Rng64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt();
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = (rng.next_gaussian() * std) as f32;
+    }
+    t
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut Rng64,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must be positive");
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.range_f64(-limit, limit) as f32;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_has_right_scale() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let t = he_normal(&[100, 100], 100, &mut rng);
+        let mean: f32 = t.sum() / t.len() as f32;
+        let var: f32 = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 0.02).abs() < 0.005, "var {var} vs 2/100");
+    }
+
+    #[test]
+    fn xavier_respects_limits() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let t = xavier_uniform(&[50, 50], 50, 50, &mut rng);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit));
+        assert!(t.max() > limit * 0.5, "values should span the range");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = he_normal(&[10], 10, &mut Rng64::seed_from_u64(7));
+        let b = he_normal(&[10], 10, &mut Rng64::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,757 @@
+//! Neural-network layers with manual backpropagation.
+//!
+//! Each layer caches whatever it needs during [`Layer::forward`] and
+//! consumes it in [`Layer::backward`]. Gradients accumulate into
+//! [`Param::grad`] until the optimizer applies and clears them, so
+//! mini-batch accumulation is simply several forward/backward passes before
+//! one optimizer step.
+
+use crate::counters::OpCount;
+use crate::init::he_normal;
+use crate::tensor::Tensor;
+use evlab_util::Rng64;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a tensor as a parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never for valid tensors).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable layer operating on single samples.
+pub trait Layer {
+    /// Computes the output for `input`, caching state for the backward pass
+    /// and recording work in `ops`.
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor;
+
+    /// Propagates `grad_output` back to the input, accumulating parameter
+    /// gradients. Must be called after a matching [`Layer::forward`].
+    fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor;
+
+    /// Mutable access to the layer's parameters (empty for stateless
+    /// layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Short layer name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Output shape for a given input shape, without running the layer.
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+}
+
+/// Fully-connected layer: `y = W x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "zero-sized linear");
+        Linear {
+            weight: Param::new(he_normal(&[out_features, in_features], in_features, rng)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Creates a layer from explicit weights and biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn from_weights(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().len(), 2, "weight must be rank 2");
+        let out_features = weight.shape()[0];
+        let in_features = weight.shape()[1];
+        assert_eq!(bias.shape(), &[out_features], "bias shape mismatch");
+        Linear {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable weight matrix (e.g. for pruning or quantization passes).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Input dimensionality.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output dimensionality.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        assert_eq!(input.len(), self.in_features, "linear input size mismatch");
+        let nnz = input.nonzero_count() as u64;
+        let mut out = Tensor::zeros(&[self.out_features]);
+        let w = self.weight.value.as_slice();
+        let x = input.as_slice();
+        for j in 0..self.out_features {
+            let row = &w[j * self.in_features..(j + 1) * self.in_features];
+            let mut acc = self.bias.value.as_slice()[j];
+            for (xi, wi) in x.iter().zip(row) {
+                acc += xi * wi;
+            }
+            out.as_mut_slice()[j] = acc;
+        }
+        ops.record_mac(
+            (self.in_features * self.out_features) as u64,
+            nnz * self.out_features as u64,
+        );
+        ops.record_write(self.out_features as u64);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward without forward");
+        assert_eq!(grad_output.len(), self.out_features);
+        let g = grad_output.as_slice();
+        let x = input.as_slice();
+        let w = self.weight.value.as_slice();
+        let mut grad_input = Tensor::zeros(&[self.in_features]);
+        {
+            let gi = grad_input.as_mut_slice();
+            let gw = self.weight.grad.as_mut_slice();
+            let gb = self.bias.grad.as_mut_slice();
+            for j in 0..self.out_features {
+                let gj = g[j];
+                gb[j] += gj;
+                let row = &w[j * self.in_features..(j + 1) * self.in_features];
+                let grow = &mut gw[j * self.in_features..(j + 1) * self.in_features];
+                for i in 0..self.in_features {
+                    gi[i] += gj * row[i];
+                    grow[i] += gj * x[i];
+                }
+            }
+        }
+        let n = (self.in_features * self.out_features) as u64;
+        ops.record_mac(2 * n, 2 * n);
+        ops.record_write((self.in_features + self.out_features) as u64);
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
+        vec![self.out_features]
+    }
+}
+
+/// 2-D convolution over `[C, H, W]` inputs with stride 1 and symmetric zero
+/// padding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a `kernel × kernel` convolution with He initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "zero-sized conv"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new(he_normal(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Mutable weight tensor `[O, C, K, K]` (for pruning/quantization).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    /// Weight tensor `[O, C, K, K]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            h + 2 * self.padding + 1 - self.kernel,
+            w + 2 * self.padding + 1 - self.kernel,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "conv input must be [C, H, W]");
+        assert_eq!(shape[0], self.in_channels, "conv channel mismatch");
+        let (h, w) = (shape[1], shape[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert!(oh > 0 && ow > 0, "kernel larger than padded input");
+        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
+        let x = input.as_slice();
+        let wt = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let mut effective: u64 = 0;
+        {
+            let o_slice = out.as_mut_slice();
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b[oc];
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xv = x[(ic * h + iy as usize) * w + ix as usize];
+                                    if xv != 0.0 {
+                                        effective += 1;
+                                        let wv = wt[((oc * self.in_channels + ic) * k + ky)
+                                            * k
+                                            + kx];
+                                        acc += xv * wv;
+                                    }
+                                }
+                            }
+                        }
+                        o_slice[(oc * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        let nominal =
+            (self.out_channels * oh * ow * self.in_channels * k * k) as u64;
+        ops.record_mac(nominal, effective.min(nominal));
+        ops.record_write((self.out_channels * oh * ow) as u64);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward without forward");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_output.shape(), &[self.out_channels, oh, ow]);
+        let x = input.as_slice();
+        let wt = self.weight.value.as_slice();
+        let g = grad_output.as_slice();
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let mut grad_input = Tensor::zeros(input.shape());
+        {
+            let gi = grad_input.as_mut_slice();
+            let gw = self.weight.grad.as_mut_slice();
+            let gb = self.bias.grad.as_mut_slice();
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g[(oc * oh + oy) * ow + ox];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += gv;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = (ic * h + iy as usize) * w + ix as usize;
+                                    let wi =
+                                        ((oc * self.in_channels + ic) * k + ky) * k + kx;
+                                    gi[xi] += gv * wt[wi];
+                                    gw[wi] += gv * x[xi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let nominal =
+            2 * (self.out_channels * oh * ow * self.in_channels * k * k) as u64;
+        ops.record_mac(nominal, nominal);
+        ops.record_write((input.len() + self.weight.len()) as u64);
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[1], input_shape[2]);
+        vec![self.out_channels, oh, ow]
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        ops.record_compare(input.len() as u64);
+        let mask: Vec<bool> = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        let out = input.map(|v| if v > 0.0 { v } else { 0.0 });
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _ops: &mut OpCount) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward without forward");
+        assert_eq!(grad_output.len(), mask.len());
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad_output.shape(), data).expect("same shape")
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+/// Max pooling over `[C, H, W]` with square window and equal stride.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPool2d {
+    window: usize,
+    argmax: Option<Vec<usize>>,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with `window × window` regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MaxPool2d {
+            window,
+            argmax: None,
+            input_shape: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "pool input must be [C, H, W]");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let (oh, ow) = (h / self.window, w / self.window);
+        assert!(oh > 0 && ow > 0, "pool window larger than input");
+        let x = input.as_slice();
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let mut argmax = vec![0usize; c * oh * ow];
+        {
+            let o = out.as_mut_slice();
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                let iy = oy * self.window + dy;
+                                let ix = ox * self.window + dx;
+                                let idx = (ci * h + iy) * w + ix;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = (ci * oh + oy) * ow + ox;
+                        o[oidx] = best;
+                        argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        ops.record_compare((c * oh * ow * self.window * self.window) as u64);
+        self.argmax = Some(argmax);
+        self.input_shape = Some(shape.to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _ops: &mut OpCount) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward without forward");
+        let input_shape = self.input_shape.as_ref().expect("forward first");
+        let mut grad_input = Tensor::zeros(input_shape);
+        let gi = grad_input.as_mut_slice();
+        for (o, &src) in grad_output.as_slice().iter().zip(argmax) {
+            gi[src] += o;
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![
+            input_shape[0],
+            input_shape[1] / self.window,
+            input_shape[2] / self.window,
+        ]
+    }
+}
+
+/// Flattens any input to rank 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _ops: &mut OpCount) -> Tensor {
+        self.input_shape = Some(input.shape().to_vec());
+        input.reshaped(&[input.len()]).expect("same length")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _ops: &mut OpCount) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("forward first");
+        grad_output.reshaped(shape).expect("same length")
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        layer: &mut dyn Layer,
+        input: &Tensor,
+        eps: f32,
+        tol: f32,
+    ) {
+        // Scalar objective: sum of outputs. d(sum)/d(input_i) via backward
+        // must match finite differences.
+        let mut ops = OpCount::new();
+        let out = layer.forward(input, &mut ops);
+        let ones = Tensor::filled(out.shape(), 1.0);
+        let grad = layer.backward(&ones, &mut ops);
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus = layer.forward(&plus, &mut ops).sum();
+            let f_minus = layer.forward(&minus, &mut ops).sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grad.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < tol,
+                "input grad {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_forward_known_values() {
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5]).expect("ok");
+        let b = Tensor::from_vec(&[2], vec![0.1, -0.1]).expect("ok");
+        let mut layer = Linear::from_weights(w, b);
+        let mut ops = OpCount::new();
+        let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).expect("ok");
+        let y = layer.forward(&x, &mut ops);
+        assert!((y.as_slice()[0] - (1.0 - 3.0 + 0.1)).abs() < 1e-6);
+        assert!((y.as_slice()[1] - (2.0 + 2.0 + 1.5 - 0.1)).abs() < 1e-6);
+        assert_eq!(ops.macs, 6);
+        assert_eq!(ops.effective_macs, 6);
+    }
+
+    #[test]
+    fn linear_counts_sparse_inputs() {
+        let mut rng = Rng64::seed_from_u64(0);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let mut ops = OpCount::new();
+        let x = Tensor::from_vec(&[4], vec![1.0, 0.0, 0.0, 2.0]).expect("ok");
+        layer.forward(&x, &mut ops);
+        assert_eq!(ops.macs, 12);
+        assert_eq!(ops.effective_macs, 6, "2 of 4 inputs nonzero");
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_difference() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut layer = Linear::new(5, 4, &mut rng);
+        let x = he_normal(&[5], 5, &mut rng);
+        finite_diff_check(&mut layer, &x, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn linear_weight_gradient_matches_finite_difference() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(&[3], vec![0.5, -1.0, 2.0]).expect("ok");
+        let mut ops = OpCount::new();
+        let out = layer.forward(&x, &mut ops);
+        let ones = Tensor::filled(out.shape(), 1.0);
+        layer.backward(&ones, &mut ops);
+        let grad = layer.weight.grad.clone();
+        let eps = 1e-3;
+        for i in 0..layer.weight.len() {
+            let orig = layer.weight.value.as_slice()[i];
+            layer.weight.value.as_mut_slice()[i] = orig + eps;
+            let f_plus = layer.forward(&x, &mut ops).sum();
+            layer.weight.value.as_mut_slice()[i] = orig - eps;
+            let f_minus = layer.forward(&x, &mut ops).sum();
+            layer.weight.value.as_mut_slice()[i] = orig;
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[i]).abs() < 1e-2,
+                "weight grad {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_shapes_and_padding() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut conv = Conv2d::new(2, 4, 3, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 8, 8]);
+        let mut ops = OpCount::new();
+        let y = conv.forward(&x, &mut ops);
+        assert_eq!(y.shape(), &[4, 8, 8], "same padding preserves HxW");
+        assert_eq!(conv.output_shape(&[2, 8, 8]), vec![4, 8, 8]);
+        // All-zero input: zero effective MACs.
+        assert_eq!(ops.effective_macs, 0);
+        assert!(ops.macs > 0);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let mut conv = Conv2d::new(1, 1, 1, 0, &mut rng);
+        conv.weight.value.as_mut_slice()[0] = 2.0;
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).expect("ok");
+        let mut ops = OpCount::new();
+        let y = conv.forward(&x, &mut ops);
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let mut conv = Conv2d::new(1, 2, 3, 1, &mut rng);
+        let x = he_normal(&[1, 4, 4], 16, &mut rng);
+        finite_diff_check(&mut conv, &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut relu = Relu::new();
+        let mut ops = OpCount::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, 0.0, 3.0]).expect("ok");
+        let y = relu.forward(&x, &mut ops);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 3.0]);
+        let g = relu.backward(&Tensor::filled(&[4], 1.0), &mut ops);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(ops.comparisons, 4);
+    }
+
+    #[test]
+    fn maxpool_selects_and_routes_gradient() {
+        let mut pool = MaxPool2d::new(2);
+        let mut ops = OpCount::new();
+        let x = Tensor::from_vec(
+            &[1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0],
+        )
+        .expect("ok");
+        let y = pool.forward(&x, &mut ops);
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 9.0]);
+        let g = pool.backward(
+            &Tensor::from_vec(&[1, 1, 2], vec![1.0, 2.0]).expect("ok"),
+            &mut ops,
+        );
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut flat = Flatten::new();
+        let mut ops = OpCount::new();
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = flat.forward(&x, &mut ops);
+        assert_eq!(y.shape(), &[24]);
+        let g = flat.backward(&Tensor::zeros(&[24]), &mut ops);
+        assert_eq!(g.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let linear = Linear::new(10, 5, &mut rng);
+        assert_eq!(linear.param_count(), 55);
+        let conv = Conv2d::new(2, 3, 3, 1, &mut rng);
+        assert_eq!(conv.param_count(), 2 * 3 * 9 + 3);
+        assert_eq!(Relu::new().param_count(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Loss functions returning both the loss value and the gradient with
+//! respect to the prediction.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax of a rank-1 tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is empty.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits.max();
+    let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(logits.shape(), exps.into_iter().map(|e| e / sum).collect())
+        .expect("same shape")
+}
+
+/// Softmax cross-entropy against a class index.
+///
+/// Returns `(loss, grad_wrt_logits)`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_tensor::loss::cross_entropy;
+/// use evlab_tensor::tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(&[3], vec![2.0, 0.5, -1.0])?;
+/// let (loss, grad) = cross_entropy(&logits, 0);
+/// assert!(loss > 0.0);
+/// assert!(grad.as_slice()[0] < 0.0, "pushing the target logit up");
+/// # Ok::<(), evlab_tensor::tensor::ShapeError>(())
+/// ```
+pub fn cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert!(target < logits.len(), "target class out of range");
+    let probs = softmax(logits);
+    let p_target = probs.as_slice()[target].max(1e-12);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    grad.as_mut_slice()[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Mean squared error between prediction and target.
+///
+/// Returns `(loss, grad_wrt_prediction)` where the loss is averaged over
+/// elements.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape(), "mse shape mismatch");
+    let n = prediction.len() as f32;
+    let diff = prediction.sub(target);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scaled(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let logits = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).expect("ok");
+        let p = softmax(&logits);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(&[2], vec![1.0, 2.0]).expect("ok"));
+        let b = softmax(&Tensor::from_vec(&[2], vec![1001.0, 1002.0]).expect("ok"));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(&[3], vec![0.0, 1.0, 2.0]).expect("ok");
+        let (loss, grad) = cross_entropy(&logits, 2);
+        let p = softmax(&logits);
+        assert!((loss + p.as_slice()[2].ln()).abs() < 1e-6);
+        assert!((grad.as_slice()[0] - p.as_slice()[0]).abs() < 1e-6);
+        assert!((grad.as_slice()[2] - (p.as_slice()[2] - 1.0)).abs() < 1e-6);
+        // Gradient sums to ~0.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[4], vec![0.3, -0.7, 1.2, 0.1]).expect("ok");
+        let (_, grad) = cross_entropy(&logits, 1);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric =
+                (cross_entropy(&plus, 1).0 - cross_entropy(&minus, 1).0) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let pred = Tensor::from_vec(&[2], vec![1.0, 3.0]).expect("ok");
+        let target = Tensor::from_vec(&[2], vec![0.0, 1.0]).expect("ok");
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target class out of range")]
+    fn cross_entropy_bad_target_panics() {
+        let logits = Tensor::from_vec(&[2], vec![0.0, 0.0]).expect("ok");
+        cross_entropy(&logits, 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Sequential network container and training helpers.
+
+use crate::counters::OpCount;
+use crate::layer::{Layer, Param};
+use crate::loss::cross_entropy;
+use crate::optim::Optimizer;
+use crate::tensor::Tensor;
+
+/// A stack of layers applied in order.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_tensor::layer::{Linear, Relu};
+/// use evlab_tensor::network::Sequential;
+/// use evlab_tensor::counters::OpCount;
+/// use evlab_tensor::tensor::Tensor;
+/// use evlab_util::Rng64;
+///
+/// let mut rng = Rng64::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(4, 8, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Linear::new(8, 2, &mut rng));
+/// let mut ops = OpCount::new();
+/// let y = net.forward(&Tensor::zeros(&[4]), &mut ops);
+/// assert_eq!(y.shape(), &[2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow of the layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable borrow of the layer stack (e.g. for pruning passes).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Runs the network forward.
+    pub fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current, ops);
+        }
+        current
+    }
+
+    /// Propagates a loss gradient back through every layer, accumulating
+    /// parameter gradients. Returns the gradient at the input.
+    pub fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
+        let mut current = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            current = layer.backward(&current, ops);
+        }
+        current
+    }
+
+    /// All trainable parameters in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Parameter memory footprint in bytes at the given precision.
+    pub fn param_bytes(&self, bytes_per_param: usize) -> usize {
+        self.param_count() * bytes_per_param
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let mut shape = input_shape.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape);
+        }
+        shape
+    }
+
+    /// Fraction of zero activations at the network *output* of each layer
+    /// for the given input — the per-layer activation-sparsity profile used
+    /// by the hardware mapper.
+    pub fn activation_sparsity(&mut self, input: &Tensor) -> Vec<f64> {
+        let mut ops = OpCount::new();
+        let mut current = input.clone();
+        let mut out = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            current = layer.forward(&current, &mut ops);
+            out.push(current.zero_fraction());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+/// Result of one classification training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepResult {
+    /// Cross-entropy loss before the update.
+    pub loss: f32,
+    /// Whether the pre-update prediction was correct.
+    pub correct: bool,
+}
+
+/// Runs one forward/backward pass for a `(input, label)` pair, accumulating
+/// gradients (no optimizer step).
+pub fn accumulate_classification_step(
+    net: &mut Sequential,
+    input: &Tensor,
+    label: usize,
+    ops: &mut OpCount,
+) -> StepResult {
+    let logits = net.forward(input, ops);
+    let correct = logits.argmax() == label;
+    let (loss, grad) = cross_entropy(&logits, label);
+    net.backward(&grad, ops);
+    StepResult { loss, correct }
+}
+
+/// Trains on a batch of samples then applies one optimizer step, averaging
+/// gradients over the batch. Returns mean loss and accuracy.
+pub fn train_batch(
+    net: &mut Sequential,
+    batch: &[(Tensor, usize)],
+    optimizer: &mut dyn Optimizer,
+    ops: &mut OpCount,
+) -> (f32, f32) {
+    assert!(!batch.is_empty(), "empty batch");
+    let mut loss_sum = 0.0;
+    let mut correct = 0usize;
+    for (input, label) in batch {
+        let r = accumulate_classification_step(net, input, *label, ops);
+        loss_sum += r.loss;
+        if r.correct {
+            correct += 1;
+        }
+    }
+    let scale = 1.0 / batch.len() as f32;
+    let mut params = net.params_mut();
+    for p in params.iter_mut() {
+        p.grad.scale_assign(scale);
+    }
+    optimizer.step(&mut params);
+    (loss_sum * scale, correct as f32 * scale)
+}
+
+/// Evaluates classification accuracy over a dataset.
+pub fn evaluate(
+    net: &mut Sequential,
+    samples: &[(Tensor, usize)],
+    ops: &mut OpCount,
+) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|(x, label)| net.forward(x, ops).argmax() == *label)
+        .count();
+    correct as f32 / samples.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Linear, Relu};
+    use crate::optim::Sgd;
+    use evlab_util::Rng64;
+
+    /// A linearly separable toy problem: sign of the first input.
+    fn toy_dataset(rng: &mut Rng64, n: usize) -> Vec<(Tensor, usize)> {
+        (0..n)
+            .map(|_| {
+                let x0 = rng.range_f64(-1.0, 1.0) as f32;
+                let x1 = rng.range_f64(-1.0, 1.0) as f32;
+                let label = usize::from(x0 > 0.0);
+                (
+                    Tensor::from_vec(&[2], vec![x0, x1]).expect("ok"),
+                    label,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn network_learns_separable_problem() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(8, 2, &mut rng));
+        let train = toy_dataset(&mut rng, 200);
+        let test = toy_dataset(&mut rng, 100);
+        let mut opt = Sgd::new(0.5, 0.9);
+        let mut ops = OpCount::new();
+        for _ in 0..30 {
+            for chunk in train.chunks(20) {
+                train_batch(&mut net, chunk, &mut opt, &mut ops);
+            }
+        }
+        let acc = evaluate(&mut net, &test, &mut ops);
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert!(ops.macs > 0);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 4, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(4, 2, &mut rng));
+        let train = toy_dataset(&mut rng, 100);
+        let mut opt = Sgd::new(0.3, 0.0);
+        let mut ops = OpCount::new();
+        let (first_loss, _) = train_batch(&mut net, &train, &mut opt, &mut ops);
+        let mut last_loss = first_loss;
+        for _ in 0..20 {
+            let (l, _) = train_batch(&mut net, &train, &mut opt, &mut ops);
+            last_loss = l;
+        }
+        assert!(last_loss < first_loss * 0.8, "{first_loss} -> {last_loss}");
+    }
+
+    #[test]
+    fn param_count_aggregates() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 4, &mut rng)); // 16
+        net.push(Relu::new());
+        net.push(Linear::new(4, 2, &mut rng)); // 10
+        assert_eq!(net.param_count(), 26);
+        assert_eq!(net.param_bytes(4), 104);
+        assert_eq!(net.output_shape(&[3]), vec![2]);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn activation_sparsity_reports_relu_zeros() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 32, &mut rng));
+        net.push(Relu::new());
+        let x = Tensor::filled(&[4], 1.0);
+        let sparsity = net.activation_sparsity(&x);
+        assert_eq!(sparsity.len(), 2);
+        // ReLU on random pre-activations zeroes roughly half.
+        assert!(sparsity[1] > 0.2 && sparsity[1] < 0.8, "{}", sparsity[1]);
+    }
+
+    #[test]
+    fn debug_shows_layer_names() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 2, &mut rng));
+        let dbg = format!("{net:?}");
+        assert!(dbg.contains("linear"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Optimizers.
+//!
+//! An optimizer consumes the gradients accumulated in [`Param::grad`] and
+//! clears them. State (momentum, Adam moments) is keyed by parameter order,
+//! which is stable for a fixed network structure.
+
+use crate::layer::Param;
+use crate::tensor::Tensor;
+
+/// A gradient-descent optimizer.
+pub trait Optimizer {
+    /// Applies one update step to the parameters and zeroes their gradients.
+    ///
+    /// The same parameter list (same order, same shapes) must be passed on
+    /// every call.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_tensor::layer::Param;
+/// use evlab_tensor::optim::{Optimizer, Sgd};
+/// use evlab_tensor::tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::from_vec(&[1], vec![1.0])?);
+/// p.grad.as_mut_slice()[0] = 0.5;
+/// let mut opt = Sgd::new(0.1, 0.0);
+/// opt.step(&mut [&mut p]);
+/// assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-6);
+/// assert_eq!(p.grad.as_slice()[0], 0.0, "gradient cleared");
+/// # Ok::<(), evlab_tensor::tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                v.scale_assign(self.momentum);
+                v.add_scaled(&p.grad, 1.0);
+                p.value.add_scaled(v, -self.lr);
+            } else {
+                p.value.add_scaled(&p.grad, -self.lr);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
+        self.t += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad.as_slice();
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            let ps = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * g[i];
+                vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = ms[i] / bias1;
+                let v_hat = vs[i] / bias2;
+                ps[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Param) -> Tensor {
+        // d/dx of 0.5 * x^2 is x.
+        p.value.clone()
+    }
+
+    fn run_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::new(Tensor::from_vec(&[2], vec![3.0, -4.0]).expect("ok"));
+        for _ in 0..steps {
+            p.grad = quadratic_grad(&p);
+            opt.step(&mut [&mut p]);
+        }
+        p.value.norm_sq()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let final_norm = run_descent(&mut opt, 100);
+        assert!(final_norm < 1e-6, "norm {final_norm}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let plain = run_descent(&mut Sgd::new(0.01, 0.0), 50);
+        let momentum = run_descent(&mut Sgd::new(0.01, 0.9), 50);
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let final_norm = run_descent(&mut opt, 200);
+        assert!(final_norm < 1e-3, "norm {final_norm}");
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut p = Param::new(Tensor::from_vec(&[1], vec![1.0]).expect("ok"));
+        p.grad.as_mut_slice()[0] = 1.0;
+        Sgd::new(0.1, 0.5).step(&mut [&mut p]);
+        assert_eq!(p.grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_lr_panics() {
+        Sgd::new(0.0, 0.0);
+    }
+}

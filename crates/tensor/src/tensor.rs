@@ -1,0 +1,446 @@
+//! The dense `f32` tensor.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error for shape-mismatched tensor construction or operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ShapeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+/// A dense, row-major `f32` tensor of arbitrary rank.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_tensor::tensor::Tensor;
+///
+/// let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+/// assert_eq!(t.at(&[1, 2]), 6.0);
+/// assert_eq!(t.len(), 6);
+/// # Ok::<(), evlab_tensor::tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = checked_len(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        let len = checked_len(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// Builds a tensor from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not match the shape's
+    /// element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, ShapeError> {
+        let len = checked_len(shape);
+        if data.len() != len {
+            return Err(ShapeError::new(format!(
+                "shape {shape:?} needs {len} elements, got {}",
+                data.len()
+            )));
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements (never true for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the flat data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Flat index of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "rank mismatch");
+        let mut flat = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            flat = flat * dim + ix;
+        }
+        flat
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is invalid.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let i = self.flat_index(index);
+        self.data[i] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Result<Tensor, ShapeError> {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Elementwise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Tensor scaled by a constant.
+    pub fn scaled(&self, k: f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|a| a * k).collect(),
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale_assign(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Sets every element to zero, reusing the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// 2-D matrix product `self (m×k) · other (k×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[p * n..(p + 1) * n];
+                for (j, &b) in row.iter().enumerate() {
+                    out[i * n + j] += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose needs rank 2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
+    }
+
+    /// Index of the maximum element (first occurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Largest element, or -inf for empty tensors.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Fraction of exactly-zero elements — the sparsity measure used by the
+    /// Table I "Computation sparsity" row.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Number of non-zero elements.
+    pub fn nonzero_count(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+}
+
+fn checked_len(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "shape must have at least one dimension");
+    shape.iter().for_each(|&d| assert!(d > 0, "zero dimension"));
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect()).expect("ok");
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 1, 1]), 7.0);
+        assert_eq!(t.at(&[1, 0, 1]), 5.0);
+        assert_eq!(t.flat_index(&[1, 0, 1]), 5);
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_len() {
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dim_panics() {
+        Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).expect("ok");
+        let b = Tensor::from_vec(&[3], vec![0.5, 0.5, 0.5]).expect("ok");
+        assert_eq!(a.add(&b).as_slice(), &[1.5, 2.5, 3.5]);
+        assert_eq!(a.sub(&b).as_slice(), &[0.5, 1.5, 2.5]);
+        assert_eq!(a.scaled(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 2.0);
+        assert_eq!(c.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).expect("ok");
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).expect("ok");
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        let a = Tensor::from_vec(&[1, 3], vec![0.0, 2.0, 0.0]).expect("ok");
+        let b = Tensor::from_vec(&[3, 2], vec![1.0, 1.0, 3.0, 4.0, 1.0, 1.0]).expect("ok");
+        assert_eq!(a.matmul(&b).as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect()).expect("ok");
+        let t = a.transposed();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn argmax_and_reductions() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 5.0, 5.0, -2.0]).expect("ok");
+        assert_eq!(t.argmax(), 1, "first max wins");
+        assert_eq!(t.sum(), 9.0);
+        assert_eq!(t.max(), 5.0);
+    }
+
+    #[test]
+    fn sparsity_measures() {
+        let t = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 2.0]).expect("ok");
+        assert_eq!(t.zero_fraction(), 0.5);
+        assert_eq!(t.nonzero_count(), 2);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect()).expect("ok");
+        let r = t.reshaped(&[3, 2]).expect("ok");
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshaped(&[5]).is_err());
+    }
+
+    #[test]
+    fn shape_error_display() {
+        let e = Tensor::from_vec(&[2], vec![1.0]).unwrap_err();
+        assert!(e.to_string().contains("shape error"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Q16.16 fixed-point arithmetic.
+//!
+//! The hardware cost models in `evlab-hw` and the quantized inference paths
+//! operate on integer datapaths. [`Q16`] provides a saturating Q16.16
+//! fixed-point number so quantization effects (rounding, saturation) can be
+//! reproduced deterministically, without floating-point unit behaviour
+//! leaking into "hardware" results.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Number of fractional bits in the Q16.16 format.
+pub const FRACTIONAL_BITS: u32 = 16;
+const ONE_RAW: i64 = 1 << FRACTIONAL_BITS;
+
+/// A saturating signed Q16.16 fixed-point number.
+///
+/// The representable range is approximately `[-32768, 32768)` with a
+/// resolution of `2^-16 ≈ 1.5e-5`. All arithmetic saturates instead of
+/// wrapping, mirroring typical accelerator ALUs.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_util::fixed::Q16;
+///
+/// let a = Q16::from_f64(1.5);
+/// let b = Q16::from_f64(2.0);
+/// assert_eq!((a * b).to_f64(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q16(i32);
+
+impl Q16 {
+    /// The value zero.
+    pub const ZERO: Q16 = Q16(0);
+    /// The value one.
+    pub const ONE: Q16 = Q16(ONE_RAW as i32);
+    /// Largest representable value.
+    pub const MAX: Q16 = Q16(i32::MAX);
+    /// Most negative representable value.
+    pub const MIN: Q16 = Q16(i32::MIN);
+
+    /// Converts from `f64`, rounding to nearest and saturating.
+    pub fn from_f64(x: f64) -> Self {
+        let raw = (x * ONE_RAW as f64).round();
+        if raw >= i32::MAX as f64 {
+            Q16(i32::MAX)
+        } else if raw <= i32::MIN as f64 {
+            Q16(i32::MIN)
+        } else {
+            Q16(raw as i32)
+        }
+    }
+
+    /// Converts to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ONE_RAW as f64
+    }
+
+    /// Creates a value from its raw two's-complement representation.
+    pub fn from_raw(raw: i32) -> Self {
+        Q16(raw)
+    }
+
+    /// Raw two's-complement representation.
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Saturating multiplication.
+    pub fn saturating_mul(self, rhs: Q16) -> Q16 {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> FRACTIONAL_BITS;
+        Q16(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Saturating division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn saturating_div(self, rhs: Q16) -> Q16 {
+        assert!(rhs.0 != 0, "division by zero");
+        let wide = ((self.0 as i64) << FRACTIONAL_BITS) / rhs.0 as i64;
+        Q16(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Absolute value (saturating for `MIN`).
+    pub fn abs(self) -> Q16 {
+        Q16(self.0.saturating_abs())
+    }
+
+    /// Quantization step of the format (`2^-16`).
+    pub fn epsilon() -> f64 {
+        1.0 / ONE_RAW as f64
+    }
+}
+
+impl Add for Q16 {
+    type Output = Q16;
+    fn add(self, rhs: Q16) -> Q16 {
+        Q16(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for Q16 {
+    type Output = Q16;
+    fn sub(self, rhs: Q16) -> Q16 {
+        Q16(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul for Q16 {
+    type Output = Q16;
+    fn mul(self, rhs: Q16) -> Q16 {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div for Q16 {
+    type Output = Q16;
+    fn div(self, rhs: Q16) -> Q16 {
+        self.saturating_div(rhs)
+    }
+}
+
+impl Neg for Q16 {
+    type Output = Q16;
+    fn neg(self) -> Q16 {
+        Q16(self.0.saturating_neg())
+    }
+}
+
+impl fmt::Display for Q16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5}", self.to_f64())
+    }
+}
+
+impl From<i16> for Q16 {
+    fn from(x: i16) -> Q16 {
+        Q16((x as i32) << FRACTIONAL_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small_values() {
+        for x in [-3.25, -0.5, 0.0, 0.75, 1.0, 123.456] {
+            let q = Q16::from_f64(x);
+            assert!((q.to_f64() - x).abs() <= Q16::epsilon(), "{x}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_float() {
+        let a = Q16::from_f64(2.5);
+        let b = Q16::from_f64(-1.25);
+        assert_eq!((a + b).to_f64(), 1.25);
+        assert_eq!((a - b).to_f64(), 3.75);
+        assert_eq!((a * b).to_f64(), -3.125);
+        assert_eq!((a / b).to_f64(), -2.0);
+        assert_eq!((-a).to_f64(), -2.5);
+        assert_eq!(b.abs().to_f64(), 1.25);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let big = Q16::from_f64(30_000.0);
+        assert_eq!(big + big, Q16::MAX);
+        assert_eq!(big * big, Q16::MAX);
+        assert_eq!((-big) * big, Q16::MIN);
+        assert_eq!(Q16::from_f64(1e12), Q16::MAX);
+        assert_eq!(Q16::from_f64(-1e12), Q16::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Q16::ONE / Q16::ZERO;
+    }
+
+    #[test]
+    fn from_i16() {
+        assert_eq!(Q16::from(5i16).to_f64(), 5.0);
+        assert_eq!(Q16::from(-5i16).to_f64(), -5.0);
+    }
+}

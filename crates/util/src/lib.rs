@@ -1,0 +1,35 @@
+//! Shared utilities for the `evlab` workspace.
+//!
+//! This crate is dependency-free and provides the deterministic building
+//! blocks every other `evlab` crate relies on:
+//!
+//! * [`rng::Rng64`] — a seedable xoshiro256++ pseudo-random number generator.
+//!   All stochastic components of the workspace (sensor noise, weight
+//!   initialization, dataset generation) draw from this generator so that
+//!   every experiment is bit-reproducible across platforms.
+//! * [`stats`] — running statistics, percentiles and histogram helpers used
+//!   by the event-rate analyses and the benchmark reports.
+//! * [`lut::ExpDecayLut`] — a lookup table for `exp(-dt/tau)` used by the
+//!   event-driven spiking-neuron simulation, mirroring how digital
+//!   neuromorphic hardware approximates exponential leak.
+//! * [`fixed::Q16`] — a Q16.16 fixed-point type used by the hardware cost
+//!   models to mimic integer-arithmetic datapaths.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_util::rng::Rng64;
+//!
+//! let mut rng = Rng64::seed_from_u64(42);
+//! let x = rng.next_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+pub mod fixed;
+pub mod lut;
+pub mod rng;
+pub mod stats;
+
+pub use fixed::Q16;
+pub use lut::ExpDecayLut;
+pub use rng::Rng64;

@@ -1,0 +1,131 @@
+//! Exponential-decay lookup table.
+//!
+//! Digital neuromorphic processors do not evaluate `exp()` in hardware; they
+//! approximate the membrane leak `exp(-dt/tau)` with a small lookup table or
+//! a bit-shift decay. [`ExpDecayLut`] reproduces that approximation so the
+//! event-driven SNN simulation matches what a hardware implementation would
+//! compute, and exposes the worst-case approximation error so tests can bound
+//! the deviation from the analytic model.
+
+/// Lookup table for `exp(-dt / tau)` over `dt ∈ [0, horizon]`.
+///
+/// Values of `dt` beyond the horizon decay to exactly zero, mirroring the
+/// state flush hardware performs for long-silent neurons.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_util::lut::ExpDecayLut;
+///
+/// let lut = ExpDecayLut::new(10.0, 100.0, 1024);
+/// let approx = lut.decay(5.0);
+/// let exact = (-5.0f64 / 10.0).exp();
+/// assert!((approx - exact).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpDecayLut {
+    tau: f64,
+    horizon: f64,
+    table: Vec<f64>,
+}
+
+impl ExpDecayLut {
+    /// Builds a table with `entries` samples of `exp(-dt/tau)` for
+    /// `dt ∈ [0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau <= 0`, `horizon <= 0`, or `entries < 2`.
+    pub fn new(tau: f64, horizon: f64, entries: usize) -> Self {
+        assert!(tau > 0.0, "tau must be positive");
+        assert!(horizon > 0.0, "horizon must be positive");
+        assert!(entries >= 2, "need at least two table entries");
+        let table = (0..entries)
+            .map(|i| {
+                let dt = horizon * i as f64 / (entries - 1) as f64;
+                (-dt / tau).exp()
+            })
+            .collect();
+        ExpDecayLut {
+            tau,
+            horizon,
+            table,
+        }
+    }
+
+    /// Time constant the table was built for.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Time horizon beyond which the decay is flushed to zero.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Returns the approximated `exp(-dt/tau)` using linear interpolation
+    /// between table entries. Negative `dt` is treated as zero elapsed time;
+    /// `dt > horizon` returns 0.
+    pub fn decay(&self, dt: f64) -> f64 {
+        if dt <= 0.0 {
+            return 1.0;
+        }
+        if dt >= self.horizon {
+            return 0.0;
+        }
+        let pos = dt / self.horizon * (self.table.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let frac = pos - lo as f64;
+        self.table[lo] * (1.0 - frac) + self.table[lo + 1] * frac
+    }
+
+    /// Worst-case absolute error versus the analytic exponential, sampled at
+    /// `samples` midpoints. Useful for sizing the table in tests.
+    pub fn max_error(&self, samples: usize) -> f64 {
+        (0..samples)
+            .map(|i| {
+                let dt = self.horizon * (i as f64 + 0.5) / samples as f64;
+                (self.decay(dt) - (-dt / self.tau).exp()).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let lut = ExpDecayLut::new(1.0, 10.0, 64);
+        assert_eq!(lut.decay(0.0), 1.0);
+        assert_eq!(lut.decay(-5.0), 1.0);
+        assert_eq!(lut.decay(10.0), 0.0);
+        assert_eq!(lut.decay(1e9), 0.0);
+    }
+
+    #[test]
+    fn error_shrinks_with_table_size() {
+        let coarse = ExpDecayLut::new(5.0, 50.0, 16).max_error(1000);
+        let fine = ExpDecayLut::new(5.0, 50.0, 4096).max_error(1000);
+        assert!(fine < coarse);
+        assert!(fine < 1e-6, "fine table error {fine}");
+    }
+
+    #[test]
+    fn decay_is_monotone() {
+        let lut = ExpDecayLut::new(2.0, 20.0, 256);
+        let mut prev = 1.0;
+        for i in 1..200 {
+            let v = lut.decay(0.1 * i as f64);
+            assert!(v <= prev + 1e-12, "non-monotone at {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn zero_tau_panics() {
+        ExpDecayLut::new(0.0, 1.0, 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Asynchronous event-driven inference (the §IV perspective in action):
+//! streams events one by one through an event-graph network and compares
+//! the per-event cost against recomputing the whole graph, and against the
+//! frame-based alternative that must wait for a window to close.
+//!
+//! Run with: `cargo run --release --example async_latency`
+
+use evlab::core::metrics::{price_gnn, time_to_decision_us, DeploymentStyle};
+use evlab::gnn::async_update::AsyncGnn;
+use evlab::gnn::build::{incremental_build, GraphConfig, IncrementalGraphBuilder};
+use evlab::gnn::network::{GnnConfig, GnnNetwork};
+use evlab::sensor::scene::MovingDot;
+use evlab::sensor::{CameraConfig, EventCamera, PixelConfig};
+use evlab::tensor::OpCount;
+use evlab::util::Rng64;
+
+fn main() {
+    let camera = EventCamera::new(
+        CameraConfig::new((48, 48)).with_pixel(PixelConfig::ideal()),
+    );
+    let scene = MovingDot::new((4.0, 24.0), (0.0015, 0.0), 3.0);
+    let stream = camera.record(&scene, 0, 25_000, 3);
+    println!("streaming {} events", stream.len());
+
+    let graph_config = GraphConfig::new();
+    let mut rng = Rng64::seed_from_u64(1);
+
+    // Asynchronous: per-event incremental update.
+    let mut net = GnnNetwork::new(&GnnConfig::new(4), &mut rng);
+    let mut engine = AsyncGnn::new(&mut net, graph_config, 4);
+    let mut async_ops = OpCount::new();
+    let mut per_event_macs = Vec::new();
+    for e in stream.iter() {
+        let mut ops = OpCount::new();
+        engine.update(*e, &mut ops);
+        per_event_macs.push(ops.macs);
+        async_ops += ops;
+    }
+    let mean_macs =
+        per_event_macs.iter().sum::<u64>() as f64 / per_event_macs.len().max(1) as f64;
+    println!(
+        "async GNN: {:.0} MACs/event (max {}), {} MACs total",
+        mean_macs,
+        per_event_macs.iter().max().unwrap_or(&0),
+        async_ops.macs
+    );
+
+    // Naive: rebuild + full forward after every event.
+    let mut rng2 = Rng64::seed_from_u64(1);
+    let mut full_net = GnnNetwork::new(&GnnConfig::new(4), &mut rng2);
+    let mut builder = IncrementalGraphBuilder::new(graph_config);
+    let mut full_ops = OpCount::new();
+    for e in stream.iter() {
+        builder.insert(*e, &mut full_ops);
+        full_net.forward(builder.graph(), &mut full_ops);
+    }
+    println!(
+        "full recompute per event: {} MACs total ({:.0}x the async cost)",
+        full_ops.macs,
+        full_ops.macs as f64 / async_ops.macs.max(1) as f64
+    );
+
+    // Latency comparison against a 30 ms frame pipeline.
+    let mut probe_ops = OpCount::new();
+    let graph = incremental_build(stream.as_slice(), &graph_config, &mut probe_ops);
+    let per_event_ops = OpCount {
+        macs: mean_macs as u64,
+        effective_macs: mean_macs as u64,
+        ..OpCount::default()
+    };
+    let edges_per_event = (graph.edge_count() as f64 / graph.node_count().max(1) as f64) as u64;
+    let cost = price_gnn(&per_event_ops, edges_per_event, 16, 50_000);
+    let gnn_latency = time_to_decision_us(DeploymentStyle::PerEvent, cost.latency_us);
+    let frame_latency =
+        time_to_decision_us(DeploymentStyle::Framed { window_us: 30_000.0 }, 50.0);
+    println!(
+        "time-to-decision: async GNN {:.2} us vs frame CNN {:.0} us ({:.0}x)",
+        gnn_latency,
+        frame_latency,
+        frame_latency / gnn_latency.max(1e-9)
+    );
+}

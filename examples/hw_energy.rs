@@ -1,0 +1,73 @@
+//! Price the same measured workloads on the accelerator families the paper
+//! reviews: digital and analog neuromorphic cores, systolic arrays,
+//! zero-skipping accelerators, and GNN accelerators.
+//!
+//! Run with: `cargo run --example hw_energy`
+
+use evlab::hw::energy::EnergyModel;
+use evlab::hw::gnn_accel::{GnnAccelerator, GnnDeployment};
+use evlab::hw::snn_core::{AnalogCore, NeuromorphicCore, UpdatePolicy};
+use evlab::hw::systolic::SystolicArray;
+use evlab::hw::zeroskip::ZeroSkipAccelerator;
+use evlab::tensor::OpCount;
+
+fn main() {
+    let energy = EnergyModel::nm45();
+    println!(
+        "energy constants (45 nm): add {} pJ, mult {} pJ (ratio {:.1}x), SRAM {} pJ, DRAM {} pJ\n",
+        energy.add_pj,
+        energy.mult_pj,
+        energy.mult_add_ratio(),
+        energy.sram_pj,
+        energy.dram_pj
+    );
+
+    // A typical SNN inference: sparse synaptic adds + clocked decay.
+    let mut snn_ops = OpCount::new();
+    snn_ops.record_add(80_000);
+    snn_ops.record_mult(32_000);
+    snn_ops.record_compare(32_000);
+    let digital = NeuromorphicCore::new(energy, UpdatePolicy::Clocked);
+    let analog = AnalogCore::new(energy);
+    let d = digital.price(&snn_ops, 2_000, 130_000);
+    let a = analog.price(&snn_ops, 2_000);
+    println!("SNN on digital neuromorphic core: {d}");
+    println!(
+        "  -> memory fraction {:.0}% (the [42] effect: adds-vs-mults is irrelevant)",
+        d.memory_fraction() * 100.0
+    );
+    println!("SNN on analog core:               {a}");
+    println!(
+        "  -> {:.0}x lower energy, mismatch sigma {:.0}%\n",
+        d.total_pj() / a.total_pj(),
+        analog.mismatch_sigma * 100.0
+    );
+
+    // A CNN inference: dense-equivalent MACs, half skippable.
+    let mut cnn_ops = OpCount::new();
+    cnn_ops.record_mac(2_000_000, 700_000);
+    let systolic = SystolicArray::new(energy);
+    let zeroskip = ZeroSkipAccelerator::new(energy);
+    let s = systolic.price(&cnn_ops, 120_000);
+    let z = zeroskip.price(&cnn_ops, 0.0, 2.5, 120_000);
+    let zs = zeroskip
+        .with_structured_sparsity()
+        .price(&cnn_ops, 0.0, 2.5, 120_000);
+    println!("CNN on systolic array:            {s}");
+    println!("CNN on zero-skip accelerator:     {z}");
+    println!("CNN on structured-sparse variant: {zs}\n");
+
+    // A GNN inference: message passing over a sliding-window graph.
+    let mut gnn_ops = OpCount::new();
+    gnn_ops.record_mac(400_000, 400_000);
+    let edge = GnnAccelerator::new(energy, GnnDeployment::Edge);
+    let dc = GnnAccelerator::new(energy, GnnDeployment::Datacenter);
+    let e = edge.price(&gnn_ops, 8_000, 16, 60_000);
+    let c = dc.price(&gnn_ops, 8_000, 16, 60_000);
+    println!("GNN on hypothetical edge accel:   {e}");
+    println!("GNN on datacenter accel:          {c}");
+    println!(
+        "  -> the 'hardware vacuum': DRAM gather costs {:.0}x the on-chip window",
+        c.memory_pj / e.memory_pj
+    );
+}

@@ -1,0 +1,26 @@
+//! Train all three paradigms on the same synthetic dataset and print the
+//! measured Table I.
+//!
+//! Run with: `cargo run --release --example train_compare`
+//! (debug mode works but trains slowly).
+
+use evlab::core::dichotomy::{ComparisonConfig, ComparisonRunner};
+use evlab::datasets::shapes::shape_silhouettes;
+use evlab::datasets::DatasetConfig;
+
+fn main() {
+    let config = DatasetConfig::new((32, 32)).with_split(8, 4);
+    println!("generating shape-silhouette dataset at 32x32 ...");
+    let data = shape_silhouettes(&config);
+    println!(
+        "  {} train / {} test samples, {:.0} events/sample mean",
+        data.train.len(),
+        data.test.len(),
+        data.mean_events_per_sample()
+    );
+
+    println!("training SNN, CNN and GNN pipelines ...");
+    let runner = ComparisonRunner::new(ComparisonConfig::fast());
+    let report = runner.run(&data, 7);
+    println!("\n{}", report.render());
+}

@@ -1,0 +1,45 @@
+//! # evlab — an event-camera processing laboratory
+//!
+//! `evlab` is a from-scratch Rust reproduction of the system landscape
+//! surveyed in *"The CNN vs. SNN Event-camera Dichotomy and Perspectives For
+//! Event-Graph Neural Networks"* (Dalgaty et al., DATE 2023). It provides an
+//! event-camera simulator, the three competing processing paradigms —
+//! dense-frame CNNs, spiking neural networks, and event-graph neural
+//! networks — implemented on a shared tensor substrate, and first-order
+//! hardware cost models of the accelerator families the paper reviews, so
+//! that the paper's qualitative comparison (its Table I) can be regenerated
+//! as measured quantities.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! * [`events`] — event types, streams, AER codec, filters ([`evlab_events`])
+//! * [`sensor`] — DVS pixel/camera simulator and the Fig. 1 sensor database
+//! * [`datasets`] — synthetic labelled event datasets
+//! * [`tensor`] — minimal dense/sparse tensor + NN substrate with op counting
+//! * [`cnn`], [`snn`], [`gnn`] — the three paradigms
+//! * [`hw`] — accelerator energy/latency models
+//! * [`core`] — the unified [`core::EventClassifier`] API and the
+//!   Table I comparison runner
+//!
+//! # Quickstart
+//!
+//! ```
+//! use evlab::sensor::{CameraConfig, EventCamera};
+//! use evlab::sensor::scene::MovingBar;
+//!
+//! let scene = MovingBar::horizontal(0.0002, 4.0);
+//! let camera = EventCamera::new(CameraConfig::new((32, 32)));
+//! let stream = camera.record(&scene, 0, 20_000, 42);
+//! assert!(!stream.is_empty());
+//! ```
+
+pub use evlab_core as core;
+pub use evlab_cnn as cnn;
+pub use evlab_datasets as datasets;
+pub use evlab_events as events;
+pub use evlab_gnn as gnn;
+pub use evlab_hw as hw;
+pub use evlab_sensor as sensor;
+pub use evlab_snn as snn;
+pub use evlab_tensor as tensor;
+pub use evlab_util as util;

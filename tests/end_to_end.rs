@@ -1,0 +1,100 @@
+//! End-to-end integration: sensor simulation → dataset generation → each
+//! paradigm trained and evaluated through the unified API.
+
+use evlab::core::cnn_pipeline::{CnnPipeline, CnnPipelineConfig};
+use evlab::core::gnn_pipeline::{GnnPipeline, GnnPipelineConfig};
+use evlab::core::pipeline::{test_accuracy, EventClassifier};
+use evlab::core::snn_pipeline::{SnnPipeline, SnnPipelineConfig};
+use evlab::datasets::shapes::shape_silhouettes;
+use evlab::datasets::DatasetConfig;
+use evlab::tensor::OpCount;
+
+fn data() -> evlab::datasets::Dataset {
+    shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(5, 2))
+}
+
+#[test]
+fn all_three_paradigms_beat_chance_through_the_unified_api() {
+    let data = data();
+    let chance = 1.0 / data.num_classes as f32;
+    let mut classifiers: Vec<Box<dyn EventClassifier>> = vec![
+        Box::new(CnnPipeline::new(CnnPipelineConfig::new().with_epochs(15), 5)),
+        Box::new(SnnPipeline::new(
+            SnnPipelineConfig {
+                hidden: vec![48],
+                epochs: 30,
+                ..SnnPipelineConfig::new()
+            },
+            5,
+        )),
+        Box::new(GnnPipeline::new(GnnPipelineConfig::new().with_epochs(20), 5)),
+    ];
+    for clf in classifiers.iter_mut() {
+        let report = clf.fit(&data);
+        assert!(
+            report.train_accuracy > chance,
+            "{} failed to learn: {}",
+            clf.name(),
+            report.train_accuracy
+        );
+        let mut ops = OpCount::new();
+        let acc = test_accuracy(clf.as_mut(), &data, &mut ops);
+        assert!(
+            acc > chance,
+            "{} test accuracy {acc} at or below chance",
+            clf.name()
+        );
+        assert!(ops.mem_accesses() > 0, "{} reported no memory traffic", clf.name());
+        assert!(clf.param_count() > 0);
+    }
+}
+
+#[test]
+fn paradigms_disagree_on_cost_not_on_interface() {
+    // The three paradigms expose identical interfaces but radically
+    // different cost profiles — the dichotomy in one assertion set.
+    let data = data();
+    let mut cnn = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(3), 1);
+    let mut snn = SnnPipeline::new(
+        SnnPipelineConfig {
+            epochs: 3,
+            ..SnnPipelineConfig::new()
+        },
+        1,
+    );
+    cnn.fit(&data);
+    snn.fit(&data);
+    let stream = &data.test[0].stream;
+    let mut cnn_ops = OpCount::new();
+    cnn.predict(stream, &mut cnn_ops);
+    let mut snn_ops = OpCount::new();
+    snn.predict(stream, &mut snn_ops);
+    assert!(cnn_ops.macs > 0, "CNN inference is MAC-based");
+    assert_eq!(snn_ops.macs, 0, "SNN inference has no MACs at all");
+    assert!(snn_ops.adds > 0, "SNN inference is addition-based");
+}
+
+#[test]
+fn camera_to_prediction_roundtrip() {
+    // Fresh events straight from the simulator (not from the dataset
+    // generator) must flow through a trained classifier.
+    use evlab::sensor::scene::MovingGlyph;
+    use evlab::sensor::{CameraConfig, EventCamera, PixelConfig};
+    let data = data();
+    let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(10), 3);
+    clf.fit(&data);
+    let camera = EventCamera::new(
+        CameraConfig::new((16, 16)).with_pixel(PixelConfig::ideal()),
+    );
+    let glyph = MovingGlyph::from_pattern(
+        &["#######", "#.....#", "#.....#", "#.....#", "#.....#", "#.....#", "#######"],
+        (2.0, 2.0),
+        (0.0002, 0.0),
+        1.5,
+    );
+    let stream = camera.record(&glyph, 0, 20_000, 8).rebased();
+    assert!(!stream.is_empty());
+    let mut ops = OpCount::new();
+    let prediction = clf.predict(&stream, &mut ops);
+    assert!(prediction < data.num_classes);
+}

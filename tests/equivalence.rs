@@ -1,0 +1,95 @@
+//! Cross-implementation equivalence on real simulated camera data: the
+//! different evaluation strategies of each paradigm must agree with their
+//! batch references.
+
+use evlab::events::EventStream;
+use evlab::gnn::async_update::AsyncGnn;
+use evlab::gnn::build::{incremental_build, kdtree_build, naive_build, GraphConfig};
+use evlab::gnn::network::{GnnConfig, GnnNetwork};
+use evlab::sensor::scene::RotatingDisk;
+use evlab::sensor::{CameraConfig, EventCamera, PixelConfig};
+use evlab::tensor::OpCount;
+use evlab::util::Rng64;
+
+fn camera_stream() -> EventStream {
+    let camera = EventCamera::new(
+        CameraConfig::new((24, 24)).with_pixel(PixelConfig::ideal()),
+    );
+    let scene = RotatingDisk::new((12.0, 12.0), 9.0, 3e-4, 3);
+    camera.record(&scene, 0, 15_000, 4)
+}
+
+#[test]
+fn graph_builders_agree_on_camera_data() {
+    let stream = camera_stream();
+    assert!(stream.len() > 100, "disk must generate events");
+    let events: Vec<_> = stream.as_slice().iter().copied().take(600).collect();
+    let config = GraphConfig::new();
+    let mut ops = OpCount::new();
+    let a = naive_build(&events, &config, &mut ops);
+    let b = kdtree_build(&events, &config, &mut ops);
+    let c = incremental_build(&events, &config, &mut ops);
+    for i in 0..events.len() {
+        assert_eq!(a.in_neighbors(i), b.in_neighbors(i), "node {i}");
+        assert_eq!(a.in_neighbors(i), c.in_neighbors(i), "node {i}");
+    }
+    a.assert_causal();
+}
+
+#[test]
+fn async_gnn_matches_batch_on_camera_data() {
+    let stream = camera_stream();
+    let events: Vec<_> = stream.as_slice().iter().copied().take(200).collect();
+    let config = GraphConfig::new();
+    let mut ops = OpCount::new();
+    let graph = incremental_build(&events, &config, &mut ops);
+    let mut batch_net = GnnNetwork::new(&GnnConfig::new(3), &mut Rng64::seed_from_u64(2));
+    let batch_logits = batch_net.forward(&graph, &mut ops);
+    let mut async_net = GnnNetwork::new(&GnnConfig::new(3), &mut Rng64::seed_from_u64(2));
+    let mut engine = AsyncGnn::new(&mut async_net, config, 3);
+    let mut last = evlab::tensor::Tensor::zeros(&[3]);
+    for e in &events {
+        last = engine.update(*e, &mut ops);
+    }
+    for (a, b) in batch_logits.as_slice().iter().zip(last.as_slice()) {
+        assert!((a - b).abs() < 1e-3, "batch {a} vs streaming {b}");
+    }
+}
+
+#[test]
+fn submanifold_incremental_matches_dense_on_camera_data() {
+    use evlab::cnn::submanifold::SubmanifoldNet;
+    let stream = camera_stream();
+    let mut rng = Rng64::seed_from_u64(3);
+    let mut net = SubmanifoldNet::new(&[4, 4], 3, (24, 24), &mut rng);
+    let mut ops = OpCount::new();
+    for e in stream.as_slice().iter().take(300) {
+        net.update(e, &mut ops);
+    }
+    let incremental = net.features().clone();
+    net.dense_refresh(&mut ops);
+    for (a, b) in incremental.as_slice().iter().zip(net.features().as_slice()) {
+        assert!((a - b).abs() < 1e-3, "incremental {a} vs dense {b}");
+    }
+}
+
+#[test]
+fn event_driven_snn_tracks_clocked_on_camera_spikes() {
+    use evlab::snn::encode::events_to_spikes;
+    use evlab::snn::event_driven::EventDrivenSnn;
+    use evlab::snn::network::{SnnConfig, SnnNetwork};
+    let stream = camera_stream();
+    let down = evlab::events::downsample::SpatialDownsampler::new(3, 1_000).apply(&stream);
+    let train = events_to_spikes(&down, 1_000, 15);
+    let mut rng = Rng64::seed_from_u64(5);
+    let mut net = SnnNetwork::new(SnnConfig::new(2 * 64, 3).with_hidden(vec![32]), &mut rng);
+    let mut ed = EventDrivenSnn::from_network(&net);
+    let mut ops = OpCount::new();
+    let clocked = net.forward(&train, &mut ops);
+    let event = ed.process(&train, &mut ops);
+    assert_eq!(
+        clocked.argmax(),
+        event.logits.argmax(),
+        "both schedulers must reach the same decision"
+    );
+}
