@@ -1,0 +1,318 @@
+//! Std-only throughput benchmark for the four parallelized hot paths:
+//! camera simulation, frame encoding, LIF stepping and graph
+//! construction.
+//!
+//! Sweeps `EVLAB_THREADS` ∈ {1, 2, 4, 8} (or {1, 2} with `--smoke`) via
+//! [`par::with_threads`], times each configuration with
+//! [`std::time::Instant`], fingerprints every output with FNV-1a, and
+//! writes `BENCH_hotpaths.json`. Exits non-zero if any thread count
+//! produces a different checksum than the serial run — the ordered-
+//! reduction determinism contract is part of what this binary verifies.
+//!
+//! Usage: `hotpaths [--smoke] [--out PATH]`
+
+use evlab_bench::{
+    checksum_events, checksum_f32s, checksum_graph, moving_cluster_stream, uniform_stream, Fnv1a,
+};
+use evlab_cnn::encode::{FrameEncoder, SignedCount, TimeSurface, VoxelGrid};
+use evlab_gnn::build::{incremental_build, kdtree_build, GraphConfig};
+use evlab_sensor::scene::MovingBar;
+use evlab_sensor::{CameraConfig, EventCamera};
+use evlab_snn::encode::SpikeTrain;
+use evlab_snn::event_driven::EventDrivenSnn;
+use evlab_snn::layer::LifLayer;
+use evlab_snn::network::{SnnConfig, SnnNetwork};
+use evlab_snn::neuron::LifConfig;
+use evlab_tensor::OpCount;
+use evlab_util::json::Json;
+use evlab_util::{par, Rng64};
+use std::time::Instant;
+
+/// Workload scale knobs, reduced by `--smoke`.
+struct Scale {
+    camera_res: u16,
+    camera_span_us: u64,
+    encode_events: usize,
+    snn_out: usize,
+    snn_steps: usize,
+    ed_hidden: usize,
+    ed_steps: usize,
+    graph_events: usize,
+    kdtree_events: usize,
+    threads: Vec<usize>,
+    reps: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Scale {
+            camera_res: 96,
+            camera_span_us: 100_000,
+            encode_events: 400_000,
+            snn_out: 4096,
+            snn_steps: 30,
+            ed_hidden: 2048,
+            ed_steps: 40,
+            graph_events: 60_000,
+            kdtree_events: 20_000,
+            threads: vec![1, 2, 4, 8],
+            reps: 2,
+        }
+    }
+
+    fn smoke() -> Self {
+        Scale {
+            camera_res: 32,
+            camera_span_us: 30_000,
+            encode_events: 60_000,
+            snn_out: 1024,
+            snn_steps: 6,
+            ed_hidden: 512,
+            ed_steps: 10,
+            graph_events: 10_000,
+            kdtree_events: 4_000,
+            threads: vec![1, 2],
+            reps: 1,
+        }
+    }
+}
+
+/// One timed configuration of a workload.
+struct Sample {
+    threads: usize,
+    secs: f64,
+    checksum: u64,
+    /// Work items processed per run (events, synaptic updates, ...).
+    items: u64,
+}
+
+/// Runs `work` `reps` times under a forced thread count and keeps the
+/// fastest run. The checksum must not vary between reps.
+fn time_workload(
+    threads: usize,
+    reps: usize,
+    work: &dyn Fn() -> (u64, u64),
+) -> Sample {
+    let mut best_secs = f64::INFINITY;
+    let mut checksum = 0u64;
+    let mut items = 0u64;
+    for rep in 0..reps.max(1) {
+        let start = Instant::now();
+        let (sum, n) = par::with_threads(threads, work);
+        let secs = start.elapsed().as_secs_f64();
+        if rep == 0 {
+            checksum = sum;
+            items = n;
+        } else {
+            assert_eq!(sum, checksum, "checksum varies between repetitions");
+        }
+        best_secs = best_secs.min(secs);
+    }
+    Sample {
+        threads,
+        secs: best_secs,
+        checksum,
+        items,
+    }
+}
+
+fn camera_workload(scale: &Scale) -> (u64, u64) {
+    let cfg = CameraConfig::new((scale.camera_res, scale.camera_res));
+    let camera = EventCamera::new(cfg);
+    let scene = MovingBar::horizontal(0.002, 4.0);
+    let stream = camera.record(&scene, 0, scale.camera_span_us, 11);
+    let n = stream.len() as u64;
+    (checksum_events(&stream), n)
+}
+
+fn encode_workload(scale: &Scale) -> (u64, u64) {
+    let stream = uniform_stream(scale.encode_events, 128, 100_000, 22);
+    let events = stream.as_slice();
+    let mut ops = OpCount::new();
+    let mut h = Fnv1a::new();
+    let encoders: Vec<Box<dyn FrameEncoder>> = vec![
+        Box::new(SignedCount::new()),
+        Box::new(VoxelGrid::new(8)),
+        Box::new(TimeSurface::new(10_000.0)),
+    ];
+    let n = encoders.len() as u64 * events.len() as u64;
+    for enc in encoders {
+        let frame = enc.encode(events, stream.resolution(), &mut ops);
+        h.write_u64(checksum_f32s(frame.as_slice()));
+    }
+    (h.finish(), n)
+}
+
+fn snn_workload(scale: &Scale) -> (u64, u64) {
+    let mut h = Fnv1a::new();
+    let mut items = 0u64;
+    // Clocked dense LIF stepping: a wide layer under ~5 % input activity.
+    let in_size = 1024;
+    let mut rng = Rng64::seed_from_u64(5);
+    let mut layer = LifLayer::new(in_size, scale.snn_out, LifConfig::new(), &mut rng);
+    let mut ops = OpCount::new();
+    for _ in 0..scale.snn_steps {
+        let input: Vec<f32> = (0..in_size)
+            .map(|_| if rng.bernoulli(0.05) { 1.0 } else { 0.0 })
+            .collect();
+        let active = input.iter().filter(|&&s| s != 0.0).count() as u64;
+        let out = layer.step(&input, &mut ops);
+        h.write_u64(checksum_f32s(&out.spikes));
+        items += (active + 1) * scale.snn_out as u64;
+        if let Some(&last) = out.membrane.last() {
+            h.write_f32(last);
+        }
+    }
+    // Event-driven injections through a hidden layer wide enough to chunk.
+    let mut net = SnnNetwork::new(
+        SnnConfig::new(64, 10).with_hidden(vec![scale.ed_hidden]),
+        &mut rng,
+    );
+    let mut train = SpikeTrain::new(64, scale.ed_steps);
+    for t in 0..scale.ed_steps {
+        for _ in 0..8 {
+            train.push(t, rng.next_index(64) as u32);
+        }
+        items += 8 * scale.ed_hidden as u64;
+    }
+    let mut ed = EventDrivenSnn::from_network(&net);
+    let mut ed_ops = OpCount::new();
+    let result = ed.process(&train, &mut ed_ops);
+    h.write_u64(checksum_f32s(result.logits.as_slice()));
+    // Keep the clocked reference in the fingerprint too.
+    let logits = net.forward(&train, &mut ed_ops);
+    h.write_u64(checksum_f32s(logits.as_slice()));
+    (h.finish(), items)
+}
+
+fn graph_workload(scale: &Scale) -> (u64, u64) {
+    let mut h = Fnv1a::new();
+    let config = GraphConfig::new();
+    let clustered = moving_cluster_stream(scale.graph_events, 128, 500_000, 33);
+    let mut ops = OpCount::new();
+    let incr = incremental_build(clustered.as_slice(), &config, &mut ops);
+    h.write_u64(checksum_graph(&incr));
+    let uniform = uniform_stream(scale.kdtree_events, 128, 200_000, 34);
+    let tree = kdtree_build(uniform.as_slice(), &config, &mut ops);
+    h.write_u64(checksum_graph(&tree));
+    (h.finish(), (scale.graph_events + scale.kdtree_events) as u64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+
+    let workloads: Vec<(&str, &str, Box<dyn Fn() -> (u64, u64)>)> = vec![
+        (
+            "camera",
+            "events/s",
+            Box::new({
+                let s = if smoke { Scale::smoke() } else { Scale::full() };
+                move || camera_workload(&s)
+            }),
+        ),
+        (
+            "encode",
+            "events/s",
+            Box::new({
+                let s = if smoke { Scale::smoke() } else { Scale::full() };
+                move || encode_workload(&s)
+            }),
+        ),
+        (
+            "snn",
+            "synaptic-updates/s",
+            Box::new({
+                let s = if smoke { Scale::smoke() } else { Scale::full() };
+                move || snn_workload(&s)
+            }),
+        ),
+        (
+            "graph",
+            "events/s",
+            Box::new({
+                let s = if smoke { Scale::smoke() } else { Scale::full() };
+                move || graph_workload(&s)
+            }),
+        ),
+    ];
+
+    let mut mismatches = 0usize;
+    let mut workload_json = Vec::new();
+    for (name, unit, work) in &workloads {
+        eprintln!("[hotpaths] {name} ...");
+        let samples: Vec<Sample> = scale
+            .threads
+            .iter()
+            .map(|&t| time_workload(t, scale.reps, work.as_ref()))
+            .collect();
+        let serial = &samples[0];
+        for s in &samples[1..] {
+            if s.checksum != serial.checksum {
+                eprintln!(
+                    "[hotpaths] CHECKSUM MISMATCH in `{name}`: threads={} gives \
+                     {:#018x}, serial gives {:#018x}",
+                    s.threads, s.checksum, serial.checksum
+                );
+                mismatches += 1;
+            }
+        }
+        let results = samples.iter().map(|s| {
+            Json::obj([
+                ("threads", Json::from(s.threads)),
+                ("secs", Json::from(s.secs)),
+                ("throughput", Json::from(s.items as f64 / s.secs.max(1e-12))),
+                ("speedup_vs_serial", Json::from(serial.secs / s.secs.max(1e-12))),
+            ])
+        });
+        workload_json.push(Json::obj([
+            ("name", Json::str(*name)),
+            ("unit", Json::str(*unit)),
+            ("items_per_run", Json::from(serial.items)),
+            ("checksum", Json::str(format!("{:#018x}", serial.checksum))),
+            (
+                "checksums_match_serial",
+                Json::from(samples[1..].iter().all(|s| s.checksum == serial.checksum)),
+            ),
+            ("results", Json::arr(results)),
+        ]));
+        for s in &samples {
+            eprintln!(
+                "[hotpaths]   threads={} {:.3}s ({:.2}x)",
+                s.threads,
+                s.secs,
+                serial.secs / s.secs.max(1e-12)
+            );
+        }
+    }
+
+    let report = Json::obj([
+        (
+            "available_parallelism",
+            Json::from(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+        ),
+        ("smoke", Json::from(smoke)),
+        (
+            "threads_swept",
+            Json::arr(scale.threads.iter().map(|&t| Json::from(t))),
+        ),
+        ("workloads", Json::arr(workload_json)),
+    ]);
+    std::fs::write(&out_path, report.to_string_pretty() + "\n").expect("write report");
+    eprintln!("[hotpaths] wrote {out_path}");
+    if mismatches > 0 {
+        eprintln!("[hotpaths] FAILED: {mismatches} checksum mismatch(es)");
+        std::process::exit(1);
+    }
+}

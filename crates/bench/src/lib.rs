@@ -76,9 +76,97 @@ pub fn sparse_map(len: usize, zero_fraction: f64, seed: u64) -> Vec<f32> {
         .collect()
 }
 
+/// Incremental FNV-1a (64-bit) hasher used to fingerprint hot-path
+/// outputs: the `hotpaths` binary requires the fingerprint to be
+/// bit-identical across every thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Creates a hasher with the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f32` by its exact bit pattern.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Fingerprints an event stream (timestamps, coordinates, polarities, in
+/// order).
+pub fn checksum_events(stream: &EventStream) -> u64 {
+    let mut h = Fnv1a::new();
+    for e in stream.iter() {
+        h.write_u64(e.t.as_micros());
+        h.write(&e.x.to_le_bytes());
+        h.write(&e.y.to_le_bytes());
+        h.write(&[e.polarity.bit() as u8]);
+    }
+    h.finish()
+}
+
+/// Fingerprints a float slice by exact bit patterns.
+pub fn checksum_f32s(values: &[f32]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in values {
+        h.write_f32(v);
+    }
+    h.finish()
+}
+
+/// Fingerprints a graph's adjacency structure (node count plus every
+/// in-neighbour list, in node order).
+pub fn checksum_graph(graph: &evlab_gnn::graph::EventGraph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(graph.node_count() as u64);
+    for i in 0..graph.node_count() {
+        for &j in graph.in_neighbors(i) {
+            h.write_u64(j as u64);
+        }
+        h.write_u64(u64::MAX); // list separator
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv_distinguishes_inputs_and_is_stable() {
+        let a = checksum_f32s(&[1.0, 2.0, 3.0]);
+        let b = checksum_f32s(&[1.0, 2.0, 3.5]);
+        assert_ne!(a, b);
+        assert_eq!(a, checksum_f32s(&[1.0, 2.0, 3.0]));
+        // -0.0 and 0.0 hash differently: bit-exactness, not equality.
+        assert_ne!(checksum_f32s(&[0.0]), checksum_f32s(&[-0.0]));
+    }
 
     #[test]
     fn uniform_stream_is_valid() {

@@ -6,8 +6,62 @@
 //! pay this cost every frame period, while SNNs and GNNs consume events
 //! directly.
 
+//! # Parallelism
+//!
+//! The per-event accumulation passes of the histogram, voxel-grid and
+//! time-surface encoders run on the [`evlab_util::par`] worker pool: the
+//! event slice is cut into contiguous chunks (a pure function of its
+//! length), each chunk fills a private accumulator, and the partials are
+//! reduced into the output frame in chunk-index order. Because neither the
+//! chunk boundaries nor the reduction order depend on the thread count, the
+//! encoded frame is bit-identical for every `EVLAB_THREADS` setting. Small
+//! inputs (under [`MIN_EVENTS_PER_CHUNK`] events per chunk) keep the
+//! original single-pass loop. HATS is inherently sequential (each event
+//! reads the surface state its predecessors wrote) and stays serial.
+
 use evlab_events::Event;
 use evlab_tensor::{OpCount, Tensor};
+use evlab_util::par;
+use std::ops::Range;
+
+/// Minimum events per chunk before the encoders fan out; below
+/// `2 x` this the single-pass loop wins.
+pub const MIN_EVENTS_PER_CHUNK: usize = 8192;
+/// Upper bound on encoder chunks, fixed so the chunk structure (and thus
+/// the floating-point reduction tree) never depends on the machine.
+pub const MAX_CHUNKS: usize = 16;
+
+/// Chunk layout for an event slice: depends only on its length.
+fn event_chunks(events: &[Event]) -> Vec<Range<usize>> {
+    par::chunk_ranges(
+        events.len(),
+        par::chunk_count(events.len(), MIN_EVENTS_PER_CHUNK, MAX_CHUNKS),
+    )
+}
+
+/// Adds each partial accumulator into `data`, in chunk-index order.
+fn reduce_add(data: &mut [f32], partials: Vec<Vec<f32>>) {
+    for part in &partials {
+        for (d, p) in data.iter_mut().zip(part) {
+            *d += *p;
+        }
+    }
+}
+
+/// Merges per-chunk "last event time per cell" maps: later chunks hold
+/// later events, so their entries overwrite in chunk-index order.
+fn reduce_last(partials: Vec<Vec<Option<u64>>>) -> Vec<Option<u64>> {
+    let mut iter = partials.into_iter();
+    let mut last = iter.next().expect("at least one chunk");
+    for part in iter {
+        for (l, p) in last.iter_mut().zip(part) {
+            if p.is_some() {
+                *l = p;
+            }
+        }
+    }
+    last
+}
 
 /// Converts a slice of events into a dense frame tensor.
 pub trait FrameEncoder {
@@ -49,8 +103,20 @@ impl FrameEncoder for SignedCount {
         let (w, h) = (resolution.0 as usize, resolution.1 as usize);
         let mut frame = Tensor::zeros(&[1, h, w]);
         let data = frame.as_mut_slice();
-        for e in events {
-            data[e.y as usize * w + e.x as usize] += e.polarity.as_sign();
+        let chunks = event_chunks(events);
+        if chunks.len() == 1 {
+            for e in events {
+                data[e.y as usize * w + e.x as usize] += e.polarity.as_sign();
+            }
+        } else {
+            let partials = par::map_chunks(chunks.len(), |c| {
+                let mut part = vec![0.0f32; h * w];
+                for e in &events[chunks[c].clone()] {
+                    part[e.y as usize * w + e.x as usize] += e.polarity.as_sign();
+                }
+                part
+            });
+            reduce_add(data, partials);
         }
         ops.record_add(events.len() as u64);
         frame
@@ -82,9 +148,22 @@ impl FrameEncoder for TwoChannel {
         let (w, h) = (resolution.0 as usize, resolution.1 as usize);
         let mut frame = Tensor::zeros(&[2, h, w]);
         let data = frame.as_mut_slice();
-        for e in events {
-            let c = e.polarity.channel();
-            data[(c * h + e.y as usize) * w + e.x as usize] += 1.0;
+        let chunks = event_chunks(events);
+        if chunks.len() == 1 {
+            for e in events {
+                let c = e.polarity.channel();
+                data[(c * h + e.y as usize) * w + e.x as usize] += 1.0;
+            }
+        } else {
+            let partials = par::map_chunks(chunks.len(), |ci| {
+                let mut part = vec![0.0f32; 2 * h * w];
+                for e in &events[chunks[ci].clone()] {
+                    let c = e.polarity.channel();
+                    part[(c * h + e.y as usize) * w + e.x as usize] += 1.0;
+                }
+                part
+            });
+            reduce_add(data, partials);
         }
         ops.record_add(events.len() as u64);
         frame
@@ -123,12 +202,28 @@ impl FrameEncoder for TimeSurface {
     fn encode(&self, events: &[Event], resolution: (u16, u16), ops: &mut OpCount) -> Tensor {
         let (w, h) = (resolution.0 as usize, resolution.1 as usize);
         let t_end = events.last().map(|e| e.t.as_micros()).unwrap_or(0);
-        // Last event time per pixel per polarity.
-        let mut last: Vec<Option<u64>> = vec![None; 2 * w * h];
-        for e in events {
-            let c = e.polarity.channel();
-            last[(c * h + e.y as usize) * w + e.x as usize] = Some(e.t.as_micros());
-        }
+        // Last event time per pixel per polarity. Last-write-wins is
+        // order-dependent only within a pixel, and chunks are in time
+        // order, so the chunked merge is exact.
+        let chunks = event_chunks(events);
+        let last: Vec<Option<u64>> = if chunks.len() == 1 {
+            let mut last = vec![None; 2 * w * h];
+            for e in events {
+                let c = e.polarity.channel();
+                last[(c * h + e.y as usize) * w + e.x as usize] = Some(e.t.as_micros());
+            }
+            last
+        } else {
+            reduce_last(par::map_chunks(chunks.len(), |ci| {
+                let mut part = vec![None; 2 * w * h];
+                for e in &events[chunks[ci].clone()] {
+                    let c = e.polarity.channel();
+                    part[(c * h + e.y as usize) * w + e.x as usize] =
+                        Some(e.t.as_micros());
+                }
+                part
+            }))
+        };
         ops.record_write(events.len() as u64);
         let mut frame = Tensor::zeros(&[2, h, w]);
         let data = frame.as_mut_slice();
@@ -180,10 +275,34 @@ impl FrameEncoder for LinearTimeSurface {
         let t_end = events.last().map(|e| e.t.as_micros()).unwrap_or(0);
         let mut frame = Tensor::zeros(&[2, h, w]);
         let data = frame.as_mut_slice();
-        for e in events {
-            let c = e.polarity.channel();
-            let age = t_end.saturating_sub(e.t.as_micros()) as f64 / self.window_us as f64;
-            data[(c * h + e.y as usize) * w + e.x as usize] = (1.0 - age).max(0.0) as f32;
+        let surface = |t_us: u64| {
+            let age = t_end.saturating_sub(t_us) as f64 / self.window_us as f64;
+            (1.0 - age).max(0.0) as f32
+        };
+        let chunks = event_chunks(events);
+        if chunks.len() == 1 {
+            for e in events {
+                let c = e.polarity.channel();
+                data[(c * h + e.y as usize) * w + e.x as usize] =
+                    surface(e.t.as_micros());
+            }
+        } else {
+            // Only the last event per cell determines its value, so track
+            // timestamps per chunk and evaluate the surface once per cell.
+            let last = reduce_last(par::map_chunks(chunks.len(), |ci| {
+                let mut part = vec![None; 2 * w * h];
+                for e in &events[chunks[ci].clone()] {
+                    let c = e.polarity.channel();
+                    part[(c * h + e.y as usize) * w + e.x as usize] =
+                        Some(e.t.as_micros());
+                }
+                part
+            }));
+            for (d, t) in data.iter_mut().zip(&last) {
+                if let Some(t_us) = t {
+                    *d = surface(*t_us);
+                }
+            }
         }
         ops.record_mult(events.len() as u64);
         ops.record_write(events.len() as u64);
@@ -231,16 +350,32 @@ impl FrameEncoder for VoxelGrid {
         let t1 = events.last().expect("non-empty").t.as_micros() as f64;
         let span = (t1 - t0).max(1.0);
         let data = frame.as_mut_slice();
-        for e in events {
-            let pos = (e.t.as_micros() as f64 - t0) / span * (self.bins - 1) as f64;
+        let bins = self.bins;
+        let accumulate = |data: &mut [f32], e: &Event| {
+            let pos = (e.t.as_micros() as f64 - t0) / span * (bins - 1) as f64;
             let b0 = pos.floor() as usize;
             let frac = (pos - b0 as f64) as f32;
             let sign = e.polarity.as_sign();
             let idx = e.y as usize * w + e.x as usize;
             data[b0 * h * w + idx] += sign * (1.0 - frac);
-            if b0 + 1 < self.bins {
+            if b0 + 1 < bins {
                 data[(b0 + 1) * h * w + idx] += sign * frac;
             }
+        };
+        let chunks = event_chunks(events);
+        if chunks.len() == 1 {
+            for e in events {
+                accumulate(data, e);
+            }
+        } else {
+            let partials = par::map_chunks(chunks.len(), |ci| {
+                let mut part = vec![0.0f32; bins * h * w];
+                for e in &events[chunks[ci].clone()] {
+                    accumulate(&mut part, e);
+                }
+                part
+            });
+            reduce_add(data, partials);
         }
         // Two weighted accumulations (mult + add) per event.
         ops.record_mult(2 * events.len() as u64);
@@ -282,12 +417,38 @@ impl FrameEncoder for CountAndSurface {
         let t1 = events.last().expect("non-empty").t.as_micros() as f64;
         let span = (t1 - t0).max(1.0);
         let data = frame.as_mut_slice();
-        for e in events {
-            let c = e.polarity.channel();
-            let idx = e.y as usize * w + e.x as usize;
-            data[c * h * w + idx] += 1.0;
-            data[(2 + c) * h * w + idx] =
-                ((e.t.as_micros() as f64 - t0) / span) as f32;
+        let stamp = |t_us: u64| ((t_us as f64 - t0) / span) as f32;
+        let chunks = event_chunks(events);
+        if chunks.len() == 1 {
+            for e in events {
+                let c = e.polarity.channel();
+                let idx = e.y as usize * w + e.x as usize;
+                data[c * h * w + idx] += 1.0;
+                data[(2 + c) * h * w + idx] = stamp(e.t.as_micros());
+            }
+        } else {
+            // Counts are additive (ordered reduction); timestamps are
+            // last-write-wins (chunk-order overwrite merge).
+            let partials = par::map_chunks(chunks.len(), |ci| {
+                let mut counts = vec![0.0f32; 2 * h * w];
+                let mut last = vec![None; 2 * h * w];
+                for e in &events[chunks[ci].clone()] {
+                    let c = e.polarity.channel();
+                    let idx = e.y as usize * w + e.x as usize;
+                    counts[c * h * w + idx] += 1.0;
+                    last[c * h * w + idx] = Some(e.t.as_micros());
+                }
+                (counts, last)
+            });
+            let (count_parts, last_parts): (Vec<_>, Vec<_>) =
+                partials.into_iter().unzip();
+            reduce_add(&mut data[..2 * h * w], count_parts);
+            let last = reduce_last(last_parts);
+            for (d, t) in data[2 * h * w..].iter_mut().zip(&last) {
+                if let Some(t_us) = t {
+                    *d = stamp(*t_us);
+                }
+            }
         }
         ops.record_add(events.len() as u64);
         ops.record_mult(events.len() as u64);
@@ -306,6 +467,10 @@ impl FrameEncoder for CountAndSurface {
 /// region averages the surfaces of its events. The output tensor has one
 /// channel per patch coordinate and polarity over the coarse cell grid —
 /// a compact, noise-robust descriptor.
+///
+/// HATS is causal: every event reads the surface state written by all
+/// earlier events, so the encoder runs serially regardless of
+/// `EVLAB_THREADS`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hats {
     /// Cell size in pixels.

@@ -10,11 +10,11 @@ use crate::table::{grade_row, Row, PAPER_GRADES};
 use evlab_datasets::Dataset;
 use evlab_events::{Event, EventStream};
 use evlab_tensor::OpCount;
+use evlab_util::json::Json;
 use evlab_util::Rng64;
-use serde::Serialize;
 
 /// Everything measured about one paradigm on one dataset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ParadigmMeasurement {
     /// Paradigm name.
     pub name: String,
@@ -100,7 +100,7 @@ impl Default for ComparisonConfig {
 
 /// The full dichotomy report: per-paradigm measurements plus the graded
 /// Table I rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DichotomyReport {
     /// Dataset the comparison ran on.
     pub dataset: String,
@@ -117,14 +117,51 @@ impl DichotomyReport {
     }
 
     /// Serializes the report to pretty JSON (for archiving measured
-    /// results alongside EXPERIMENTS.md).
-    ///
-    /// # Panics
-    ///
-    /// Never panics for reports produced by [`ComparisonRunner::run`]
-    /// (all fields are serializable).
+    /// results alongside EXPERIMENTS.md). Uses the workspace's own
+    /// [`evlab_util::json`] writer so the build stays free of external
+    /// serialization crates.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report is serializable")
+        let paradigms = self.paradigms.iter().map(|m| {
+            Json::obj([
+                ("name", Json::str(m.name.clone())),
+                ("test_accuracy", Json::from(m.test_accuracy)),
+                ("scrambled_accuracy", Json::from(m.scrambled_accuracy)),
+                ("params", Json::from(m.params)),
+                ("state_words", Json::from(m.state_words)),
+                ("prep_ops", Json::from(m.prep_ops)),
+                ("effective_ops", Json::from(m.effective_ops)),
+                ("nominal_ops", Json::from(m.nominal_ops)),
+                ("computation_sparsity", Json::from(m.computation_sparsity)),
+                ("fixed_cost_fraction", Json::from(m.fixed_cost_fraction)),
+                ("mem_bytes", Json::from(m.mem_bytes)),
+                ("energy_uj", Json::from(m.energy_uj)),
+                ("latency_us", Json::from(m.latency_us)),
+                ("footprint_bytes", Json::from(m.footprint_bytes)),
+                ("accuracy_per_kparam", Json::from(m.accuracy_per_kparam)),
+            ])
+        });
+        let rows = self.rows.iter().map(|r| {
+            Json::obj([
+                ("label", Json::str(r.label.clone())),
+                ("values", Json::arr(r.values.iter().map(|&v| Json::from(v)))),
+                ("lower_is_better", Json::from(r.lower_is_better)),
+                ("unit", Json::str(r.unit.clone())),
+                (
+                    "grades",
+                    Json::arr(r.grades.iter().map(|g| Json::str(g.clone()))),
+                ),
+                (
+                    "paper",
+                    Json::arr(r.paper.iter().map(|g| Json::str(g.clone()))),
+                ),
+            ])
+        });
+        Json::obj([
+            ("dataset", Json::str(self.dataset.clone())),
+            ("paradigms", Json::arr(paradigms)),
+            ("rows", Json::arr(rows)),
+        ])
+        .to_string_pretty()
     }
 }
 
@@ -558,8 +595,11 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"dataset\""));
         assert!(json.contains("\"paradigms\""));
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
-        assert_eq!(parsed["rows"].as_array().expect("rows").len(), 12);
+        let parsed = Json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_array).expect("rows").len(),
+            12
+        );
     }
 
     #[test]

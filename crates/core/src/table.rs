@@ -1,6 +1,5 @@
 //! Rendering the measured Table I.
 
-use serde::Serialize;
 
 /// The paper's published qualitative grades, `[SNN, CNN, GNN]` per row, in
 /// the row order of Table I.
@@ -20,7 +19,7 @@ pub const PAPER_GRADES: [[&str; 3]; 12] = [
 ];
 
 /// One measured row of the comparison table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (matching the paper's).
     pub label: String,

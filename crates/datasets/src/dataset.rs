@@ -1,10 +1,9 @@
 //! Dataset container types.
 
 use evlab_events::EventStream;
-use serde::{Deserialize, Serialize};
 
 /// One labelled event recording.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventSample {
     /// The recorded event stream, rebased to start at t = 0.
     pub stream: EventStream,
@@ -13,7 +12,7 @@ pub struct EventSample {
 }
 
 /// A labelled dataset with train/test splits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Dataset name.
     pub name: String,
@@ -73,7 +72,7 @@ impl Dataset {
 }
 
 /// Generator configuration shared by all dataset families.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DatasetConfig {
     /// Sensor resolution.
     pub resolution: (u16, u16),
@@ -195,10 +194,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_is_deep_and_equal() {
         let d = tiny_dataset();
-        let json = serde_json::to_string(&d).expect("serialize");
-        let back: Dataset = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(d, back);
+        let copy = d.clone();
+        assert_eq!(d, copy);
     }
 }

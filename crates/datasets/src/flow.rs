@@ -11,10 +11,9 @@ use evlab_events::EventStream;
 use evlab_sensor::scene::EgomotionPan;
 use evlab_sensor::{CameraConfig, EventCamera, PixelConfig};
 use evlab_util::Rng64;
-use serde::{Deserialize, Serialize};
 
 /// One labelled flow recording.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSample {
     /// The event stream (rebased to t = 0).
     pub stream: EventStream,
@@ -23,7 +22,7 @@ pub struct FlowSample {
 }
 
 /// A flow-regression dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowDataset {
     /// Sensor resolution.
     pub resolution: (u16, u16),

@@ -1,6 +1,5 @@
 //! The atomic event type produced by an event camera.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Microsecond-resolution timestamp.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert!((t.as_secs_f64() - 0.0015).abs() < 1e-12);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Timestamp(u64);
 
@@ -87,7 +86,7 @@ impl From<u64> for Timestamp {
 /// assert_eq!(Polarity::Off.as_sign(), -1.0);
 /// assert_eq!(Polarity::On.flip(), Polarity::Off);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
     /// Luminance increased past the ON contrast threshold.
     On,
@@ -162,7 +161,7 @@ impl fmt::Display for Polarity {
 /// assert_eq!(e.x, 12);
 /// assert_eq!(e.t.as_micros(), 1_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Event {
     /// Timestamp of the contrast change.
     pub t: Timestamp,
@@ -259,10 +258,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let e = Event::new(99, 4, 5, Polarity::On);
-        let json = serde_json::to_string(&e).expect("serialize");
-        let back: Event = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(e, back);
+    fn ordering_is_by_time_first() {
+        let early = Event::new(10, 9, 9, Polarity::On);
+        let late = Event::new(20, 0, 0, Polarity::Off);
+        assert!(early.t < late.t);
+        let mut v = vec![late, early];
+        v.sort_by_key(|e| e.t);
+        assert_eq!(v, vec![early, late]);
     }
 }

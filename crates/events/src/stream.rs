@@ -1,7 +1,6 @@
 //! Time-sorted event streams.
 
 use crate::event::{Event, Polarity, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -65,7 +64,7 @@ impl Error for EventOrderError {}
 /// assert_eq!(window.len(), 2);
 /// # Ok::<(), evlab_events::EventOrderError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventStream {
     width: u16,
     height: u16,

@@ -12,11 +12,27 @@
 //!   "hemispherical update": only *past* events within the horizon are
 //!   candidates).
 
+//! # Parallelism
+//!
+//! [`kdtree_build`] fans its per-event radius queries out over event
+//! chunks (queries are read-only and independent), and
+//! [`incremental_build`] switches to a *striped* spatial decomposition
+//! for large exact builds: workers own contiguous bands of cell columns
+//! and see one halo column on each side, so every cross-boundary edge is
+//! resolved locally and the output graph is identical to the serial
+//! stream — see [`striped_incremental_build`] for the argument.
+
 use crate::graph::EventGraph;
 use crate::kdtree::KdTree3;
 use evlab_events::Event;
 use evlab_tensor::OpCount;
+use evlab_util::par;
 use std::collections::HashMap;
+
+/// Minimum events per chunk for the kd-tree query fan-out.
+const MIN_QUERIES_PER_CHUNK: usize = 512;
+/// Minimum stream length before the incremental builder stripes.
+const MIN_STRIPED_EVENTS: usize = 4096;
 
 /// Shared construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,20 +161,41 @@ pub fn kdtree_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -
     // Building the tree costs ~N log N comparisons.
     let n = events.len().max(2) as u64;
     ops.record_compare(n * (64 - n.leading_zeros() as u64));
+    // Queries are read-only and per-event independent: fan out over event
+    // chunks; each chunk's neighbour lists come back in event order and
+    // the visit counts are integer sums, so the result is exact for any
+    // thread count.
+    let chunks = par::chunk_ranges(
+        events.len(),
+        par::chunk_count(events.len(), MIN_QUERIES_PER_CHUNK, par::threads()),
+    );
+    let results = par::map_chunks(chunks.len(), |c| {
+        let mut neighbors = Vec::with_capacity(chunks[c].len());
+        let mut visited_total = 0u64;
+        for i in chunks[c].clone() {
+            let e = &events[i];
+            let (found, visited) = tree.within_radius(&points[i], config.radius);
+            visited_total += visited as u64;
+            let candidates: Vec<(u32, f64)> = found
+                .into_iter()
+                .filter(|&j| {
+                    (j as usize) < i
+                        && e.t.saturating_since(events[j as usize].t) <= config.horizon_us
+                })
+                .map(|j| (j, dist_sq(&points[j as usize], &points[i])))
+                .collect();
+            neighbors.push(select_neighbors(candidates, config.max_degree));
+        }
+        (neighbors, visited_total)
+    });
     let mut graph = EventGraph::new(config.beta);
-    for (i, e) in events.iter().enumerate() {
-        let (found, visited) = tree.within_radius(&points[i], config.radius);
-        ops.record_mult(4 * visited as u64);
-        ops.record_compare(2 * visited as u64);
-        let candidates: Vec<(u32, f64)> = found
-            .into_iter()
-            .filter(|&j| {
-                (j as usize) < i
-                    && e.t.saturating_since(events[j as usize].t) <= config.horizon_us
-            })
-            .map(|j| (j, dist_sq(&points[j as usize], &points[i])))
-            .collect();
-        graph.push_node(*e, select_neighbors(candidates, config.max_degree));
+    let mut next_event = events.iter();
+    for (neighbors, visited) in results {
+        ops.record_mult(4 * visited);
+        ops.record_compare(2 * visited);
+        for ns in neighbors {
+            graph.push_node(*next_event.next().expect("one list per event"), ns);
+        }
     }
     graph
 }
@@ -254,16 +291,138 @@ impl IncrementalGraphBuilder {
 
 /// Builds the graph by streaming all events through an
 /// [`IncrementalGraphBuilder`].
+///
+/// Large *exact* builds (`cell_capacity == usize::MAX`) use
+/// [`striped_incremental_build`], which produces the identical graph from
+/// spatially partitioned workers. Capped configurations always stream
+/// serially: finite-capacity eviction depends on the prune-on-contact
+/// history, which a spatial decomposition cannot reproduce.
 pub fn incremental_build(
     events: &[Event],
     config: &GraphConfig,
     ops: &mut OpCount,
 ) -> EventGraph {
+    if par::threads() > 1
+        && events.len() >= MIN_STRIPED_EVENTS
+        && config.cell_capacity == usize::MAX
+    {
+        return striped_incremental_build(events, config, ops);
+    }
     let mut builder = IncrementalGraphBuilder::new(*config);
     for e in events {
         builder.insert(*e, ops);
     }
     builder.into_graph()
+}
+
+/// Spatially partitioned incremental build.
+///
+/// The x axis is cut into contiguous stripes of spatial-hash columns,
+/// load-balanced by per-column event counts. Each worker streams the
+/// whole event slice in time order but *scans* only events in its owned
+/// columns; events in the one-column halo on either side are inserted
+/// into the worker's local cell lists without being scanned. Because an
+/// owned event's 3×3 cell neighbourhood never reaches past the halo, the
+/// worker sees exactly the candidate cells the serial builder would.
+///
+/// Exactness: with unbounded cells, the live candidate set of a cell at
+/// time `t` is "all earlier events in that cell within the horizon" — a
+/// pure function of the event times, not of when expired prefixes were
+/// pruned. So per-worker pruning (which differs from the serial prune
+/// schedule) cannot change any neighbour list, and per-candidate op
+/// counts are integer sums over the same scans the serial builder does.
+fn striped_incremental_build(
+    events: &[Event],
+    config: &GraphConfig,
+    ops: &mut OpCount,
+) -> EventGraph {
+    let cell_size = config.radius.max(1.0);
+    let col_of = |e: &Event| (e.x as f64 / cell_size).floor() as i32;
+    let max_col = events.iter().map(col_of).max().expect("nonempty") as usize;
+    let mut col_counts = vec![0usize; max_col + 1];
+    for e in events {
+        col_counts[col_of(e) as usize] += 1;
+    }
+    // Greedy contiguous partition of columns into event-balanced stripes.
+    let stripes = par::threads().min(max_col + 1);
+    let target = events.len().div_ceil(stripes);
+    let mut bounds: Vec<i32> = vec![0];
+    let mut acc = 0usize;
+    for (c, &n) in col_counts.iter().enumerate() {
+        acc += n;
+        if acc >= target && bounds.len() < stripes {
+            bounds.push(c as i32 + 1);
+            acc = 0;
+        }
+    }
+    if *bounds.last().expect("nonempty") != max_col as i32 + 1 {
+        bounds.push(max_col as i32 + 1);
+    }
+
+    let r_sq = config.radius * config.radius;
+    let results = par::map_chunks(bounds.len() - 1, |s| {
+        let (lo, hi) = (bounds[s], bounds[s + 1]);
+        let mut cells: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
+        let mut owned: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut scanned = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            let c = col_of(e);
+            if c < lo - 1 || c > hi {
+                continue;
+            }
+            let (cx, cy) = (
+                c,
+                (e.y as f64 / cell_size).floor() as i32,
+            );
+            if (lo..hi).contains(&c) {
+                let p = config.point_of(e);
+                let mut candidates = Vec::new();
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        let Some(list) = cells.get_mut(&(cx + dx, cy + dy)) else {
+                            continue;
+                        };
+                        let first_live = list.partition_point(|&j| {
+                            e.t.saturating_since(events[j as usize].t) > config.horizon_us
+                        });
+                        if first_live > 0 {
+                            list.drain(..first_live);
+                        }
+                        for &j in list.iter() {
+                            scanned += 1;
+                            let d = dist_sq(&config.point_of(&events[j as usize]), &p);
+                            if d <= r_sq {
+                                candidates.push((j, d));
+                            }
+                        }
+                    }
+                }
+                owned.push((i as u32, select_neighbors(candidates, config.max_degree)));
+            }
+            // Owned and halo events both enter the local cell lists so
+            // later owned events can scan them.
+            cells.entry((cx, cy)).or_default().push(i as u32);
+        }
+        (owned, scanned)
+    });
+
+    let mut neighbors: Vec<Option<Vec<u32>>> = vec![None; events.len()];
+    let mut scanned_total = 0u64;
+    for (owned, scanned) in results {
+        scanned_total += scanned;
+        for (i, ns) in owned {
+            neighbors[i as usize] = Some(ns);
+        }
+    }
+    ops.record_mult(4 * scanned_total);
+    ops.record_compare(2 * scanned_total);
+    ops.record_write(events.len() as u64);
+    let mut graph = EventGraph::new(config.beta);
+    for (i, e) in events.iter().enumerate() {
+        let ns = neighbors[i].take().expect("every event owned by one stripe");
+        graph.push_node(*e, ns);
+    }
+    graph
 }
 
 #[cfg(test)]
@@ -384,6 +543,46 @@ mod tests {
         // The capped graph still connects recent events at full degree.
         assert_eq!(g.in_neighbors(1_999).len(), 8);
         g.assert_causal();
+    }
+
+    #[test]
+    fn striped_build_matches_serial_stream() {
+        // Enough events to cross MIN_STRIPED_EVENTS and trigger striping.
+        let events = random_events(6_000, 64, 300_000, 7);
+        let config = GraphConfig::new();
+        let mut ops_serial = OpCount::new();
+        let serial = par::with_threads(1, || {
+            incremental_build(&events, &config, &mut ops_serial)
+        });
+        for t in [2, 4] {
+            let mut ops_par = OpCount::new();
+            let striped =
+                par::with_threads(t, || incremental_build(&events, &config, &mut ops_par));
+            for i in 0..events.len() {
+                assert_eq!(
+                    serial.in_neighbors(i),
+                    striped.in_neighbors(i),
+                    "node {i}, threads {t}"
+                );
+            }
+            assert_eq!(ops_serial, ops_par, "op totals, threads {t}");
+        }
+    }
+
+    #[test]
+    fn capped_build_never_stripes() {
+        // Finite cell capacity must fall back to the serial stream even
+        // over the striping threshold (eviction is history-dependent).
+        let events = random_events(5_000, 16, 200_000, 8);
+        let config = GraphConfig::new().with_cell_capacity(16);
+        let mut ops_a = OpCount::new();
+        let a = par::with_threads(1, || incremental_build(&events, &config, &mut ops_a));
+        let mut ops_b = OpCount::new();
+        let b = par::with_threads(4, || incremental_build(&events, &config, &mut ops_b));
+        for i in 0..events.len() {
+            assert_eq!(a.in_neighbors(i), b.in_neighbors(i), "node {i}");
+        }
+        assert_eq!(ops_a, ops_b);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! queries and is compared against the naive scan and the incremental
 //! spatial hash in `build`.
 
+use evlab_util::par;
+
 /// A static kd-tree over `[x, y, scaled_t]` points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KdTree3 {
@@ -24,15 +26,21 @@ fn dist_sq(a: &[f64; 3], b: &[f64; 3]) -> f64 {
 
 impl KdTree3 {
     /// Builds a tree from points. O(N log² N).
+    ///
+    /// Construction recurses subtree-per-task: after each median split the
+    /// two halves are disjoint subslices, so they build concurrently on the
+    /// [`evlab_util::par`] pool down to a depth budget of
+    /// [`evlab_util::par::join_levels`]. The median selection is
+    /// deterministic for a given subslice, so the resulting tree is
+    /// identical for every thread count.
     pub fn build(points: Vec<[f64; 3]>) -> Self {
         let mut order: Vec<u32> = (0..points.len() as u32).collect();
         let mut tree = KdTree3 {
             points,
             order: vec![0; 0],
         };
-        let len = order.len();
-        if len > 0 {
-            build_recursive(&tree.points, &mut order, 0, len, 0);
+        if !order.is_empty() {
+            build_recursive(&tree.points, &mut order, 0, par::join_levels());
         }
         tree.order = order;
         tree
@@ -165,19 +173,34 @@ impl KdTree3 {
     }
 }
 
-fn build_recursive(points: &[[f64; 3]], order: &mut [u32], lo: usize, hi: usize, axis: usize) {
-    if hi - lo <= 1 {
+/// Minimum subtree size before a build level spawns its sibling on a
+/// worker thread; smaller subtrees finish faster than a spawn costs.
+const MIN_PAR_SUBTREE: usize = 1024;
+
+fn build_recursive(points: &[[f64; 3]], order: &mut [u32], axis: usize, par_levels: u32) {
+    if order.len() <= 1 {
         return;
     }
-    let mid = (lo + hi) / 2;
-    order[lo..hi].select_nth_unstable_by((mid - lo).min(hi - lo - 1), |&a, &b| {
+    // Same median as the query side's implicit `(lo + hi) / 2`:
+    // `floor((lo + hi) / 2) - lo == floor((hi - lo) / 2)` for all lo <= hi.
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
         points[a as usize][axis]
             .partial_cmp(&points[b as usize][axis])
             .expect("finite coordinates")
     });
     let next = (axis + 1) % 3;
-    build_recursive(points, order, lo, mid, next);
-    build_recursive(points, order, mid + 1, hi, next);
+    let (left, rest) = order.split_at_mut(mid);
+    let right = &mut rest[1..];
+    if par_levels > 0 && left.len().min(right.len()) > MIN_PAR_SUBTREE {
+        par::join(
+            || build_recursive(points, left, next, par_levels - 1),
+            || build_recursive(points, right, next, par_levels - 1),
+        );
+    } else {
+        build_recursive(points, left, next, 0);
+        build_recursive(points, right, next, 0);
+    }
 }
 
 #[cfg(test)]

@@ -5,10 +5,9 @@
 //! floating-point multiply costs ~3.7 pJ against ~0.9 pJ for an add — the
 //! "around four times less energy" claim §III-A builds on.
 
-use serde::{Deserialize, Serialize};
 
 /// Energy model: picojoules per operation / access, at a given word width.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Addition energy (pJ).
     pub add_pj: f64,

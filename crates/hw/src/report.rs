@@ -1,11 +1,10 @@
 //! Cost reports produced by the accelerator models.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Add;
 
 /// The outcome of pricing a workload on a hardware model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostReport {
     /// Arithmetic (datapath) energy in picojoules.
     pub compute_pj: f64,

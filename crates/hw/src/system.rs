@@ -9,10 +9,9 @@
 //! making the in-sensor-processing argument quantitative.
 
 use crate::report::CostReport;
-use serde::{Deserialize, Serialize};
 
 /// How the sensor talks to the processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkKind {
     /// Hybrid-bonded 3-D vias: femtojoule-class, sub-µs.
     ThreeDStacked,
@@ -21,7 +20,7 @@ pub enum LinkKind {
 }
 
 /// System-integration parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmartImagerBudget {
     /// Static sensor power (pixel front-ends + biasing), in microwatts.
     pub sensor_static_uw: f64,
@@ -92,7 +91,7 @@ impl SmartImagerBudget {
 }
 
 /// An end-to-end power and latency breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemPower {
     /// Sensor power (static + per-event), milliwatts.
     pub sensor_mw: f64,

@@ -8,8 +8,10 @@
 /// A time-varying luminance field.
 ///
 /// Implementors must return strictly positive luminance for all inputs; the
-/// log front-end of the pixel model divides by it.
-pub trait Scene {
+/// log front-end of the pixel model divides by it. The `Sync` bound lets the
+/// camera simulator sample one scene from several row-band worker threads at
+/// once; scenes are pure functions of `(x, y, t)` so this costs nothing.
+pub trait Scene: Sync {
     /// Luminance at continuous pixel position `(x, y)` and time `t_us`.
     fn luminance(&self, x: f64, y: f64, t_us: f64) -> f64;
 }

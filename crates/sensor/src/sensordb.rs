@@ -8,10 +8,9 @@
 //! series.
 
 use evlab_util::stats::linear_fit;
-use serde::{Deserialize, Serialize};
 
 /// Fabrication style of the pixel front end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PixelProcess {
     /// Front-side illuminated, single die.
     FrontSide,
@@ -22,7 +21,7 @@ pub enum PixelProcess {
 }
 
 /// One published event sensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorRecord {
     /// Device or publication name.
     pub name: &'static str,

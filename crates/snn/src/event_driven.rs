@@ -11,6 +11,12 @@
 use crate::encode::SpikeTrain;
 use crate::network::SnnNetwork;
 use evlab_tensor::{OpCount, Tensor};
+use evlab_util::par;
+
+/// Minimum layer width before an injection fans out across threads; the
+/// per-spike update touches one weight column, so narrow layers are
+/// cheaper serial.
+const PAR_MIN_NEURONS: usize = 2048;
 
 #[derive(Debug, Clone)]
 struct EdLayer {
@@ -21,23 +27,6 @@ struct EdLayer {
     threshold: f32,
     v: Vec<f32>,
     last_step: Vec<u64>,
-}
-
-impl EdLayer {
-    /// Decays neuron `j` to step `t` on demand. Each elapsed-step decay is
-    /// one multiply; timestamps cost one read and one write.
-    fn decay_to(&mut self, j: usize, t: u64, ops: &mut OpCount) {
-        let elapsed = t.saturating_sub(self.last_step[j]);
-        if elapsed > 0 {
-            self.v[j] *= self.leak.powi(elapsed as i32);
-            // Hardware evaluates the power with a LUT/shift: one multiply,
-            // but it must read and rewrite both the state and the timestamp.
-            ops.record_mult(1);
-            ops.record_read(2); // v + last_step
-            ops.record_write(2);
-        }
-        self.last_step[j] = t;
-    }
 }
 
 /// Result of an event-driven run.
@@ -130,21 +119,62 @@ impl EventDrivenSnn {
             }
             return;
         }
-        let out_size = self.layers[layer_idx].out_size;
-        let in_size = self.layers[layer_idx].in_size;
-        let mut fired = Vec::new();
-        for j in 0..out_size {
-            self.layers[layer_idx].decay_to(j, t, ops);
-            let w = self.layers[layer_idx].weight[j * in_size + input_idx];
-            self.layers[layer_idx].v[j] += weight_of_spike * w;
-            ops.record_add(1);
-            ops.record_read(1); // weight fetch
-            if self.layers[layer_idx].v[j] >= self.layers[layer_idx].threshold {
-                self.layers[layer_idx].v[j] -= self.layers[layer_idx].threshold;
-                fired.push(j);
+        // Chunk the neuron dimension: each output neuron's decay-on-demand,
+        // accumulate and threshold touch only its own state, so any
+        // chunking is exact. Per-chunk fired lists concatenated in chunk
+        // order reproduce the serial ascending-j firing order, and op
+        // counts are integer sums, invariant under the split.
+        let layer = &mut self.layers[layer_idx];
+        let out_size = layer.out_size;
+        let in_size = layer.in_size;
+        let leak = layer.leak;
+        let threshold = layer.threshold;
+        let weight = &layer.weight;
+        let threads = par::threads();
+        let n_chunks = if threads <= 1 || out_size < PAR_MIN_NEURONS {
+            1
+        } else {
+            threads.min(out_size)
+        };
+        let ranges = par::chunk_ranges(out_size, n_chunks);
+        let v_chunks = par::split_slices(&mut layer.v, &ranges);
+        let t_chunks = par::split_slices(&mut layer.last_step, &ranges);
+        let mut tasks: Vec<_> = ranges
+            .iter()
+            .zip(v_chunks)
+            .zip(t_chunks)
+            .map(|((r, v), last)| (r.start, v, last, Vec::new(), 0u64))
+            .collect();
+        par::for_each_task(&mut tasks, |_, (start, v, last, chunk_fired, decays)| {
+            for k in 0..v.len() {
+                let j = *start + k;
+                let elapsed = t.saturating_sub(last[k]);
+                if elapsed > 0 {
+                    v[k] *= leak.powi(elapsed as i32);
+                    *decays += 1;
+                }
+                last[k] = t;
+                v[k] += weight_of_spike * weight[j * in_size + input_idx];
+                if v[k] >= threshold {
+                    v[k] -= threshold;
+                    chunk_fired.push(j);
+                }
             }
-            ops.record_compare(1);
+        });
+        let mut fired = Vec::new();
+        let mut decays = 0u64;
+        for (_, _, _, chunk_fired, chunk_decays) in tasks {
+            fired.extend(chunk_fired);
+            decays += chunk_decays;
         }
+        // Same totals the serial per-neuron recording produced: each decay
+        // is one LUT multiply plus state+timestamp read/rewrite; each
+        // neuron pays one weight fetch, one add and one compare.
+        ops.record_mult(decays);
+        ops.record_read(2 * decays + out_size as u64);
+        ops.record_write(2 * decays);
+        ops.record_add(out_size as u64);
+        ops.record_compare(out_size as u64);
         spike_counts[layer_idx] += fired.len();
         for j in fired {
             self.inject(layer_idx + 1, j, 1.0, t, ops, spike_counts);

@@ -12,7 +12,11 @@ use crate::neuron::LifConfig;
 use evlab_tensor::init::he_normal;
 use evlab_tensor::layer::Param;
 use evlab_tensor::OpCount;
-use evlab_util::Rng64;
+use evlab_util::{par, Rng64};
+
+/// Minimum `out_size x (active inputs + 1)` work before [`LifLayer::step`]
+/// fans out across threads; below this the spawn overhead dominates.
+const PAR_WORK_THRESHOLD: usize = 50_000;
 
 /// State and cache of one clocked step of a layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,38 +109,78 @@ impl LifLayer {
     pub fn step(&mut self, input_spikes: &[f32], ops: &mut OpCount) -> LayerStep {
         assert_eq!(input_spikes.len(), self.in_size, "input size mismatch");
         let w = self.weight.value.as_slice();
-        // Clocked decay.
-        for v in &mut self.v {
-            *v *= self.config.leak;
+        let leak = self.config.leak;
+        let threshold = self.config.threshold;
+        let refractory_steps = self.config.refractory_steps;
+        let in_size = self.in_size;
+        // Event-driven: gather the spiking inputs once; every output
+        // neuron then integrates them in the same ascending-index order,
+        // so the per-neuron arithmetic is identical under any chunking.
+        let active: Vec<(usize, f32)> = input_spikes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != 0.0)
+            .map(|(i, &s)| (i, s))
+            .collect();
+        let mut membrane = vec![0.0f32; self.out_size];
+        let mut spikes = vec![0.0f32; self.out_size];
+
+        // Full clocked update of one output neuron: decay, integrate,
+        // record membrane, threshold with subtraction reset + refractory.
+        let neuron = |j: usize, v: &mut f32, refr: &mut u32, memb: &mut f32, spk: &mut f32| {
+            *v *= leak;
+            for &(i, s) in &active {
+                *v += s * w[j * in_size + i];
+            }
+            *memb = *v;
+            if *refr > 0 {
+                *refr -= 1;
+            } else if *v >= threshold {
+                *spk = 1.0;
+                *v -= threshold;
+                *refr = refractory_steps;
+            }
+        };
+
+        // Output neurons are independent; fan out over the neuron
+        // dimension only when the synaptic work amortizes thread spawns.
+        let work = self.out_size * (active.len() + 1);
+        let threads = par::threads();
+        if threads <= 1 || work < PAR_WORK_THRESHOLD {
+            for (j, v) in self.v.iter_mut().enumerate() {
+                neuron(
+                    j,
+                    v,
+                    &mut self.refractory_left[j],
+                    &mut membrane[j],
+                    &mut spikes[j],
+                );
+            }
+        } else {
+            let ranges =
+                par::chunk_ranges(self.out_size, par::chunk_count(self.out_size, 1, threads));
+            let v_chunks = par::split_slices(&mut self.v, &ranges);
+            let r_chunks = par::split_slices(&mut self.refractory_left, &ranges);
+            let m_chunks = par::split_slices(&mut membrane, &ranges);
+            let s_chunks = par::split_slices(&mut spikes, &ranges);
+            let mut tasks: Vec<_> = ranges
+                .iter()
+                .zip(v_chunks)
+                .zip(r_chunks)
+                .zip(m_chunks)
+                .zip(s_chunks)
+                .map(|((((r, v), rf), m), s)| (r.start, v, rf, m, s))
+                .collect();
+            par::for_each_task(&mut tasks, |_, (start, v, rf, m, s)| {
+                for k in 0..v.len() {
+                    neuron(*start + k, &mut v[k], &mut rf[k], &mut m[k], &mut s[k]);
+                }
+            });
         }
+
         ops.record_mult(self.out_size as u64);
         ops.record_write(self.out_size as u64);
-        // Event-driven synaptic accumulation.
-        let mut active_inputs = 0u64;
-        for (i, &s) in input_spikes.iter().enumerate() {
-            if s == 0.0 {
-                continue;
-            }
-            active_inputs += 1;
-            for (j, v) in self.v.iter_mut().enumerate() {
-                *v += s * w[j * self.in_size + i];
-            }
-        }
-        ops.record_add(active_inputs * self.out_size as u64);
-        // Threshold and subtraction reset, honouring refractory periods.
-        let membrane = self.v.clone();
-        let mut spikes = vec![0.0f32; self.out_size];
-        for (j, v) in self.v.iter_mut().enumerate() {
-            if self.refractory_left[j] > 0 {
-                self.refractory_left[j] -= 1;
-                continue;
-            }
-            if *v >= self.config.threshold {
-                spikes[j] = 1.0;
-                *v -= self.config.threshold;
-                self.refractory_left[j] = self.config.refractory_steps;
-            }
-        }
+        ops.record_add(active.len() as u64 * self.out_size as u64);
         ops.record_compare(self.out_size as u64);
         LayerStep { membrane, spikes }
     }

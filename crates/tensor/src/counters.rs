@@ -7,7 +7,6 @@
 //! operands — §III-B), and track word-level memory reads/writes (memory
 //! traffic dominates energy in neuromorphic cores — up to 99 % per [42]).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
@@ -23,7 +22,7 @@ use std::ops::{Add, AddAssign};
 /// assert_eq!(ops.total_arithmetic(), 200);
 /// assert!((ops.mac_utilization() - 0.6).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCount {
     /// Nominal multiply–accumulate operations (dense equivalent).
     pub macs: u64,

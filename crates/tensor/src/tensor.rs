@@ -1,6 +1,5 @@
 //! The dense `f32` tensor.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -39,7 +38,7 @@ impl Error for ShapeError {}
 /// assert_eq!(t.len(), 6);
 /// # Ok::<(), evlab_tensor::tensor::ShapeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,

@@ -14,6 +14,11 @@
 //!   neuromorphic hardware approximates exponential leak.
 //! * [`fixed::Q16`] — a Q16.16 fixed-point type used by the hardware cost
 //!   models to mimic integer-arithmetic datapaths.
+//! * [`par`] — the std-only parallel execution layer (scoped threads,
+//!   static chunking, ordered reduction) behind every hot path, controlled
+//!   by `EVLAB_THREADS`.
+//! * [`json::Json`] — a minimal JSON writer/parser so reports and
+//!   benchmark artifacts need no external serialization crates.
 //!
 //! # Examples
 //!
@@ -26,7 +31,9 @@
 //! ```
 
 pub mod fixed;
+pub mod json;
 pub mod lut;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

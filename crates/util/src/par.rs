@@ -1,0 +1,330 @@
+//! Zero-dependency parallel execution built on [`std::thread::scope`].
+//!
+//! Every hot path in the workspace (pixel-array simulation, frame
+//! encoding, LIF stepping, graph construction) funnels through the
+//! primitives in this module. The design rule is **ordered reduction**:
+//! work is split into *statically chunked* units whose boundaries depend
+//! only on the input size (never on the thread count), each unit produces
+//! an independent partial result, and partial results are combined on the
+//! coordinating thread in chunk-index order. Because floating-point
+//! reduction order is fixed by the chunk structure, the output of every
+//! parallel path is bit-identical for any thread count — `EVLAB_THREADS=1`
+//! is the exact serial fallback, not an approximation of it.
+//!
+//! Thread-count control, in priority order:
+//!
+//! 1. [`with_threads`] — a thread-local override for the current scope,
+//!    used by tests and the `hotpaths` benchmark sweep.
+//! 2. The `EVLAB_THREADS` environment variable (clamped to ≥ 1).
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Threads are spawned per parallel region with [`std::thread::scope`],
+//! which lets workers borrow from the caller's stack without `unsafe` or
+//! reference counting. On Linux a scoped spawn costs ~10–20 µs; the hot
+//! paths dispatch work in millisecond-scale regions, so a persistent
+//! channel-fed pool (which would force `'static` closures or unsafe
+//! lifetime erasure) is not worth its complexity.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_util::par;
+//!
+//! let partials = par::map_chunks(4, |chunk| chunk * 10);
+//! assert_eq!(partials, vec![0, 10, 20, 30]);
+//!
+//! // The same call under a forced serial override is bit-identical.
+//! let serial = par::with_threads(1, || par::map_chunks(4, |chunk| chunk * 10));
+//! assert_eq!(partials, serial);
+//! ```
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::thread;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count used by parallel regions started from this thread:
+/// the [`with_threads`] override if active, else `EVLAB_THREADS`, else
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn threads() -> usize {
+    if let Some(n) = OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("EVLAB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with the thread count forced to `n` (clamped to ≥ 1) for
+/// parallel regions started from the *current* thread. Restores the
+/// previous setting afterwards, panic or not.
+///
+/// This is how the equivalence tests compare `threads = 1` against
+/// `threads = 4` within one process without racing on the environment.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Number of chunks for an ordered reduction over `len` items: one chunk
+/// per `min_per_chunk` items, clamped to `[1, max_chunks]`.
+///
+/// The result depends only on the input length — never on the thread
+/// count — so the reduction tree (and therefore every floating-point
+/// rounding) is invariant under `EVLAB_THREADS`.
+pub fn chunk_count(len: usize, min_per_chunk: usize, max_chunks: usize) -> usize {
+    (len / min_per_chunk.max(1)).clamp(1, max_chunks.max(1))
+}
+
+/// Splits `0..len` into `chunks` contiguous, near-equal ranges (the first
+/// `len % chunks` ranges are one longer). Empty ranges never occur when
+/// `chunks <= len`; for `len == 0` a single empty range is returned.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Evaluates `worker(c)` for every chunk index `c in 0..n_chunks` and
+/// returns the results in chunk order.
+///
+/// Chunks are statically assigned: thread `t` of `T` computes chunks
+/// `t, t + T, t + 2T, …`. With one thread (or one chunk) the workers run
+/// inline in index order — the exact serial fallback.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn map_chunks<R: Send>(n_chunks: usize, worker: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let t = threads().min(n_chunks);
+    if t <= 1 {
+        return (0..n_chunks).map(worker).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+    thread::scope(|s| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..t)
+            .map(|tid| {
+                s.spawn(move || {
+                    let mut produced = Vec::new();
+                    let mut c = tid;
+                    while c < n_chunks {
+                        produced.push((c, worker(c)));
+                        c += t;
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, r) in h.join().expect("par worker panicked") {
+                slots[c] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every chunk computed"))
+        .collect()
+}
+
+/// Runs `f(index, &mut task)` over a set of independent mutable work
+/// units (typically disjoint slice chunks zipped into tuples), statically
+/// assigned to threads. With one thread the tasks run inline in order.
+///
+/// Use this for elementwise updates where each task owns a disjoint
+/// region of the output — such updates are bit-identical under any
+/// chunking, so the task count may follow the thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn for_each_task<T: Send>(tasks: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    let n = tasks.len();
+    let t = threads().min(n);
+    if t <= 1 {
+        for (i, task) in tasks.iter_mut().enumerate() {
+            f(i, task);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<(usize, &mut T)>> = (0..t).map(|_| Vec::new()).collect();
+    for (i, task) in tasks.iter_mut().enumerate() {
+        buckets[i % t].push((i, task));
+    }
+    thread::scope(|s| {
+        let f = &f;
+        for bucket in buckets {
+            s.spawn(move || {
+                for (i, task) in bucket {
+                    f(i, task);
+                }
+            });
+        }
+    });
+}
+
+/// Splits one mutable slice into disjoint chunks following `ranges`,
+/// which must be contiguous, ascending and start at 0 (the shape
+/// [`chunk_ranges`] produces). The chunks can then be zipped into task
+/// tuples for [`for_each_task`].
+///
+/// # Panics
+///
+/// Panics if the ranges are not a contiguous partition of a prefix of
+/// the slice.
+pub fn split_slices<'a, T>(mut slice: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut covered = 0;
+    for r in ranges {
+        assert_eq!(r.start, covered, "ranges must be contiguous from 0");
+        let (head, tail) = slice.split_at_mut(r.len());
+        out.push(head);
+        slice = tail;
+        covered = r.end;
+    }
+    out
+}
+
+/// Runs two closures, `fb` on a scoped worker thread while `fa` runs on
+/// the current thread, and returns both results. Used for subtree-per-task
+/// recursion (kd-tree construction); the *caller* gates spawning with a
+/// depth budget derived from [`threads`].
+///
+/// # Panics
+///
+/// Propagates a panic from either closure.
+pub fn join<A, B>(fa: impl FnOnce() -> A + Send, fb: impl FnOnce() -> B + Send) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        let b = hb.join().expect("joined worker panicked");
+        (a, b)
+    })
+}
+
+/// Depth budget for binary-recursive parallelism: `log2` of the thread
+/// count, rounded up. A budget of 0 means "never spawn".
+pub fn join_levels() -> u32 {
+    let t = threads();
+    if t <= 1 {
+        0
+    } else {
+        usize::BITS - (t - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        for t in [1, 2, 4, 7] {
+            let got = with_threads(t, || map_chunks(13, |c| c * c));
+            let want: Vec<usize> = (0..13).map(|c| c * c).collect();
+            assert_eq!(got, want, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn for_each_task_touches_every_task_once() {
+        for t in [1, 3, 8] {
+            let mut v = vec![0u32; 17];
+            let mut tasks: Vec<&mut u32> = v.iter_mut().collect();
+            with_threads(t, || for_each_task(&mut tasks, |i, x| **x += i as u32 + 1));
+            let want: Vec<u32> = (0..17).map(|i| i + 1).collect();
+            assert_eq!(v, want, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_ignores_thread_count() {
+        let a = with_threads(1, || chunk_count(100_000, 8_192, 16));
+        let b = with_threads(8, || chunk_count(100_000, 8_192, 16));
+        assert_eq!(a, b);
+        assert_eq!(chunk_count(0, 8_192, 16), 1);
+        assert_eq!(chunk_count(1 << 30, 8_192, 16), 16);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for (len, chunks) in [(10, 3), (3, 10), (0, 4), (16, 16), (100, 7)] {
+            let ranges = chunk_ranges(len, chunks);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        let outer = with_threads(3, || {
+            let inner = with_threads(5, threads);
+            assert_eq!(inner, 5);
+            threads()
+        });
+        assert_eq!(outer, 3);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_levels_matches_thread_count() {
+        assert_eq!(with_threads(1, join_levels), 0);
+        assert_eq!(with_threads(2, join_levels), 1);
+        assert_eq!(with_threads(4, join_levels), 2);
+        assert_eq!(with_threads(5, join_levels), 3);
+    }
+
+    #[test]
+    fn ordered_float_reduction_is_thread_invariant() {
+        // The canonical use: per-chunk partial sums reduced in chunk order
+        // must produce the same bits for any thread count.
+        let data: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+        let reduce = || {
+            let ranges = chunk_ranges(data.len(), chunk_count(data.len(), 4_096, 16));
+            let partials = map_chunks(ranges.len(), |c| {
+                data[ranges[c].clone()].iter().sum::<f32>()
+            });
+            partials.iter().fold(0.0f32, |acc, &p| acc + p).to_bits()
+        };
+        let serial = with_threads(1, reduce);
+        for t in [2, 4, 8] {
+            assert_eq!(with_threads(t, reduce), serial, "threads = {t}");
+        }
+    }
+}

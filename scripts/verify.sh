@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline verification gate for evlab.
+#
+# Runs the hermetic build, the full workspace test suite and a smoke
+# sweep of the `hotpaths` benchmark at EVLAB_THREADS ∈ {1, 2}. The
+# hotpaths binary exits non-zero if any thread count produces output
+# whose checksum differs from the serial run, so a determinism
+# regression in any of the four parallelized hot paths fails this
+# script.
+#
+# Usage: scripts/verify.sh
+# Requires no network access: the workspace has zero registry
+# dependencies and must build with `--offline`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> hotpaths smoke sweep (threads 1, 2; checksum-gated)"
+out="$(mktemp /tmp/evlab_hotpaths_smoke.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+cargo run -q --release --offline -p evlab-bench --bin hotpaths -- \
+    --smoke --out "$out"
+
+echo "==> OK: build, tests and hot-path determinism all pass"

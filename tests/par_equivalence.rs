@@ -1,0 +1,172 @@
+//! Determinism contract of the parallel execution layer: every
+//! parallelized hot path must produce bit-identical output under
+//! `EVLAB_THREADS=4` and under exact serial execution (`threads = 1`).
+//!
+//! Each test runs the same workload twice inside
+//! [`evlab::util::par::with_threads`] and compares the results with
+//! structural equality — for floats that means exact bit patterns via
+//! `to_bits`, not approximate closeness. The workloads are sized past the
+//! internal parallelism thresholds so the threaded runs genuinely take
+//! the chunked/striped code paths.
+
+use evlab::cnn::encode::{
+    CountAndSurface, FrameEncoder, LinearTimeSurface, SignedCount, TimeSurface, TwoChannel,
+    VoxelGrid,
+};
+use evlab::events::{Event, EventStream, Polarity};
+use evlab::gnn::build::{incremental_build, kdtree_build, GraphConfig};
+use evlab::sensor::scene::MovingBar;
+use evlab::sensor::{CameraConfig, EventCamera};
+use evlab::snn::encode::SpikeTrain;
+use evlab::snn::event_driven::EventDrivenSnn;
+use evlab::snn::layer::LifLayer;
+use evlab::snn::network::{SnnConfig, SnnNetwork};
+use evlab::snn::neuron::LifConfig;
+use evlab::tensor::OpCount;
+use evlab::util::{par, Rng64};
+
+/// Exact float-slice equality: same length, same bit pattern everywhere.
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn random_stream(n: usize, res: u16, span_us: u64, seed: u64) -> EventStream {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut ts: Vec<u64> = (0..n).map(|_| rng.next_below(span_us)).collect();
+    ts.sort_unstable();
+    let events: Vec<Event> = ts
+        .into_iter()
+        .map(|t| {
+            Event::new(
+                t,
+                rng.next_below(res as u64) as u16,
+                rng.next_below(res as u64) as u16,
+                if rng.bernoulli(0.5) {
+                    Polarity::On
+                } else {
+                    Polarity::Off
+                },
+            )
+        })
+        .collect();
+    EventStream::from_events((res, res), events).expect("sorted and in bounds")
+}
+
+#[test]
+fn camera_recording_is_thread_invariant() {
+    let camera = EventCamera::new(CameraConfig::new((48, 48)));
+    let scene = MovingBar::horizontal(0.002, 4.0);
+    let serial = par::with_threads(1, || camera.record(&scene, 0, 40_000, 7));
+    let threaded = par::with_threads(4, || camera.record(&scene, 0, 40_000, 7));
+    assert!(serial.len() > 100, "bar must generate events");
+    assert_eq!(serial, threaded, "camera events differ across thread counts");
+}
+
+#[test]
+fn frame_encoders_are_thread_invariant() {
+    // Past MIN_EVENTS_PER_CHUNK (8192) so the threaded run actually chunks.
+    let stream = random_stream(40_000, 64, 80_000, 13);
+    let events = stream.as_slice();
+    let encoders: Vec<Box<dyn FrameEncoder>> = vec![
+        Box::new(SignedCount::new()),
+        Box::new(TwoChannel::new()),
+        Box::new(TimeSurface::new(5_000.0)),
+        Box::new(LinearTimeSurface::new(20_000)),
+        Box::new(VoxelGrid::new(6)),
+        Box::new(CountAndSurface::new()),
+    ];
+    for enc in &encoders {
+        let mut ops_a = OpCount::new();
+        let mut ops_b = OpCount::new();
+        let serial = par::with_threads(1, || enc.encode(events, stream.resolution(), &mut ops_a));
+        let threaded =
+            par::with_threads(4, || enc.encode(events, stream.resolution(), &mut ops_b));
+        assert_eq!(serial.shape(), threaded.shape());
+        assert!(
+            bits_equal(serial.as_slice(), threaded.as_slice()),
+            "encoder output differs across thread counts"
+        );
+        assert_eq!(ops_a, ops_b, "op accounting differs across thread counts");
+    }
+}
+
+#[test]
+fn lif_layer_stepping_is_thread_invariant() {
+    // 40 active inputs × 2048 outputs ≈ 84k synaptic updates per step,
+    // past the layer's parallel-dispatch threshold.
+    let run = |threads: usize| {
+        par::with_threads(threads, || {
+            let mut rng = Rng64::seed_from_u64(21);
+            let mut layer = LifLayer::new(256, 2048, LifConfig::new(), &mut rng);
+            let mut ops = OpCount::new();
+            let mut spikes = Vec::new();
+            let mut membranes = Vec::new();
+            for _ in 0..4 {
+                let input: Vec<f32> = (0..256)
+                    .map(|_| if rng.bernoulli(0.15) { 1.0 } else { 0.0 })
+                    .collect();
+                let out = layer.step(&input, &mut ops);
+                spikes.extend(out.spikes.iter().copied());
+                membranes.extend(out.membrane.iter().copied());
+            }
+            (spikes, membranes, ops)
+        })
+    };
+    let (s1, m1, o1) = run(1);
+    let (s4, m4, o4) = run(4);
+    assert!(bits_equal(&s1, &s4), "spikes differ across thread counts");
+    assert!(bits_equal(&m1, &m4), "membranes differ across thread counts");
+    assert_eq!(o1, o4, "op accounting differs across thread counts");
+}
+
+#[test]
+fn event_driven_snn_is_thread_invariant() {
+    // Hidden width 2048 reaches the event-driven injection's chunking
+    // threshold.
+    let run = |threads: usize| {
+        par::with_threads(threads, || {
+            let mut rng = Rng64::seed_from_u64(31);
+            let net = SnnNetwork::new(SnnConfig::new(32, 5).with_hidden(vec![2048]), &mut rng);
+            let mut train = SpikeTrain::new(32, 25);
+            for t in 0..25 {
+                for _ in 0..4 {
+                    train.push(t, rng.next_index(32) as u32);
+                }
+            }
+            let mut ed = EventDrivenSnn::from_network(&net);
+            let mut ops = OpCount::new();
+            let result = ed.process(&train, &mut ops);
+            (result, ops)
+        })
+    };
+    let (r1, o1) = run(1);
+    let (r4, o4) = run(4);
+    assert_eq!(r1.spike_counts, r4.spike_counts);
+    assert!(
+        bits_equal(r1.logits.as_slice(), r4.logits.as_slice()),
+        "logits differ across thread counts"
+    );
+    assert_eq!(o1, o4, "op accounting differs across thread counts");
+}
+
+#[test]
+fn graph_builders_are_thread_invariant() {
+    // Past MIN_STRIPED_EVENTS (4096) with exact (uncapped) cells, so the
+    // threaded incremental build takes the striped path.
+    let stream = random_stream(8_000, 96, 300_000, 41);
+    let config = GraphConfig::new();
+    let mut ops_a = OpCount::new();
+    let mut ops_b = OpCount::new();
+    let serial = par::with_threads(1, || incremental_build(stream.as_slice(), &config, &mut ops_a));
+    let threaded =
+        par::with_threads(4, || incremental_build(stream.as_slice(), &config, &mut ops_b));
+    assert_eq!(serial, threaded, "incremental graphs differ across thread counts");
+    assert_eq!(ops_a, ops_b, "op accounting differs across thread counts");
+
+    let mut ops_c = OpCount::new();
+    let mut ops_d = OpCount::new();
+    let kd_serial = par::with_threads(1, || kdtree_build(stream.as_slice(), &config, &mut ops_c));
+    let kd_threaded = par::with_threads(4, || kdtree_build(stream.as_slice(), &config, &mut ops_d));
+    assert_eq!(kd_serial, kd_threaded, "kd-tree graphs differ across thread counts");
+    assert_eq!(ops_c, ops_d, "op accounting differs across thread counts");
+}

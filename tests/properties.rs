@@ -1,4 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! These are hand-rolled randomized property checks driven by the
+//! workspace's own [`Rng64`] generator (64 seeded cases per property), so
+//! the suite needs no external property-testing crates and stays
+//! bit-reproducible across runs.
 
 use evlab::events::aer::AerCodec;
 use evlab::events::filters::{BackgroundActivityFilter, RefractoryFilter};
@@ -6,129 +11,170 @@ use evlab::events::{Event, EventStream, Polarity};
 use evlab::gnn::build::{incremental_build, naive_build, GraphConfig};
 use evlab::tensor::sparse::{CsrMatrix, SparsityMapEncoding, ZeroRunLength};
 use evlab::tensor::{OpCount, Tensor};
-use evlab::util::Q16;
-use proptest::prelude::*;
+use evlab::util::{Q16, Rng64};
 
-fn arb_event(res: u16) -> impl Strategy<Value = (u64, u16, u16, bool)> {
-    (0u64..1_000_000, 0..res, 0..res, any::<bool>())
+const CASES: u64 = 64;
+
+fn rand_event(rng: &mut Rng64, res: u16) -> Event {
+    let t = rng.next_u64() % 1_000_000;
+    let x = (rng.next_u64() % res as u64) as u16;
+    let y = (rng.next_u64() % res as u64) as u16;
+    let p = if rng.bernoulli(0.5) {
+        Polarity::On
+    } else {
+        Polarity::Off
+    };
+    Event::new(t, x, y, p)
 }
 
-fn arb_stream(res: u16, max_events: usize) -> impl Strategy<Value = EventStream> {
-    proptest::collection::vec(arb_event(res), 0..max_events).prop_map(move |raw| {
-        let events: Vec<Event> = raw
-            .into_iter()
-            .map(|(t, x, y, p)| {
-                Event::new(t, x, y, if p { Polarity::On } else { Polarity::Off })
-            })
-            .collect();
-        EventStream::from_unsorted((res, res), events).expect("in bounds")
-    })
+fn rand_stream(rng: &mut Rng64, res: u16, max_events: usize) -> EventStream {
+    let n = (rng.next_u64() % (max_events as u64 + 1)) as usize;
+    let events: Vec<Event> = (0..n).map(|_| rand_event(rng, res)).collect();
+    EventStream::from_unsorted((res, res), events).expect("in bounds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn aer_codec_round_trips_any_event((t, x, y, p) in arb_event(720)) {
-        let codec = AerCodec::new((720, 720));
-        let e = Event::new(t, x, y, if p { Polarity::On } else { Polarity::Off });
+#[test]
+fn aer_codec_round_trips_any_event() {
+    let codec = AerCodec::new((720, 720));
+    let mut rng = Rng64::seed_from_u64(0xAE2);
+    for _ in 0..CASES {
+        let e = rand_event(&mut rng, 720);
         let decoded = codec.decode(codec.encode(&e)).expect("round trip");
-        prop_assert_eq!(decoded, e);
+        assert_eq!(decoded, e);
     }
+}
 
-    #[test]
-    fn filters_return_sorted_subsets(stream in arb_stream(16, 200)) {
+#[test]
+fn filters_return_sorted_subsets() {
+    let mut rng = Rng64::seed_from_u64(0xF117);
+    for _ in 0..CASES {
+        let stream = rand_stream(&mut rng, 16, 200);
         for filtered in [
             RefractoryFilter::new(100).apply(&stream),
             BackgroundActivityFilter::new(1_000).apply(&stream),
         ] {
-            prop_assert!(filtered.len() <= stream.len());
+            assert!(filtered.len() <= stream.len());
             for pair in filtered.as_slice().windows(2) {
-                prop_assert!(pair[0].t <= pair[1].t);
+                assert!(pair[0].t <= pair[1].t);
             }
             // Every surviving event exists in the original.
             for e in filtered.iter() {
-                prop_assert!(stream.as_slice().contains(e));
+                assert!(stream.as_slice().contains(e));
             }
         }
     }
+}
 
-    #[test]
-    fn windows_partition_the_stream(stream in arb_stream(16, 200), w in 1u64..100_000) {
+#[test]
+fn windows_partition_the_stream() {
+    let mut rng = Rng64::seed_from_u64(0x317D0);
+    for _ in 0..CASES {
+        let stream = rand_stream(&mut rng, 16, 200);
+        let w = 1 + rng.next_u64() % 99_999;
         let total: usize = stream.windows(w).iter().map(|win| win.len()).sum();
-        prop_assert_eq!(total, stream.len());
+        assert_eq!(total, stream.len());
     }
+}
 
-    #[test]
-    fn graph_builders_agree_on_random_streams(stream in arb_stream(32, 120)) {
+#[test]
+fn graph_builders_agree_on_random_streams() {
+    let mut rng = Rng64::seed_from_u64(0x62A9);
+    for _ in 0..CASES {
+        let stream = rand_stream(&mut rng, 32, 120);
         let config = GraphConfig::new();
         let mut ops = OpCount::new();
         let a = naive_build(stream.as_slice(), &config, &mut ops);
         let b = incremental_build(stream.as_slice(), &config, &mut ops);
         for i in 0..stream.len() {
-            prop_assert_eq!(a.in_neighbors(i), b.in_neighbors(i));
+            assert_eq!(a.in_neighbors(i), b.in_neighbors(i));
         }
         a.assert_causal();
         // Degree bound.
         for i in 0..stream.len() {
-            prop_assert!(a.in_neighbors(i).len() <= config.max_degree);
+            assert!(a.in_neighbors(i).len() <= config.max_degree);
         }
     }
+}
 
-    #[test]
-    fn sparse_encodings_round_trip(values in proptest::collection::vec(
-        prop_oneof![3 => Just(0.0f32), 1 => -100.0f32..100.0], 0..500)) {
+#[test]
+fn sparse_encodings_round_trip() {
+    let mut rng = Rng64::seed_from_u64(0x59A25E);
+    for _ in 0..CASES {
+        let n = (rng.next_u64() % 500) as usize;
+        // ~3:1 zeros to random values, matching real activation sparsity.
+        let values: Vec<f32> = (0..n)
+            .map(|_| {
+                if rng.bernoulli(0.75) {
+                    0.0
+                } else {
+                    (rng.next_f32() - 0.5) * 200.0
+                }
+            })
+            .collect();
         let zrle = ZeroRunLength::encode(&values);
-        prop_assert_eq!(zrle.decode(), values.clone());
+        assert_eq!(zrle.decode(), values.clone());
         let map = SparsityMapEncoding::encode(&values);
-        prop_assert_eq!(map.decode(), values);
+        assert_eq!(map.decode(), values);
     }
+}
 
-    #[test]
-    fn csr_spmv_matches_dense(rows in 1usize..8, cols in 1usize..8,
-                              seed in any::<u64>()) {
-        let mut rng = evlab::util::Rng64::seed_from_u64(seed);
+#[test]
+fn csr_spmv_matches_dense() {
+    let mut rng = Rng64::seed_from_u64(0xC52);
+    for _ in 0..CASES {
+        let rows = 1 + (rng.next_u64() % 7) as usize;
+        let cols = 1 + (rng.next_u64() % 7) as usize;
         let data: Vec<f32> = (0..rows * cols)
-            .map(|_| if rng.bernoulli(0.6) { 0.0 } else { rng.next_f32() - 0.5 })
+            .map(|_| {
+                if rng.bernoulli(0.6) {
+                    0.0
+                } else {
+                    rng.next_f32() - 0.5
+                }
+            })
             .collect();
         let dense = Tensor::from_vec(&[rows, cols], data).expect("shape");
         let csr = CsrMatrix::from_dense(&dense);
-        prop_assert_eq!(csr.to_dense(), dense.clone());
+        assert_eq!(csr.to_dense(), dense.clone());
         let x: Vec<f32> = (0..cols).map(|_| rng.next_f32()).collect();
         let y = csr.spmv(&x);
         for r in 0..rows {
-            let expected: f32 = (0..cols)
-                .map(|c| dense.at(&[r, c]) * x[c])
-                .sum();
-            prop_assert!((y[r] - expected).abs() < 1e-4);
+            let expected: f32 = (0..cols).map(|c| dense.at(&[r, c]) * x[c]).sum();
+            assert!((y[r] - expected).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn q16_addition_is_commutative_and_bounded(a in -30000.0f64..30000.0,
-                                               b in -30000.0f64..30000.0) {
+#[test]
+fn q16_addition_is_commutative_and_bounded() {
+    let mut rng = Rng64::seed_from_u64(0x916);
+    for _ in 0..CASES {
+        let a = (rng.next_f64() - 0.5) * 60_000.0;
+        let b = (rng.next_f64() - 0.5) * 60_000.0;
         let qa = Q16::from_f64(a);
         let qb = Q16::from_f64(b);
-        prop_assert_eq!(qa + qb, qb + qa);
+        assert_eq!(qa + qb, qb + qa);
         let sum = (qa + qb).to_f64();
         // Saturating arithmetic never exceeds the format range.
-        prop_assert!(sum.abs() <= 32768.0);
+        assert!(sum.abs() <= 32768.0);
         // When no saturation occurs the result is accurate.
         if (a + b).abs() < 32000.0 {
-            prop_assert!((sum - (a + b)).abs() < 2.0 * Q16::epsilon() + 1e-9);
+            assert!((sum - (a + b)).abs() < 2.0 * Q16::epsilon() + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn tensor_matmul_is_distributive(seed in any::<u64>()) {
-        let mut rng = evlab::util::Rng64::seed_from_u64(seed);
-        let rand_t = |rng: &mut evlab::util::Rng64, shape: &[usize]| {
-            let mut t = Tensor::zeros(shape);
-            for v in t.as_mut_slice() {
-                *v = (rng.next_f32() - 0.5) * 2.0;
-            }
-            t
-        };
+#[test]
+fn tensor_matmul_is_distributive() {
+    let mut rng = Rng64::seed_from_u64(0x7E9502);
+    let rand_t = |rng: &mut Rng64, shape: &[usize]| {
+        let mut t = Tensor::zeros(shape);
+        for v in t.as_mut_slice() {
+            *v = (rng.next_f32() - 0.5) * 2.0;
+        }
+        t
+    };
+    for _ in 0..CASES {
         let a = rand_t(&mut rng, &[3, 4]);
         let b = rand_t(&mut rng, &[4, 2]);
         let c = rand_t(&mut rng, &[4, 2]);
@@ -136,13 +182,17 @@ proptest! {
         let left = a.matmul(&b.add(&c));
         let right = a.matmul(&b).add(&a.matmul(&c));
         for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!((l - r).abs() < 1e-4);
+            assert!((l - r).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn spike_encoding_conserves_events_within_horizon(stream in arb_stream(8, 100)) {
-        use evlab::snn::encode::events_to_spikes;
+#[test]
+fn spike_encoding_conserves_events_within_horizon() {
+    use evlab::snn::encode::events_to_spikes;
+    let mut rng = Rng64::seed_from_u64(0x59135);
+    for _ in 0..CASES {
+        let stream = rand_stream(&mut rng, 8, 100);
         let steps = 50usize;
         let dt = 20_000u64;
         let train = events_to_spikes(&stream, dt, steps);
@@ -151,6 +201,6 @@ proptest! {
             .iter()
             .filter(|e| (e.t.as_micros() - t0) / dt < steps as u64)
             .count();
-        prop_assert_eq!(train.total_spikes(), within);
+        assert_eq!(train.total_spikes(), within);
     }
 }
