@@ -9,6 +9,7 @@ use evlab_sensor::sensordb::{
 };
 
 fn main() {
+    let metrics = evlab_bench::metrics_arg(&std::env::args().skip(1).collect::<Vec<_>>());
     let db = published_sensors();
     println!("Fig. 1 — event-camera scaling trends ({} devices)\n", db.len());
     println!(
@@ -49,4 +50,5 @@ fn main() {
         fsi.unwrap_or(0.0),
         stacked.unwrap_or(0.0)
     );
+    evlab_bench::finish_metrics(&metrics);
 }

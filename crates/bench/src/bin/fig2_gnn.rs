@@ -9,6 +9,7 @@ use evlab_gnn::build::{incremental_build, GraphConfig};
 use evlab_tensor::OpCount;
 
 fn main() {
+    let metrics = evlab_bench::metrics_arg(&std::env::args().skip(1).collect::<Vec<_>>());
     let stream = moving_cluster_stream(2_000, 64, 50_000, 11);
     println!(
         "Fig. 2 (right) — event-graph construction over {} events, 64x64, 50 ms\n",
@@ -66,4 +67,5 @@ fn main() {
             .first()
             .map(|&j| graph.relative_offset(100, j as usize))
     );
+    evlab_bench::finish_metrics(&metrics);
 }

@@ -13,6 +13,7 @@ fn ascii_bar(value: f64, max: f64, width: usize) -> String {
 }
 
 fn main() {
+    let metrics = evlab_bench::metrics_arg(&std::env::args().skip(1).collect::<Vec<_>>());
     println!("Fig. 2 (left) — LIF membrane response to an input spike train\n");
     let mut neuron = LifNeuron::new(&LifConfig::new());
     // Input: bursts of current followed by silence.
@@ -55,4 +56,5 @@ fn main() {
         println!();
         x += 0.25;
     }
+    evlab_bench::finish_metrics(&metrics);
 }

@@ -9,10 +9,15 @@
 //! produces a different checksum than the serial run — the ordered-
 //! reduction determinism contract is part of what this binary verifies.
 //!
-//! Usage: `hotpaths [--smoke] [--out PATH]`
+//! Usage: `hotpaths [--smoke] [--out PATH] [--metrics PATH]`
+//!
+//! `--metrics PATH` switches the [`evlab_util::obs`] layer on and writes
+//! its counter/span snapshot to `PATH` after the sweep; both JSON
+//! artifacts are written atomically (temp file + rename).
 
 use evlab_bench::{
-    checksum_events, checksum_f32s, checksum_graph, moving_cluster_stream, uniform_stream, Fnv1a,
+    checksum_events, checksum_f32s, checksum_graph, finish_metrics, metrics_arg,
+    moving_cluster_stream, uniform_stream, Fnv1a,
 };
 use evlab_cnn::encode::{FrameEncoder, SignedCount, TimeSurface, VoxelGrid};
 use evlab_gnn::build::{incremental_build, kdtree_build, GraphConfig};
@@ -192,10 +197,19 @@ fn graph_workload(scale: &Scale) -> (u64, u64) {
     let mut ops = OpCount::new();
     let incr = incremental_build(clustered.as_slice(), &config, &mut ops);
     h.write_u64(checksum_graph(&incr));
+    // Capped cells force the serial stream (and, under --metrics, the
+    // `gnn.serial_fallback` counter) at every swept thread count > 1; the
+    // checksum still has to match the serial run bit for bit.
+    let capped = config.with_cell_capacity(64);
+    let capped_graph = incremental_build(clustered.as_slice(), &capped, &mut ops);
+    h.write_u64(checksum_graph(&capped_graph));
     let uniform = uniform_stream(scale.kdtree_events, 128, 200_000, 34);
     let tree = kdtree_build(uniform.as_slice(), &config, &mut ops);
     h.write_u64(checksum_graph(&tree));
-    (h.finish(), (scale.graph_events + scale.kdtree_events) as u64)
+    (
+        h.finish(),
+        (2 * scale.graph_events + scale.kdtree_events) as u64,
+    )
 }
 
 fn main() {
@@ -207,6 +221,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    let metrics_path = metrics_arg(&args);
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
 
     let workloads: Vec<(&str, &str, Box<dyn Fn() -> (u64, u64)>)> = vec![
@@ -309,8 +324,10 @@ fn main() {
         ),
         ("workloads", Json::arr(workload_json)),
     ]);
-    std::fs::write(&out_path, report.to_string_pretty() + "\n").expect("write report");
+    evlab_util::json::write_atomic(&out_path, &(report.to_string_pretty() + "\n"))
+        .expect("write report");
     eprintln!("[hotpaths] wrote {out_path}");
+    finish_metrics(&metrics_path);
     if mismatches > 0 {
         eprintln!("[hotpaths] FAILED: {mismatches} checksum mismatch(es)");
         std::process::exit(1);

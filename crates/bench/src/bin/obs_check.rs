@@ -1,0 +1,70 @@
+//! Validates a metrics file emitted by `--metrics` / [`evlab_util::obs`].
+//!
+//! Parses the file with [`evlab_util::json`] (the same parser the library
+//! uses to write it), then asserts that every pipeline stage reported
+//! activity: a smoke sweep that runs the camera, the encoders, both SNN
+//! engines and the graph builders must leave all of the required counters
+//! nonzero — a zero means a stage silently stopped recording (or silently
+//! stopped running), which is exactly the failure mode the observability
+//! layer exists to catch.
+//!
+//! Usage: `obs_check PATH [PATH ...]` — exits non-zero on the first
+//! missing/zero counter or unparseable file.
+
+use evlab_util::json::Json;
+
+/// Counters that every full smoke sweep must leave nonzero, one (or more)
+/// per pipeline stage. `snn.layer.spikes` is deliberately absent: silence
+/// is a legitimate output of a spiking network.
+const REQUIRED_NONZERO: &[&str] = &[
+    "sensor.camera.events",
+    "cnn.encode.frames",
+    "cnn.encode.events",
+    "snn.layer.steps",
+    "snn.layer.membrane_updates",
+    "snn.event_driven.injections",
+    "gnn.build.graphs",
+    "gnn.build.nodes",
+    "gnn.build.edges",
+    "gnn.serial_fallback",
+];
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
+    let counters = doc
+        .get("counters")
+        .ok_or_else(|| format!("{path}: no `counters` object"))?;
+    let mut failures = Vec::new();
+    for &name in REQUIRED_NONZERO {
+        match counters.get(name).and_then(Json::as_u64) {
+            None => failures.push(format!("counter `{name}` missing")),
+            Some(0) => failures.push(format!("counter `{name}` is zero")),
+            Some(v) => eprintln!("[obs_check]   {name:<40} {v}"),
+        }
+    }
+    if doc.get("spans").is_none() {
+        failures.push("no `spans` object".to_string());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{path}:\n  {}", failures.join("\n  ")))
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs_check PATH [PATH ...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        eprintln!("[obs_check] {path}");
+        if let Err(e) = check_file(path) {
+            eprintln!("[obs_check] FAILED: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[obs_check] {path} ok");
+    }
+}

@@ -11,7 +11,9 @@ use evlab_datasets::shapes::shape_silhouettes;
 use evlab_datasets::DatasetConfig;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = evlab_bench::metrics_arg(&args);
+    let fast = args.iter().any(|a| a == "--fast");
     let (config, runner_config) = if fast {
         (
             DatasetConfig::new((32, 32)).with_split(6, 3),
@@ -53,4 +55,5 @@ fn main() {
     let strict = motion_direction_unpolarized(&config);
     let report = runner.run(&strict, 17);
     println!("{}", report.render());
+    evlab_bench::finish_metrics(&metrics);
 }

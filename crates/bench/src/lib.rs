@@ -7,7 +7,62 @@
 //! codec). See DESIGN.md §3 for the experiment index.
 
 use evlab_events::{Event, EventStream, Polarity};
-use evlab_util::Rng64;
+use evlab_util::{obs, Rng64};
+
+/// Parses the `--metrics PATH` flag shared by the harness binaries.
+///
+/// When the flag is present, observability collection is also switched on
+/// (equivalent to setting `EVLAB_OBS=1`), so asking for a metrics file is
+/// enough to get one — no separate env dance required.
+pub fn metrics_arg(args: &[String]) -> Option<String> {
+    let path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if path.is_some() {
+        obs::set_enabled(true);
+    }
+    path
+}
+
+/// Writes the observability snapshot to `path` (atomically: temp file +
+/// rename) and prints the human-readable summary to stderr. Does nothing
+/// when no `--metrics` path was given.
+pub fn finish_metrics(path: &Option<String>) {
+    let Some(path) = path else { return };
+    obs::write_metrics(path).expect("write metrics file");
+    print_obs_summary();
+    eprintln!("[obs] wrote {path}");
+}
+
+/// Prints every recorded counter and span histogram to stderr.
+pub fn print_obs_summary() {
+    let counters = obs::counters();
+    let spans = obs::spans();
+    if counters.is_empty() && spans.is_empty() {
+        eprintln!(
+            "[obs] nothing recorded (set {}=1 or pass --metrics)",
+            obs::ENV_TOGGLE
+        );
+        return;
+    }
+    eprintln!("[obs] counters:");
+    for (name, v) in counters {
+        eprintln!("[obs]   {name:<44} {v}");
+    }
+    if !spans.is_empty() {
+        eprintln!("[obs] spans:");
+        for (name, h) in spans {
+            eprintln!(
+                "[obs]   {name:<44} n={} mean={:.1}us max={:.1}us",
+                h.count,
+                h.mean_us(),
+                h.max_us
+            );
+        }
+    }
+}
 
 /// A random (time-sorted) event stream of `n` events over `span_us` on a
 /// square sensor: uniform spatial noise, the worst case for spatial

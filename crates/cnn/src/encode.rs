@@ -21,7 +21,7 @@
 
 use evlab_events::Event;
 use evlab_tensor::{OpCount, Tensor};
-use evlab_util::par;
+use evlab_util::{obs, par};
 use std::ops::Range;
 
 /// Minimum events per chunk before the encoders fan out; below
@@ -61,6 +61,23 @@ fn reduce_last(partials: Vec<Vec<Option<u64>>>) -> Vec<Option<u64>> {
         }
     }
     last
+}
+
+/// Records one encoded frame in the observability registry: aggregate
+/// event/frame counters plus the per-encoder nonzero density
+/// (`cnn.encode.<name>.nonzero_cells` over `cnn.encode.<name>.cells`) —
+/// the sparsity the zero-skipping accelerator models feed on. The density
+/// scan only runs while observability is on.
+fn record_encode_obs(name: &str, events: usize, frame: &Tensor) {
+    if !obs::enabled() {
+        return;
+    }
+    let nonzero = frame.as_slice().iter().filter(|&&v| v != 0.0).count();
+    obs::counter_add("cnn.encode.frames", 1);
+    obs::counter_add("cnn.encode.events", events as u64);
+    obs::counter_add(&format!("cnn.encode.{name}.frames"), 1);
+    obs::counter_add(&format!("cnn.encode.{name}.nonzero_cells"), nonzero as u64);
+    obs::counter_add(&format!("cnn.encode.{name}.cells"), frame.len() as u64);
 }
 
 /// Converts a slice of events into a dense frame tensor.
@@ -119,6 +136,7 @@ impl FrameEncoder for SignedCount {
             reduce_add(data, partials);
         }
         ops.record_add(events.len() as u64);
+        record_encode_obs(self.name(), events.len(), &frame);
         frame
     }
 
@@ -166,6 +184,7 @@ impl FrameEncoder for TwoChannel {
             reduce_add(data, partials);
         }
         ops.record_add(events.len() as u64);
+        record_encode_obs(self.name(), events.len(), &frame);
         frame
     }
 
@@ -237,6 +256,7 @@ impl FrameEncoder for TimeSurface {
         }
         // Model exp as ~4 multiplies (polynomial/LUT evaluation).
         ops.record_mult(4 * exp_evals);
+        record_encode_obs(self.name(), events.len(), &frame);
         frame
     }
 
@@ -306,6 +326,7 @@ impl FrameEncoder for LinearTimeSurface {
         }
         ops.record_mult(events.len() as u64);
         ops.record_write(events.len() as u64);
+        record_encode_obs(self.name(), events.len(), &frame);
         frame
     }
 
@@ -380,6 +401,7 @@ impl FrameEncoder for VoxelGrid {
         // Two weighted accumulations (mult + add) per event.
         ops.record_mult(2 * events.len() as u64);
         ops.record_add(2 * events.len() as u64);
+        record_encode_obs(self.name(), events.len(), &frame);
         frame
     }
 
@@ -453,6 +475,7 @@ impl FrameEncoder for CountAndSurface {
         ops.record_add(events.len() as u64);
         ops.record_mult(events.len() as u64);
         ops.record_write(2 * events.len() as u64);
+        record_encode_obs(self.name(), events.len(), &frame);
         frame
     }
 
@@ -566,6 +589,7 @@ impl FrameEncoder for Hats {
             }
         }
         ops.record_mult((2 * patch * cw * ch) as u64);
+        record_encode_obs(self.name(), events.len(), &frame);
         frame
     }
 

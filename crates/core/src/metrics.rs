@@ -6,6 +6,7 @@ use evlab_hw::snn_core::{NeuromorphicCore, UpdatePolicy};
 use evlab_hw::zeroskip::ZeroSkipAccelerator;
 use evlab_hw::CostReport;
 use evlab_tensor::OpCount;
+use evlab_util::obs;
 
 /// How a paradigm is deployed, for latency accounting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +43,7 @@ pub fn time_to_decision_us(style: DeploymentStyle, compute_latency_us: f64) -> f
 
 /// Prices an SNN inference on the digital neuromorphic core.
 pub fn price_snn(ops: &OpCount, param_words: usize, state_words: usize) -> CostReport {
+    let _span = obs::span("core.metrics.price_snn");
     NeuromorphicCore::new(EnergyModel::nm45(), UpdatePolicy::Clocked)
         .price(ops, state_words, param_words)
 }
@@ -51,6 +53,7 @@ pub fn price_snn(ops: &OpCount, param_words: usize, state_words: usize) -> CostR
 /// `activation_sparsity` feeds the compression model (NullHop stores
 /// feature maps compressed).
 pub fn price_cnn(ops: &OpCount, param_words: usize, activation_sparsity: f64) -> CostReport {
+    let _span = obs::span("core.metrics.price_cnn");
     let compression = 1.0 / (1.0 - activation_sparsity.clamp(0.0, 0.95) + 0.0625);
     ZeroSkipAccelerator::new(EnergyModel::nm45()).price(ops, 0.0, compression.max(1.0), param_words)
 }
@@ -62,6 +65,7 @@ pub fn price_gnn(
     feature_dim: usize,
     graph_words: usize,
 ) -> CostReport {
+    let _span = obs::span("core.metrics.price_gnn");
     GnnAccelerator::new(EnergyModel::nm45(), GnnDeployment::Edge)
         .price(ops, edges, feature_dim, graph_words)
 }

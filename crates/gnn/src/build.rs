@@ -26,7 +26,7 @@ use crate::graph::EventGraph;
 use crate::kdtree::KdTree3;
 use evlab_events::Event;
 use evlab_tensor::OpCount;
-use evlab_util::par;
+use evlab_util::{obs, par};
 use std::collections::HashMap;
 
 /// Minimum events per chunk for the kd-tree query fan-out.
@@ -150,6 +150,7 @@ pub fn naive_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) ->
         }
         graph.push_node(*e, select_neighbors(candidates, config.max_degree));
     }
+    record_build_obs(&graph);
     graph
 }
 
@@ -157,7 +158,9 @@ pub fn naive_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) ->
 /// query.
 pub fn kdtree_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -> EventGraph {
     let points: Vec<[f64; 3]> = events.iter().map(|e| config.point_of(e)).collect();
+    let tree_span = obs::span("gnn.build.kdtree");
     let tree = KdTree3::build(points.clone());
+    tree_span.finish();
     // Building the tree costs ~N log N comparisons.
     let n = events.len().max(2) as u64;
     ops.record_compare(n * (64 - n.leading_zeros() as u64));
@@ -197,7 +200,18 @@ pub fn kdtree_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -
             graph.push_node(*next_event.next().expect("one list per event"), ns);
         }
     }
+    record_build_obs(&graph);
     graph
+}
+
+/// Records node/edge totals for one finished build (any strategy).
+fn record_build_obs(graph: &EventGraph) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("gnn.build.graphs", 1);
+    obs::counter_add("gnn.build.nodes", graph.node_count() as u64);
+    obs::counter_add("gnn.build.edges", graph.edge_count() as u64);
 }
 
 /// Streaming builder: uniform spatial hash over (x, y) with per-cell event
@@ -302,17 +316,25 @@ pub fn incremental_build(
     config: &GraphConfig,
     ops: &mut OpCount,
 ) -> EventGraph {
-    if par::threads() > 1
-        && events.len() >= MIN_STRIPED_EVENTS
-        && config.cell_capacity == usize::MAX
-    {
-        return striped_incremental_build(events, config, ops);
+    let par_eligible = par::threads() > 1 && events.len() >= MIN_STRIPED_EVENTS;
+    if par_eligible && config.cell_capacity == usize::MAX {
+        let graph = striped_incremental_build(events, config, ops);
+        record_build_obs(&graph);
+        return graph;
+    }
+    if par_eligible {
+        // A capped configuration forced the serial stream even though the
+        // input was large enough to stripe — surface it so throughput
+        // regressions on multi-core hosts are diagnosable.
+        obs::counter_add("gnn.serial_fallback", 1);
     }
     let mut builder = IncrementalGraphBuilder::new(*config);
     for e in events {
         builder.insert(*e, ops);
     }
-    builder.into_graph()
+    let graph = builder.into_graph();
+    record_build_obs(&graph);
+    graph
 }
 
 /// Spatially partitioned incremental build.

@@ -10,6 +10,7 @@
 use crate::energy::EnergyModel;
 use crate::report::CostReport;
 use evlab_tensor::OpCount;
+use evlab_util::obs;
 
 /// Where the graph and features live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,10 @@ impl GnnAccelerator {
         };
         let memory_pj = gather_words * access_pj * self.gather_penalty;
         let cycles = ops.effective_macs as f64 / self.lanes as f64;
+        if obs::enabled() {
+            obs::counter_add("hw.gnn_accel.reports", 1);
+            obs::counter_add("hw.gnn_accel.gathered_edges", edges);
+        }
         CostReport {
             compute_pj,
             memory_pj,

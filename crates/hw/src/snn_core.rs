@@ -16,6 +16,7 @@
 use crate::energy::EnergyModel;
 use crate::report::CostReport;
 use evlab_tensor::OpCount;
+use evlab_util::obs;
 
 /// How the digital core updates neuron state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,10 @@ impl NeuromorphicCore {
         let memory_pj = ops.mem_accesses() as f64 * access_pj;
         let total_ops = ops.total_arithmetic().max(1);
         let latency_us = total_ops as f64 / self.throughput_sops * 1e6;
+        if obs::enabled() {
+            obs::counter_add("hw.snn_core.reports", 1);
+            obs::counter_add("hw.snn_core.priced_ops", total_ops);
+        }
         CostReport {
             compute_pj,
             memory_pj,
@@ -120,6 +125,9 @@ impl AnalogCore {
     pub fn price(&self, ops: &OpCount, neurons: usize) -> CostReport {
         let compute_pj = ops.adds as f64 * self.per_synapse_event_pj
             + ops.comparisons as f64 * self.spike_routing_pj;
+        if obs::enabled() {
+            obs::counter_add("hw.analog_core.reports", 1);
+        }
         CostReport {
             compute_pj,
             memory_pj: 0.0,

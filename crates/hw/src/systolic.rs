@@ -7,6 +7,7 @@
 use crate::energy::EnergyModel;
 use crate::report::CostReport;
 use evlab_tensor::OpCount;
+use evlab_util::obs;
 
 /// A weight-stationary systolic array.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +63,10 @@ impl SystolicArray {
         let memory_pj = accesses * access_pj;
         let pes = (self.rows * self.cols) as f64;
         let cycles = macs / (pes * self.utilization);
+        if obs::enabled() {
+            obs::counter_add("hw.systolic.reports", 1);
+            obs::counter_add("hw.systolic.nominal_macs", ops.macs);
+        }
         CostReport {
             compute_pj,
             memory_pj,

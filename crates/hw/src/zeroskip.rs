@@ -10,6 +10,7 @@
 use crate::energy::EnergyModel;
 use crate::report::CostReport;
 use evlab_tensor::OpCount;
+use evlab_util::obs;
 
 /// Zero-skipping accelerator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +105,14 @@ impl ZeroSkipAccelerator {
         } else {
             weight_words as u64
         };
+        if obs::enabled() {
+            obs::counter_add("hw.zeroskip.reports", 1);
+            obs::counter_add("hw.zeroskip.executed_macs", executed as u64);
+            obs::counter_add(
+                "hw.zeroskip.skipped_macs",
+                (ops.macs as f64 - executed).max(0.0) as u64,
+            );
+        }
         CostReport {
             compute_pj,
             memory_pj,

@@ -11,7 +11,7 @@
 use crate::encode::SpikeTrain;
 use crate::network::SnnNetwork;
 use evlab_tensor::{OpCount, Tensor};
-use evlab_util::par;
+use evlab_util::{obs, par};
 
 /// Minimum layer width before an injection fans out across threads; the
 /// per-spike update touches one weight column, so narrow layers are
@@ -175,6 +175,12 @@ impl EventDrivenSnn {
         ops.record_write(2 * decays);
         ops.record_add(out_size as u64);
         ops.record_compare(out_size as u64);
+        if obs::enabled() {
+            obs::counter_add("snn.event_driven.injections", 1);
+            obs::counter_add("snn.event_driven.membrane_updates", out_size as u64);
+            obs::counter_add("snn.event_driven.decays", decays);
+            obs::counter_add("snn.event_driven.spikes", fired.len() as u64);
+        }
         spike_counts[layer_idx] += fired.len();
         for j in fired {
             self.inject(layer_idx + 1, j, 1.0, t, ops, spike_counts);

@@ -12,7 +12,7 @@ use crate::neuron::LifConfig;
 use evlab_tensor::init::he_normal;
 use evlab_tensor::layer::Param;
 use evlab_tensor::OpCount;
-use evlab_util::{par, Rng64};
+use evlab_util::{obs, par, Rng64};
 
 /// Minimum `out_size x (active inputs + 1)` work before [`LifLayer::step`]
 /// fans out across threads; below this the spawn overhead dominates.
@@ -182,6 +182,16 @@ impl LifLayer {
         ops.record_write(self.out_size as u64);
         ops.record_add(active.len() as u64 * self.out_size as u64);
         ops.record_compare(self.out_size as u64);
+        if obs::enabled() {
+            let fired = spikes.iter().filter(|&&s| s != 0.0).count() as u64;
+            obs::counter_add("snn.layer.steps", 1);
+            obs::counter_add("snn.layer.spikes", fired);
+            obs::counter_add("snn.layer.membrane_updates", self.out_size as u64);
+            obs::counter_add(
+                "snn.layer.synaptic_adds",
+                active.len() as u64 * self.out_size as u64,
+            );
+        }
         LayerStep { membrane, spikes }
     }
 }

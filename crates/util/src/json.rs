@@ -236,6 +236,25 @@ impl Json {
     }
 }
 
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// temporary file first, which is then renamed over the target. A crash
+/// or failure mid-write can therefore never leave a truncated or partial
+/// artifact at `path` — readers see either the old file or the new one.
+pub fn write_atomic(path: impl AsRef<std::path::Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_string_pretty())
@@ -524,6 +543,25 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "01x", "\"unterminated", "1 2"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn write_atomic_replaces_target_and_leaves_no_temp() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("evlab_json_atomic_{}.json", std::process::id()));
+        write_atomic(&path, "{}").expect("first write");
+        write_atomic(&path, "[1]").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "[1]");
+        let tmp_left = std::fs::read_dir(&dir)
+            .expect("list temp dir")
+            .filter_map(Result::ok)
+            .any(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(&format!("evlab_json_atomic_{}.json.tmp", std::process::id()))
+            });
+        let _ = std::fs::remove_file(&path);
+        assert!(!tmp_left, "temporary file must not survive");
     }
 
     #[test]

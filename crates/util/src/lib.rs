@@ -17,6 +17,9 @@
 //! * [`par`] — the std-only parallel execution layer (scoped threads,
 //!   static chunking, ordered reduction) behind every hot path, controlled
 //!   by `EVLAB_THREADS`.
+//! * [`obs`] — the pipeline observability layer (named counters, span
+//!   timers, fixed-bucket histograms) behind the `EVLAB_OBS` toggle, a
+//!   no-op single branch on hot paths while off.
 //! * [`json::Json`] — a minimal JSON writer/parser so reports and
 //!   benchmark artifacts need no external serialization crates.
 //!
@@ -33,6 +36,7 @@
 pub mod fixed;
 pub mod json;
 pub mod lut;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod stats;

@@ -14,9 +14,20 @@
 //! Thread-count control, in priority order:
 //!
 //! 1. [`with_threads`] — a thread-local override for the current scope,
-//!    used by tests and the `hotpaths` benchmark sweep.
-//! 2. The `EVLAB_THREADS` environment variable (clamped to ≥ 1).
+//!    used by tests and the `hotpaths` benchmark sweep. The override is
+//!    propagated into every scoped worker this module spawns, so parallel
+//!    regions started *from worker threads* (nested regions) see the same
+//!    setting as the thread that started the outer region.
+//! 2. The `EVLAB_THREADS` environment variable.
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! All three sources are clamped to `[1, MAX_THREADS]`; an absurd
+//! `EVLAB_THREADS=100000` asks for [`MAX_THREADS`] workers, it does not
+//! crash thread spawn mid-scope. If the OS refuses to spawn a worker
+//! anyway, the worker's share of the work runs inline on the coordinating
+//! thread (recorded in the `par.spawn_fallback` observability counter)
+//! instead of panicking — the result is identical either way because
+//! chunk structure never depends on the thread count.
 //!
 //! Threads are spawned per parallel region with [`std::thread::scope`],
 //! which lets workers borrow from the caller's stack without `unsafe` or
@@ -38,9 +49,17 @@
 //! assert_eq!(partials, serial);
 //! ```
 
+use crate::obs;
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::Mutex;
 use std::thread;
+
+/// Ceiling on the worker count from any source. Scoped spawns cost real
+/// OS threads; far past the core count they only add scheduling overhead,
+/// and unbounded requests (`EVLAB_THREADS=100000`) can exhaust process
+/// limits and fail thread spawn mid-scope.
+pub const MAX_THREADS: usize = 256;
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -48,22 +67,43 @@ thread_local! {
 
 /// The worker count used by parallel regions started from this thread:
 /// the [`with_threads`] override if active, else `EVLAB_THREADS`, else
-/// [`std::thread::available_parallelism`]. Always at least 1.
+/// [`std::thread::available_parallelism`]. Clamped to `[1, MAX_THREADS]`.
 pub fn threads() -> usize {
     if let Some(n) = OVERRIDE.with(|o| o.get()) {
-        return n.max(1);
+        return n.clamp(1, MAX_THREADS);
     }
     if let Ok(v) = std::env::var("EVLAB_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+            return n.clamp(1, MAX_THREADS);
         }
     }
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_THREADS)
 }
 
-/// Runs `f` with the thread count forced to `n` (clamped to ≥ 1) for
-/// parallel regions started from the *current* thread. Restores the
-/// previous setting afterwards, panic or not.
+/// The raw [`with_threads`] override active on this thread, for
+/// propagation into scoped workers.
+fn current_override() -> Option<usize> {
+    OVERRIDE.with(|o| o.get())
+}
+
+/// Runs `f` with this thread's override set to `ovr` — the worker-side
+/// half of override propagation. Workers are short-lived, but the
+/// previous value is still restored so nested scoped regions compose.
+fn with_propagated<R>(ovr: Option<usize>, f: impl FnOnce() -> R) -> R {
+    match ovr {
+        Some(n) => with_threads(n, f),
+        None => f(),
+    }
+}
+
+/// Runs `f` with the thread count forced to `n` (clamped to
+/// `[1, MAX_THREADS]` on read) for parallel regions started from the
+/// current thread — and, because every scoped spawn in this module
+/// carries the override along, for nested regions started from worker
+/// threads too. Restores the previous setting afterwards, panic or not.
 ///
 /// This is how the equivalence tests compare `threads = 1` against
 /// `threads = 4` within one process without racing on the environment.
@@ -121,12 +161,15 @@ pub fn map_chunks<R: Send>(n_chunks: usize, worker: impl Fn(usize) -> R + Sync) 
     if t <= 1 {
         return (0..n_chunks).map(worker).collect();
     }
+    let ovr = current_override();
     let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
     thread::scope(|s| {
         let worker = &worker;
-        let handles: Vec<_> = (0..t)
-            .map(|tid| {
-                s.spawn(move || {
+        let mut handles = Vec::with_capacity(t);
+        let mut inline: Vec<(usize, R)> = Vec::new();
+        for tid in 0..t {
+            let spawned = thread::Builder::new().spawn_scoped(s, move || {
+                with_propagated(ovr, || {
                     let mut produced = Vec::new();
                     let mut c = tid;
                     while c < n_chunks {
@@ -135,12 +178,29 @@ pub fn map_chunks<R: Send>(n_chunks: usize, worker: impl Fn(usize) -> R + Sync) 
                     }
                     produced
                 })
-            })
-            .collect();
+            });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(_) => {
+                    // The OS refused the thread: run this worker's chunks
+                    // on the coordinator. Chunk structure is unchanged, so
+                    // the result is bit-identical.
+                    obs::counter_add("par.spawn_fallback", 1);
+                    let mut c = tid;
+                    while c < n_chunks {
+                        inline.push((c, worker(c)));
+                        c += t;
+                    }
+                }
+            }
+        }
         for h in handles {
             for (c, r) in h.join().expect("par worker panicked") {
                 slots[c] = Some(r);
             }
+        }
+        for (c, r) in inline {
+            slots[c] = Some(r);
         }
     });
     slots
@@ -173,14 +233,32 @@ pub fn for_each_task<T: Send>(tasks: &mut [T], f: impl Fn(usize, &mut T) + Sync)
     for (i, task) in tasks.iter_mut().enumerate() {
         buckets[i % t].push((i, task));
     }
+    // Each bucket lives in a one-shot cell so that when a thread fails to
+    // spawn (its closure is dropped unrun), the coordinator can reclaim
+    // the bucket and run it inline instead of losing the work.
+    let cells: Vec<Mutex<Option<Vec<(usize, &mut T)>>>> =
+        buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let ovr = current_override();
     thread::scope(|s| {
         let f = &f;
-        for bucket in buckets {
-            s.spawn(move || {
-                for (i, task) in bucket {
-                    f(i, task);
+        for cell in &cells {
+            let run_bucket = move || {
+                if let Some(bucket) = cell.lock().expect("par bucket cell").take() {
+                    for (i, task) in bucket {
+                        f(i, task);
+                    }
                 }
-            });
+            };
+            let spawned = thread::Builder::new()
+                .spawn_scoped(s, move || with_propagated(ovr, run_bucket));
+            if spawned.is_err() {
+                obs::counter_add("par.spawn_fallback", 1);
+                if let Some(bucket) = cell.lock().expect("par bucket cell").take() {
+                    for (i, task) in bucket {
+                        f(i, task);
+                    }
+                }
+            }
         }
     });
 }
@@ -220,11 +298,41 @@ where
     A: Send,
     B: Send,
 {
+    let ovr = current_override();
+    // `fb` sits in a one-shot cell: normally the worker takes it, but
+    // if the spawn fails (closure dropped unrun) the coordinator
+    // reclaims it and runs both halves serially.
+    let fb_cell = Mutex::new(Some(fb));
     thread::scope(|s| {
-        let hb = s.spawn(fb);
-        let a = fa();
-        let b = hb.join().expect("joined worker panicked");
-        (a, b)
+        let fb_cell = &fb_cell;
+        let spawned = thread::Builder::new().spawn_scoped(s, || {
+            with_propagated(ovr, || {
+                let fb = fb_cell
+                    .lock()
+                    .expect("join cell")
+                    .take()
+                    .expect("fb taken once");
+                fb()
+            })
+        });
+        match spawned {
+            Ok(hb) => {
+                let a = fa();
+                let b = hb.join().expect("joined worker panicked");
+                (a, b)
+            }
+            Err(_) => {
+                obs::counter_add("par.spawn_fallback", 1);
+                let fb = fb_cell
+                    .lock()
+                    .expect("join cell")
+                    .take()
+                    .expect("fb unclaimed after failed spawn");
+                let a = fa();
+                let b = fb();
+                (a, b)
+            }
+        }
     })
 }
 
@@ -283,6 +391,35 @@ mod tests {
             }
             assert_eq!(covered, len);
         }
+    }
+
+    #[test]
+    fn threads_clamps_absurd_overrides() {
+        assert_eq!(with_threads(100_000, threads), MAX_THREADS);
+        assert_eq!(with_threads(0, threads), 1);
+    }
+
+    #[test]
+    fn override_propagates_into_map_chunks_workers() {
+        // Workers are fresh threads with empty thread-locals; the spawn
+        // must carry the override so nested regions see it.
+        let seen = with_threads(3, || map_chunks(4, |_| threads()));
+        assert_eq!(seen, vec![3; 4]);
+    }
+
+    #[test]
+    fn override_propagates_into_for_each_task_workers() {
+        let mut v = vec![0usize; 6];
+        let mut tasks: Vec<&mut usize> = v.iter_mut().collect();
+        with_threads(5, || for_each_task(&mut tasks, |_, t| **t = threads()));
+        assert_eq!(v, vec![5; 6]);
+    }
+
+    #[test]
+    fn override_propagates_into_join_worker() {
+        let (on_caller, on_worker) = with_threads(7, || join(threads, threads));
+        assert_eq!(on_caller, 7);
+        assert_eq!(on_worker, 7);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 # regression in any of the four parallelized hot paths fails this
 # script.
 #
+# The smoke sweep runs under EVLAB_OBS=1 with --metrics: afterwards
+# `obs_check` re-parses the emitted metrics file with the crate's own
+# JSON parser and fails if any pipeline stage (camera, encoders, both
+# SNN engines, graph builders — including the capped build's
+# gnn.serial_fallback) reported zero activity.
+#
 # Usage: scripts/verify.sh
 # Requires no network access: the workspace has zero registry
 # dependencies and must build with `--offline`.
@@ -21,10 +27,14 @@ cargo build --release --offline
 echo "==> cargo test --workspace --offline"
 cargo test -q --workspace --offline
 
-echo "==> hotpaths smoke sweep (threads 1, 2; checksum-gated)"
+echo "==> hotpaths smoke sweep (threads 1, 2; checksum-gated; obs on)"
 out="$(mktemp /tmp/evlab_hotpaths_smoke.XXXXXX.json)"
-trap 'rm -f "$out"' EXIT
-cargo run -q --release --offline -p evlab-bench --bin hotpaths -- \
-    --smoke --out "$out"
+metrics="$(mktemp /tmp/evlab_hotpaths_obs.XXXXXX.json)"
+trap 'rm -f "$out" "$metrics"' EXIT
+EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin hotpaths -- \
+    --smoke --out "$out" --metrics "$metrics"
 
-echo "==> OK: build, tests and hot-path determinism all pass"
+echo "==> obs_check: metrics parse + every pipeline stage reported activity"
+cargo run -q --release --offline -p evlab-bench --bin obs_check -- "$metrics"
+
+echo "==> OK: build, tests, hot-path determinism and stage observability all pass"

@@ -1,0 +1,145 @@
+//! Observability-layer contract: pipeline stages record what they did,
+//! the capped graph builder both stays bit-identical under forced thread
+//! counts *and* reports its serial fallback, and the metrics snapshot
+//! round-trips through the crate's own JSON parser.
+//!
+//! The obs registry is process-global and tests run concurrently, so every
+//! assertion here is a *delta* around the workload under test, never an
+//! absolute counter value.
+
+use evlab::events::{Event, EventStream, Polarity};
+use evlab::gnn::build::{incremental_build, GraphConfig};
+use evlab::sensor::scene::MovingBar;
+use evlab::sensor::{CameraConfig, EventCamera};
+use evlab::tensor::OpCount;
+use evlab::util::json::Json;
+use evlab::util::{obs, par, Rng64};
+
+fn random_stream(n: usize, res: u16, span_us: u64, seed: u64) -> EventStream {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut ts: Vec<u64> = (0..n).map(|_| rng.next_below(span_us)).collect();
+    ts.sort_unstable();
+    let events: Vec<Event> = ts
+        .into_iter()
+        .map(|t| {
+            Event::new(
+                t,
+                rng.next_below(res as u64) as u16,
+                rng.next_below(res as u64) as u16,
+                if rng.bernoulli(0.5) {
+                    Polarity::On
+                } else {
+                    Polarity::Off
+                },
+            )
+        })
+        .collect();
+    EventStream::from_events((res, res), events).expect("sorted and in bounds")
+}
+
+/// The load-bearing pair of guarantees for capped cells: the build is
+/// bit-for-bit the serial stream at `threads = 4`, and the forced
+/// fallback is *visible* — `gnn.serial_fallback` increments instead of
+/// the config silently losing its parallelism.
+#[test]
+fn capped_build_is_serial_exact_and_counts_its_fallback() {
+    obs::set_enabled(true);
+    // Past MIN_STRIPED_EVENTS (4096) so only the cap forces the fallback.
+    let stream = random_stream(5_000, 32, 200_000, 91);
+    let config = GraphConfig::new().with_cell_capacity(16);
+    let mut ops_serial = OpCount::new();
+    let serial =
+        par::with_threads(1, || incremental_build(stream.as_slice(), &config, &mut ops_serial));
+    let before = obs::counter_value("gnn.serial_fallback");
+    let mut ops_forced = OpCount::new();
+    let forced =
+        par::with_threads(4, || incremental_build(stream.as_slice(), &config, &mut ops_forced));
+    let after = obs::counter_value("gnn.serial_fallback");
+    for i in 0..stream.len() {
+        assert_eq!(
+            serial.in_neighbors(i),
+            forced.in_neighbors(i),
+            "capped build diverged from the serial stream at node {i}"
+        );
+    }
+    assert_eq!(ops_serial, ops_forced, "op accounting differs");
+    assert!(
+        after >= before + 1,
+        "parallel-eligible capped build did not report its serial fallback \
+         (before {before}, after {after})"
+    );
+}
+
+/// An *uncapped* large build under threads > 1 takes the striped path and
+/// must not claim a fallback it did not take.
+#[test]
+fn striped_build_does_not_count_a_fallback() {
+    obs::set_enabled(true);
+    let stream = random_stream(5_000, 32, 200_000, 92);
+    let config = GraphConfig::new();
+    let before = obs::counter_value("gnn.serial_fallback");
+    let mut ops = OpCount::new();
+    // Serialize against the capped test above: its own fallback increments
+    // must not land inside this window, so retry until the counter was
+    // stable around a striped build.
+    for _ in 0..32 {
+        let b = obs::counter_value("gnn.serial_fallback");
+        par::with_threads(4, || incremental_build(stream.as_slice(), &config, &mut ops));
+        if obs::counter_value("gnn.serial_fallback") == b {
+            return;
+        }
+    }
+    let after = obs::counter_value("gnn.serial_fallback");
+    panic!("striped build kept reporting serial fallbacks (before {before}, after {after})");
+}
+
+/// Camera recordings land in the sensor counters: events emitted and the
+/// band-merge span.
+#[test]
+fn camera_stage_records_its_activity() {
+    obs::set_enabled(true);
+    let events_before = obs::counter_value("sensor.camera.events");
+    let recs_before = obs::counter_value("sensor.camera.recordings");
+    let camera = EventCamera::new(CameraConfig::new((32, 32)));
+    let scene = MovingBar::horizontal(0.002, 4.0);
+    let stream = camera.record(&scene, 0, 20_000, 3);
+    assert!(stream.len() > 10, "bar must generate events");
+    assert!(
+        obs::counter_value("sensor.camera.events") >= events_before + stream.len() as u64,
+        "emitted events not counted"
+    );
+    assert!(
+        obs::counter_value("sensor.camera.recordings") >= recs_before + 1,
+        "recording not counted"
+    );
+    let merge = obs::spans()
+        .into_iter()
+        .find(|(n, _)| n == "sensor.camera.band_merge")
+        .map(|(_, h)| h)
+        .expect("band-merge span recorded");
+    assert!(merge.count >= 1);
+}
+
+/// The metrics file is written atomically and parses with the same JSON
+/// implementation that produced it; the required schema keys are present.
+#[test]
+fn metrics_file_round_trips_through_the_parser() {
+    obs::set_enabled(true);
+    obs::counter_add("obs.itest.marker", 7);
+    let path = std::env::temp_dir().join(format!(
+        "evlab_obs_itest_{}.json",
+        std::process::id()
+    ));
+    obs::write_metrics(&path).expect("write metrics");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    let doc = Json::parse(&text).expect("metrics file parses");
+    assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+    let marker = doc
+        .get("counters")
+        .and_then(|c| c.get("obs.itest.marker"))
+        .and_then(Json::as_u64)
+        .expect("marker counter present");
+    assert!(marker >= 7);
+    assert!(doc.get("spans").is_some(), "spans object missing");
+}

@@ -150,6 +150,46 @@ fn event_driven_snn_is_thread_invariant() {
 }
 
 #[test]
+fn with_threads_override_reaches_worker_threads() {
+    // Regression: the thread-count override is a thread-local, and worker
+    // threads start with fresh thread-locals — the par layer must copy the
+    // override into every worker so that nested regions see it.
+    let seen = par::with_threads(3, || par::map_chunks(4, |_| par::threads()));
+    assert_eq!(seen, vec![3; 4], "override lost inside worker threads");
+    // An inner region opened *on a worker* still wins over the propagated
+    // outer override, exactly as it does on the coordinator thread.
+    let inner = par::with_threads(4, || {
+        par::map_chunks(2, |_| par::with_threads(2, par::threads))
+    });
+    assert_eq!(inner, vec![2; 2], "inner override must shadow the outer one");
+}
+
+#[test]
+fn nested_with_threads_regions_stay_bit_identical() {
+    // A pipeline stage that itself fans out, launched from inside a worker
+    // of an outer region: with the override propagated, the inner encode
+    // chunks under threads = 4 and must still match the flat serial run
+    // bit for bit.
+    let stream = random_stream(40_000, 64, 80_000, 13);
+    let events = stream.as_slice();
+    let enc = SignedCount::new();
+    let mut ops = OpCount::new();
+    let flat = par::with_threads(1, || enc.encode(events, stream.resolution(), &mut ops));
+    let nested = par::with_threads(4, || {
+        par::map_chunks(2, |_| {
+            let mut ops = OpCount::new();
+            enc.encode(events, stream.resolution(), &mut ops)
+        })
+    });
+    for frame in &nested {
+        assert!(
+            bits_equal(flat.as_slice(), frame.as_slice()),
+            "nested encode differs from the flat serial run"
+        );
+    }
+}
+
+#[test]
 fn graph_builders_are_thread_invariant() {
     // Past MIN_STRIPED_EVENTS (4096) with exact (uncapped) cells, so the
     // threaded incremental build takes the striped path.
