@@ -22,8 +22,8 @@ fn bench_async(c: &mut Criterion) {
     group.bench_function("stream_500_events_async", |b| {
         b.iter(|| {
             let mut rng = Rng64::seed_from_u64(1);
-            let mut net = GnnNetwork::new(&GnnConfig::new(4), &mut rng);
-            let mut engine = AsyncGnn::new(&mut net, config, 4);
+            let net = GnnNetwork::new(&GnnConfig::new(4), &mut rng);
+            let mut engine = AsyncGnn::new(net, config, 4);
             let mut ops = OpCount::new();
             for e in stream.iter() {
                 black_box(engine.update(*e, &mut ops));

@@ -27,15 +27,14 @@ fn main() {
         "radius", "beta", "accuracy", "ops/inf", "mean degree"
     );
     for &(radius, beta) in &[(3.0, 0.001), (5.0, 0.001), (8.0, 0.001), (5.0, 0.01)] {
-        let config = GnnPipelineConfig {
-            graph: GraphConfig {
+        let config = GnnPipelineConfig::new()
+            .with_graph(GraphConfig {
                 beta,
                 ..GraphConfig::new().with_radius(radius)
-            },
-            epochs: 15,
-            ..GnnPipelineConfig::new()
-        };
-        let mut clf = GnnPipeline::new(config, 11);
+            })
+            .with_epochs(15)
+            .with_seed(11);
+        let mut clf = GnnPipeline::new(config);
         clf.fit(&shapes);
         let mut ops = OpCount::new();
         let acc = test_accuracy(&mut clf, &shapes, &mut ops);
@@ -54,13 +53,12 @@ fn main() {
     println!("\n=== SNN: timestep count (shapes, 32x32) ===");
     println!("{:>8} {:>10} {:>10} {:>14}", "steps", "dt us", "accuracy", "adds/inf");
     for &(steps, dt_us) in &[(4usize, 8_000u64), (8, 4_000), (16, 2_000), (32, 1_000)] {
-        let config = SnnPipelineConfig {
-            steps,
-            dt_us,
-            epochs: 25,
-            ..SnnPipelineConfig::new()
-        };
-        let mut clf = SnnPipeline::new(config, 11);
+        let config = SnnPipelineConfig::new()
+            .with_steps(steps)
+            .with_dt_us(dt_us)
+            .with_epochs(25)
+            .with_seed(11);
+        let mut clf = SnnPipeline::new(config);
         clf.fit(&shapes);
         let mut ops = OpCount::new();
         let acc = test_accuracy(&mut clf, &shapes, &mut ops);
@@ -79,8 +77,11 @@ fn main() {
         ("two-channel", FrameKind::TwoChannel),
         ("voxel-grid-5", FrameKind::VoxelGrid(5)),
     ] {
-        let config = CnnPipelineConfig::new().with_frame(frame).with_epochs(20);
-        let mut clf = CnnPipeline::new(config, 11);
+        let config = CnnPipelineConfig::new()
+            .with_frame(frame)
+            .with_epochs(20)
+            .with_seed(11);
+        let mut clf = CnnPipeline::new(config);
         clf.fit(&temporal);
         let mut ops = OpCount::new();
         let acc = test_accuracy(&mut clf, &temporal, &mut ops);
@@ -93,14 +94,14 @@ fn main() {
     }
 
     println!("\n=== CNN: post-training pruning and quantization (shapes) ===");
-    let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20), 11);
+    let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20).with_seed(11));
     clf.fit(&shapes);
     let mut ops = OpCount::new();
     let baseline = test_accuracy(&mut clf, &shapes, &mut ops);
     println!("{:>12} {:>10} {:>14}", "prune frac", "accuracy", "weight zeros");
     println!("{:>12} {:>10.2} {:>14}", "0.0", baseline, "0%");
     for &fraction in &[0.5f64, 0.7, 0.9] {
-        let mut pruned = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20), 11);
+        let mut pruned = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20).with_seed(11));
         pruned.fit(&shapes);
         let report =
             prune_by_magnitude(pruned.network_mut().expect("trained"), fraction);
@@ -115,7 +116,7 @@ fn main() {
     }
     println!("{:>12} {:>10} {:>14}", "quant bits", "accuracy", "model bytes");
     for &bits in &[8u32, 4, 2] {
-        let mut quant = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20), 11);
+        let mut quant = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(20).with_seed(11));
         quant.fit(&shapes);
         let report = quantize_weights(quant.network_mut().expect("trained"), bits);
         let mut ops = OpCount::new();
@@ -126,12 +127,9 @@ fn main() {
     println!("\n=== GNN: relational vs B-spline edge kernel (shapes) ===");
     println!("{:>14} {:>10} {:>12}", "kernel", "accuracy", "params");
     for (name, spline) in [("relational", false), ("spline-3", true)] {
-        let mut config = GnnPipelineConfig {
-            epochs: 15,
-            ..GnnPipelineConfig::new()
-        };
+        let mut config = GnnPipelineConfig::new().with_epochs(15).with_seed(11);
         config.kernel_size = if spline { Some(3) } else { None };
-        let mut clf = GnnPipeline::new(config, 11);
+        let mut clf = GnnPipeline::new(config);
         clf.fit(&shapes);
         let mut ops = OpCount::new();
         let acc = test_accuracy(&mut clf, &shapes, &mut ops);
@@ -153,13 +151,7 @@ fn main() {
         } else {
             noisy.clone()
         };
-        let mut clf = GnnPipeline::new(
-            GnnPipelineConfig {
-                epochs: 15,
-                ..GnnPipelineConfig::new()
-            },
-            11,
-        );
+        let mut clf = GnnPipeline::new(GnnPipelineConfig::new().with_epochs(15).with_seed(11));
         clf.fit(&data);
         let mut ops = OpCount::new();
         let acc = test_accuracy(&mut clf, &data, &mut ops);

@@ -8,7 +8,7 @@ use evlab_sensor::sensordb::{
     array_trend, fill_factor_by_process, pitch_trend, published_sensors,
 };
 
-fn main() {
+fn main() -> Result<(), evlab_util::EvlabError> {
     let metrics = evlab_bench::metrics_arg(&std::env::args().skip(1).collect::<Vec<_>>());
     let db = published_sensors();
     println!("Fig. 1 — event-camera scaling trends ({} devices)\n", db.len());
@@ -50,5 +50,5 @@ fn main() {
         fsi.unwrap_or(0.0),
         stacked.unwrap_or(0.0)
     );
-    evlab_bench::finish_metrics(&metrics);
+    evlab_bench::finish_metrics(&metrics)
 }

@@ -8,7 +8,7 @@ use evlab_bench::moving_cluster_stream;
 use evlab_gnn::build::{incremental_build, GraphConfig};
 use evlab_tensor::OpCount;
 
-fn main() {
+fn main() -> Result<(), evlab_util::EvlabError> {
     let metrics = evlab_bench::metrics_arg(&std::env::args().skip(1).collect::<Vec<_>>());
     let stream = moving_cluster_stream(2_000, 64, 50_000, 11);
     println!(
@@ -47,7 +47,7 @@ fn main() {
     // Degree histogram at the default configuration.
     let mut ops = OpCount::new();
     let graph = incremental_build(stream.as_slice(), &GraphConfig::new(), &mut ops);
-    let mut hist = vec![0usize; 10];
+    let mut hist = [0usize; 10];
     for i in 0..graph.node_count() {
         let d = graph.in_neighbors(i).len().min(9);
         hist[d] += 1;
@@ -67,5 +67,5 @@ fn main() {
             .first()
             .map(|&j| graph.relative_offset(100, j as usize))
     );
-    evlab_bench::finish_metrics(&metrics);
+    evlab_bench::finish_metrics(&metrics)
 }

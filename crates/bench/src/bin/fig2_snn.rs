@@ -12,7 +12,7 @@ fn ascii_bar(value: f64, max: f64, width: usize) -> String {
     "#".repeat(filled)
 }
 
-fn main() {
+fn main() -> Result<(), evlab_util::EvlabError> {
     let metrics = evlab_bench::metrics_arg(&std::env::args().skip(1).collect::<Vec<_>>());
     println!("Fig. 2 (left) — LIF membrane response to an input spike train\n");
     let mut neuron = LifNeuron::new(&LifConfig::new());
@@ -56,5 +56,5 @@ fn main() {
         println!();
         x += 0.25;
     }
-    evlab_bench::finish_metrics(&metrics);
+    evlab_bench::finish_metrics(&metrics)
 }

@@ -212,7 +212,7 @@ fn graph_workload(scale: &Scale) -> (u64, u64) {
     )
 }
 
-fn main() {
+fn main() -> Result<(), evlab_util::EvlabError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
@@ -224,7 +224,8 @@ fn main() {
     let metrics_path = metrics_arg(&args);
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
 
-    let workloads: Vec<(&str, &str, Box<dyn Fn() -> (u64, u64)>)> = vec![
+    type Workload = Box<dyn Fn() -> (u64, u64)>;
+    let workloads: Vec<(&str, &str, Workload)> = vec![
         (
             "camera",
             "events/s",
@@ -324,12 +325,12 @@ fn main() {
         ),
         ("workloads", Json::arr(workload_json)),
     ]);
-    evlab_util::json::write_atomic(&out_path, &(report.to_string_pretty() + "\n"))
-        .expect("write report");
+    evlab_util::json::write_atomic(&out_path, &(report.to_string_pretty() + "\n"))?;
     eprintln!("[hotpaths] wrote {out_path}");
-    finish_metrics(&metrics_path);
+    finish_metrics(&metrics_path)?;
     if mismatches > 0 {
         eprintln!("[hotpaths] FAILED: {mismatches} checksum mismatch(es)");
         std::process::exit(1);
     }
+    Ok(())
 }

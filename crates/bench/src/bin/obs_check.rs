@@ -8,8 +8,11 @@
 //! stopped running), which is exactly the failure mode the observability
 //! layer exists to catch.
 //!
-//! Usage: `obs_check PATH [PATH ...]` — exits non-zero on the first
-//! missing/zero counter or unparseable file.
+//! Usage: `obs_check [--require NAME ...] PATH [PATH ...]` — exits
+//! non-zero on the first missing/zero counter or unparseable file. With
+//! one or more `--require NAME` flags the required set is exactly those
+//! counters instead of the built-in pipeline list (used by `verify.sh` to
+//! validate serving metrics, where only `serve.*` counters exist).
 
 use evlab_util::json::Json;
 
@@ -29,14 +32,14 @@ const REQUIRED_NONZERO: &[&str] = &[
     "gnn.serial_fallback",
 ];
 
-fn check_file(path: &str) -> Result<(), String> {
+fn check_file(path: &str, required: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
     let counters = doc
         .get("counters")
         .ok_or_else(|| format!("{path}: no `counters` object"))?;
     let mut failures = Vec::new();
-    for &name in REQUIRED_NONZERO {
+    for name in required {
         match counters.get(name).and_then(Json::as_u64) {
             None => failures.push(format!("counter `{name}` missing")),
             Some(0) => failures.push(format!("counter `{name}` is zero")),
@@ -54,14 +57,33 @@ fn check_file(path: &str) -> Result<(), String> {
 }
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut required: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--require" {
+            match it.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("--require needs a counter name");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    if required.is_empty() {
+        required = REQUIRED_NONZERO.iter().map(|s| s.to_string()).collect();
+    }
     if paths.is_empty() {
-        eprintln!("usage: obs_check PATH [PATH ...]");
+        eprintln!("usage: obs_check [--require NAME ...] PATH [PATH ...]");
         std::process::exit(2);
     }
     for path in &paths {
         eprintln!("[obs_check] {path}");
-        if let Err(e) = check_file(path) {
+        if let Err(e) = check_file(path, &required) {
             eprintln!("[obs_check] FAILED: {e}");
             std::process::exit(1);
         }

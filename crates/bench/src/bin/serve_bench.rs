@@ -1,0 +1,292 @@
+//! Streaming-serving benchmark: sessions × event-rate × queue-depth.
+//!
+//! Trains one tiny pipeline per paradigm, then serves N concurrent
+//! sessions of each through [`evlab_serve::ServeRuntime`], feeding every
+//! session a clustered event stream in per-tick bursts. When the burst
+//! exceeds the queue depth the runtime must shed load — the sweep
+//! deliberately includes such overload points to measure degradation
+//! rather than avoid it. For every configuration the report records
+//! ingress/shed/decision counts and the p50/p99 event-to-decision latency
+//! (queueing delay included), per paradigm, in `BENCH_serve.json`.
+//!
+//! Usage: `serve_bench [--smoke] [--out PATH] [--metrics PATH]`
+//!
+//! `--smoke` runs one overloaded configuration (4 sessions per paradigm,
+//! 16-deep queues, 64-event bursts) and asserts that load was actually
+//! shed and that every session still produced decisions — the graceful-
+//! degradation contract. `--metrics PATH` additionally writes the
+//! `serve.*` observability counters for `obs_check --require` validation.
+
+use evlab_bench::{finish_metrics, metrics_arg, moving_cluster_stream};
+use evlab_core::online::OnlineClassifier;
+use evlab_core::prelude::*;
+use evlab_datasets::shapes::shape_silhouettes;
+use evlab_datasets::DatasetConfig;
+use evlab_events::EventStream;
+use evlab_serve::{DropPolicy, ServeConfig, ServeRuntime};
+use evlab_util::json::Json;
+use evlab_util::stats::quantile;
+use evlab_util::EvlabError;
+use std::time::Instant;
+
+/// Sweep axes, reduced by `--smoke`.
+struct Scale {
+    sessions: Vec<usize>,
+    queue_depths: Vec<usize>,
+    /// Events offered per session per tick; bursts larger than the queue
+    /// depth force overload.
+    bursts: Vec<usize>,
+    events_per_session: usize,
+    /// Microseconds between consecutive events of one session's stream.
+    event_dt_us: u64,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Scale {
+            sessions: vec![2, 4, 8],
+            queue_depths: vec![32, 256],
+            bursts: vec![16, 128],
+            events_per_session: 4_000,
+            event_dt_us: 25,
+        }
+    }
+
+    fn smoke() -> Self {
+        Scale {
+            sessions: vec![4],
+            queue_depths: vec![16],
+            bursts: vec![64],
+            events_per_session: 1_200,
+            event_dt_us: 25,
+        }
+    }
+}
+
+/// A trained pipeline bundle from which per-session classifiers are cloned.
+struct Paradigms {
+    snn: SnnPipeline,
+    cnn: CnnPipeline,
+    gnn: GnnPipeline,
+    resolution: (u16, u16),
+}
+
+fn train_paradigms() -> Paradigms {
+    let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(6, 2));
+    let mut snn = SnnPipeline::new(SnnPipelineConfig::new().with_epochs(8).with_seed(7));
+    let mut cnn = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(8).with_seed(7));
+    let mut gnn = GnnPipeline::new(
+        GnnPipelineConfig::new()
+            .with_epochs(8)
+            .with_max_nodes(128)
+            .with_seed(7),
+    );
+    eprintln!("[serve_bench] training snn/cnn/gnn on tiny shapes ...");
+    snn.fit(&data);
+    cnn.fit(&data);
+    gnn.fit(&data);
+    Paradigms {
+        snn,
+        cnn,
+        gnn,
+        resolution: data.resolution,
+    }
+}
+
+fn make_session(
+    paradigms: &Paradigms,
+    paradigm: &str,
+) -> Result<Box<dyn OnlineClassifier + Send>, EvlabError> {
+    Ok(match paradigm {
+        "snn" => Box::new(SnnOnline::new(&paradigms.snn, paradigms.resolution)?),
+        // 2 ms micro-batch windows: several flushes per served stream.
+        "cnn" => Box::new(CnnOnline::new(&paradigms.cnn, paradigms.resolution, 2_000)?),
+        "gnn" => Box::new(GnnOnline::new(&paradigms.gnn)?),
+        other => return Err(EvlabError::serve(format!("unknown paradigm {other}"))),
+    })
+}
+
+/// The measured outcome of serving one (paradigm, sessions, depth, burst)
+/// configuration.
+struct RunResult {
+    offered: u64,
+    accepted: u64,
+    shed: u64,
+    processed: u64,
+    decisions: u64,
+    p50_us: f64,
+    p99_us: f64,
+    secs: f64,
+    errors: usize,
+}
+
+fn serve_one(
+    paradigms: &Paradigms,
+    paradigm: &str,
+    n_sessions: usize,
+    queue_depth: usize,
+    burst: usize,
+    streams: &[EventStream],
+) -> Result<RunResult, EvlabError> {
+    let config = ServeConfig::new()
+        .with_queue_depth(queue_depth)
+        .with_policy(DropPolicy::DropOldest)
+        .with_quantum(32);
+    let mut rt = ServeRuntime::new(config);
+    for _ in 0..n_sessions {
+        let classifier = make_session(paradigms, paradigm)?;
+        rt.open_session(classifier, paradigms.resolution)?;
+    }
+    let start = Instant::now();
+    // Ingest in per-tick bursts: every session receives `burst` events,
+    // then the scheduler runs one round-robin round across all sessions.
+    let mut cursors = vec![0usize; n_sessions];
+    loop {
+        let mut any = false;
+        for (sid, cursor) in cursors.iter_mut().enumerate() {
+            let stream = &streams[sid % streams.len()];
+            let events = stream.as_slice();
+            let end = (*cursor + burst).min(events.len());
+            for e in &events[*cursor..end] {
+                rt.offer(sid, *e);
+            }
+            any |= end > *cursor;
+            *cursor = end;
+        }
+        rt.tick();
+        if !any {
+            break;
+        }
+    }
+    rt.drain_all();
+    rt.flush_all()?;
+    let secs = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut offered, mut accepted, mut shed, mut processed, mut decisions) = (0, 0, 0, 0, 0);
+    let mut errors = 0usize;
+    for s in rt.sessions() {
+        let st = s.stats();
+        offered += st.offered;
+        accepted += st.accepted;
+        shed += st.shed();
+        processed += st.processed;
+        decisions += st.decisions;
+        latencies.extend_from_slice(s.latencies_us());
+        if s.error().is_some() {
+            errors += 1;
+        }
+    }
+    Ok(RunResult {
+        offered,
+        accepted,
+        shed,
+        processed,
+        decisions,
+        p50_us: quantile(&latencies, 0.5).unwrap_or(f64::NAN),
+        p99_us: quantile(&latencies, 0.99).unwrap_or(f64::NAN),
+        secs,
+        errors,
+    })
+}
+
+fn main() -> Result<(), EvlabError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let metrics_path = metrics_arg(&args);
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+
+    let paradigms = train_paradigms();
+    // Distinct per-session streams (clustered — the realistic case), all
+    // the same length so every session finishes ingest together.
+    let max_sessions = scale.sessions.iter().copied().max().unwrap_or(1);
+    let span_us = scale.events_per_session as u64 * scale.event_dt_us;
+    let streams: Vec<EventStream> = (0..max_sessions)
+        .map(|i| {
+            moving_cluster_stream(
+                scale.events_per_session,
+                paradigms.resolution.0,
+                span_us,
+                100 + i as u64,
+            )
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut smoke_shed = 0u64;
+    let mut smoke_decisions = 0u64;
+    for paradigm in ["snn", "cnn", "gnn"] {
+        for &n_sessions in &scale.sessions {
+            for &depth in &scale.queue_depths {
+                for &burst in &scale.bursts {
+                    let r = serve_one(&paradigms, paradigm, n_sessions, depth, burst, &streams)?;
+                    if r.errors > 0 {
+                        return Err(EvlabError::serve(format!(
+                            "{paradigm}: {} session(s) failed",
+                            r.errors
+                        )));
+                    }
+                    eprintln!(
+                        "[serve_bench] {paradigm} sessions={n_sessions} depth={depth} \
+                         burst={burst}: shed {}/{} p50={:.0}us p99={:.0}us ({:.2} Mev/s)",
+                        r.shed,
+                        r.offered,
+                        r.p50_us,
+                        r.p99_us,
+                        r.processed as f64 / r.secs.max(1e-12) / 1e6,
+                    );
+                    smoke_shed += r.shed;
+                    smoke_decisions += r.decisions;
+                    rows.push(Json::obj([
+                        ("paradigm", Json::str(paradigm)),
+                        ("sessions", Json::from(n_sessions)),
+                        ("queue_depth", Json::from(depth)),
+                        ("burst", Json::from(burst)),
+                        ("offered", Json::from(r.offered)),
+                        ("accepted", Json::from(r.accepted)),
+                        ("shed", Json::from(r.shed)),
+                        ("processed", Json::from(r.processed)),
+                        ("decisions", Json::from(r.decisions)),
+                        ("p50_latency_us", Json::from(r.p50_us)),
+                        ("p99_latency_us", Json::from(r.p99_us)),
+                        ("secs", Json::from(r.secs)),
+                        (
+                            "events_per_sec",
+                            Json::from(r.processed as f64 / r.secs.max(1e-12)),
+                        ),
+                    ]));
+                }
+            }
+        }
+    }
+
+    if smoke {
+        // Graceful-degradation contract: the overloaded smoke config must
+        // shed load *and* keep deciding — without either, serving under
+        // overload silently degenerated.
+        if smoke_shed == 0 {
+            return Err(EvlabError::serve("smoke run shed nothing: not overloaded"));
+        }
+        if smoke_decisions == 0 {
+            return Err(EvlabError::serve("smoke run produced no decisions"));
+        }
+    }
+
+    let report = Json::obj([
+        ("smoke", Json::from(smoke)),
+        ("policy", Json::str("drop_oldest")),
+        ("quantum", Json::from(32usize)),
+        ("events_per_session", Json::from(scale.events_per_session)),
+        ("event_dt_us", Json::from(scale.event_dt_us)),
+        ("configs", Json::arr(rows)),
+    ]);
+    evlab_util::json::write_atomic(&out_path, &(report.to_string_pretty() + "\n"))?;
+    eprintln!("[serve_bench] wrote {out_path}");
+    finish_metrics(&metrics_path)
+}

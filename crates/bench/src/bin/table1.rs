@@ -10,7 +10,7 @@ use evlab_datasets::direction::{motion_direction, motion_direction_unpolarized};
 use evlab_datasets::shapes::shape_silhouettes;
 use evlab_datasets::DatasetConfig;
 
-fn main() {
+fn main() -> Result<(), evlab_util::EvlabError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let metrics = evlab_bench::metrics_arg(&args);
     let fast = args.iter().any(|a| a == "--fast");
@@ -55,5 +55,5 @@ fn main() {
     let strict = motion_direction_unpolarized(&config);
     let report = runner.run(&strict, 17);
     println!("{}", report.render());
-    evlab_bench::finish_metrics(&metrics);
+    evlab_bench::finish_metrics(&metrics)
 }

@@ -7,7 +7,7 @@
 //! codec). See DESIGN.md §3 for the experiment index.
 
 use evlab_events::{Event, EventStream, Polarity};
-use evlab_util::{obs, Rng64};
+use evlab_util::{obs, EvlabError, Rng64};
 
 /// Parses the `--metrics PATH` flag shared by the harness binaries.
 ///
@@ -29,11 +29,16 @@ pub fn metrics_arg(args: &[String]) -> Option<String> {
 /// Writes the observability snapshot to `path` (atomically: temp file +
 /// rename) and prints the human-readable summary to stderr. Does nothing
 /// when no `--metrics` path was given.
-pub fn finish_metrics(path: &Option<String>) {
-    let Some(path) = path else { return };
-    obs::write_metrics(path).expect("write metrics file");
+///
+/// # Errors
+///
+/// Returns an error if the metrics file cannot be written.
+pub fn finish_metrics(path: &Option<String>) -> Result<(), EvlabError> {
+    let Some(path) = path else { return Ok(()) };
+    obs::write_metrics(path)?;
     print_obs_summary();
     eprintln!("[obs] wrote {path}");
+    Ok(())
 }
 
 /// Prints every recorded counter and span histogram to stderr.

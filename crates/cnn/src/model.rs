@@ -64,7 +64,7 @@ impl CnnConfig {
 /// ```
 pub fn build_cnn(config: &CnnConfig, rng: &mut Rng64) -> Sequential {
     assert!(
-        config.input_size % 4 == 0,
+        config.input_size.is_multiple_of(4),
         "input size must be divisible by 4 (two 2x pools)"
     );
     let c1 = config.base_channels;

@@ -42,6 +42,8 @@ pub struct CnnPipelineConfig {
     pub lr: f32,
     /// Width multiplier over the base architecture.
     pub width: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
 }
 
 impl CnnPipelineConfig {
@@ -53,6 +55,7 @@ impl CnnPipelineConfig {
             batch: 8,
             lr: 0.003,
             width: 1,
+            seed: 0,
         }
     }
 
@@ -67,11 +70,45 @@ impl CnnPipelineConfig {
         self.epochs = epochs;
         self
     }
+
+    /// Returns a copy with a different mini-batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Returns a copy with a different learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Returns a copy with a different width multiplier.
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Returns a copy with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Default for CnnPipelineConfig {
     fn default() -> Self {
         CnnPipelineConfig::new()
+    }
+}
+
+/// Builds the frame encoder for a [`FrameKind`] (shared between the batch
+/// pipeline and the online session in `crate::online`).
+pub(crate) fn make_encoder(frame: FrameKind) -> Box<dyn FrameEncoder> {
+    match frame {
+        FrameKind::TwoChannel => Box::new(TwoChannel::new()),
+        FrameKind::VoxelGrid(bins) => Box::new(VoxelGrid::new(bins)),
+        FrameKind::Hats { cell } => Box::new(Hats::new(cell, 1, 10_000.0)),
     }
 }
 
@@ -81,27 +118,28 @@ pub struct CnnPipeline {
     net: Option<Sequential>,
     resolution: (u16, u16),
     num_classes: usize,
-    seed: u64,
 }
 
 impl CnnPipeline {
-    /// Creates an untrained pipeline.
-    pub fn new(config: CnnPipelineConfig, seed: u64) -> Self {
+    /// Creates an untrained pipeline; the RNG seed comes from
+    /// [`CnnPipelineConfig::seed`] (see
+    /// [`CnnPipelineConfig::with_seed`]).
+    pub fn new(config: CnnPipelineConfig) -> Self {
         CnnPipeline {
             config,
             net: None,
             resolution: (0, 0),
             num_classes: 0,
-            seed,
         }
     }
 
-    fn encoder(&self) -> Box<dyn FrameEncoder> {
-        match self.config.frame {
-            FrameKind::TwoChannel => Box::new(TwoChannel::new()),
-            FrameKind::VoxelGrid(bins) => Box::new(VoxelGrid::new(bins)),
-            FrameKind::Hats { cell } => Box::new(Hats::new(cell, 1, 10_000.0)),
-        }
+    /// The pipeline configuration.
+    pub fn config(&self) -> &CnnPipelineConfig {
+        &self.config
+    }
+
+    pub(crate) fn encoder(&self) -> Box<dyn FrameEncoder> {
+        make_encoder(self.config.frame)
     }
 
     /// Encodes a stream into a normalized frame tensor.
@@ -137,7 +175,7 @@ impl EventClassifier for CnnPipeline {
     }
 
     fn fit(&mut self, data: &Dataset) -> FitReport {
-        let mut rng = Rng64::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         self.resolution = data.resolution;
         self.num_classes = data.num_classes;
         let encoder = self.encoder();
@@ -212,7 +250,7 @@ mod tests {
     #[test]
     fn cnn_pipeline_learns_shapes() {
         let data = tiny_data();
-        let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(25), 1);
+        let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(25).with_seed(1));
         let report = clf.fit(&data);
         assert!(report.train_accuracy > 0.7, "train acc {}", report.train_accuracy);
         let mut ops = OpCount::new();
@@ -224,7 +262,7 @@ mod tests {
     #[test]
     fn preparation_cost_is_per_event() {
         let data = tiny_data();
-        let mut clf = CnnPipeline::new(CnnPipelineConfig::new(), 1);
+        let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_seed(1));
         let prep = clf.preparation_ops(&data.test[0].stream);
         assert!(prep.adds >= data.test[0].stream.len() as u64);
         assert_eq!(prep.macs, 0, "no network work during preparation");
@@ -232,10 +270,9 @@ mod tests {
 
     #[test]
     fn voxel_frames_have_more_channels() {
-        let clf2 = CnnPipeline::new(CnnPipelineConfig::new(), 1);
+        let clf2 = CnnPipeline::new(CnnPipelineConfig::new().with_seed(1));
         let clf5 = CnnPipeline::new(
-            CnnPipelineConfig::new().with_frame(FrameKind::VoxelGrid(5)),
-            1,
+            CnnPipelineConfig::new().with_frame(FrameKind::VoxelGrid(5)).with_seed(1),
         );
         assert_eq!(clf2.encoder().channels(), 2);
         assert_eq!(clf5.encoder().channels(), 5);
@@ -247,7 +284,7 @@ mod tests {
         let config = CnnPipelineConfig::new()
             .with_frame(FrameKind::Hats { cell: 4 })
             .with_epochs(20);
-        let mut clf = CnnPipeline::new(config, 2);
+        let mut clf = CnnPipeline::new(config.with_seed(2));
         let report = clf.fit(&data);
         assert!(report.train_accuracy > 0.5, "train acc {}", report.train_accuracy);
         let mut ops = OpCount::new();
@@ -261,7 +298,7 @@ mod tests {
     #[should_panic(expected = "fit before predict")]
     fn predict_before_fit_panics() {
         let data = tiny_data();
-        let mut clf = CnnPipeline::new(CnnPipelineConfig::new(), 1);
+        let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_seed(1));
         let mut ops = OpCount::new();
         clf.predict(&data.test[0].stream, &mut ops);
     }

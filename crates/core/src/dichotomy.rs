@@ -308,7 +308,7 @@ impl ComparisonRunner {
             / n;
 
         // --- SNN ---
-        let mut snn = SnnPipeline::new(self.config.snn.clone(), seed);
+        let mut snn = SnnPipeline::new(self.config.snn.clone().with_seed(seed));
         let dt_us = self.config.snn.dt_us as f64;
         let (mut snn_m, snn_ops) = self.measure(
             &mut snn,
@@ -330,7 +330,7 @@ impl ComparisonRunner {
             time_to_decision_us(DeploymentStyle::Stepped { dt_us }, step_cost.latency_us);
 
         // --- CNN ---
-        let mut cnn = CnnPipeline::new(self.config.cnn, seed);
+        let mut cnn = CnnPipeline::new(self.config.cnn.with_seed(seed));
         let window_us = data.duration_us as f64;
         let (mut cnn_m, cnn_ops) = self.measure(
             &mut cnn,
@@ -347,7 +347,7 @@ impl ComparisonRunner {
         );
 
         // --- GNN ---
-        let mut gnn = GnnPipeline::new(self.config.gnn.clone(), seed);
+        let mut gnn = GnnPipeline::new(self.config.gnn.clone().with_seed(seed));
         let (mut gnn_m, gnn_ops) = self.measure(&mut gnn, data, DeploymentStyle::PerEvent, seed);
         per_sample_ops = scale_ops(&gnn_ops, 1.0 / n);
         // Edge count of a representative graph.

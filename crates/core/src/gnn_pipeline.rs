@@ -30,6 +30,8 @@ pub struct GnnPipelineConfig {
     /// `Some(k)` uses the B-spline edge kernel with `k` control points per
     /// dimension; `None` uses the linear relational kernel.
     pub kernel_size: Option<usize>,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
 }
 
 impl GnnPipelineConfig {
@@ -43,12 +45,56 @@ impl GnnPipelineConfig {
             batch: 8,
             lr: 0.01,
             kernel_size: None,
+            seed: 0,
         }
+    }
+
+    /// Returns a copy with a different graph construction configuration.
+    pub fn with_graph(mut self, graph: GraphConfig) -> Self {
+        self.graph = graph;
+        self
+    }
+
+    /// Returns a copy with a different node cap.
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Returns a copy with different hidden sizes.
+    pub fn with_hidden(mut self, hidden: Vec<usize>) -> Self {
+        self.hidden = hidden;
+        self
     }
 
     /// Returns a copy with different epochs.
     pub fn with_epochs(mut self, epochs: usize) -> Self {
         self.epochs = epochs;
+        self
+    }
+
+    /// Returns a copy with a different mini-batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Returns a copy with a different learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Returns a copy using the B-spline edge kernel with `k` control
+    /// points per dimension.
+    pub fn with_kernel_size(mut self, k: usize) -> Self {
+        self.kernel_size = Some(k);
+        self
+    }
+
+    /// Returns a copy with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -63,17 +109,19 @@ impl Default for GnnPipelineConfig {
 pub struct GnnPipeline {
     config: GnnPipelineConfig,
     net: Option<GnnNetwork>,
-    seed: u64,
 }
 
 impl GnnPipeline {
-    /// Creates an untrained pipeline.
-    pub fn new(config: GnnPipelineConfig, seed: u64) -> Self {
-        GnnPipeline {
-            config,
-            net: None,
-            seed,
-        }
+    /// Creates an untrained pipeline; the RNG seed comes from
+    /// [`GnnPipelineConfig::seed`] (see
+    /// [`GnnPipelineConfig::with_seed`]).
+    pub fn new(config: GnnPipelineConfig) -> Self {
+        GnnPipeline { config, net: None }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &GnnPipelineConfig {
+        &self.config
     }
 
     /// Uniformly subsamples a stream to at most `max_nodes` events.
@@ -117,7 +165,7 @@ impl EventClassifier for GnnPipeline {
     }
 
     fn fit(&mut self, data: &Dataset) -> FitReport {
-        let mut rng = Rng64::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         let mut gnn_config =
             GnnConfig::new(data.num_classes).with_hidden(self.config.hidden.clone());
         if let Some(k) = self.config.kernel_size {
@@ -207,7 +255,7 @@ mod tests {
     #[test]
     fn gnn_pipeline_learns_shapes() {
         let data = tiny_data();
-        let mut clf = GnnPipeline::new(GnnPipelineConfig::new().with_epochs(30), 1);
+        let mut clf = GnnPipeline::new(GnnPipelineConfig::new().with_epochs(30).with_seed(1));
         let report = clf.fit(&data);
         assert!(report.train_accuracy > 0.7, "train acc {}", report.train_accuracy);
         let mut ops = OpCount::new();
@@ -222,7 +270,7 @@ mod tests {
             max_nodes: 50,
             ..GnnPipelineConfig::new()
         };
-        let clf = GnnPipeline::new(config, 1);
+        let clf = GnnPipeline::new(config.with_seed(1));
         let mut ops = OpCount::new();
         for s in &data.train {
             let g = clf.build_graph(&s.stream, &mut ops);
@@ -237,7 +285,7 @@ mod tests {
         // than the naive scan; on larger arrays it wins by orders of
         // magnitude (see evlab-gnn::build tests and the graph_build bench).
         let data = tiny_data();
-        let clf = GnnPipeline::new(GnnPipelineConfig::new(), 1);
+        let clf = GnnPipeline::new(GnnPipelineConfig::new().with_seed(1));
         let stream = &data.test[0].stream;
         let mut prep = OpCount::new();
         clf.build_graph(stream, &mut prep);

@@ -16,6 +16,10 @@
 //!   the same dataset and measures every axis.
 //! * [`table`] — renders the measured Table I with derived `++`/`+`/`−`
 //!   grades next to the paper's published grades.
+//! * [`online`] — [`online::OnlineClassifier`]: the streaming counterpart
+//!   of the batch trait, driven one event at a time by `evlab-serve`.
+//! * [`prelude`] — one `use evlab_core::prelude::*;` for the whole
+//!   session-facing API (pipelines, configs, both traits).
 //!
 //! # Examples
 //!
@@ -34,6 +38,7 @@ pub mod dichotomy;
 pub mod flow;
 pub mod gnn_pipeline;
 pub mod metrics;
+pub mod online;
 pub mod pipeline;
 pub mod snn_pipeline;
 pub mod table;
@@ -41,3 +46,18 @@ pub mod table;
 pub use dichotomy::{ComparisonConfig, ComparisonRunner, DichotomyReport};
 pub use evlab_datasets::Dataset;
 pub use pipeline::{EventClassifier, FitReport};
+
+/// Everything a session-facing consumer needs in one import: the three
+/// pipelines with their builder-style configs, the batch and streaming
+/// classification traits, and the native online sessions.
+pub mod prelude {
+    pub use crate::cnn_pipeline::{CnnPipeline, CnnPipelineConfig, FrameKind};
+    pub use crate::dichotomy::{ComparisonConfig, ComparisonRunner, DichotomyReport};
+    pub use crate::gnn_pipeline::{GnnPipeline, GnnPipelineConfig};
+    pub use crate::online::{
+        Batched, CnnOnline, Decision, GnnOnline, OnlineClassifier, SnnOnline,
+    };
+    pub use crate::pipeline::{test_accuracy, EventClassifier, FitReport};
+    pub use crate::snn_pipeline::{SnnPipeline, SnnPipelineConfig};
+    pub use evlab_datasets::Dataset;
+}

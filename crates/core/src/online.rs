@@ -1,0 +1,681 @@
+//! Session-facing online classification: the streaming counterpart of
+//! [`crate::pipeline::EventClassifier`].
+//!
+//! A batch classifier sees a whole recording at once; a *served* classifier
+//! sees one event at a time and must decide as it goes. This module defines
+//! the [`OnlineClassifier`] trait (begin a session, push events, poll for
+//! decisions, flush) plus one native session per paradigm, each owning its
+//! state so a serving runtime can move it onto a worker thread:
+//!
+//! * [`SnnOnline`] — per-event stepping through an
+//!   [`evlab_snn::event_driven::EventDrivenSnn`]; a decision after every
+//!   injected spike, windows rolling every `steps × dt_us`.
+//! * [`CnnOnline`] — windowed micro-batching: events accumulate into a
+//!   frame buffer and the CNN runs once per flush window (the per-frame
+//!   cadence of §III-B).
+//! * [`GnnOnline`] — per-event asynchronous graph updates via
+//!   [`evlab_gnn::async_update::AsyncGnn`], graph state bounded by
+//!   `max_nodes`.
+//!
+//! Any existing batch [`EventClassifier`] is servable through the
+//! [`Batched`] adapter, which buffers the session's events and classifies
+//! on flush.
+
+use crate::cnn_pipeline::{make_encoder, CnnPipeline, CnnPipelineConfig};
+use crate::gnn_pipeline::GnnPipeline;
+use crate::pipeline::EventClassifier;
+use crate::snn_pipeline::SnnPipeline;
+use evlab_cnn::encode::normalize;
+use evlab_events::{Event, EventStream};
+use evlab_gnn::async_update::AsyncGnn;
+use evlab_snn::event_driven::EventDrivenSnn;
+use evlab_tensor::{OpCount, Sequential};
+use evlab_util::EvlabError;
+
+/// One classification emitted by an online session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Predicted class index.
+    pub class: usize,
+    /// Class logits backing the prediction (empty when the underlying
+    /// classifier only exposes the argmax, as with [`Batched`]).
+    pub logits: Vec<f32>,
+    /// Events consumed since the previous decision (including any the
+    /// session's own preprocessing discarded).
+    pub events: usize,
+    /// Timestamp (µs) of the last event that contributed.
+    pub t_us: u64,
+}
+
+fn argmax(logits: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// A classifier driven one event at a time.
+///
+/// Lifecycle: [`OnlineClassifier::begin_session`] resets all session state;
+/// [`OnlineClassifier::push_event`] feeds events in timestamp order;
+/// [`OnlineClassifier::poll_decision`] takes the newest decision if one was
+/// produced since the last poll; [`OnlineClassifier::flush`] forces a
+/// decision from whatever has accumulated (e.g. a partial CNN window).
+pub trait OnlineClassifier {
+    /// Paradigm name ("snn", "cnn", "gnn", or the wrapped batch name).
+    fn name(&self) -> &'static str;
+
+    /// Starts a fresh session, dropping all accumulated state.
+    fn begin_session(&mut self);
+
+    /// Feeds one event, recording any work into `ops`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the event is older than a previously pushed one
+    /// — sessions require per-session timestamp order.
+    fn push_event(&mut self, event: Event, ops: &mut OpCount) -> Result<(), EvlabError>;
+
+    /// Takes the newest decision produced since the last poll, if any.
+    fn poll_decision(&mut self) -> Option<Decision>;
+
+    /// Forces a decision from the accumulated state (if any events arrived
+    /// since the last decision), recording the work into `ops`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying classifier cannot process the
+    /// accumulated window.
+    fn flush(&mut self, ops: &mut OpCount) -> Result<Option<Decision>, EvlabError>;
+}
+
+/// Tracks the per-session ordering requirement shared by all sessions.
+#[derive(Debug, Clone, Default)]
+struct OrderGuard {
+    last_t: Option<u64>,
+}
+
+impl OrderGuard {
+    fn check(&mut self, t: u64) -> Result<(), EvlabError> {
+        if let Some(last) = self.last_t {
+            if t < last {
+                return Err(EvlabError::serve(format!(
+                    "out-of-order event: t={t}µs after t={last}µs"
+                )));
+            }
+        }
+        self.last_t = Some(t);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.last_t = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SNN: per-event stepping.
+// ---------------------------------------------------------------------------
+
+/// Streaming SNN session: spatial downsampling and spike binning applied
+/// per event, injections through the event-driven engine, decisions read
+/// from the decayed readout membranes after every injection.
+#[derive(Debug, Clone)]
+pub struct SnnOnline {
+    ed: EventDrivenSnn,
+    downsample: u16,
+    dt_us: u64,
+    steps: usize,
+    out_res: (u16, u16),
+    /// Per-block last-forwarded timestamp (dead time = one dt, matching
+    /// [`SnnPipeline::encode`]).
+    block_last: Vec<Option<u64>>,
+    t0: Option<u64>,
+    order: OrderGuard,
+    pending: Option<Decision>,
+    events_since: usize,
+    current_step: u64,
+}
+
+impl SnnOnline {
+    /// Builds a session over a trained pipeline for streams of the given
+    /// sensor resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pipeline is untrained or was trained for a
+    /// different resolution.
+    pub fn new(pipeline: &SnnPipeline, resolution: (u16, u16)) -> Result<Self, EvlabError> {
+        let net = pipeline
+            .network()
+            .ok_or_else(|| EvlabError::serve("SNN pipeline is untrained"))?;
+        let config = pipeline.config();
+        let dw = resolution.0.div_ceil(config.downsample);
+        let dh = resolution.1.div_ceil(config.downsample);
+        let expected = 2 * dw as usize * dh as usize;
+        let ed = EventDrivenSnn::from_network(net);
+        if ed.input_size() != expected {
+            return Err(EvlabError::serve(format!(
+                "SNN trained for {} inputs but {}x{} at {}x downsample needs {}",
+                ed.input_size(),
+                resolution.0,
+                resolution.1,
+                config.downsample,
+                expected
+            )));
+        }
+        Ok(SnnOnline {
+            ed,
+            downsample: config.downsample,
+            dt_us: config.dt_us,
+            steps: config.steps,
+            out_res: (dw, dh),
+            block_last: vec![None; dw as usize * dh as usize],
+            t0: None,
+            order: OrderGuard::default(),
+            pending: None,
+            events_since: 0,
+            current_step: 0,
+        })
+    }
+}
+
+impl OnlineClassifier for SnnOnline {
+    fn name(&self) -> &'static str {
+        "snn"
+    }
+
+    fn begin_session(&mut self) {
+        self.ed.reset();
+        self.block_last.iter_mut().for_each(|b| *b = None);
+        self.t0 = None;
+        self.order.reset();
+        self.pending = None;
+        self.events_since = 0;
+        self.current_step = 0;
+    }
+
+    fn push_event(&mut self, event: Event, ops: &mut OpCount) -> Result<(), EvlabError> {
+        let t = event.t.as_micros();
+        self.order.check(t)?;
+        self.events_since += 1;
+        let t0 = *self.t0.get_or_insert(t);
+        let mut step = (t - t0) / self.dt_us;
+        if step >= self.steps as u64 {
+            // Window rolled over: a fresh decision window starts here.
+            self.ed.reset();
+            self.block_last.iter_mut().for_each(|b| *b = None);
+            self.t0 = Some(t);
+            step = 0;
+        }
+        self.current_step = step;
+        // Block-wise dead time, as in the batch encoder.
+        let bx = event.x / self.downsample;
+        let by = event.y / self.downsample;
+        let block = by as usize * self.out_res.0 as usize + bx as usize;
+        let keep = match self.block_last[block] {
+            Some(prev) => t.saturating_sub(prev) >= self.dt_us,
+            None => true,
+        };
+        if !keep {
+            ops.record_compare(1);
+            return Ok(());
+        }
+        self.block_last[block] = Some(t);
+        let pixels = self.out_res.0 as usize * self.out_res.1 as usize;
+        let index = event.polarity.channel() * pixels
+            + by as usize * self.out_res.0 as usize
+            + bx as usize;
+        self.ed.inject_input(index, step + 1, ops);
+        let logits = self.ed.logits_at(step + 1);
+        self.pending = Some(Decision {
+            class: argmax(&logits),
+            logits,
+            events: std::mem::take(&mut self.events_since),
+            t_us: t,
+        });
+        Ok(())
+    }
+
+    fn poll_decision(&mut self) -> Option<Decision> {
+        self.pending.take()
+    }
+
+    fn flush(&mut self, _ops: &mut OpCount) -> Result<Option<Decision>, EvlabError> {
+        if self.t0.is_none() {
+            return Ok(None);
+        }
+        // Decay the readout to the end of the current window.
+        let logits = self.ed.logits_at(self.steps as u64);
+        Ok(Some(Decision {
+            class: argmax(&logits),
+            logits,
+            events: std::mem::take(&mut self.events_since),
+            t_us: self.order.last_t.unwrap_or(0),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CNN: windowed micro-batch flushes.
+// ---------------------------------------------------------------------------
+
+/// Streaming CNN session: events accumulate into a window buffer; the
+/// frame encoder and network run once per `window_us` micro-batch (and on
+/// [`OnlineClassifier::flush`]).
+#[derive(Clone)]
+pub struct CnnOnline {
+    net: Sequential,
+    config: CnnPipelineConfig,
+    resolution: (u16, u16),
+    window_us: u64,
+    buffer: Vec<Event>,
+    window_start: Option<u64>,
+    order: OrderGuard,
+    pending: Option<Decision>,
+    events_since: usize,
+}
+
+impl CnnOnline {
+    /// Builds a session over a trained pipeline; the network weights are
+    /// cloned so the session is independent of the pipeline. `window_us`
+    /// is the micro-batch flush interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pipeline is untrained or `window_us == 0`.
+    pub fn new(
+        pipeline: &CnnPipeline,
+        resolution: (u16, u16),
+        window_us: u64,
+    ) -> Result<Self, EvlabError> {
+        let net = pipeline
+            .network()
+            .ok_or_else(|| EvlabError::serve("CNN pipeline is untrained"))?
+            .clone();
+        if window_us == 0 {
+            return Err(EvlabError::serve("CNN flush window must be positive"));
+        }
+        Ok(CnnOnline {
+            net,
+            config: *pipeline.config(),
+            resolution,
+            window_us,
+            buffer: Vec::new(),
+            window_start: None,
+            order: OrderGuard::default(),
+            pending: None,
+            events_since: 0,
+        })
+    }
+
+    /// Encodes the buffered window and runs the network.
+    fn flush_window(&mut self, ops: &mut OpCount) -> Decision {
+        let encoder = make_encoder(self.config.frame);
+        let frame = encoder.encode(&self.buffer, self.resolution, ops);
+        let n = frame.len() as u64;
+        ops.record_add(n);
+        ops.record_mult(2 * n);
+        let input = normalize(&frame);
+        let logits = self.net.forward(&input, ops);
+        let t_us = self.buffer.last().map(|e| e.t.as_micros()).unwrap_or(0);
+        self.buffer.clear();
+        self.window_start = None;
+        Decision {
+            class: logits.argmax(),
+            logits: logits.as_slice().to_vec(),
+            events: std::mem::take(&mut self.events_since),
+            t_us,
+        }
+    }
+}
+
+impl OnlineClassifier for CnnOnline {
+    fn name(&self) -> &'static str {
+        "cnn"
+    }
+
+    fn begin_session(&mut self) {
+        self.buffer.clear();
+        self.window_start = None;
+        self.order.reset();
+        self.pending = None;
+        self.events_since = 0;
+    }
+
+    fn push_event(&mut self, event: Event, ops: &mut OpCount) -> Result<(), EvlabError> {
+        let t = event.t.as_micros();
+        self.order.check(t)?;
+        self.events_since += 1;
+        let start = *self.window_start.get_or_insert(t);
+        if t.saturating_sub(start) >= self.window_us && !self.buffer.is_empty() {
+            let decision = self.flush_window(ops);
+            self.pending = Some(decision);
+            self.window_start = Some(t);
+        }
+        self.buffer.push(event);
+        Ok(())
+    }
+
+    fn poll_decision(&mut self) -> Option<Decision> {
+        self.pending.take()
+    }
+
+    fn flush(&mut self, ops: &mut OpCount) -> Result<Option<Decision>, EvlabError> {
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.flush_window(ops)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GNN: per-event asynchronous updates.
+// ---------------------------------------------------------------------------
+
+/// Streaming GNN session: each event updates the incremental graph and the
+/// pooled logits in `O(1)` graph-size-independent work; graph state is
+/// bounded by resetting once `max_nodes` events have been absorbed.
+#[derive(Clone)]
+pub struct GnnOnline {
+    engine: AsyncGnn,
+    max_nodes: usize,
+    order: OrderGuard,
+    pending: Option<Decision>,
+    events_since: usize,
+    last_decision: Option<Decision>,
+}
+
+impl GnnOnline {
+    /// Builds a session over a trained pipeline; the network weights are
+    /// cloned so the session is independent of the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pipeline is untrained.
+    pub fn new(pipeline: &GnnPipeline) -> Result<Self, EvlabError> {
+        let net = pipeline
+            .network()
+            .ok_or_else(|| EvlabError::serve("GNN pipeline is untrained"))?
+            .clone();
+        let classes = net.classes();
+        let engine = AsyncGnn::new(net, *pipeline.graph_config(), classes);
+        Ok(GnnOnline {
+            engine,
+            max_nodes: pipeline.config().max_nodes,
+            order: OrderGuard::default(),
+            pending: None,
+            events_since: 0,
+            last_decision: None,
+        })
+    }
+}
+
+impl OnlineClassifier for GnnOnline {
+    fn name(&self) -> &'static str {
+        "gnn"
+    }
+
+    fn begin_session(&mut self) {
+        self.engine.reset();
+        self.order.reset();
+        self.pending = None;
+        self.events_since = 0;
+        self.last_decision = None;
+    }
+
+    fn push_event(&mut self, event: Event, ops: &mut OpCount) -> Result<(), EvlabError> {
+        let t = event.t.as_micros();
+        self.order.check(t)?;
+        self.events_since += 1;
+        if self.engine.node_count() >= self.max_nodes {
+            // Bound the graph: restart the sliding window.
+            self.engine.reset();
+        }
+        let logits = self.engine.update(event, ops);
+        let decision = Decision {
+            class: logits.argmax(),
+            logits: logits.as_slice().to_vec(),
+            events: std::mem::take(&mut self.events_since),
+            t_us: t,
+        };
+        self.last_decision = Some(decision.clone());
+        self.pending = Some(decision);
+        Ok(())
+    }
+
+    fn poll_decision(&mut self) -> Option<Decision> {
+        self.pending.take()
+    }
+
+    fn flush(&mut self, _ops: &mut OpCount) -> Result<Option<Decision>, EvlabError> {
+        Ok(self.last_decision.take())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch adapter.
+// ---------------------------------------------------------------------------
+
+/// Adapts any batch [`EventClassifier`] to the online interface by
+/// buffering the session's events and classifying on flush — the
+/// "store-then-process" fallback every paradigm supports, at the cost of
+/// decision latency equal to the session length.
+pub struct Batched<C: EventClassifier> {
+    clf: C,
+    resolution: (u16, u16),
+    buffer: Vec<Event>,
+    order: OrderGuard,
+    events_since: usize,
+}
+
+impl<C: EventClassifier> Batched<C> {
+    /// Wraps a (typically trained) batch classifier for streams of the
+    /// given sensor resolution.
+    pub fn new(clf: C, resolution: (u16, u16)) -> Self {
+        Batched {
+            clf,
+            resolution,
+            buffer: Vec::new(),
+            order: OrderGuard::default(),
+            events_since: 0,
+        }
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.clf
+    }
+
+    /// Mutable access to the wrapped classifier (e.g. to fit it).
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.clf
+    }
+}
+
+impl<C: EventClassifier> OnlineClassifier for Batched<C> {
+    fn name(&self) -> &'static str {
+        self.clf.name()
+    }
+
+    fn begin_session(&mut self) {
+        self.buffer.clear();
+        self.order.reset();
+        self.events_since = 0;
+    }
+
+    fn push_event(&mut self, event: Event, _ops: &mut OpCount) -> Result<(), EvlabError> {
+        self.order.check(event.t.as_micros())?;
+        self.events_since += 1;
+        self.buffer.push(event);
+        Ok(())
+    }
+
+    fn poll_decision(&mut self) -> Option<Decision> {
+        None
+    }
+
+    fn flush(&mut self, ops: &mut OpCount) -> Result<Option<Decision>, EvlabError> {
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        let events = std::mem::take(&mut self.buffer);
+        let t_us = events.last().map(|e| e.t.as_micros()).unwrap_or(0);
+        let stream = EventStream::from_events(self.resolution, events)
+            .map_err(EvlabError::event_order)?;
+        let class = self.clf.predict(&stream, ops);
+        Ok(Some(Decision {
+            class,
+            logits: Vec::new(),
+            events: std::mem::take(&mut self.events_since),
+            t_us,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn_pipeline::CnnPipelineConfig;
+    use crate::gnn_pipeline::GnnPipelineConfig;
+    use crate::snn_pipeline::SnnPipelineConfig;
+    use evlab_datasets::shapes::shape_silhouettes;
+    use evlab_datasets::{Dataset, DatasetConfig};
+    use evlab_events::Polarity;
+
+    fn tiny_data() -> Dataset {
+        shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(6, 2))
+    }
+
+    #[test]
+    fn snn_online_replays_batch_prediction() {
+        let data = tiny_data();
+        let mut pipe = SnnPipeline::new(
+            SnnPipelineConfig::new().with_epochs(10).with_seed(1),
+        );
+        pipe.fit(&data);
+        let stream = &data.test[0].stream;
+        let mut batch_ops = OpCount::new();
+        let batch_class = pipe.predict(stream, &mut batch_ops);
+        let mut session = SnnOnline::new(&pipe, data.resolution).expect("trained");
+        session.begin_session();
+        let mut ops = OpCount::new();
+        for e in stream.iter() {
+            session.push_event(*e, &mut ops).expect("ordered");
+        }
+        let decision = session.flush(&mut ops).expect("flush").expect("decision");
+        assert_eq!(decision.class, batch_class, "streaming replay agrees");
+        assert!(decision.events > 0);
+    }
+
+    #[test]
+    fn cnn_online_flushes_micro_batches() {
+        let data = tiny_data();
+        let mut pipe = CnnPipeline::new(
+            CnnPipelineConfig::new().with_epochs(10).with_seed(1),
+        );
+        pipe.fit(&data);
+        let stream = &data.test[0].stream;
+        // Window much shorter than the sample: several mid-stream flushes.
+        let mut session = CnnOnline::new(&pipe, data.resolution, 5_000).expect("trained");
+        session.begin_session();
+        let mut ops = OpCount::new();
+        let mut decisions = 0usize;
+        for e in stream.iter() {
+            session.push_event(*e, &mut ops).expect("ordered");
+            if session.poll_decision().is_some() {
+                decisions += 1;
+            }
+        }
+        if session.flush(&mut ops).expect("flush").is_some() {
+            decisions += 1;
+        }
+        assert!(decisions >= 2, "micro-batching produced {decisions} decisions");
+        // Whole-sample window + flush reproduces the batch prediction.
+        let mut whole = CnnOnline::new(&pipe, data.resolution, u64::MAX).expect("trained");
+        whole.begin_session();
+        for e in stream.iter() {
+            whole.push_event(*e, &mut ops).expect("ordered");
+        }
+        let decision = whole.flush(&mut ops).expect("flush").expect("decision");
+        let mut batch_ops = OpCount::new();
+        assert_eq!(decision.class, pipe.predict(stream, &mut batch_ops));
+    }
+
+    #[test]
+    fn gnn_online_bounds_graph_state() {
+        let data = tiny_data();
+        let mut pipe = GnnPipeline::new(
+            GnnPipelineConfig::new()
+                .with_epochs(10)
+                .with_max_nodes(40)
+                .with_seed(1),
+        );
+        pipe.fit(&data);
+        let mut session = GnnOnline::new(&pipe).expect("trained");
+        session.begin_session();
+        let mut ops = OpCount::new();
+        let mut decisions = 0usize;
+        for e in data.test[0].stream.iter() {
+            session.push_event(*e, &mut ops).expect("ordered");
+            if let Some(d) = session.poll_decision() {
+                assert!(d.class < data.num_classes);
+                decisions += 1;
+            }
+        }
+        assert_eq!(decisions, data.test[0].stream.len(), "one decision per event");
+        assert!(session.engine.node_count() <= 40, "graph state stays bounded");
+    }
+
+    #[test]
+    fn batched_adapter_serves_any_classifier() {
+        let data = tiny_data();
+        let mut pipe = CnnPipeline::new(
+            CnnPipelineConfig::new().with_epochs(10).with_seed(1),
+        );
+        pipe.fit(&data);
+        let stream = data.test[0].stream.clone();
+        let mut batch_ops = OpCount::new();
+        let expected = pipe.predict(&stream, &mut batch_ops);
+        let mut session = Batched::new(pipe, data.resolution);
+        session.begin_session();
+        let mut ops = OpCount::new();
+        for e in stream.iter() {
+            session.push_event(*e, &mut ops).expect("ordered");
+        }
+        assert!(session.poll_decision().is_none(), "batch adapter decides on flush");
+        let decision = session.flush(&mut ops).expect("flush").expect("decision");
+        assert_eq!(decision.class, expected);
+        assert_eq!(decision.events, stream.len());
+    }
+
+    #[test]
+    fn sessions_reject_out_of_order_events() {
+        let data = tiny_data();
+        let mut pipe = GnnPipeline::new(GnnPipelineConfig::new().with_epochs(2).with_seed(1));
+        pipe.fit(&data);
+        let mut session = GnnOnline::new(&pipe).expect("trained");
+        session.begin_session();
+        let mut ops = OpCount::new();
+        session
+            .push_event(Event::new(1_000, 1, 1, Polarity::On), &mut ops)
+            .expect("ordered");
+        let err = session
+            .push_event(Event::new(500, 1, 1, Polarity::On), &mut ops)
+            .unwrap_err();
+        assert!(err.to_string().contains("out-of-order"));
+    }
+
+    #[test]
+    fn untrained_pipelines_yield_typed_errors() {
+        let snn = SnnPipeline::new(SnnPipelineConfig::new());
+        assert!(SnnOnline::new(&snn, (16, 16)).is_err());
+        let cnn = CnnPipeline::new(CnnPipelineConfig::new());
+        assert!(CnnOnline::new(&cnn, (16, 16), 1_000).is_err());
+        let gnn = GnnPipeline::new(GnnPipelineConfig::new());
+        assert!(GnnOnline::new(&gnn).is_err());
+    }
+}

@@ -28,6 +28,8 @@ pub struct SnnPipelineConfig {
     pub batch: usize,
     /// Learning rate.
     pub lr: f32,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
 }
 
 impl SnnPipelineConfig {
@@ -41,7 +43,32 @@ impl SnnPipelineConfig {
             epochs: 25,
             batch: 8,
             lr: 0.005,
+            seed: 0,
         }
+    }
+
+    /// Returns a copy with a different spatial downsampling factor.
+    pub fn with_downsample(mut self, downsample: u16) -> Self {
+        self.downsample = downsample;
+        self
+    }
+
+    /// Returns a copy with a different timestep duration.
+    pub fn with_dt_us(mut self, dt_us: u64) -> Self {
+        self.dt_us = dt_us;
+        self
+    }
+
+    /// Returns a copy with a different number of timesteps.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Returns a copy with different hidden sizes.
+    pub fn with_hidden(mut self, hidden: Vec<usize>) -> Self {
+        self.hidden = hidden;
+        self
     }
 
     /// Returns a copy with different epochs.
@@ -50,9 +77,21 @@ impl SnnPipelineConfig {
         self
     }
 
-    /// Returns a copy with different hidden sizes.
-    pub fn with_hidden(mut self, hidden: Vec<usize>) -> Self {
-        self.hidden = hidden;
+    /// Returns a copy with a different mini-batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Returns a copy with a different learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Returns a copy with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -68,18 +107,23 @@ pub struct SnnPipeline {
     config: SnnPipelineConfig,
     net: Option<SnnNetwork>,
     input_size: usize,
-    seed: u64,
 }
 
 impl SnnPipeline {
-    /// Creates an untrained pipeline.
-    pub fn new(config: SnnPipelineConfig, seed: u64) -> Self {
+    /// Creates an untrained pipeline; the RNG seed comes from
+    /// [`SnnPipelineConfig::seed`] (see
+    /// [`SnnPipelineConfig::with_seed`]).
+    pub fn new(config: SnnPipelineConfig) -> Self {
         SnnPipeline {
             config,
             net: None,
             input_size: 0,
-            seed,
         }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &SnnPipelineConfig {
+        &self.config
     }
 
     /// Encodes a stream into the pipeline's spike representation.
@@ -111,7 +155,7 @@ impl EventClassifier for SnnPipeline {
     }
 
     fn fit(&mut self, data: &Dataset) -> FitReport {
-        let mut rng = Rng64::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         let (w, h) = data.resolution;
         let dw = w.div_ceil(self.config.downsample);
         let dh = h.div_ceil(self.config.downsample);
@@ -203,7 +247,7 @@ mod tests {
             epochs: 40,
             ..SnnPipelineConfig::new()
         };
-        let mut clf = SnnPipeline::new(config, 1);
+        let mut clf = SnnPipeline::new(config.with_seed(1));
         let report = clf.fit(&data);
         assert!(report.train_accuracy > 0.6, "train acc {}", report.train_accuracy);
         let mut ops = OpCount::new();
@@ -216,7 +260,7 @@ mod tests {
     #[test]
     fn encoding_downsamples_input() {
         let data = tiny_data();
-        let clf = SnnPipeline::new(SnnPipelineConfig::new(), 1);
+        let clf = SnnPipeline::new(SnnPipelineConfig::new().with_seed(1));
         let mut ops = OpCount::new();
         let train = clf.encode(&data.test[0].stream, &mut ops);
         // 16x16 at 2x downsample -> 8x8 -> 2*64 inputs.
@@ -227,7 +271,7 @@ mod tests {
     #[test]
     fn preparation_is_cheap() {
         let data = tiny_data();
-        let mut clf = SnnPipeline::new(SnnPipelineConfig::new(), 1);
+        let mut clf = SnnPipeline::new(SnnPipelineConfig::new().with_seed(1));
         let prep = clf.preparation_ops(&data.test[0].stream);
         assert_eq!(prep.macs, 0);
         assert_eq!(prep.adds, 0, "no arithmetic — events pass through");

@@ -70,8 +70,7 @@ pub fn moving_digits(config: &DatasetConfig) -> Dataset {
     let mut rng = Rng64::seed_from_u64(config.seed ^ 0xD161);
     let mut train = Vec::new();
     let mut test = Vec::new();
-    for digit in 0..10usize {
-        let pattern = &DIGIT_PATTERNS[digit];
+    for (digit, pattern) in DIGIT_PATTERNS.iter().enumerate() {
         for i in 0..config.train_per_class + config.test_per_class {
             let stream = render_glyph_sample(pattern, config, &camera, &mut rng);
             let sample = EventSample {

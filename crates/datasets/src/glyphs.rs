@@ -87,12 +87,9 @@ mod tests {
 
     #[test]
     fn digits_are_pairwise_distinct() {
-        for i in 0..10 {
-            for j in (i + 1)..10 {
-                assert_ne!(
-                    DIGIT_PATTERNS[i], DIGIT_PATTERNS[j],
-                    "digits {i} and {j} identical"
-                );
+        for (i, a) in DIGIT_PATTERNS.iter().enumerate() {
+            for (j, b) in DIGIT_PATTERNS.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "digits {i} and {j} identical");
             }
         }
     }
@@ -104,9 +101,9 @@ mod tests {
                 assert_eq!(row.len(), 7, "shape {name} row width");
             }
         }
-        for i in 0..SHAPE_PATTERNS.len() {
-            for j in (i + 1)..SHAPE_PATTERNS.len() {
-                assert_ne!(SHAPE_PATTERNS[i].1, SHAPE_PATTERNS[j].1);
+        for (i, a) in SHAPE_PATTERNS.iter().enumerate() {
+            for b in SHAPE_PATTERNS.iter().skip(i + 1) {
+                assert_ne!(a.1, b.1);
             }
         }
     }

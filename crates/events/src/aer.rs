@@ -17,7 +17,7 @@ use crate::event::{Event, Polarity, Timestamp};
 use std::error::Error;
 use std::fmt;
 
-/// Errors produced when decoding AER words.
+/// Errors produced when configuring the codec or decoding AER words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeAerError {
     /// The x field exceeds the configured width.
@@ -30,6 +30,11 @@ pub enum DecodeAerError {
         /// Decoded y value.
         y: u16,
     },
+    /// The sensor height does not fit the 15-bit AER y field.
+    HeightOutOfRange {
+        /// Offending sensor height.
+        height: u16,
+    },
 }
 
 impl fmt::Display for DecodeAerError {
@@ -37,11 +42,20 @@ impl fmt::Display for DecodeAerError {
         match self {
             DecodeAerError::XOutOfRange { x } => write!(f, "decoded x {x} outside sensor width"),
             DecodeAerError::YOutOfRange { y } => write!(f, "decoded y {y} outside sensor height"),
+            DecodeAerError::HeightOutOfRange { height } => {
+                write!(f, "sensor height {height} exceeds the 15-bit AER y field")
+            }
         }
     }
 }
 
 impl Error for DecodeAerError {}
+
+impl From<DecodeAerError> for evlab_util::EvlabError {
+    fn from(e: DecodeAerError) -> Self {
+        evlab_util::EvlabError::decode_aer(e)
+    }
+}
 
 /// Packs events into 64-bit AER words: `[timestamp:32 | y:15 | x:16 | p:1]`.
 ///
@@ -78,21 +92,34 @@ impl AerCodec {
     ///
     /// # Panics
     ///
-    /// Panics if the height does not fit the 15-bit y field.
+    /// Panics if the height does not fit the 15-bit y field; use
+    /// [`AerCodec::try_new`] for untrusted resolutions.
     pub fn new(resolution: (u16, u16)) -> Self {
-        assert!(
-            (resolution.1 as u32) < (1 << Y_BITS),
-            "height exceeds AER y field"
-        );
-        AerCodec {
+        Self::try_new(resolution).expect("height exceeds AER y field")
+    }
+
+    /// Fallible constructor for untrusted resolutions (e.g. headers read
+    /// from disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeAerError::HeightOutOfRange`] if the height does not
+    /// fit the 15-bit y field.
+    pub fn try_new(resolution: (u16, u16)) -> Result<Self, DecodeAerError> {
+        if (resolution.1 as u32) >= (1 << Y_BITS) {
+            return Err(DecodeAerError::HeightOutOfRange {
+                height: resolution.1,
+            });
+        }
+        Ok(AerCodec {
             width: resolution.0,
             height: resolution.1,
-        }
+        })
     }
 
     /// Encodes one event into a 64-bit word. The timestamp wraps at 2³² µs.
     pub fn encode(&self, event: &Event) -> u64 {
-        let ts = (event.t.as_micros() & 0xFFFF_FFFF) as u64;
+        let ts = event.t.as_micros() & 0xFFFF_FFFF;
         (ts << (Y_BITS + X_BITS + 1))
             | ((event.y as u64) << (X_BITS + 1))
             | ((event.x as u64) << 1)
@@ -286,6 +313,15 @@ mod tests {
             small.decode(word),
             Err(DecodeAerError::YOutOfRange { y: 100 })
         );
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_height() {
+        assert!(matches!(
+            AerCodec::try_new((16, u16::MAX)),
+            Err(DecodeAerError::HeightOutOfRange { height: u16::MAX })
+        ));
+        assert!(AerCodec::try_new((16, 0x7FFF - 1)).is_ok());
     }
 
     #[test]

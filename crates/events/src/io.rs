@@ -72,20 +72,29 @@ impl From<io::Error> for ReadStreamError {
     }
 }
 
+impl From<ReadStreamError> for evlab_util::EvlabError {
+    fn from(e: ReadStreamError) -> Self {
+        evlab_util::EvlabError::read_stream(e)
+    }
+}
+
 /// Serializes a stream. A `&mut` reference can be passed as the writer to
 /// keep using it afterwards.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
+/// Propagates I/O errors from the writer; a stream whose height exceeds
+/// the AER y field yields an [`io::ErrorKind::InvalidInput`] error (with
+/// the [`DecodeAerError`] as source) instead of panicking.
 pub fn write_stream<W: Write>(stream: &EventStream, mut writer: W) -> io::Result<()> {
     let (w, h) = stream.resolution();
+    let codec = AerCodec::try_new((w, h))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     writer.write_all(&MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;
     writer.write_all(&w.to_le_bytes())?;
     writer.write_all(&h.to_le_bytes())?;
     writer.write_all(&(stream.len() as u64).to_le_bytes())?;
-    let codec = AerCodec::new((w, h));
     for e in stream.iter() {
         writer.write_all(&codec.encode(e).to_le_bytes())?;
     }
@@ -118,7 +127,8 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<EventStream, ReadStreamErro
     let mut buf8 = [0u8; 8];
     reader.read_exact(&mut buf8)?;
     let count = u64::from_le_bytes(buf8);
-    let codec = AerCodec::new((w, h));
+    // A corrupted header must surface as a typed error, not a panic.
+    let codec = AerCodec::try_new((w, h)).map_err(ReadStreamError::Decode)?;
     let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
     for _ in 0..count {
         reader.read_exact(&mut buf8)?;
@@ -224,6 +234,32 @@ mod tests {
             read_stream(buf.as_slice()),
             Err(ReadStreamError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn corrupted_height_is_a_typed_error_not_a_panic() {
+        let mut buf = Vec::new();
+        write_stream(&sample(), &mut buf).expect("write");
+        // Overwrite the height field with a value outside the 15-bit field.
+        buf[8..10].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            read_stream(buf.as_slice()),
+            Err(ReadStreamError::Decode(DecodeAerError::HeightOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn oversized_stream_height_fails_write_typed() {
+        let tall = EventStream::new((4, u16::MAX));
+        let mut buf = Vec::new();
+        let err = write_stream(&tall, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn read_errors_convert_to_evlab_error() {
+        let e: evlab_util::EvlabError = ReadStreamError::BadVersion { found: 9 }.into();
+        assert!(e.to_string().contains("unsupported version 9"));
     }
 
     #[test]

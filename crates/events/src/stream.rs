@@ -39,6 +39,12 @@ impl fmt::Display for EventOrderError {
 
 impl Error for EventOrderError {}
 
+impl From<EventOrderError> for evlab_util::EvlabError {
+    fn from(e: EventOrderError) -> Self {
+        evlab_util::EvlabError::event_order(e)
+    }
+}
+
 /// A monotonically time-sorted sequence of events from a sensor of known
 /// resolution.
 ///

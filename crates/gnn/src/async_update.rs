@@ -21,9 +21,16 @@ use crate::network::GnnNetwork;
 use evlab_events::Event;
 use evlab_tensor::{OpCount, Tensor};
 
-/// Streaming inference engine wrapping a trained [`GnnNetwork`].
-pub struct AsyncGnn<'a> {
-    net: &'a mut GnnNetwork,
+/// Streaming inference engine owning a trained [`GnnNetwork`].
+///
+/// Owning the network (rather than borrowing it) makes the engine a
+/// self-contained unit of session state, so a serving runtime can move it
+/// onto a worker thread; clone the trained network first if it is still
+/// needed elsewhere.
+#[derive(Clone)]
+pub struct AsyncGnn {
+    net: GnnNetwork,
+    config: GraphConfig,
     builder: IncrementalGraphBuilder,
     /// Cached polarity input features, one row per absorbed node.
     input_features: NodeFeatures,
@@ -34,9 +41,9 @@ pub struct AsyncGnn<'a> {
     classes: usize,
 }
 
-impl<'a> AsyncGnn<'a> {
+impl AsyncGnn {
     /// Creates an engine over a trained network and a graph configuration.
-    pub fn new(net: &'a mut GnnNetwork, config: GraphConfig, classes: usize) -> Self {
+    pub fn new(net: GnnNetwork, config: GraphConfig, classes: usize) -> Self {
         let dims: Vec<usize> = net.convs().iter().map(|c| c.out_dim()).collect();
         let last = *dims.last().expect("at least one conv layer");
         AsyncGnn {
@@ -48,6 +55,7 @@ impl<'a> AsyncGnn<'a> {
                 .collect(),
             pool_sum: vec![0.0; last],
             net,
+            config,
             classes,
         }
     }
@@ -55,6 +63,25 @@ impl<'a> AsyncGnn<'a> {
     /// Number of events absorbed so far.
     pub fn node_count(&self) -> usize {
         self.builder.graph().node_count()
+    }
+
+    /// Shared access to the wrapped network.
+    pub fn network(&self) -> &GnnNetwork {
+        &self.net
+    }
+
+    /// Drops all absorbed graph state (nodes, cached features, pooled sum)
+    /// while keeping the trained weights, so long-lived streaming sessions
+    /// can bound their memory by periodically restarting the graph.
+    pub fn reset(&mut self) {
+        self.builder = IncrementalGraphBuilder::new(self.config);
+        self.input_features = NodeFeatures::zeros(0, 2);
+        for f in &mut self.layer_features {
+            *f = NodeFeatures::zeros(0, f.dim());
+        }
+        for s in &mut self.pool_sum {
+            *s = 0.0;
+        }
     }
 
     /// Processes one event and returns the updated class logits.
@@ -125,9 +152,9 @@ mod tests {
         let graph = incremental_build(&events, &config, &mut ops);
         let batch_logits = net.forward(&graph, &mut ops);
         // Async streaming.
-        let mut async_net =
+        let async_net =
             GnnNetwork::new(&GnnConfig::new(3).with_hidden(vec![6, 6]), &mut Rng64::seed_from_u64(1));
-        let mut engine = AsyncGnn::new(&mut async_net, config, 3);
+        let mut engine = AsyncGnn::new(async_net, config, 3);
         let mut last = Tensor::zeros(&[3]);
         for e in &events {
             last = engine.update(*e, &mut ops);
@@ -140,8 +167,8 @@ mod tests {
     #[test]
     fn per_event_cost_is_constant_in_graph_size() {
         let mut rng = Rng64::seed_from_u64(2);
-        let mut net = GnnNetwork::new(&GnnConfig::new(2), &mut rng);
-        let mut engine = AsyncGnn::new(&mut net, GraphConfig::new(), 2);
+        let net = GnnNetwork::new(&GnnConfig::new(2), &mut rng);
+        let mut engine = AsyncGnn::new(net, GraphConfig::new(), 2);
         let events = stream(200);
         let mut early_cost = 0u64;
         let mut late_cost = 0u64;
@@ -176,8 +203,8 @@ mod tests {
             net.forward(builder.graph(), &mut ops_full);
         }
         // Async.
-        let mut async_net = GnnNetwork::new(&GnnConfig::new(2), &mut Rng64::seed_from_u64(3));
-        let mut engine = AsyncGnn::new(&mut async_net, config, 2);
+        let async_net = GnnNetwork::new(&GnnConfig::new(2), &mut Rng64::seed_from_u64(3));
+        let mut engine = AsyncGnn::new(async_net, config, 2);
         let mut ops_async = OpCount::new();
         for e in &events {
             engine.update(*e, &mut ops_async);

@@ -50,11 +50,7 @@ impl NodeFeatures {
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Row `i`.

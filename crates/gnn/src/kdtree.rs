@@ -67,6 +67,7 @@ impl KdTree3 {
         (out, visited)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn radius_recursive(
         &self,
         query: &[f64; 3],
@@ -117,6 +118,7 @@ impl KdTree3 {
         (best, visited)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn knn_recursive(
         &self,
         query: &[f64; 3],

@@ -63,6 +63,7 @@ impl GnnConfig {
 }
 
 /// A graph-convolution layer of either kernel family.
+#[derive(Debug, Clone)]
 pub enum AnyConv {
     /// Linear relational kernel.
     Relational(GraphConv),
@@ -137,6 +138,7 @@ impl AnyConv {
 }
 
 /// An event-graph classifier.
+#[derive(Clone)]
 pub struct GnnNetwork {
     convs: Vec<AnyConv>,
     head_w: Param, // [classes, last_hidden]
@@ -185,6 +187,11 @@ impl GnnNetwork {
     /// The convolution layers.
     pub fn convs(&self) -> &[AnyConv] {
         &self.convs
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
     }
 
     /// Total scalar parameter count.

@@ -1,0 +1,58 @@
+//! Streaming inference runtime for event-camera classifiers.
+//!
+//! The paper's batch comparison answers *which paradigm is cheaper per
+//! sample*; serving asks the harder operational question: what happens
+//! when many sensors stream events at a shared compute budget
+//! concurrently, and the offered load exceeds it? This crate gives the
+//! three paradigms one serving substrate so that question is measurable:
+//!
+//! * **Sessions** ([`session::Session`]) — each client owns an
+//!   AER-decoding ingress (reusing `evlab_events::aer`), a bounded queue,
+//!   and an [`evlab_core::online::OnlineClassifier`] with its own cloned
+//!   weights. No shared mutable state, no locks on the hot path.
+//! * **Backpressure** ([`queue::BoundedQueue`]) — overload is an explicit
+//!   policy ([`queue::DropPolicy`]): evict-oldest (bounded staleness),
+//!   reject-newest (bounded effort), or token-bucket rate control
+//!   mirroring the sensor-side controller in
+//!   `evlab_events::downsample::EventRateController`. Every shed event is
+//!   counted, never silently lost, and surviving events are never
+//!   reordered.
+//! * **Fair scheduling** ([`runtime::ServeRuntime`]) — quantum-bounded
+//!   round robin across sessions on the `evlab_util::par` worker threads;
+//!   a flooding client cannot starve a trickling one.
+//! * **Observability** — `serve.session.*`, `serve.queue.*` and
+//!   `serve.shed.*` counters in `evlab_util::obs` (enable with
+//!   `EVLAB_OBS=1`).
+//!
+//! Decisions are deterministic: a session's output is a pure function of
+//! its ingress stream and configuration, independent of `EVLAB_THREADS`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use evlab_core::prelude::*;
+//! use evlab_datasets::{shapes::shape_silhouettes, DatasetConfig};
+//! use evlab_serve::{ServeConfig, ServeRuntime};
+//!
+//! let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)));
+//! let mut pipe = GnnPipeline::new(GnnPipelineConfig::new());
+//! pipe.fit(&data);
+//!
+//! let mut rt = ServeRuntime::new(ServeConfig::new().with_queue_depth(128));
+//! let session = rt
+//!     .open_session(Box::new(GnnOnline::new(&pipe).unwrap()), data.resolution)
+//!     .unwrap();
+//! for e in data.test[0].stream.iter() {
+//!     rt.offer(session, *e);
+//! }
+//! rt.drain_all();
+//! println!("{:?}", rt.session(session).unwrap().last_decision());
+//! ```
+
+pub mod queue;
+pub mod runtime;
+pub mod session;
+
+pub use queue::{Admission, BoundedQueue, DropPolicy};
+pub use runtime::{ServeConfig, ServeRuntime};
+pub use session::{Session, SessionId, SessionStats};

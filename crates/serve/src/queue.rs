@@ -1,0 +1,260 @@
+//! Bounded per-session ingress queues with explicit overload policies.
+//!
+//! A serving runtime cannot buffer an event camera's worst case — a busy
+//! sensor emits tens of millions of events per second while a session's
+//! classifier may sustain far fewer. The queue makes the overflow decision
+//! explicit instead of letting memory grow or latency diverge: every offer
+//! either enqueues the event or sheds load, and the caller learns which via
+//! [`Admission`].
+//!
+//! All three policies preserve the relative order of surviving events, so
+//! downstream sessions (which require monotonic timestamps) never observe
+//! reordering — only gaps. `queue::tests::drop_policies_preserve_order`
+//! pins this invariant.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use evlab_events::Event;
+
+/// What a full (or rate-limited) queue does with excess events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DropPolicy {
+    /// Evict the oldest queued event to admit the newest — bounded staleness:
+    /// the queue always holds the freshest window of the stream.
+    DropOldest,
+    /// Reject the incoming event while the queue is full — bounded effort:
+    /// admitted events are never wasted, at the cost of staleness.
+    DropNewest,
+    /// Token-bucket rate limiting *before* the queue, mirroring
+    /// `evlab_events::downsample::EventRateController` (the programmable
+    /// readout-side controller of GEPS-class sensors): tokens refill at
+    /// `max_rate_eps` in event time, each admitted event spends one, and an
+    /// empty bucket sheds the event. Overflow past the rate gate behaves
+    /// like [`DropPolicy::DropNewest`].
+    RateControl {
+        /// Sustained admission rate in events/second (event time).
+        max_rate_eps: f64,
+        /// Burst capacity in events.
+        burst: usize,
+    },
+}
+
+/// The outcome of offering one event to a [`BoundedQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued without displacing anything.
+    Accepted,
+    /// Enqueued, evicting the oldest queued event (drop-oldest under
+    /// overload).
+    Evicted,
+    /// Rejected because the queue is full (drop-newest under overload).
+    RejectedFull,
+    /// Rejected by the rate controller before reaching the queue.
+    RejectedRate,
+}
+
+impl Admission {
+    /// Whether the offered event made it into the queue.
+    pub fn accepted(self) -> bool {
+        matches!(self, Admission::Accepted | Admission::Evicted)
+    }
+
+    /// Whether an event (offered or queued) was shed.
+    pub fn shed(self) -> bool {
+        self != Admission::Accepted
+    }
+}
+
+/// A bounded FIFO of `(event, enqueue instant)` pairs with an explicit
+/// overload policy. The enqueue instant rides along so the consumer can
+/// measure true event-to-decision latency including queueing delay.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue {
+    items: VecDeque<(Event, Instant)>,
+    capacity: usize,
+    policy: DropPolicy,
+    /// Token-bucket state (rate-control policy only), advanced in event
+    /// time so admission is deterministic and replayable.
+    tokens: f64,
+    last_t: Option<u64>,
+}
+
+impl BoundedQueue {
+    /// Creates a queue holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, or if the policy is
+    /// [`DropPolicy::RateControl`] with a non-positive rate or zero burst
+    /// (mirroring `EventRateController::new`).
+    pub fn new(capacity: usize, policy: DropPolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let tokens = match policy {
+            DropPolicy::RateControl { max_rate_eps, burst } => {
+                assert!(max_rate_eps > 0.0, "rate must be positive");
+                assert!(burst >= 1, "burst must be at least 1");
+                burst as f64
+            }
+            _ => 0.0,
+        };
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            tokens,
+            last_t: None,
+        }
+    }
+
+    /// Queued event count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum queued events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The overload policy.
+    pub fn policy(&self) -> DropPolicy {
+        self.policy
+    }
+
+    /// Offers one event, stamped with its arrival instant.
+    pub fn offer(&mut self, event: Event, now: Instant) -> Admission {
+        if let DropPolicy::RateControl { max_rate_eps, burst } = self.policy {
+            let t = event.t.as_micros();
+            let last = self.last_t.unwrap_or(t);
+            let dt_sec = t.saturating_sub(last) as f64 * 1e-6;
+            self.tokens = (self.tokens + dt_sec * max_rate_eps).min(burst as f64);
+            self.last_t = Some(t);
+            if self.tokens < 1.0 {
+                return Admission::RejectedRate;
+            }
+            self.tokens -= 1.0;
+        }
+        if self.items.len() < self.capacity {
+            self.items.push_back((event, now));
+            return Admission::Accepted;
+        }
+        match self.policy {
+            DropPolicy::DropOldest => {
+                self.items.pop_front();
+                self.items.push_back((event, now));
+                Admission::Evicted
+            }
+            DropPolicy::DropNewest | DropPolicy::RateControl { .. } => Admission::RejectedFull,
+        }
+    }
+
+    /// Takes the oldest queued event.
+    pub fn pop(&mut self) -> Option<(Event, Instant)> {
+        self.items.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::Polarity;
+
+    fn burst_events(n: usize, dt_us: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new(i as u64 * dt_us, (i % 7) as u16, (i % 5) as u16, Polarity::On))
+            .collect()
+    }
+
+    fn drain(q: &mut BoundedQueue) -> Vec<Event> {
+        std::iter::from_fn(|| q.pop().map(|(e, _)| e)).collect()
+    }
+
+    /// Surviving events must be an in-order subsequence of the offered
+    /// stream under every policy — sessions rely on monotonic timestamps.
+    #[test]
+    fn drop_policies_preserve_order() {
+        let policies = [
+            DropPolicy::DropOldest,
+            DropPolicy::DropNewest,
+            DropPolicy::RateControl { max_rate_eps: 50_000.0, burst: 4 },
+        ];
+        let input = burst_events(64, 10);
+        for policy in policies {
+            let mut q = BoundedQueue::new(4, policy);
+            let mut shed = 0usize;
+            let mut survivors = Vec::new();
+            for (i, e) in input.iter().enumerate() {
+                if q.offer(*e, Instant::now()).shed() {
+                    shed += 1;
+                }
+                // Consume occasionally so admission happens both against a
+                // full queue and a freshly drained one.
+                if i.is_multiple_of(13) {
+                    survivors.extend(drain(&mut q));
+                }
+            }
+            survivors.extend(drain(&mut q));
+            assert!(shed > 0, "{policy:?} never overloaded");
+            for w in survivors.windows(2) {
+                assert!(w[0].t <= w[1].t, "{policy:?} reordered events");
+            }
+            // In-order subsequence of the input (match by timestamp, which
+            // is unique here).
+            let mut it = input.iter();
+            for s in &survivors {
+                assert!(
+                    it.any(|e| e.t == s.t),
+                    "{policy:?} emitted an event not in input order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_oldest_keeps_freshest_window() {
+        let mut q = BoundedQueue::new(4, DropPolicy::DropOldest);
+        for e in burst_events(10, 10) {
+            q.offer(e, Instant::now());
+        }
+        let kept = drain(&mut q);
+        let ts: Vec<u64> = kept.iter().map(|e| e.t.as_micros()).collect();
+        assert_eq!(ts, vec![60, 70, 80, 90], "queue holds the newest events");
+    }
+
+    #[test]
+    fn drop_newest_keeps_oldest_window() {
+        let mut q = BoundedQueue::new(4, DropPolicy::DropNewest);
+        let mut rejected = 0;
+        for e in burst_events(10, 10) {
+            if q.offer(e, Instant::now()) == Admission::RejectedFull {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 6);
+        let ts: Vec<u64> = drain(&mut q).iter().map(|e| e.t.as_micros()).collect();
+        assert_eq!(ts, vec![0, 10, 20, 30], "queue holds the oldest events");
+    }
+
+    #[test]
+    fn rate_control_sheds_by_event_time() {
+        // 1 kHz sustained with burst 2, events arriving at 10 kHz: after
+        // the burst, roughly one in ten is admitted.
+        let mut q = BoundedQueue::new(1024, DropPolicy::RateControl {
+            max_rate_eps: 1_000.0,
+            burst: 2,
+        });
+        let mut admitted = 0usize;
+        for e in burst_events(1000, 100) {
+            if q.offer(e, Instant::now()).accepted() {
+                admitted += 1;
+            }
+        }
+        assert!((90..=120).contains(&admitted), "admitted {admitted}");
+    }
+}

@@ -1,0 +1,365 @@
+//! The serving runtime: many sessions, one fair scheduler.
+//!
+//! [`ServeRuntime`] multiplexes concurrent [`Session`]s over the worker
+//! threads of `evlab_util::par`. Scheduling is quantum-bounded round
+//! robin: every [`ServeRuntime::tick`] lets each active session consume at
+//! most [`ServeConfig::quantum`] queued events, so a flooding client can
+//! never starve a trickling one — its excess waits in its own bounded
+//! queue (and is shed there under overload, never in a shared buffer).
+//!
+//! Determinism: sessions own their classifiers and queues outright, each
+//! is drained by exactly one worker per tick, and the quantum is fixed —
+//! so the decision sequence of every session is a pure function of its
+//! ingress, independent of `EVLAB_THREADS` (pinned by
+//! `tests/par_equivalence.rs`).
+
+use evlab_core::online::{Decision, OnlineClassifier};
+use evlab_events::Event;
+use evlab_util::{par, EvlabError};
+
+use crate::queue::{Admission, DropPolicy};
+use crate::session::{Session, SessionId};
+
+/// Runtime-wide serving parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Per-session ingress queue capacity in events.
+    pub queue_depth: usize,
+    /// Overload policy applied by every session's queue.
+    pub policy: DropPolicy,
+    /// Maximum events one session may consume per [`ServeRuntime::tick`].
+    pub quantum: usize,
+}
+
+impl ServeConfig {
+    /// Default: 256-event queues, drop-oldest, 64-event quantum.
+    pub fn new() -> Self {
+        ServeConfig {
+            queue_depth: 256,
+            policy: DropPolicy::DropOldest,
+            quantum: 64,
+        }
+    }
+
+    /// Returns a copy with a different queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Returns a copy with a different drop policy.
+    pub fn with_policy(mut self, policy: DropPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different scheduling quantum.
+    pub fn with_quantum(mut self, quantum: usize) -> Self {
+        self.quantum = quantum;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+/// Multiplexes concurrent streaming-classification sessions.
+pub struct ServeRuntime {
+    config: ServeConfig,
+    sessions: Vec<Session>,
+}
+
+impl ServeRuntime {
+    /// Creates an empty runtime.
+    pub fn new(config: ServeConfig) -> Self {
+        ServeRuntime {
+            config,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Opens a session serving `classifier` for streams of `resolution`,
+    /// returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the resolution cannot be AER-encoded.
+    pub fn open_session(
+        &mut self,
+        classifier: Box<dyn OnlineClassifier + Send>,
+        resolution: (u16, u16),
+    ) -> Result<SessionId, EvlabError> {
+        let id = self.sessions.len();
+        self.sessions.push(Session::open(
+            id,
+            classifier,
+            resolution,
+            self.config.queue_depth,
+            self.config.policy,
+        )?);
+        Ok(id)
+    }
+
+    /// All sessions, active and closed.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Looks up a session by id.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(id)
+    }
+
+    /// Offers one decoded event to a session's ingress queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn offer(&mut self, id: SessionId, event: Event) -> Admission {
+        self.sessions[id].offer(event)
+    }
+
+    /// Offers one AER word to a session's ingress queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown session or an undecodable word.
+    pub fn offer_aer(&mut self, id: SessionId, word: u64) -> Result<Admission, EvlabError> {
+        self.sessions
+            .get_mut(id)
+            .ok_or_else(|| EvlabError::serve(format!("unknown session {id}")))?
+            .offer_aer(word)
+    }
+
+    /// Total events queued across all sessions.
+    pub fn pending(&self) -> usize {
+        self.sessions.iter().map(Session::queue_len).sum()
+    }
+
+    /// Runs one scheduling round: every active session consumes up to
+    /// `quantum` queued events, sessions distributed across the worker
+    /// threads of `evlab_util::par`. Returns total events processed.
+    pub fn tick(&mut self) -> usize {
+        let quantum = self.config.quantum;
+        let before: u64 = self.sessions.iter().map(|s| s.stats().processed).sum();
+        par::for_each_task(&mut self.sessions, |_, session| {
+            session.drain(quantum);
+        });
+        let after: u64 = self.sessions.iter().map(|s| s.stats().processed).sum();
+        (after - before) as usize
+    }
+
+    /// Ticks until all queues are empty (or nothing makes progress —
+    /// failed sessions retain their queued events). Returns total events
+    /// processed.
+    pub fn drain_all(&mut self) -> usize {
+        let mut total = 0;
+        while self.pending() > 0 {
+            let done = self.tick();
+            total += done;
+            if done == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Flushes every active session, forcing decisions from accumulated
+    /// state. Returns `(id, decision)` for each session that produced one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first flush error; remaining sessions are not flushed.
+    pub fn flush_all(&mut self) -> Result<Vec<(SessionId, Decision)>, EvlabError> {
+        let mut decisions = Vec::new();
+        for session in &mut self.sessions {
+            if let Some(d) = session.flush()? {
+                decisions.push((session.id(), d));
+            }
+        }
+        Ok(decisions)
+    }
+
+    /// Closes a session; its statistics and history stay readable.
+    pub fn close_session(&mut self, id: SessionId) {
+        if let Some(s) = self.sessions.get_mut(id) {
+            s.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evlab_events::{Event, Polarity};
+    use evlab_tensor::OpCount;
+    use evlab_util::obs;
+
+    /// A deterministic stand-in classifier: one decision every `every`
+    /// events, class = events seen so far modulo `classes`.
+    struct Modulo {
+        classes: usize,
+        every: usize,
+        seen: usize,
+        pending: Option<Decision>,
+        last_t: u64,
+    }
+
+    impl Modulo {
+        fn boxed(classes: usize, every: usize) -> Box<dyn OnlineClassifier + Send> {
+            Box::new(Modulo {
+                classes,
+                every,
+                seen: 0,
+                pending: None,
+                last_t: 0,
+            })
+        }
+    }
+
+    impl OnlineClassifier for Modulo {
+        fn name(&self) -> &'static str {
+            "modulo"
+        }
+
+        fn begin_session(&mut self) {
+            self.seen = 0;
+            self.pending = None;
+            self.last_t = 0;
+        }
+
+        fn push_event(&mut self, event: Event, ops: &mut OpCount) -> Result<(), EvlabError> {
+            let t = event.t.as_micros();
+            if t < self.last_t {
+                return Err(EvlabError::serve("out-of-order"));
+            }
+            self.last_t = t;
+            self.seen += 1;
+            ops.record_add(1);
+            if self.seen.is_multiple_of(self.every) {
+                self.pending = Some(Decision {
+                    class: self.seen % self.classes,
+                    logits: Vec::new(),
+                    events: self.every,
+                    t_us: t,
+                });
+            }
+            Ok(())
+        }
+
+        fn poll_decision(&mut self) -> Option<Decision> {
+            self.pending.take()
+        }
+
+        fn flush(&mut self, _ops: &mut OpCount) -> Result<Option<Decision>, EvlabError> {
+            Ok(Some(Decision {
+                class: self.seen % self.classes,
+                logits: Vec::new(),
+                events: self.seen % self.every,
+                t_us: self.last_t,
+            }))
+        }
+    }
+
+    fn events(n: usize, dt_us: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new(i as u64 * dt_us, (i % 16) as u16, (i % 16) as u16, Polarity::On))
+            .collect()
+    }
+
+    #[test]
+    fn quantum_round_robin_is_fair() {
+        let config = ServeConfig::new().with_queue_depth(4096).with_quantum(16);
+        let mut rt = ServeRuntime::new(config);
+        let flood = rt.open_session(Modulo::boxed(4, 8), (16, 16)).unwrap();
+        let trickle = rt.open_session(Modulo::boxed(4, 8), (16, 16)).unwrap();
+        for e in events(1000, 10) {
+            rt.offer(flood, e);
+        }
+        for e in events(10, 10) {
+            rt.offer(trickle, e);
+        }
+        let done = rt.tick();
+        // The flood session is capped at one quantum; the trickle session
+        // clears entirely in the same round despite the flood.
+        assert_eq!(rt.session(flood).unwrap().stats().processed, 16);
+        assert_eq!(rt.session(trickle).unwrap().stats().processed, 10);
+        assert_eq!(done, 26);
+    }
+
+    #[test]
+    fn overload_sheds_without_losing_order() {
+        obs::set_enabled(true);
+        let shed_before = obs::counter_value("serve.shed.oldest");
+        let config = ServeConfig::new().with_queue_depth(32).with_quantum(8);
+        let mut rt = ServeRuntime::new(config);
+        let id = rt.open_session(Modulo::boxed(4, 1), (16, 16)).unwrap();
+        // 4x queue depth with no intervening ticks: forced overload.
+        for e in events(128, 10) {
+            rt.offer(id, e);
+        }
+        rt.drain_all();
+        let s = rt.session(id).unwrap();
+        assert_eq!(s.stats().shed_oldest, 96);
+        assert_eq!(s.stats().processed, 32);
+        // Decision timestamps stay monotonic: surviving events in order.
+        for w in s.history().windows(2) {
+            assert!(w[0].0 <= w[1].0, "decisions out of order");
+        }
+        assert!(obs::counter_value("serve.shed.oldest") >= shed_before + 96);
+        obs::set_enabled(false);
+    }
+
+    #[test]
+    fn aer_ingress_feeds_sessions() {
+        let mut rt = ServeRuntime::new(ServeConfig::new());
+        let id = rt.open_session(Modulo::boxed(4, 1), (32, 24)).unwrap();
+        let event = Event::new(1_234, 17, 9, Polarity::Off);
+        let word = rt.session(id).unwrap().codec().encode(&event);
+        assert!(rt.offer_aer(id, word).unwrap().accepted());
+        rt.tick();
+        let s = rt.session(id).unwrap();
+        assert_eq!(s.stats().processed, 1);
+        assert_eq!(s.last_decision().unwrap().t_us, 1_234);
+    }
+
+    #[test]
+    fn failed_sessions_stop_but_keep_stats() {
+        let mut rt = ServeRuntime::new(ServeConfig::new().with_quantum(4));
+        let id = rt.open_session(Modulo::boxed(4, 1), (16, 16)).unwrap();
+        // Two ingress bursts with a timestamp regression between them: the
+        // session must fail cleanly partway, not panic.
+        rt.offer(id, Event::new(1_000, 0, 0, Polarity::On));
+        rt.offer(id, Event::new(500, 0, 0, Polarity::On));
+        rt.tick();
+        let s = rt.session(id).unwrap();
+        assert!(s.error().is_some());
+        assert!(!s.is_active());
+        assert_eq!(s.stats().processed, 1);
+        // A failed session rejects further ingress and processes nothing.
+        assert_eq!(rt.offer(id, Event::new(2_000, 0, 0, Polarity::On)), Admission::RejectedFull);
+        assert_eq!(rt.tick(), 0);
+    }
+
+    #[test]
+    fn flush_forces_partial_decisions() {
+        let mut rt = ServeRuntime::new(ServeConfig::new());
+        let id = rt.open_session(Modulo::boxed(4, 100), (16, 16)).unwrap();
+        for e in events(5, 10) {
+            rt.offer(id, e);
+        }
+        rt.drain_all();
+        assert!(rt.session(id).unwrap().last_decision().is_none());
+        let flushed = rt.flush_all().unwrap();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].1.events, 5);
+    }
+}

@@ -1,0 +1,276 @@
+//! One client session: an ingress queue feeding an online classifier.
+//!
+//! A session owns everything it touches — its [`BoundedQueue`], its
+//! [`OnlineClassifier`] (network weights cloned from the trained
+//! pipeline), its op counter, and its statistics — so the runtime can hand
+//! whole sessions to worker threads with no shared mutable state and no
+//! locks on the hot path.
+
+use std::time::Instant;
+
+use evlab_core::online::{Decision, OnlineClassifier};
+use evlab_events::aer::AerCodec;
+use evlab_events::Event;
+use evlab_tensor::OpCount;
+use evlab_util::{obs, EvlabError};
+
+use crate::queue::{Admission, BoundedQueue, DropPolicy};
+
+/// Identifies a session within one [`crate::runtime::ServeRuntime`].
+pub type SessionId = usize;
+
+/// Per-session ingress / processing / shedding counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Events offered at ingress (accepted + shed).
+    pub offered: u64,
+    /// Events admitted to the queue.
+    pub accepted: u64,
+    /// Queued events evicted by drop-oldest.
+    pub shed_oldest: u64,
+    /// Incoming events rejected by a full queue (drop-newest).
+    pub shed_newest: u64,
+    /// Incoming events shed by the rate controller.
+    pub shed_rate: u64,
+    /// Events pushed into the classifier.
+    pub processed: u64,
+    /// Decisions produced (per-event polls plus flushes).
+    pub decisions: u64,
+}
+
+impl SessionStats {
+    /// Total events shed by any mechanism.
+    pub fn shed(&self) -> u64 {
+        self.shed_oldest + self.shed_newest + self.shed_rate
+    }
+}
+
+/// A single client's streaming classification session.
+pub struct Session {
+    id: SessionId,
+    queue: BoundedQueue,
+    classifier: Box<dyn OnlineClassifier + Send>,
+    codec: AerCodec,
+    ops: OpCount,
+    stats: SessionStats,
+    /// Compact decision log `(t_us, class)` — enough to compare runs for
+    /// determinism without retaining every logit vector.
+    history: Vec<(u64, usize)>,
+    /// Event-to-decision latencies (µs), queueing delay included.
+    latencies_us: Vec<f64>,
+    last_decision: Option<Decision>,
+    /// Enqueue instant of the oldest event not yet covered by a decision.
+    oldest_pending: Option<Instant>,
+    error: Option<EvlabError>,
+    open: bool,
+}
+
+impl Session {
+    /// Opens a session: the classifier's state is reset and ingress
+    /// expects AER words (or decoded events) for `resolution`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `resolution` cannot be AER-encoded.
+    pub fn open(
+        id: SessionId,
+        mut classifier: Box<dyn OnlineClassifier + Send>,
+        resolution: (u16, u16),
+        queue_depth: usize,
+        policy: DropPolicy,
+    ) -> Result<Self, EvlabError> {
+        let codec = AerCodec::try_new(resolution).map_err(EvlabError::decode_aer)?;
+        classifier.begin_session();
+        obs::counter_add("serve.session.opened", 1);
+        Ok(Session {
+            id,
+            queue: BoundedQueue::new(queue_depth, policy),
+            classifier,
+            codec,
+            ops: OpCount::new(),
+            stats: SessionStats::default(),
+            history: Vec::new(),
+            latencies_us: Vec::new(),
+            last_decision: None,
+            oldest_pending: None,
+            error: None,
+            open: true,
+        })
+    }
+
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The paradigm name of the classifier being served.
+    pub fn paradigm(&self) -> &'static str {
+        self.classifier.name()
+    }
+
+    /// Ingress/processing counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Operations performed by this session's classifier so far.
+    pub fn ops(&self) -> &OpCount {
+        &self.ops
+    }
+
+    /// Events currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The AER codec for this session's resolution.
+    pub fn codec(&self) -> &AerCodec {
+        &self.codec
+    }
+
+    /// The newest decision, if any.
+    pub fn last_decision(&self) -> Option<&Decision> {
+        self.last_decision.as_ref()
+    }
+
+    /// The full `(t_us, class)` decision log.
+    pub fn history(&self) -> &[(u64, usize)] {
+        &self.history
+    }
+
+    /// Recorded event-to-decision latencies in microseconds.
+    pub fn latencies_us(&self) -> &[f64] {
+        &self.latencies_us
+    }
+
+    /// The error that failed this session, if any. A failed session stops
+    /// processing but keeps its statistics and history readable.
+    pub fn error(&self) -> Option<&EvlabError> {
+        self.error.as_ref()
+    }
+
+    /// Whether the session still accepts and processes events.
+    pub fn is_active(&self) -> bool {
+        self.open && self.error.is_none()
+    }
+
+    /// Offers one decoded event at ingress.
+    pub fn offer(&mut self, event: Event) -> Admission {
+        self.offer_at(event, Instant::now())
+    }
+
+    /// Offers one AER-encoded word at ingress, decoding it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the word does not decode for this session's
+    /// resolution; malformed ingress does not fail the session.
+    pub fn offer_aer(&mut self, word: u64) -> Result<Admission, EvlabError> {
+        let event = self.codec.decode(word).map_err(EvlabError::decode_aer)?;
+        Ok(self.offer(event))
+    }
+
+    fn offer_at(&mut self, event: Event, now: Instant) -> Admission {
+        if !self.is_active() {
+            return Admission::RejectedFull;
+        }
+        self.stats.offered += 1;
+        obs::counter_add("serve.queue.offered", 1);
+        let admission = self.queue.offer(event, now);
+        match admission {
+            Admission::Accepted => {
+                self.stats.accepted += 1;
+                obs::counter_add("serve.queue.accepted", 1);
+            }
+            Admission::Evicted => {
+                // The incoming event was admitted; the *oldest* was shed.
+                self.stats.accepted += 1;
+                self.stats.shed_oldest += 1;
+                obs::counter_add("serve.queue.accepted", 1);
+                obs::counter_add("serve.shed.oldest", 1);
+            }
+            Admission::RejectedFull => {
+                self.stats.shed_newest += 1;
+                obs::counter_add("serve.shed.newest", 1);
+            }
+            Admission::RejectedRate => {
+                self.stats.shed_rate += 1;
+                obs::counter_add("serve.shed.rate", 1);
+            }
+        }
+        admission
+    }
+
+    /// Processes up to `quantum` queued events through the classifier,
+    /// returning how many were consumed. Called by the runtime's
+    /// round-robin scheduler; bounding the quantum is what gives
+    /// co-scheduled sessions fairness.
+    pub fn drain(&mut self, quantum: usize) -> usize {
+        if !self.is_active() {
+            return 0;
+        }
+        let mut consumed = 0usize;
+        while consumed < quantum {
+            let Some((event, enqueued)) = self.queue.pop() else {
+                break;
+            };
+            if self.oldest_pending.is_none() {
+                self.oldest_pending = Some(enqueued);
+            }
+            if let Err(e) = self.classifier.push_event(event, &mut self.ops) {
+                self.error = Some(e);
+                obs::counter_add("serve.session.errors", 1);
+                break;
+            }
+            consumed += 1;
+            if let Some(decision) = self.classifier.poll_decision() {
+                self.record_decision(decision);
+            }
+        }
+        self.stats.processed += consumed as u64;
+        consumed
+    }
+
+    /// Forces a decision from the classifier's accumulated state (e.g. a
+    /// partial CNN window). Queued events are not consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the classifier's error; the session is marked failed.
+    pub fn flush(&mut self) -> Result<Option<Decision>, EvlabError> {
+        if !self.is_active() {
+            return Ok(None);
+        }
+        match self.classifier.flush(&mut self.ops) {
+            Ok(Some(decision)) => {
+                self.record_decision(decision.clone());
+                Ok(Some(decision))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.error = Some(EvlabError::serve(format!("flush failed: {e}")));
+                obs::counter_add("serve.session.errors", 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Closes the session; further offers are rejected.
+    pub fn close(&mut self) {
+        if self.open {
+            self.open = false;
+            obs::counter_add("serve.session.closed", 1);
+        }
+    }
+
+    fn record_decision(&mut self, decision: Decision) {
+        if let Some(start) = self.oldest_pending.take() {
+            self.latencies_us
+                .push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        self.stats.decisions += 1;
+        obs::counter_add("serve.session.decisions", 1);
+        self.history.push((decision.t_us, decision.class));
+        self.last_decision = Some(decision);
+    }
+}

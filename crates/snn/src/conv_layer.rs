@@ -179,7 +179,7 @@ impl ConvSnnNetwork {
         rng: &mut Rng64,
     ) -> Self {
         assert!(
-            resolution.0 % pool == 0 && resolution.1 % pool == 0,
+            resolution.0.is_multiple_of(pool) && resolution.1.is_multiple_of(pool),
             "resolution must divide by the pool size"
         );
         let conv = ConvLifLayer::new(

@@ -187,6 +187,54 @@ impl EventDrivenSnn {
         }
     }
 
+    /// Input dimensionality expected by [`EventDrivenSnn::inject_input`].
+    pub fn input_size(&self) -> usize {
+        self.layers.first().map(|l| l.in_size).unwrap_or(0)
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Injects a single input spike at `input_idx` at (1-based) step `step`,
+    /// propagating any resulting hidden spikes through the network, and
+    /// returns the number of hidden spikes emitted. This is the streaming
+    /// entry point: a serving session maps each arriving event to an input
+    /// index and step and calls this without materialising a
+    /// [`SpikeTrain`]. Steps must be non-decreasing between calls; call
+    /// [`EventDrivenSnn::reset`] to start a new decision window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_idx` is out of range for the input layer.
+    pub fn inject_input(&mut self, input_idx: usize, step: u64, ops: &mut OpCount) -> usize {
+        assert!(
+            input_idx < self.input_size(),
+            "input index {input_idx} out of range for {} inputs",
+            self.input_size()
+        );
+        let mut spike_counts = vec![0usize; self.layers.len()];
+        self.inject(0, input_idx, 1.0, step, ops, &mut spike_counts);
+        spike_counts.iter().sum()
+    }
+
+    /// Readout membrane potentials decayed to (1-based) step `step`,
+    /// without mutating state — the streaming analogue of the final decay
+    /// in [`EventDrivenSnn::process`], usable mid-window.
+    pub fn logits_at(&self, step: u64) -> Vec<f32> {
+        (0..self.classes)
+            .map(|c| {
+                let elapsed = step.saturating_sub(self.readout_last[c]);
+                if elapsed > 0 {
+                    self.readout_v[c] * self.readout_leak.powi(elapsed as i32)
+                } else {
+                    self.readout_v[c]
+                }
+            })
+            .collect()
+    }
+
     /// Processes a spike train event by event and returns the final logits.
     ///
     /// Events inside one timestep are injected sequentially without decay
@@ -306,6 +354,43 @@ mod tests {
             ops_ed.mem_accesses(),
             ops_clocked.mem_accesses()
         );
+    }
+
+    #[test]
+    fn streaming_injection_matches_process() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let net = SnnNetwork::new(SnnConfig::new(12, 3).with_hidden(vec![10]), &mut rng);
+        let mut ed = EventDrivenSnn::from_network(&net);
+        let mut trng = Rng64::seed_from_u64(7);
+        let train = dense_train(12, 15, 3, &mut trng);
+        let mut ops = OpCount::new();
+        let batch = ed.process(&train, &mut ops);
+        // Streaming replay: same injections, one at a time.
+        ed.reset();
+        let mut spikes = 0usize;
+        for t in 0..train.num_steps() {
+            for &i in train.at(t) {
+                spikes += ed.inject_input(i as usize, t as u64 + 1, &mut ops);
+            }
+        }
+        let logits = ed.logits_at(train.num_steps() as u64);
+        assert_eq!(spikes, batch.spike_counts.iter().sum::<usize>());
+        for (a, b) in batch.logits.as_slice().iter().zip(&logits) {
+            assert!((a - b).abs() < 1e-6, "batch {a} vs streaming {b}");
+        }
+    }
+
+    #[test]
+    fn inject_input_rejects_out_of_range_index() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let net = SnnNetwork::new(SnnConfig::new(4, 2), &mut rng);
+        let mut ed = EventDrivenSnn::from_network(&net);
+        assert_eq!(ed.input_size(), 4);
+        assert_eq!(ed.classes(), 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ed.inject_input(4, 1, &mut OpCount::new())
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -43,8 +43,29 @@ impl Param {
     }
 }
 
-/// A differentiable layer operating on single samples.
-pub trait Layer {
+/// Object-safe clone support for boxed layers, so a trained
+/// [`crate::Sequential`] can be replicated per serving session. Every
+/// `Layer + Clone` type gets this for free from the blanket impl.
+pub trait LayerClone {
+    /// Clones the layer behind a fresh box.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl<T: Layer + Clone + Send + 'static> LayerClone for T {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A differentiable layer operating on single samples. `Send` so that a
+/// [`crate::Sequential`] can move onto a serving worker thread.
+pub trait Layer: LayerClone + Send {
     /// Computes the output for `input`, caching state for the backward pass
     /// and recording work in `ops`.
     fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor;

@@ -26,7 +26,7 @@ use crate::tensor::Tensor;
 /// let y = net.forward(&Tensor::zeros(&[4]), &mut ops);
 /// assert_eq!(y.shape(), &[2]);
 /// ```
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }

@@ -158,12 +158,12 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
         y
     }

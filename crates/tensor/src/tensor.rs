@@ -26,6 +26,12 @@ impl fmt::Display for ShapeError {
 
 impl Error for ShapeError {}
 
+impl From<ShapeError> for evlab_util::EvlabError {
+    fn from(e: ShapeError) -> Self {
+        evlab_util::EvlabError::shape(e)
+    }
+}
+
 /// A dense, row-major `f32` tensor of arbitrary rank.
 ///
 /// # Examples
@@ -49,32 +55,58 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if the shape has a zero dimension.
+    /// Panics if the shape has a zero dimension; use [`Tensor::try_zeros`]
+    /// for untrusted shapes.
     pub fn zeros(shape: &[usize]) -> Self {
-        let len = checked_len(shape);
-        Tensor {
+        Self::try_zeros(shape).expect("invalid tensor shape")
+    }
+
+    /// Fallible [`Tensor::zeros`] for untrusted shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shape is empty or has a zero
+    /// dimension.
+    pub fn try_zeros(shape: &[usize]) -> Result<Self, ShapeError> {
+        let len = checked_len(shape)?;
+        Ok(Tensor {
             shape: shape.to_vec(),
             data: vec![0.0; len],
-        }
+        })
     }
 
     /// A tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a zero dimension; use
+    /// [`Tensor::try_filled`] for untrusted shapes.
     pub fn filled(shape: &[usize], value: f32) -> Self {
-        let len = checked_len(shape);
-        Tensor {
+        Self::try_filled(shape, value).expect("invalid tensor shape")
+    }
+
+    /// Fallible [`Tensor::filled`] for untrusted shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shape is empty or has a zero
+    /// dimension.
+    pub fn try_filled(shape: &[usize], value: f32) -> Result<Self, ShapeError> {
+        let len = checked_len(shape)?;
+        Ok(Tensor {
             shape: shape.to_vec(),
             data: vec![value; len],
-        }
+        })
     }
 
     /// Builds a tensor from a flat row-major vector.
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] if `data.len()` does not match the shape's
-    /// element count.
+    /// Returns [`ShapeError`] if the shape is invalid or `data.len()` does
+    /// not match the shape's element count.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, ShapeError> {
-        let len = checked_len(shape);
+        let len = checked_len(shape)?;
         if data.len() != len {
             return Err(ShapeError::new(format!(
                 "shape {shape:?} needs {len} elements, got {}",
@@ -347,15 +379,34 @@ impl Tensor {
     }
 }
 
-fn checked_len(shape: &[usize]) -> usize {
-    assert!(!shape.is_empty(), "shape must have at least one dimension");
-    shape.iter().for_each(|&d| assert!(d > 0, "zero dimension"));
-    shape.iter().product()
+fn checked_len(shape: &[usize]) -> Result<usize, ShapeError> {
+    if shape.is_empty() {
+        return Err(ShapeError::new("shape must have at least one dimension"));
+    }
+    if shape.contains(&0) {
+        return Err(ShapeError::new(format!("shape {shape:?} has a zero dimension")));
+    }
+    Ok(shape.iter().product())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_constructors_reject_bad_shapes_typed() {
+        assert!(Tensor::try_zeros(&[2, 3]).is_ok());
+        let e = Tensor::try_zeros(&[2, 0]).unwrap_err();
+        assert!(e.to_string().contains("zero dimension"));
+        assert!(Tensor::try_filled(&[], 1.0).is_err());
+        assert!(Tensor::from_vec(&[0], vec![]).is_err());
+    }
+
+    #[test]
+    fn shape_error_converts_to_evlab_error() {
+        let e: evlab_util::EvlabError = Tensor::try_zeros(&[0]).unwrap_err().into();
+        assert!(e.to_string().contains("shape error"));
+    }
 
     #[test]
     fn construction_and_indexing() {

@@ -1,0 +1,195 @@
+//! The workspace-wide error type.
+//!
+//! Each crate keeps its own precise error enum ([`EventOrderError`],
+//! [`DecodeAerError`], [`ReadStreamError`], [`ShapeError`],
+//! [`crate::json::JsonError`]) — those stay the right type for library
+//! code that can act on the specific failure. [`EvlabError`] is the
+//! umbrella the *application* layers (the serve runtime, the bench
+//! binaries) return, so their `main` functions and session loops can use
+//! `?` instead of `expect`-ing across crate boundaries.
+//!
+//! `evlab-util` sits at the bottom of the dependency graph, so it cannot
+//! name the error types of the crates above it. Each variant therefore
+//! carries its source as a boxed [`Error`]; the crate that *defines* a
+//! wrapped error provides the `From` impl (allowed by the orphan rule
+//! because the source type is local there) via the typed constructors
+//! below. `Display` renders the category plus the source message, and
+//! [`Error::source`] exposes the original error for callers that want to
+//! downcast.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_util::error::EvlabError;
+//! use evlab_util::json::Json;
+//!
+//! fn parse(text: &str) -> Result<Json, EvlabError> {
+//!     Ok(Json::parse(text)?)
+//! }
+//! let err = parse("{nope").unwrap_err();
+//! assert!(err.to_string().contains("json"));
+//! ```
+
+use crate::json::JsonError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Boxed source of a wrapped per-crate error.
+pub type BoxedSource = Box<dyn Error + Send + Sync + 'static>;
+
+/// The umbrella error for application-level (`serve`, bench-binary) code.
+#[derive(Debug)]
+pub enum EvlabError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// JSON parse failure ([`crate::json::JsonError`]).
+    Json(JsonError),
+    /// Events were not time-ordered (`evlab_events::EventOrderError`).
+    EventOrder(BoxedSource),
+    /// An AER word failed to decode (`evlab_events::aer::DecodeAerError`).
+    DecodeAer(BoxedSource),
+    /// An event-stream file failed to read
+    /// (`evlab_events::io::ReadStreamError`).
+    ReadStream(BoxedSource),
+    /// A tensor shape mismatch (`evlab_tensor::tensor::ShapeError`).
+    Shape(BoxedSource),
+    /// A serve-runtime failure (unknown session, closed session, …).
+    Serve(String),
+    /// Free-form application error.
+    Msg(String),
+}
+
+impl EvlabError {
+    /// Wraps an `EventOrderError` (used by its `From` impl in
+    /// `evlab-events`).
+    pub fn event_order(source: impl Error + Send + Sync + 'static) -> Self {
+        EvlabError::EventOrder(Box::new(source))
+    }
+
+    /// Wraps a `DecodeAerError` (used by its `From` impl in
+    /// `evlab-events`).
+    pub fn decode_aer(source: impl Error + Send + Sync + 'static) -> Self {
+        EvlabError::DecodeAer(Box::new(source))
+    }
+
+    /// Wraps a `ReadStreamError` (used by its `From` impl in
+    /// `evlab-events`).
+    pub fn read_stream(source: impl Error + Send + Sync + 'static) -> Self {
+        EvlabError::ReadStream(Box::new(source))
+    }
+
+    /// Wraps a `ShapeError` (used by its `From` impl in `evlab-tensor`).
+    pub fn shape(source: impl Error + Send + Sync + 'static) -> Self {
+        EvlabError::Shape(Box::new(source))
+    }
+
+    /// A serve-runtime error with the given message.
+    pub fn serve(message: impl Into<String>) -> Self {
+        EvlabError::Serve(message.into())
+    }
+
+    /// A free-form application error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        EvlabError::Msg(message.into())
+    }
+}
+
+impl fmt::Display for EvlabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvlabError::Io(e) => write!(f, "i/o error: {e}"),
+            EvlabError::Json(e) => write!(f, "json error: {e}"),
+            EvlabError::EventOrder(e) => write!(f, "event order error: {e}"),
+            EvlabError::DecodeAer(e) => write!(f, "aer decode error: {e}"),
+            EvlabError::ReadStream(e) => write!(f, "stream read error: {e}"),
+            EvlabError::Shape(e) => write!(f, "shape error: {e}"),
+            EvlabError::Serve(m) => write!(f, "serve error: {m}"),
+            EvlabError::Msg(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for EvlabError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvlabError::Io(e) => Some(e),
+            EvlabError::Json(e) => Some(e),
+            EvlabError::EventOrder(e)
+            | EvlabError::DecodeAer(e)
+            | EvlabError::ReadStream(e)
+            | EvlabError::Shape(e) => Some(e.as_ref()),
+            EvlabError::Serve(_) | EvlabError::Msg(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for EvlabError {
+    fn from(e: io::Error) -> Self {
+        EvlabError::Io(e)
+    }
+}
+
+impl From<JsonError> for EvlabError {
+    fn from(e: JsonError) -> Self {
+        EvlabError::Json(e)
+    }
+}
+
+impl From<String> for EvlabError {
+    fn from(m: String) -> Self {
+        EvlabError::Msg(m)
+    }
+}
+
+impl From<&str> for EvlabError {
+    fn from(m: &str) -> Self {
+        EvlabError::Msg(m.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_round_trips_through_question_mark() {
+        fn fails() -> Result<(), EvlabError> {
+            Err(io::Error::new(io::ErrorKind::NotFound, "missing"))?;
+            Ok(())
+        }
+        let e = fails().unwrap_err();
+        assert!(matches!(e, EvlabError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn json_errors_convert() {
+        let parse = crate::json::Json::parse("{broken");
+        let e: EvlabError = parse.unwrap_err().into();
+        assert!(matches!(e, EvlabError::Json(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn boxed_variants_expose_source() {
+        #[derive(Debug)]
+        struct Dummy;
+        impl fmt::Display for Dummy {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "dummy failure")
+            }
+        }
+        impl Error for Dummy {}
+        let e = EvlabError::shape(Dummy);
+        assert!(e.to_string().contains("dummy failure"));
+        assert!(e.source().unwrap().to_string().contains("dummy"));
+    }
+
+    #[test]
+    fn serve_and_msg_have_no_source() {
+        assert!(EvlabError::serve("queue full").source().is_none());
+        assert_eq!(EvlabError::msg("plain").to_string(), "plain");
+    }
+}

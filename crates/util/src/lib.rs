@@ -22,6 +22,9 @@
 //!   no-op single branch on hot paths while off.
 //! * [`json::Json`] — a minimal JSON writer/parser so reports and
 //!   benchmark artifacts need no external serialization crates.
+//! * [`error::EvlabError`] — the workspace-wide umbrella error that the
+//!   serve runtime and the bench binaries return instead of `expect`-ing;
+//!   the per-crate error types convert into it via `From`.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 //! assert!((0.0..1.0).contains(&x));
 //! ```
 
+pub mod error;
 pub mod fixed;
 pub mod json;
 pub mod lut;
@@ -41,6 +45,7 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
+pub use error::EvlabError;
 pub use fixed::Q16;
 pub use lut::ExpDecayLut;
 pub use rng::Rng64;

@@ -236,7 +236,8 @@ pub fn for_each_task<T: Send>(tasks: &mut [T], f: impl Fn(usize, &mut T) + Sync)
     // Each bucket lives in a one-shot cell so that when a thread fails to
     // spawn (its closure is dropped unrun), the coordinator can reclaim
     // the bucket and run it inline instead of losing the work.
-    let cells: Vec<Mutex<Option<Vec<(usize, &mut T)>>>> =
+    type Bucket<'a, T> = Vec<(usize, &'a mut T)>;
+    let cells: Vec<Mutex<Option<Bucket<'_, T>>>> =
         buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
     let ovr = current_override();
     thread::scope(|s| {

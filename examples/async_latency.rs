@@ -26,8 +26,8 @@ fn main() {
     let mut rng = Rng64::seed_from_u64(1);
 
     // Asynchronous: per-event incremental update.
-    let mut net = GnnNetwork::new(&GnnConfig::new(4), &mut rng);
-    let mut engine = AsyncGnn::new(&mut net, graph_config, 4);
+    let net = GnnNetwork::new(&GnnConfig::new(4), &mut rng);
+    let mut engine = AsyncGnn::new(net, graph_config, 4);
     let mut async_ops = OpCount::new();
     let mut per_event_macs = Vec::new();
     for e in stream.iter() {

@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # Offline verification gate for evlab.
 #
-# Runs the hermetic build, the full workspace test suite and a smoke
-# sweep of the `hotpaths` benchmark at EVLAB_THREADS ∈ {1, 2}. The
-# hotpaths binary exits non-zero if any thread count produces output
-# whose checksum differs from the serial run, so a determinism
-# regression in any of the four parallelized hot paths fails this
-# script.
+# Runs, in order:
+#   1. the hermetic release build;
+#   2. `cargo clippy --workspace -- -D warnings` (offline lint gate);
+#   3. the full workspace test suite;
+#   4. a smoke sweep of the `hotpaths` benchmark at EVLAB_THREADS ∈ {1, 2}
+#      — the binary exits non-zero if any thread count produces output
+#      whose checksum differs from the serial run, so a determinism
+#      regression in any of the four parallelized hot paths fails here;
+#   5. a smoke run of `serve_bench` (4 concurrent sessions per paradigm,
+#      16-deep queues under 64-event bursts) — the binary exits non-zero
+#      unless load was actually shed AND decisions kept flowing, which is
+#      the serving runtime's graceful-degradation contract.
 #
-# The smoke sweep runs under EVLAB_OBS=1 with --metrics: afterwards
-# `obs_check` re-parses the emitted metrics file with the crate's own
-# JSON parser and fails if any pipeline stage (camera, encoders, both
-# SNN engines, graph builders — including the capped build's
-# gnn.serial_fallback) reported zero activity.
+# Both smoke runs execute under EVLAB_OBS=1 with --metrics; afterwards
+# `obs_check` re-parses each metrics file with the crate's own JSON
+# parser and fails if any required counter is zero — for hotpaths the
+# built-in pipeline-stage list, for serve_bench the `serve.*` ingress,
+# shedding and decision counters (via --require).
 #
 # Usage: scripts/verify.sh
 # Requires no network access: the workspace has zero registry
@@ -24,17 +30,36 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+echo "==> cargo clippy --workspace --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo test --workspace --offline"
 cargo test -q --workspace --offline
 
-echo "==> hotpaths smoke sweep (threads 1, 2; checksum-gated; obs on)"
 out="$(mktemp /tmp/evlab_hotpaths_smoke.XXXXXX.json)"
 metrics="$(mktemp /tmp/evlab_hotpaths_obs.XXXXXX.json)"
-trap 'rm -f "$out" "$metrics"' EXIT
+serve_out="$(mktemp /tmp/evlab_serve_smoke.XXXXXX.json)"
+serve_metrics="$(mktemp /tmp/evlab_serve_obs.XXXXXX.json)"
+trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics"' EXIT
+
+echo "==> hotpaths smoke sweep (threads 1, 2; checksum-gated; obs on)"
 EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin hotpaths -- \
     --smoke --out "$out" --metrics "$metrics"
 
 echo "==> obs_check: metrics parse + every pipeline stage reported activity"
 cargo run -q --release --offline -p evlab-bench --bin obs_check -- "$metrics"
 
-echo "==> OK: build, tests, hot-path determinism and stage observability all pass"
+echo "==> serve_bench smoke (4 sessions/paradigm, forced overload, obs on)"
+EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin serve_bench -- \
+    --smoke --out "$serve_out" --metrics "$serve_metrics"
+
+echo "==> obs_check: serving ingress, shedding and decision counters nonzero"
+cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
+    --require serve.session.opened \
+    --require serve.queue.offered \
+    --require serve.queue.accepted \
+    --require serve.shed.oldest \
+    --require serve.session.decisions \
+    "$serve_metrics"
+
+echo "==> OK: build, lints, tests, hot-path determinism, serving degradation and observability all pass"

@@ -20,6 +20,8 @@
 //! * [`hw`] — accelerator energy/latency models
 //! * [`core`] — the unified [`core::EventClassifier`] API and the
 //!   Table I comparison runner
+//! * [`serve`] — streaming inference runtime: concurrent AER sessions,
+//!   bounded queues with load shedding, fair round-robin scheduling
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub use evlab_events as events;
 pub use evlab_gnn as gnn;
 pub use evlab_hw as hw;
 pub use evlab_sensor as sensor;
+pub use evlab_serve as serve;
 pub use evlab_snn as snn;
 pub use evlab_tensor as tensor;
 pub use evlab_util as util;

@@ -18,16 +18,18 @@ fn all_three_paradigms_beat_chance_through_the_unified_api() {
     let data = data();
     let chance = 1.0 / data.num_classes as f32;
     let mut classifiers: Vec<Box<dyn EventClassifier>> = vec![
-        Box::new(CnnPipeline::new(CnnPipelineConfig::new().with_epochs(15), 5)),
-        Box::new(SnnPipeline::new(
-            SnnPipelineConfig {
-                hidden: vec![48],
-                epochs: 30,
-                ..SnnPipelineConfig::new()
-            },
-            5,
+        Box::new(CnnPipeline::new(
+            CnnPipelineConfig::new().with_epochs(15).with_seed(5),
         )),
-        Box::new(GnnPipeline::new(GnnPipelineConfig::new().with_epochs(20), 5)),
+        Box::new(SnnPipeline::new(
+            SnnPipelineConfig::new()
+                .with_hidden(vec![48])
+                .with_epochs(30)
+                .with_seed(5),
+        )),
+        Box::new(GnnPipeline::new(
+            GnnPipelineConfig::new().with_epochs(20).with_seed(5),
+        )),
     ];
     for clf in classifiers.iter_mut() {
         let report = clf.fit(&data);
@@ -54,14 +56,8 @@ fn paradigms_disagree_on_cost_not_on_interface() {
     // The three paradigms expose identical interfaces but radically
     // different cost profiles — the dichotomy in one assertion set.
     let data = data();
-    let mut cnn = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(3), 1);
-    let mut snn = SnnPipeline::new(
-        SnnPipelineConfig {
-            epochs: 3,
-            ..SnnPipelineConfig::new()
-        },
-        1,
-    );
+    let mut cnn = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(3).with_seed(1));
+    let mut snn = SnnPipeline::new(SnnPipelineConfig::new().with_epochs(3).with_seed(1));
     cnn.fit(&data);
     snn.fit(&data);
     let stream = &data.test[0].stream;
@@ -81,7 +77,7 @@ fn camera_to_prediction_roundtrip() {
     use evlab::sensor::scene::MovingGlyph;
     use evlab::sensor::{CameraConfig, EventCamera, PixelConfig};
     let data = data();
-    let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(10), 3);
+    let mut clf = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(10).with_seed(3));
     clf.fit(&data);
     let camera = EventCamera::new(
         CameraConfig::new((16, 16)).with_pixel(PixelConfig::ideal()),

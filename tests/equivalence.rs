@@ -45,8 +45,8 @@ fn async_gnn_matches_batch_on_camera_data() {
     let graph = incremental_build(&events, &config, &mut ops);
     let mut batch_net = GnnNetwork::new(&GnnConfig::new(3), &mut Rng64::seed_from_u64(2));
     let batch_logits = batch_net.forward(&graph, &mut ops);
-    let mut async_net = GnnNetwork::new(&GnnConfig::new(3), &mut Rng64::seed_from_u64(2));
-    let mut engine = AsyncGnn::new(&mut async_net, config, 3);
+    let async_net = GnnNetwork::new(&GnnConfig::new(3), &mut Rng64::seed_from_u64(2));
+    let mut engine = AsyncGnn::new(async_net, config, 3);
     let mut last = evlab::tensor::Tensor::zeros(&[3]);
     for e in &events {
         last = engine.update(*e, &mut ops);

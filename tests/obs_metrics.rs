@@ -64,7 +64,7 @@ fn capped_build_is_serial_exact_and_counts_its_fallback() {
     }
     assert_eq!(ops_serial, ops_forced, "op accounting differs");
     assert!(
-        after >= before + 1,
+        after > before,
         "parallel-eligible capped build did not report its serial fallback \
          (before {before}, after {after})"
     );
@@ -109,7 +109,7 @@ fn camera_stage_records_its_activity() {
         "emitted events not counted"
     );
     assert!(
-        obs::counter_value("sensor.camera.recordings") >= recs_before + 1,
+        obs::counter_value("sensor.camera.recordings") > recs_before,
         "recording not counted"
     );
     let merge = obs::spans()

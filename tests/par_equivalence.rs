@@ -190,6 +190,86 @@ fn nested_with_threads_regions_stay_bit_identical() {
 }
 
 #[test]
+fn serve_decisions_are_thread_invariant() {
+    // The serving runtime schedules sessions across worker threads, but a
+    // session's decisions must be a pure function of its ingress: same
+    // streams + same config => identical decision logs, latest decisions
+    // (logits bit-for-bit, via Decision's PartialEq) and shed statistics
+    // under EVLAB_THREADS=1 and 4 — even with shedding forced by a queue
+    // much smaller than the ingest bursts.
+    use evlab::core::prelude::*;
+    use evlab::datasets::shapes::shape_silhouettes;
+    use evlab::datasets::DatasetConfig;
+    use evlab::serve::{DropPolicy, ServeConfig, ServeRuntime};
+
+    let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(6, 2));
+    let mut snn = SnnPipeline::new(SnnPipelineConfig::new().with_epochs(3).with_seed(3));
+    let mut cnn = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(3).with_seed(3));
+    let mut gnn = GnnPipeline::new(
+        GnnPipelineConfig::new().with_epochs(3).with_max_nodes(64).with_seed(3),
+    );
+    snn.fit(&data);
+    cnn.fit(&data);
+    gnn.fit(&data);
+
+    let run = |threads: usize| {
+        par::with_threads(threads, || {
+            let config = ServeConfig::new()
+                .with_queue_depth(8)
+                .with_policy(DropPolicy::DropOldest)
+                .with_quantum(4);
+            let mut rt = ServeRuntime::new(config);
+            for _ in 0..2 {
+                rt.open_session(Box::new(SnnOnline::new(&snn, data.resolution).unwrap()), data.resolution)
+                    .unwrap();
+                rt.open_session(
+                    Box::new(CnnOnline::new(&cnn, data.resolution, 2_000).unwrap()),
+                    data.resolution,
+                )
+                .unwrap();
+                rt.open_session(Box::new(GnnOnline::new(&gnn).unwrap()), data.resolution)
+                    .unwrap();
+            }
+            // Bursts of 32 into depth-8 queues: most events are shed, and
+            // which ones survive must still be deterministic.
+            let stream = &data.test[0].stream;
+            let events = stream.as_slice();
+            for chunk in events.chunks(32) {
+                for sid in 0..6 {
+                    for e in chunk {
+                        rt.offer(sid, *e);
+                    }
+                }
+                rt.tick();
+            }
+            rt.drain_all();
+            rt.flush_all().unwrap();
+            rt.sessions()
+                .iter()
+                .map(|s| {
+                    (
+                        s.history().to_vec(),
+                        s.last_decision().cloned(),
+                        s.stats(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let serial = run(1);
+    let threaded = run(4);
+    assert!(
+        serial.iter().any(|(h, _, _)| !h.is_empty()),
+        "serving produced no decisions"
+    );
+    assert!(
+        serial.iter().any(|(_, _, st)| st.shed() > 0),
+        "overload was not forced"
+    );
+    assert_eq!(serial, threaded, "serve decisions differ across thread counts");
+}
+
+#[test]
 fn graph_builders_are_thread_invariant() {
     // Past MIN_STRIPED_EVENTS (4096) with exact (uncapped) cells, so the
     // threaded incremental build takes the striped path.

@@ -138,9 +138,9 @@ fn csr_spmv_matches_dense() {
         assert_eq!(csr.to_dense(), dense.clone());
         let x: Vec<f32> = (0..cols).map(|_| rng.next_f32()).collect();
         let y = csr.spmv(&x);
-        for r in 0..rows {
+        for (r, &yr) in y.iter().enumerate() {
             let expected: f32 = (0..cols).map(|c| dense.at(&[r, c]) * x[c]).sum();
-            assert!((y[r] - expected).abs() < 1e-4);
+            assert!((yr - expected).abs() < 1e-4);
         }
     }
 }
