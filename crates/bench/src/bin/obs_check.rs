@@ -12,7 +12,10 @@
 //! non-zero on the first missing/zero counter or unparseable file. With
 //! one or more `--require NAME` flags the required set is exactly those
 //! counters instead of the built-in pipeline list (used by `verify.sh` to
-//! validate serving metrics, where only `serve.*` counters exist).
+//! validate serving metrics, where only `serve.*` counters exist). A
+//! required name ending in `.*` passes when at least one counter under
+//! that prefix exists and is nonzero (used for `fault.*`, where the exact
+//! counter set depends on which fault models fired).
 
 use evlab_util::json::Json;
 
@@ -40,6 +43,26 @@ fn check_file(path: &str, required: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("{path}: no `counters` object"))?;
     let mut failures = Vec::new();
     for name in required {
+        if let Some(prefix) = name.strip_suffix(".*") {
+            // Prefix requirement: at least one counter under `prefix.` must
+            // exist and be nonzero (the exact set is fault-model dependent).
+            let entries = counters.entries().unwrap_or(&[]);
+            let mut live = 0usize;
+            for (k, v) in entries {
+                if k.starts_with(prefix) && k[prefix.len()..].starts_with('.') {
+                    if let Some(n) = v.as_u64() {
+                        if n > 0 {
+                            eprintln!("[obs_check]   {k:<40} {n}");
+                            live += 1;
+                        }
+                    }
+                }
+            }
+            if live == 0 {
+                failures.push(format!("no nonzero counter matching `{name}`"));
+            }
+            continue;
+        }
         match counters.get(name).and_then(Json::as_u64) {
             None => failures.push(format!("counter `{name}` missing")),
             Some(0) => failures.push(format!("counter `{name}` is zero")),

@@ -1,0 +1,406 @@
+//! Core of the chaos sweep: serve faulted streams, measure degradation.
+//!
+//! The `chaos_bench` binary and the `chaos_equivalence` integration test
+//! share this module so the determinism contract is tested against the
+//! exact code that produces `BENCH_chaos.json`. One **cell** is a
+//! `(paradigm, fault kind, rate)` triple: every test sample of the tiny
+//! shapes dataset is served through its own [`evlab_serve`] session while
+//! a seeded [`FaultInjector`] corrupts the stream, and the cell's outcome
+//! records what each session finally decided plus every degradation
+//! counter (quarantined words, late-dropped events, supervisor restarts,
+//! repaired decisions).
+//!
+//! Everything in a [`CellOutcome`] except the wall-clock latencies is a
+//! pure function of the spec seed — fault injection happens serially at
+//! ingest and the serve scheduler is thread-invariant — so a cell replays
+//! bit-identically under any `EVLAB_THREADS`.
+
+use evlab_core::online::OnlineClassifier;
+use evlab_core::prelude::*;
+use evlab_datasets::shapes::shape_silhouettes;
+use evlab_datasets::{DatasetConfig, EventSample};
+use evlab_events::aer::AerCodec;
+use evlab_events::{Event, Polarity};
+use evlab_serve::{DropPolicy, ServeConfig, ServeRuntime, SupervisorPolicy};
+use evlab_util::fault::{FaultInjector, FaultReport, FaultSpec, RawEvent};
+use evlab_util::EvlabError;
+
+use crate::Fnv1a;
+
+/// Timestamp jitter bound (µs) used by [`FaultKind::Reorder`] specs; the
+/// serving session's reorder buffer is configured with twice this skew so
+/// jittered events are salvageable rather than guaranteed-late.
+pub const REORDER_SKEW_US: u64 = 400;
+
+/// The fault models swept by the chaos bench, each parameterized by a
+/// single rate so degradation curves share an x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Packet loss: events vanish before the AER bus.
+    Drop,
+    /// Bus corruption: 1–3 flipped bits per corrupted AER word.
+    Corrupt,
+    /// Timestamp jitter of up to ±[`REORDER_SKEW_US`] µs.
+    Reorder,
+    /// Three stuck pixels firing alongside real events.
+    HotPixel,
+    /// 12-event noise bursts triggered per real event.
+    Burst,
+}
+
+impl FaultKind {
+    /// Every swept kind, in report order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Drop,
+        FaultKind::Corrupt,
+        FaultKind::Reorder,
+        FaultKind::HotPixel,
+        FaultKind::Burst,
+    ];
+
+    /// The key used in report rows and log lines.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Reorder => "reorder",
+            FaultKind::HotPixel => "hot",
+            FaultKind::Burst => "burst",
+        }
+    }
+
+    /// Builds the seeded [`FaultSpec`] for this kind at `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rate` is outside `[0, 1]`.
+    pub fn spec(self, rate: f64, seed: u64) -> Result<FaultSpec, EvlabError> {
+        let text = match self {
+            FaultKind::Drop => format!("seed={seed},drop={rate}"),
+            FaultKind::Corrupt => format!("seed={seed},corrupt={rate}"),
+            FaultKind::Reorder => format!("seed={seed},reorder={rate}:{REORDER_SKEW_US}"),
+            FaultKind::HotPixel => format!("seed={seed},hot=3:{rate}"),
+            FaultKind::Burst => format!("seed={seed},burst={rate}:12"),
+        };
+        Ok(FaultSpec::parse(&text)?)
+    }
+
+    /// Whether the fault applies to 64-bit AER words at serve ingress
+    /// (bus corruption) rather than to decoded events at the sensor
+    /// boundary.
+    pub fn word_stage(self) -> bool {
+        matches!(self, FaultKind::Corrupt)
+    }
+}
+
+/// The trained classifier bundle shared by every cell of a sweep.
+pub struct Paradigms {
+    /// Trained spiking pipeline.
+    pub snn: SnnPipeline,
+    /// Trained dense-frame pipeline.
+    pub cnn: CnnPipeline,
+    /// Trained event-graph pipeline.
+    pub gnn: GnnPipeline,
+}
+
+/// Trains all three paradigms on the tiny shapes dataset, returning the
+/// bundle plus the dataset (whose `test` split the cells serve).
+pub fn train_paradigms(epochs: usize) -> (Paradigms, Dataset) {
+    // Train split matches the other tiny benches; the test split is larger
+    // (32 samples) so degradation curves have enough resolution to be
+    // meaningfully monotone.
+    let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(6, 8));
+    let mut snn = SnnPipeline::new(SnnPipelineConfig::new().with_epochs(epochs).with_seed(7));
+    let mut cnn = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(epochs).with_seed(7));
+    let mut gnn = GnnPipeline::new(
+        GnnPipelineConfig::new()
+            .with_epochs(epochs)
+            .with_max_nodes(128)
+            .with_seed(7),
+    );
+    snn.fit(&data);
+    cnn.fit(&data);
+    gnn.fit(&data);
+    (Paradigms { snn, cnn, gnn }, data)
+}
+
+/// Instantiates a fresh online classifier of the named paradigm.
+///
+/// # Errors
+///
+/// Returns an error for an unknown paradigm name or a failed construction.
+pub fn make_session(
+    paradigms: &Paradigms,
+    paradigm: &str,
+    resolution: (u16, u16),
+) -> Result<Box<dyn OnlineClassifier + Send>, EvlabError> {
+    Ok(match paradigm {
+        "snn" => Box::new(SnnOnline::new(&paradigms.snn, resolution)?),
+        // 2 ms micro-batch windows: several flushes per served stream.
+        "cnn" => Box::new(CnnOnline::new(&paradigms.cnn, resolution, 2_000)?),
+        "gnn" => Box::new(GnnOnline::new(&paradigms.gnn)?),
+        other => return Err(EvlabError::serve(format!("unknown paradigm {other}"))),
+    })
+}
+
+/// What one chaos cell produced. Every field except `latencies_us` is
+/// deterministic for a fixed spec (latencies are wall-clock queueing
+/// delays and vary run to run) — compare cells via
+/// [`CellOutcome::determinism_key`], never via full struct equality.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Final decision class per test sample (`None`: the session never
+    /// decided, e.g. every event was dropped).
+    pub decisions: Vec<Option<usize>>,
+    /// Samples whose final decision matched the ground-truth label.
+    pub label_hits: usize,
+    /// Test samples served.
+    pub samples: usize,
+    /// Decisions recorded across all sessions.
+    pub total_decisions: u64,
+    /// Malformed AER words quarantined at decode.
+    pub quarantined: u64,
+    /// Events the reorder buffers gave up on (later than the skew bound).
+    pub late_dropped: u64,
+    /// Supervisor restarts after classifier failures.
+    pub restarts: u64,
+    /// Decisions whose logits needed NaN/Inf repair.
+    pub nonfinite_decisions: u64,
+    /// What the injectors did to the streams, summed over samples.
+    pub fault: FaultReport,
+    /// Wall-clock event-to-decision latencies (µs), all sessions pooled.
+    /// Excluded from the determinism contract.
+    pub latencies_us: Vec<f64>,
+}
+
+impl CellOutcome {
+    /// Fraction of samples whose final decision matches the clean
+    /// (no-fault) run of the same paradigm. An undecided session counts
+    /// as disagreement.
+    pub fn agreement_with(&self, clean: &CellOutcome) -> f64 {
+        if self.samples == 0 {
+            return 1.0;
+        }
+        let hits = self
+            .decisions
+            .iter()
+            .zip(&clean.decisions)
+            .filter(|(a, b)| a.is_some() && a == b)
+            .count();
+        hits as f64 / self.samples as f64
+    }
+
+    /// Fraction of samples whose final decision matches the label.
+    pub fn label_accuracy(&self) -> f64 {
+        if self.samples == 0 {
+            return 1.0;
+        }
+        self.label_hits as f64 / self.samples as f64
+    }
+
+    /// FNV-1a digest of every deterministic field — two runs of the same
+    /// cell must agree on this for any `EVLAB_THREADS`.
+    pub fn determinism_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for d in &self.decisions {
+            match d {
+                Some(c) => h.write_u64(1 + *c as u64),
+                None => h.write_u64(0),
+            }
+        }
+        h.write_u64(self.label_hits as u64);
+        h.write_u64(self.total_decisions);
+        h.write_u64(self.quarantined);
+        h.write_u64(self.late_dropped);
+        h.write_u64(self.restarts);
+        h.write_u64(self.nonfinite_decisions);
+        for v in [
+            self.fault.offered,
+            self.fault.dropped,
+            self.fault.duplicated,
+            self.fault.corrupted,
+            self.fault.reordered,
+            self.fault.hot_events,
+            self.fault.burst_events,
+            self.fault.rolled_over,
+        ] {
+            h.write_u64(v);
+        }
+        h.finish()
+    }
+}
+
+fn accumulate(total: &mut FaultReport, r: FaultReport) {
+    total.offered += r.offered;
+    total.dropped += r.dropped;
+    total.duplicated += r.duplicated;
+    total.corrupted += r.corrupted;
+    total.reordered += r.reordered;
+    total.hot_events += r.hot_events;
+    total.burst_events += r.burst_events;
+    total.rolled_over += r.rolled_over;
+}
+
+/// Serves every sample through one faulted session and collects the
+/// cell's outcome. `word_stage` selects where the injector sits: on AER
+/// words at serve ingress (bus faults) or on decoded events at the
+/// sensor boundary. An inactive spec (all rates zero) is the clean
+/// baseline — the injector passes everything through.
+///
+/// # Errors
+///
+/// Returns an error only for harness failures (bad paradigm name,
+/// unencodable resolution). Injected faults never error: they surface as
+/// quarantine counters, restarts, and degraded decisions.
+pub fn run_cell(
+    paradigms: &Paradigms,
+    paradigm: &str,
+    samples: &[EventSample],
+    resolution: (u16, u16),
+    spec: &FaultSpec,
+    word_stage: bool,
+) -> Result<CellOutcome, EvlabError> {
+    let disorders = FaultInjector::new(spec).disorders_time();
+    let mut config = ServeConfig::new()
+        .with_queue_depth(4096)
+        .with_policy(DropPolicy::DropOldest)
+        .with_quantum(64)
+        .with_supervisor(SupervisorPolicy::default());
+    if disorders {
+        // Tolerance equal to the jitter bound: most displaced events are
+        // salvaged, but the tail that lands beyond it is quarantined as
+        // late — so heavier jitter produces genuine (visible) degradation
+        // instead of being silently absorbed.
+        config = config.with_reorder_skew(spec.reorder_skew_us.max(1));
+    }
+    let mut rt = ServeRuntime::new(config);
+    for _ in samples {
+        rt.open_session(make_session(paradigms, paradigm, resolution)?, resolution)?;
+    }
+    let codec =
+        AerCodec::try_new(resolution).map_err(|e| EvlabError::serve(format!("aer codec: {e}")))?;
+
+    // Corrupt each sample's stream up front, serially — injection order is
+    // what makes the cell thread-invariant. Each sample gets its own
+    // injector seed derived from the spec seed.
+    let mut fault = FaultReport::default();
+    let mut word_streams: Vec<Vec<u64>> = Vec::with_capacity(samples.len());
+    for (sid, sample) in samples.iter().enumerate() {
+        let per_sample = spec
+            .clone()
+            .with_seed(spec.seed ^ (sid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut inj = FaultInjector::new(&per_sample);
+        let words = if word_stage {
+            let clean: Vec<u64> = sample
+                .stream
+                .as_slice()
+                .iter()
+                .map(|e| codec.encode(e))
+                .collect();
+            inj.apply_words(&clean)
+        } else {
+            let raw: Vec<RawEvent> = sample
+                .stream
+                .as_slice()
+                .iter()
+                .map(|e| RawEvent {
+                    t_us: e.t.as_micros(),
+                    x: e.x,
+                    y: e.y,
+                    on: e.polarity == Polarity::On,
+                })
+                .collect();
+            inj.apply_events(&raw, resolution)
+                .into_iter()
+                .map(|r| {
+                    let p = if r.on { Polarity::On } else { Polarity::Off };
+                    codec.encode(&Event::new(r.t_us, r.x, r.y, p))
+                })
+                .collect()
+        };
+        accumulate(&mut fault, inj.publish_report());
+        word_streams.push(words);
+    }
+
+    // Round-robin burst ingestion, one scheduling round per burst.
+    let mut cursors = vec![0usize; samples.len()];
+    loop {
+        let mut any = false;
+        for (sid, cursor) in cursors.iter_mut().enumerate() {
+            let words = &word_streams[sid];
+            let end = (*cursor + 64).min(words.len());
+            for &w in &words[*cursor..end] {
+                rt.ingest_aer(sid, w);
+            }
+            any |= end > *cursor;
+            *cursor = end;
+        }
+        rt.tick();
+        if !any {
+            break;
+        }
+    }
+    rt.drain_all();
+    for sid in 0..samples.len() {
+        // A flush failure is a degraded outcome for that session alone —
+        // it keeps its last-good decision — not an abort of the cell.
+        let _ = rt.flush_session(sid);
+    }
+
+    let mut out = CellOutcome {
+        decisions: Vec::with_capacity(samples.len()),
+        label_hits: 0,
+        samples: samples.len(),
+        total_decisions: 0,
+        quarantined: 0,
+        late_dropped: 0,
+        restarts: 0,
+        nonfinite_decisions: 0,
+        fault,
+        latencies_us: Vec::new(),
+    };
+    for (sid, session) in rt.sessions().iter().enumerate() {
+        let st = session.stats();
+        out.total_decisions += st.decisions;
+        out.quarantined += st.quarantined;
+        out.late_dropped += st.late_dropped;
+        out.restarts += st.restarts;
+        out.nonfinite_decisions += st.nonfinite_decisions;
+        let class = session.last_decision().map(|d| d.class);
+        if class == Some(samples[sid].label) {
+            out.label_hits += 1;
+        }
+        out.decisions.push(class);
+        out.latencies_us.extend_from_slice(session.latencies_us());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_for_every_kind() {
+        for kind in FaultKind::ALL {
+            let spec = kind.spec(0.5, 11).expect("valid spec");
+            assert!(spec.is_active(), "{} inactive at 0.5", kind.key());
+            assert!(!kind.spec(0.0, 11).expect("zero rate").is_active());
+        }
+        assert!(FaultKind::Drop.spec(1.5, 0).is_err(), "rate out of range");
+    }
+
+    #[test]
+    fn clean_cell_replays_and_agrees_with_itself() {
+        let (paradigms, data) = train_paradigms(1);
+        let clean = FaultSpec::default();
+        let a = run_cell(&paradigms, "gnn", &data.test, data.resolution, &clean, false)
+            .expect("clean cell");
+        let b = run_cell(&paradigms, "gnn", &data.test, data.resolution, &clean, false)
+            .expect("clean cell replay");
+        assert_eq!(a.determinism_key(), b.determinism_key());
+        assert_eq!(a.agreement_with(&b), 1.0);
+        assert_eq!(a.quarantined + a.late_dropped + a.restarts, 0);
+        assert!(a.decisions.iter().all(Option::is_some), "all sessions decide");
+    }
+}

@@ -9,6 +9,8 @@
 use evlab_events::{Event, EventStream, Polarity};
 use evlab_util::{obs, EvlabError, Rng64};
 
+pub mod chaos;
+
 /// Parses the `--metrics PATH` flag shared by the harness binaries.
 ///
 /// When the flag is present, observability collection is also switched on

@@ -1,0 +1,61 @@
+//! Determinism contract of the chaos harness: a faulted serving cell must
+//! replay bit-identically under `EVLAB_THREADS=1` and `EVLAB_THREADS=4`.
+//!
+//! Fault injection happens serially at ingest and the serve scheduler's
+//! per-session work is independent, so every deterministic field of a
+//! [`CellOutcome`] — final decisions, quarantine/late-drop/restart
+//! counters, injector reports — must be invariant to the worker count.
+//! The cells chosen here exercise all three fault paths (packet drop at
+//! the sensor boundary, AER word corruption at serve ingress, timestamp
+//! jitter through the reorder buffer) across all three paradigms.
+
+use evlab_bench::chaos::{self, FaultKind};
+use evlab_util::par;
+
+#[test]
+fn chaos_cells_are_thread_invariant() {
+    let (paradigms, data) = chaos::train_paradigms(2);
+    let cells = [
+        ("snn", FaultKind::Drop, 0.4),
+        ("cnn", FaultKind::Corrupt, 0.3),
+        ("gnn", FaultKind::Reorder, 0.5),
+    ];
+    for (paradigm, kind, rate) in cells {
+        let spec = kind.spec(rate, 41).expect("valid spec");
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                chaos::run_cell(
+                    &paradigms,
+                    paradigm,
+                    &data.test,
+                    data.resolution,
+                    &spec,
+                    kind.word_stage(),
+                )
+                .expect("cell runs")
+            })
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        assert_eq!(
+            serial.decisions,
+            threaded.decisions,
+            "{paradigm}/{}: decisions differ across thread counts",
+            kind.key()
+        );
+        assert_eq!(
+            serial.determinism_key(),
+            threaded.determinism_key(),
+            "{paradigm}/{}: outcome differs across thread counts",
+            kind.key()
+        );
+        // The cell must actually have been degraded, or the contract
+        // above is vacuous.
+        let touched = serial.fault.dropped
+            + serial.fault.corrupted
+            + serial.fault.reordered
+            + serial.quarantined
+            + serial.late_dropped;
+        assert!(touched > 0, "{paradigm}/{}: no faults fired", kind.key());
+    }
+}

@@ -47,6 +47,35 @@ pub struct Decision {
     pub t_us: u64,
 }
 
+impl Decision {
+    /// Repairs a fault-poisoned decision in place: non-finite logits
+    /// (NaN/±Inf) are replaced with `f32::MIN` and the class is recomputed
+    /// from the repaired logits; a class index outside the logit vector is
+    /// likewise recomputed. Returns the number of repairs performed — `0`
+    /// means the decision was already valid.
+    ///
+    /// Corrupted ingress can drive a network's activations non-finite;
+    /// serving must degrade to a valid (if low-confidence) decision rather
+    /// than propagate poison into histories and benchmarks.
+    pub fn sanitize(&mut self) -> usize {
+        let mut repaired = 0usize;
+        for v in &mut self.logits {
+            if !v.is_finite() {
+                *v = f32::MIN;
+                repaired += 1;
+            }
+        }
+        if !self.logits.is_empty() && (repaired > 0 || self.class >= self.logits.len()) {
+            let fixed = argmax(&self.logits);
+            if repaired == 0 && fixed != self.class {
+                repaired = 1;
+            }
+            self.class = fixed;
+        }
+        repaired
+    }
+}
+
 fn argmax(logits: &[f32]) -> usize {
     let mut best = 0;
     for (i, &v) in logits.iter().enumerate() {
@@ -230,7 +259,9 @@ impl OnlineClassifier for SnnOnline {
             + by as usize * self.out_res.0 as usize
             + bx as usize;
         self.ed.inject_input(index, step + 1, ops);
-        let logits = self.ed.logits_at(step + 1);
+        let mut logits = self.ed.logits_at(step + 1);
+        // Faulted ingress must degrade decisions, never poison membranes.
+        evlab_tensor::guard::sanitize_finite(&mut logits);
         self.pending = Some(Decision {
             class: argmax(&logits),
             logits,
@@ -249,7 +280,8 @@ impl OnlineClassifier for SnnOnline {
             return Ok(None);
         }
         // Decay the readout to the end of the current window.
-        let logits = self.ed.logits_at(self.steps as u64);
+        let mut logits = self.ed.logits_at(self.steps as u64);
+        evlab_tensor::guard::sanitize_finite(&mut logits);
         Ok(Some(Decision {
             class: argmax(&logits),
             logits,
@@ -320,7 +352,10 @@ impl CnnOnline {
         ops.record_add(n);
         ops.record_mult(2 * n);
         let input = normalize(&frame);
-        let logits = self.net.forward(&input, ops);
+        let mut logits = self.net.forward(&input, ops);
+        // Faulted ingress must degrade decisions, never poison the frame
+        // path.
+        evlab_tensor::guard::sanitize_tensor(&mut logits);
         let t_us = self.buffer.last().map(|e| e.t.as_micros()).unwrap_or(0);
         self.buffer.clear();
         self.window_start = None;
@@ -435,7 +470,9 @@ impl OnlineClassifier for GnnOnline {
             // Bound the graph: restart the sliding window.
             self.engine.reset();
         }
-        let logits = self.engine.update(event, ops);
+        let mut logits = self.engine.update(event, ops);
+        // Faulted ingress must degrade decisions, never poison the graph.
+        evlab_tensor::guard::sanitize_tensor(&mut logits);
         let decision = Decision {
             class: logits.argmax(),
             logits: logits.as_slice().to_vec(),
@@ -667,6 +704,28 @@ mod tests {
             .push_event(Event::new(500, 1, 1, Polarity::On), &mut ops)
             .unwrap_err();
         assert!(err.to_string().contains("out-of-order"));
+    }
+
+    #[test]
+    fn sanitize_repairs_nonfinite_decisions() {
+        let mut d = Decision {
+            class: 0,
+            logits: vec![f32::NAN, 1.0, f32::INFINITY],
+            events: 1,
+            t_us: 0,
+        };
+        assert_eq!(d.sanitize(), 2);
+        assert_eq!(d.class, 1, "argmax over repaired logits");
+        assert!(d.logits.iter().all(|v| v.is_finite()));
+        assert_eq!(d.sanitize(), 0, "already valid");
+        let mut oob = Decision {
+            class: 9,
+            logits: vec![0.5, 2.0],
+            events: 1,
+            t_us: 0,
+        };
+        assert_eq!(oob.sanitize(), 1);
+        assert_eq!(oob.class, 1, "out-of-range class recomputed");
     }
 
     #[test]

@@ -94,6 +94,9 @@ impl AerCodec {
     ///
     /// Panics if the height does not fit the 15-bit y field; use
     /// [`AerCodec::try_new`] for untrusted resolutions.
+    // Documented panic contract for trusted (compile-time) resolutions;
+    // every ingestion path that sees untrusted data goes through try_new.
+    #[allow(clippy::expect_used)]
     pub fn new(resolution: (u16, u16)) -> Self {
         Self::try_new(resolution).expect("height exceeds AER y field")
     }
@@ -168,6 +171,47 @@ impl AerCodec {
     pub fn decode_all(&self, words: &[u64]) -> Result<Vec<Event>, DecodeAerError> {
         words.iter().map(|&w| self.decode(w)).collect()
     }
+
+    /// Decodes a batch of possibly-corrupt words, quarantining malformed
+    /// ones instead of failing the batch — the ingestion-side posture: a
+    /// flipped bit on the bus costs one event, not the stream. Quarantined
+    /// words are counted under the `ingest.quarantined` obs counter.
+    pub fn decode_lossy(&self, words: &[u64]) -> LossyDecode {
+        let mut events = Vec::with_capacity(words.len());
+        let mut quarantined = 0usize;
+        let mut first_error = None;
+        for &w in words {
+            match self.decode(w) {
+                Ok(e) => events.push(e),
+                Err(e) => {
+                    quarantined += 1;
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if quarantined > 0 {
+            evlab_util::obs::counter_add("ingest.quarantined", quarantined as u64);
+        }
+        LossyDecode {
+            events,
+            quarantined,
+            first_error,
+        }
+    }
+}
+
+/// Outcome of [`AerCodec::decode_lossy`]: the decodable events plus an
+/// account of what was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyDecode {
+    /// Events that decoded cleanly, in input order.
+    pub events: Vec<Event>,
+    /// Words rejected by the decoder.
+    pub quarantined: usize,
+    /// The first decode failure, for diagnostics.
+    pub first_error: Option<DecodeAerError>,
 }
 
 /// Outcome of pushing a stream through an [`AerBus`].
@@ -345,6 +389,26 @@ mod tests {
             .collect();
         let words = codec.encode_all(&events);
         assert_eq!(codec.decode_all(&words).expect("ok"), events);
+    }
+
+    #[test]
+    fn decode_lossy_quarantines_bad_words() {
+        let codec = AerCodec::new((4, 4));
+        let big = AerCodec::new((1280, 720));
+        let good = codec.encode(&Event::new(10, 1, 2, Polarity::On));
+        let bad_x = big.encode(&Event::new(20, 600, 1, Polarity::On));
+        let bad_y = big.encode(&Event::new(30, 1, 600, Polarity::Off));
+        let out = codec.decode_lossy(&[good, bad_x, bad_y, good]);
+        assert_eq!(out.events.len(), 2);
+        assert_eq!(out.quarantined, 2);
+        assert!(matches!(
+            out.first_error,
+            Some(DecodeAerError::XOutOfRange { x: 600 })
+        ));
+        // A fully clean batch quarantines nothing.
+        let clean = codec.decode_lossy(&[good, good]);
+        assert_eq!(clean.quarantined, 0);
+        assert!(clean.first_error.is_none());
     }
 
     #[test]

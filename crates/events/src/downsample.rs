@@ -70,6 +70,11 @@ impl SpatialDownsampler {
     }
 
     /// Applies the downsampler.
+    // Interior invariant: the input stream is sorted and block addresses
+    // are within the ceiling-divided output resolution, so push cannot
+    // fail — the expect documents the invariant rather than handling
+    // untrusted input.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, stream: &EventStream) -> EventStream {
         let out_res = self.output_resolution(stream.resolution());
         let mut last: Vec<Option<u64>> = vec![None; out_res.0 as usize * out_res.1 as usize];
@@ -125,6 +130,9 @@ impl EventRateController {
     }
 
     /// Applies the controller, returning `(kept, dropped_count)`.
+    // Interior invariant: output events are an order-preserving subset of a
+    // sorted input stream at the same resolution, so push cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, stream: &EventStream) -> (EventStream, usize) {
         let mut out = EventStream::new(stream.resolution());
         let mut tokens = self.burst;
@@ -181,6 +189,9 @@ impl FoveationMask {
     }
 
     /// Applies the mask.
+    // Interior invariant: output events are an order-preserving subset of a
+    // sorted input stream at the same resolution, so push cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, stream: &EventStream) -> EventStream {
         let (w, h) = stream.resolution();
         let mut counters: Vec<u32> = vec![0; w as usize * h as usize];
@@ -237,6 +248,9 @@ impl CenterSurroundFilter {
     }
 
     /// Applies the filter.
+    // Interior invariant: output events are an order-preserving subset of a
+    // sorted input stream at the same resolution, so push cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, stream: &EventStream) -> EventStream {
         let (w, h) = stream.resolution();
         let mut last_seen: Vec<Option<u64>> = vec![None; w as usize * h as usize];

@@ -44,6 +44,9 @@ impl RefractoryFilter {
     }
 
     /// Applies the filter, returning the surviving events.
+    // Interior invariant: output events are an order-preserving subset of a
+    // sorted input stream at the same resolution, so push cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, stream: &EventStream) -> EventStream {
         let (w, h) = stream.resolution();
         let mut last_fire: Vec<Option<u64>> = vec![None; w as usize * h as usize];
@@ -84,6 +87,9 @@ impl BackgroundActivityFilter {
     /// Every incoming event updates its pixel's "last seen" time whether or
     /// not it survives, matching hardware implementations that always write
     /// the timestamp memory.
+    // Interior invariant: output events are an order-preserving subset of a
+    // sorted input stream at the same resolution, so push cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn apply(&self, stream: &EventStream) -> EventStream {
         let (w, h) = stream.resolution();
         let mut last_seen: Vec<Option<u64>> = vec![None; w as usize * h as usize];

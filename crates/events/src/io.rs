@@ -37,6 +37,14 @@ pub enum ReadStreamError {
     Decode(DecodeAerError),
     /// Decoded events were not time-ordered.
     Order(EventOrderError),
+    /// The file ended mid-stream: the header promised more records than
+    /// the payload holds (counted under `ingest.truncated`).
+    Truncated {
+        /// Records the header declared.
+        expected: u64,
+        /// Whole records actually present.
+        got: u64,
+    },
 }
 
 impl fmt::Display for ReadStreamError {
@@ -51,6 +59,9 @@ impl fmt::Display for ReadStreamError {
             }
             ReadStreamError::Decode(e) => write!(f, "decode error: {e}"),
             ReadStreamError::Order(e) => write!(f, "order error: {e}"),
+            ReadStreamError::Truncated { expected, got } => {
+                write!(f, "truncated stream: header promised {expected} records, found {got}")
+            }
         }
     }
 }
@@ -130,8 +141,21 @@ pub fn read_stream<R: Read>(mut reader: R) -> Result<EventStream, ReadStreamErro
     // A corrupted header must surface as a typed error, not a panic.
     let codec = AerCodec::try_new((w, h)).map_err(ReadStreamError::Decode)?;
     let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        reader.read_exact(&mut buf8)?;
+    for got in 0..count {
+        // A file cut mid-stream (the classic half-written final record)
+        // is a typed `Truncated` error, not a bare I/O failure: callers
+        // can distinguish "disk broke" from "producer died mid-write",
+        // and chaos runs count it under `ingest.truncated`.
+        if let Err(e) = reader.read_exact(&mut buf8) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                evlab_util::obs::counter_add("ingest.truncated", 1);
+                return Err(ReadStreamError::Truncated {
+                    expected: count,
+                    got,
+                });
+            }
+            return Err(ReadStreamError::Io(e));
+        }
         let word = u64::from_le_bytes(buf8);
         events.push(codec.decode(word).map_err(ReadStreamError::Decode)?);
     }
@@ -207,14 +231,44 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_io_error() {
+    fn truncated_final_record_is_a_typed_error() {
         let mut buf = Vec::new();
         write_stream(&sample(), &mut buf).expect("write");
+        // Cut 5 bytes into the final record: a half-written word.
         buf.truncate(buf.len() - 5);
-        assert!(matches!(
-            read_stream(buf.as_slice()),
-            Err(ReadStreamError::Io(_))
-        ));
+        match read_stream(buf.as_slice()) {
+            Err(ReadStreamError::Truncated { expected: 500, got: 499 }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_record_boundary_is_detected() {
+        let mut buf = Vec::new();
+        write_stream(&sample(), &mut buf).expect("write");
+        // Drop the last 3 records entirely: the count field still
+        // promises 500, so acceptance without error would silently lose
+        // the tail.
+        buf.truncate(buf.len() - 3 * 8);
+        match read_stream(buf.as_slice()) {
+            Err(ReadStreamError::Truncated { expected: 500, got: 497 }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_counted_in_obs() {
+        evlab_util::obs::set_enabled(true);
+        let before = evlab_util::obs::counter_value("ingest.truncated");
+        let mut buf = Vec::new();
+        write_stream(&sample(), &mut buf).expect("write");
+        buf.truncate(buf.len() - 1);
+        let _ = read_stream(buf.as_slice());
+        assert_eq!(
+            evlab_util::obs::counter_value("ingest.truncated"),
+            before + 1
+        );
+        evlab_util::obs::set_enabled(false);
     }
 
     #[test]

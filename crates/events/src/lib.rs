@@ -16,6 +16,9 @@
 //! * [`downsample`] — the in-sensor event-rate mitigation strategies the
 //!   paper's §II reviews: spatial downsampling, an event-rate controller,
 //!   foveation, and a centre-surround filter.
+//! * [`reorder`] — ingestion-side timestamp repair: a bounded-skew reorder
+//!   buffer and a 32-bit rollover unwrapper, so transports with bounded
+//!   disorder still feed consumers monotone time.
 //! * [`stats`] — event-rate and sparsity statistics used by the Table I
 //!   "Data sparsity" experiment.
 //!
@@ -41,6 +44,7 @@ pub mod downsample;
 pub mod event;
 pub mod filters;
 pub mod io;
+pub mod reorder;
 pub mod stats;
 pub mod stream;
 

@@ -246,7 +246,11 @@ impl EventStream {
         let Some(start) = self.start() else {
             return Vec::new();
         };
-        let end = self.end().expect("non-empty").as_micros();
+        // `start()` returned Some above, so the stream is non-empty and
+        // `end()` must be Some as well.
+        let Some(end) = self.end().map(|t| t.as_micros()) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         let mut from = start.as_micros();
         while from <= end {

@@ -20,9 +20,17 @@
 //! * **Fair scheduling** ([`runtime::ServeRuntime`]) — quantum-bounded
 //!   round robin across sessions on the `evlab_util::par` worker threads;
 //!   a flooding client cannot starve a trickling one.
-//! * **Observability** — `serve.session.*`, `serve.queue.*` and
-//!   `serve.shed.*` counters in `evlab_util::obs` (enable with
-//!   `EVLAB_OBS=1`).
+//! * **Graceful degradation** — ingress can be hardened against faulted
+//!   transports: [`Session::ingest_aer`] quarantines undecodable AER
+//!   words (`ingest.quarantined`) instead of erroring,
+//!   [`ServeConfig::with_reorder_skew`] repairs bounded timestamp
+//!   disorder between the queue and the classifier, decisions with
+//!   NaN/Inf logits are repaired and counted, and
+//!   [`ServeConfig::with_supervisor`] restarts failed sessions with
+//!   doubling backoff from their last-good checkpoint.
+//! * **Observability** — `serve.session.*`, `serve.queue.*`,
+//!   `serve.shed.*` and quarantine/restart counters in `evlab_util::obs`
+//!   (enable with `EVLAB_OBS=1`).
 //!
 //! Decisions are deterministic: a session's output is a pure function of
 //! its ingress stream and configuration, independent of `EVLAB_THREADS`.
@@ -54,5 +62,5 @@ pub mod runtime;
 pub mod session;
 
 pub use queue::{Admission, BoundedQueue, DropPolicy};
-pub use runtime::{ServeConfig, ServeRuntime};
+pub use runtime::{ServeConfig, ServeRuntime, SupervisorPolicy};
 pub use session::{Session, SessionId, SessionStats};

@@ -52,6 +52,9 @@ pub enum Admission {
     RejectedFull,
     /// Rejected by the rate controller before reaching the queue.
     RejectedRate,
+    /// Never reached the queue: the ingress payload was malformed (e.g. an
+    /// undecodable AER word) and was quarantined at decode.
+    Quarantined,
 }
 
 impl Admission {
@@ -60,9 +63,14 @@ impl Admission {
         matches!(self, Admission::Accepted | Admission::Evicted)
     }
 
-    /// Whether an event (offered or queued) was shed.
+    /// Whether an event (offered or queued) was shed by an overload
+    /// mechanism. Quarantined ingress is counted separately — nothing
+    /// valid was lost to load.
     pub fn shed(self) -> bool {
-        self != Admission::Accepted
+        matches!(
+            self,
+            Admission::Evicted | Admission::RejectedFull | Admission::RejectedRate
+        )
     }
 }
 
@@ -81,15 +89,17 @@ pub struct BoundedQueue {
 }
 
 impl BoundedQueue {
-    /// Creates a queue holding at most `capacity` events.
+    /// Creates a queue holding at most `capacity` events. A zero-capacity
+    /// queue is legal and admits nothing: every offer is
+    /// [`Admission::RejectedFull`] — useful for draining a session's
+    /// ingress without tearing it down.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`, or if the policy is
-    /// [`DropPolicy::RateControl`] with a non-positive rate or zero burst
-    /// (mirroring `EventRateController::new`).
+    /// Panics if the policy is [`DropPolicy::RateControl`] with a
+    /// non-positive rate or zero burst (mirroring
+    /// `EventRateController::new`).
     pub fn new(capacity: usize, policy: DropPolicy) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
         let tokens = match policy {
             DropPolicy::RateControl { max_rate_eps, burst } => {
                 assert!(max_rate_eps > 0.0, "rate must be positive");
@@ -129,12 +139,18 @@ impl BoundedQueue {
 
     /// Offers one event, stamped with its arrival instant.
     pub fn offer(&mut self, event: Event, now: Instant) -> Admission {
+        if self.capacity == 0 {
+            return Admission::RejectedFull;
+        }
         if let DropPolicy::RateControl { max_rate_eps, burst } = self.policy {
             let t = event.t.as_micros();
             let last = self.last_t.unwrap_or(t);
             let dt_sec = t.saturating_sub(last) as f64 * 1e-6;
             self.tokens = (self.tokens + dt_sec * max_rate_eps).min(burst as f64);
-            self.last_t = Some(t);
+            // Event time going backwards (a faulted or unrepaired stream)
+            // must not rewind the refill clock: a later in-order event
+            // would double-refill the interval already credited.
+            self.last_t = Some(last.max(t));
             if self.tokens < 1.0 {
                 return Admission::RejectedRate;
             }
@@ -239,6 +255,84 @@ mod tests {
         assert_eq!(rejected, 6);
         let ts: Vec<u64> = drain(&mut q).iter().map(|e| e.t.as_micros()).collect();
         assert_eq!(ts, vec![0, 10, 20, 30], "queue holds the oldest events");
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_everything() {
+        for policy in [
+            DropPolicy::DropOldest,
+            DropPolicy::DropNewest,
+            DropPolicy::RateControl { max_rate_eps: 1_000.0, burst: 4 },
+        ] {
+            let mut q = BoundedQueue::new(0, policy);
+            for e in burst_events(16, 10) {
+                assert_eq!(
+                    q.offer(e, Instant::now()),
+                    Admission::RejectedFull,
+                    "{policy:?} admitted into a zero-capacity queue"
+                );
+            }
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn rate_control_survives_backwards_event_time() {
+        // A faulted stream can deliver event time that runs backwards.
+        // The token bucket must neither panic (underflow) nor credit the
+        // same interval twice when time recovers.
+        let mut q = BoundedQueue::new(1024, DropPolicy::RateControl {
+            max_rate_eps: 1_000.0,
+            burst: 4,
+        });
+        // Burn the burst at one instant.
+        for _ in 0..4 {
+            assert!(q.offer(Event::new(10_000, 0, 0, Polarity::On), Instant::now()).accepted());
+        }
+        assert_eq!(
+            q.offer(Event::new(10_000, 0, 0, Polarity::On), Instant::now()),
+            Admission::RejectedRate
+        );
+        // A backwards jump refills nothing and must not rewind the refill
+        // clock...
+        assert_eq!(
+            q.offer(Event::new(8_000, 0, 0, Polarity::On), Instant::now()),
+            Admission::RejectedRate
+        );
+        // ...so recovering to just past the high-water mark credits only
+        // the 1µs of genuinely new time, not the 2ms re-walked since the
+        // backwards timestamp.
+        assert_eq!(
+            q.offer(Event::new(10_001, 0, 0, Polarity::On), Instant::now()),
+            Admission::RejectedRate,
+            "backwards time must not double-refill the bucket"
+        );
+    }
+
+    #[test]
+    fn drop_oldest_interleaved_producers_preserve_order() {
+        // Two producers interleaving offers into one session queue under
+        // sustained overload: evictions happen on both producers' events,
+        // and the survivors must still be a time-ordered subsequence.
+        let mut q = BoundedQueue::new(3, DropPolicy::DropOldest);
+        let a = burst_events(32, 20); // t = 0, 20, 40, ...
+        let b: Vec<Event> = (0..32)
+            .map(|i| Event::new(i * 20 + 10, 9, 9, Polarity::Off))
+            .collect(); // t = 10, 30, 50, ...
+        let mut survivors = Vec::new();
+        for (ea, eb) in a.iter().zip(&b) {
+            q.offer(*ea, Instant::now());
+            q.offer(*eb, Instant::now());
+            if ea.t.as_micros().is_multiple_of(160) {
+                survivors.extend(drain(&mut q));
+            }
+        }
+        survivors.extend(drain(&mut q));
+        assert!(!survivors.is_empty());
+        for w in survivors.windows(2) {
+            assert!(w[0].t <= w[1].t, "interleaved producers reordered events");
+        }
     }
 
     #[test]

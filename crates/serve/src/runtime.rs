@@ -20,6 +20,50 @@ use evlab_util::{par, EvlabError};
 use crate::queue::{Admission, DropPolicy};
 use crate::session::{Session, SessionId};
 
+/// Restart policy for failed sessions (retry with doubling backoff).
+///
+/// When configured on a [`ServeConfig`], the runtime supervises failed
+/// sessions each [`ServeRuntime::tick`]: after `backoff_ticks` ticks
+/// (doubling with every restart), the session's classifier begins a fresh
+/// session while history, statistics and the last decision survive as the
+/// last-good checkpoint, and queued events resume draining. After
+/// `max_restarts` failures the session stays failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Restarts allowed per session before it stays failed.
+    pub max_restarts: u32,
+    /// Ticks to wait before the first restart; doubles with each restart.
+    pub backoff_ticks: u32,
+}
+
+impl SupervisorPolicy {
+    /// Default: up to 3 restarts, first after 1 tick.
+    pub fn new() -> Self {
+        SupervisorPolicy {
+            max_restarts: 3,
+            backoff_ticks: 1,
+        }
+    }
+
+    /// Returns a copy with a different restart budget.
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Returns a copy with a different initial backoff.
+    pub fn with_backoff_ticks(mut self, backoff_ticks: u32) -> Self {
+        self.backoff_ticks = backoff_ticks;
+        self
+    }
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy::new()
+    }
+}
+
 /// Runtime-wide serving parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
@@ -29,15 +73,27 @@ pub struct ServeConfig {
     pub policy: DropPolicy,
     /// Maximum events one session may consume per [`ServeRuntime::tick`].
     pub quantum: usize,
+    /// Bounded-skew ingress repair: `Some(skew_us)` inserts a reorder
+    /// buffer between each session's queue and classifier, so timestamp
+    /// disorder up to `skew_us` degrades (late events quarantined) instead
+    /// of failing the session. `None` (default) keeps strict-order
+    /// ingress: an out-of-order event fails the session.
+    pub reorder_skew_us: Option<u64>,
+    /// Failed-session restart policy; `None` (default) leaves failed
+    /// sessions failed.
+    pub supervisor: Option<SupervisorPolicy>,
 }
 
 impl ServeConfig {
-    /// Default: 256-event queues, drop-oldest, 64-event quantum.
+    /// Default: 256-event queues, drop-oldest, 64-event quantum, strict
+    /// ingress order, no supervisor.
     pub fn new() -> Self {
         ServeConfig {
             queue_depth: 256,
             policy: DropPolicy::DropOldest,
             quantum: 64,
+            reorder_skew_us: None,
+            supervisor: None,
         }
     }
 
@@ -56,6 +112,18 @@ impl ServeConfig {
     /// Returns a copy with a different scheduling quantum.
     pub fn with_quantum(mut self, quantum: usize) -> Self {
         self.quantum = quantum;
+        self
+    }
+
+    /// Returns a copy with bounded-skew ingress reordering enabled.
+    pub fn with_reorder_skew(mut self, skew_us: u64) -> Self {
+        self.reorder_skew_us = Some(skew_us);
+        self
+    }
+
+    /// Returns a copy with failed-session supervision enabled.
+    pub fn with_supervisor(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervisor = Some(policy);
         self
     }
 }
@@ -98,13 +166,17 @@ impl ServeRuntime {
         resolution: (u16, u16),
     ) -> Result<SessionId, EvlabError> {
         let id = self.sessions.len();
-        self.sessions.push(Session::open(
+        let mut session = Session::open(
             id,
             classifier,
             resolution,
             self.config.queue_depth,
             self.config.policy,
-        )?);
+        )?;
+        if let Some(skew_us) = self.config.reorder_skew_us {
+            session = session.with_reorder_skew(skew_us);
+        }
+        self.sessions.push(session);
         Ok(id)
     }
 
@@ -139,6 +211,15 @@ impl ServeRuntime {
             .offer_aer(word)
     }
 
+    /// Offers one AER word to a session, quarantining malformed words
+    /// instead of erroring (see [`Session::ingest_aer`]). Unknown sessions
+    /// report [`Admission::RejectedFull`].
+    pub fn ingest_aer(&mut self, id: SessionId, word: u64) -> Admission {
+        self.sessions
+            .get_mut(id)
+            .map_or(Admission::RejectedFull, |s| s.ingest_aer(word))
+    }
+
     /// Total events queued across all sessions.
     pub fn pending(&self) -> usize {
         self.sessions.iter().map(Session::queue_len).sum()
@@ -153,20 +234,41 @@ impl ServeRuntime {
         par::for_each_task(&mut self.sessions, |_, session| {
             session.drain(quantum);
         });
+        // Supervision is sequential and after the drain: restart decisions
+        // depend only on per-session state and the tick count, never on
+        // worker scheduling, so recovery is deterministic.
+        if let Some(policy) = self.config.supervisor {
+            for session in &mut self.sessions {
+                session.supervise(policy);
+            }
+        }
         let after: u64 = self.sessions.iter().map(|s| s.stats().processed).sum();
         (after - before) as usize
     }
 
     /// Ticks until all queues are empty (or nothing makes progress —
     /// failed sessions retain their queued events). Returns total events
-    /// processed.
+    /// processed. With a supervisor configured, idle ticks while a restart
+    /// backoff counts down do not end the drain.
     pub fn drain_all(&mut self) -> usize {
         let mut total = 0;
         while self.pending() > 0 {
             let done = self.tick();
             total += done;
             if done == 0 {
-                break;
+                // A tick can make progress without processing events: a
+                // restart backoff counted down, or a session restarted
+                // after this tick's drain and will consume its queue next
+                // tick. Both are bounded, so this cannot spin forever.
+                let recovering = self.sessions.iter().any(Session::restart_pending);
+                let restarted = self.config.quantum > 0
+                    && self
+                        .sessions
+                        .iter()
+                        .any(|s| s.is_active() && s.queue_len() > 0);
+                if !recovering && !restarted {
+                    break;
+                }
             }
         }
         total
@@ -186,6 +288,22 @@ impl ServeRuntime {
             }
         }
         Ok(decisions)
+    }
+
+    /// Flushes one session, forcing a decision from its accumulated
+    /// state. Unlike [`ServeRuntime::flush_all`], a failure here affects
+    /// only this session — chaos sweeps flush per session so one poisoned
+    /// classifier cannot abort the cell (the session keeps its last-good
+    /// decision as the reported outcome).
+    ///
+    /// # Errors
+    ///
+    /// Returns the classifier's flush error; the session is marked failed.
+    pub fn flush_session(&mut self, id: SessionId) -> Result<Option<Decision>, EvlabError> {
+        match self.sessions.get_mut(id) {
+            Some(session) => session.flush(),
+            None => Ok(None),
+        }
     }
 
     /// Closes a session; its statistics and history stay readable.
@@ -347,6 +465,149 @@ mod tests {
         // A failed session rejects further ingress and processes nothing.
         assert_eq!(rt.offer(id, Event::new(2_000, 0, 0, Polarity::On)), Admission::RejectedFull);
         assert_eq!(rt.tick(), 0);
+    }
+
+    #[test]
+    fn reorder_skew_salvages_disordered_ingress() {
+        // The same regression that fails a strict session (see
+        // `failed_sessions_stop_but_keep_stats`) is repaired when the
+        // config tolerates the skew.
+        let mut rt = ServeRuntime::new(ServeConfig::new().with_reorder_skew(1_000));
+        let id = rt.open_session(Modulo::boxed(4, 1), (16, 16)).unwrap();
+        rt.offer(id, Event::new(1_000, 0, 0, Polarity::On));
+        rt.offer(id, Event::new(500, 0, 0, Polarity::On));
+        rt.offer(id, Event::new(1_500, 0, 0, Polarity::On));
+        rt.drain_all();
+        rt.flush_all().unwrap();
+        let s = rt.session(id).unwrap();
+        assert!(s.error().is_none(), "skew-bounded disorder must not fail the session");
+        assert!(s.is_active());
+        assert_eq!(s.stats().late_dropped, 0);
+        for w in s.history().windows(2) {
+            assert!(w[0].0 <= w[1].0, "decisions out of order");
+        }
+        assert!(s.history().iter().any(|&(t, _)| t == 500), "repaired event was served");
+    }
+
+    #[test]
+    fn reorder_quarantines_hopelessly_late_events() {
+        let mut rt = ServeRuntime::new(ServeConfig::new().with_reorder_skew(10));
+        let id = rt.open_session(Modulo::boxed(4, 1), (16, 16)).unwrap();
+        rt.offer(id, Event::new(1_000, 0, 0, Polarity::On));
+        rt.offer(id, Event::new(5_000, 0, 0, Polarity::On)); // releases 1_000
+        rt.drain_all();
+        rt.offer(id, Event::new(100, 0, 0, Polarity::On)); // beyond repair
+        rt.drain_all();
+        let s = rt.session(id).unwrap();
+        assert!(s.is_active());
+        assert_eq!(s.stats().late_dropped, 1);
+    }
+
+    #[test]
+    fn supervisor_restarts_failed_sessions_from_checkpoint() {
+        let policy = SupervisorPolicy::new().with_max_restarts(2).with_backoff_ticks(1);
+        let mut rt = ServeRuntime::new(
+            ServeConfig::new().with_quantum(4).with_supervisor(policy),
+        );
+        let id = rt.open_session(Modulo::boxed(4, 1), (16, 16)).unwrap();
+        rt.offer(id, Event::new(1_000, 0, 0, Polarity::On));
+        rt.offer(id, Event::new(500, 0, 0, Polarity::On)); // fails the session
+        rt.offer(id, Event::new(2_000, 0, 0, Polarity::On));
+        // drain_all keeps ticking through the backoff and the restarted
+        // session serves the queued tail.
+        rt.drain_all();
+        let s = rt.session(id).unwrap();
+        assert!(s.error().is_none(), "supervisor cleared the failure");
+        assert_eq!(s.restarts(), 1);
+        assert_eq!(s.stats().restarts, 1);
+        // The pre-failure decision survives as the checkpoint and the
+        // post-restart decision extends the same history.
+        let ts: Vec<u64> = s.history().iter().map(|&(t, _)| t).collect();
+        assert_eq!(ts, vec![1_000, 2_000]);
+    }
+
+    #[test]
+    fn supervisor_restart_budget_is_finite() {
+        let policy = SupervisorPolicy::new().with_max_restarts(1).with_backoff_ticks(0);
+        let mut rt = ServeRuntime::new(
+            ServeConfig::new().with_quantum(4).with_supervisor(policy),
+        );
+        let id = rt.open_session(Modulo::boxed(4, 1), (16, 16)).unwrap();
+        // Two regressions: the first failure is restarted, the second
+        // exhausts the budget and the session stays failed.
+        for t in [1_000u64, 500, 2_000, 1_500] {
+            rt.offer(id, Event::new(t, 0, 0, Polarity::On));
+        }
+        rt.drain_all();
+        let s = rt.session(id).unwrap();
+        assert_eq!(s.restarts(), 1);
+        assert!(s.error().is_some(), "budget exhausted: session stays failed");
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn ingest_aer_quarantines_malformed_words() {
+        obs::set_enabled(true);
+        let before = obs::counter_value("ingest.quarantined");
+        let mut rt = ServeRuntime::new(ServeConfig::new());
+        let id = rt.open_session(Modulo::boxed(4, 1), (32, 24)).unwrap();
+        let good = rt
+            .session(id)
+            .unwrap()
+            .codec()
+            .encode(&Event::new(10, 1, 1, Polarity::On));
+        assert!(rt.ingest_aer(id, good).accepted());
+        // An x address far outside 32x24 cannot decode.
+        let bad = rt
+            .session(id)
+            .unwrap()
+            .codec()
+            .encode(&Event::new(20, 1, 1, Polarity::On))
+            | 0xFFFF << 1;
+        assert_eq!(rt.ingest_aer(id, bad), Admission::Quarantined);
+        rt.drain_all();
+        let s = rt.session(id).unwrap();
+        assert!(s.is_active(), "quarantine must not fail the session");
+        assert_eq!(s.stats().quarantined, 1);
+        assert_eq!(s.stats().processed, 1);
+        assert_eq!(obs::counter_value("ingest.quarantined"), before + 1);
+        obs::set_enabled(false);
+    }
+
+    #[test]
+    fn nonfinite_decisions_are_repaired_and_counted() {
+        /// Emits NaN-poisoned logits on every decision.
+        struct Poisoned;
+        impl OnlineClassifier for Poisoned {
+            fn name(&self) -> &'static str {
+                "poisoned"
+            }
+            fn begin_session(&mut self) {}
+            fn push_event(&mut self, _: Event, ops: &mut OpCount) -> Result<(), EvlabError> {
+                ops.record_add(1);
+                Ok(())
+            }
+            fn poll_decision(&mut self) -> Option<Decision> {
+                Some(Decision {
+                    class: 0,
+                    logits: vec![f32::NAN, 1.0],
+                    events: 1,
+                    t_us: 0,
+                })
+            }
+            fn flush(&mut self, _: &mut OpCount) -> Result<Option<Decision>, EvlabError> {
+                Ok(None)
+            }
+        }
+        let mut rt = ServeRuntime::new(ServeConfig::new());
+        let id = rt.open_session(Box::new(Poisoned), (16, 16)).unwrap();
+        rt.offer(id, Event::new(10, 0, 0, Polarity::On));
+        rt.drain_all();
+        let s = rt.session(id).unwrap();
+        assert_eq!(s.stats().nonfinite_decisions, 1);
+        let d = s.last_decision().unwrap();
+        assert_eq!(d.class, 1, "class recomputed from repaired logits");
+        assert!(d.logits.iter().all(|v| v.is_finite()));
     }
 
     #[test]

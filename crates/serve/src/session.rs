@@ -10,11 +10,13 @@ use std::time::Instant;
 
 use evlab_core::online::{Decision, OnlineClassifier};
 use evlab_events::aer::AerCodec;
+use evlab_events::reorder::ReorderBuffer;
 use evlab_events::Event;
 use evlab_tensor::OpCount;
 use evlab_util::{obs, EvlabError};
 
 use crate::queue::{Admission, BoundedQueue, DropPolicy};
+use crate::runtime::SupervisorPolicy;
 
 /// Identifies a session within one [`crate::runtime::ServeRuntime`].
 pub type SessionId = usize;
@@ -36,6 +38,15 @@ pub struct SessionStats {
     pub processed: u64,
     /// Decisions produced (per-event polls plus flushes).
     pub decisions: u64,
+    /// Malformed AER words quarantined at decode (never became events).
+    pub quarantined: u64,
+    /// Events quarantined by the reorder buffer for arriving later than
+    /// the configured skew tolerance.
+    pub late_dropped: u64,
+    /// Supervisor restarts after classifier failures.
+    pub restarts: u64,
+    /// Decisions whose logits contained NaN/Inf and were repaired.
+    pub nonfinite_decisions: u64,
 }
 
 impl SessionStats {
@@ -61,6 +72,13 @@ pub struct Session {
     last_decision: Option<Decision>,
     /// Enqueue instant of the oldest event not yet covered by a decision.
     oldest_pending: Option<Instant>,
+    /// Bounded-skew timestamp repair between the queue and the classifier
+    /// (`ServeConfig::reorder_skew_us`); `None` keeps strict-order ingress.
+    reorder: Option<ReorderBuffer>,
+    /// Supervisor restarts performed so far.
+    restarts: u32,
+    /// Ticks left before the supervisor retries a failed session.
+    cooldown: Option<u32>,
     error: Option<EvlabError>,
     open: bool,
 }
@@ -93,9 +111,22 @@ impl Session {
             latencies_us: Vec::new(),
             last_decision: None,
             oldest_pending: None,
+            reorder: None,
+            restarts: 0,
+            cooldown: None,
             error: None,
             open: true,
         })
+    }
+
+    /// Enables bounded-skew timestamp repair: events popped from the queue
+    /// pass through an `evlab_events::reorder::ReorderBuffer` before
+    /// reaching the classifier, so ingress disorder up to `skew_us` no
+    /// longer fails the session. Hopelessly late events are quarantined
+    /// (`SessionStats::late_dropped`).
+    pub fn with_reorder_skew(mut self, skew_us: u64) -> Self {
+        self.reorder = Some(ReorderBuffer::new(skew_us));
+        self
     }
 
     /// The session id.
@@ -170,6 +201,22 @@ impl Session {
         Ok(self.offer(event))
     }
 
+    /// Offers one AER word, quarantining malformed words instead of
+    /// erroring: the degraded-ingress entry point for faulted transports.
+    /// An undecodable word is counted (`SessionStats::quarantined`,
+    /// `ingest.quarantined`) and reported as [`Admission::Quarantined`];
+    /// the session keeps serving.
+    pub fn ingest_aer(&mut self, word: u64) -> Admission {
+        match self.codec.decode(word) {
+            Ok(event) => self.offer(event),
+            Err(_) => {
+                self.stats.quarantined += 1;
+                obs::counter_add("ingest.quarantined", 1);
+                Admission::Quarantined
+            }
+        }
+    }
+
     fn offer_at(&mut self, event: Event, now: Instant) -> Admission {
         if !self.is_active() {
             return Admission::RejectedFull;
@@ -197,6 +244,9 @@ impl Session {
                 self.stats.shed_rate += 1;
                 obs::counter_add("serve.shed.rate", 1);
             }
+            // Quarantine happens at decode, before the queue; a decoded
+            // event can never surface it here.
+            Admission::Quarantined => {}
         }
         admission
     }
@@ -210,6 +260,7 @@ impl Session {
             return 0;
         }
         let mut consumed = 0usize;
+        let mut released: Vec<Event> = Vec::new();
         while consumed < quantum {
             let Some((event, enqueued)) = self.queue.pop() else {
                 break;
@@ -217,18 +268,39 @@ impl Session {
             if self.oldest_pending.is_none() {
                 self.oldest_pending = Some(enqueued);
             }
-            if let Err(e) = self.classifier.push_event(event, &mut self.ops) {
-                self.error = Some(e);
-                obs::counter_add("serve.session.errors", 1);
+            released.clear();
+            match &mut self.reorder {
+                Some(buf) => {
+                    let late_before = buf.late_dropped();
+                    buf.push(event, &mut released);
+                    self.stats.late_dropped += buf.late_dropped() - late_before;
+                }
+                None => released.push(event),
+            }
+            if !self.push_released(&released) {
                 break;
             }
             consumed += 1;
+        }
+        self.stats.processed += consumed as u64;
+        consumed
+    }
+
+    /// Pushes reorder-released events into the classifier, recording any
+    /// decisions. Returns `false` when the classifier failed (the session
+    /// is marked failed).
+    fn push_released(&mut self, released: &[Event]) -> bool {
+        for e in released {
+            if let Err(err) = self.classifier.push_event(*e, &mut self.ops) {
+                self.error = Some(err);
+                obs::counter_add("serve.session.errors", 1);
+                return false;
+            }
             if let Some(decision) = self.classifier.poll_decision() {
                 self.record_decision(decision);
             }
         }
-        self.stats.processed += consumed as u64;
-        consumed
+        true
     }
 
     /// Forces a decision from the classifier's accumulated state (e.g. a
@@ -240,6 +312,15 @@ impl Session {
     pub fn flush(&mut self) -> Result<Option<Decision>, EvlabError> {
         if !self.is_active() {
             return Ok(None);
+        }
+        // Drain the reorder buffer first: the skew window it was holding
+        // back belongs to this session's accumulated state.
+        if let Some(buf) = &mut self.reorder {
+            let mut released = Vec::new();
+            buf.flush(&mut released);
+            if !self.push_released(&released) {
+                return Err(EvlabError::serve("flush failed: classifier error on reordered tail"));
+            }
         }
         match self.classifier.flush(&mut self.ops) {
             Ok(Some(decision)) => {
@@ -263,7 +344,54 @@ impl Session {
         }
     }
 
-    fn record_decision(&mut self, decision: Decision) {
+    /// The supervisor restarts performed on this session so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// One supervision step, called by the runtime once per tick when a
+    /// [`SupervisorPolicy`] is configured. A failed session waits out its
+    /// backoff (doubling with each restart), then restarts: the error is
+    /// cleared and the classifier begins a fresh session, while history,
+    /// statistics and the last decision survive as the last-good
+    /// checkpoint. Returns whether a restart happened this step.
+    pub(crate) fn supervise(&mut self, policy: SupervisorPolicy) -> bool {
+        if !self.open || self.error.is_none() || self.restarts >= policy.max_restarts {
+            return false;
+        }
+        let backoff = policy
+            .backoff_ticks
+            .saturating_mul(1u32 << self.restarts.min(16));
+        let cooldown = self.cooldown.get_or_insert(backoff);
+        if *cooldown > 0 {
+            *cooldown -= 1;
+            return false;
+        }
+        self.cooldown = None;
+        self.error = None;
+        self.restarts += 1;
+        self.stats.restarts += 1;
+        self.classifier.begin_session();
+        if let Some(buf) = &mut self.reorder {
+            buf.reset();
+        }
+        obs::counter_add("serve.supervisor.restarts", 1);
+        true
+    }
+
+    /// Whether a supervisor restart is scheduled (failed, with backoff
+    /// still counting down).
+    pub(crate) fn restart_pending(&self) -> bool {
+        self.open && self.error.is_some() && self.cooldown.is_some()
+    }
+
+    fn record_decision(&mut self, mut decision: Decision) {
+        // NaN/Inf guard: corrupted ingress can poison activations; repair
+        // to a valid (if low-confidence) decision and count the incident.
+        if decision.sanitize() > 0 {
+            self.stats.nonfinite_decisions += 1;
+            obs::counter_add("serve.decision.nonfinite", 1);
+        }
         if let Some(start) = self.oldest_pending.take() {
             self.latencies_us
                 .push(start.elapsed().as_secs_f64() * 1e6);

@@ -12,6 +12,8 @@
 //!
 //! * [`tensor`] — the [`Tensor`] type and its shape-checked operations.
 //! * [`counters`] — [`OpCount`], the arithmetic/memory instrumentation.
+//! * [`guard`] — NaN/Inf repair for fault-degraded pipelines
+//!   (`tensor.guard.nonfinite`).
 //! * [`layer`] — the [`Layer`] trait and the dense layers (linear, conv2d,
 //!   ReLU, pooling, flatten).
 //! * [`network`] — [`Sequential`] container and the training step.
@@ -40,6 +42,7 @@
 //! ```
 
 pub mod counters;
+pub mod guard;
 pub mod init;
 pub mod layer;
 pub mod loss;

@@ -1,0 +1,738 @@
+//! Deterministic, seeded fault injection for event-camera pipelines.
+//!
+//! The paper's Table I partly grades the three paradigms on how they cope
+//! with the messy reality of event-camera data — shot noise, hot pixels,
+//! bus corruption, timestamp disorder. The lab, however, always feeds the
+//! pipelines clean simulator output. This module closes that gap with a
+//! *reproducible* fault model: every corruption decision is a pure
+//! function of a seed and the event's position in the stream, so a chaos
+//! run can be replayed bit-for-bit (and is independent of
+//! `EVLAB_THREADS`, because injection happens serially at ingest).
+//!
+//! # Fault taxonomy
+//!
+//! | key        | spec form      | model                                         |
+//! |------------|----------------|-----------------------------------------------|
+//! | `corrupt`  | `corrupt=P`    | flip 1–3 random bits of an AER word           |
+//! | `drop`     | `drop=P`       | lose an event/word (packet loss)              |
+//! | `dup`      | `dup=P`        | deliver an event/word twice (retransmission)  |
+//! | `reorder`  | `reorder=P:S`  | jitter a timestamp by up to ±S µs             |
+//! | `drift`    | `drift=PPM`    | multiply timestamps by `1 + PPM·1e-6`         |
+//! | `rollover` | `rollover=OFF` | shift by OFF µs, wrap at the 32-bit boundary  |
+//! | `hot`      | `hot=K:P`      | K hot pixels each firing alongside real events|
+//! | `burst`    | `burst=P:N`    | inject an N-event noise burst                 |
+//!
+//! Rates are probabilities in `[0, 1]` per offered event. Fault decisions
+//! are **nested across rates**: the per-event uniform draw depends only on
+//! `(seed, index)`, so the events dropped at rate 0.1 are a subset of
+//! those dropped at rate 0.3 — degradation curves are monotone by
+//! construction in the *set* of surviving events, which keeps chaos sweeps
+//! well-behaved.
+//!
+//! # Spec strings
+//!
+//! A spec is a comma-separated `key=value` list, e.g.
+//! `seed=42,drop=0.05,corrupt=0.01,reorder=0.2:300`. The `EVLAB_FAULTS`
+//! environment variable carries the same syntax and is read once (cached)
+//! via [`env_spec`]; an empty/unset variable disables injection.
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_util::fault::{FaultInjector, FaultSpec, RawEvent};
+//!
+//! let spec: FaultSpec = "seed=7,drop=0.5".parse().unwrap();
+//! let mut inj = FaultInjector::new(&spec);
+//! let events: Vec<RawEvent> = (0..100)
+//!     .map(|i| RawEvent { t_us: i * 10, x: 1, y: 1, on: true })
+//!     .collect();
+//! let out = inj.apply_events(&events, (16, 16));
+//! assert!(out.len() < 100, "half the events are gone");
+//! let mut replay = FaultInjector::new(&spec);
+//! assert_eq!(replay.apply_events(&events, (16, 16)), out, "replayable");
+//! ```
+
+use crate::obs;
+use crate::rng::Rng64;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// Environment variable carrying the fault spec (`EVLAB_FAULTS`).
+pub const ENV_FAULTS: &str = "EVLAB_FAULTS";
+
+/// The 32-bit timestamp boundary (µs) that sensor timestamps wrap at.
+pub const ROLLOVER_PERIOD_US: u64 = 1 << 32;
+
+/// A plain event view, so the fault layer (which sits below `evlab-events`
+/// in the dependency graph) can transform events without naming the
+/// `Event` type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawEvent {
+    /// Timestamp in microseconds.
+    pub t_us: u64,
+    /// Pixel column.
+    pub x: u16,
+    /// Pixel row.
+    pub y: u16,
+    /// Polarity (`true` = ON).
+    pub on: bool,
+}
+
+/// Error produced by [`FaultSpec::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending `key=value` item.
+    pub item: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec item `{}`: {}", self.item, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl From<FaultSpecError> for crate::EvlabError {
+    fn from(e: FaultSpecError) -> Self {
+        crate::EvlabError::msg(e.to_string())
+    }
+}
+
+/// A parsed, composable fault configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for every stochastic fault decision.
+    pub seed: u64,
+    /// Probability of corrupting an AER word (1–3 bit flips).
+    pub corrupt: f64,
+    /// Probability of dropping an event/word.
+    pub drop: f64,
+    /// Probability of duplicating an event/word.
+    pub dup: f64,
+    /// Probability of jittering a timestamp.
+    pub reorder: f64,
+    /// Maximum timestamp displacement (µs) of a jittered event.
+    pub reorder_skew_us: u64,
+    /// Clock drift in parts-per-million (0 = no drift).
+    pub drift_ppm: f64,
+    /// Offset (µs) added before wrapping at 2³² µs; `None` disables the
+    /// rollover model entirely (timestamps stay unwrapped u64).
+    pub rollover_offset_us: Option<u64>,
+    /// Number of hot/stuck pixels.
+    pub hot_pixels: usize,
+    /// Probability per real event that each hot pixel also fires.
+    pub hot_rate: f64,
+    /// Probability per real event of starting a noise burst.
+    pub burst: f64,
+    /// Events per noise burst.
+    pub burst_len: usize,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            corrupt: 0.0,
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_skew_us: 0,
+            drift_ppm: 0.0,
+            rollover_offset_us: None,
+            hot_pixels: 0,
+            hot_rate: 0.0,
+            burst: 0.0,
+            burst_len: 0,
+        }
+    }
+}
+
+fn parse_rate(item: &str, v: &str) -> Result<f64, FaultSpecError> {
+    let p: f64 = v.parse().map_err(|_| FaultSpecError {
+        item: item.to_string(),
+        reason: format!("`{v}` is not a number"),
+    })?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultSpecError {
+            item: item.to_string(),
+            reason: format!("rate {p} outside [0, 1]"),
+        });
+    }
+    Ok(p)
+}
+
+fn parse_u64(item: &str, v: &str) -> Result<u64, FaultSpecError> {
+    v.parse().map_err(|_| FaultSpecError {
+        item: item.to_string(),
+        reason: format!("`{v}` is not an integer"),
+    })
+}
+
+impl FaultSpec {
+    /// Parses a comma-separated `key=value` spec string. Whitespace around
+    /// items is ignored; an empty string yields the no-fault default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] on an unknown key, malformed number, or
+    /// out-of-range rate.
+    pub fn parse(text: &str) -> Result<FaultSpec, FaultSpecError> {
+        let mut spec = FaultSpec::default();
+        for raw in text.split(',') {
+            let item = raw.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item.split_once('=').ok_or_else(|| FaultSpecError {
+                item: item.to_string(),
+                reason: "expected key=value".to_string(),
+            })?;
+            match key {
+                "seed" => spec.seed = parse_u64(item, value)?,
+                "corrupt" => spec.corrupt = parse_rate(item, value)?,
+                "drop" => spec.drop = parse_rate(item, value)?,
+                "dup" => spec.dup = parse_rate(item, value)?,
+                "reorder" => {
+                    let (p, skew) = value.split_once(':').ok_or_else(|| FaultSpecError {
+                        item: item.to_string(),
+                        reason: "expected reorder=P:SKEW_US".to_string(),
+                    })?;
+                    spec.reorder = parse_rate(item, p)?;
+                    spec.reorder_skew_us = parse_u64(item, skew)?;
+                }
+                "drift" => {
+                    spec.drift_ppm = value.parse().map_err(|_| FaultSpecError {
+                        item: item.to_string(),
+                        reason: format!("`{value}` is not a number"),
+                    })?;
+                }
+                "rollover" => spec.rollover_offset_us = Some(parse_u64(item, value)?),
+                "hot" => {
+                    let (k, p) = value.split_once(':').ok_or_else(|| FaultSpecError {
+                        item: item.to_string(),
+                        reason: "expected hot=K:RATE".to_string(),
+                    })?;
+                    spec.hot_pixels = parse_u64(item, k)? as usize;
+                    spec.hot_rate = parse_rate(item, p)?;
+                }
+                "burst" => {
+                    let (p, n) = value.split_once(':').ok_or_else(|| FaultSpecError {
+                        item: item.to_string(),
+                        reason: "expected burst=P:LEN".to_string(),
+                    })?;
+                    spec.burst = parse_rate(item, p)?;
+                    spec.burst_len = parse_u64(item, n)? as usize;
+                }
+                other => {
+                    return Err(FaultSpecError {
+                        item: item.to_string(),
+                        reason: format!("unknown fault key `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Whether any fault model is active.
+    pub fn is_active(&self) -> bool {
+        self.corrupt > 0.0
+            || self.drop > 0.0
+            || self.dup > 0.0
+            || self.reorder > 0.0
+            || self.drift_ppm != 0.0
+            || self.rollover_offset_us.is_some()
+            || (self.hot_pixels > 0 && self.hot_rate > 0.0)
+            || (self.burst > 0.0 && self.burst_len > 0)
+    }
+
+    /// Returns a copy with a different seed (e.g. per session or per
+    /// sample, derived from the base seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy restricted to the order-preserving sensor-side
+    /// faults (drop, dup, hot pixels, burst, drift) — the transforms a
+    /// sensor can exhibit *before* the AER bus, which never break the
+    /// monotone-timestamp contract of `EventStream`.
+    pub fn sensor_subset(&self) -> FaultSpec {
+        FaultSpec {
+            corrupt: 0.0,
+            reorder: 0.0,
+            reorder_skew_us: 0,
+            rollover_offset_us: None,
+            ..self.clone()
+        }
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = FaultSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultSpec::parse(s)
+    }
+}
+
+/// The cached `EVLAB_FAULTS` spec, or `None` when unset/empty/inactive.
+///
+/// Read once per process: chaos runs set the variable before launch, and
+/// caching keeps hot ingest paths from re-parsing per call. A malformed
+/// spec is reported on stderr once and treated as inactive — a typo in a
+/// chaos harness must degrade to a clean run, not a panic.
+pub fn env_spec() -> Option<&'static FaultSpec> {
+    static SPEC: OnceLock<Option<FaultSpec>> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        let text = std::env::var(ENV_FAULTS).unwrap_or_default();
+        if text.trim().is_empty() {
+            return None;
+        }
+        match FaultSpec::parse(&text) {
+            Ok(spec) if spec.is_active() => Some(spec),
+            Ok(_) => None,
+            Err(e) => {
+                eprintln!("[fault] ignoring malformed {ENV_FAULTS}: {e}");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// Counters describing what one injector did — mirrored into the
+/// `fault.*` obs counters when observability is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Events/words offered to the injector.
+    pub offered: u64,
+    /// Events/words dropped.
+    pub dropped: u64,
+    /// Events/words duplicated.
+    pub duplicated: u64,
+    /// AER words with flipped bits.
+    pub corrupted: u64,
+    /// Events whose timestamps were jittered.
+    pub reordered: u64,
+    /// Hot-pixel events injected.
+    pub hot_events: u64,
+    /// Burst-noise events injected.
+    pub burst_events: u64,
+    /// Events whose timestamps wrapped at the 32-bit boundary.
+    pub rolled_over: u64,
+}
+
+impl FaultReport {
+    /// Total events/words injected beyond the offered stream.
+    pub fn injected(&self) -> u64 {
+        self.duplicated + self.hot_events + self.burst_events
+    }
+
+    fn publish(&self) {
+        obs::counter_add("fault.offered", self.offered);
+        obs::counter_add("fault.dropped", self.dropped);
+        obs::counter_add("fault.duplicated", self.duplicated);
+        obs::counter_add("fault.corrupted", self.corrupted);
+        obs::counter_add("fault.reordered", self.reordered);
+        obs::counter_add("fault.hot_events", self.hot_events);
+        obs::counter_add("fault.burst_events", self.burst_events);
+        obs::counter_add("fault.rolled_over", self.rolled_over);
+    }
+}
+
+/// Per-event keyed uniform draw in `[0, 1)`: depends only on
+/// `(seed, index, channel)`, so fault decisions are nested across rates
+/// and independent of how many other fault models are active.
+fn keyed_uniform(seed: u64, index: u64, channel: u64) -> f64 {
+    let mut rng = Rng64::seed_from_u64(
+        seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ channel.rotate_left(32),
+    );
+    rng.next_f64()
+}
+
+/// Channel tags separating the independent per-event fault decisions.
+mod chan {
+    pub const DROP: u64 = 1;
+    pub const DUP: u64 = 2;
+    pub const CORRUPT: u64 = 3;
+    pub const REORDER: u64 = 4;
+    pub const HOT: u64 = 5;
+    pub const BURST: u64 = 6;
+    pub const DETAIL: u64 = 7;
+}
+
+/// A stateful, seeded injector applying one [`FaultSpec`].
+///
+/// Two entry points: [`FaultInjector::apply_events`] transforms decoded
+/// events (sensor output — order-preserving faults keep the stream
+/// sorted; timestamp faults may leave it *disordered*, which is the
+/// point), and [`FaultInjector::apply_words`] / [`FaultInjector::word`]
+/// transform 64-bit AER words (serve ingress).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    index: u64,
+    report: FaultReport,
+}
+
+impl FaultInjector {
+    /// Creates an injector for the given spec.
+    pub fn new(spec: &FaultSpec) -> Self {
+        FaultInjector {
+            spec: spec.clone(),
+            index: 0,
+            report: FaultReport::default(),
+        }
+    }
+
+    /// What the injector has done so far.
+    pub fn report(&self) -> FaultReport {
+        self.report
+    }
+
+    /// Publishes the current report into the `fault.*` obs counters and
+    /// resets the running report.
+    pub fn publish_report(&mut self) -> FaultReport {
+        let r = self.report;
+        r.publish();
+        self.report = FaultReport::default();
+        r
+    }
+
+    fn draw(&self, channel: u64) -> f64 {
+        keyed_uniform(self.spec.seed, self.index, channel)
+    }
+
+    /// A deterministic detail RNG for the current event (bit positions,
+    /// jitter magnitudes, burst contents) — separate from the rate draws
+    /// so adding detail entropy never perturbs which events are faulted.
+    fn detail_rng(&self) -> Rng64 {
+        Rng64::seed_from_u64(
+            self.spec.seed
+                ^ self
+                    .index
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    .wrapping_add(chan::DETAIL),
+        )
+    }
+
+    fn transform_time(&mut self, t_us: u64, rng: &mut Option<Rng64>) -> u64 {
+        let mut t = t_us;
+        if self.spec.drift_ppm != 0.0 {
+            let drifted = t as f64 * (1.0 + self.spec.drift_ppm * 1e-6);
+            t = drifted.max(0.0) as u64;
+        }
+        if self.spec.reorder > 0.0 && self.draw(chan::REORDER) < self.spec.reorder {
+            let skew = self.spec.reorder_skew_us;
+            if skew > 0 {
+                let r = rng.get_or_insert_with(|| self.detail_rng());
+                let jitter = r.next_below(2 * skew + 1) as i64 - skew as i64;
+                t = t.saturating_add_signed(jitter);
+                self.report.reordered += 1;
+            }
+        }
+        if let Some(offset) = self.spec.rollover_offset_us {
+            let shifted = t.wrapping_add(offset);
+            let wrapped = shifted % ROLLOVER_PERIOD_US;
+            if wrapped != shifted {
+                self.report.rolled_over += 1;
+            }
+            t = wrapped;
+        }
+        t
+    }
+
+    /// Applies the order-preserving and timestamp fault models to a slice
+    /// of decoded events. The output is re-sorted **only** when no
+    /// disordering fault (reorder jitter, rollover) is active; otherwise
+    /// the disorder is the injected fault and downstream ingestion must
+    /// cope (that is what `evlab_events::reorder::ReorderBuffer` is for).
+    pub fn apply_events(&mut self, events: &[RawEvent], resolution: (u16, u16)) -> Vec<RawEvent> {
+        let mut out = Vec::with_capacity(events.len());
+        let (w, h) = (resolution.0.max(1), resolution.1.max(1));
+        // Hot pixels are fixed per spec seed, not per event.
+        let hot: Vec<(u16, u16, bool)> = {
+            let mut r = Rng64::seed_from_u64(self.spec.seed ^ 0x1107);
+            (0..self.spec.hot_pixels)
+                .map(|_| {
+                    (
+                        r.next_below(w as u64) as u16,
+                        r.next_below(h as u64) as u16,
+                        r.bernoulli(0.5),
+                    )
+                })
+                .collect()
+        };
+        for e in events {
+            self.report.offered += 1;
+            let mut detail = None;
+            if self.spec.drop > 0.0 && self.draw(chan::DROP) < self.spec.drop {
+                self.report.dropped += 1;
+                self.index += 1;
+                continue;
+            }
+            let t = self.transform_time(e.t_us, &mut detail);
+            let faulted = RawEvent { t_us: t, ..*e };
+            out.push(faulted);
+            if self.spec.dup > 0.0 && self.draw(chan::DUP) < self.spec.dup {
+                self.report.duplicated += 1;
+                out.push(faulted);
+            }
+            if self.spec.hot_rate > 0.0 && self.draw(chan::HOT) < self.spec.hot_rate {
+                let r = detail.get_or_insert_with(|| self.detail_rng());
+                for &(hx, hy, hp) in &hot {
+                    // A stuck pixel fires with the real event's timing
+                    // plus a little deterministic smear.
+                    let smear = r.next_below(16);
+                    out.push(RawEvent {
+                        t_us: t.saturating_add(smear),
+                        x: hx,
+                        y: hy,
+                        on: hp,
+                    });
+                    self.report.hot_events += 1;
+                }
+            }
+            if self.spec.burst > 0.0
+                && self.spec.burst_len > 0
+                && self.draw(chan::BURST) < self.spec.burst
+            {
+                let r = detail.get_or_insert_with(|| self.detail_rng());
+                for _ in 0..self.spec.burst_len {
+                    out.push(RawEvent {
+                        t_us: t.saturating_add(r.next_below(64)),
+                        x: r.next_below(w as u64) as u16,
+                        y: r.next_below(h as u64) as u16,
+                        on: r.bernoulli(0.5),
+                    });
+                    self.report.burst_events += 1;
+                }
+            }
+            self.index += 1;
+        }
+        if !self.disorders_time() {
+            // Injected hot/burst events carry smeared timestamps; keep the
+            // sensor-side contract (monotone time) when no disordering
+            // fault was requested. The sort key includes arrival order so
+            // ties resolve deterministically.
+            let mut keyed: Vec<(u64, usize, RawEvent)> = out
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| (e.t_us, i, e))
+                .collect();
+            keyed.sort_unstable_by_key(|&(t, i, _)| (t, i));
+            out = keyed.into_iter().map(|(_, _, e)| e).collect();
+        }
+        out
+    }
+
+    /// Whether the active spec can emit non-monotone timestamps.
+    pub fn disorders_time(&self) -> bool {
+        (self.spec.reorder > 0.0 && self.spec.reorder_skew_us > 0)
+            || self.spec.rollover_offset_us.is_some()
+    }
+
+    /// Applies the word-level fault models to one AER word at serve
+    /// ingress: `None` means the word was dropped; one or two copies
+    /// otherwise (duplication), possibly with flipped bits.
+    pub fn word(&mut self, word: u64) -> (Option<u64>, Option<u64>) {
+        self.report.offered += 1;
+        if self.spec.drop > 0.0 && self.draw(chan::DROP) < self.spec.drop {
+            self.report.dropped += 1;
+            self.index += 1;
+            return (None, None);
+        }
+        let mut w = word;
+        if self.spec.corrupt > 0.0 && self.draw(chan::CORRUPT) < self.spec.corrupt {
+            let mut r = self.detail_rng();
+            let flips = 1 + r.next_below(3);
+            for _ in 0..flips {
+                w ^= 1u64 << r.next_below(64);
+            }
+            self.report.corrupted += 1;
+        }
+        let dup = if self.spec.dup > 0.0 && self.draw(chan::DUP) < self.spec.dup {
+            self.report.duplicated += 1;
+            Some(w)
+        } else {
+            None
+        };
+        self.index += 1;
+        (Some(w), dup)
+    }
+
+    /// Applies the word-level fault models to a batch of AER words.
+    pub fn apply_words(&mut self, words: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(words.len());
+        for &word in words {
+            let (first, dup) = self.word(word);
+            out.extend(first);
+            out.extend(dup);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(n: u64) -> Vec<RawEvent> {
+        (0..n)
+            .map(|i| RawEvent {
+                t_us: i * 100,
+                x: (i % 16) as u16,
+                y: (i % 16) as u16,
+                on: i % 2 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let s = FaultSpec::parse(
+            "seed=42, corrupt=0.01, drop=0.05, dup=0.02, reorder=0.2:300, \
+             drift=150, rollover=4294000000, hot=3:0.1, burst=0.01:40",
+        )
+        .expect("valid spec");
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.reorder_skew_us, 300);
+        assert_eq!(s.rollover_offset_us, Some(4_294_000_000));
+        assert_eq!(s.hot_pixels, 3);
+        assert_eq!(s.burst_len, 40);
+        assert!(s.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_bad_items() {
+        assert!(FaultSpec::parse("drop=1.5").is_err());
+        assert!(FaultSpec::parse("nonsense=1").is_err());
+        assert!(FaultSpec::parse("drop").is_err());
+        assert!(FaultSpec::parse("reorder=0.1").is_err());
+        let e = FaultSpec::parse("drop=x").unwrap_err();
+        assert!(e.to_string().contains("drop=x"));
+    }
+
+    #[test]
+    fn empty_spec_is_inactive() {
+        let s = FaultSpec::parse("").expect("empty ok");
+        assert!(!s.is_active());
+        assert_eq!(s, FaultSpec::default());
+        assert!(!FaultSpec::parse("seed=9").unwrap().is_active());
+    }
+
+    #[test]
+    fn drops_are_nested_across_rates() {
+        let base = events(400);
+        let lo = FaultInjector::new(&FaultSpec::parse("seed=5,drop=0.1").unwrap())
+            .apply_events(&base, (16, 16));
+        let hi = FaultInjector::new(&FaultSpec::parse("seed=5,drop=0.4").unwrap())
+            .apply_events(&base, (16, 16));
+        assert!(hi.len() < lo.len());
+        // Every survivor at the higher rate also survives the lower rate.
+        for e in &hi {
+            assert!(lo.contains(e), "rate nesting violated");
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let spec =
+            FaultSpec::parse("seed=3,drop=0.1,dup=0.1,hot=2:0.2,burst=0.05:8").unwrap();
+        let base = events(300);
+        let a = FaultInjector::new(&spec).apply_events(&base, (16, 16));
+        let b = FaultInjector::new(&spec).apply_events(&base, (16, 16));
+        assert_eq!(a, b);
+        assert_ne!(a.len(), base.len());
+    }
+
+    #[test]
+    fn order_preserving_faults_keep_time_monotone() {
+        let spec = FaultSpec::parse("seed=8,dup=0.3,hot=4:0.3,burst=0.1:16,drift=500").unwrap();
+        let mut inj = FaultInjector::new(&spec);
+        assert!(!inj.disorders_time());
+        let out = inj.apply_events(&events(500), (16, 16));
+        for w in out.windows(2) {
+            assert!(w[0].t_us <= w[1].t_us, "sensor-side faults reordered time");
+        }
+        let r = inj.report();
+        assert!(r.hot_events > 0 && r.burst_events > 0 && r.duplicated > 0);
+    }
+
+    #[test]
+    fn reorder_jitter_is_bounded() {
+        let spec = FaultSpec::parse("seed=2,reorder=1.0:250").unwrap();
+        let mut inj = FaultInjector::new(&spec);
+        assert!(inj.disorders_time());
+        let base = events(200);
+        let out = inj.apply_events(&base, (16, 16));
+        assert_eq!(out.len(), base.len());
+        for (orig, faulted) in base.iter().zip(&out) {
+            let d = orig.t_us.abs_diff(faulted.t_us);
+            assert!(d <= 250, "jitter {d} exceeds skew");
+        }
+        assert!(inj.report().reordered > 150);
+    }
+
+    #[test]
+    fn rollover_wraps_at_32_bits() {
+        let offset = ROLLOVER_PERIOD_US - 50_000;
+        let spec = FaultSpec::default();
+        let spec = FaultSpec {
+            rollover_offset_us: Some(offset),
+            ..spec
+        };
+        let mut inj = FaultInjector::new(&spec);
+        let out = inj.apply_events(&events(1000), (16, 16));
+        // The stream straddles the boundary: late timestamps wrapped to
+        // small values while early ones stayed large.
+        assert!(out.iter().any(|e| e.t_us > ROLLOVER_PERIOD_US - 60_000));
+        assert!(out.iter().any(|e| e.t_us < 60_000));
+        assert!(inj.report().rolled_over > 0);
+    }
+
+    #[test]
+    fn word_faults_drop_corrupt_duplicate() {
+        let spec = FaultSpec::parse("seed=6,drop=0.2,corrupt=0.2,dup=0.2").unwrap();
+        let mut inj = FaultInjector::new(&spec);
+        let words: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0xABCD_EF01)).collect();
+        let out = inj.apply_words(&words);
+        let r = inj.report();
+        assert!(r.dropped > 50 && r.corrupted > 50 && r.duplicated > 50);
+        assert_eq!(
+            out.len() as u64,
+            r.offered - r.dropped + r.duplicated,
+            "survivors + dups account for every word"
+        );
+        // Replays identically.
+        let again = FaultInjector::new(&spec).apply_words(&words);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn sensor_subset_strips_disordering_faults() {
+        let spec =
+            FaultSpec::parse("seed=1,drop=0.1,corrupt=0.5,reorder=0.5:100,rollover=7").unwrap();
+        let sub = spec.sensor_subset();
+        assert_eq!(sub.corrupt, 0.0);
+        assert_eq!(sub.reorder, 0.0);
+        assert_eq!(sub.rollover_offset_us, None);
+        assert_eq!(sub.drop, 0.1);
+        assert!(!FaultInjector::new(&sub).disorders_time());
+    }
+
+    #[test]
+    fn publish_report_resets() {
+        let spec = FaultSpec::parse("seed=4,drop=0.5").unwrap();
+        let mut inj = FaultInjector::new(&spec);
+        inj.apply_events(&events(100), (16, 16));
+        let r = inj.publish_report();
+        assert!(r.dropped > 0);
+        assert_eq!(inj.report(), FaultReport::default());
+    }
+}

@@ -101,6 +101,15 @@ impl Json {
         }
     }
 
+    /// The `(key, value)` pairs of an object, in insertion order
+    /// (`None` for other variants).
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Indexes into an array (`None` for other variants).
     pub fn at(&self, index: usize) -> Option<&Json> {
         match self {

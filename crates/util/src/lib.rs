@@ -25,6 +25,10 @@
 //! * [`error::EvlabError`] — the workspace-wide umbrella error that the
 //!   serve runtime and the bench binaries return instead of `expect`-ing;
 //!   the per-crate error types convert into it via `From`.
+//! * [`fault`] — the seeded, deterministic fault-injection layer (AER word
+//!   corruption, drop/duplication, timestamp disorder, hot pixels, burst
+//!   noise) behind the `EVLAB_FAULTS` spec string, applied at sensor
+//!   output and serve ingress for chaos runs.
 //!
 //! # Examples
 //!
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod error;
+pub mod fault;
 pub mod fixed;
 pub mod json;
 pub mod lut;

@@ -12,13 +12,23 @@
 #   5. a smoke run of `serve_bench` (4 concurrent sessions per paradigm,
 #      16-deep queues under 64-event bursts) — the binary exits non-zero
 #      unless load was actually shed AND decisions kept flowing, which is
-#      the serving runtime's graceful-degradation contract.
+#      the serving runtime's graceful-degradation contract;
+#   6. a smoke run of `chaos_bench` (seeded fault injection: packet drop,
+#      AER bit corruption, timestamp jitter across all three paradigms) —
+#      the binary exits non-zero unless faults fired, the hardened
+#      ingress quarantined what it could not salvage, and every
+#      degradation curve is monotone non-increasing in the fault rate;
+#   7. a clippy gate denying `unwrap()`/`expect()` on the ingestion and
+#      serving crates — faults on those paths must surface as errors and
+#      quarantine counters, never as panics.
 #
-# Both smoke runs execute under EVLAB_OBS=1 with --metrics; afterwards
+# The smoke runs execute under EVLAB_OBS=1 with --metrics; afterwards
 # `obs_check` re-parses each metrics file with the crate's own JSON
 # parser and fails if any required counter is zero — for hotpaths the
 # built-in pipeline-stage list, for serve_bench the `serve.*` ingress,
-# shedding and decision counters (via --require).
+# shedding and decision counters, for chaos_bench the `fault.*` injection
+# counters plus the quarantine/supervisor ones (via --require; a trailing
+# `.*` requires at least one nonzero counter under that prefix).
 #
 # Usage: scripts/verify.sh
 # Requires no network access: the workspace has zero registry
@@ -40,7 +50,9 @@ out="$(mktemp /tmp/evlab_hotpaths_smoke.XXXXXX.json)"
 metrics="$(mktemp /tmp/evlab_hotpaths_obs.XXXXXX.json)"
 serve_out="$(mktemp /tmp/evlab_serve_smoke.XXXXXX.json)"
 serve_metrics="$(mktemp /tmp/evlab_serve_obs.XXXXXX.json)"
-trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics"' EXIT
+chaos_out="$(mktemp /tmp/evlab_chaos_smoke.XXXXXX.json)"
+chaos_metrics="$(mktemp /tmp/evlab_chaos_obs.XXXXXX.json)"
+trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics" "$chaos_out" "$chaos_metrics"' EXIT
 
 echo "==> hotpaths smoke sweep (threads 1, 2; checksum-gated; obs on)"
 EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin hotpaths -- \
@@ -62,4 +74,20 @@ cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
     --require serve.session.decisions \
     "$serve_metrics"
 
-echo "==> OK: build, lints, tests, hot-path determinism, serving degradation and observability all pass"
+echo "==> chaos_bench smoke (seeded faults x 3 paradigms; monotone degradation gated)"
+EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin chaos_bench -- \
+    --smoke --out "$chaos_out" --metrics "$chaos_metrics"
+
+echo "==> obs_check: fault injection, quarantine and supervisor counters nonzero"
+cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
+    --require 'fault.*' \
+    --require ingest.quarantined \
+    --require ingest.late_dropped \
+    --require serve.supervisor.restarts \
+    "$chaos_metrics"
+
+echo "==> clippy panic gate: no unwrap/expect on ingestion and serving paths"
+cargo clippy -p evlab-events -p evlab-serve --no-deps --offline -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+echo "==> OK: build, lints, tests, hot-path determinism, serving degradation, chaos degradation and observability all pass"

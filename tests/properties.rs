@@ -204,3 +204,99 @@ fn spike_encoding_conserves_events_within_horizon() {
         assert_eq!(train.total_spikes(), within);
     }
 }
+
+#[test]
+fn rollover_wrap_then_unwrap_round_trips() {
+    use evlab::events::reorder::TimeUnwrapper;
+    use evlab::util::fault::{FaultInjector, FaultSpec, RawEvent, ROLLOVER_PERIOD_US};
+    let mut rng = Rng64::seed_from_u64(0xF0_110);
+    for case in 0..CASES {
+        // A sorted stream whose timestamps straddle the 32-bit boundary
+        // once the offset is added; gaps stay far below half a period, so
+        // the unwrapper's epoch heuristic must recover the exact times.
+        let offset = ROLLOVER_PERIOD_US - 1 - rng.next_below(500_000);
+        let n = 50 + rng.next_below(200);
+        let mut t = 0u64;
+        let raw: Vec<RawEvent> = (0..n)
+            .map(|i| {
+                t += rng.next_below(10_000);
+                RawEvent {
+                    t_us: t,
+                    x: (i % 16) as u16,
+                    y: (i % 16) as u16,
+                    on: rng.bernoulli(0.5),
+                }
+            })
+            .collect();
+        let spec = FaultSpec {
+            rollover_offset_us: Some(offset),
+            seed: case,
+            ..FaultSpec::default()
+        };
+        let mut inj = FaultInjector::new(&spec);
+        let wrapped = inj.apply_events(&raw, (16, 16));
+        assert_eq!(wrapped.len(), raw.len());
+        let mut unwrapper = TimeUnwrapper::new();
+        for (orig, w) in raw.iter().zip(&wrapped) {
+            assert_eq!(
+                unwrapper.unwrap_us(w.t_us),
+                orig.t_us + offset,
+                "case {case}: unwrap lost the original timeline"
+            );
+        }
+        if wrapped.iter().any(|e| e.t_us < offset) {
+            assert!(unwrapper.rollovers() > 0, "case {case}: wrap went unnoticed");
+        }
+    }
+}
+
+#[test]
+fn reorder_buffer_round_trips_bounded_jitter() {
+    use evlab::events::reorder::ReorderBuffer;
+    use evlab::util::fault::{FaultInjector, FaultSpec, RawEvent};
+    let mut rng = Rng64::seed_from_u64(0x2E02DE2);
+    for case in 0..CASES {
+        let skew = 50 + rng.next_below(400);
+        let stream = rand_stream(&mut rng, 16, 300);
+        let raw: Vec<RawEvent> = stream
+            .as_slice()
+            .iter()
+            .map(|e| RawEvent {
+                t_us: e.t.as_micros(),
+                x: e.x,
+                y: e.y,
+                on: e.polarity == Polarity::On,
+            })
+            .collect();
+        let spec = FaultSpec::parse(&format!("seed={case},reorder=1.0:{skew}"))
+            .expect("valid spec");
+        let jittered = FaultInjector::new(&spec).apply_events(&raw, (16, 16));
+        assert_eq!(jittered.len(), raw.len());
+        // Jitter displaces each event by at most `skew`, so a buffer
+        // tolerating twice that must salvage every event: the released
+        // output is the jittered multiset, restored to sorted order.
+        let mut buf = ReorderBuffer::new(2 * skew);
+        let mut released: Vec<Event> = Vec::new();
+        for r in &jittered {
+            let p = if r.on { Polarity::On } else { Polarity::Off };
+            buf.push(Event::new(r.t_us, r.x, r.y, p), &mut released);
+        }
+        buf.flush(&mut released);
+        assert_eq!(buf.late_dropped(), 0, "case {case}: salvageable event lost");
+        assert_eq!(released.len(), jittered.len());
+        for pair in released.windows(2) {
+            assert!(pair[0].t <= pair[1].t, "case {case}: output not sorted");
+        }
+        let mut want: Vec<(u64, u16, u16, bool)> = jittered
+            .iter()
+            .map(|r| (r.t_us, r.x, r.y, r.on))
+            .collect();
+        want.sort_unstable();
+        let mut got: Vec<(u64, u16, u16, bool)> = released
+            .iter()
+            .map(|e| (e.t.as_micros(), e.x, e.y, e.polarity == Polarity::On))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "case {case}: multiset changed in transit");
+    }
+}
