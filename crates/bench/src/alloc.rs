@@ -1,0 +1,147 @@
+//! Heap-allocation accounting for the benchmark binaries.
+//!
+//! The `count-alloc` feature compiles a counting wrapper around the system
+//! allocator; the `hotpaths` binary installs it as `#[global_allocator]`
+//! when the feature is enabled. Workloads bracket their steady-state inner
+//! loop with [`snapshot`] / [`delta_since`] and publish the measured delta
+//! through [`record_steady`]; `scripts/verify.sh` then compares the
+//! published deltas against the committed `BENCH_alloc_budget.json`
+//! (all-zero for the arena-backed kernels).
+//!
+//! Without the feature the counters never move: [`counting_enabled`]
+//! returns `false`, every snapshot reads zero, and the gate is skipped.
+//! The accounting therefore never perturbs default (timed) runs.
+//!
+//! Counting is process-global, so steady-state sections must not overlap
+//! with unrelated allocating work on other threads; the instrumented
+//! kernels are single-threaded, and `hotpaths` runs workloads one at a
+//! time, so this holds in practice.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that counts allocation events and bytes before
+/// delegating to [`System`]. Deallocations are not tracked — the budget
+/// gate cares about allocation *pressure*, not live-set size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation directly to `System`; the atomic
+// bumps have no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink is one allocation event for `new_size` bytes: a
+        // Vec that doubles in a "steady-state" loop still shows up.
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Whether the counting allocator is compiled in (the `count-alloc`
+/// feature). When `false`, snapshots always read zero and the alloc
+/// budget gate must be skipped.
+pub fn counting_enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// Cumulative allocation counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Allocation events (alloc + realloc calls) so far.
+    pub count: u64,
+    /// Bytes requested by those events.
+    pub bytes: u64,
+}
+
+/// Reads the current cumulative counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        count: ALLOC_COUNT.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Counters accumulated since `start` (saturating, in case `start` came
+/// from a different process run — it never should).
+pub fn delta_since(start: AllocSnapshot) -> AllocSnapshot {
+    let now = snapshot();
+    AllocSnapshot {
+        count: now.count.saturating_sub(start.count),
+        bytes: now.bytes.saturating_sub(start.bytes),
+    }
+}
+
+static STEADY: Mutex<BTreeMap<&'static str, AllocSnapshot>> = Mutex::new(BTreeMap::new());
+
+/// Publishes the steady-state allocation delta a workload measured for
+/// itself. Repeated records for the same name keep the *worst* (largest
+/// count) observation, so a sweep over thread counts gates on its worst
+/// cell.
+pub fn record_steady(name: &'static str, delta: AllocSnapshot) {
+    let mut map = STEADY.lock().expect("alloc registry poisoned");
+    let entry = map.entry(name).or_default();
+    if delta.count > entry.count || (delta.count == entry.count && delta.bytes > entry.bytes) {
+        *entry = delta;
+    }
+}
+
+/// All published steady-state records, sorted by workload name.
+pub fn steady_records() -> Vec<(&'static str, AllocSnapshot)> {
+    STEADY
+        .lock()
+        .expect("alloc registry poisoned")
+        .iter()
+        .map(|(&k, &v)| (k, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_saturating_and_registry_keeps_worst() {
+        let d = delta_since(AllocSnapshot {
+            count: u64::MAX,
+            bytes: u64::MAX,
+        });
+        assert_eq!(d, AllocSnapshot { count: 0, bytes: 0 });
+        record_steady("test.worst", AllocSnapshot { count: 2, bytes: 10 });
+        record_steady("test.worst", AllocSnapshot { count: 1, bytes: 99 });
+        record_steady("test.worst", AllocSnapshot { count: 2, bytes: 30 });
+        let rec = steady_records()
+            .into_iter()
+            .find(|(n, _)| *n == "test.worst")
+            .expect("recorded");
+        assert_eq!(rec.1, AllocSnapshot { count: 2, bytes: 30 });
+    }
+
+    #[test]
+    fn snapshot_moves_only_when_counting() {
+        let before = snapshot();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        drop(v);
+        let d = delta_since(before);
+        if counting_enabled() {
+            assert!(d.count >= 1, "allocation not counted");
+        } else {
+            assert_eq!(d.count, 0, "counters must stay zero without the feature");
+        }
+    }
+}

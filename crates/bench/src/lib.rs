@@ -9,6 +9,7 @@
 use evlab_events::{Event, EventStream, Polarity};
 use evlab_util::{obs, EvlabError, Rng64};
 
+pub mod alloc;
 pub mod chaos;
 
 /// Parses the `--metrics PATH` flag shared by the harness binaries.

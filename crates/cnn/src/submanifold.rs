@@ -19,7 +19,6 @@ use evlab_events::Event;
 use evlab_tensor::init::he_normal;
 use evlab_tensor::{OpCount, Tensor};
 use evlab_util::Rng64;
-use std::collections::BTreeSet;
 
 /// A single linear convolution evaluated by per-event delta propagation.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,7 +193,16 @@ pub struct SubmanifoldNet {
     height: usize,
     input: Tensor,            // [2, H, W] accumulated polarity counts
     activations: Vec<Tensor>, // per-layer [O, H, W]
-    active: BTreeSet<(u16, u16)>,
+    /// O(1) activity lookup, indexed `y * width + x`.
+    active_mask: Vec<bool>,
+    /// Active sites sorted lexicographically by `(x, y)` — the same
+    /// iteration order the former `BTreeSet<(u16, u16)>` produced.
+    active_list: Vec<(u16, u16)>,
+    // Reusable per-update buffers: after warmup, `update` performs no
+    // heap allocation (the `sort_unstable + dedup` dedup pass is in-place).
+    frontier: Vec<(u16, u16)>,
+    sites_buf: Vec<(u16, u16)>,
+    site_values: Vec<f32>,
 }
 
 impl SubmanifoldNet {
@@ -237,7 +245,11 @@ impl SubmanifoldNet {
             height: h,
             input: Tensor::zeros(&[2, h, w]),
             activations,
-            active: BTreeSet::new(),
+            active_mask: vec![false; w * h],
+            active_list: Vec::new(),
+            frontier: Vec::new(),
+            sites_buf: Vec::new(),
+            site_values: Vec::new(),
         }
     }
 
@@ -248,7 +260,7 @@ impl SubmanifoldNet {
 
     /// Currently active sites.
     pub fn active_sites(&self) -> usize {
-        self.active.len()
+        self.active_list.len()
     }
 
     /// Final-layer activation map.
@@ -266,22 +278,27 @@ impl SubmanifoldNet {
             .collect()
     }
 
-    /// Clears all state.
+    /// Clears all state (buffer capacity is retained).
     pub fn reset(&mut self) {
         self.input.fill_zero();
         for a in &mut self.activations {
             a.fill_zero();
         }
-        self.active.clear();
+        self.active_mask.fill(false);
+        self.active_list.clear();
     }
 
-    fn compute_site(
+    /// Computes one site's post-ReLU output into `out` (length
+    /// `out_channels`); every element is overwritten. Writing into a
+    /// caller-owned buffer keeps the per-event path allocation-free.
+    fn compute_site_into(
         &self,
         layer_idx: usize,
         x: usize,
         y: usize,
+        out: &mut [f32],
         ops: &mut OpCount,
-    ) -> Vec<f32> {
+    ) {
         let layer = &self.layers[layer_idx];
         let input: &Tensor = if layer_idx == 0 {
             &self.input
@@ -292,7 +309,7 @@ impl SubmanifoldNet {
         let half = (k / 2) as isize;
         let xs = input.as_slice();
         let w = layer.weight.as_slice();
-        let mut out = vec![0.0f32; layer.out_channels];
+        debug_assert_eq!(out.len(), layer.out_channels);
         let mut effective = 0u64;
         for (o, slot) in out.iter_mut().enumerate() {
             let mut acc = layer.bias.as_slice()[o];
@@ -307,7 +324,7 @@ impl SubmanifoldNet {
                         continue;
                     }
                     // Submanifold rule: only read active sites.
-                    if !self.active.contains(&(ix as u16, iy as u16)) {
+                    if !self.active_mask[iy as usize * self.width + ix as usize] {
                         continue;
                     }
                     for c in 0..layer.in_channels {
@@ -325,12 +342,15 @@ impl SubmanifoldNet {
         }
         ops.record_mac(effective, effective);
         ops.record_compare(layer.out_channels as u64);
-        out
     }
 
-    fn affected_sites(&self, seeds: &BTreeSet<(u16, u16)>) -> BTreeSet<(u16, u16)> {
+    /// Fills `out` with the active sites within one kernel radius of any
+    /// seed, sorted lexicographically and deduplicated (the order the old
+    /// `BTreeSet` implementation produced). In-place sort + dedup keeps
+    /// this allocation-free once `out` has grown to its working size.
+    fn affected_sites_into(&self, seeds: &[(u16, u16)], out: &mut Vec<(u16, u16)>) {
         let half = (self.kernel / 2) as isize;
-        let mut out = BTreeSet::new();
+        out.clear();
         for &(x, y) in seeds {
             for dy in -half..=half {
                 for dx in -half..=half {
@@ -340,14 +360,14 @@ impl SubmanifoldNet {
                     {
                         continue;
                     }
-                    let site = (nx as u16, ny as u16);
-                    if self.active.contains(&site) {
-                        out.insert(site);
+                    if self.active_mask[ny as usize * self.width + nx as usize] {
+                        out.push((nx as u16, ny as u16));
                     }
                 }
             }
         }
-        out
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Processes one event asynchronously: updates the input counts,
@@ -358,26 +378,42 @@ impl SubmanifoldNet {
         let c = event.polarity.channel();
         let idx = (c * self.height + y) * self.width + x;
         self.input.as_mut_slice()[idx] += 1.0;
-        self.active.insert((event.x, event.y));
+        let site = (event.x, event.y);
+        if !self.active_mask[y * self.width + x] {
+            self.active_mask[y * self.width + x] = true;
+            let pos = self
+                .active_list
+                .binary_search(&site)
+                .expect_err("mask says site is new");
+            self.active_list.insert(pos, site);
+        }
         ops.record_add(1);
 
-        let mut frontier: BTreeSet<(u16, u16)> = BTreeSet::new();
-        frontier.insert((event.x, event.y));
+        // Detach the reusable buffers so `&self` methods can fill them.
+        let mut frontier = std::mem::take(&mut self.frontier);
+        let mut sites = std::mem::take(&mut self.sites_buf);
+        let mut values = std::mem::take(&mut self.site_values);
+        frontier.clear();
+        frontier.push(site);
         let mut recomputed = 0usize;
         for l in 0..self.layers.len() {
-            let sites = self.affected_sites(&frontier);
+            self.affected_sites_into(&frontier, &mut sites);
+            values.resize(self.layers[l].out_channels, 0.0);
             for &(sx, sy) in &sites {
-                let values = self.compute_site(l, sx as usize, sy as usize, ops);
+                self.compute_site_into(l, sx as usize, sy as usize, &mut values, ops);
                 let act = &mut self.activations[l];
                 let hw = self.height * self.width;
-                for (o, v) in values.into_iter().enumerate() {
+                for (o, &v) in values.iter().enumerate() {
                     act.as_mut_slice()[o * hw + sy as usize * self.width + sx as usize] = v;
                 }
                 recomputed += 1;
             }
             ops.record_write((sites.len() * self.layers[l].out_channels) as u64);
-            frontier = sites;
+            std::mem::swap(&mut frontier, &mut sites);
         }
+        self.frontier = frontier;
+        self.sites_buf = sites;
+        self.site_values = values;
         recomputed
     }
 
@@ -385,17 +421,23 @@ impl SubmanifoldNet {
     /// honouring the submanifold active-set rule). The result must equal
     /// the incrementally maintained state.
     pub fn dense_refresh(&mut self, ops: &mut OpCount) {
-        let sites: Vec<(u16, u16)> = self.active.iter().copied().collect();
+        let mut sites = std::mem::take(&mut self.sites_buf);
+        sites.clear();
+        sites.extend_from_slice(&self.active_list);
+        let mut values = std::mem::take(&mut self.site_values);
         for l in 0..self.layers.len() {
+            values.resize(self.layers[l].out_channels, 0.0);
             for &(sx, sy) in &sites {
-                let values = self.compute_site(l, sx as usize, sy as usize, ops);
+                self.compute_site_into(l, sx as usize, sy as usize, &mut values, ops);
                 let act = &mut self.activations[l];
                 let hw = self.height * self.width;
-                for (o, v) in values.into_iter().enumerate() {
+                for (o, &v) in values.iter().enumerate() {
                     act.as_mut_slice()[o * hw + sy as usize * self.width + sx as usize] = v;
                 }
             }
         }
+        self.sites_buf = sites;
+        self.site_values = values;
     }
 }
 

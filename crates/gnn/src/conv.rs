@@ -81,6 +81,14 @@ impl NodeFeatures {
         self.data.extend_from_slice(row);
     }
 
+    /// Makes this matrix an exact copy of `src`, reusing the existing
+    /// allocation whenever capacity suffices.
+    pub fn copy_from(&mut self, src: &NodeFeatures) {
+        self.dim = src.dim;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Column-wise mean over all nodes (global mean pooling).
     pub fn mean_pool(&self) -> Vec<f32> {
         let n = self.nodes();
@@ -111,6 +119,15 @@ pub struct GraphConv {
     out_dim: usize,
     cached_input: Option<NodeFeatures>,
     cached_mask: Option<Vec<bool>>,
+    /// Recycled forward caches: backward consumes `cached_input`/
+    /// `cached_mask` (preserving the backward-without-forward panic) but
+    /// parks their allocations here so the next forward reuses them.
+    input_pool: Option<NodeFeatures>,
+    mask_pool: Option<Vec<bool>>,
+    /// Reused per-node message/aggregation buffers (`out_dim` each), so
+    /// message passing allocates nothing per node.
+    msg_buf: Vec<f32>,
+    agg_buf: Vec<f32>,
 }
 
 impl GraphConv {
@@ -130,6 +147,10 @@ impl GraphConv {
             out_dim,
             cached_input: None,
             cached_mask: None,
+            input_pool: None,
+            mask_pool: None,
+            msg_buf: Vec::new(),
+            agg_buf: Vec::new(),
         }
     }
 
@@ -160,7 +181,8 @@ impl GraphConv {
 
     /// Computes the pre-activation message for a single node given the
     /// *input* features — shared by the batch forward and the asynchronous
-    /// single-node update.
+    /// single-node update. Convenience wrapper over
+    /// [`GraphConv::node_forward_into`] that allocates the result.
     pub fn node_forward(
         &self,
         graph: &EventGraph,
@@ -168,21 +190,42 @@ impl GraphConv {
         i: usize,
         ops: &mut OpCount,
     ) -> Vec<f32> {
+        let mut m = vec![0.0f32; self.out_dim];
+        let mut agg = vec![0.0f32; self.out_dim];
+        self.node_forward_into(graph, input, i, &mut m, &mut agg, ops);
+        m
+    }
+
+    /// Allocation-free [`GraphConv::node_forward`]: writes the
+    /// pre-activation message into `m` and uses `agg` as the neighbor
+    /// aggregation buffer (both of length `out_dim`, fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer is shorter than `out_dim`.
+    pub fn node_forward_into(
+        &self,
+        graph: &EventGraph,
+        input: &NodeFeatures,
+        i: usize,
+        m: &mut [f32],
+        agg: &mut [f32],
+        ops: &mut OpCount,
+    ) {
+        assert!(m.len() >= self.out_dim && agg.len() >= self.out_dim);
         let ws = self.w_self.value.as_slice();
         let wn = self.w_nbr.value.as_slice();
         let wr = self.w_rel.value.as_slice();
         let b = self.bias.value.as_slice();
         let h_i = input.row(i);
-        let mut m: Vec<f32> = (0..self.out_dim)
-            .map(|o| {
-                b[o]
-                    + ws[o * self.in_dim..(o + 1) * self.in_dim]
-                        .iter()
-                        .zip(h_i)
-                        .map(|(w, x)| w * x)
-                        .sum::<f32>()
-            })
-            .collect();
+        for (o, slot) in m.iter_mut().enumerate().take(self.out_dim) {
+            *slot = b[o]
+                + ws[o * self.in_dim..(o + 1) * self.in_dim]
+                    .iter()
+                    .zip(h_i)
+                    .map(|(w, x)| w * x)
+                    .sum::<f32>();
+        }
         ops.record_mac(
             (self.out_dim * self.in_dim) as u64,
             (self.out_dim * self.in_dim) as u64,
@@ -190,11 +233,11 @@ impl GraphConv {
         let nbrs = graph.in_neighbors(i);
         if !nbrs.is_empty() {
             let inv = 1.0 / nbrs.len() as f32;
-            let mut agg = vec![0.0f32; self.out_dim];
+            agg[..self.out_dim].fill(0.0);
             for &j in nbrs {
                 let h_j = input.row(j as usize);
                 let r = graph.relative_offset(i, j as usize);
-                for (o, slot) in agg.iter_mut().enumerate() {
+                for (o, slot) in agg.iter_mut().enumerate().take(self.out_dim) {
                     let msg: f32 = wn[o * self.in_dim..(o + 1) * self.in_dim]
                         .iter()
                         .zip(h_j)
@@ -210,15 +253,17 @@ impl GraphConv {
                 (nbrs.len() * self.out_dim * (self.in_dim + 3)) as u64,
                 (nbrs.len() * self.out_dim * (self.in_dim + 3)) as u64,
             );
-            for (mo, a) in m.iter_mut().zip(&agg) {
+            for (mo, a) in m.iter_mut().zip(agg.iter()).take(self.out_dim) {
                 *mo += inv * a;
             }
             ops.record_mult(self.out_dim as u64);
         }
-        m
     }
 
-    /// Batch forward over all nodes, with ReLU. Caches for backward.
+    /// Batch forward over all nodes, with ReLU. Caches for backward. The
+    /// per-node message/aggregation buffers and the forward caches are
+    /// reused across calls, so repeated forwards only allocate for the
+    /// output features.
     pub fn forward(
         &mut self,
         graph: &EventGraph,
@@ -229,9 +274,15 @@ impl GraphConv {
         assert_eq!(input.nodes(), n, "feature/node count mismatch");
         assert_eq!(input.dim(), self.in_dim, "feature dim mismatch");
         let mut out = NodeFeatures::zeros(n, self.out_dim);
-        let mut mask = vec![false; n * self.out_dim];
+        let mut mask = self.mask_pool.take().unwrap_or_default();
+        mask.clear();
+        mask.resize(n * self.out_dim, false);
+        let mut m = std::mem::take(&mut self.msg_buf);
+        let mut agg = std::mem::take(&mut self.agg_buf);
+        m.resize(self.out_dim, 0.0);
+        agg.resize(self.out_dim, 0.0);
         for i in 0..n {
-            let m = self.node_forward(graph, input, i, ops);
+            self.node_forward_into(graph, input, i, &mut m, &mut agg, ops);
             let row = out.row_mut(i);
             for (o, &v) in m.iter().enumerate() {
                 if v > 0.0 {
@@ -240,9 +291,17 @@ impl GraphConv {
                 }
             }
         }
+        self.msg_buf = m;
+        self.agg_buf = agg;
         ops.record_compare((n * self.out_dim) as u64);
         ops.record_write((n * self.out_dim) as u64);
-        self.cached_input = Some(input.clone());
+        match self.input_pool.take() {
+            Some(mut pooled) => {
+                pooled.copy_from(input);
+                self.cached_input = Some(pooled);
+            }
+            None => self.cached_input = Some(input.clone()),
+        }
         self.cached_mask = Some(mask);
         out
     }
@@ -263,23 +322,25 @@ impl GraphConv {
         let mask = self.cached_mask.take().expect("forward caches mask");
         let n = graph.node_count();
         let mut grad_input = NodeFeatures::zeros(n, self.in_dim);
-        let ws = self.w_self.value.as_slice().to_vec();
-        let wn = self.w_nbr.value.as_slice().to_vec();
+        // `dm` (masked gradient of one node) reuses the message buffer; all
+        // weight reads borrow `Param::value` while writes go to the
+        // disjoint `Param::grad`, so no per-node copies are needed.
+        let mut dm = std::mem::take(&mut self.msg_buf);
+        dm.resize(self.out_dim, 0.0);
+        let ws = self.w_self.value.as_slice();
+        let wn = self.w_nbr.value.as_slice();
         for i in 0..n {
-            let nbrs = graph.in_neighbors(i).to_vec();
+            let nbrs = graph.in_neighbors(i);
             let inv = if nbrs.is_empty() {
                 0.0
             } else {
                 1.0 / nbrs.len() as f32
             };
-            let h_i = input.row(i).to_vec();
+            let h_i = input.row(i);
             // dm = relu mask applied.
-            let dm: Vec<f32> = grad_output
-                .row(i)
-                .iter()
-                .enumerate()
-                .map(|(o, &g)| if mask[i * self.out_dim + o] { g } else { 0.0 })
-                .collect();
+            for (o, (slot, &g)) in dm.iter_mut().zip(grad_output.row(i)).enumerate() {
+                *slot = if mask[i * self.out_dim + o] { g } else { 0.0 };
+            }
             {
                 let gb = self.bias.grad.as_mut_slice();
                 let gs = self.w_self.grad.as_mut_slice();
@@ -304,8 +365,8 @@ impl GraphConv {
                     }
                 }
             }
-            for &j in &nbrs {
-                let h_j = input.row(j as usize).to_vec();
+            for &j in nbrs {
+                let h_j = input.row(j as usize);
                 let r = graph.relative_offset(i, j as usize);
                 let gn = self.w_nbr.grad.as_mut_slice();
                 let gr = self.w_rel.grad.as_mut_slice();
@@ -333,6 +394,9 @@ impl GraphConv {
                 }
             }
         }
+        self.msg_buf = dm;
+        self.input_pool = Some(input);
+        self.mask_pool = Some(mask);
         let edges = graph.edge_count() as u64;
         ops.record_mac(
             2 * (n as u64 * (self.out_dim * self.in_dim) as u64

@@ -37,6 +37,9 @@ pub struct LifLayer {
     out_size: usize,
     v: Vec<f32>,
     refractory_left: Vec<u32>,
+    /// Reused gather buffer of `(index, value)` spiking inputs, so the
+    /// steady-state [`LifLayer::step_into`] path allocates nothing.
+    active_buf: Vec<(usize, f32)>,
 }
 
 impl LifLayer {
@@ -58,6 +61,7 @@ impl LifLayer {
             out_size,
             v: vec![0.0; out_size],
             refractory_left: vec![0; out_size],
+            active_buf: Vec::new(),
         }
     }
 
@@ -107,23 +111,50 @@ impl LifLayer {
     ///
     /// Panics if `input_spikes.len() != in_size`.
     pub fn step(&mut self, input_spikes: &[f32], ops: &mut OpCount) -> LayerStep {
+        let mut step = LayerStep {
+            membrane: Vec::new(),
+            spikes: Vec::new(),
+        };
+        self.step_into(input_spikes, &mut step, ops);
+        step
+    }
+
+    /// Allocation-free variant of [`LifLayer::step`]: writes the result
+    /// into a caller-owned `step`, resizing its vectors to `out_size`.
+    /// Reusing the same `LayerStep` across timesteps makes the steady
+    /// state allocation-free; the arithmetic is identical to `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_spikes.len() != in_size`.
+    pub fn step_into(&mut self, input_spikes: &[f32], step: &mut LayerStep, ops: &mut OpCount) {
         assert_eq!(input_spikes.len(), self.in_size, "input size mismatch");
         let w = self.weight.value.as_slice();
         let leak = self.config.leak;
         let threshold = self.config.threshold;
         let refractory_steps = self.config.refractory_steps;
         let in_size = self.in_size;
-        // Event-driven: gather the spiking inputs once; every output
-        // neuron then integrates them in the same ascending-index order,
-        // so the per-neuron arithmetic is identical under any chunking.
-        let active: Vec<(usize, f32)> = input_spikes
-            .iter()
-            .enumerate()
-            .filter(|&(_, &s)| s != 0.0)
-            .map(|(i, &s)| (i, s))
-            .collect();
-        let mut membrane = vec![0.0f32; self.out_size];
-        let mut spikes = vec![0.0f32; self.out_size];
+        // Event-driven: gather the spiking inputs once (into the reused
+        // buffer); every output neuron then integrates them in the same
+        // ascending-index order, so the per-neuron arithmetic is
+        // identical under any chunking.
+        let mut active = std::mem::take(&mut self.active_buf);
+        active.clear();
+        active.extend(
+            input_spikes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s != 0.0)
+                .map(|(i, &s)| (i, s)),
+        );
+        // Membrane is written for every neuron; spikes only where a neuron
+        // fires, so the reused buffer must start zeroed.
+        step.membrane.clear();
+        step.membrane.resize(self.out_size, 0.0);
+        step.spikes.clear();
+        step.spikes.resize(self.out_size, 0.0);
+        let membrane = &mut step.membrane;
+        let spikes = &mut step.spikes;
 
         // Full clocked update of one output neuron: decay, integrate,
         // record membrane, threshold with subtraction reset + refractory.
@@ -161,8 +192,8 @@ impl LifLayer {
                 par::chunk_ranges(self.out_size, par::chunk_count(self.out_size, 1, threads));
             let v_chunks = par::split_slices(&mut self.v, &ranges);
             let r_chunks = par::split_slices(&mut self.refractory_left, &ranges);
-            let m_chunks = par::split_slices(&mut membrane, &ranges);
-            let s_chunks = par::split_slices(&mut spikes, &ranges);
+            let m_chunks = par::split_slices(membrane, &ranges);
+            let s_chunks = par::split_slices(spikes, &ranges);
             let mut tasks: Vec<_> = ranges
                 .iter()
                 .zip(v_chunks)
@@ -192,7 +223,7 @@ impl LifLayer {
                 active.len() as u64 * self.out_size as u64,
             );
         }
-        LayerStep { membrane, spikes }
+        self.active_buf = active;
     }
 }
 

@@ -7,9 +7,27 @@
 //! one optimizer step.
 
 use crate::counters::OpCount;
+use crate::gemm::{self, ConvShape};
 use crate::init::he_normal;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 use evlab_util::Rng64;
+
+/// Copies `input` into a cached slot, reusing the previous cache tensor's
+/// allocation when present, so steady-state forwards do not allocate.
+fn cache_input(slot: &mut Option<Tensor>, input: &Tensor) {
+    match slot {
+        Some(t) => t.copy_from(input),
+        None => *slot = Some(input.clone()),
+    }
+}
+
+/// Stores a shape into a cached slot, reusing the previous allocation.
+fn cache_shape(slot: &mut Option<Vec<usize>>, shape: &[usize]) {
+    let s = slot.get_or_insert_with(Vec::new);
+    s.clear();
+    s.extend_from_slice(shape);
+}
 
 /// A trainable parameter: value plus accumulated gradient.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,10 +92,46 @@ pub trait Layer: LayerClone + Send {
     /// gradients. Must be called after a matching [`Layer::forward`].
     fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor;
 
+    /// [`Layer::forward`] with the output tensor (and any internal
+    /// intermediates) drawn from `arena`, so steady-state inference
+    /// performs no heap allocation. The caller owns the returned tensor
+    /// and is expected to recycle it. Numerically identical to `forward`.
+    ///
+    /// The default delegates to `forward`; layers with per-step buffers
+    /// override it.
+    fn forward_arena(
+        &mut self,
+        input: &Tensor,
+        _arena: &mut Scratch,
+        ops: &mut OpCount,
+    ) -> Tensor {
+        self.forward(input, ops)
+    }
+
+    /// [`Layer::backward`] with the gradient tensor drawn from `arena`.
+    /// Numerically identical to `backward`.
+    fn backward_arena(
+        &mut self,
+        grad_output: &Tensor,
+        _arena: &mut Scratch,
+        ops: &mut OpCount,
+    ) -> Tensor {
+        self.backward(grad_output, ops)
+    }
+
     /// Mutable access to the layer's parameters (empty for stateless
     /// layers).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    /// Visits each parameter in the same order as [`Layer::params_mut`]
+    /// without allocating the intermediate `Vec` (the per-step variant the
+    /// zero-allocation training path uses).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
     }
 
     /// Total scalar parameter count.
@@ -162,33 +216,31 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+    /// Shared forward body: `out` must already have shape `[out]`; it is
+    /// overwritten with `W x + b` via the blocked matvec kernel (per-row
+    /// accumulation order identical to the scalar dot product).
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, ops: &mut OpCount) {
         assert_eq!(input.len(), self.in_features, "linear input size mismatch");
         let nnz = input.nonzero_count() as u64;
-        let mut out = Tensor::zeros(&[self.out_features]);
-        let w = self.weight.value.as_slice();
-        let x = input.as_slice();
-        for j in 0..self.out_features {
-            let row = &w[j * self.in_features..(j + 1) * self.in_features];
-            let mut acc = self.bias.value.as_slice()[j];
-            for (xi, wi) in x.iter().zip(row) {
-                acc += xi * wi;
-            }
-            out.as_mut_slice()[j] = acc;
-        }
+        out.as_mut_slice().copy_from_slice(self.bias.value.as_slice());
+        gemm::matvec_into(
+            self.out_features,
+            self.in_features,
+            self.weight.value.as_slice(),
+            input.as_slice(),
+            out.as_mut_slice(),
+        );
         ops.record_mac(
             (self.in_features * self.out_features) as u64,
             nnz * self.out_features as u64,
         );
         ops.record_write(self.out_features as u64);
-        self.cached_input = Some(input.clone());
-        out
+        cache_input(&mut self.cached_input, input);
     }
 
-    fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
+    /// Shared backward body accumulating into `grad_input` (pre-zeroed).
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ops: &mut OpCount) {
         let input = self
             .cached_input
             .as_ref()
@@ -197,7 +249,6 @@ impl Layer for Linear {
         let g = grad_output.as_slice();
         let x = input.as_slice();
         let w = self.weight.value.as_slice();
-        let mut grad_input = Tensor::zeros(&[self.in_features]);
         {
             let gi = grad_input.as_mut_slice();
             let gw = self.weight.grad.as_mut_slice();
@@ -216,11 +267,46 @@ impl Layer for Linear {
         let n = (self.in_features * self.out_features) as u64;
         ops.record_mac(2 * n, 2 * n);
         ops.record_write((self.in_features + self.out_features) as u64);
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        let mut out = Tensor::zeros(&[self.out_features]);
+        self.forward_into(input, &mut out, ops);
+        out
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, arena: &mut Scratch, ops: &mut OpCount) -> Tensor {
+        let mut out = arena.take(&[self.out_features]);
+        self.forward_into(input, &mut out, ops);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
+        let mut grad_input = Tensor::zeros(&[self.in_features]);
+        self.backward_into(grad_output, &mut grad_input, ops);
+        grad_input
+    }
+
+    fn backward_arena(
+        &mut self,
+        grad_output: &Tensor,
+        arena: &mut Scratch,
+        ops: &mut OpCount,
+    ) -> Tensor {
+        let mut grad_input = arena.take(&[self.in_features]);
+        self.backward_into(grad_output, &mut grad_input, ops);
         grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn param_count(&self) -> usize {
@@ -237,7 +323,9 @@ impl Layer for Linear {
 }
 
 /// 2-D convolution over `[C, H, W]` inputs with stride 1 and symmetric zero
-/// padding.
+/// padding. Forward and backward lower onto the cache-blocked im2col + GEMM
+/// kernels in [`crate::gemm`], preserving the naive nest's per-output
+/// `(ic, ky, kx)` accumulation order bit-for-bit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Conv2d {
     weight: Param,
@@ -247,6 +335,9 @@ pub struct Conv2d {
     kernel: usize,
     padding: usize,
     cached_input: Option<Tensor>,
+    /// Per-layer pool for the im2col and GEMM packing buffers, so the
+    /// non-arena forward/backward path is also allocation-free once warm.
+    scratch: Scratch,
 }
 
 impl Conv2d {
@@ -279,6 +370,7 @@ impl Conv2d {
             kernel,
             padding,
             cached_input: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -303,65 +395,58 @@ impl Conv2d {
             w + 2 * self.padding + 1 - self.kernel,
         )
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+    fn conv_shape(&self, h: usize, w: usize) -> ConvShape {
+        ConvShape {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: 1,
+            padding: self.padding,
+            in_h: h,
+            in_w: w,
+        }
+    }
+
+    /// Shared forward body: `out` must have shape `[O, oh, ow]`; it is
+    /// fully overwritten. `scratch` serves the im2col/packing buffers.
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut Scratch,
+        ops: &mut OpCount,
+    ) {
         let shape = input.shape();
         assert_eq!(shape.len(), 3, "conv input must be [C, H, W]");
         assert_eq!(shape[0], self.in_channels, "conv channel mismatch");
         let (h, w) = (shape[1], shape[2]);
         let (oh, ow) = self.out_hw(h, w);
         assert!(oh > 0 && ow > 0, "kernel larger than padded input");
-        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
-        let x = input.as_slice();
-        let wt = self.weight.value.as_slice();
-        let b = self.bias.value.as_slice();
-        let k = self.kernel;
-        let p = self.padding as isize;
-        let mut effective: u64 = 0;
-        {
-            let o_slice = out.as_mut_slice();
-            for oc in 0..self.out_channels {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = b[oc];
-                        for ic in 0..self.in_channels {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xv = x[(ic * h + iy as usize) * w + ix as usize];
-                                    if xv != 0.0 {
-                                        effective += 1;
-                                        let wv = wt[((oc * self.in_channels + ic) * k + ky)
-                                            * k
-                                            + kx];
-                                        acc += xv * wv;
-                                    }
-                                }
-                            }
-                        }
-                        o_slice[(oc * oh + oy) * ow + ox] = acc;
-                    }
-                }
-            }
-        }
+        let s = self.conv_shape(h, w);
+        let effective = gemm::conv2d_forward(
+            &s,
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            self.bias.value.as_slice(),
+            out.as_mut_slice(),
+            scratch,
+        );
         let nominal =
-            (self.out_channels * oh * ow * self.in_channels * k * k) as u64;
+            (self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64;
         ops.record_mac(nominal, effective.min(nominal));
         ops.record_write((self.out_channels * oh * ow) as u64);
-        self.cached_input = Some(input.clone());
-        out
+        cache_input(&mut self.cached_input, input);
     }
 
-    fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
+    /// Shared backward body accumulating into `grad_input` (pre-zeroed).
+    fn backward_into(
+        &mut self,
+        grad_output: &Tensor,
+        grad_input: &mut Tensor,
+        scratch: &mut Scratch,
+        ops: &mut OpCount,
+    ) {
         let input = self
             .cached_input
             .as_ref()
@@ -369,56 +454,84 @@ impl Layer for Conv2d {
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let (oh, ow) = self.out_hw(h, w);
         assert_eq!(grad_output.shape(), &[self.out_channels, oh, ow]);
-        let x = input.as_slice();
-        let wt = self.weight.value.as_slice();
-        let g = grad_output.as_slice();
-        let k = self.kernel;
-        let p = self.padding as isize;
-        let mut grad_input = Tensor::zeros(input.shape());
-        {
-            let gi = grad_input.as_mut_slice();
-            let gw = self.weight.grad.as_mut_slice();
-            let gb = self.bias.grad.as_mut_slice();
-            for oc in 0..self.out_channels {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let gv = g[(oc * oh + oy) * ow + ox];
-                        if gv == 0.0 {
-                            continue;
-                        }
-                        gb[oc] += gv;
-                        for ic in 0..self.in_channels {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = (ic * h + iy as usize) * w + ix as usize;
-                                    let wi =
-                                        ((oc * self.in_channels + ic) * k + ky) * k + kx;
-                                    gi[xi] += gv * wt[wi];
-                                    gw[wi] += gv * x[xi];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let s = self.conv_shape(h, w);
+        gemm::conv2d_backward(
+            &s,
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            grad_output.as_slice(),
+            grad_input.as_mut_slice(),
+            self.weight.grad.as_mut_slice(),
+            self.bias.grad.as_mut_slice(),
+            scratch,
+        );
         let nominal =
-            2 * (self.out_channels * oh * ow * self.in_channels * k * k) as u64;
+            2 * (self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64;
         ops.record_mac(nominal, nominal);
         ops.record_write((input.len() + self.weight.len()) as u64);
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "conv input must be [C, H, W]");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.forward_into(input, &mut out, &mut scratch, ops);
+        self.scratch = scratch;
+        out
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, arena: &mut Scratch, ops: &mut OpCount) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "conv input must be [C, H, W]");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = arena.take(&[self.out_channels, oh, ow]);
+        self.forward_into(input, &mut out, arena, ops);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
+        let input_shape = self
+            .cached_input
+            .as_ref()
+            .expect("backward without forward")
+            .shape()
+            .to_vec();
+        let mut grad_input = Tensor::zeros(&input_shape);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.backward_into(grad_output, &mut grad_input, &mut scratch, ops);
+        self.scratch = scratch;
+        grad_input
+    }
+
+    fn backward_arena(
+        &mut self,
+        grad_output: &Tensor,
+        arena: &mut Scratch,
+        ops: &mut OpCount,
+    ) -> Tensor {
+        let mut grad_input = {
+            let input = self
+                .cached_input
+                .as_ref()
+                .expect("backward without forward");
+            let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+            arena.take(&[c, h, w])
+        };
+        self.backward_into(grad_output, &mut grad_input, arena, ops);
         grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn param_count(&self) -> usize {
@@ -448,12 +561,30 @@ impl Relu {
     }
 }
 
+impl Relu {
+    /// Records the positivity mask for the backward pass, reusing the
+    /// previous mask allocation.
+    fn record_mask(&mut self, input: &Tensor) {
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(input.as_slice().iter().map(|&v| v > 0.0));
+    }
+}
+
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
         ops.record_compare(input.len() as u64);
-        let mask: Vec<bool> = input.as_slice().iter().map(|&v| v > 0.0).collect();
-        let out = input.map(|v| if v > 0.0 { v } else { 0.0 });
-        self.mask = Some(mask);
+        self.record_mask(input);
+        input.map(|v| if v > 0.0 { v } else { 0.0 })
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, arena: &mut Scratch, ops: &mut OpCount) -> Tensor {
+        ops.record_compare(input.len() as u64);
+        self.record_mask(input);
+        let mut out = arena.take(input.shape());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = if v > 0.0 { v } else { 0.0 };
+        }
         out
     }
 
@@ -467,6 +598,26 @@ impl Layer for Relu {
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
         Tensor::from_vec(grad_output.shape(), data).expect("same shape")
+    }
+
+    fn backward_arena(
+        &mut self,
+        grad_output: &Tensor,
+        arena: &mut Scratch,
+        _ops: &mut OpCount,
+    ) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward without forward");
+        assert_eq!(grad_output.len(), mask.len());
+        let mut grad_input = arena.take(grad_output.shape());
+        for ((o, &g), &m) in grad_input
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice())
+            .zip(mask)
+        {
+            *o = if m { g } else { 0.0 };
+        }
+        grad_input
     }
 
     fn name(&self) -> &'static str {
@@ -502,16 +653,18 @@ impl MaxPool2d {
     }
 }
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+impl MaxPool2d {
+    /// Shared forward body: `out` must have shape `[C, oh, ow]`; it is
+    /// fully overwritten and the argmax/input-shape caches are refreshed
+    /// in place (no allocation once warm).
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, ops: &mut OpCount) {
         let shape = input.shape();
-        assert_eq!(shape.len(), 3, "pool input must be [C, H, W]");
         let (c, h, w) = (shape[0], shape[1], shape[2]);
         let (oh, ow) = (h / self.window, w / self.window);
-        assert!(oh > 0 && ow > 0, "pool window larger than input");
         let x = input.as_slice();
-        let mut out = Tensor::zeros(&[c, oh, ow]);
-        let mut argmax = vec![0usize; c * oh * ow];
+        let argmax = self.argmax.get_or_insert_with(Vec::new);
+        argmax.clear();
+        argmax.resize(c * oh * ow, 0);
         {
             let o = out.as_mut_slice();
             for ci in 0..c {
@@ -538,8 +691,30 @@ impl Layer for MaxPool2d {
             }
         }
         ops.record_compare((c * oh * ow * self.window * self.window) as u64);
-        self.argmax = Some(argmax);
-        self.input_shape = Some(shape.to_vec());
+        cache_shape(&mut self.input_shape, shape);
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, ops: &mut OpCount) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "pool input must be [C, H, W]");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let (oh, ow) = (h / self.window, w / self.window);
+        assert!(oh > 0 && ow > 0, "pool window larger than input");
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        self.forward_into(input, &mut out, ops);
+        out
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, arena: &mut Scratch, ops: &mut OpCount) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "pool input must be [C, H, W]");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let (oh, ow) = (h / self.window, w / self.window);
+        assert!(oh > 0 && ow > 0, "pool window larger than input");
+        let mut out = arena.take(&[c, oh, ow]);
+        self.forward_into(input, &mut out, ops);
         out
     }
 
@@ -547,6 +722,22 @@ impl Layer for MaxPool2d {
         let argmax = self.argmax.as_ref().expect("backward without forward");
         let input_shape = self.input_shape.as_ref().expect("forward first");
         let mut grad_input = Tensor::zeros(input_shape);
+        let gi = grad_input.as_mut_slice();
+        for (o, &src) in grad_output.as_slice().iter().zip(argmax) {
+            gi[src] += o;
+        }
+        grad_input
+    }
+
+    fn backward_arena(
+        &mut self,
+        grad_output: &Tensor,
+        arena: &mut Scratch,
+        _ops: &mut OpCount,
+    ) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward without forward");
+        let input_shape = self.input_shape.as_ref().expect("forward first");
+        let mut grad_input = arena.take(input_shape);
         let gi = grad_input.as_mut_slice();
         for (o, &src) in grad_output.as_slice().iter().zip(argmax) {
             gi[src] += o;
@@ -582,13 +773,34 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _ops: &mut OpCount) -> Tensor {
-        self.input_shape = Some(input.shape().to_vec());
+        cache_shape(&mut self.input_shape, input.shape());
         input.reshaped(&[input.len()]).expect("same length")
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, arena: &mut Scratch, _ops: &mut OpCount) -> Tensor {
+        cache_shape(&mut self.input_shape, input.shape());
+        let mut out = arena.take(&[input.len()]);
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor, _ops: &mut OpCount) -> Tensor {
         let shape = self.input_shape.as_ref().expect("forward first");
         grad_output.reshaped(shape).expect("same length")
+    }
+
+    fn backward_arena(
+        &mut self,
+        grad_output: &Tensor,
+        arena: &mut Scratch,
+        _ops: &mut OpCount,
+    ) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("forward first");
+        let mut grad_input = arena.take(shape);
+        grad_input
+            .as_mut_slice()
+            .copy_from_slice(grad_output.as_slice());
+        grad_input
     }
 
     fn name(&self) -> &'static str {

@@ -11,6 +11,11 @@
 //! Modules:
 //!
 //! * [`tensor`] — the [`Tensor`] type and its shape-checked operations.
+//! * [`gemm`] — cache-blocked GEMM/matvec microkernels and the im2col
+//!   conv2d lowering (bit-identical to the naive loop nests by the
+//!   summation-order contract documented there).
+//! * [`scratch`] — the [`Scratch`] arena that makes steady-state training
+//!   and inference allocation-free.
 //! * [`counters`] — [`OpCount`], the arithmetic/memory instrumentation.
 //! * [`guard`] — NaN/Inf repair for fault-degraded pipelines
 //!   (`tensor.guard.nonfinite`).
@@ -42,16 +47,19 @@
 //! ```
 
 pub mod counters;
+pub mod gemm;
 pub mod guard;
 pub mod init;
 pub mod layer;
 pub mod loss;
 pub mod network;
 pub mod optim;
+pub mod scratch;
 pub mod sparse;
 pub mod tensor;
 
 pub use counters::OpCount;
 pub use layer::Layer;
 pub use network::Sequential;
+pub use scratch::Scratch;
 pub use tensor::Tensor;

@@ -1,6 +1,7 @@
 //! Loss functions returning both the loss value and the gradient with
 //! respect to the prediction.
 
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Numerically stable softmax of a rank-1 tensor.
@@ -42,6 +43,37 @@ pub fn cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
     let p_target = probs.as_slice()[target].max(1e-12);
     let loss = -p_target.ln();
     let mut grad = probs;
+    grad.as_mut_slice()[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Allocation-free [`cross_entropy`]: the gradient tensor comes from the
+/// scratch arena (the caller recycles it after the backward pass) and the
+/// softmax is computed directly into it, so the steady state performs no
+/// heap allocation. Numerically identical to [`cross_entropy`].
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn cross_entropy_arena(
+    logits: &Tensor,
+    target: usize,
+    arena: &mut Scratch,
+) -> (f32, Tensor) {
+    assert!(target < logits.len(), "target class out of range");
+    let mut grad = arena.take(logits.shape());
+    let max = logits.max();
+    let mut sum = 0.0f32;
+    for (g, &l) in grad.as_mut_slice().iter_mut().zip(logits.as_slice()) {
+        let e = (l - max).exp();
+        *g = e;
+        sum += e;
+    }
+    for g in grad.as_mut_slice() {
+        *g /= sum;
+    }
+    let p_target = grad.as_slice()[target].max(1e-12);
+    let loss = -p_target.ln();
     grad.as_mut_slice()[target] -= 1.0;
     (loss, grad)
 }
@@ -111,6 +143,22 @@ mod tests {
                 (cross_entropy(&plus, 1).0 - cross_entropy(&minus, 1).0) / (2.0 * eps);
             assert!((numeric - grad.as_slice()[i]).abs() < 1e-3, "logit {i}");
         }
+    }
+
+    #[test]
+    fn cross_entropy_arena_matches_allocating_version() {
+        let logits = Tensor::from_vec(&[4], vec![0.3, -0.7, 1.2, 0.1]).expect("ok");
+        let (loss, grad) = cross_entropy(&logits, 1);
+        let mut arena = Scratch::new();
+        let (loss2, grad2) = cross_entropy_arena(&logits, 1, &mut arena);
+        assert_eq!(loss.to_bits(), loss2.to_bits());
+        for (a, b) in grad.as_slice().iter().zip(grad2.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        arena.recycle(grad2);
+        // A second call must reuse the recycled tensor and still be exact.
+        let (_, grad3) = cross_entropy_arena(&logits, 1, &mut arena);
+        assert_eq!(grad3.as_slice(), grad.as_slice());
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::counters::OpCount;
 use crate::layer::{Layer, Param};
-use crate::loss::cross_entropy;
+use crate::loss::{cross_entropy, cross_entropy_arena};
 use crate::optim::Optimizer;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// A stack of layers applied in order.
@@ -81,12 +82,59 @@ impl Sequential {
         current
     }
 
+    /// [`Sequential::forward`] with every intermediate activation (and the
+    /// returned output) drawn from `arena`. Numerically identical to
+    /// `forward`; with a warm arena the steady state performs zero heap
+    /// allocations. The caller owns the returned tensor and should recycle
+    /// it back into `arena` when done.
+    pub fn forward_arena(
+        &mut self,
+        input: &Tensor,
+        arena: &mut Scratch,
+        ops: &mut OpCount,
+    ) -> Tensor {
+        let mut current = arena.take(input.shape());
+        current.as_mut_slice().copy_from_slice(input.as_slice());
+        for layer in &mut self.layers {
+            let next = layer.forward_arena(&current, arena, ops);
+            arena.recycle(current);
+            current = next;
+        }
+        current
+    }
+
+    /// [`Sequential::backward`] with every intermediate gradient drawn from
+    /// `arena`. Returns the input gradient (recycle it when done).
+    pub fn backward_arena(
+        &mut self,
+        grad_output: &Tensor,
+        arena: &mut Scratch,
+        ops: &mut OpCount,
+    ) -> Tensor {
+        let mut current = arena.take(grad_output.shape());
+        current.as_mut_slice().copy_from_slice(grad_output.as_slice());
+        for layer in self.layers.iter_mut().rev() {
+            let next = layer.backward_arena(&current, arena, ops);
+            arena.recycle(current);
+            current = next;
+        }
+        current
+    }
+
     /// All trainable parameters in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers
             .iter_mut()
             .flat_map(|l| l.params_mut())
             .collect()
+    }
+
+    /// Visits every trainable parameter in the same order as
+    /// [`Sequential::params_mut`], without allocating the list.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
     }
 
     /// Total scalar parameter count.
@@ -155,6 +203,58 @@ pub fn accumulate_classification_step(
     let (loss, grad) = cross_entropy(&logits, label);
     net.backward(&grad, ops);
     StepResult { loss, correct }
+}
+
+/// [`accumulate_classification_step`] with every per-step tensor drawn
+/// from (and recycled back into) `arena`: zero heap allocations in steady
+/// state, numerically identical results.
+pub fn accumulate_classification_step_arena(
+    net: &mut Sequential,
+    input: &Tensor,
+    label: usize,
+    arena: &mut Scratch,
+    ops: &mut OpCount,
+) -> StepResult {
+    let logits = net.forward_arena(input, arena, ops);
+    let correct = logits.argmax() == label;
+    let (loss, grad) = cross_entropy_arena(&logits, label, arena);
+    arena.recycle(logits);
+    let grad_input = net.backward_arena(&grad, arena, ops);
+    arena.recycle(grad);
+    arena.recycle(grad_input);
+    StepResult { loss, correct }
+}
+
+/// [`train_batch`] on the allocation-free path: activations and gradients
+/// come from `arena`, and the optimizer is driven through the per-param
+/// visitor instead of a collected parameter list. Identical updates to
+/// `train_batch`.
+pub fn train_batch_arena(
+    net: &mut Sequential,
+    batch: &[(Tensor, usize)],
+    optimizer: &mut dyn Optimizer,
+    arena: &mut Scratch,
+    ops: &mut OpCount,
+) -> (f32, f32) {
+    assert!(!batch.is_empty(), "empty batch");
+    let mut loss_sum = 0.0;
+    let mut correct = 0usize;
+    for (input, label) in batch {
+        let r = accumulate_classification_step_arena(net, input, *label, arena, ops);
+        loss_sum += r.loss;
+        if r.correct {
+            correct += 1;
+        }
+    }
+    let scale = 1.0 / batch.len() as f32;
+    optimizer.begin_step();
+    let mut index = 0usize;
+    net.visit_params(&mut |p| {
+        p.grad.scale_assign(scale);
+        optimizer.step_param(index, p);
+        index += 1;
+    });
+    (loss_sum * scale, correct as f32 * scale)
 }
 
 /// Trains on a batch of samples then applies one optimizer step, averaging
@@ -260,6 +360,42 @@ mod tests {
             last_loss = l;
         }
         assert!(last_loss < first_loss * 0.8, "{first_loss} -> {last_loss}");
+    }
+
+    #[test]
+    fn arena_training_path_matches_allocating_path_bitwise() {
+        let build = || {
+            let mut rng = Rng64::seed_from_u64(9);
+            let mut net = Sequential::new();
+            net.push(Linear::new(2, 8, &mut rng));
+            net.push(Relu::new());
+            net.push(Linear::new(8, 2, &mut rng));
+            net
+        };
+        let mut rng = Rng64::seed_from_u64(10);
+        let batch = toy_dataset(&mut rng, 12);
+        let mut net_a = build();
+        let mut net_b = build();
+        let mut opt_a = Sgd::new(0.2, 0.9);
+        let mut opt_b = Sgd::new(0.2, 0.9);
+        let mut arena = Scratch::new();
+        let mut ops_a = OpCount::new();
+        let mut ops_b = OpCount::new();
+        for _ in 0..3 {
+            let (la, aa) = train_batch(&mut net_a, &batch, &mut opt_a, &mut ops_a);
+            let (lb, ab) =
+                train_batch_arena(&mut net_b, &batch, &mut opt_b, &mut arena, &mut ops_b);
+            assert_eq!(la.to_bits(), lb.to_bits());
+            assert_eq!(aa, ab);
+        }
+        assert_eq!(ops_a, ops_b, "op accounting identical on both paths");
+        let pa = net_a.params_mut();
+        let pb = net_b.params_mut();
+        for (a, b) in pa.iter().zip(&pb) {
+            for (x, y) in a.value.as_slice().iter().zip(b.value.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

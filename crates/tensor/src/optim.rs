@@ -8,12 +8,36 @@ use crate::layer::Param;
 use crate::tensor::Tensor;
 
 /// A gradient-descent optimizer.
+///
+/// Two calling conventions produce identical updates:
+///
+/// - [`Optimizer::step`] with the full parameter list (allocates the list
+///   at the call site);
+/// - [`Optimizer::begin_step`] once, then [`Optimizer::step_param`] for
+///   each parameter in order — the allocation-free path used by
+///   `train_batch_arena`, where parameters arrive through a visitor
+///   instead of a collected `Vec`.
 pub trait Optimizer {
     /// Applies one update step to the parameters and zeroes their gradients.
     ///
     /// The same parameter list (same order, same shapes) must be passed on
     /// every call.
-    fn step(&mut self, params: &mut [&mut Param]);
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.begin_step();
+        for (i, p) in params.iter_mut().enumerate() {
+            self.step_param(i, p);
+        }
+    }
+
+    /// Starts an update step (advances time-dependent state such as Adam's
+    /// bias correction). Must be called exactly once before the per-param
+    /// [`Optimizer::step_param`] calls of a step.
+    fn begin_step(&mut self) {}
+
+    /// Updates the `index`-th parameter and zeroes its gradient. Parameters
+    /// must be visited in the same order every step (state is keyed by
+    /// `index`).
+    fn step_param(&mut self, index: usize, param: &mut Param);
 
     /// Current learning rate.
     fn learning_rate(&self) -> f32;
@@ -65,28 +89,29 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        if self.velocity.is_empty() {
-            self.velocity = params
-                .iter()
-                .map(|p| Tensor::zeros(p.value.shape()))
-                .collect();
-        }
-        assert_eq!(
-            self.velocity.len(),
-            params.len(),
-            "parameter list changed between steps"
-        );
-        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            if self.momentum > 0.0 {
-                v.scale_assign(self.momentum);
-                v.add_scaled(&p.grad, 1.0);
-                p.value.add_scaled(v, -self.lr);
-            } else {
-                p.value.add_scaled(&p.grad, -self.lr);
+    fn step_param(&mut self, index: usize, p: &mut Param) {
+        if self.momentum > 0.0 {
+            // Velocity slots are created lazily on the first pass, in
+            // visit order; later steps reuse them (no allocation).
+            if index == self.velocity.len() {
+                self.velocity.push(Tensor::zeros(p.value.shape()));
             }
-            p.zero_grad();
+            let v = self
+                .velocity
+                .get_mut(index)
+                .expect("parameter list changed between steps");
+            assert_eq!(
+                v.shape(),
+                p.value.shape(),
+                "parameter list changed between steps"
+            );
+            v.scale_assign(self.momentum);
+            v.add_scaled(&p.grad, 1.0);
+            p.value.add_scaled(v, -self.lr);
+        } else {
+            p.value.add_scaled(&p.grad, -self.lr);
         }
+        p.zero_grad();
     }
 
     fn learning_rate(&self) -> f32 {
@@ -132,36 +157,44 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        if self.m.is_empty() {
-            self.m = params
-                .iter()
-                .map(|p| Tensor::zeros(p.value.shape()))
-                .collect();
-            self.v = self.m.clone();
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn step_param(&mut self, index: usize, p: &mut Param) {
+        // Moment slots are created lazily on the first pass, in visit
+        // order; later steps reuse them (no allocation).
+        if index == self.m.len() {
+            self.m.push(Tensor::zeros(p.value.shape()));
+            self.v.push(Tensor::zeros(p.value.shape()));
         }
+        let m = self
+            .m
+            .get_mut(index)
+            .expect("parameter list changed between steps");
+        let v = self
+            .v
+            .get_mut(index)
+            .expect("parameter list changed between steps");
         assert_eq!(
-            self.m.len(),
-            params.len(),
+            m.shape(),
+            p.value.shape(),
             "parameter list changed between steps"
         );
-        self.t += 1;
         let bias1 = 1.0 - self.beta1.powi(self.t as i32);
         let bias2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            let g = p.grad.as_slice();
-            let ms = m.as_mut_slice();
-            let vs = v.as_mut_slice();
-            let ps = p.value.as_mut_slice();
-            for i in 0..g.len() {
-                ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * g[i];
-                vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * g[i] * g[i];
-                let m_hat = ms[i] / bias1;
-                let v_hat = vs[i] / bias2;
-                ps[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
-            p.zero_grad();
+        let g = p.grad.as_slice();
+        let ms = m.as_mut_slice();
+        let vs = v.as_mut_slice();
+        let ps = p.value.as_mut_slice();
+        for i in 0..g.len() {
+            ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * g[i];
+            vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let m_hat = ms[i] / bias1;
+            let v_hat = vs[i] / bias2;
+            ps[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
+        p.zero_grad();
     }
 
     fn learning_rate(&self) -> f32 {
@@ -218,6 +251,44 @@ mod tests {
         p.grad.as_mut_slice()[0] = 1.0;
         Sgd::new(0.1, 0.5).step(&mut [&mut p]);
         assert_eq!(p.grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn per_param_path_matches_step_bitwise() {
+        let make_params = || {
+            vec![
+                Param::new(Tensor::from_vec(&[2], vec![3.0, -4.0]).expect("ok")),
+                Param::new(Tensor::from_vec(&[3], vec![1.0, 0.5, -2.0]).expect("ok")),
+            ]
+        };
+        let opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Sgd::new(0.1, 0.9)),
+            Box::new(Adam::new(0.05)),
+        ];
+        let opts2: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Sgd::new(0.1, 0.9)),
+            Box::new(Adam::new(0.05)),
+        ];
+        for (mut opt_a, mut opt_b) in opts.into_iter().zip(opts2) {
+            let mut pa = make_params();
+            let mut pb = make_params();
+            for _ in 0..3 {
+                for p in pa.iter_mut().chain(pb.iter_mut()) {
+                    p.grad = p.value.clone();
+                }
+                let mut refs: Vec<&mut Param> = pa.iter_mut().collect();
+                opt_a.step(&mut refs);
+                opt_b.begin_step();
+                for (i, p) in pb.iter_mut().enumerate() {
+                    opt_b.step_param(i, p);
+                }
+            }
+            for (a, b) in pa.iter().zip(&pb) {
+                for (x, y) in a.value.as_slice().iter().zip(b.value.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Reusable scratch arena for allocation-free steady-state compute.
+//!
+//! Every hot path in the workspace follows the same per-step pattern: it
+//! needs a handful of intermediate buffers (layer activations, im2col
+//! panels, gradients), uses them for exactly one step and then throws them
+//! away. [`Scratch`] turns that throwaway into recycling: buffers are
+//! `take`n from the arena, used, and `recycle`d back, so after a short
+//! warmup the per-step demand is served entirely from pooled capacity and
+//! the steady state performs **zero heap allocations** (the property the
+//! counting-allocator gate in `scripts/verify.sh` enforces).
+//!
+//! # Lifetime rules
+//!
+//! - A taken buffer is owned by the caller; the arena keeps no reference
+//!   to it. Dropping it instead of recycling is safe but leaks the reuse
+//!   opportunity (and, if done every step, re-introduces per-step
+//!   allocation).
+//! - `take` returns a zero-filled buffer of exactly the requested shape;
+//!   callers never observe stale contents.
+//! - Reuse is capacity-fit: a request is served by the first pooled buffer
+//!   whose capacity can hold it without reallocating. A step with a stable
+//!   take/recycle pattern therefore converges: once every demanded length
+//!   has been allocated at least once, no further allocation occurs.
+//! - The arena is not thread-safe by design (`&mut self` everywhere); each
+//!   worker owns its own arena, matching the one-arena-per-session model
+//!   of the serving runtime.
+
+use crate::tensor::Tensor;
+
+/// A pool of recycled [`Tensor`]s and raw `f32` buffers.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_tensor::scratch::Scratch;
+///
+/// let mut arena = Scratch::new();
+/// let t = arena.take(&[4, 4]);
+/// assert_eq!(t.len(), 16);
+/// arena.recycle(t);
+/// // The second take reuses the first tensor's allocation.
+/// let t2 = arena.take(&[2, 8]);
+/// assert_eq!(t2.shape(), &[2, 8]);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Scratch {
+    tensors: Vec<Tensor>,
+    bufs: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Number of pooled tensors plus raw buffers (diagnostics only).
+    pub fn pooled(&self) -> usize {
+        self.tensors.len() + self.bufs.len()
+    }
+
+    /// Takes a zero-filled tensor of the given shape, reusing a pooled
+    /// allocation when one with sufficient capacity exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid (empty or zero dimension).
+    pub fn take(&mut self, shape: &[usize]) -> Tensor {
+        let len: usize = shape.iter().product();
+        // Scan newest-first: the most recently recycled buffer is the most
+        // likely to still be cache-resident.
+        let slot = self
+            .tensors
+            .iter()
+            .rposition(|t| t.data_capacity() >= len.max(1));
+        match slot {
+            Some(i) => {
+                let mut t = self.tensors.swap_remove(i);
+                t.reuse(shape);
+                t
+            }
+            None => Tensor::zeros(shape),
+        }
+    }
+
+    /// Returns a tensor to the pool.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.tensors.push(tensor);
+    }
+
+    /// Takes a zero-filled raw buffer of exactly `len` elements.
+    pub fn take_buf(&mut self, len: usize) -> Vec<f32> {
+        let slot = self.bufs.iter().rposition(|b| b.capacity() >= len);
+        match slot {
+            Some(i) => {
+                let mut b = self.bufs.swap_remove(i);
+                b.clear();
+                b.resize(len, 0.0);
+                b
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a raw buffer to the pool.
+    pub fn put_buf(&mut self, buf: Vec<f32>) {
+        self.bufs.push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_after_recycle() {
+        let mut arena = Scratch::new();
+        let mut t = arena.take(&[3]);
+        t.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0]);
+        arena.recycle(t);
+        let t2 = arena.take(&[3]);
+        assert_eq!(t2.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn take_reuses_capacity() {
+        let mut arena = Scratch::new();
+        let t = arena.take(&[8]);
+        arena.recycle(t);
+        assert_eq!(arena.pooled(), 1);
+        let _t2 = arena.take(&[2, 2]);
+        assert_eq!(arena.pooled(), 0, "pooled tensor was reused, not copied");
+    }
+
+    #[test]
+    fn undersized_pool_entries_are_skipped() {
+        let mut arena = Scratch::new();
+        arena.recycle(Tensor::zeros(&[2]));
+        let big = arena.take(&[16]);
+        assert_eq!(big.len(), 16);
+        assert_eq!(arena.pooled(), 1, "small tensor stays pooled");
+    }
+
+    #[test]
+    fn raw_buffers_round_trip() {
+        let mut arena = Scratch::new();
+        let mut b = arena.take_buf(5);
+        b[0] = 9.0;
+        arena.put_buf(b);
+        let b2 = arena.take_buf(4);
+        assert_eq!(b2, vec![0.0; 4]);
+        assert_eq!(arena.pooled(), 0);
+    }
+}

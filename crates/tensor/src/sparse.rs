@@ -150,14 +150,28 @@ impl CsrMatrix {
             .map(|(&c, &v)| (c, v))
     }
 
-    /// Sparse matrix × dense vector.
+    /// Sparse matrix × dense vector, convenience wrapper that allocates
+    /// the result. Hot paths should use [`CsrMatrix::spmv_into`] with a
+    /// reused output buffer instead.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix × dense vector into a caller-provided buffer,
+    /// performing no heap allocation. Every element of `y` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
+        assert_eq!(y.len(), self.rows, "spmv output length mismatch");
         for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
@@ -165,7 +179,6 @@ impl CsrMatrix {
             }
             *out = acc;
         }
-        y
     }
 
     /// Reconstructs the dense tensor.
@@ -349,6 +362,17 @@ mod tests {
         let csr = CsrMatrix::from_dense(&dense);
         let y = csr.spmv(&[1.0, 2.0, 3.0]);
         assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn csr_spmv_into_overwrites_reused_buffer() {
+        let dense = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]).expect("ok");
+        let csr = CsrMatrix::from_dense(&dense);
+        let mut y = vec![99.0f32; 2];
+        csr.spmv_into(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![7.0, 6.0]);
+        csr.spmv_into(&[0.0, 0.0, 0.0], &mut y);
+        assert_eq!(y, vec![0.0, 0.0], "stale contents fully overwritten");
     }
 
     #[test]

@@ -377,6 +377,38 @@ impl Tensor {
     pub fn norm_sq(&self) -> f32 {
         self.data.iter().map(|&v| v * v).sum()
     }
+
+    /// Makes this tensor an exact copy of `src` (shape and data), reusing
+    /// the existing allocations whenever capacity suffices. The in-place
+    /// counterpart of `clone_from` for hot paths that cache inputs every
+    /// step.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Capacity of the backing allocation (used by the scratch arena's
+    /// capacity-fit reuse).
+    pub(crate) fn data_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Re-shapes this tensor in place to `shape`, zero-filling the data.
+    /// Reuses the existing allocations whenever their capacity suffices,
+    /// which is what makes arena reuse allocation-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid (empty or zero dimension).
+    pub(crate) fn reuse(&mut self, shape: &[usize]) {
+        let len = checked_len(shape).expect("invalid tensor shape");
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
 }
 
 fn checked_len(shape: &[usize]) -> Result<usize, ShapeError> {

@@ -5,20 +5,30 @@
 #   1. the hermetic release build;
 #   2. `cargo clippy --workspace -- -D warnings` (offline lint gate);
 #   3. the full workspace test suite;
-#   4. a smoke sweep of the `hotpaths` benchmark at EVLAB_THREADS ∈ {1, 2}
+#   4. the kernel bit-identity tests (tests/kernel_equivalence.rs):
+#      blocked GEMM and im2col conv2d forward/backward must reproduce
+#      their naive loop-nest oracles bit for bit, and Scratch-arena reuse
+#      must be invisible;
+#   5. a smoke sweep of the `hotpaths` benchmark at EVLAB_THREADS ∈ {1, 2}
 #      — the binary exits non-zero if any thread count produces output
-#      whose checksum differs from the serial run, so a determinism
-#      regression in any of the four parallelized hot paths fails here;
-#   5. a smoke run of `serve_bench` (4 concurrent sessions per paradigm,
+#      whose checksum differs from the serial run (the parallel hot
+#      paths), or if `gemm` vs `gemm_naive` / `conv_fwd` vs
+#      `conv_fwd_naive` checksums disagree (the blocked kernels). This
+#      run is built with `--features count-alloc`, which installs the
+#      counting global allocator: the binary additionally fails if any
+#      instrumented workload's steady-state allocation count exceeds
+#      the committed BENCH_alloc_budget.json (all zeros — the arena
+#      contract);
+#   6. a smoke run of `serve_bench` (4 concurrent sessions per paradigm,
 #      16-deep queues under 64-event bursts) — the binary exits non-zero
 #      unless load was actually shed AND decisions kept flowing, which is
 #      the serving runtime's graceful-degradation contract;
-#   6. a smoke run of `chaos_bench` (seeded fault injection: packet drop,
+#   7. a smoke run of `chaos_bench` (seeded fault injection: packet drop,
 #      AER bit corruption, timestamp jitter across all three paradigms) —
 #      the binary exits non-zero unless faults fired, the hardened
 #      ingress quarantined what it could not salvage, and every
 #      degradation curve is monotone non-increasing in the fault rate;
-#   7. a clippy gate denying `unwrap()`/`expect()` on the ingestion and
+#   8. a clippy gate denying `unwrap()`/`expect()` on the ingestion and
 #      serving crates — faults on those paths must surface as errors and
 #      quarantine counters, never as panics.
 #
@@ -54,9 +64,12 @@ chaos_out="$(mktemp /tmp/evlab_chaos_smoke.XXXXXX.json)"
 chaos_metrics="$(mktemp /tmp/evlab_chaos_obs.XXXXXX.json)"
 trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics" "$chaos_out" "$chaos_metrics"' EXIT
 
-echo "==> hotpaths smoke sweep (threads 1, 2; checksum-gated; obs on)"
-EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin hotpaths -- \
-    --smoke --out "$out" --metrics "$metrics"
+echo "==> kernel bit-identity tests (blocked kernels vs naive oracles)"
+cargo test -q --offline --test kernel_equivalence
+
+echo "==> hotpaths smoke sweep (threads 1, 2; checksum- and alloc-budget-gated; obs on)"
+EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --features count-alloc \
+    --bin hotpaths -- --smoke --out "$out" --metrics "$metrics"
 
 echo "==> obs_check: metrics parse + every pipeline stage reported activity"
 cargo run -q --release --offline -p evlab-bench --bin obs_check -- "$metrics"
@@ -90,4 +103,4 @@ echo "==> clippy panic gate: no unwrap/expect on ingestion and serving paths"
 cargo clippy -p evlab-events -p evlab-serve --no-deps --offline -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "==> OK: build, lints, tests, hot-path determinism, serving degradation, chaos degradation and observability all pass"
+echo "==> OK: build, lints, tests, kernel bit-identity, hot-path determinism, alloc budget, serving degradation, chaos degradation and observability all pass"

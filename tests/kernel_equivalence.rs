@@ -1,0 +1,146 @@
+//! Bit-identity tests for the cache-blocked kernels (DESIGN.md §10).
+//!
+//! The blocked GEMM and the im2col conv2d lowering promise the *exact*
+//! bits of their naive loop-nest oracles — per output element, products
+//! accumulate in ascending reduction order into a single f32 chain.
+//! These tests sweep that contract across awkward geometry (odd sizes,
+//! stride > 1, fat padding, 1×1 kernels) and seeded sparsity, and check
+//! that the [`Scratch`] arena's buffer reuse never leaks state between
+//! calls.
+
+use evlab::cnn::model::{build_cnn, CnnConfig};
+use evlab::tensor::gemm::{
+    conv2d_backward, conv2d_backward_naive, conv2d_forward, conv2d_forward_naive, gemm_into,
+    gemm_naive_into, ConvShape,
+};
+use evlab::tensor::{OpCount, Scratch, Tensor};
+use evlab::util::Rng64;
+
+fn rand_vec(rng: &mut Rng64, n: usize, zero_frac: f64) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            if rng.next_f64() < zero_frac {
+                0.0
+            } else {
+                rng.next_f32() - 0.5
+            }
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: blocked {x} vs naive {y}"
+        );
+    }
+}
+
+/// Geometry sweep: the two table1 conv layers plus stride-2, pad-2,
+/// 1×1-kernel and odd-sized shapes that hit every im2col edge case.
+fn shapes() -> Vec<ConvShape> {
+    let s = |ic, oc, k, st, p, h, w| ConvShape {
+        in_channels: ic,
+        out_channels: oc,
+        kernel: k,
+        stride: st,
+        padding: p,
+        in_h: h,
+        in_w: w,
+    };
+    vec![
+        s(2, 8, 3, 1, 1, 32, 32),  // table1 conv1
+        s(8, 16, 3, 1, 1, 16, 16), // table1 conv2
+        s(3, 5, 3, 2, 1, 11, 13),  // stride 2, odd dims
+        s(1, 4, 1, 1, 0, 7, 9),    // 1×1 kernel
+        s(2, 3, 5, 1, 2, 9, 9),    // 5×5 kernel, padding 2
+        s(4, 2, 3, 2, 2, 10, 7),   // stride 2 AND padding 2
+        s(1, 1, 3, 3, 1, 8, 8),    // stride 3, single channel
+    ]
+}
+
+#[test]
+fn conv2d_forward_blocked_matches_naive_bits() {
+    let mut rng = Rng64::seed_from_u64(0xC04F);
+    let mut scratch = Scratch::new();
+    for shape in shapes() {
+        for &zero_frac in &[0.0, 0.6, 0.95] {
+            let (oh, ow) = shape.out_hw();
+            let x = rand_vec(&mut rng, shape.in_channels * shape.in_h * shape.in_w, zero_frac);
+            let w = rand_vec(&mut rng, shape.out_channels * shape.col_rows(), 0.0);
+            let bias = rand_vec(&mut rng, shape.out_channels, 0.0);
+            let mut out_blocked = vec![0.0f32; shape.out_channels * oh * ow];
+            let mut out_naive = vec![0.0f32; shape.out_channels * oh * ow];
+            let eff_b = conv2d_forward(&shape, &x, &w, &bias, &mut out_blocked, &mut scratch);
+            let eff_n = conv2d_forward_naive(&shape, &x, &w, &bias, &mut out_naive);
+            assert_bits_eq(&out_blocked, &out_naive, "conv forward");
+            assert_eq!(eff_b, eff_n, "effective MAC counts diverge");
+        }
+    }
+}
+
+#[test]
+fn conv2d_backward_blocked_matches_naive_bits() {
+    let mut rng = Rng64::seed_from_u64(0xBAC4);
+    let mut scratch = Scratch::new();
+    for shape in shapes() {
+        let (oh, ow) = shape.out_hw();
+        let x = rand_vec(&mut rng, shape.in_channels * shape.in_h * shape.in_w, 0.5);
+        let w = rand_vec(&mut rng, shape.out_channels * shape.col_rows(), 0.0);
+        let g = rand_vec(&mut rng, shape.out_channels * oh * ow, 0.3);
+        // Gradients accumulate (`+=`), so seed both sides with identical
+        // nonzero contents to exercise that contract too.
+        let gi0 = rand_vec(&mut rng, shape.in_channels * shape.in_h * shape.in_w, 0.0);
+        let gw0 = rand_vec(&mut rng, shape.out_channels * shape.col_rows(), 0.0);
+        let gb0 = rand_vec(&mut rng, shape.out_channels, 0.0);
+        let (mut gi_b, mut gw_b, mut gb_b) = (gi0.clone(), gw0.clone(), gb0.clone());
+        let (mut gi_n, mut gw_n, mut gb_n) = (gi0, gw0, gb0);
+        conv2d_backward(&shape, &x, &w, &g, &mut gi_b, &mut gw_b, &mut gb_b, &mut scratch);
+        conv2d_backward_naive(&shape, &x, &w, &g, &mut gi_n, &mut gw_n, &mut gb_n);
+        assert_bits_eq(&gi_b, &gi_n, "grad input");
+        assert_bits_eq(&gw_b, &gw_n, "grad weight");
+        assert_bits_eq(&gb_b, &gb_n, "grad bias");
+    }
+}
+
+#[test]
+fn gemm_blocked_matches_naive_bits() {
+    let mut rng = Rng64::seed_from_u64(0x6E44);
+    let mut scratch = Scratch::new();
+    for &(m, n, k) in &[
+        (1usize, 1usize, 1usize),
+        (4, 8, 16),
+        (5, 9, 17),   // one past the 4×8 microkernel tile
+        (13, 21, 37), // ragged everywhere
+        (70, 33, 40), // crosses the row-panel (MC = 64) boundary
+    ] {
+        let a = rand_vec(&mut rng, m * k, 0.2);
+        let b = rand_vec(&mut rng, k * n, 0.2);
+        let mut c_blocked = rand_vec(&mut rng, m * n, 0.0);
+        let mut c_naive = c_blocked.clone(); // both accumulate (`+=`)
+        gemm_into(m, n, k, &a, &b, &mut c_blocked, &mut scratch);
+        gemm_naive_into(m, n, k, &a, k, 1, &b, n, 1, &mut c_naive);
+        assert_bits_eq(&c_blocked, &c_naive, "gemm");
+    }
+}
+
+/// Arena reuse must be invisible: repeated `forward_arena` calls through
+/// a recycled [`Scratch`] give bit-identical outputs, and those outputs
+/// equal the allocating `forward` path.
+#[test]
+fn scratch_arena_reuse_is_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0xA4E);
+    let mut net = build_cnn(&CnnConfig::small(2, 32, 10), &mut rng);
+    let x = Tensor::from_vec(&[2, 32, 32], rand_vec(&mut rng, 2 * 32 * 32, 0.8)).expect("shape");
+    let mut ops = OpCount::new();
+    let plain = net.forward(&x, &mut ops);
+    let mut arena = Scratch::new();
+    let first = net.forward_arena(&x, &mut arena, &mut ops);
+    let second = net.forward_arena(&x, &mut arena, &mut ops);
+    assert_bits_eq(plain.as_slice(), first.as_slice(), "arena vs plain forward");
+    assert_bits_eq(first.as_slice(), second.as_slice(), "arena reuse");
+    assert_eq!(first.shape(), plain.shape());
+}

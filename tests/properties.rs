@@ -142,6 +142,13 @@ fn csr_spmv_matches_dense() {
             let expected: f32 = (0..cols).map(|c| dense.at(&[r, c]) * x[c]).sum();
             assert!((yr - expected).abs() < 1e-4);
         }
+        // The buffer-reusing variant must overwrite stale contents and
+        // produce the exact same bits as the allocating wrapper.
+        let mut y_into = vec![f32::NAN; rows];
+        csr.spmv_into(&x, &mut y_into);
+        for (a, b) in y.iter().zip(&y_into) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }
 
