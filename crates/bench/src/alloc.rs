@@ -13,9 +13,12 @@
 //! The accounting therefore never perturbs default (timed) runs.
 //!
 //! Counting is process-global, so steady-state sections must not overlap
-//! with unrelated allocating work on other threads; the instrumented
-//! kernels are single-threaded, and `hotpaths` runs workloads one at a
-//! time, so this holds in practice.
+//! with unrelated allocating work on other threads. The instrumented
+//! kernels *are* multi-threaded now, but their workers draw from
+//! per-worker thread-local arenas warmed before [`snapshot`] (workloads
+//! warm up at the measured thread count first), and `hotpaths` runs
+//! workloads one at a time — so a nonzero delta always means a real
+//! steady-state allocation somewhere in the kernel, on any thread.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;

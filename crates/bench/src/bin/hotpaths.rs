@@ -1,22 +1,28 @@
 //! Std-only throughput benchmark for the parallelized hot paths (camera
 //! simulation, frame encoding, LIF stepping, graph construction) and the
-//! single-thread dense kernels (blocked GEMM, im2col conv2d, the
-//! arena-backed CNN training step).
+//! dense kernels (blocked GEMM, im2col conv2d, the arena-backed CNN
+//! training step) — the kernels are themselves panel/batch-parallel now,
+//! so they sweep thread counts like every other workload.
 //!
-//! Parallel workloads sweep `EVLAB_THREADS` ∈ {1, 2, 4, 8} (or {1, 2}
-//! with `--smoke`) via [`par::with_threads`]; kernel workloads run at one
-//! thread only (they are deliberately serial). Every (workload, threads)
-//! cell runs one untimed warmup followed by `reps` timed repetitions;
-//! min/median/max seconds are recorded and all derived numbers (
-//! `speedup_vs_serial`, `kernel_speedups`) use the median. Every output
-//! is fingerprinted with FNV-1a and the binary exits non-zero if
+//! Swept workloads run at `EVLAB_THREADS` ∈ {1, 2, 4, 8} (both full and
+//! `--smoke` scale — the kernel determinism gate in `scripts/verify.sh`
+//! relies on the smoke sweep) via [`par::with_threads`]; only the naive
+//! kernel baselines stay single-threaded by design. Every (workload,
+//! threads) cell runs one untimed warmup followed by `reps` timed
+//! repetitions; min/median/max seconds are recorded and all derived
+//! numbers (`speedup_vs_serial`, `kernel_speedups`) use the median.
+//! Every output is fingerprinted with FNV-1a and the binary exits
+//! non-zero if
 //!
 //! * any thread count produces a different checksum than the serial run
-//!   (the ordered-reduction determinism contract), or
+//!   (the ordered-reduction / fixed-panel-partition determinism
+//!   contract), or
 //! * `gemm` vs `gemm_naive` or `conv_fwd` vs `conv_fwd_naive` disagree
 //!   (the blocked kernels' summation-order contract), or
 //! * the `count-alloc` feature is compiled in and any workload's
-//!   steady-state allocation count exceeds `BENCH_alloc_budget.json`.
+//!   steady-state allocation count exceeds `BENCH_alloc_budget.json` —
+//!   the per-worker scratch arenas must keep the threaded steady state
+//!   allocation-free, not just the serial one.
 //!
 //! Usage: `hotpaths [--smoke] [--out PATH] [--metrics PATH]
 //! [--alloc-budget PATH]`
@@ -41,7 +47,7 @@ use evlab_snn::layer::LifLayer;
 use evlab_snn::network::{SnnConfig, SnnNetwork};
 use evlab_snn::neuron::LifConfig;
 use evlab_tensor::gemm::{conv2d_forward, conv2d_forward_naive, gemm_into, gemm_naive_into, ConvShape};
-use evlab_tensor::network::train_batch_arena;
+use evlab_tensor::network::BatchTrainer;
 use evlab_tensor::optim::Sgd;
 use evlab_tensor::{OpCount, Scratch, Tensor};
 use evlab_util::json::Json;
@@ -111,7 +117,10 @@ impl Scale {
             conv_iters: 30,
             cnn_batch: 4,
             cnn_steps: 5,
-            threads: vec![1, 2],
+            // The verify.sh smoke gate checks kernel determinism across
+            // the full thread sweep, so --smoke shrinks workload sizes
+            // but not the swept thread counts.
+            threads: vec![1, 2, 4, 8],
             reps: 2,
         }
     }
@@ -338,12 +347,16 @@ fn conv_workload(scale: &Scale, blocked: bool) -> (u64, u64) {
     (h.finish(), (scale.conv_iters + 1) as u64 * macs)
 }
 
-/// Steady-state training of the table1 dense CNN through the arena path:
-/// after two warmup batches (arena, optimizer state and layer caches all
-/// sized), the inner loop must not touch the heap at all.
+/// Steady-state training of the table1 dense CNN through the
+/// data-parallel [`BatchTrainer`]: after two warmup batches (replicas,
+/// per-replica arenas, optimizer state and staging all sized), the inner
+/// loop must not touch the heap at all — at any thread count. The
+/// trainer's fixed batch partition and ascending-chunk reductions make
+/// the checksum bit-identical across the thread sweep.
 fn cnn_step_workload(scale: &Scale) -> (u64, u64) {
     let mut rng = Rng64::seed_from_u64(66);
     let mut net = build_cnn(&CnnConfig::small(2, 32, 10), &mut rng);
+    let mut trainer = BatchTrainer::new();
     let mut optimizer = Sgd::new(0.01, 0.9);
     let mut arena = Scratch::new();
     let mut ops = OpCount::new();
@@ -357,12 +370,13 @@ fn cnn_step_workload(scale: &Scale) -> (u64, u64) {
         })
         .collect();
     for _ in 0..2 {
-        train_batch_arena(&mut net, &batch, &mut optimizer, &mut arena, &mut ops);
+        trainer.train_batch(&mut net, &batch, &mut optimizer, &mut arena, &mut ops);
     }
     let snap = alloc::snapshot();
     let mut h = Fnv1a::new();
     for _ in 0..scale.cnn_steps {
-        let (loss, acc) = train_batch_arena(&mut net, &batch, &mut optimizer, &mut arena, &mut ops);
+        let (loss, acc) =
+            trainer.train_batch(&mut net, &batch, &mut optimizer, &mut arena, &mut ops);
         h.write_f32(loss);
         h.write_f32(acc);
     }
@@ -451,8 +465,9 @@ fn main() -> Result<(), evlab_util::EvlabError> {
 
     type Workload = Box<dyn Fn() -> (u64, u64)>;
     let make_scale = || if smoke { Scale::smoke() } else { Scale::full() };
-    // (name, unit, sweeps-threads?, work). Kernel workloads are serial by
-    // design and only run at one thread.
+    // (name, unit, sweeps-threads?, work). Only the naive kernel
+    // baselines are serial by design; the blocked/batched kernels sweep
+    // thread counts under the bit-identity contract.
     let workloads: Vec<(&str, &str, bool, Workload)> = vec![
         (
             "camera",
@@ -493,7 +508,7 @@ fn main() -> Result<(), evlab_util::EvlabError> {
         (
             "gemm",
             "macs/s",
-            false,
+            true,
             Box::new({
                 let s = make_scale();
                 move || gemm_workload(&s, true)
@@ -511,7 +526,7 @@ fn main() -> Result<(), evlab_util::EvlabError> {
         (
             "conv_fwd",
             "macs/s",
-            false,
+            true,
             Box::new({
                 let s = make_scale();
                 move || conv_workload(&s, true)
@@ -529,7 +544,7 @@ fn main() -> Result<(), evlab_util::EvlabError> {
         (
             "cnn_step",
             "samples/s",
-            false,
+            true,
             Box::new({
                 let s = make_scale();
                 move || cnn_step_workload(&s)

@@ -99,12 +99,16 @@ impl TimeUnwrapper {
 /// A bounded-skew reorder buffer restoring monotone timestamps.
 ///
 /// Holds up to `skew_us` of event time: an event is released once the
-/// newest timestamp seen exceeds it by more than `skew_us`. Any input
-/// whose per-event displacement is bounded by `skew_us / 2` (so two
-/// events can cross by at most `skew_us`) comes out exactly time-sorted.
-/// Events older than the newest released timestamp are counted as late
-/// (`ingest.late_dropped`) and quarantined rather than emitted out of
-/// order.
+/// newest timestamp seen exceeds it by **at least** `skew_us`. The
+/// release watermark is `max_seen - skew_us`, and the boundary is
+/// *inclusive* — an event with `t == watermark` is delivered, not held
+/// (equivalently: an event is held only while `max_seen - t < skew_us`).
+/// Any input whose per-event displacement is bounded by `skew_us / 2`
+/// (so two events can cross by at most `skew_us`) comes out exactly
+/// time-sorted. Events older than the newest released timestamp are
+/// counted as late (`ingest.late_dropped`) and quarantined rather than
+/// emitted out of order; an event *equal* to the last released timestamp
+/// is not late (ties are legal and release FIFO).
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
     skew_us: u64,
@@ -173,9 +177,9 @@ impl ReorderBuffer {
         self.late_dropped
     }
 
-    /// Offers one event; ready events (older than `max_seen - skew`) are
-    /// appended to `out` in timestamp order. Returns how many were
-    /// released.
+    /// Offers one event; ready events — those at or below the watermark
+    /// `max_seen - skew_us` (inclusive boundary) — are appended to `out`
+    /// in timestamp order. Returns how many were released.
     pub fn push(&mut self, event: Event, out: &mut Vec<Event>) -> usize {
         let t = event.t.as_micros();
         if let Some(last) = self.last_released {
@@ -205,6 +209,9 @@ impl ReorderBuffer {
         let watermark = self.max_seen.saturating_sub(self.skew_us);
         let mut released = 0;
         while let Some(Reverse((t, _, _))) = self.heap.peek() {
+            // Inclusive boundary: `t == watermark` is delivered. Holding
+            // it would strand boundary events forever on streams whose
+            // inter-event gap equals the skew tolerance exactly.
             if *t > watermark {
                 break;
             }
@@ -276,6 +283,26 @@ mod tests {
         let ts: Vec<u64> = out.iter().map(|e| e.t.as_micros()).collect();
         assert_eq!(ts, vec![80, 90, 100, 120, 130, 140, 200]);
         assert_eq!(buf.late_dropped(), 0);
+    }
+
+    #[test]
+    fn event_exactly_at_watermark_is_released_not_held() {
+        let mut buf = ReorderBuffer::new(50);
+        let mut out = Vec::new();
+        buf.push(ev(100), &mut out);
+        assert!(out.is_empty(), "nothing older than skew yet");
+        // max_seen = 150 puts the watermark at exactly 100: the boundary
+        // is inclusive, so 100 must come out while 150 stays buffered.
+        let released = buf.push(ev(150), &mut out);
+        assert_eq!(released, 1);
+        assert_eq!(out[0].t.as_micros(), 100);
+        assert_eq!(buf.len(), 1, "150 itself is above the watermark");
+        // An event equal to the last released timestamp is a legal tie,
+        // not a late drop, and releases immediately (watermark is 100).
+        let released = buf.push(ev(100), &mut out);
+        assert_eq!(released, 1);
+        assert_eq!(buf.late_dropped(), 0);
+        assert_eq!(out[1].t.as_micros(), 100);
     }
 
     #[test]

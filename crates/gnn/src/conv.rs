@@ -14,8 +14,18 @@
 use crate::graph::EventGraph;
 use evlab_tensor::init::he_normal;
 use evlab_tensor::layer::Param;
+use evlab_tensor::scratch::with_worker_scratch;
 use evlab_tensor::{OpCount, Tensor};
-use evlab_util::Rng64;
+use evlab_util::{par, Rng64};
+
+/// Minimum nodes per chunk before the batch forward fans out over the
+/// kernel pool; tiny graphs stay serial.
+const GNN_NODES_PER_CHUNK: usize = 64;
+/// Upper bound on forward chunk count. Together with
+/// [`GNN_NODES_PER_CHUNK`] the chunk count depends only on the node count
+/// (never the thread count), keeping the output and op accounting bitwise
+/// invariant under `EVLAB_THREADS`.
+const GNN_MAX_CHUNKS: usize = 64;
 
 /// Per-node feature matrix: `node_count × dim`, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +138,8 @@ pub struct GraphConv {
     /// message passing allocates nothing per node.
     msg_buf: Vec<f32>,
     agg_buf: Vec<f32>,
+    /// Reused per-chunk op-count partials for the parallel batch forward.
+    ops_buf: Vec<OpCount>,
 }
 
 impl GraphConv {
@@ -151,6 +163,7 @@ impl GraphConv {
             mask_pool: None,
             msg_buf: Vec::new(),
             agg_buf: Vec::new(),
+            ops_buf: Vec::new(),
         }
     }
 
@@ -264,6 +277,13 @@ impl GraphConv {
     /// per-node message/aggregation buffers and the forward caches are
     /// reused across calls, so repeated forwards only allocate for the
     /// output features.
+    ///
+    /// Graphs with at least `2 ·` [`GNN_NODES_PER_CHUNK`] nodes fan node
+    /// bands out over the `evlab_util::par` kernel pool. Each node's
+    /// message is a self-contained computation writing a disjoint output
+    /// row, and the per-chunk op-count partials are merged in ascending
+    /// chunk order, so results are bitwise identical at every thread
+    /// count (and to the serial loop).
     pub fn forward(
         &mut self,
         graph: &EventGraph,
@@ -277,22 +297,73 @@ impl GraphConv {
         let mut mask = self.mask_pool.take().unwrap_or_default();
         mask.clear();
         mask.resize(n * self.out_dim, false);
-        let mut m = std::mem::take(&mut self.msg_buf);
-        let mut agg = std::mem::take(&mut self.agg_buf);
-        m.resize(self.out_dim, 0.0);
-        agg.resize(self.out_dim, 0.0);
-        for i in 0..n {
-            self.node_forward_into(graph, input, i, &mut m, &mut agg, ops);
-            let row = out.row_mut(i);
-            for (o, &v) in m.iter().enumerate() {
-                if v > 0.0 {
-                    row[o] = v;
-                    mask[i * self.out_dim + o] = true;
+        let n_chunks = par::chunk_count(n, GNN_NODES_PER_CHUNK, GNN_MAX_CHUNKS);
+        if n_chunks > 1 {
+            let mut ops_parts = std::mem::take(&mut self.ops_buf);
+            ops_parts.clear();
+            ops_parts.resize(n_chunks, OpCount::new());
+            let out_dim = self.out_dim;
+            let out_addr = out.data.as_mut_ptr() as usize;
+            let mask_addr = mask.as_mut_ptr() as usize;
+            let parts_addr = ops_parts.as_mut_ptr() as usize;
+            let this = &*self;
+            par::for_each_chunk(n_chunks, |c| {
+                // SAFETY: chunk ranges partition `0..n` into disjoint
+                // intervals, so each chunk exclusively owns its node rows
+                // of `out`/`mask` and its own `ops_parts[c]`; all three
+                // locals outlive the region, and `this` is a shared borrow
+                // (weights are only read).
+                let part = unsafe { &mut *(parts_addr as *mut OpCount).add(c) };
+                with_worker_scratch(|ws| {
+                    let mut m = ws.take_buf(out_dim);
+                    let mut agg = ws.take_buf(out_dim);
+                    for i in par::chunk_range_at(n, n_chunks, c) {
+                        this.node_forward_into(graph, input, i, &mut m, &mut agg, part);
+                        let (row, mrow) = unsafe {
+                            (
+                                std::slice::from_raw_parts_mut(
+                                    (out_addr as *mut f32).add(i * out_dim),
+                                    out_dim,
+                                ),
+                                std::slice::from_raw_parts_mut(
+                                    (mask_addr as *mut bool).add(i * out_dim),
+                                    out_dim,
+                                ),
+                            )
+                        };
+                        for (o, &v) in m.iter().enumerate() {
+                            if v > 0.0 {
+                                row[o] = v;
+                                mrow[o] = true;
+                            }
+                        }
+                    }
+                    ws.put_buf(agg);
+                    ws.put_buf(m);
+                });
+            });
+            for part in &ops_parts {
+                *ops += *part;
+            }
+            self.ops_buf = ops_parts;
+        } else {
+            let mut m = std::mem::take(&mut self.msg_buf);
+            let mut agg = std::mem::take(&mut self.agg_buf);
+            m.resize(self.out_dim, 0.0);
+            agg.resize(self.out_dim, 0.0);
+            for i in 0..n {
+                self.node_forward_into(graph, input, i, &mut m, &mut agg, ops);
+                let row = out.row_mut(i);
+                for (o, &v) in m.iter().enumerate() {
+                    if v > 0.0 {
+                        row[o] = v;
+                        mask[i * self.out_dim + o] = true;
+                    }
                 }
             }
+            self.msg_buf = m;
+            self.agg_buf = agg;
         }
-        self.msg_buf = m;
-        self.agg_buf = agg;
         ops.record_compare((n * self.out_dim) as u64);
         ops.record_write((n * self.out_dim) as u64);
         match self.input_pool.take() {
@@ -517,6 +588,53 @@ mod tests {
             out_slow.row(1),
             "Δt must influence features"
         );
+    }
+
+    #[test]
+    fn batch_forward_is_bitwise_invariant_across_thread_counts() {
+        // Enough nodes to clear GNN_NODES_PER_CHUNK and fan out.
+        let mut g = EventGraph::new(0.001);
+        for i in 0..(3 * GNN_NODES_PER_CHUNK as u64 + 7) {
+            let nbrs: Vec<u32> = (i.saturating_sub(3)..i).map(|j| j as u32).collect();
+            let pol = if i % 2 == 0 { Polarity::On } else { Polarity::Off };
+            g.push_node(Event::new(i * 50, (i % 64) as u16, (i % 48) as u16, pol), nbrs);
+        }
+        let input = NodeFeatures::from_graph(&g);
+        let mut rng = Rng64::seed_from_u64(7);
+        let mut conv = GraphConv::new(2, 8, &mut rng);
+
+        // Reference: the per-node serial formula (node_forward + ReLU).
+        let mut ops_ref = OpCount::new();
+        let mut expected = NodeFeatures::zeros(g.node_count(), 8);
+        for i in 0..g.node_count() {
+            let m = conv.node_forward(&g, &input, i, &mut ops_ref);
+            for (o, &v) in m.iter().enumerate() {
+                if v > 0.0 {
+                    expected.row_mut(i)[o] = v;
+                }
+            }
+        }
+
+        let mut baseline: Option<(Vec<u32>, OpCount)> = None;
+        for threads in [1, 2, 4, 8] {
+            evlab_util::par::with_threads(threads, || {
+                let mut ops = OpCount::new();
+                let out = conv.forward(&g, &input, &mut ops);
+                for i in 0..g.node_count() {
+                    for (a, b) in out.row(i).iter().zip(expected.row(i)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "node {i} at {threads} threads");
+                    }
+                }
+                let bits: Vec<u32> = out.data.iter().map(|v| v.to_bits()).collect();
+                match &baseline {
+                    None => baseline = Some((bits, ops)),
+                    Some((b_bits, b_ops)) => {
+                        assert_eq!(&bits, b_bits, "{threads} threads diverged");
+                        assert_eq!(&ops, b_ops, "op accounting diverged at {threads} threads");
+                    }
+                }
+            });
+        }
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub enum DropPolicy {
     /// `max_rate_eps` in event time, each admitted event spends one, and an
     /// empty bucket sheds the event. Overflow past the rate gate behaves
     /// like [`DropPolicy::DropNewest`].
+    ///
+    /// **Initial-budget contract:** the bucket starts *full* (`burst`
+    /// tokens), so a session admits up to `burst` events immediately. The
+    /// first offered event defines the refill epoch — it sees `dt = 0`
+    /// and earns no refill, regardless of its absolute timestamp. Time
+    /// before the session (a first event at t = 1 hour is not an hour of
+    /// banked credit) never refills the bucket.
     RateControl {
         /// Sustained admission rate in events/second (event time).
         max_rate_eps: f64,
@@ -144,6 +151,9 @@ impl BoundedQueue {
         }
         if let DropPolicy::RateControl { max_rate_eps, burst } = self.policy {
             let t = event.t.as_micros();
+            // First event: `last = t` makes dt zero, so the session starts
+            // from exactly `burst` tokens — the event's absolute timestamp
+            // grants no pre-session refill credit.
             let last = self.last_t.unwrap_or(t);
             let dt_sec = t.saturating_sub(last) as f64 * 1e-6;
             self.tokens = (self.tokens + dt_sec * max_rate_eps).min(burst as f64);
@@ -307,6 +317,51 @@ mod tests {
             q.offer(Event::new(10_001, 0, 0, Polarity::On), Instant::now()),
             Admission::RejectedRate,
             "backwards time must not double-refill the bucket"
+        );
+    }
+
+    #[test]
+    fn rate_control_bucket_starts_full_without_pre_session_credit() {
+        // The first event's absolute timestamp must not matter: whether
+        // the session starts at t = 0 or an hour in, exactly `burst`
+        // events are admitted before the first shed.
+        for t0 in [0u64, 3_600_000_000] {
+            let mut q = BoundedQueue::new(1024, DropPolicy::RateControl {
+                max_rate_eps: 1_000.0,
+                burst: 3,
+            });
+            for i in 0..3 {
+                assert!(
+                    q.offer(Event::new(t0, 0, 0, Polarity::On), Instant::now()).accepted(),
+                    "t0={t0}: initial burst event {i} must be admitted"
+                );
+            }
+            assert_eq!(
+                q.offer(Event::new(t0, 0, 0, Polarity::On), Instant::now()),
+                Admission::RejectedRate,
+                "t0={t0}: bucket holds exactly `burst` tokens at session start"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_control_first_event_defines_the_refill_epoch() {
+        // After the first event pins the epoch, refill accrues from it at
+        // max_rate_eps in event time: 1 kHz means one token per 1000 µs.
+        let t0 = 500_000u64;
+        let mut q = BoundedQueue::new(1024, DropPolicy::RateControl {
+            max_rate_eps: 1_000.0,
+            burst: 1,
+        });
+        assert!(q.offer(Event::new(t0, 0, 0, Polarity::On), Instant::now()).accepted());
+        assert_eq!(
+            q.offer(Event::new(t0 + 400, 0, 0, Polarity::On), Instant::now()),
+            Admission::RejectedRate,
+            "400 µs at 1 kHz is well under one token"
+        );
+        assert!(
+            q.offer(Event::new(t0 + 2_000, 0, 0, Polarity::On), Instant::now()).accepted(),
+            "two full refill intervals since the epoch earn an (burst-capped) token"
         );
     }
 

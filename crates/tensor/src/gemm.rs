@@ -2,10 +2,24 @@
 //!
 //! This is the dense compute core of the workspace: a std-only, BLIS-style
 //! tiled matrix multiply plus the im2col/col2im lowering that turns
-//! [`crate::layer::Conv2d`] into calls onto it. The design goal is the one
-//! Table I lives or dies by on a 1-core host: single-thread throughput via
-//! memory-access structure (packed panels, register tiles), not
-//! parallelism.
+//! [`crate::layer::Conv2d`] into calls onto it. Throughput comes from two
+//! independent levers: memory-access structure (packed panels, register
+//! tiles) and, for large enough problems, macro-panel parallelism over the
+//! `evlab_util::par` kernel pool.
+//!
+//! # Panel partitioning
+//!
+//! The parallel path partitions the *output* C into a fixed 2-D grid of
+//! `MC`-row × [`NBAND`]-column rectangles. The grid depends only on
+//! `(m, n)` — never on the thread count — and each rectangle runs the
+//! complete serial blocked nest (full ascending-k panel loop) on one pool
+//! worker, packing into that worker's thread-local arena
+//! ([`crate::scratch::with_worker_scratch`]). Because a rectangle owns
+//! every k-update of its output elements, spatial partitioning cannot
+//! perturb any per-element accumulation chain: results are bitwise
+//! identical at every `EVLAB_THREADS` value, and identical to the serial
+//! path. Problems below [`PAR_MIN_MACS`] (or with a single-rectangle
+//! grid) skip dispatch entirely and use the caller's scratch.
 //!
 //! # Summation-order contract
 //!
@@ -36,7 +50,9 @@
 //! far were `-0.0`. The property tests in `tests/kernel_equivalence.rs`
 //! sweep this empirically.
 
-use crate::scratch::Scratch;
+use crate::scratch::{with_worker_scratch, Scratch};
+use evlab_util::{obs, par};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Microkernel tile rows (output rows per register tile).
 pub const MR: usize = 4;
@@ -48,6 +64,15 @@ const MC: usize = 64;
 const KC: usize = 256;
 /// Columns of B per outer block.
 const NC: usize = 512;
+/// Column width of one parallel macro-panel of C (an `NR` multiple). The
+/// parallel grid is `ceil(m / MC) × ceil(n / NBAND)` rectangles — a
+/// function of the problem shape only, never of the thread count.
+pub const NBAND: usize = 64;
+/// Minimum `m·n·k` before a GEMM fans out to the kernel pool; below this
+/// the dispatch wakeup costs more than the multiply.
+const PAR_MIN_MACS: usize = 1 << 17;
+/// Minimum `col_rows · pixels` before the im2col lowering fans out.
+const IM2COL_PAR_MIN: usize = 1 << 14;
 
 /// `c[m × n] += a[m × k] · b[k × n]` for row-major contiguous operands.
 ///
@@ -98,31 +123,123 @@ pub fn gemm_strided_into(
         return;
     }
     assert!(c.len() >= m * n, "c too short for {m}x{n}");
-    let mut ap = scratch.take_buf(MC.min(m).div_ceil(MR) * MR * KC.min(k));
-    let mut bp = scratch.take_buf(NC.min(n).div_ceil(NR) * NR * KC.min(k));
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
+    obs::counter_add("tensor.gemm.calls", 1);
+    let col_bands = n.div_ceil(NBAND);
+    let n_chunks = m.div_ceil(MC) * col_bands;
+    if n_chunks > 1 && (m * n).saturating_mul(k) >= PAR_MIN_MACS {
+        obs::counter_add("tensor.gemm.par_chunks", n_chunks as u64);
+        let c_addr = c.as_mut_ptr() as usize;
+        par::for_each_chunk(n_chunks, |chunk| {
+            let ic0 = (chunk / col_bands) * MC;
+            let jc0 = (chunk % col_bands) * NBAND;
+            let mcw = MC.min(m - ic0);
+            let ncw = NBAND.min(n - jc0);
+            with_worker_scratch(|ws| {
+                // SAFETY: the chunk rectangles `[ic0, ic0+mcw) ×
+                // [jc0, jc0+ncw)` tile C disjointly (one rectangle per
+                // chunk index) and `gemm_panel` writes only inside its
+                // rectangle, so concurrent chunks never alias; the base
+                // pointer stays valid because `c` is mutably borrowed for
+                // the whole region.
+                unsafe {
+                    gemm_panel(
+                        mcw,
+                        ncw,
+                        k,
+                        a,
+                        a_rs,
+                        a_cs,
+                        b,
+                        b_rs,
+                        b_cs,
+                        c_addr as *mut f32,
+                        n,
+                        ic0,
+                        jc0,
+                        ws,
+                    );
+                }
+            });
+        });
+        return;
+    }
+    obs::counter_add("tensor.gemm.serial_calls", 1);
+    // SAFETY: the `&mut c` borrow gives exclusive access to the whole
+    // `m × n` rectangle.
+    unsafe {
+        gemm_panel(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c.as_mut_ptr(), n, 0, 0, scratch);
+    }
+}
+
+/// Runs the full blocked nest over the C rectangle
+/// `[ic0, ic0 + mcw) × [jc0, jc0 + ncw)` of an `ldc`-strided row-major
+/// output. The k loop always covers `0..k` in ascending `KC` panels, so
+/// each output element's accumulation chain is the sequential ascending-k
+/// chain regardless of how C was partitioned into rectangles — this is
+/// what makes the parallel grid bit-identical to the serial nest.
+///
+/// # Safety
+///
+/// `c` must be valid for exclusive reads and writes at every offset
+/// `(ic0 + i) * ldc + jc0 + j` with `i < mcw`, `j < ncw`, and `a`/`b`
+/// must cover the strided extents implied by `(mcw + ic0, ncw + jc0, k)`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_panel(
+    mcw: usize,
+    ncw: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: *mut f32,
+    ldc: usize,
+    ic0: usize,
+    jc0: usize,
+    scratch: &mut Scratch,
+) {
+    // bp is taken first and put back last (LIFO against the arena), so the
+    // capacity-fit pool re-pairs each request with the same buffer every
+    // call — zero allocations once warm.
+    let mut bp = scratch.take_buf(NC.min(ncw).div_ceil(NR) * NR * KC.min(k));
+    let mut ap = scratch.take_buf(MC.min(mcw).div_ceil(MR) * MR * KC.min(k));
+    for jc in (0..ncw).step_by(NC) {
+        let nc = NC.min(ncw - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(kc, nc, b, b_rs, b_cs, pc, jc, &mut bp);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(mc, kc, a, a_rs, a_cs, ic, pc, &mut ap);
+            pack_b(kc, nc, b, b_rs, b_cs, pc, jc0 + jc, &mut bp);
+            for ic in (0..mcw).step_by(MC) {
+                let mc = MC.min(mcw - ic);
+                pack_a(mc, kc, a, a_rs, a_cs, ic0 + ic, pc, &mut ap);
                 for jr in (0..nc).step_by(NR) {
                     let nr = NR.min(nc - jr);
                     let b_strip = &bp[(jr / NR) * NR * kc..][..NR * kc];
                     for ir in (0..mc).step_by(MR) {
                         let mr = MR.min(mc - ir);
                         let a_strip = &ap[(ir / MR) * MR * kc..][..MR * kc];
-                        let c_tile = &mut c[(ic + ir) * n + jc + jr..];
-                        microkernel(kc, a_strip, b_strip, c_tile, n, mr, nr);
+                        // SAFETY: the tile origin and its `mr × nr` extent
+                        // stay inside this panel's rectangle, which the
+                        // caller owns exclusively.
+                        unsafe {
+                            microkernel(
+                                kc,
+                                a_strip,
+                                b_strip,
+                                c.add((ic0 + ic + ir) * ldc + jc0 + jc + jr),
+                                ldc,
+                                mr,
+                                nr,
+                            );
+                        }
                     }
                 }
             }
         }
     }
-    scratch.put_buf(bp);
     scratch.put_buf(ap);
+    scratch.put_buf(bp);
 }
 
 /// Packs an `mc × kc` block of A into MR-wide column-major strips, zero
@@ -184,12 +301,19 @@ fn pack_b(
 /// The `MR × NR` register-tile microkernel: loads the live `mr × nr`
 /// sub-tile of C, accumulates `kc` rank-1 updates in ascending k into the
 /// per-element accumulators, and stores the live sub-tile back. Padded
-/// lanes compute garbage that is never stored.
-fn microkernel(
+/// lanes compute garbage that is never stored. C is addressed through a
+/// raw tile-origin pointer so that concurrent macro-panels of one output
+/// never materialize overlapping `&mut` slices.
+///
+/// # Safety
+///
+/// `c` must be valid for exclusive reads and writes at every offset
+/// `i * ldc + j` with `i < mr`, `j < nr`.
+unsafe fn microkernel(
     kc: usize,
     a_strip: &[f32],
     b_strip: &[f32],
-    c: &mut [f32],
+    c: *mut f32,
     ldc: usize,
     mr: usize,
     nr: usize,
@@ -197,7 +321,8 @@ fn microkernel(
     let mut acc = [[0.0f32; NR]; MR];
     for (i, row) in acc.iter_mut().enumerate().take(mr) {
         for (j, v) in row.iter_mut().enumerate().take(nr) {
-            *v = c[i * ldc + j];
+            // SAFETY: i < mr and j < nr, in the caller's guaranteed range.
+            *v = unsafe { *c.add(i * ldc + j) };
         }
     }
     for (av, bv) in a_strip
@@ -214,7 +339,8 @@ fn microkernel(
     }
     for (i, row) in acc.iter().enumerate().take(mr) {
         for (j, v) in row.iter().enumerate().take(nr) {
-            c[i * ldc + j] = *v;
+            // SAFETY: i < mr and j < nr, in the caller's guaranteed range.
+            unsafe { *c.add(i * ldc + j) = *v };
         }
     }
 }
@@ -338,54 +464,82 @@ impl ConvShape {
     }
 }
 
-/// Expands `x` (`[C, H, W]`) into the im2col matrix `col[t, p]` with
-/// `t = (ic·K + ky)·K + kx` and `p = oy·ow + ox`, zero-filling padded
-/// taps. Row index `t` ascending is exactly the naive nest's
-/// `(ic, ky, kx)` accumulation order, which is what lets the GEMM keep
-/// the summation-order contract.
-fn im2col(s: &ConvShape, x: &[f32], col: &mut [f32]) {
+/// Fills one im2col row `t = (ic·K + ky)·K + kx` (all `pixels` output
+/// positions for one kernel tap) and returns its non-zero count. Each row
+/// is an independent, disjoint slice of the col matrix — the unit of
+/// parallelism in [`im2col`].
+fn im2col_row(s: &ConvShape, x: &[f32], t: usize, row: &mut [f32]) -> u64 {
     let (oh, ow) = s.out_hw();
     let (h, w, k, st) = (s.in_h, s.in_w, s.kernel, s.stride);
     let p_off = s.padding as isize;
-    let mut t = 0;
-    for ic in 0..s.in_channels {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = &mut col[t * oh * ow..(t + 1) * oh * ow];
-                for oy in 0..oh {
-                    let iy = (oy * st) as isize + ky as isize - p_off;
-                    let out_row = &mut row[oy * ow..(oy + 1) * ow];
-                    if iy < 0 || iy >= h as isize {
-                        out_row.fill(0.0);
-                        continue;
-                    }
-                    let in_row = &x[(ic * h + iy as usize) * w..(ic * h + iy as usize + 1) * w];
-                    if st == 1 {
-                        // ix = ox + ix0 is contiguous: left pad, copy, right pad.
-                        let ix0 = kx as isize - p_off;
-                        let lo = (-ix0).clamp(0, ow as isize) as usize;
-                        let hi = (w as isize - ix0).clamp(0, ow as isize) as usize;
-                        out_row[..lo].fill(0.0);
-                        out_row[hi..].fill(0.0);
-                        if lo < hi {
-                            let src0 = (lo as isize + ix0) as usize;
-                            out_row[lo..hi].copy_from_slice(&in_row[src0..src0 + (hi - lo)]);
-                        }
-                    } else {
-                        for (ox, slot) in out_row.iter_mut().enumerate() {
-                            let ix = (ox * st) as isize + kx as isize - p_off;
-                            *slot = if ix < 0 || ix >= w as isize {
-                                0.0
-                            } else {
-                                in_row[ix as usize]
-                            };
-                        }
-                    }
-                }
-                t += 1;
+    let (ic, rem) = (t / (k * k), t % (k * k));
+    let (ky, kx) = (rem / k, rem % k);
+    for oy in 0..oh {
+        let iy = (oy * st) as isize + ky as isize - p_off;
+        let out_row = &mut row[oy * ow..(oy + 1) * ow];
+        if iy < 0 || iy >= h as isize {
+            out_row.fill(0.0);
+            continue;
+        }
+        let in_row = &x[(ic * h + iy as usize) * w..(ic * h + iy as usize + 1) * w];
+        if st == 1 {
+            // ix = ox + ix0 is contiguous: left pad, copy, right pad.
+            let ix0 = kx as isize - p_off;
+            let lo = (-ix0).clamp(0, ow as isize) as usize;
+            let hi = (w as isize - ix0).clamp(0, ow as isize) as usize;
+            out_row[..lo].fill(0.0);
+            out_row[hi..].fill(0.0);
+            if lo < hi {
+                let src0 = (lo as isize + ix0) as usize;
+                out_row[lo..hi].copy_from_slice(&in_row[src0..src0 + (hi - lo)]);
+            }
+        } else {
+            for (ox, slot) in out_row.iter_mut().enumerate() {
+                let ix = (ox * st) as isize + kx as isize - p_off;
+                *slot = if ix < 0 || ix >= w as isize {
+                    0.0
+                } else {
+                    in_row[ix as usize]
+                };
             }
         }
     }
+    row.iter().filter(|&&v| v != 0.0).count() as u64
+}
+
+/// Expands `x` (`[C, H, W]`) into the im2col matrix `col[t, p]` with
+/// `t = (ic·K + ky)·K + kx` and `p = oy·ow + ox`, zero-filling padded
+/// taps, and returns `nnz(col)`. Row index `t` ascending is exactly the
+/// naive nest's `(ic, ky, kx)` accumulation order, which is what lets the
+/// GEMM keep the summation-order contract.
+///
+/// Large lowerings fan the `t` rows out over the kernel pool: each row is
+/// a disjoint contiguous slice, and the nnz total is an integer sum —
+/// both invariant under the thread count.
+fn im2col(s: &ConvShape, x: &[f32], col: &mut [f32]) -> u64 {
+    let pixels = s.out_pixels();
+    let t_rows = s.col_rows();
+    if t_rows * pixels < IM2COL_PAR_MIN {
+        let mut nnz = 0u64;
+        for (t, row) in col.chunks_exact_mut(pixels).enumerate().take(t_rows) {
+            nnz += im2col_row(s, x, t, row);
+        }
+        return nnz;
+    }
+    obs::counter_add("tensor.conv.im2col_chunks", t_rows as u64);
+    let nnz = AtomicU64::new(0);
+    let col_addr = col.as_mut_ptr() as usize;
+    par::for_each_chunk(t_rows, |t| {
+        // SAFETY: row `t` is the disjoint slice `col[t*pixels..(t+1)*pixels]`
+        // (caller asserted `col.len() >= t_rows * pixels`), so concurrent
+        // chunks never alias; the base pointer stays valid because `col` is
+        // mutably borrowed for the whole region.
+        let row = unsafe {
+            std::slice::from_raw_parts_mut((col_addr as *mut f32).add(t * pixels), pixels)
+        };
+        nnz.fetch_add(im2col_row(s, x, t, row), Ordering::Relaxed);
+    });
+    nnz.into_inner()
 }
 
 /// Scatters `dcol[t, p]` back into the input gradient `gi` (`+=`), in
@@ -440,9 +594,9 @@ pub fn conv2d_forward(
     assert!(x.len() >= s.in_channels * s.in_h * s.in_w);
     assert!(w.len() >= s.out_channels * t_rows && bias.len() >= s.out_channels);
     assert!(out.len() >= s.out_channels * pixels);
+    obs::counter_add("tensor.conv.forward", 1);
     let mut col = scratch.take_buf(t_rows * pixels);
-    im2col(s, x, &mut col);
-    let nnz = col.iter().filter(|&&v| v != 0.0).count() as u64;
+    let nnz = im2col(s, x, &mut col);
     for (o, row) in out.chunks_exact_mut(pixels).enumerate().take(s.out_channels) {
         row.fill(bias[o]);
     }
@@ -529,6 +683,7 @@ pub fn conv2d_backward(
     assert!(g.len() >= s.out_channels * pixels);
     assert!(gi.len() >= s.in_channels * s.in_h * s.in_w);
     assert!(gw.len() >= s.out_channels * t_rows && gb.len() >= s.out_channels);
+    obs::counter_add("tensor.conv.backward", 1);
     let mut col = scratch.take_buf(t_rows * pixels);
     im2col(s, x, &mut col);
     for (o, grow) in g.chunks_exact(pixels).enumerate().take(s.out_channels) {

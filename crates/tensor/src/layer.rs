@@ -29,6 +29,25 @@ fn cache_shape(slot: &mut Option<Vec<usize>>, shape: &[usize]) {
     s.extend_from_slice(shape);
 }
 
+/// The forward-pass cache of `layer`, or a panic naming the layer:
+/// calling backward before forward is a caller bug, and the failure
+/// should identify the offending layer rather than an anonymous unwrap.
+fn cached<'a, T>(slot: &'a Option<T>, layer: &str) -> &'a T {
+    match slot {
+        Some(v) => v,
+        None => panic!("{layer}: backward without forward"),
+    }
+}
+
+/// Unwraps a shape-checked tensor operation whose shapes agree by
+/// construction (e.g. a reshape to the recorded input length).
+fn shaped(result: Result<Tensor, crate::tensor::ShapeError>, what: &str) -> Tensor {
+    match result {
+        Ok(t) => t,
+        Err(e) => panic!("{what}: {e:?}"),
+    }
+}
+
 /// A trainable parameter: value plus accumulated gradient.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
@@ -241,10 +260,7 @@ impl Linear {
 
     /// Shared backward body accumulating into `grad_input` (pre-zeroed).
     fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ops: &mut OpCount) {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward without forward");
+        let input = cached(&self.cached_input, "linear");
         assert_eq!(grad_output.len(), self.out_features);
         let g = grad_output.as_slice();
         let x = input.as_slice();
@@ -447,10 +463,7 @@ impl Conv2d {
         scratch: &mut Scratch,
         ops: &mut OpCount,
     ) {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward without forward");
+        let input = cached(&self.cached_input, "conv2d");
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let (oh, ow) = self.out_hw(h, w);
         assert_eq!(grad_output.shape(), &[self.out_channels, oh, ow]);
@@ -494,12 +507,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor, ops: &mut OpCount) -> Tensor {
-        let input_shape = self
-            .cached_input
-            .as_ref()
-            .expect("backward without forward")
-            .shape()
-            .to_vec();
+        let input_shape = cached(&self.cached_input, "conv2d").shape().to_vec();
         let mut grad_input = Tensor::zeros(&input_shape);
         let mut scratch = std::mem::take(&mut self.scratch);
         self.backward_into(grad_output, &mut grad_input, &mut scratch, ops);
@@ -514,10 +522,7 @@ impl Layer for Conv2d {
         ops: &mut OpCount,
     ) -> Tensor {
         let mut grad_input = {
-            let input = self
-                .cached_input
-                .as_ref()
-                .expect("backward without forward");
+            let input = cached(&self.cached_input, "conv2d");
             let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
             arena.take(&[c, h, w])
         };
@@ -589,7 +594,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _ops: &mut OpCount) -> Tensor {
-        let mask = self.mask.as_ref().expect("backward without forward");
+        let mask = cached(&self.mask, "relu");
         assert_eq!(grad_output.len(), mask.len());
         let data = grad_output
             .as_slice()
@@ -597,7 +602,7 @@ impl Layer for Relu {
             .zip(mask)
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
-        Tensor::from_vec(grad_output.shape(), data).expect("same shape")
+        shaped(Tensor::from_vec(grad_output.shape(), data), "relu grad")
     }
 
     fn backward_arena(
@@ -606,7 +611,7 @@ impl Layer for Relu {
         arena: &mut Scratch,
         _ops: &mut OpCount,
     ) -> Tensor {
-        let mask = self.mask.as_ref().expect("backward without forward");
+        let mask = cached(&self.mask, "relu");
         assert_eq!(grad_output.len(), mask.len());
         let mut grad_input = arena.take(grad_output.shape());
         for ((o, &g), &m) in grad_input
@@ -719,8 +724,8 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _ops: &mut OpCount) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("backward without forward");
-        let input_shape = self.input_shape.as_ref().expect("forward first");
+        let argmax = cached(&self.argmax, "maxpool2d");
+        let input_shape = cached(&self.input_shape, "maxpool2d");
         let mut grad_input = Tensor::zeros(input_shape);
         let gi = grad_input.as_mut_slice();
         for (o, &src) in grad_output.as_slice().iter().zip(argmax) {
@@ -735,8 +740,8 @@ impl Layer for MaxPool2d {
         arena: &mut Scratch,
         _ops: &mut OpCount,
     ) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("backward without forward");
-        let input_shape = self.input_shape.as_ref().expect("forward first");
+        let argmax = cached(&self.argmax, "maxpool2d");
+        let input_shape = cached(&self.input_shape, "maxpool2d");
         let mut grad_input = arena.take(input_shape);
         let gi = grad_input.as_mut_slice();
         for (o, &src) in grad_output.as_slice().iter().zip(argmax) {
@@ -774,7 +779,7 @@ impl Flatten {
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _ops: &mut OpCount) -> Tensor {
         cache_shape(&mut self.input_shape, input.shape());
-        input.reshaped(&[input.len()]).expect("same length")
+        shaped(input.reshaped(&[input.len()]), "flatten")
     }
 
     fn forward_arena(&mut self, input: &Tensor, arena: &mut Scratch, _ops: &mut OpCount) -> Tensor {
@@ -785,8 +790,8 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _ops: &mut OpCount) -> Tensor {
-        let shape = self.input_shape.as_ref().expect("forward first");
-        grad_output.reshaped(shape).expect("same length")
+        let shape = cached(&self.input_shape, "flatten");
+        shaped(grad_output.reshaped(shape), "flatten grad")
     }
 
     fn backward_arena(
@@ -795,7 +800,7 @@ impl Layer for Flatten {
         arena: &mut Scratch,
         _ops: &mut OpCount,
     ) -> Tensor {
-        let shape = self.input_shape.as_ref().expect("forward first");
+        let shape = cached(&self.input_shape, "flatten");
         let mut grad_input = arena.take(shape);
         grad_input
             .as_mut_slice()

@@ -13,8 +13,10 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     let max = logits.max();
     let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    Tensor::from_vec(logits.shape(), exps.into_iter().map(|e| e / sum).collect())
-        .expect("same shape")
+    match Tensor::from_vec(logits.shape(), exps.into_iter().map(|e| e / sum).collect()) {
+        Ok(t) => t,
+        Err(e) => panic!("softmax shape: {e:?}"),
+    }
 }
 
 /// Softmax cross-entropy against a class index.

@@ -6,6 +6,7 @@ use crate::loss::{cross_entropy, cross_entropy_arena};
 use crate::optim::Optimizer;
 use crate::scratch::Scratch;
 use crate::tensor::Tensor;
+use evlab_util::par;
 
 /// A stack of layers applied in order.
 ///
@@ -284,6 +285,177 @@ pub fn train_batch(
     (loss_sum * scale, correct as f32 * scale)
 }
 
+/// Upper bound on batch-parallel model replicas. Chunk count depends only
+/// on the batch size (never the thread count), which is what makes
+/// [`BatchTrainer::train_batch`] bitwise invariant under `EVLAB_THREADS`.
+const MAX_BATCH_CHUNKS: usize = 8;
+
+/// One model replica used by [`BatchTrainer`]: a clone of the network plus
+/// its private arena and per-batch accumulators.
+struct Replica {
+    net: Sequential,
+    arena: Scratch,
+    ops: OpCount,
+    loss: f32,
+    correct: usize,
+}
+
+// `Replica` values are mutated from kernel-pool workers through raw
+// pointers; this compile-time check keeps that sound (it holds because
+// `Layer: Send`).
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<Replica>();
+
+/// Data-parallel batch trainer: fans the samples of a batch across up to
+/// [`MAX_BATCH_CHUNKS`] model replicas on the `evlab_util::par` kernel
+/// pool, then reduces losses, op counts and gradients in ascending chunk
+/// order and applies one optimizer step to the master network.
+///
+/// # Determinism contract
+///
+/// The chunk count is a function of the batch size only, and every
+/// reduction (loss, accuracy, op counters, per-parameter gradient sums)
+/// runs in ascending chunk order on the caller's thread — so results are
+/// **bitwise identical for every `EVLAB_THREADS` value**. They are *not*
+/// bitwise identical to [`train_batch_arena`]'s single-chain gradient
+/// accumulation (the reduction tree differs: per-chunk partial sums are
+/// combined chunk-by-chunk instead of sample-by-sample); batches small
+/// enough for a single chunk delegate to [`train_batch_arena`] and match
+/// it exactly.
+///
+/// Replicas and the parameter staging buffer are retained across calls,
+/// so steady-state training performs zero heap allocations.
+#[derive(Default)]
+pub struct BatchTrainer {
+    replicas: Vec<Replica>,
+    staging: Vec<f32>,
+}
+
+impl BatchTrainer {
+    /// Creates a trainer with no replicas; they are built lazily (by
+    /// cloning the master network) on the first multi-chunk batch.
+    pub fn new() -> Self {
+        BatchTrainer::default()
+    }
+
+    /// Number of retained model replicas (diagnostics only).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// [`train_batch_arena`] with the per-sample forward/backward passes
+    /// fanned across model replicas. Returns mean loss and accuracy; see
+    /// the type-level docs for the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty.
+    pub fn train_batch(
+        &mut self,
+        net: &mut Sequential,
+        batch: &[(Tensor, usize)],
+        optimizer: &mut dyn Optimizer,
+        arena: &mut Scratch,
+        ops: &mut OpCount,
+    ) -> (f32, f32) {
+        assert!(!batch.is_empty(), "empty batch");
+        let n_chunks = par::chunk_count(batch.len(), 1, MAX_BATCH_CHUNKS);
+        if n_chunks <= 1 {
+            return train_batch_arena(net, batch, optimizer, arena, ops);
+        }
+        let BatchTrainer { replicas, staging } = self;
+
+        // Push master parameters into every participating replica and
+        // reset the per-batch accumulators.
+        staging.clear();
+        net.visit_params(&mut |p| staging.extend_from_slice(p.value.as_slice()));
+        while replicas.len() < n_chunks {
+            replicas.push(Replica {
+                net: net.clone(),
+                arena: Scratch::new(),
+                ops: OpCount::new(),
+                loss: 0.0,
+                correct: 0,
+            });
+        }
+        for r in replicas[..n_chunks].iter_mut() {
+            let mut off = 0usize;
+            r.net.visit_params(&mut |p| {
+                let len = p.value.len();
+                p.value
+                    .as_mut_slice()
+                    .copy_from_slice(&staging[off..off + len]);
+                p.zero_grad();
+                off += len;
+            });
+            r.ops = OpCount::new();
+            r.loss = 0.0;
+            r.correct = 0;
+        }
+
+        // Fan the batch out: chunk c accumulates its contiguous sample
+        // range into replica c.
+        let reps_addr = replicas.as_mut_ptr() as usize;
+        par::for_each_chunk(n_chunks, |c| {
+            // SAFETY: chunk indices are distinct and `c < n_chunks <=
+            // replicas.len()`, so each chunk takes an exclusive reference
+            // to its own replica; `replicas` is mutably borrowed (and not
+            // otherwise touched) for the whole region, and `Replica: Send`
+            // is asserted above.
+            let r = unsafe { &mut *(reps_addr as *mut Replica).add(c) };
+            let range = par::chunk_range_at(batch.len(), n_chunks, c);
+            for (input, label) in &batch[range] {
+                let s = accumulate_classification_step_arena(
+                    &mut r.net, input, *label, &mut r.arena, &mut r.ops,
+                );
+                r.loss += s.loss;
+                if s.correct {
+                    r.correct += 1;
+                }
+            }
+        });
+
+        // Ascending-chunk reductions (deterministic regardless of which
+        // worker ran which chunk).
+        let mut loss_sum = 0.0f32;
+        let mut correct = 0usize;
+        for r in &replicas[..n_chunks] {
+            loss_sum += r.loss;
+            correct += r.correct;
+            *ops += r.ops;
+        }
+        staging.iter_mut().for_each(|v| *v = 0.0);
+        for r in replicas[..n_chunks].iter_mut() {
+            let mut off = 0usize;
+            r.net.visit_params(&mut |p| {
+                let len = p.grad.len();
+                for (s, g) in staging[off..off + len].iter_mut().zip(p.grad.as_slice()) {
+                    *s += g;
+                }
+                off += len;
+            });
+        }
+
+        // Apply the summed gradients through the master network, mirroring
+        // `train_batch_arena`'s tail (scale, then per-param visitor step).
+        let scale = 1.0 / batch.len() as f32;
+        optimizer.begin_step();
+        let mut index = 0usize;
+        let mut off = 0usize;
+        net.visit_params(&mut |p| {
+            let len = p.grad.len();
+            p.grad
+                .as_mut_slice()
+                .copy_from_slice(&staging[off..off + len]);
+            p.grad.scale_assign(scale);
+            optimizer.step_param(index, p);
+            index += 1;
+            off += len;
+        });
+        (loss_sum * scale, correct as f32 * scale)
+    }
+}
+
 /// Evaluates classification accuracy over a dataset.
 pub fn evaluate(
     net: &mut Sequential,
@@ -396,6 +568,100 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn batch_trainer_is_bitwise_invariant_across_thread_counts() {
+        let build = || {
+            let mut rng = Rng64::seed_from_u64(21);
+            let mut net = Sequential::new();
+            net.push(Linear::new(2, 8, &mut rng));
+            net.push(Relu::new());
+            net.push(Linear::new(8, 2, &mut rng));
+            net
+        };
+        let mut rng = Rng64::seed_from_u64(22);
+        let batch = toy_dataset(&mut rng, 24);
+        let run = |threads: usize| {
+            evlab_util::par::with_threads(threads, || {
+                let mut net = build();
+                let mut trainer = BatchTrainer::new();
+                let mut opt = Sgd::new(0.2, 0.9);
+                let mut arena = Scratch::new();
+                let mut ops = OpCount::new();
+                let mut stats = (0.0f32, 0.0f32);
+                for _ in 0..3 {
+                    stats = trainer.train_batch(&mut net, &batch, &mut opt, &mut arena, &mut ops);
+                }
+                let bits: Vec<u32> = net
+                    .params_mut()
+                    .iter()
+                    .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+                    .collect();
+                (stats.0.to_bits(), stats.1.to_bits(), bits, ops)
+            })
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), base, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_trainer_delegates_single_chunk_batches_bitwise() {
+        let build = || {
+            let mut rng = Rng64::seed_from_u64(31);
+            let mut net = Sequential::new();
+            net.push(Linear::new(2, 4, &mut rng));
+            net.push(Relu::new());
+            net.push(Linear::new(4, 2, &mut rng));
+            net
+        };
+        let mut rng = Rng64::seed_from_u64(32);
+        let batch = toy_dataset(&mut rng, 1);
+        let mut net_a = build();
+        let mut net_b = build();
+        let mut opt_a = Sgd::new(0.2, 0.0);
+        let mut opt_b = Sgd::new(0.2, 0.0);
+        let mut arena_a = Scratch::new();
+        let mut arena_b = Scratch::new();
+        let mut ops_a = OpCount::new();
+        let mut ops_b = OpCount::new();
+        let mut trainer = BatchTrainer::new();
+        let (la, aa) = trainer.train_batch(&mut net_a, &batch, &mut opt_a, &mut arena_a, &mut ops_a);
+        let (lb, ab) = train_batch_arena(&mut net_b, &batch, &mut opt_b, &mut arena_b, &mut ops_b);
+        assert_eq!(la.to_bits(), lb.to_bits());
+        assert_eq!(aa, ab);
+        assert_eq!(ops_a, ops_b);
+        assert_eq!(trainer.replica_count(), 0, "no replicas built for one chunk");
+        for (a, b) in net_a.params_mut().iter().zip(&net_b.params_mut()) {
+            for (x, y) in a.value.as_slice().iter().zip(b.value.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_trainer_still_learns() {
+        let mut rng = Rng64::seed_from_u64(41);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(8, 2, &mut rng));
+        let train = toy_dataset(&mut rng, 200);
+        let test = toy_dataset(&mut rng, 100);
+        let mut trainer = BatchTrainer::new();
+        let mut opt = Sgd::new(0.5, 0.9);
+        let mut arena = Scratch::new();
+        let mut ops = OpCount::new();
+        for _ in 0..30 {
+            for chunk in train.chunks(20) {
+                trainer.train_batch(&mut net, chunk, &mut opt, &mut arena, &mut ops);
+            }
+        }
+        let acc = evaluate(&mut net, &test, &mut ops);
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert!(trainer.replica_count() > 1, "batch was fanned out");
     }
 
     #[test]

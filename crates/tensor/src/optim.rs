@@ -96,10 +96,9 @@ impl Optimizer for Sgd {
             if index == self.velocity.len() {
                 self.velocity.push(Tensor::zeros(p.value.shape()));
             }
-            let v = self
-                .velocity
-                .get_mut(index)
-                .expect("parameter list changed between steps");
+            let Some(v) = self.velocity.get_mut(index) else {
+                panic!("parameter list changed between steps");
+            };
             assert_eq!(
                 v.shape(),
                 p.value.shape(),
@@ -168,14 +167,9 @@ impl Optimizer for Adam {
             self.m.push(Tensor::zeros(p.value.shape()));
             self.v.push(Tensor::zeros(p.value.shape()));
         }
-        let m = self
-            .m
-            .get_mut(index)
-            .expect("parameter list changed between steps");
-        let v = self
-            .v
-            .get_mut(index)
-            .expect("parameter list changed between steps");
+        let (Some(m), Some(v)) = (self.m.get_mut(index), self.v.get_mut(index)) else {
+            panic!("parameter list changed between steps");
+        };
         assert_eq!(
             m.shape(),
             p.value.shape(),

@@ -22,10 +22,13 @@
 //!   take/recycle pattern therefore converges: once every demanded length
 //!   has been allocated at least once, no further allocation occurs.
 //! - The arena is not thread-safe by design (`&mut self` everywhere); each
-//!   worker owns its own arena, matching the one-arena-per-session model
-//!   of the serving runtime.
+//!   worker owns its own arena. Code that runs on the `evlab_util::par`
+//!   kernel pool gets one via [`with_worker_scratch`] (a thread-local
+//!   arena per pool worker, reused across parallel regions); the serving
+//!   runtime keeps one arena per session.
 
 use crate::tensor::Tensor;
+use std::cell::Cell;
 
 /// A pool of recycled [`Tensor`]s and raw `f32` buffers.
 ///
@@ -106,6 +109,33 @@ impl Scratch {
     pub fn put_buf(&mut self, buf: Vec<f32>) {
         self.bufs.push(buf);
     }
+}
+
+thread_local! {
+    /// One arena per OS thread, serving the parallel kernels. Kernel pool
+    /// workers are long-lived, and chunk→worker assignment in
+    /// `par::for_each_chunk` is static (residue classes of the chunk
+    /// index), so each worker's arena converges during warmup exactly as a
+    /// single-threaded arena would — this is what keeps the threaded
+    /// steady state at zero heap allocations.
+    static WORKER_ARENA: Cell<Option<Scratch>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with this thread's kernel arena — the per-worker scratch used
+/// by the parallelized GEMM/conv/graph kernels. The arena persists for
+/// the thread's lifetime, so repeated parallel regions reuse its buffers.
+///
+/// Reentrant calls (possible only if a kernel chunk itself called back
+/// into a parallel kernel) see a fresh temporary arena instead of the
+/// parked one: correct, but allocating — kernels therefore never nest
+/// `with_worker_scratch` on purpose.
+pub fn with_worker_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    WORKER_ARENA.with(|slot| {
+        let mut arena = slot.take().unwrap_or_default();
+        let r = f(&mut arena);
+        slot.set(Some(arena));
+        r
+    })
 }
 
 #[cfg(test)]

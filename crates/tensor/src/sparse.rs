@@ -13,6 +13,14 @@
 //! experiments.
 
 use crate::tensor::Tensor;
+use evlab_util::par;
+
+/// Minimum rows per chunk before `spmv_into` fans rows out over the
+/// kernel pool; below this, per-chunk dispatch overhead dominates.
+const SPMV_ROWS_PER_CHUNK: usize = 512;
+/// Upper bound on spmv chunk count (bounds dispatch overhead for huge
+/// matrices).
+const SPMV_MAX_CHUNKS: usize = 64;
 
 /// Compressed sparse row matrix.
 ///
@@ -166,15 +174,43 @@ impl CsrMatrix {
     /// Sparse matrix × dense vector into a caller-provided buffer,
     /// performing no heap allocation. Every element of `y` is overwritten.
     ///
+    /// Large matrices fan row bands out over the `evlab_util::par` kernel
+    /// pool. Each row's accumulation is a self-contained ascending-column
+    /// chain and each band is a disjoint contiguous slice of `y`, so the
+    /// result is bitwise identical at every thread count (and to the
+    /// serial loop).
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols` or `y.len() != rows`.
     pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
         assert_eq!(y.len(), self.rows, "spmv output length mismatch");
-        for (r, out) in y.iter_mut().enumerate() {
+        let n_chunks = par::chunk_count(self.rows, SPMV_ROWS_PER_CHUNK, SPMV_MAX_CHUNKS);
+        if n_chunks <= 1 {
+            self.spmv_rows(x, y, 0);
+            return;
+        }
+        let y_addr = y.as_mut_ptr() as usize;
+        par::for_each_chunk(n_chunks, |c| {
+            let std::ops::Range { start: lo, end: hi } =
+                par::chunk_range_at(self.rows, n_chunks, c);
+            // SAFETY: chunk ranges partition `0..rows` into disjoint
+            // half-open intervals, so each band `y[lo..hi]` is written by
+            // exactly one chunk; the base pointer outlives the region
+            // because `y` is mutably borrowed for all of `spmv_into`.
+            let band =
+                unsafe { std::slice::from_raw_parts_mut((y_addr as *mut f32).add(lo), hi - lo) };
+            self.spmv_rows(x, band, lo);
+        });
+    }
+
+    /// Serial spmv over the row band starting at `row0`, writing
+    /// `band[i] = row (row0 + i) · x`.
+    fn spmv_rows(&self, x: &[f32], band: &mut [f32], row0: usize) {
+        for (i, out) in band.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for (c, v) in self.row(r) {
+            for (c, v) in self.row(row0 + i) {
                 acc += v * x[c as usize];
             }
             *out = acc;
@@ -362,6 +398,39 @@ mod tests {
         let csr = CsrMatrix::from_dense(&dense);
         let y = csr.spmv(&[1.0, 2.0, 3.0]);
         assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn csr_spmv_parallel_path_matches_serial_bitwise() {
+        // Large enough to clear SPMV_ROWS_PER_CHUNK and fan out.
+        let (rows, cols) = (2 * SPMV_ROWS_PER_CHUNK + 17, 64);
+        let mut csr = CsrMatrix::with_shape(0, cols);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..rows {
+            let mut entries: Vec<(u32, f32)> = Vec::new();
+            for c in 0..cols as u32 {
+                if next() % 3 == 0 {
+                    entries.push((c, (next() % 1000) as f32 / 250.0 - 2.0));
+                }
+            }
+            csr.push_row(&entries);
+        }
+        let x: Vec<f32> = (0..cols).map(|i| (i as f32).sin()).collect();
+        let mut serial = vec![0.0f32; rows];
+        csr.spmv_rows(&x, &mut serial, 0);
+        for threads in [1, 2, 4, 8] {
+            evlab_util::par::with_threads(threads, || {
+                let mut y = vec![0.0f32; rows];
+                csr.spmv_into(&x, &mut y);
+                for (r, (a, b)) in y.iter().zip(&serial).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r} at {threads} threads");
+                }
+            });
+        }
     }
 
     #[test]

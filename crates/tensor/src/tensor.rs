@@ -58,7 +58,10 @@ impl Tensor {
     /// Panics if the shape has a zero dimension; use [`Tensor::try_zeros`]
     /// for untrusted shapes.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self::try_zeros(shape).expect("invalid tensor shape")
+        match Self::try_zeros(shape) {
+            Ok(t) => t,
+            Err(e) => panic!("invalid tensor shape: {e:?}"),
+        }
     }
 
     /// Fallible [`Tensor::zeros`] for untrusted shapes.
@@ -82,7 +85,10 @@ impl Tensor {
     /// Panics if the shape has a zero dimension; use
     /// [`Tensor::try_filled`] for untrusted shapes.
     pub fn filled(shape: &[usize], value: f32) -> Self {
-        Self::try_filled(shape, value).expect("invalid tensor shape")
+        match Self::try_filled(shape, value) {
+            Ok(t) => t,
+            Err(e) => panic!("invalid tensor shape: {e:?}"),
+        }
     }
 
     /// Fallible [`Tensor::filled`] for untrusted shapes.
@@ -403,7 +409,10 @@ impl Tensor {
     ///
     /// Panics if the shape is invalid (empty or zero dimension).
     pub(crate) fn reuse(&mut self, shape: &[usize]) {
-        let len = checked_len(shape).expect("invalid tensor shape");
+        let len = match checked_len(shape) {
+            Ok(len) => len,
+            Err(e) => panic!("invalid tensor shape: {e:?}"),
+        };
         self.shape.clear();
         self.shape.extend_from_slice(shape);
         self.data.clear();

@@ -447,7 +447,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
                     *pos += 1;
                 }
-                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid utf8"));
+                match std::str::from_utf8(&bytes[start..*pos]) {
+                    Ok(s) => out.push_str(s),
+                    // Unreachable for input that arrived as a &str, but a
+                    // malformed boundary must surface as a parse error,
+                    // not a panic.
+                    Err(_) => {
+                        return Err(JsonError { pos: start, message: "invalid utf8" })
+                    }
+                }
             }
         }
     }
@@ -469,7 +477,11 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    // The consumed bytes are all ASCII digits/signs, so this cannot fail;
+    // a failure still maps to a parse error rather than a panic.
+    let Ok(text) = std::str::from_utf8(&bytes[start..*pos]) else {
+        return Err(JsonError { pos: start, message: "expected value" });
+    };
     if text.is_empty() || text == "-" {
         return Err(JsonError { pos: start, message: "expected value" });
     }

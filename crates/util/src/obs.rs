@@ -45,8 +45,16 @@
 
 use crate::json::Json;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, Once, OnceLock};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Locks a registry mutex, tolerating poisoning: the registries hold
+/// plain data that stays structurally valid if a recording thread
+/// panicked, and losing metrics to a poisoned lock would hide exactly
+/// the failure observability exists to surface.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Environment variable that switches observability on (`EVLAB_OBS=1`).
 pub const ENV_TOGGLE: &str = "EVLAB_OBS";
@@ -130,13 +138,29 @@ impl HistSnapshot {
 }
 
 /// Bucket index for a duration: 0 for under 1 µs, otherwise
-/// `floor(log2(us)) + 1`, clamped to the last bucket.
+/// `floor(log2(us)) + 1`, clamped to the last bucket. The boundaries are
+/// exact powers of two: bucket `i ≥ 1` covers `[2^(i-1), 2^i)` µs, so the
+/// last in-range bucket starts at `2^(HIST_BUCKETS-2)` µs (≈ 18 min).
+/// Durations past that are clamped into the last bucket; the clamp is
+/// **not silent** — [`record_duration_us`] counts every clamped duration
+/// in the `obs.span_overflow` counter, since a histogram whose top bucket
+/// quietly absorbs hour-long stalls would hide exactly the tail latencies
+/// worth alarming on.
 pub fn bucket_index(us: f64) -> usize {
     let whole = us as u64;
     match whole.checked_ilog2() {
         None => 0,
         Some(l) => ((l + 1) as usize).min(HIST_BUCKETS - 1),
     }
+}
+
+/// Whether [`bucket_index`] had to clamp: true for durations at or past
+/// `2^(HIST_BUCKETS-1)` µs, whose natural index would fall outside the
+/// fixed bucket array.
+fn bucket_overflows(us: f64) -> bool {
+    (us as u64)
+        .checked_ilog2()
+        .is_some_and(|l| (l + 1) as usize > HIST_BUCKETS - 1)
 }
 
 struct Registry {
@@ -159,7 +183,7 @@ pub fn counter_add(name: &str, delta: u64) {
     if !enabled() {
         return;
     }
-    let mut counters = registry().counters.lock().expect("obs counter registry");
+    let mut counters = lock_unpoisoned(&registry().counters);
     match counters.iter().find(|(n, _)| n == name) {
         Some((_, c)) => {
             c.fetch_add(delta, Ordering::Relaxed);
@@ -170,7 +194,7 @@ pub fn counter_add(name: &str, delta: u64) {
 
 /// Current value of a counter (0 if it was never touched).
 pub fn counter_value(name: &str) -> u64 {
-    let counters = registry().counters.lock().expect("obs counter registry");
+    let counters = lock_unpoisoned(&registry().counters);
     counters
         .iter()
         .find(|(n, _)| n == name)
@@ -180,7 +204,7 @@ pub fn counter_value(name: &str) -> u64 {
 
 /// All counters, sorted by name.
 pub fn counters() -> Vec<(String, u64)> {
-    let counters = registry().counters.lock().expect("obs counter registry");
+    let counters = lock_unpoisoned(&registry().counters);
     let mut out: Vec<(String, u64)> = counters
         .iter()
         .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
@@ -190,25 +214,34 @@ pub fn counters() -> Vec<(String, u64)> {
 }
 
 /// Records one duration (in microseconds) into the named histogram.
-/// No-op while observability is off.
+/// A duration too long for the fixed bucket range lands in the top
+/// bucket *and* increments `obs.span_overflow`, so clamping is always
+/// visible. No-op while observability is off.
 pub fn record_duration_us(name: &str, us: f64) {
     if !enabled() {
         return;
     }
-    let mut hists = registry().hists.lock().expect("obs span registry");
-    match hists.iter_mut().find(|(n, _)| n == name) {
-        Some((_, h)) => h.record(us),
-        None => {
-            let mut h = HistSnapshot::new();
-            h.record(us);
-            hists.push((name.to_string(), h));
+    {
+        let mut hists = lock_unpoisoned(&registry().hists);
+        match hists.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.record(us),
+            None => {
+                let mut h = HistSnapshot::new();
+                h.record(us);
+                hists.push((name.to_string(), h));
+            }
         }
+    }
+    // Outside the hists lock: counter_add takes the counter lock and the
+    // two registries must never nest.
+    if bucket_overflows(us) {
+        counter_add("obs.span_overflow", 1);
     }
 }
 
 /// All span histograms, sorted by name.
 pub fn spans() -> Vec<(String, HistSnapshot)> {
-    let hists = registry().hists.lock().expect("obs span registry");
+    let hists = lock_unpoisoned(&registry().hists);
     let mut out: Vec<(String, HistSnapshot)> = hists.to_vec();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
@@ -252,12 +285,8 @@ pub fn span(name: &str) -> Span {
 /// Clears every counter and histogram. Intended for tests and
 /// long-running harnesses that emit periodic deltas.
 pub fn reset() {
-    registry()
-        .counters
-        .lock()
-        .expect("obs counter registry")
-        .clear();
-    registry().hists.lock().expect("obs span registry").clear();
+    lock_unpoisoned(&registry().counters).clear();
+    lock_unpoisoned(&registry().hists).clear();
 }
 
 /// Serializes the registry as a JSON document:
@@ -395,6 +424,47 @@ mod tests {
         assert_eq!(bucket_index(3.9), 2);
         assert_eq!(bucket_index(4.0), 3);
         assert_eq!(bucket_index(1e30), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_index_is_exact_at_every_power_of_two_boundary() {
+        // Bucket i ≥ 1 covers [2^(i-1), 2^i): at each boundary the index
+        // must step up exactly, and one ulp below it must not.
+        for i in 1..HIST_BUCKETS - 1 {
+            let lo = (1u64 << (i - 1)) as f64;
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(2.0 * lo - 1.0), i, "upper interior of bucket {i}");
+            assert_eq!(bucket_index(2.0 * lo), i + 1, "next boundary leaves bucket {i}");
+        }
+        // The last bucket's lower edge is in range without clamping...
+        let top = (1u64 << (HIST_BUCKETS - 2)) as f64;
+        assert_eq!(bucket_index(top), HIST_BUCKETS - 1);
+        assert!(!bucket_overflows(top));
+        assert!(!bucket_overflows(2.0 * top - 1.0));
+        // ...and exactly one past its span, the clamp (= overflow) begins.
+        assert!(bucket_overflows(2.0 * top));
+        assert_eq!(bucket_index(2.0 * top), HIST_BUCKETS - 1);
+        assert!(bucket_overflows(1e30));
+    }
+
+    #[test]
+    fn span_overflow_counter_tracks_clamped_durations() {
+        let _guard = TOGGLE_LOCK.lock().expect("toggle lock");
+        set_enabled(true);
+        let before = counter_value("obs.span_overflow");
+        // In range: the longest duration the histogram can place exactly.
+        record_duration_us("obs.test.overflow", ((1u64 << 31) - 1) as f64);
+        assert_eq!(counter_value("obs.span_overflow"), before, "in-range clamped");
+        // Past the top bucket: clamped AND counted.
+        record_duration_us("obs.test.overflow", (1u64 << 31) as f64);
+        record_duration_us("obs.test.overflow", 1e30);
+        assert_eq!(counter_value("obs.span_overflow"), before + 2);
+        let hist = spans()
+            .into_iter()
+            .find(|(n, _)| n == "obs.test.overflow")
+            .map(|(_, h)| h)
+            .expect("histogram recorded");
+        assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count, "no duration lost");
     }
 
     #[test]

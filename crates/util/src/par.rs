@@ -1,23 +1,26 @@
-//! Zero-dependency parallel execution built on [`std::thread::scope`].
+//! Zero-dependency parallel execution built on [`std::thread::scope`]
+//! plus a persistent fork-join pool for the kernel layer.
 //!
 //! Every hot path in the workspace (pixel-array simulation, frame
-//! encoding, LIF stepping, graph construction) funnels through the
-//! primitives in this module. The design rule is **ordered reduction**:
-//! work is split into *statically chunked* units whose boundaries depend
-//! only on the input size (never on the thread count), each unit produces
-//! an independent partial result, and partial results are combined on the
-//! coordinating thread in chunk-index order. Because floating-point
-//! reduction order is fixed by the chunk structure, the output of every
-//! parallel path is bit-identical for any thread count — `EVLAB_THREADS=1`
-//! is the exact serial fallback, not an approximation of it.
+//! encoding, LIF stepping, graph construction, the blocked GEMM/conv
+//! kernels) funnels through the primitives in this module. The design
+//! rule is **ordered reduction**: work is split into *statically chunked*
+//! units whose boundaries depend only on the input size (never on the
+//! thread count), each unit produces an independent partial result, and
+//! partial results are combined on the coordinating thread in chunk-index
+//! order. Because floating-point reduction order is fixed by the chunk
+//! structure, the output of every parallel path is bit-identical for any
+//! thread count — `EVLAB_THREADS=1` is the exact serial fallback, not an
+//! approximation of it.
 //!
 //! Thread-count control, in priority order:
 //!
 //! 1. [`with_threads`] — a thread-local override for the current scope,
 //!    used by tests and the `hotpaths` benchmark sweep. The override is
-//!    propagated into every scoped worker this module spawns, so parallel
-//!    regions started *from worker threads* (nested regions) see the same
-//!    setting as the thread that started the outer region.
+//!    propagated into every worker this module dispatches to (scoped or
+//!    pooled), so parallel regions started *from worker threads* (nested
+//!    regions) see the same setting as the thread that started the outer
+//!    region.
 //! 2. The `EVLAB_THREADS` environment variable.
 //! 3. [`std::thread::available_parallelism`].
 //!
@@ -29,12 +32,35 @@
 //! instead of panicking — the result is identical either way because
 //! chunk structure never depends on the thread count.
 //!
-//! Threads are spawned per parallel region with [`std::thread::scope`],
-//! which lets workers borrow from the caller's stack without `unsafe` or
-//! reference counting. On Linux a scoped spawn costs ~10–20 µs; the hot
-//! paths dispatch work in millisecond-scale regions, so a persistent
-//! channel-fed pool (which would force `'static` closures or unsafe
-//! lifetime erasure) is not worth its complexity.
+//! Two dispatch mechanisms coexist, chosen by granularity:
+//!
+//! * **Scoped regions** ([`map_chunks`], [`for_each_task`], [`join`])
+//!   spawn per region with [`std::thread::scope`], letting workers borrow
+//!   from the caller's stack without reference counting. A scoped spawn
+//!   costs ~10–20 µs and a handful of heap allocations, which disappears
+//!   into the millisecond-scale regions of the event-pipeline stages.
+//! * **The persistent pool** ([`for_each_chunk`]) keeps detached workers
+//!   alive across calls and hands them lifetime-erased chunk closures
+//!   through a single mutex-guarded job slot. Dispatch performs **zero
+//!   heap allocations**, which is what the compute kernels (blocked
+//!   GEMM, im2col conv2d, SpMV, batch training) require: they dispatch
+//!   at microsecond granularity inside steady-state loops whose
+//!   allocation count is gated at exactly zero by
+//!   `BENCH_alloc_budget.json`. Workers are spawned lazily on first use
+//!   (growth allocations land in warmup, outside any gated window) and
+//!   one region runs at a time; a thread already executing pool chunks
+//!   runs nested [`for_each_chunk`] calls inline, so kernels may nest
+//!   freely (batch training fans out over samples whose conv layers fan
+//!   out over GEMM panels) without deadlock.
+//!
+//! # Degenerate-input contract
+//!
+//! [`chunk_count`], [`chunk_ranges`] and [`chunk_range_at`] share one
+//! contract: the chunk count is always at least 1, `chunks` is clamped to
+//! `len` so **empty ranges never occur for `len > 0`**, and `len == 0`
+//! yields exactly one empty range `0..0` (so callers may index chunk 0
+//! unconditionally). [`split_slices`] accepts that shape verbatim,
+//! including the single empty range.
 //!
 //! # Examples
 //!
@@ -52,17 +78,31 @@
 use crate::obs;
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
 
-/// Ceiling on the worker count from any source. Scoped spawns cost real
-/// OS threads; far past the core count they only add scheduling overhead,
+/// Ceiling on the worker count from any source. Spawns cost real OS
+/// threads; far past the core count they only add scheduling overhead,
 /// and unbounded requests (`EVLAB_THREADS=100000`) can exhaust process
 /// limits and fail thread spawn mid-scope.
 pub const MAX_THREADS: usize = 256;
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True while this thread executes chunks of an active pool region —
+    /// as a pool worker or as the posting coordinator. Nested
+    /// [`for_each_chunk`] calls then run inline instead of waiting on the
+    /// (already held) region lock.
+    static IN_POOL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Locks a mutex, tolerating poisoning: every mutex in this module guards
+/// plain bookkeeping that stays structurally valid across a panic, and
+/// worker panics are propagated separately (through join results or the
+/// pool's `panicked` flag), never swallowed by the lock.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The worker count used by parallel regions started from this thread:
@@ -84,14 +124,14 @@ pub fn threads() -> usize {
 }
 
 /// The raw [`with_threads`] override active on this thread, for
-/// propagation into scoped workers.
+/// propagation into workers.
 fn current_override() -> Option<usize> {
     OVERRIDE.with(|o| o.get())
 }
 
 /// Runs `f` with this thread's override set to `ovr` — the worker-side
-/// half of override propagation. Workers are short-lived, but the
-/// previous value is still restored so nested scoped regions compose.
+/// half of override propagation. The previous value is restored so that
+/// pool workers (which are long-lived) and nested scoped regions compose.
 fn with_propagated<R>(ovr: Option<usize>, f: impl FnOnce() -> R) -> R {
     match ovr {
         Some(n) => with_threads(n, f),
@@ -101,7 +141,7 @@ fn with_propagated<R>(ovr: Option<usize>, f: impl FnOnce() -> R) -> R {
 
 /// Runs `f` with the thread count forced to `n` (clamped to
 /// `[1, MAX_THREADS]` on read) for parallel regions started from the
-/// current thread — and, because every scoped spawn in this module
+/// current thread — and, because every worker dispatch in this module
 /// carries the override along, for nested regions started from worker
 /// threads too. Restores the previous setting afterwards, panic or not.
 ///
@@ -124,26 +164,38 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 ///
 /// The result depends only on the input length — never on the thread
 /// count — so the reduction tree (and therefore every floating-point
-/// rounding) is invariant under `EVLAB_THREADS`.
+/// rounding) is invariant under `EVLAB_THREADS`. `len == 0` yields 1
+/// (one empty chunk), matching [`chunk_ranges`].
 pub fn chunk_count(len: usize, min_per_chunk: usize, max_chunks: usize) -> usize {
     (len / min_per_chunk.max(1)).clamp(1, max_chunks.max(1))
 }
 
-/// Splits `0..len` into `chunks` contiguous, near-equal ranges (the first
-/// `len % chunks` ranges are one longer). Empty ranges never occur when
-/// `chunks <= len`; for `len == 0` a single empty range is returned.
-pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+/// The `c`-th range of the [`chunk_ranges`] partition of `0..len`,
+/// computed without allocating — the accessor form for steady-state hot
+/// paths that must not touch the heap. `chunks` is clamped exactly as in
+/// [`chunk_ranges`] (to `[1, max(len, 1)]`), so the two functions always
+/// agree: `chunk_ranges(len, chunks)[c] == chunk_range_at(len, chunks, c)`.
+///
+/// # Panics
+///
+/// Panics if `c` is not below the clamped chunk count.
+pub fn chunk_range_at(len: usize, chunks: usize, c: usize) -> Range<usize> {
     let chunks = chunks.max(1).min(len.max(1));
+    assert!(c < chunks, "chunk {c} out of range for {chunks} chunks");
     let base = len / chunks;
     let extra = len % chunks;
-    let mut out = Vec::with_capacity(chunks);
-    let mut start = 0;
-    for c in 0..chunks {
-        let size = base + usize::from(c < extra);
-        out.push(start..start + size);
-        start += size;
-    }
-    out
+    let start = c * base + c.min(extra);
+    start..start + base + usize::from(c < extra)
+}
+
+/// Splits `0..len` into `chunks` contiguous, near-equal ranges (the first
+/// `len % chunks` ranges are one longer). `chunks` is clamped to
+/// `[1, max(len, 1)]`: empty ranges never occur when `len > 0`, and
+/// `len == 0` returns a single empty range — the vector is never empty,
+/// so callers may index `[0]` unconditionally.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(len.max(1));
+    (0..chunks).map(|c| chunk_range_at(len, chunks, c)).collect()
 }
 
 /// Evaluates `worker(c)` for every chunk index `c in 0..n_chunks` and
@@ -195,8 +247,13 @@ pub fn map_chunks<R: Send>(n_chunks: usize, worker: impl Fn(usize) -> R + Sync) 
             }
         }
         for h in handles {
-            for (c, r) in h.join().expect("par worker panicked") {
-                slots[c] = Some(r);
+            match h.join() {
+                Ok(produced) => {
+                    for (c, r) in produced {
+                        slots[c] = Some(r);
+                    }
+                }
+                Err(payload) => resume_unwind(payload),
             }
         }
         for (c, r) in inline {
@@ -205,8 +262,250 @@ pub fn map_chunks<R: Send>(n_chunks: usize, worker: impl Fn(usize) -> R + Sync) 
     });
     slots
         .into_iter()
-        .map(|r| r.expect("every chunk computed"))
+        .map(|r| match r {
+            Some(v) => v,
+            None => unreachable!("every chunk computed"),
+        })
         .collect()
+}
+
+/// A unit of pool work: a lifetime-erased chunk closure plus its static
+/// chunk assignment. The job lives behind the pool mutex only while the
+/// posting coordinator is inside [`for_each_chunk`], which drains every
+/// participating worker before returning — the pointer never outlives the
+/// closure it points to.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    n_chunks: usize,
+    /// Participants (live workers + the coordinator): worker `w` runs
+    /// chunks `w, w + stride, w + 2·stride, …`, the coordinator runs the
+    /// `0 mod stride` residue. Assignment never affects results — chunk
+    /// boundaries and per-chunk work are fixed before dispatch.
+    stride: usize,
+    /// The coordinator's [`with_threads`] override, replayed on workers.
+    ovr: Option<usize>,
+}
+
+// SAFETY: the closure pointer crosses threads only while the posting
+// coordinator blocks inside `for_each_chunk`, which keeps the referent
+// alive; the referent is `Sync`, so concurrent calls from several
+// workers are sound.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Bumped once per posted job; workers detect new work by comparing
+    /// against the last epoch they observed.
+    epoch: u64,
+    job: Option<Job>,
+    /// Participating workers that have not yet finished the current job.
+    remaining: usize,
+    /// Set when a worker chunk panicked; the coordinator re-raises after
+    /// the drain so no chunk is ever silently lost.
+    panicked: bool,
+    /// Detached workers spawned so far (their indices are `1..=workers`).
+    workers: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signals workers that `epoch` moved.
+    work: Condvar,
+    /// Signals the coordinator that `remaining` reached zero.
+    done: Condvar,
+}
+
+/// The process-wide kernel pool: detached workers plus a region lock that
+/// serializes coordinators (one fork-join region at a time; concurrent
+/// callers queue rather than oversubscribe).
+struct Pool {
+    shared: Arc<PoolShared>,
+    region: Mutex<()>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                workers: 0,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }),
+        region: Mutex::new(()),
+    })
+}
+
+fn worker_loop(shared: Arc<PoolShared>, widx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock_unpoisoned(&shared.state);
+            loop {
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else { continue };
+        if widx >= job.stride {
+            continue;
+        }
+        IN_POOL_REGION.with(|g| g.set(true));
+        // SAFETY: the coordinator that posted `job` blocks until this
+        // worker decrements `remaining` below, so the closure behind
+        // `job.f` outlives the entire execution here.
+        let f = unsafe { &*job.f };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            with_propagated(job.ovr, || {
+                let mut c = widx;
+                while c < job.n_chunks {
+                    f(c);
+                    c += job.stride;
+                }
+            });
+        }));
+        IN_POOL_REGION.with(|g| g.set(false));
+        let mut st = lock_unpoisoned(&shared.state);
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Grows the pool to `needed` workers (spawning is the only allocating
+/// step in pool dispatch and happens once per worker for the process
+/// lifetime). Returns how many live workers are available; a refused
+/// spawn degrades the region to fewer participants — never to an error —
+/// and is recorded in `par.spawn_fallback`.
+fn ensure_workers(p: &Pool, needed: usize) -> usize {
+    let mut st = lock_unpoisoned(&p.shared.state);
+    while st.workers < needed {
+        let widx = st.workers + 1;
+        let shared = Arc::clone(&p.shared);
+        match thread::Builder::new()
+            .name(format!("evlab-par-{widx}"))
+            .spawn(move || worker_loop(shared, widx))
+        {
+            Ok(_) => st.workers += 1,
+            Err(_) => {
+                obs::counter_add("par.spawn_fallback", 1);
+                break;
+            }
+        }
+    }
+    st.workers.min(needed)
+}
+
+/// Waits (on drop) until every participating worker has finished the
+/// posted job, then clears the job slot. Running this during unwinding is
+/// what makes the lifetime erasure in [`Job`] sound: the coordinator
+/// cannot leave [`for_each_chunk`] — not even by panic — while a worker
+/// might still call the chunk closure.
+struct DrainGuard<'a> {
+    shared: &'a PoolShared,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_unpoisoned(&self.shared.state);
+        while st.remaining != 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+    }
+}
+
+/// Evaluates `f(c)` for every chunk index `c in 0..n_chunks` on the
+/// persistent worker pool, returning when all chunks are done. The
+/// zero-allocation dispatch primitive for the compute kernels: posting a
+/// job, executing it and draining the pool touch no heap (workers are
+/// spawned lazily, once per process).
+///
+/// Chunks must be independent — `f` typically writes a disjoint region of
+/// the output per chunk index. As everywhere in this module, callers
+/// derive `n_chunks` and chunk boundaries from input sizes only, so
+/// results are bit-identical at every thread count; with one thread, one
+/// chunk, or from inside another pool region the chunks run inline in
+/// ascending order (the exact serial fallback — nested kernel parallelism
+/// degrades to the serial path rather than deadlocking on the region
+/// lock).
+///
+/// # Panics
+///
+/// Propagates a panic from any chunk.
+pub fn for_each_chunk(n_chunks: usize, f: impl Fn(usize) + Sync) {
+    let t = threads().min(n_chunks);
+    if t <= 1 || IN_POOL_REGION.with(|g| g.get()) {
+        for c in 0..n_chunks {
+            f(c);
+        }
+        return;
+    }
+    let p = pool();
+    let _region = lock_unpoisoned(&p.region);
+    let live = ensure_workers(p, t - 1);
+    if live == 0 {
+        for c in 0..n_chunks {
+            f(c);
+        }
+        return;
+    }
+    let stride = live + 1;
+    // SAFETY: erase the closure's lifetime so it fits the process-global
+    // job slot. The `DrainGuard` below guarantees no worker can still be
+    // calling the closure when this function returns (even by unwinding),
+    // so the erased reference never dangles.
+    let erased: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(&f) };
+    {
+        let mut st = lock_unpoisoned(&p.shared.state);
+        st.epoch += 1;
+        st.remaining = live;
+        st.panicked = false;
+        st.job = Some(Job {
+            f: erased,
+            n_chunks,
+            stride,
+            ovr: current_override(),
+        });
+        p.shared.work.notify_all();
+    }
+    let drain = DrainGuard { shared: &p.shared };
+    IN_POOL_REGION.with(|g| g.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut c = 0;
+        while c < n_chunks {
+            f(c);
+            c += stride;
+        }
+    }));
+    IN_POOL_REGION.with(|g| g.set(false));
+    drop(drain);
+    let worker_panicked = {
+        let mut st = lock_unpoisoned(&p.shared.state);
+        std::mem::replace(&mut st.panicked, false)
+    };
+    if let Err(payload) = outcome {
+        resume_unwind(payload);
+    }
+    assert!(!worker_panicked, "par pool worker panicked");
 }
 
 /// Runs `f(index, &mut task)` over a set of independent mutable work
@@ -244,7 +543,7 @@ pub fn for_each_task<T: Send>(tasks: &mut [T], f: impl Fn(usize, &mut T) + Sync)
         let f = &f;
         for cell in &cells {
             let run_bucket = move || {
-                if let Some(bucket) = cell.lock().expect("par bucket cell").take() {
+                if let Some(bucket) = lock_unpoisoned(cell).take() {
                     for (i, task) in bucket {
                         f(i, task);
                     }
@@ -254,7 +553,7 @@ pub fn for_each_task<T: Send>(tasks: &mut [T], f: impl Fn(usize, &mut T) + Sync)
                 .spawn_scoped(s, move || with_propagated(ovr, run_bucket));
             if spawned.is_err() {
                 obs::counter_add("par.spawn_fallback", 1);
-                if let Some(bucket) = cell.lock().expect("par bucket cell").take() {
+                if let Some(bucket) = lock_unpoisoned(cell).take() {
                     for (i, task) in bucket {
                         f(i, task);
                     }
@@ -266,8 +565,9 @@ pub fn for_each_task<T: Send>(tasks: &mut [T], f: impl Fn(usize, &mut T) + Sync)
 
 /// Splits one mutable slice into disjoint chunks following `ranges`,
 /// which must be contiguous, ascending and start at 0 (the shape
-/// [`chunk_ranges`] produces). The chunks can then be zipped into task
-/// tuples for [`for_each_task`].
+/// [`chunk_ranges`] produces, including its degenerate `len == 0` form —
+/// a single empty range yields a single empty chunk). The chunks can then
+/// be zipped into task tuples for [`for_each_task`].
 ///
 /// # Panics
 ///
@@ -308,27 +608,28 @@ where
         let fb_cell = &fb_cell;
         let spawned = thread::Builder::new().spawn_scoped(s, || {
             with_propagated(ovr, || {
-                let fb = fb_cell
-                    .lock()
-                    .expect("join cell")
-                    .take()
-                    .expect("fb taken once");
+                let fb = match lock_unpoisoned(fb_cell).take() {
+                    Some(fb) => fb,
+                    None => unreachable!("fb taken once"),
+                };
                 fb()
             })
         });
         match spawned {
             Ok(hb) => {
                 let a = fa();
-                let b = hb.join().expect("joined worker panicked");
+                let b = match hb.join() {
+                    Ok(b) => b,
+                    Err(payload) => resume_unwind(payload),
+                };
                 (a, b)
             }
             Err(_) => {
                 obs::counter_add("par.spawn_fallback", 1);
-                let fb = fb_cell
-                    .lock()
-                    .expect("join cell")
-                    .take()
-                    .expect("fb unclaimed after failed spawn");
+                let fb = match lock_unpoisoned(fb_cell).take() {
+                    Some(fb) => fb,
+                    None => unreachable!("fb unclaimed after failed spawn"),
+                };
                 let a = fa();
                 let b = fb();
                 (a, b)
@@ -351,6 +652,7 @@ pub fn join_levels() -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_chunks_preserves_order() {
@@ -392,6 +694,67 @@ mod tests {
             }
             assert_eq!(covered, len);
         }
+    }
+
+    #[test]
+    fn chunk_ranges_degenerate_inputs_obey_the_contract() {
+        // len == 0: exactly one empty range, never an empty vector.
+        assert_eq!(chunk_ranges(0, 0), vec![0..0]);
+        assert_eq!(chunk_ranges(0, 1), vec![0..0]);
+        assert_eq!(chunk_ranges(0, 17), vec![0..0]);
+        // chunks == 0 is clamped up to 1.
+        assert_eq!(chunk_ranges(5, 0), vec![0..5]);
+        // chunks > len is clamped down: no empty trailing ranges.
+        for (len, chunks) in [(1usize, 2usize), (3, 10), (7, 8), (1, usize::MAX)] {
+            let ranges = chunk_ranges(len, chunks);
+            assert_eq!(ranges.len(), len, "clamped to len");
+            assert!(ranges.iter().all(|r| !r.is_empty()), "{len}/{chunks}");
+        }
+    }
+
+    #[test]
+    fn chunk_range_at_agrees_with_chunk_ranges() {
+        for (len, chunks) in [
+            (0usize, 0usize),
+            (0, 4),
+            (1, 1),
+            (1, 9),
+            (10, 3),
+            (3, 10),
+            (16, 16),
+            (100, 7),
+            (12_345, 8),
+        ] {
+            let ranges = chunk_ranges(len, chunks);
+            for (c, r) in ranges.iter().enumerate() {
+                assert_eq!(
+                    chunk_range_at(len, chunks, c),
+                    *r,
+                    "len {len} chunks {chunks} c {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_range_at_rejects_out_of_range_index() {
+        // chunks clamps to len = 3, so index 3 is past the partition.
+        chunk_range_at(3, 10, 3);
+    }
+
+    #[test]
+    fn split_slices_accepts_degenerate_range_shapes() {
+        // The len == 0 shape from chunk_ranges: one empty range.
+        let mut empty: [u8; 0] = [];
+        let chunks = split_slices(&mut empty, &chunk_ranges(0, 4));
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].is_empty());
+        // chunks > len: clamped ranges still partition the slice.
+        let mut v = [1u8, 2, 3];
+        let chunks = split_slices(&mut v, &chunk_ranges(3, 10));
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 3);
     }
 
     #[test]
@@ -446,6 +809,95 @@ mod tests {
         assert_eq!(with_threads(2, join_levels), 1);
         assert_eq!(with_threads(4, join_levels), 2);
         assert_eq!(with_threads(5, join_levels), 3);
+    }
+
+    #[test]
+    fn for_each_chunk_visits_every_chunk_exactly_once() {
+        for t in [1, 2, 4, 7] {
+            let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+            with_threads(t, || {
+                for_each_chunk(hits.len(), |c| {
+                    hits[c].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            for (c, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {c}, threads {t}");
+            }
+        }
+        // n_chunks == 0 is a no-op, not a panic.
+        for_each_chunk(0, |_| unreachable!("no chunks"));
+    }
+
+    #[test]
+    fn for_each_chunk_override_reaches_pool_workers() {
+        let seen: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(3, || {
+            for_each_chunk(seen.len(), |c| {
+                seen[c].store(threads(), Ordering::Relaxed);
+            });
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 3, "override lost in pool worker");
+        }
+    }
+
+    #[test]
+    fn nested_for_each_chunk_runs_inline_without_deadlock() {
+        let total = AtomicUsize::new(0);
+        with_threads(4, || {
+            for_each_chunk(6, |_| {
+                // The nested region must degrade to inline execution on
+                // whichever thread runs this chunk.
+                for_each_chunk(5, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6 * 5);
+    }
+
+    #[test]
+    fn for_each_chunk_ordered_reduction_is_thread_invariant() {
+        // Per-chunk partials written to disjoint slots, reduced in chunk
+        // order afterwards: the pool analogue of the map_chunks contract.
+        let data: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+        let reduce = || {
+            let chunks = chunk_count(data.len(), 4_096, 16);
+            let mut partials = vec![0.0f32; chunks];
+            let cells: Vec<Mutex<&mut f32>> = partials.iter_mut().map(Mutex::new).collect();
+            for_each_chunk(chunks, |c| {
+                let r = chunk_range_at(data.len(), chunks, c);
+                **lock_unpoisoned(&cells[c]) = data[r].iter().sum::<f32>();
+            });
+            drop(cells);
+            partials.iter().fold(0.0f32, |acc, &p| acc + p).to_bits()
+        };
+        let serial = with_threads(1, reduce);
+        for t in [2, 4, 8] {
+            assert_eq!(with_threads(t, reduce), serial, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_propagates_chunk_panics() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                for_each_chunk(8, |c| {
+                    if c == 5 {
+                        panic!("chunk 5 exploded");
+                    }
+                });
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool must still be usable afterwards.
+        let n = AtomicUsize::new(0);
+        with_threads(4, || {
+            for_each_chunk(8, |_| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -132,7 +132,10 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| match a.partial_cmp(b) {
+        Some(ord) => ord,
+        None => panic!("NaN in quantile input"),
+    });
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

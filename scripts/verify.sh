@@ -9,16 +9,19 @@
 #      blocked GEMM and im2col conv2d forward/backward must reproduce
 #      their naive loop-nest oracles bit for bit, and Scratch-arena reuse
 #      must be invisible;
-#   5. a smoke sweep of the `hotpaths` benchmark at EVLAB_THREADS ∈ {1, 2}
-#      — the binary exits non-zero if any thread count produces output
-#      whose checksum differs from the serial run (the parallel hot
-#      paths), or if `gemm` vs `gemm_naive` / `conv_fwd` vs
-#      `conv_fwd_naive` checksums disagree (the blocked kernels). This
-#      run is built with `--features count-alloc`, which installs the
-#      counting global allocator: the binary additionally fails if any
-#      instrumented workload's steady-state allocation count exceeds
-#      the committed BENCH_alloc_budget.json (all zeros — the arena
-#      contract);
+#   5. a smoke sweep of the `hotpaths` benchmark at EVLAB_THREADS ∈
+#      {1, 2, 4, 8} — the binary exits non-zero if any thread count
+#      produces output whose checksum differs from the serial run. The
+#      sweep now covers the blocked kernels themselves (`gemm`,
+#      `conv_fwd`, `cnn_step` are panel/batch-parallel with fixed
+#      partitions and ordered reductions), so this gates the kernels'
+#      bitwise thread-count invariance, and the run still fails if
+#      `gemm` vs `gemm_naive` / `conv_fwd` vs `conv_fwd_naive` checksums
+#      disagree. This run is built with `--features count-alloc`, which
+#      installs the counting global allocator: the binary additionally
+#      fails if any instrumented workload's steady-state allocation
+#      count exceeds the committed BENCH_alloc_budget.json (all zeros —
+#      the per-worker arena contract must hold at every thread count);
 #   6. a smoke run of `serve_bench` (4 concurrent sessions per paradigm,
 #      16-deep queues under 64-event bursts) — the binary exits non-zero
 #      unless load was actually shed AND decisions kept flowing, which is
@@ -28,9 +31,9 @@
 #      the binary exits non-zero unless faults fired, the hardened
 #      ingress quarantined what it could not salvage, and every
 #      degradation curve is monotone non-increasing in the fault rate;
-#   8. a clippy gate denying `unwrap()`/`expect()` on the ingestion and
-#      serving crates — faults on those paths must surface as errors and
-#      quarantine counters, never as panics.
+#   8. a clippy gate denying `unwrap()`/`expect()` on the ingestion,
+#      serving, kernel and util crates — faults on those paths must
+#      surface as errors and quarantine counters, never as panics.
 #
 # The smoke runs execute under EVLAB_OBS=1 with --metrics; afterwards
 # `obs_check` re-parses each metrics file with the crate's own JSON
@@ -67,12 +70,21 @@ trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics" "$chaos_out" "$chaos
 echo "==> kernel bit-identity tests (blocked kernels vs naive oracles)"
 cargo test -q --offline --test kernel_equivalence
 
-echo "==> hotpaths smoke sweep (threads 1, 2; checksum- and alloc-budget-gated; obs on)"
+echo "==> hotpaths smoke sweep (threads 1, 2, 4, 8; kernel checksum- and alloc-budget-gated; obs on)"
 EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --features count-alloc \
     --bin hotpaths -- --smoke --out "$out" --metrics "$metrics"
 
 echo "==> obs_check: metrics parse + every pipeline stage reported activity"
 cargo run -q --release --offline -p evlab-bench --bin obs_check -- "$metrics"
+
+echo "==> obs_check: dense-kernel counters nonzero (gemm dispatch + conv lowering)"
+cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
+    --require tensor.gemm.calls \
+    --require tensor.gemm.par_chunks \
+    --require tensor.conv.forward \
+    --require tensor.conv.backward \
+    --require tensor.conv.im2col_chunks \
+    "$metrics"
 
 echo "==> serve_bench smoke (4 sessions/paradigm, forced overload, obs on)"
 EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin serve_bench -- \
@@ -99,8 +111,8 @@ cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
     --require serve.supervisor.restarts \
     "$chaos_metrics"
 
-echo "==> clippy panic gate: no unwrap/expect on ingestion and serving paths"
-cargo clippy -p evlab-events -p evlab-serve --no-deps --offline -- \
+echo "==> clippy panic gate: no unwrap/expect on ingestion, serving, kernel and util paths"
+cargo clippy -p evlab-events -p evlab-serve -p evlab-tensor -p evlab-util --no-deps --offline -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "==> OK: build, lints, tests, kernel bit-identity, hot-path determinism, alloc budget, serving degradation, chaos degradation and observability all pass"

@@ -14,7 +14,7 @@ use evlab::tensor::gemm::{
     gemm_naive_into, ConvShape,
 };
 use evlab::tensor::{OpCount, Scratch, Tensor};
-use evlab::util::Rng64;
+use evlab::util::{par, Rng64};
 
 fn rand_vec(rng: &mut Rng64, n: usize, zero_frac: f64) -> Vec<f32> {
     (0..n)
@@ -124,6 +124,133 @@ fn gemm_blocked_matches_naive_bits() {
         gemm_into(m, n, k, &a, &b, &mut c_blocked, &mut scratch);
         gemm_naive_into(m, n, k, &a, k, 1, &b, n, 1, &mut c_naive);
         assert_bits_eq(&c_blocked, &c_naive, "gemm");
+    }
+}
+
+/// Degenerate GEMM geometry — any of `m`, `n`, `k` equal to 0 or 1 —
+/// must match the naive oracle bit-for-bit at every thread count. A zero
+/// `k` in particular means "accumulate an empty sum": `C` is left
+/// untouched on both paths.
+#[test]
+fn gemm_degenerate_shapes_match_naive_at_every_thread_count() {
+    let mut rng = Rng64::seed_from_u64(0xDE6E);
+    let cases: &[(usize, usize, usize)] = &[
+        (0, 5, 3),
+        (5, 0, 3),
+        (5, 3, 0),
+        (0, 0, 0),
+        (1, 1, 1),
+        (1, 7, 1),
+        (7, 1, 5),
+        (1, 1, 64),
+        (128, 130, 9), // crosses MC and NBAND: exercises the panel grid
+    ];
+    for &(m, n, k) in cases {
+        let a = rand_vec(&mut rng, m * k, 0.2);
+        let b = rand_vec(&mut rng, k * n, 0.2);
+        let c0 = rand_vec(&mut rng, m * n, 0.0); // both sides accumulate
+        let mut c_naive = c0.clone();
+        gemm_naive_into(m, n, k, &a, k, 1, &b, n, 1, &mut c_naive);
+        for threads in [1, 2, 4, 8] {
+            par::with_threads(threads, || {
+                let mut scratch = Scratch::new();
+                let mut c = c0.clone();
+                gemm_into(m, n, k, &a, &b, &mut c, &mut scratch);
+                assert_bits_eq(&c, &c_naive, &format!("gemm {m}x{n}x{k} @{threads}t"));
+            });
+        }
+    }
+}
+
+/// Single-pixel conv geometry (1×1 input and/or 1×1 output) round-trips
+/// through im2col without touching any padding branch incorrectly, at
+/// every thread count.
+#[test]
+fn conv2d_single_pixel_shapes_match_naive_at_every_thread_count() {
+    let s = |ic, oc, k, st, p, h, w| ConvShape {
+        in_channels: ic,
+        out_channels: oc,
+        kernel: k,
+        stride: st,
+        padding: p,
+        in_h: h,
+        in_w: w,
+    };
+    let cases = [
+        s(3, 4, 1, 1, 0, 1, 1), // 1×1 input, 1×1 kernel
+        s(2, 3, 3, 1, 0, 3, 3), // kernel covers the whole input: 1×1 output
+        s(1, 1, 1, 1, 0, 1, 1), // every dimension 1
+        s(1, 2, 3, 1, 1, 1, 1), // 1×1 input with padding
+    ];
+    let mut rng = Rng64::seed_from_u64(0x1A1);
+    for shape in cases {
+        let (oh, ow) = shape.out_hw();
+        let x = rand_vec(&mut rng, shape.in_channels * shape.in_h * shape.in_w, 0.3);
+        let w = rand_vec(&mut rng, shape.out_channels * shape.col_rows(), 0.0);
+        let bias = rand_vec(&mut rng, shape.out_channels, 0.0);
+        let g = rand_vec(&mut rng, shape.out_channels * oh * ow, 0.0);
+        let mut out_naive = vec![0.0f32; shape.out_channels * oh * ow];
+        let eff_n = conv2d_forward_naive(&shape, &x, &w, &bias, &mut out_naive);
+        let zeros_i = vec![0.0f32; shape.in_channels * shape.in_h * shape.in_w];
+        let zeros_w = vec![0.0f32; shape.out_channels * shape.col_rows()];
+        let zeros_b = vec![0.0f32; shape.out_channels];
+        let (mut gi_n, mut gw_n, mut gb_n) = (zeros_i.clone(), zeros_w.clone(), zeros_b.clone());
+        conv2d_backward_naive(&shape, &x, &w, &g, &mut gi_n, &mut gw_n, &mut gb_n);
+        for threads in [1, 2, 4, 8] {
+            par::with_threads(threads, || {
+                let mut scratch = Scratch::new();
+                let mut out = vec![0.0f32; shape.out_channels * oh * ow];
+                let eff = conv2d_forward(&shape, &x, &w, &bias, &mut out, &mut scratch);
+                assert_bits_eq(&out, &out_naive, &format!("1px conv fwd @{threads}t"));
+                assert_eq!(eff, eff_n, "effective MACs @{threads} threads");
+                let (mut gi, mut gw, mut gb) =
+                    (zeros_i.clone(), zeros_w.clone(), zeros_b.clone());
+                conv2d_backward(&shape, &x, &w, &g, &mut gi, &mut gw, &mut gb, &mut scratch);
+                assert_bits_eq(&gi, &gi_n, &format!("1px conv gi @{threads}t"));
+                assert_bits_eq(&gw, &gw_n, &format!("1px conv gw @{threads}t"));
+                assert_bits_eq(&gb, &gb_n, &format!("1px conv gb @{threads}t"));
+            });
+        }
+    }
+}
+
+/// The full geometry sweep again, but with kernels fanned out across the
+/// pool: results must equal the serial naive oracle bit-for-bit at every
+/// thread count (large shapes cross the PAR_MIN_MACS / IM2COL_PAR_MIN
+/// thresholds and actually run threaded).
+#[test]
+fn threaded_kernels_match_naive_bits_across_thread_counts() {
+    let mut rng = Rng64::seed_from_u64(0x7EAD);
+    let big = ConvShape {
+        in_channels: 8,
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        in_h: 32,
+        in_w: 32,
+    };
+    let (oh, ow) = big.out_hw();
+    let x = rand_vec(&mut rng, big.in_channels * big.in_h * big.in_w, 0.6);
+    let w = rand_vec(&mut rng, big.out_channels * big.col_rows(), 0.0);
+    let bias = rand_vec(&mut rng, big.out_channels, 0.0);
+    let mut out_naive = vec![0.0f32; big.out_channels * oh * ow];
+    conv2d_forward_naive(&big, &x, &w, &bias, &mut out_naive);
+    let (m, n, k) = (128, 96, 64);
+    let ga = rand_vec(&mut rng, m * k, 0.2);
+    let gb = rand_vec(&mut rng, k * n, 0.2);
+    let mut c_naive = vec![0.0f32; m * n];
+    gemm_naive_into(m, n, k, &ga, k, 1, &gb, n, 1, &mut c_naive);
+    for threads in [1, 2, 4, 8] {
+        par::with_threads(threads, || {
+            let mut scratch = Scratch::new();
+            let mut out = vec![0.0f32; big.out_channels * oh * ow];
+            conv2d_forward(&big, &x, &w, &bias, &mut out, &mut scratch);
+            assert_bits_eq(&out, &out_naive, &format!("threaded conv @{threads}t"));
+            let mut c = vec![0.0f32; m * n];
+            gemm_into(m, n, k, &ga, &gb, &mut c, &mut scratch);
+            assert_bits_eq(&c, &c_naive, &format!("threaded gemm @{threads}t"));
+        });
     }
 }
 

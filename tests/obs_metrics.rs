@@ -120,6 +120,45 @@ fn camera_stage_records_its_activity() {
     assert!(merge.count >= 1);
 }
 
+/// Histogram clamping is never silent: a duration past the top
+/// power-of-two bucket still lands in that bucket (nothing is lost) and
+/// increments the global `obs.span_overflow` counter, so hour-long stalls
+/// can't hide inside a quietly-absorbing tail bucket.
+#[test]
+fn span_overflow_clamp_is_counted_not_silent() {
+    obs::set_enabled(true);
+    let name = "obs.itest.span_overflow";
+    let before = obs::counter_value("obs.span_overflow");
+    // Longest exactly-representable duration: top bucket, no clamp.
+    let top_edge = (1u64 << (obs::HIST_BUCKETS as u32 - 2)) as f64;
+    obs::record_duration_us(name, top_edge);
+    // One doubling past the histogram range: clamped AND counted.
+    obs::record_duration_us(name, 2.0 * top_edge);
+    obs::record_duration_us(name, 1e30);
+    let after = obs::counter_value("obs.span_overflow");
+    assert!(
+        after >= before + 2,
+        "clamped durations not counted (before {before}, after {after})"
+    );
+    let hist = obs::spans()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, h)| h)
+        .expect("histogram recorded");
+    assert_eq!(hist.count, 3);
+    assert_eq!(
+        hist.buckets[obs::HIST_BUCKETS - 1],
+        3,
+        "in-range edge and clamped tail all land in the top bucket"
+    );
+    assert_eq!(
+        hist.buckets.iter().sum::<u64>(),
+        hist.count,
+        "no duration lost to clamping"
+    );
+    assert!(hist.max_us >= 1e30, "max tracks the unclamped duration");
+}
+
 /// The metrics file is written atomically and parses with the same JSON
 /// implementation that produced it; the required schema keys are present.
 #[test]

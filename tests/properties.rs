@@ -257,6 +257,46 @@ fn rollover_wrap_then_unwrap_round_trips() {
     }
 }
 
+/// Watermark boundary property (inclusive release): a monotone stream
+/// whose inter-event gap equals the skew tolerance *exactly* places every
+/// prior event exactly on the watermark — each push must release its
+/// predecessor immediately (never hold it), nothing is late-dropped, and
+/// a full round trip preserves the stream.
+#[test]
+fn reorder_buffer_releases_exactly_at_the_watermark() {
+    use evlab::events::reorder::ReorderBuffer;
+    let mut rng = Rng64::seed_from_u64(0xB0DA);
+    for case in 0..CASES {
+        let skew = 1 + rng.next_below(1_000);
+        let n = 3 + rng.next_below(60) as usize;
+        let t0 = rng.next_below(10_000);
+        let events: Vec<Event> = (0..n as u64).map(|i| {
+            Event::new(
+                t0 + i * skew,
+                (i % 9) as u16,
+                (i % 11) as u16,
+                if i % 2 == 0 { Polarity::On } else { Polarity::Off },
+            )
+        }).collect();
+        let mut buf = ReorderBuffer::new(skew);
+        let mut out = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            let released = buf.push(*e, &mut out);
+            if i == 0 {
+                assert_eq!(released, 0, "case {case}: first event has no watermark yet");
+            } else {
+                assert_eq!(
+                    released, 1,
+                    "case {case}: predecessor sits exactly on the watermark and must release"
+                );
+            }
+        }
+        buf.flush(&mut out);
+        assert_eq!(buf.late_dropped(), 0, "case {case}");
+        assert_eq!(out, events, "case {case}: boundary round trip must be lossless");
+    }
+}
+
 #[test]
 fn reorder_buffer_round_trips_bounded_jitter() {
     use evlab::events::reorder::ReorderBuffer;
