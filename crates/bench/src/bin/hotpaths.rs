@@ -39,6 +39,7 @@ use evlab_bench::{
 use evlab_cnn::encode::{FrameEncoder, SignedCount, TimeSurface, VoxelGrid};
 use evlab_cnn::model::{build_cnn, CnnConfig};
 use evlab_gnn::build::{incremental_build, kdtree_build, GraphConfig};
+use evlab_gnn::window::{SlidingWindowGraph, WindowPolicy};
 use evlab_sensor::scene::MovingBar;
 use evlab_sensor::{CameraConfig, EventCamera};
 use evlab_snn::encode::SpikeTrain;
@@ -70,6 +71,7 @@ struct Scale {
     ed_steps: usize,
     graph_events: usize,
     kdtree_events: usize,
+    window_events: usize,
     gemm_dim: usize,
     gemm_iters: usize,
     conv_iters: usize,
@@ -91,6 +93,7 @@ impl Scale {
             ed_steps: 40,
             graph_events: 60_000,
             kdtree_events: 20_000,
+            window_events: 40_000,
             gemm_dim: 256,
             gemm_iters: 8,
             conv_iters: 300,
@@ -112,6 +115,7 @@ impl Scale {
             ed_steps: 10,
             graph_events: 10_000,
             kdtree_events: 4_000,
+            window_events: 8_000,
             gemm_dim: 96,
             gemm_iters: 3,
             conv_iters: 30,
@@ -255,6 +259,53 @@ fn graph_workload(scale: &Scale) -> (u64, u64) {
         h.finish(),
         (2 * scale.graph_events + scale.kdtree_events) as u64,
     )
+}
+
+/// Streams a clustered event flow through the sliding-window store under
+/// the combined eviction policy. The fingerprint covers the final live
+/// graph *and* the per-phase multiply counts, so both the window contents
+/// and its cost model must be bit-stable across the thread sweep. The
+/// workload also enforces the flat-cost contract at steady state: once
+/// the window has filled, per-event work must not grow as the stream
+/// slides past (each phase's cost stays within 4x of the cheapest steady
+/// phase — slack for local density variation in the clustered stream,
+/// fatal for any O(stream length) regression).
+fn window_workload(scale: &Scale) -> (u64, u64) {
+    let stream = moving_cluster_stream(scale.window_events, 128, 500_000, 77);
+    let events = stream.as_slice();
+    let policy = WindowPolicy::Both {
+        max_nodes: 1_024,
+        max_age_us: 50_000,
+    };
+    let mut window = SlidingWindowGraph::new(GraphConfig::new(), policy);
+    let mut ops = OpCount::new();
+    let phases = 16usize;
+    let phase_len = (events.len() / phases).max(1);
+    let mut phase_mults: Vec<u64> = Vec::new();
+    let mut last_mults = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        window.push(*e, &mut ops);
+        if (i + 1) % phase_len == 0 {
+            phase_mults.push(ops.mults - last_mults);
+            last_mults = ops.mults;
+        }
+    }
+    // Skip the fill phases; the window saturates well within a quarter of
+    // the stream.
+    let steady = &phase_mults[phases / 4..];
+    let cheapest = steady.iter().copied().min().unwrap_or(1).max(1);
+    let dearest = steady.iter().copied().max().unwrap_or(0);
+    assert!(
+        dearest <= 4 * cheapest,
+        "sliding-window per-event cost is not flat: steady phases range \
+         {cheapest}..{dearest} mults"
+    );
+    let mut h = Fnv1a::new();
+    h.write_u64(checksum_graph(&window.to_event_graph()));
+    for &m in &phase_mults {
+        h.write_u64(m);
+    }
+    (h.finish(), events.len() as u64)
 }
 
 /// Square `C = A·B` via either the blocked kernel or the naive triple
@@ -503,6 +554,15 @@ fn main() -> Result<(), evlab_util::EvlabError> {
             Box::new({
                 let s = make_scale();
                 move || graph_workload(&s)
+            }),
+        ),
+        (
+            "window",
+            "events/s",
+            true,
+            Box::new({
+                let s = make_scale();
+                move || window_workload(&s)
             }),
         ),
         (

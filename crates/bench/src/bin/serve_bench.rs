@@ -97,13 +97,18 @@ fn make_session(
     paradigms: &Paradigms,
     paradigm: &str,
 ) -> Result<Box<dyn OnlineClassifier + Send>, EvlabError> {
-    Ok(match paradigm {
-        "snn" => Box::new(SnnOnline::new(&paradigms.snn, paradigms.resolution)?),
-        // 2 ms micro-batch windows: several flushes per served stream.
-        "cnn" => Box::new(CnnOnline::new(&paradigms.cnn, paradigms.resolution, 2_000)?),
-        "gnn" => Box::new(GnnOnline::new(&paradigms.gnn)?),
-        other => return Err(EvlabError::serve(format!("unknown paradigm {other}"))),
-    })
+    // 2 ms micro-batch windows: several flushes per served stream.
+    let config = OnlineConfig::new(paradigms.resolution).with_window_us(2_000);
+    let builder = SessionBuilder::new(config);
+    match paradigm {
+        "snn" => builder.snn(&paradigms.snn).build(),
+        "cnn" => builder.cnn(&paradigms.cnn).build(),
+        // The GNN ignores the window here: it bounds memory by node count.
+        "gnn" => SessionBuilder::new(OnlineConfig::new(paradigms.resolution))
+            .gnn(&paradigms.gnn)
+            .build(),
+        other => Err(EvlabError::serve(format!("unknown paradigm {other}"))),
+    }
 }
 
 /// The measured outcome of serving one (paradigm, sessions, depth, burst)

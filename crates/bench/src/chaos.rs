@@ -134,13 +134,17 @@ pub fn make_session(
     paradigm: &str,
     resolution: (u16, u16),
 ) -> Result<Box<dyn OnlineClassifier + Send>, EvlabError> {
-    Ok(match paradigm {
-        "snn" => Box::new(SnnOnline::new(&paradigms.snn, resolution)?),
-        // 2 ms micro-batch windows: several flushes per served stream.
-        "cnn" => Box::new(CnnOnline::new(&paradigms.cnn, resolution, 2_000)?),
-        "gnn" => Box::new(GnnOnline::new(&paradigms.gnn)?),
-        other => return Err(EvlabError::serve(format!("unknown paradigm {other}"))),
-    })
+    // 2 ms micro-batch windows: several flushes per served stream.
+    let config = OnlineConfig::new(resolution).with_window_us(2_000);
+    match paradigm {
+        "snn" => SessionBuilder::new(config).snn(&paradigms.snn).build(),
+        "cnn" => SessionBuilder::new(config).cnn(&paradigms.cnn).build(),
+        // The GNN ignores the window here: it bounds memory by node count.
+        "gnn" => SessionBuilder::new(OnlineConfig::new(resolution))
+            .gnn(&paradigms.gnn)
+            .build(),
+        other => Err(EvlabError::serve(format!("unknown paradigm {other}"))),
+    }
 }
 
 /// What one chaos cell produced. Every field except `latencies_us` is

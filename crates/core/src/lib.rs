@@ -55,7 +55,8 @@ pub mod prelude {
     pub use crate::dichotomy::{ComparisonConfig, ComparisonRunner, DichotomyReport};
     pub use crate::gnn_pipeline::{GnnPipeline, GnnPipelineConfig};
     pub use crate::online::{
-        Batched, CnnOnline, Decision, GnnOnline, OnlineClassifier, SnnOnline,
+        Batched, CnnOnline, Decision, GnnOnline, OnlineClassifier, OnlineConfig,
+        SessionBuilder, SnnOnline,
     };
     pub use crate::pipeline::{test_accuracy, EventClassifier, FitReport};
     pub use crate::snn_pipeline::{SnnPipeline, SnnPipelineConfig};

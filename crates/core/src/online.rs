@@ -14,8 +14,15 @@
 //!   frame buffer and the CNN runs once per flush window (the per-frame
 //!   cadence of §III-B).
 //! * [`GnnOnline`] — per-event asynchronous graph updates via
-//!   [`evlab_gnn::async_update::AsyncGnn`], graph state bounded by
-//!   `max_nodes`.
+//!   [`evlab_gnn::window::WindowedGnn`]: a true sliding window whose
+//!   eviction policy bounds memory without ever rebuilding the graph, so
+//!   the logit trajectory has no reset cliffs.
+//!
+//! Sessions are built uniformly through [`SessionBuilder`]: pick a
+//! paradigm, share one [`OnlineConfig`], get a boxed
+//! [`OnlineClassifier`]. The per-paradigm constructors remain available as
+//! `with_config`; the old positional `new` constructors are deprecated
+//! shims over them.
 //!
 //! Any existing batch [`EventClassifier`] is servable through the
 //! [`Batched`] adapter, which buffers the session's events and classifies
@@ -27,7 +34,7 @@ use crate::pipeline::EventClassifier;
 use crate::snn_pipeline::SnnPipeline;
 use evlab_cnn::encode::normalize;
 use evlab_events::{Event, EventStream};
-use evlab_gnn::async_update::AsyncGnn;
+use evlab_gnn::window::{WindowPolicy, WindowedGnn};
 use evlab_snn::event_driven::EventDrivenSnn;
 use evlab_tensor::{OpCount, Sequential};
 use evlab_util::EvlabError;
@@ -146,6 +153,131 @@ impl OrderGuard {
 }
 
 // ---------------------------------------------------------------------------
+// Unified session construction.
+// ---------------------------------------------------------------------------
+
+/// Default CNN micro-batch flush window (µs) when [`OnlineConfig`] leaves
+/// the window unset.
+pub const DEFAULT_CNN_WINDOW_US: u64 = 2_000;
+
+/// Paradigm-independent session parameters, interpreted by each paradigm
+/// for its own notion of "window" and "batch":
+///
+/// | field        | SNN      | CNN                         | GNN                              |
+/// |--------------|----------|-----------------------------|----------------------------------|
+/// | `resolution` | required | required                    | ignored (graphs are coordinate-free) |
+/// | `window_us`  | ignored  | flush interval (default [`DEFAULT_CNN_WINDOW_US`]) | max node age (adds an age bound) |
+/// | `batch`      | ignored  | ignored                     | max live nodes (default: the pipeline's `max_nodes`) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineConfig {
+    /// Sensor resolution of the incoming streams.
+    pub resolution: (u16, u16),
+    /// Temporal window in µs, where the paradigm has one.
+    pub window_us: Option<u64>,
+    /// Spatial/batch capacity, where the paradigm has one.
+    pub batch: Option<usize>,
+}
+
+impl OnlineConfig {
+    /// Config for the given sensor resolution with paradigm defaults for
+    /// everything else.
+    pub fn new(resolution: (u16, u16)) -> Self {
+        OnlineConfig {
+            resolution,
+            window_us: None,
+            batch: None,
+        }
+    }
+
+    /// Sets the temporal window (CNN flush interval / GNN max node age).
+    pub fn with_window_us(mut self, window_us: u64) -> Self {
+        self.window_us = Some(window_us);
+        self
+    }
+
+    /// Sets the capacity bound (GNN max live nodes).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+}
+
+enum Paradigm<'a> {
+    Snn(&'a SnnPipeline),
+    Cnn(&'a CnnPipeline),
+    Gnn(&'a GnnPipeline),
+}
+
+/// Uniform entry point for opening online sessions: one config, one
+/// paradigm choice, one boxed [`OnlineClassifier`] ready for
+/// `evlab_serve`'s runtime.
+///
+/// # Examples
+///
+/// ```no_run
+/// use evlab_core::online::{OnlineConfig, SessionBuilder};
+/// use evlab_core::gnn_pipeline::{GnnPipeline, GnnPipelineConfig};
+///
+/// let pipe = GnnPipeline::new(GnnPipelineConfig::new());
+/// // (fit the pipeline first in real code)
+/// let session = SessionBuilder::new(
+///     OnlineConfig::new((32, 32)).with_window_us(50_000).with_batch(512),
+/// )
+/// .gnn(&pipe)
+/// .build()?;
+/// # Ok::<(), evlab_util::EvlabError>(())
+/// ```
+pub struct SessionBuilder<'a> {
+    config: OnlineConfig,
+    paradigm: Option<Paradigm<'a>>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Starts a builder from shared session parameters.
+    pub fn new(config: OnlineConfig) -> Self {
+        SessionBuilder {
+            config,
+            paradigm: None,
+        }
+    }
+
+    /// Serves the spiking paradigm from a trained [`SnnPipeline`].
+    pub fn snn(mut self, pipeline: &'a SnnPipeline) -> Self {
+        self.paradigm = Some(Paradigm::Snn(pipeline));
+        self
+    }
+
+    /// Serves the frame paradigm from a trained [`CnnPipeline`].
+    pub fn cnn(mut self, pipeline: &'a CnnPipeline) -> Self {
+        self.paradigm = Some(Paradigm::Cnn(pipeline));
+        self
+    }
+
+    /// Serves the event-graph paradigm from a trained [`GnnPipeline`].
+    pub fn gnn(mut self, pipeline: &'a GnnPipeline) -> Self {
+        self.paradigm = Some(Paradigm::Gnn(pipeline));
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no paradigm was selected, the chosen pipeline
+    /// is untrained, or the config is invalid for the paradigm.
+    pub fn build(self) -> Result<Box<dyn OnlineClassifier + Send>, EvlabError> {
+        match self.paradigm {
+            None => Err(EvlabError::serve(
+                "SessionBuilder: no paradigm selected — call .snn(), .cnn() or .gnn()",
+            )),
+            Some(Paradigm::Snn(p)) => Ok(Box::new(SnnOnline::with_config(p, &self.config)?)),
+            Some(Paradigm::Cnn(p)) => Ok(Box::new(CnnOnline::with_config(p, &self.config)?)),
+            Some(Paradigm::Gnn(p)) => Ok(Box::new(GnnOnline::with_config(p, &self.config)?)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SNN: per-event stepping.
 // ---------------------------------------------------------------------------
 
@@ -170,14 +302,16 @@ pub struct SnnOnline {
 }
 
 impl SnnOnline {
-    /// Builds a session over a trained pipeline for streams of the given
-    /// sensor resolution.
+    /// Builds a session over a trained pipeline. Only
+    /// [`OnlineConfig::resolution`] is used: the SNN's temporal windowing
+    /// comes from the pipeline's own `dt_us × steps`.
     ///
     /// # Errors
     ///
     /// Returns an error if the pipeline is untrained or was trained for a
     /// different resolution.
-    pub fn new(pipeline: &SnnPipeline, resolution: (u16, u16)) -> Result<Self, EvlabError> {
+    pub fn with_config(pipeline: &SnnPipeline, config: &OnlineConfig) -> Result<Self, EvlabError> {
+        let resolution = config.resolution;
         let net = pipeline
             .network()
             .ok_or_else(|| EvlabError::serve("SNN pipeline is untrained"))?;
@@ -209,6 +343,16 @@ impl SnnOnline {
             events_since: 0,
             current_step: 0,
         })
+    }
+
+    /// Positional constructor, superseded by the unified config path.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnnOnline::with_config`].
+    #[deprecated(note = "use SnnOnline::with_config or SessionBuilder")]
+    pub fn new(pipeline: &SnnPipeline, resolution: (u16, u16)) -> Result<Self, EvlabError> {
+        Self::with_config(pipeline, &OnlineConfig::new(resolution))
     }
 }
 
@@ -313,17 +457,15 @@ pub struct CnnOnline {
 
 impl CnnOnline {
     /// Builds a session over a trained pipeline; the network weights are
-    /// cloned so the session is independent of the pipeline. `window_us`
-    /// is the micro-batch flush interval.
+    /// cloned so the session is independent of the pipeline.
+    /// [`OnlineConfig::window_us`] is the micro-batch flush interval
+    /// (default [`DEFAULT_CNN_WINDOW_US`]).
     ///
     /// # Errors
     ///
-    /// Returns an error if the pipeline is untrained or `window_us == 0`.
-    pub fn new(
-        pipeline: &CnnPipeline,
-        resolution: (u16, u16),
-        window_us: u64,
-    ) -> Result<Self, EvlabError> {
+    /// Returns an error if the pipeline is untrained or the window is 0.
+    pub fn with_config(pipeline: &CnnPipeline, config: &OnlineConfig) -> Result<Self, EvlabError> {
+        let window_us = config.window_us.unwrap_or(DEFAULT_CNN_WINDOW_US);
         let net = pipeline
             .network()
             .ok_or_else(|| EvlabError::serve("CNN pipeline is untrained"))?
@@ -334,7 +476,7 @@ impl CnnOnline {
         Ok(CnnOnline {
             net,
             config: *pipeline.config(),
-            resolution,
+            resolution: config.resolution,
             window_us,
             buffer: Vec::new(),
             window_start: None,
@@ -342,6 +484,23 @@ impl CnnOnline {
             pending: None,
             events_since: 0,
         })
+    }
+
+    /// Positional constructor, superseded by the unified config path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CnnOnline::with_config`].
+    #[deprecated(note = "use CnnOnline::with_config or SessionBuilder")]
+    pub fn new(
+        pipeline: &CnnPipeline,
+        resolution: (u16, u16),
+        window_us: u64,
+    ) -> Result<Self, EvlabError> {
+        Self::with_config(
+            pipeline,
+            &OnlineConfig::new(resolution).with_window_us(window_us),
+        )
     }
 
     /// Encodes the buffered window and runs the network.
@@ -411,13 +570,13 @@ impl OnlineClassifier for CnnOnline {
 // GNN: per-event asynchronous updates.
 // ---------------------------------------------------------------------------
 
-/// Streaming GNN session: each event updates the incremental graph and the
-/// pooled logits in `O(1)` graph-size-independent work; graph state is
-/// bounded by resetting once `max_nodes` events have been absorbed.
+/// Streaming GNN session: each event updates a *true sliding window*
+/// ([`WindowedGnn`]) in graph-size-independent work. The eviction policy
+/// bounds memory continuously — the engine never rebuilds the graph, so
+/// there is no periodic logit cliff at a node-count boundary.
 #[derive(Clone)]
 pub struct GnnOnline {
-    engine: AsyncGnn,
-    max_nodes: usize,
+    engine: WindowedGnn,
     order: OrderGuard,
     pending: Option<Decision>,
     events_since: usize,
@@ -428,24 +587,60 @@ impl GnnOnline {
     /// Builds a session over a trained pipeline; the network weights are
     /// cloned so the session is independent of the pipeline.
     ///
+    /// [`OnlineConfig::batch`] caps the live node count (default: the
+    /// pipeline's `max_nodes`); [`OnlineConfig::window_us`], when set,
+    /// additionally evicts nodes older than that age.
+    /// [`OnlineConfig::resolution`] is ignored — event graphs carry their
+    /// own coordinates.
+    ///
     /// # Errors
     ///
     /// Returns an error if the pipeline is untrained.
-    pub fn new(pipeline: &GnnPipeline) -> Result<Self, EvlabError> {
+    pub fn with_config(pipeline: &GnnPipeline, config: &OnlineConfig) -> Result<Self, EvlabError> {
         let net = pipeline
             .network()
             .ok_or_else(|| EvlabError::serve("GNN pipeline is untrained"))?
             .clone();
         let classes = net.classes();
-        let engine = AsyncGnn::new(net, *pipeline.graph_config(), classes);
+        let max_nodes = config.batch.unwrap_or(pipeline.config().max_nodes).max(1);
+        let policy = match config.window_us {
+            Some(max_age_us) => WindowPolicy::Both {
+                max_nodes,
+                max_age_us,
+            },
+            None => WindowPolicy::MaxNodes(max_nodes),
+        };
+        let engine = WindowedGnn::new(net, *pipeline.graph_config(), policy, classes);
         Ok(GnnOnline {
             engine,
-            max_nodes: pipeline.config().max_nodes,
             order: OrderGuard::default(),
             pending: None,
             events_since: 0,
             last_decision: None,
         })
+    }
+
+    /// Positional constructor, superseded by the unified config path.
+    /// Served with the pipeline's `max_nodes` as the count bound and no
+    /// age bound.
+    ///
+    /// # Errors
+    ///
+    /// As [`GnnOnline::with_config`].
+    #[deprecated(note = "use GnnOnline::with_config or SessionBuilder")]
+    pub fn new(pipeline: &GnnPipeline) -> Result<Self, EvlabError> {
+        // Resolution is unused by the graph paradigm; any value works.
+        Self::with_config(pipeline, &OnlineConfig::new((0, 0)))
+    }
+
+    /// Number of live nodes currently in the sliding window.
+    pub fn node_count(&self) -> usize {
+        self.engine.node_count()
+    }
+
+    /// The window's eviction policy.
+    pub fn policy(&self) -> WindowPolicy {
+        self.engine.graph().policy()
     }
 }
 
@@ -466,10 +661,8 @@ impl OnlineClassifier for GnnOnline {
         let t = event.t.as_micros();
         self.order.check(t)?;
         self.events_since += 1;
-        if self.engine.node_count() >= self.max_nodes {
-            // Bound the graph: restart the sliding window.
-            self.engine.reset();
-        }
+        // The window slides by itself: eviction happens inside the engine,
+        // one node at a time, with no full-graph reset.
         let mut logits = self.engine.update(event, ops);
         // Faulted ingress must degrade decisions, never poison the graph.
         evlab_tensor::guard::sanitize_tensor(&mut logits);
@@ -597,7 +790,8 @@ mod tests {
         let stream = &data.test[0].stream;
         let mut batch_ops = OpCount::new();
         let batch_class = pipe.predict(stream, &mut batch_ops);
-        let mut session = SnnOnline::new(&pipe, data.resolution).expect("trained");
+        let mut session =
+            SnnOnline::with_config(&pipe, &OnlineConfig::new(data.resolution)).expect("trained");
         session.begin_session();
         let mut ops = OpCount::new();
         for e in stream.iter() {
@@ -617,7 +811,11 @@ mod tests {
         pipe.fit(&data);
         let stream = &data.test[0].stream;
         // Window much shorter than the sample: several mid-stream flushes.
-        let mut session = CnnOnline::new(&pipe, data.resolution, 5_000).expect("trained");
+        let mut session = CnnOnline::with_config(
+            &pipe,
+            &OnlineConfig::new(data.resolution).with_window_us(5_000),
+        )
+        .expect("trained");
         session.begin_session();
         let mut ops = OpCount::new();
         let mut decisions = 0usize;
@@ -632,7 +830,11 @@ mod tests {
         }
         assert!(decisions >= 2, "micro-batching produced {decisions} decisions");
         // Whole-sample window + flush reproduces the batch prediction.
-        let mut whole = CnnOnline::new(&pipe, data.resolution, u64::MAX).expect("trained");
+        let mut whole = CnnOnline::with_config(
+            &pipe,
+            &OnlineConfig::new(data.resolution).with_window_us(u64::MAX),
+        )
+        .expect("trained");
         whole.begin_session();
         for e in stream.iter() {
             whole.push_event(*e, &mut ops).expect("ordered");
@@ -652,19 +854,60 @@ mod tests {
                 .with_seed(1),
         );
         pipe.fit(&data);
-        let mut session = GnnOnline::new(&pipe).expect("trained");
+        let mut session =
+            GnnOnline::with_config(&pipe, &OnlineConfig::new(data.resolution)).expect("trained");
         session.begin_session();
         let mut ops = OpCount::new();
         let mut decisions = 0usize;
-        for e in data.test[0].stream.iter() {
+        let mut saturated_at = None;
+        for (i, e) in data.test[0].stream.iter().enumerate() {
             session.push_event(*e, &mut ops).expect("ordered");
             if let Some(d) = session.poll_decision() {
                 assert!(d.class < data.num_classes);
                 decisions += 1;
             }
+            assert!(session.node_count() <= 40, "graph state stays bounded");
+            if session.node_count() == 40 && saturated_at.is_none() {
+                saturated_at = Some(i);
+            }
+            if saturated_at.is_some() {
+                // The window slides instead of resetting: once full it
+                // stays full — the old engine dropped back to 1 node here.
+                assert_eq!(session.node_count(), 40, "no reset cliff at event {i}");
+            }
         }
         assert_eq!(decisions, data.test[0].stream.len(), "one decision per event");
-        assert!(session.engine.node_count() <= 40, "graph state stays bounded");
+        assert!(saturated_at.is_some(), "stream long enough to fill the window");
+    }
+
+    #[test]
+    fn gnn_online_age_window_evicts_stale_nodes() {
+        let data = tiny_data();
+        let mut pipe = GnnPipeline::new(
+            GnnPipelineConfig::new().with_epochs(2).with_seed(1),
+        );
+        pipe.fit(&data);
+        let config = OnlineConfig::new(data.resolution)
+            .with_batch(64)
+            .with_window_us(2_000);
+        let mut session = GnnOnline::with_config(&pipe, &config).expect("trained");
+        assert_eq!(
+            session.policy(),
+            WindowPolicy::Both { max_nodes: 64, max_age_us: 2_000 }
+        );
+        session.begin_session();
+        let mut ops = OpCount::new();
+        for i in 0..10u64 {
+            session
+                .push_event(Event::new(i * 100, 1, 1, Polarity::On), &mut ops)
+                .expect("ordered");
+        }
+        assert_eq!(session.node_count(), 10);
+        // A long silence ages everything out except the newcomer.
+        session
+            .push_event(Event::new(1_000_000, 2, 2, Polarity::On), &mut ops)
+            .expect("ordered");
+        assert_eq!(session.node_count(), 1, "age bound slid the window");
     }
 
     #[test]
@@ -694,7 +937,10 @@ mod tests {
         let data = tiny_data();
         let mut pipe = GnnPipeline::new(GnnPipelineConfig::new().with_epochs(2).with_seed(1));
         pipe.fit(&data);
-        let mut session = GnnOnline::new(&pipe).expect("trained");
+        let mut session = SessionBuilder::new(OnlineConfig::new(data.resolution))
+            .gnn(&pipe)
+            .build()
+            .expect("trained");
         session.begin_session();
         let mut ops = OpCount::new();
         session
@@ -730,11 +976,30 @@ mod tests {
 
     #[test]
     fn untrained_pipelines_yield_typed_errors() {
+        let config = OnlineConfig::new((16, 16));
+        let snn = SnnPipeline::new(SnnPipelineConfig::new());
+        assert!(SessionBuilder::new(config).snn(&snn).build().is_err());
+        let cnn = CnnPipeline::new(CnnPipelineConfig::new());
+        assert!(SessionBuilder::new(config).cnn(&cnn).build().is_err());
+        let gnn = GnnPipeline::new(GnnPipelineConfig::new());
+        assert!(SessionBuilder::new(config).gnn(&gnn).build().is_err());
+        let err = SessionBuilder::new(config).build().map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("no paradigm"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_delegate_to_config_path() {
+        let data = tiny_data();
+        let mut pipe = GnnPipeline::new(GnnPipelineConfig::new().with_epochs(2).with_seed(1));
+        pipe.fit(&data);
+        let via_new = GnnOnline::new(&pipe).expect("trained");
+        let via_config =
+            GnnOnline::with_config(&pipe, &OnlineConfig::new((0, 0))).expect("trained");
+        assert_eq!(via_new.policy(), via_config.policy());
         let snn = SnnPipeline::new(SnnPipelineConfig::new());
         assert!(SnnOnline::new(&snn, (16, 16)).is_err());
         let cnn = CnnPipeline::new(CnnPipelineConfig::new());
         assert!(CnnOnline::new(&cnn, (16, 16), 1_000).is_err());
-        let gnn = GnnPipeline::new(GnnPipelineConfig::new());
-        assert!(GnnOnline::new(&gnn).is_err());
     }
 }

@@ -45,7 +45,9 @@ impl AsyncGnn {
     /// Creates an engine over a trained network and a graph configuration.
     pub fn new(net: GnnNetwork, config: GraphConfig, classes: usize) -> Self {
         let dims: Vec<usize> = net.convs().iter().map(|c| c.out_dim()).collect();
-        let last = *dims.last().expect("at least one conv layer");
+        let last = *dims
+            .last()
+            .unwrap_or_else(|| panic!("at least one conv layer"));
         AsyncGnn {
             builder: IncrementalGraphBuilder::new(config),
             input_features: NodeFeatures::zeros(0, 2),
@@ -116,7 +118,8 @@ impl AsyncGnn {
         let n = graph.node_count() as f32;
         let pooled: Vec<f32> = self.pool_sum.iter().map(|&s| s / n).collect();
         let logits = self.net.head_logits(&pooled, ops);
-        Tensor::from_vec(&[self.classes], logits).expect("logit shape")
+        Tensor::from_vec(&[self.classes], logits)
+            .unwrap_or_else(|e| panic!("logit shape: {e}"))
     }
 }
 

@@ -1,16 +1,23 @@
 //! Graph construction strategies.
 //!
-//! All three builders produce the *same* graph (identical semantics,
+//! All builders produce the *same* graph (identical semantics,
 //! deterministic tie-breaking) so their costs are directly comparable —
 //! experiment CL-F, the §IV claim that algorithmic innovation took graph
 //! insertion from tree-search latency to real-time:
 //!
-//! * [`naive_build`] — O(N²) backward scan, the reference.
-//! * [`kdtree_build`] — batch kd-tree over all events.
-//! * [`incremental_build`] / [`IncrementalGraphBuilder`] — streaming
+//! * [`NaiveBuilder`] / [`naive_build`] — O(N²) backward scan, the
+//!   reference.
+//! * [`KdTreeBuilder`] / [`kdtree_build`] — batch kd-tree over all events.
+//! * [`IncrementalGraphBuilder`] / [`incremental_build`] — streaming
 //!   insertion with a uniform spatial hash and a sliding time horizon (the
 //!   "hemispherical update": only *past* events within the horizon are
 //!   candidates).
+//! * [`crate::window::WindowedGraphBuilder`] — the sliding-window engine
+//!   run with an unbounded window, for construction parity checks.
+//!
+//! Every strategy implements the [`GraphBuilder`] trait (`insert`,
+//! `finish`, `graph`); the free `*_build` functions are thin wrappers that
+//! stream a slice through the corresponding builder.
 
 //! # Parallelism
 //!
@@ -91,7 +98,7 @@ impl GraphConfig {
         self
     }
 
-    fn point_of(&self, e: &Event) -> [f64; 3] {
+    pub(crate) fn point_of(&self, e: &Event) -> [f64; 3] {
         [
             e.x as f64,
             e.y as f64,
@@ -106,19 +113,22 @@ impl Default for GraphConfig {
     }
 }
 
-fn dist_sq(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+pub(crate) fn dist_sq(a: &[f64; 3], b: &[f64; 3]) -> f64 {
     (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)
 }
 
 /// Selects up to `max_degree` candidates by (distance, recency) and returns
 /// them sorted ascending by node index.
+///
+/// The windowed engine mirrors this exact ordering over (distance, seq) —
+/// see `crate::window` — so the two selections are interchangeable.
 fn select_neighbors(
     mut candidates: Vec<(u32, f64)>,
     max_degree: usize,
 ) -> Vec<u32> {
     candidates.sort_by(|a, b| {
         a.1.partial_cmp(&b.1)
-            .expect("finite distance")
+            .unwrap_or(std::cmp::Ordering::Equal) // distances are finite
             .then(b.0.cmp(&a.0)) // tie: prefer the more recent event
     });
     candidates.truncate(max_degree);
@@ -127,11 +137,46 @@ fn select_neighbors(
     out
 }
 
-/// O(N²) reference builder: every node scans all prior events.
+/// Uniform construction interface over every graph-assembly strategy.
 ///
-/// Cost accounting: one distance evaluation (4 mults + comparisons) per
-/// candidate pair.
-pub fn naive_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -> EventGraph {
+/// Lifecycle: [`GraphBuilder::insert`] feeds events in timestamp order;
+/// [`GraphBuilder::finish`] completes any deferred batch work (idempotent
+/// — a second `finish` with no intervening `insert` is free);
+/// [`GraphBuilder::graph`] exposes the result. Streaming strategies
+/// (incremental, windowed) maintain the graph eagerly and use `finish`
+/// only to snapshot/record; batch strategies (naive, kd-tree) buffer the
+/// events and do all construction work in `finish`.
+pub trait GraphBuilder {
+    /// Strategy name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Feeds one event (events must arrive in timestamp order).
+    fn insert(&mut self, event: Event, ops: &mut OpCount);
+
+    /// Completes any deferred construction work. Idempotent until the next
+    /// `insert`.
+    fn finish(&mut self, ops: &mut OpCount);
+
+    /// The graph built so far. Batch strategies return an empty graph
+    /// until [`GraphBuilder::finish`] has run.
+    fn graph(&self) -> &EventGraph;
+}
+
+/// Streams a slice through a builder and returns the finished graph
+/// reference — the shared body of the `*_build` thin wrappers.
+fn run_builder<'b, B: GraphBuilder>(
+    builder: &'b mut B,
+    events: &[Event],
+    ops: &mut OpCount,
+) -> &'b EventGraph {
+    for e in events {
+        builder.insert(*e, ops);
+    }
+    builder.finish(ops);
+    builder.graph()
+}
+
+fn naive_core(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -> EventGraph {
     let mut graph = EventGraph::new(config.beta);
     let r_sq = config.radius * config.radius;
     for (i, e) in events.iter().enumerate() {
@@ -150,13 +195,132 @@ pub fn naive_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) ->
         }
         graph.push_node(*e, select_neighbors(candidates, config.max_degree));
     }
-    record_build_obs(&graph);
     graph
 }
 
+/// O(N²) reference strategy behind [`naive_build`]: buffers events and
+/// runs the full backward scan in [`GraphBuilder::finish`].
+///
+/// Cost accounting: one distance evaluation (4 mults + comparisons) per
+/// candidate pair.
+#[derive(Debug, Clone)]
+pub struct NaiveBuilder {
+    config: GraphConfig,
+    buffer: Vec<Event>,
+    graph: EventGraph,
+    built: bool,
+}
+
+impl NaiveBuilder {
+    /// Creates a builder.
+    pub fn new(config: GraphConfig) -> Self {
+        NaiveBuilder {
+            graph: EventGraph::new(config.beta),
+            config,
+            buffer: Vec::new(),
+            built: false,
+        }
+    }
+
+    /// Consumes the builder, returning the graph.
+    pub fn into_graph(self) -> EventGraph {
+        self.graph
+    }
+}
+
+impl GraphBuilder for NaiveBuilder {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn insert(&mut self, event: Event, _ops: &mut OpCount) {
+        self.buffer.push(event);
+        self.built = false;
+    }
+
+    fn finish(&mut self, ops: &mut OpCount) {
+        if self.built {
+            return;
+        }
+        self.graph = naive_core(&self.buffer, &self.config, ops);
+        self.built = true;
+        record_build_obs(&self.graph);
+    }
+
+    fn graph(&self) -> &EventGraph {
+        &self.graph
+    }
+}
+
+/// O(N²) reference builder: every node scans all prior events. Thin
+/// wrapper over [`NaiveBuilder`].
+pub fn naive_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -> EventGraph {
+    let mut builder = NaiveBuilder::new(*config);
+    run_builder(&mut builder, events, ops);
+    builder.into_graph()
+}
+
+/// Batch kd-tree strategy behind [`kdtree_build`]: buffers events, builds
+/// one tree over all of them in [`GraphBuilder::finish`], and answers the
+/// per-node radius queries with causal filtering.
+#[derive(Debug, Clone)]
+pub struct KdTreeBuilder {
+    config: GraphConfig,
+    buffer: Vec<Event>,
+    graph: EventGraph,
+    built: bool,
+}
+
+impl KdTreeBuilder {
+    /// Creates a builder.
+    pub fn new(config: GraphConfig) -> Self {
+        KdTreeBuilder {
+            graph: EventGraph::new(config.beta),
+            config,
+            buffer: Vec::new(),
+            built: false,
+        }
+    }
+
+    /// Consumes the builder, returning the graph.
+    pub fn into_graph(self) -> EventGraph {
+        self.graph
+    }
+}
+
+impl GraphBuilder for KdTreeBuilder {
+    fn name(&self) -> &'static str {
+        "kdtree"
+    }
+
+    fn insert(&mut self, event: Event, _ops: &mut OpCount) {
+        self.buffer.push(event);
+        self.built = false;
+    }
+
+    fn finish(&mut self, ops: &mut OpCount) {
+        if self.built {
+            return;
+        }
+        self.graph = kdtree_core(&self.buffer, &self.config, ops);
+        self.built = true;
+        record_build_obs(&self.graph);
+    }
+
+    fn graph(&self) -> &EventGraph {
+        &self.graph
+    }
+}
+
 /// Batch kd-tree builder: one tree over all events, causal filtering per
-/// query.
+/// query. Thin wrapper over [`KdTreeBuilder`].
 pub fn kdtree_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -> EventGraph {
+    let mut builder = KdTreeBuilder::new(*config);
+    run_builder(&mut builder, events, ops);
+    builder.into_graph()
+}
+
+fn kdtree_core(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -> EventGraph {
     let points: Vec<[f64; 3]> = events.iter().map(|e| config.point_of(e)).collect();
     let tree_span = obs::span("gnn.build.kdtree");
     let tree = KdTree3::build(points.clone());
@@ -197,15 +361,17 @@ pub fn kdtree_build(events: &[Event], config: &GraphConfig, ops: &mut OpCount) -
         ops.record_mult(4 * visited);
         ops.record_compare(2 * visited);
         for ns in neighbors {
-            graph.push_node(*next_event.next().expect("one list per event"), ns);
+            let e = next_event
+                .next()
+                .unwrap_or_else(|| panic!("one neighbour list per event"));
+            graph.push_node(*e, ns);
         }
     }
-    record_build_obs(&graph);
     graph
 }
 
 /// Records node/edge totals for one finished build (any strategy).
-fn record_build_obs(graph: &EventGraph) {
+pub(crate) fn record_build_obs(graph: &EventGraph) {
     if !obs::enabled() {
         return;
     }
@@ -223,6 +389,7 @@ pub struct IncrementalGraphBuilder {
     /// Cell → node indices, newest last.
     cells: HashMap<(i32, i32), Vec<u32>>,
     cell_size: f64,
+    obs_recorded: bool,
 }
 
 impl IncrementalGraphBuilder {
@@ -233,6 +400,7 @@ impl IncrementalGraphBuilder {
             cell_size: config.radius.max(1.0),
             config,
             cells: HashMap::new(),
+            obs_recorded: false,
         }
     }
 
@@ -299,7 +467,30 @@ impl IncrementalGraphBuilder {
             cell.drain(..drop);
         }
         ops.record_write(1);
+        self.obs_recorded = false;
         idx
+    }
+}
+
+impl GraphBuilder for IncrementalGraphBuilder {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn insert(&mut self, event: Event, ops: &mut OpCount) {
+        IncrementalGraphBuilder::insert(self, event, ops);
+    }
+
+    fn finish(&mut self, _ops: &mut OpCount) {
+        // The graph is maintained eagerly; finishing only records totals.
+        if !self.obs_recorded {
+            record_build_obs(&self.graph);
+            self.obs_recorded = true;
+        }
+    }
+
+    fn graph(&self) -> &EventGraph {
+        &self.graph
     }
 }
 
@@ -329,12 +520,8 @@ pub fn incremental_build(
         obs::counter_add("gnn.serial_fallback", 1);
     }
     let mut builder = IncrementalGraphBuilder::new(*config);
-    for e in events {
-        builder.insert(*e, ops);
-    }
-    let graph = builder.into_graph();
-    record_build_obs(&graph);
-    graph
+    run_builder(&mut builder, events, ops);
+    builder.into_graph()
 }
 
 /// Spatially partitioned incremental build.
@@ -360,7 +547,10 @@ fn striped_incremental_build(
 ) -> EventGraph {
     let cell_size = config.radius.max(1.0);
     let col_of = |e: &Event| (e.x as f64 / cell_size).floor() as i32;
-    let max_col = events.iter().map(col_of).max().expect("nonempty") as usize;
+    let Some(max_col) = events.iter().map(col_of).max() else {
+        return EventGraph::new(config.beta);
+    };
+    let max_col = max_col as usize;
     let mut col_counts = vec![0usize; max_col + 1];
     for e in events {
         col_counts[col_of(e) as usize] += 1;
@@ -377,7 +567,7 @@ fn striped_incremental_build(
             acc = 0;
         }
     }
-    if *bounds.last().expect("nonempty") != max_col as i32 + 1 {
+    if bounds.last() != Some(&(max_col as i32 + 1)) {
         bounds.push(max_col as i32 + 1);
     }
 
@@ -441,7 +631,9 @@ fn striped_incremental_build(
     ops.record_write(events.len() as u64);
     let mut graph = EventGraph::new(config.beta);
     for (i, e) in events.iter().enumerate() {
-        let ns = neighbors[i].take().expect("every event owned by one stripe");
+        let ns = neighbors[i]
+            .take()
+            .unwrap_or_else(|| panic!("event {i} not owned by any stripe"));
         graph.push_node(*e, ns);
     }
     graph
@@ -486,6 +678,87 @@ mod tests {
             assert_eq!(a.in_neighbors(i), c.in_neighbors(i), "node {i} naive vs incr");
         }
         a.assert_causal();
+    }
+
+    #[test]
+    fn builder_trait_impls_are_equivalent_across_seeds() {
+        // Property test over the unified GraphBuilder interface: all four
+        // strategies — naive scan, kd-tree batch, incremental insertion,
+        // and the sliding window run unbounded — must produce identical
+        // graphs from identical streams, whatever the stream looks like.
+        // Each implementation keeps its own OpCount so their cost models
+        // stay individually observable through the shared trait.
+        use crate::window::{WindowPolicy, WindowedGraphBuilder};
+        for seed in 1..=5u64 {
+            let events = random_events(250, 24 + (seed as u16 % 3) * 16, 80_000, seed);
+            let config = GraphConfig::new().with_max_degree(4 + seed as usize % 4);
+            let mut naive = NaiveBuilder::new(config);
+            let mut kdtree = KdTreeBuilder::new(config);
+            let mut incremental = IncrementalGraphBuilder::new(config);
+            let mut windowed =
+                WindowedGraphBuilder::new(config, WindowPolicy::MaxNodes(usize::MAX));
+            let mut builders: Vec<(&mut dyn GraphBuilder, OpCount)> = vec![
+                (&mut naive, OpCount::new()),
+                (&mut kdtree, OpCount::new()),
+                (&mut incremental, OpCount::new()),
+                (&mut windowed, OpCount::new()),
+            ];
+            for (builder, ops) in &mut builders {
+                for e in &events {
+                    builder.insert(*e, ops);
+                }
+                builder.finish(ops);
+            }
+            let reference: Vec<Vec<u32>> = (0..events.len())
+                .map(|i| builders[0].0.graph().in_neighbors(i).to_vec())
+                .collect();
+            for (builder, ops) in &builders[1..] {
+                let g = builder.graph();
+                assert_eq!(g.node_count(), events.len(), "{}: node count", builder.name());
+                for (i, expected) in reference.iter().enumerate() {
+                    assert_eq!(
+                        g.in_neighbors(i),
+                        expected.as_slice(),
+                        "seed {seed}, node {i}: naive vs {}",
+                        builder.name()
+                    );
+                }
+                g.assert_causal();
+                assert!(ops.mults > 0, "{} recorded its own work", builder.name());
+            }
+            // Distinct cost models: the naive scan must dominate the
+            // spatially indexed strategies.
+            assert!(
+                builders[0].1.mults > builders[2].1.mults,
+                "seed {seed}: naive {} vs incremental {}",
+                builders[0].1.mults,
+                builders[2].1.mults
+            );
+        }
+    }
+
+    #[test]
+    fn builder_insert_after_finish_resumes() {
+        // The buffered builders must tolerate interleaved finish/insert:
+        // finish() is idempotent and a later insert reopens the build.
+        let events = random_events(60, 16, 20_000, 9);
+        let mut ops = OpCount::new();
+        let mut b = KdTreeBuilder::new(GraphConfig::new());
+        for e in &events[..30] {
+            b.insert(*e, &mut ops);
+        }
+        b.finish(&mut ops);
+        assert_eq!(b.graph().node_count(), 30);
+        b.finish(&mut ops);
+        for e in &events[30..] {
+            b.insert(*e, &mut ops);
+        }
+        b.finish(&mut ops);
+        let full = kdtree_build(&events, &GraphConfig::new(), &mut OpCount::new());
+        assert_eq!(b.graph().node_count(), 60);
+        for i in 0..60 {
+            assert_eq!(b.graph().in_neighbors(i), full.in_neighbors(i), "node {i}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! captured by an event-camera deep into a neural network" (§IV). Backward
 //! passes are exact.
 
-use crate::graph::EventGraph;
+use crate::graph::{EventGraph, GraphView};
 use evlab_tensor::init::he_normal;
 use evlab_tensor::layer::Param;
 use evlab_tensor::scratch::with_worker_scratch;
@@ -89,6 +89,13 @@ impl NodeFeatures {
     pub fn push_row(&mut self, row: &[f32]) {
         assert_eq!(row.len(), self.dim, "row length mismatch");
         self.data.extend_from_slice(row);
+    }
+
+    /// Grows or shrinks the matrix to exactly `nodes` rows, zero-filling
+    /// any new rows and keeping existing rows in place. Used by the
+    /// sliding-window engine, whose rows are keyed by stable slot ids.
+    pub fn resize_nodes(&mut self, nodes: usize) {
+        self.data.resize(nodes * self.dim, 0.0);
     }
 
     /// Makes this matrix an exact copy of `src`, reusing the existing
@@ -194,11 +201,12 @@ impl GraphConv {
 
     /// Computes the pre-activation message for a single node given the
     /// *input* features — shared by the batch forward and the asynchronous
-    /// single-node update. Convenience wrapper over
-    /// [`GraphConv::node_forward_into`] that allocates the result.
-    pub fn node_forward(
+    /// single-node update, over any [`GraphView`] node store. Convenience
+    /// wrapper over [`GraphConv::node_forward_into`] that allocates the
+    /// result.
+    pub fn node_forward<G: GraphView + ?Sized>(
         &self,
-        graph: &EventGraph,
+        graph: &G,
         input: &NodeFeatures,
         i: usize,
         ops: &mut OpCount,
@@ -216,9 +224,9 @@ impl GraphConv {
     /// # Panics
     ///
     /// Panics if either buffer is shorter than `out_dim`.
-    pub fn node_forward_into(
+    pub fn node_forward_into<G: GraphView + ?Sized>(
         &self,
-        graph: &EventGraph,
+        graph: &G,
         input: &NodeFeatures,
         i: usize,
         m: &mut [f32],
@@ -389,8 +397,14 @@ impl GraphConv {
         grad_output: &NodeFeatures,
         ops: &mut OpCount,
     ) -> NodeFeatures {
-        let input = self.cached_input.take().expect("backward without forward");
-        let mask = self.cached_mask.take().expect("forward caches mask");
+        let input = self
+            .cached_input
+            .take()
+            .unwrap_or_else(|| panic!("backward without forward"));
+        let mask = self
+            .cached_mask
+            .take()
+            .unwrap_or_else(|| panic!("forward caches mask"));
         let n = graph.node_count();
         let mut grad_input = NodeFeatures::zeros(n, self.in_dim);
         // `dm` (masked gradient of one node) reuses the message buffer; all

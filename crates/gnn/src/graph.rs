@@ -2,6 +2,28 @@
 
 use evlab_events::Event;
 
+/// Read-only view of a causal event graph: exactly what the per-node
+/// message-passing kernels need. Implemented by the dense [`EventGraph`]
+/// (batch training / batch inference) and by the sliding-window store
+/// [`crate::window::SlidingWindowGraph`] (streaming inference), so the
+/// convolution kernels run unchanged over both node stores.
+///
+/// Indices handed to these methods are *node handles* of the implementing
+/// store — dense positions for [`EventGraph`], slot ids for the windowed
+/// store. A handle obtained from the store is stable for as long as the
+/// node is live.
+pub trait GraphView {
+    /// In-neighbours (past events) of node `i`, oldest first.
+    fn in_neighbors(&self, i: usize) -> &[u32];
+
+    /// The edge attribute for edge `j → i`: `(Δx, Δy, βΔt)` from the
+    /// neighbour to the node.
+    fn relative_offset(&self, i: usize, j: usize) -> [f32; 3];
+
+    /// Initial node features: the polarity one-hot `[on, off]`.
+    fn node_features(&self, i: usize) -> [f32; 2];
+}
+
 /// A directed graph over events, with edges pointing from past events to
 /// newer ones (strict causality).
 ///
@@ -152,22 +174,31 @@ impl EventGraph {
         }
     }
 
-    /// Removes the oldest nodes, keeping the most recent `keep` (sliding
-    /// window maintenance). Edge indices are remapped; edges to evicted
-    /// nodes are dropped.
-    pub fn evict_oldest(&mut self, keep: usize) {
-        if self.events.len() <= keep {
-            return;
-        }
-        let drop = self.events.len() - keep;
-        self.events.drain(..drop);
-        self.in_edges.drain(..drop);
-        for nbrs in &mut self.in_edges {
-            nbrs.retain(|&j| j as usize >= drop);
-            for j in nbrs.iter_mut() {
-                *j -= drop as u32;
-            }
-        }
+    // There deliberately is **no** `evict_oldest` on the dense graph any
+    // more. The old implementation drained the oldest rows and renumbered
+    // every surviving index, which silently invalidated `in_neighbors`
+    // slices and node handles held by callers (cached per-node features in
+    // the streaming engines keyed rows by node index). Rather than patch
+    // that contract with tombstones inside the dense store — which would
+    // cost every batch consumer a liveness check — sliding-window
+    // maintenance lives in [`crate::window::SlidingWindowGraph`], whose
+    // slot handles are stable for a node's whole lifetime and whose
+    // eviction keeps neighbour lists oracle-exact. `EventGraph` stays
+    // append-only; convert a window snapshot to a dense graph with
+    // [`crate::window::SlidingWindowGraph::to_event_graph`].
+}
+
+impl GraphView for EventGraph {
+    fn in_neighbors(&self, i: usize) -> &[u32] {
+        EventGraph::in_neighbors(self, i)
+    }
+
+    fn relative_offset(&self, i: usize, j: usize) -> [f32; 3] {
+        EventGraph::relative_offset(self, i, j)
+    }
+
+    fn node_features(&self, i: usize) -> [f32; 2] {
+        EventGraph::node_features(self, i)
     }
 }
 
@@ -231,22 +262,18 @@ mod tests {
     }
 
     #[test]
-    fn eviction_remaps_edges() {
-        let mut g = chain(5);
-        g.evict_oldest(3);
-        assert_eq!(g.node_count(), 3);
-        // Old node 2 (now 0) pointed to evicted node 1: edge dropped.
-        assert_eq!(g.in_neighbors(0), &[] as &[u32]);
-        // Old node 3 (now 1) pointed to old 2 (now 0).
-        assert_eq!(g.in_neighbors(1), &[0]);
-        assert_eq!(g.in_neighbors(2), &[1]);
-        g.assert_causal();
-    }
-
-    #[test]
-    fn eviction_noop_when_small() {
-        let mut g = chain(2);
-        g.evict_oldest(5);
-        assert_eq!(g.node_count(), 2);
+    fn graph_view_matches_inherent_accessors() {
+        fn via_view<G: GraphView>(g: &G, i: usize, j: usize) -> (Vec<u32>, [f32; 3], [f32; 2]) {
+            (
+                g.in_neighbors(i).to_vec(),
+                g.relative_offset(i, j),
+                g.node_features(i),
+            )
+        }
+        let g = chain(4);
+        let (nbrs, rel, feat) = via_view(&g, 2, 1);
+        assert_eq!(nbrs, g.in_neighbors(2));
+        assert_eq!(rel, g.relative_offset(2, 1));
+        assert_eq!(feat, g.node_features(2));
     }
 }

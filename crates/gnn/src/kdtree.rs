@@ -114,7 +114,11 @@ impl KdTree3 {
         if !self.order.is_empty() && k > 0 {
             self.knn_recursive(query, k, 0, self.order.len(), 0, &mut best, &mut visited);
         }
-        best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        best.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal) // distances are finite
+                .then(a.0.cmp(&b.0))
+        });
         (best, visited)
     }
 
@@ -137,12 +141,15 @@ impl KdTree3 {
         let p = &self.points[idx as usize];
         *visited += 1;
         let d = dist_sq(p, query);
+        let by_dist = |a: &(u32, f64), b: &(u32, f64)| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+        };
         if best.len() < k {
             best.push((idx, d));
-            best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            best.sort_by(by_dist);
         } else if d < best[k - 1].1 {
             best[k - 1] = (idx, d);
-            best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            best.sort_by(by_dist);
         }
         let diff = query[axis] - p[axis];
         let next_axis = (axis + 1) % 3;
@@ -189,7 +196,7 @@ fn build_recursive(points: &[[f64; 3]], order: &mut [u32], axis: usize, par_leve
     order.select_nth_unstable_by(mid, |&a, &b| {
         points[a as usize][axis]
             .partial_cmp(&points[b as usize][axis])
-            .expect("finite coordinates")
+            .unwrap_or(std::cmp::Ordering::Equal) // coordinates are finite
     });
     let next = (axis + 1) % 3;
     let (left, rest) = order.split_at_mut(mid);

@@ -21,6 +21,11 @@
 //! * [`async_update`] — AEGNN-style per-event asynchronous inference: with
 //!   causal edges, a new event only adds computation for its own node,
 //!   never invalidating cached features.
+//! * [`window`] — the true sliding-window engine: a slot-stable ring-buffer
+//!   node store with per-cell FIFOs, age/count eviction policies, and
+//!   incremental message passing that recomputes only the neighbourhoods
+//!   touched by an insert or an evict. Streaming sessions stay within a
+//!   bounded memory envelope with **no** full-graph rebuilds.
 //! * [`pool`] — voxel-grid graph coarsening.
 //!
 //! # Examples
@@ -52,7 +57,9 @@ pub mod kdtree;
 pub mod network;
 pub mod pool;
 pub mod spline;
+pub mod window;
 
-pub use build::GraphConfig;
-pub use graph::EventGraph;
+pub use build::{GraphBuilder, GraphConfig};
+pub use graph::{EventGraph, GraphView};
 pub use network::GnnNetwork;
+pub use window::{SlidingWindowGraph, WindowPolicy, WindowedGnn};

@@ -2,7 +2,7 @@
 //! linear head.
 
 use crate::conv::{GraphConv, NodeFeatures};
-use crate::graph::EventGraph;
+use crate::graph::{EventGraph, GraphView};
 use crate::spline::SplineConv;
 use evlab_tensor::init::xavier_uniform;
 use evlab_tensor::layer::Param;
@@ -96,10 +96,11 @@ impl AnyConv {
         }
     }
 
-    /// Pre-activation message for a single node (streaming path).
-    pub fn node_forward(
+    /// Pre-activation message for a single node (streaming path), over any
+    /// [`GraphView`] node store.
+    pub fn node_forward<G: GraphView + ?Sized>(
         &self,
-        graph: &EventGraph,
+        graph: &G,
         input: &NodeFeatures,
         i: usize,
         ops: &mut OpCount,
@@ -260,7 +261,8 @@ impl GnnNetwork {
         let pooled = features.mean_pool();
         let logits = self.head_logits(&pooled, ops);
         self.cached_pool_input = Some(features);
-        Tensor::from_vec(&[self.classes], logits).expect("logit shape")
+        Tensor::from_vec(&[self.classes], logits)
+            .unwrap_or_else(|e| panic!("logit shape: {e}"))
     }
 
     /// Backward pass from a logit gradient.
@@ -272,7 +274,7 @@ impl GnnNetwork {
         let features = self
             .cached_pool_input
             .take()
-            .expect("backward without forward");
+            .unwrap_or_else(|| panic!("backward without forward"));
         let dim = features.dim();
         let n = features.nodes();
         let pooled = features.mean_pool();

@@ -7,7 +7,7 @@
 //! therefore represent non-monotone functions of the offset (e.g. oriented
 //! edge detectors in space-time), which a single linear map cannot.
 
-use crate::graph::EventGraph;
+use crate::graph::{EventGraph, GraphView};
 use evlab_tensor::init::he_normal;
 use evlab_tensor::layer::Param;
 use evlab_tensor::{OpCount, Tensor};
@@ -117,10 +117,10 @@ impl SplineConv {
     }
 
     /// Pre-activation message for one node (shared by batch and streaming
-    /// paths).
-    pub fn node_forward(
+    /// paths), over any [`GraphView`] node store.
+    pub fn node_forward<G: GraphView + ?Sized>(
         &self,
-        graph: &EventGraph,
+        graph: &G,
         input: &NodeFeatures,
         i: usize,
         ops: &mut OpCount,
@@ -210,8 +210,14 @@ impl SplineConv {
         grad_output: &NodeFeatures,
         ops: &mut OpCount,
     ) -> NodeFeatures {
-        let input = self.cached_input.take().expect("backward without forward");
-        let mask = self.cached_mask.take().expect("forward caches mask");
+        let input = self
+            .cached_input
+            .take()
+            .unwrap_or_else(|| panic!("backward without forward"));
+        let mask = self
+            .cached_mask
+            .take()
+            .unwrap_or_else(|| panic!("forward caches mask"));
         let n = graph.node_count();
         let mut grad_input = NodeFeatures::zeros(n, self.in_dim);
         let ws = self.w_self.value.as_slice().to_vec();

@@ -1,0 +1,947 @@
+//! True sliding-window event-graph engine.
+//!
+//! The streaming GNN path used to bound memory by discarding the whole
+//! graph once it reached `max_nodes` — a periodic accuracy/latency cliff
+//! that neither the CNN nor the SNN streaming paths suffer. This module
+//! replaces that reset with a window that actually *slides* (after
+//! Jeziorek et al., arXiv:2307.14124 / 2401.04988):
+//!
+//! * [`SlidingWindowGraph`] — a ring-buffer node store with **stable slot
+//!   handles**: evicted nodes are tombstoned and their slots reused, so
+//!   cached per-node features (keyed by slot id) survive every eviction.
+//!   A uniform-grid spatial index with per-cell FIFOs answers candidate
+//!   scans in O(1) expected work per event; no kd-tree is ever rebuilt.
+//! * [`WindowPolicy`] — age-based, count-based, or combined eviction.
+//! * [`WindowedGnn`] — incremental message passing on top of the store:
+//!   each push recomputes only the layer-by-layer frontier of nodes whose
+//!   neighbourhoods were touched by the insert and the evictions.
+//!
+//! # The oracle contract
+//!
+//! The windowed graph is **bit-identical** to a from-scratch
+//! [`crate::build::kdtree_build`] over the same trailing events. Dropping
+//! an evicted node's edges is *not* enough for that: with a degree cap, a
+//! survivor that had the evicted node among its `max_degree` nearest
+//! neighbours now has a free slot that some previously displaced candidate
+//! must fill. So eviction *re-selects* the neighbourhood of every
+//! out-neighbour of the evicted node from the still-live earlier nodes.
+//! Since all policies evict oldest-first, the live set is always a
+//! contiguous suffix of the insertion order, and by induction every live
+//! node's list equals the oracle selection over the live earlier nodes —
+//! which is exactly what a fresh build over the trailing window computes.
+//!
+//! Non-selected candidates never influence a neighbour list, so removing
+//! one cannot change it; that is why only the out-neighbours of evicted
+//! nodes need repair.
+//!
+//! Everything here is strictly serial per session — results are trivially
+//! bit-identical across `EVLAB_THREADS`.
+
+use crate::build::{GraphBuilder, GraphConfig};
+use crate::conv::NodeFeatures;
+use crate::graph::{EventGraph, GraphView};
+use crate::network::GnnNetwork;
+use evlab_events::Event;
+use evlab_tensor::{OpCount, Tensor};
+use evlab_util::obs;
+use std::collections::{HashMap, VecDeque};
+
+/// Eviction policy bounding the live window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Keep at most this many live nodes; the oldest is evicted to make
+    /// room for an insert.
+    MaxNodes(usize),
+    /// Keep only nodes within this age (µs) of the incoming event.
+    MaxAgeUs(u64),
+    /// Both bounds at once — the live set is the intersection.
+    Both {
+        /// Count bound.
+        max_nodes: usize,
+        /// Age bound in µs.
+        max_age_us: u64,
+    },
+}
+
+impl WindowPolicy {
+    /// The count bound (`usize::MAX` when only age-bounded).
+    pub fn max_nodes(&self) -> usize {
+        match self {
+            WindowPolicy::MaxNodes(n) => *n,
+            WindowPolicy::MaxAgeUs(_) => usize::MAX,
+            WindowPolicy::Both { max_nodes, .. } => *max_nodes,
+        }
+    }
+
+    /// The age bound in µs, if any.
+    pub fn max_age_us(&self) -> Option<u64> {
+        match self {
+            WindowPolicy::MaxNodes(_) => None,
+            WindowPolicy::MaxAgeUs(age) => Some(*age),
+            WindowPolicy::Both { max_age_us, .. } => Some(*max_age_us),
+        }
+    }
+}
+
+/// One node slot. Tombstoned (not deallocated) on eviction; the slot id
+/// stays valid for feature caches until the slot is reused.
+#[derive(Debug, Clone)]
+struct Slot {
+    event: Event,
+    /// Monotone insertion number — the window's notion of recency. Seq
+    /// order equals time order (pushes are time-ordered).
+    seq: u64,
+    /// In-neighbours as slot ids, ascending by seq (oldest first) —
+    /// matching the ascending-index lists of the batch builders.
+    nbrs: Vec<u32>,
+    /// Live out-neighbours as `(seq, slot)` pairs, ascending by seq.
+    outs: Vec<(u64, u32)>,
+    live: bool,
+}
+
+/// What one [`SlidingWindowGraph::push`] did, for incremental feature
+/// maintenance.
+#[derive(Debug, Clone, Default)]
+pub struct PushOutcome {
+    /// Slot id of the inserted node.
+    pub inserted: u32,
+    /// Slots evicted by this push (tombstoned; ids reusable — possibly
+    /// already reused by `inserted`).
+    pub evicted: Vec<u32>,
+    /// Live slots whose neighbour lists were re-selected after the
+    /// evictions, ascending by seq. Disjoint from `inserted`.
+    pub reselected: Vec<u32>,
+}
+
+/// Ring-buffer node store with a uniform-grid spatial index and
+/// oracle-exact sliding-window eviction.
+///
+/// # Examples
+///
+/// ```
+/// use evlab_events::{Event, Polarity};
+/// use evlab_gnn::build::GraphConfig;
+/// use evlab_gnn::window::{SlidingWindowGraph, WindowPolicy};
+/// use evlab_tensor::OpCount;
+///
+/// let mut w = SlidingWindowGraph::new(GraphConfig::new(), WindowPolicy::MaxNodes(2));
+/// let mut ops = OpCount::new();
+/// w.push(Event::new(0, 1, 1, Polarity::On), &mut ops);
+/// w.push(Event::new(50, 2, 1, Polarity::On), &mut ops);
+/// let out = w.push(Event::new(100, 2, 2, Polarity::On), &mut ops);
+/// assert_eq!(w.node_count(), 2, "count bound holds");
+/// assert_eq!(out.evicted.len(), 1, "oldest evicted");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindowGraph {
+    config: GraphConfig,
+    policy: WindowPolicy,
+    slots: Vec<Slot>,
+    /// Live slot ids, oldest (lowest seq) at the front.
+    order: VecDeque<u32>,
+    /// Tombstoned slots awaiting reuse, FIFO for deterministic reuse.
+    free: VecDeque<u32>,
+    /// Spatial cell → live slot ids, oldest first (per-cell FIFO).
+    cells: HashMap<(i32, i32), VecDeque<u32>>,
+    cell_size: f64,
+    next_seq: u64,
+    last_t: Option<u64>,
+}
+
+impl SlidingWindowGraph {
+    /// Creates an empty window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's count bound is zero.
+    pub fn new(config: GraphConfig, policy: WindowPolicy) -> Self {
+        assert!(policy.max_nodes() >= 1, "window must hold at least one node");
+        SlidingWindowGraph {
+            cell_size: config.radius.max(1.0),
+            config,
+            policy,
+            slots: Vec::new(),
+            order: VecDeque::new(),
+            free: VecDeque::new(),
+            cells: HashMap::new(),
+            next_seq: 0,
+            last_t: None,
+        }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// The eviction policy.
+    pub fn policy(&self) -> WindowPolicy {
+        self.policy
+    }
+
+    /// Number of *live* nodes.
+    pub fn node_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Total number of slots ever allocated (live + tombstoned). Feature
+    /// caches keyed by slot id must cover this many rows.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether slot `i` currently holds a live node.
+    pub fn is_live(&self, i: usize) -> bool {
+        self.slots.get(i).map(|s| s.live).unwrap_or(false)
+    }
+
+    /// Insertion number of slot `i` (the window's recency key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn seq(&self, i: usize) -> u64 {
+        self.slots[i].seq
+    }
+
+    /// The event held in slot `i` (stale if the slot is tombstoned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn event(&self, i: usize) -> &Event {
+        &self.slots[i].event
+    }
+
+    /// Out-edges of slot `i` as `(seq, slot)` pairs, ascending by seq —
+    /// the live newer nodes that selected `i` as a neighbour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn out_edges(&self, i: usize) -> &[(u64, u32)] {
+        &self.slots[i].outs
+    }
+
+    /// Live slot ids in insertion (time) order, oldest first.
+    pub fn live_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Total number of directed edges among live nodes.
+    pub fn edge_count(&self) -> usize {
+        self.order
+            .iter()
+            .map(|&s| self.slots[s as usize].nbrs.len())
+            .sum()
+    }
+
+    /// Drops all nodes and index state, keeping allocations.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.order.clear();
+        self.free.clear();
+        self.cells.clear();
+        self.next_seq = 0;
+        self.last_t = None;
+    }
+
+    fn cell_of(&self, e: &Event) -> (i32, i32) {
+        (
+            (e.x as f64 / self.cell_size).floor() as i32,
+            (e.y as f64 / self.cell_size).floor() as i32,
+        )
+    }
+
+    /// Scans the 3×3 cell neighbourhood of `event` for connection
+    /// candidates strictly older than `seq_limit`, applying the horizon
+    /// and radius filters. Returns `(slot, seq, dist²)` triples in
+    /// deterministic cell-then-FIFO order.
+    fn scan_candidates(
+        &self,
+        event: &Event,
+        seq_limit: u64,
+        ops: &mut OpCount,
+    ) -> Vec<(u32, u64, f64)> {
+        let p = self.config.point_of(event);
+        let r_sq = self.config.radius * self.config.radius;
+        let (cx, cy) = self.cell_of(event);
+        let mut candidates = Vec::new();
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                let Some(list) = self.cells.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &s in list {
+                    let slot = &self.slots[s as usize];
+                    if slot.seq >= seq_limit {
+                        // Cell FIFOs are seq-ordered: everything after
+                        // this entry is newer still.
+                        break;
+                    }
+                    ops.record_mult(4);
+                    ops.record_compare(2);
+                    if event.t.saturating_since(slot.event.t) > self.config.horizon_us {
+                        continue;
+                    }
+                    let d = crate::build::dist_sq(&self.config.point_of(&slot.event), &p);
+                    if d <= r_sq {
+                        candidates.push((s, slot.seq, d));
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Mirror of `build::select_neighbors` over (distance, seq): nearest
+    /// first, ties broken toward the more recent event, result ascending
+    /// by seq. Seq order here corresponds one-to-one to index order in a
+    /// batch build of the trailing window, so the two selections agree.
+    fn select(mut candidates: Vec<(u32, u64, f64)>, max_degree: usize) -> Vec<u32> {
+        candidates.sort_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .unwrap_or(std::cmp::Ordering::Equal) // distances are finite
+                .then(b.1.cmp(&a.1)) // tie: prefer the more recent event
+        });
+        candidates.truncate(max_degree);
+        candidates.sort_by_key(|c| c.1);
+        candidates.into_iter().map(|(s, _, _)| s).collect()
+    }
+
+    /// Evicts the globally oldest live node: removes it from the order
+    /// ring and its cell FIFO, scrubs it from every out-neighbour's list
+    /// (collecting those into `touched` for re-selection), tombstones the
+    /// slot, and recycles it.
+    fn evict_front(&mut self, evicted: &mut Vec<u32>, touched: &mut Vec<u32>) {
+        let Some(s) = self.order.pop_front() else {
+            return;
+        };
+        let slot = s as usize;
+        // The oldest live node is necessarily at the front of its cell's
+        // FIFO (cell lists are appended in seq order).
+        let cell = self.cell_of(&self.slots[slot].event);
+        if let Some(list) = self.cells.get_mut(&cell) {
+            let front = list.pop_front();
+            debug_assert_eq!(front, Some(s), "oldest node must head its cell FIFO");
+            if list.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+        // All of this node's in-neighbours are older, hence already
+        // evicted and already scrubbed from this list.
+        debug_assert!(self.slots[slot].nbrs.is_empty(), "stale in-edges at eviction");
+        let outs = std::mem::take(&mut self.slots[slot].outs);
+        for &(_, o) in &outs {
+            let nb = &mut self.slots[o as usize].nbrs;
+            if let Some(pos) = nb.iter().position(|&x| x == s) {
+                nb.remove(pos);
+            }
+            touched.push(o);
+        }
+        self.slots[slot].nbrs.clear();
+        self.slots[slot].live = false;
+        self.free.push_back(s);
+        evicted.push(s);
+    }
+
+    /// Re-selects the neighbourhood of live slot `i` from the currently
+    /// live earlier nodes, updating the out-edge lists of removed/added
+    /// neighbours.
+    fn reselect(&mut self, i: u32, ops: &mut OpCount) {
+        let slot = i as usize;
+        let event = self.slots[slot].event;
+        let seq_i = self.slots[slot].seq;
+        let candidates = self.scan_candidates(&event, seq_i, ops);
+        let new_nbrs = Self::select(candidates, self.config.max_degree);
+        let old = std::mem::replace(&mut self.slots[slot].nbrs, new_nbrs);
+        // Diff the (tiny, ≤ max_degree) lists to keep out-edges exact.
+        let new_ref = self.slots[slot].nbrs.clone();
+        for &j in &old {
+            if !new_ref.contains(&j) {
+                self.slots[j as usize].outs.retain(|&(_, o)| o != i);
+            }
+        }
+        for &j in &new_ref {
+            if !old.contains(&j) {
+                let outs = &mut self.slots[j as usize].outs;
+                let pos = outs.partition_point(|&(sq, _)| sq < seq_i);
+                outs.insert(pos, (seq_i, i));
+            }
+        }
+        obs::counter_add("gnn.window.reselects", 1);
+    }
+
+    /// Inserts one event: applies the eviction policy, repairs the touched
+    /// neighbourhoods, then connects the new node — all in the order a
+    /// from-scratch build over the resulting trailing window would see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is older than the previous push.
+    pub fn push(&mut self, event: Event, ops: &mut OpCount) -> PushOutcome {
+        let t = event.t.as_micros();
+        if let Some(last) = self.last_t {
+            assert!(t >= last, "events must arrive in time order");
+        }
+        self.last_t = Some(t);
+
+        let mut evicted = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
+        // 1. Age bound relative to the incoming event.
+        if let Some(age) = self.policy.max_age_us() {
+            while let Some(&oldest) = self.order.front() {
+                if event.t.saturating_since(self.slots[oldest as usize].event.t) > age {
+                    self.evict_front(&mut evicted, &mut touched);
+                } else {
+                    break;
+                }
+            }
+        }
+        // 2. Count bound: make room for the insert.
+        let cap = self.policy.max_nodes();
+        while self.order.len() >= cap {
+            self.evict_front(&mut evicted, &mut touched);
+        }
+        // 3. Repair the survivors whose lists lost an evicted neighbour —
+        //    after *all* evictions, so re-selection never sees a node that
+        //    this same push is about to remove.
+        touched.retain(|&i| self.slots[i as usize].live);
+        touched.sort_by_key(|&i| self.slots[i as usize].seq);
+        touched.dedup();
+        for &i in &touched {
+            self.reselect(i, ops);
+        }
+        // 4. Insert and connect the new node.
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let candidates = self.scan_candidates(&event, seq, ops);
+        let nbrs = Self::select(candidates, self.config.max_degree);
+        let s = match self.free.pop_front() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot {
+                    event,
+                    seq,
+                    nbrs: Vec::new(),
+                    outs: Vec::new(),
+                    live: false,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        {
+            let sl = &mut self.slots[s as usize];
+            sl.event = event;
+            sl.seq = seq;
+            sl.nbrs.clear();
+            sl.nbrs.extend_from_slice(&nbrs);
+            sl.outs.clear();
+            sl.live = true;
+        }
+        for &j in &nbrs {
+            // The new node has the maximum seq: appending keeps the
+            // out-edge lists sorted.
+            self.slots[j as usize].outs.push((seq, s));
+        }
+        self.order.push_back(s);
+        self.cells.entry(self.cell_of(&event)).or_default().push_back(s);
+        ops.record_write(1);
+        obs::counter_add("gnn.window.inserts", 1);
+        obs::counter_add("gnn.window.evictions", evicted.len() as u64);
+        PushOutcome {
+            inserted: s,
+            evicted,
+            reselected: touched,
+        }
+    }
+
+    /// Compacts the live window into a dense [`EventGraph`]: nodes in seq
+    /// (time) order, neighbour slot ids remapped to dense indices. This is
+    /// the bridge to every batch consumer — and the object the oracle
+    /// property test compares against a from-scratch build.
+    pub fn to_event_graph(&self) -> EventGraph {
+        let mut map = vec![u32::MAX; self.slots.len()];
+        for (dense, &s) in self.order.iter().enumerate() {
+            map[s as usize] = dense as u32;
+        }
+        let mut g = EventGraph::new(self.config.beta);
+        for &s in &self.order {
+            let sl = &self.slots[s as usize];
+            let nbrs: Vec<u32> = sl.nbrs.iter().map(|&j| map[j as usize]).collect();
+            g.push_node(sl.event, nbrs);
+        }
+        g
+    }
+}
+
+impl GraphView for SlidingWindowGraph {
+    fn in_neighbors(&self, i: usize) -> &[u32] {
+        &self.slots[i].nbrs
+    }
+
+    fn relative_offset(&self, i: usize, j: usize) -> [f32; 3] {
+        let a = &self.slots[i].event;
+        let b = &self.slots[j].event;
+        [
+            a.x as f32 - b.x as f32,
+            a.y as f32 - b.y as f32,
+            ((a.t.as_micros() as f64 - b.t.as_micros() as f64) * self.config.beta) as f32,
+        ]
+    }
+
+    fn node_features(&self, i: usize) -> [f32; 2] {
+        match self.slots[i].event.polarity {
+            evlab_events::Polarity::On => [1.0, 0.0],
+            evlab_events::Polarity::Off => [0.0, 1.0],
+        }
+    }
+}
+
+/// [`GraphBuilder`] adapter over the windowed store: streams events
+/// through the window and snapshots the live graph on `finish`. With an
+/// unbounded policy this is a fourth full-graph construction strategy,
+/// equivalent to the other three.
+#[derive(Debug, Clone)]
+pub struct WindowedGraphBuilder {
+    window: SlidingWindowGraph,
+    snapshot: EventGraph,
+    built: bool,
+}
+
+impl WindowedGraphBuilder {
+    /// Creates a builder over a window with the given policy.
+    pub fn new(config: GraphConfig, policy: WindowPolicy) -> Self {
+        WindowedGraphBuilder {
+            snapshot: EventGraph::new(config.beta),
+            window: SlidingWindowGraph::new(config, policy),
+            built: false,
+        }
+    }
+
+    /// The live window behind the builder.
+    pub fn window(&self) -> &SlidingWindowGraph {
+        &self.window
+    }
+
+    /// Consumes the builder, returning the snapshot graph (callers should
+    /// `finish` first).
+    pub fn into_graph(self) -> EventGraph {
+        self.snapshot
+    }
+}
+
+impl GraphBuilder for WindowedGraphBuilder {
+    fn name(&self) -> &'static str {
+        "windowed"
+    }
+
+    fn insert(&mut self, event: Event, ops: &mut OpCount) {
+        self.window.push(event, ops);
+        self.built = false;
+    }
+
+    fn finish(&mut self, _ops: &mut OpCount) {
+        if self.built {
+            return;
+        }
+        self.snapshot = self.window.to_event_graph();
+        self.built = true;
+        crate::build::record_build_obs(&self.snapshot);
+    }
+
+    fn graph(&self) -> &EventGraph {
+        &self.snapshot
+    }
+}
+
+/// Streaming inference engine over a [`SlidingWindowGraph`]: per-event
+/// logits with bounded memory and **no full-graph rebuilds**.
+///
+/// Per-slot feature rows are cached for every layer; a push recomputes
+/// only the frontier of nodes whose inputs changed:
+///
+/// * frontier₀ = the re-selected survivors ∪ the inserted node (input
+///   polarity features never change, so nothing else can change at the
+///   first layer);
+/// * frontierₗ₊₁ = frontierₗ ∪ out-neighbours(frontierₗ) (a layer-`l`
+///   change propagates exactly one hop along out-edges per layer).
+///
+/// The running mean-pool is kept as an f64 sum: evicted rows are
+/// subtracted, recomputed rows swapped, so pooling stays O(classes) per
+/// event regardless of window size.
+#[derive(Clone)]
+pub struct WindowedGnn {
+    net: GnnNetwork,
+    graph: SlidingWindowGraph,
+    /// Polarity input features, row per slot.
+    input_features: NodeFeatures,
+    /// Cached per-layer node features, rows per slot.
+    layer_features: Vec<NodeFeatures>,
+    /// Running sum of live final-layer rows (f64 so long streams of
+    /// add/subtract pairs cannot drift the pool).
+    pool_sum: Vec<f64>,
+    classes: usize,
+}
+
+impl WindowedGnn {
+    /// Creates an engine over a trained network, graph configuration and
+    /// window policy.
+    pub fn new(
+        net: GnnNetwork,
+        config: GraphConfig,
+        policy: WindowPolicy,
+        classes: usize,
+    ) -> Self {
+        let dims: Vec<usize> = net.convs().iter().map(|c| c.out_dim()).collect();
+        let last = *dims
+            .last()
+            .unwrap_or_else(|| panic!("at least one conv layer"));
+        WindowedGnn {
+            graph: SlidingWindowGraph::new(config, policy),
+            input_features: NodeFeatures::zeros(0, 2),
+            layer_features: dims.iter().map(|&d| NodeFeatures::zeros(0, d)).collect(),
+            pool_sum: vec![0.0; last],
+            net,
+            classes,
+        }
+    }
+
+    /// Number of live nodes in the window.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The window store.
+    pub fn graph(&self) -> &SlidingWindowGraph {
+        &self.graph
+    }
+
+    /// Shared access to the wrapped network.
+    pub fn network(&self) -> &GnnNetwork {
+        &self.net
+    }
+
+    /// Drops all window state (nodes, cached features, pooled sum) while
+    /// keeping the trained weights — session start, not memory bounding:
+    /// steady-state memory is bounded by the eviction policy alone.
+    pub fn reset(&mut self) {
+        self.graph.clear();
+        self.input_features = NodeFeatures::zeros(0, 2);
+        for f in &mut self.layer_features {
+            *f = NodeFeatures::zeros(0, f.dim());
+        }
+        for s in &mut self.pool_sum {
+            *s = 0.0;
+        }
+    }
+
+    /// Processes one event and returns the updated class logits.
+    pub fn update(&mut self, event: Event, ops: &mut OpCount) -> Tensor {
+        let outcome = self.graph.push(event, ops);
+        let last = self.layer_features.len() - 1;
+        // Evicted rows leave the pool before anything is recomputed.
+        for &e in &outcome.evicted {
+            if (e as usize) < self.layer_features[last].nodes() {
+                let row = self.layer_features[last].row(e as usize);
+                for (s, &v) in self.pool_sum.iter_mut().zip(row) {
+                    *s -= v as f64;
+                }
+            }
+        }
+        ops.record_add((outcome.evicted.len() * self.pool_sum.len()) as u64);
+        // Feature caches are slot-indexed; grow them with the slot table.
+        let slots = self.graph.slot_count();
+        self.input_features.resize_nodes(slots);
+        for f in &mut self.layer_features {
+            f.resize_nodes(slots);
+        }
+        let inserted = outcome.inserted;
+        let feat = self.graph.node_features(inserted as usize);
+        self.input_features
+            .row_mut(inserted as usize)
+            .copy_from_slice(&feat);
+
+        // Frontier as (seq, slot), ascending by seq; the inserted node has
+        // the maximum seq, so appending keeps the order.
+        let mut frontier: Vec<(u64, u32)> = outcome
+            .reselected
+            .iter()
+            .map(|&s| (self.graph.seq(s as usize), s))
+            .collect();
+        frontier.push((self.graph.seq(inserted as usize), inserted));
+        let mut recomputed = 0u64;
+        for l in 0..=last {
+            recomputed += frontier.len() as u64;
+            for &(_, fi) in &frontier {
+                let idx = fi as usize;
+                let mut row = {
+                    let prev = if l == 0 {
+                        &self.input_features
+                    } else {
+                        &self.layer_features[l - 1]
+                    };
+                    self.net.convs()[l].node_forward(&self.graph, prev, idx, ops)
+                };
+                for v in &mut row {
+                    *v = v.max(0.0);
+                }
+                if l == last {
+                    // Swap this node's contribution in the running pool.
+                    let old = self.layer_features[last].row(idx);
+                    if fi != inserted {
+                        for (s, &v) in self.pool_sum.iter_mut().zip(old) {
+                            *s -= v as f64;
+                        }
+                    }
+                    for (s, &v) in self.pool_sum.iter_mut().zip(&row) {
+                        *s += v as f64;
+                    }
+                    ops.record_add(2 * self.pool_sum.len() as u64);
+                }
+                self.layer_features[l].row_mut(idx).copy_from_slice(&row);
+            }
+            if l < last {
+                // One-hop propagation: out-neighbours inherit the change.
+                let mut next = frontier.clone();
+                for &(_, fi) in &frontier {
+                    next.extend_from_slice(self.graph.out_edges(fi as usize));
+                }
+                next.sort_by_key(|&(sq, _)| sq);
+                next.dedup();
+                frontier = next;
+            }
+        }
+        obs::counter_add("gnn.window.updates", 1);
+        obs::counter_add("gnn.window.recomputed_rows", recomputed);
+
+        let n = self.graph.node_count() as f64;
+        let pooled: Vec<f32> = self.pool_sum.iter().map(|&s| (s / n) as f32).collect();
+        ops.record_mult(pooled.len() as u64);
+        let logits = self.net.head_logits(&pooled, ops);
+        Tensor::from_vec(&[self.classes], logits)
+            .unwrap_or_else(|e| panic!("logit shape: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::kdtree_build;
+    use crate::network::GnnConfig;
+    use evlab_events::Polarity;
+    use evlab_util::Rng64;
+
+    fn random_events(n: usize, res: u16, span_us: u64, seed: u64) -> Vec<Event> {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut ts: Vec<u64> = (0..n).map(|_| rng.next_below(span_us)).collect();
+        ts.sort_unstable();
+        ts.iter()
+            .map(|&t| {
+                Event::new(
+                    t,
+                    rng.next_below(res as u64) as u16,
+                    rng.next_below(res as u64) as u16,
+                    if rng.bernoulli(0.5) {
+                        Polarity::On
+                    } else {
+                        Polarity::Off
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The trailing slice a policy should retain after all events pushed.
+    fn trailing(events: &[Event], policy: WindowPolicy) -> Vec<Event> {
+        let Some(last) = events.last() else {
+            return Vec::new();
+        };
+        let aged: Vec<Event> = match policy.max_age_us() {
+            Some(age) => events
+                .iter()
+                .filter(|e| last.t.saturating_since(e.t) <= age)
+                .copied()
+                .collect(),
+            None => events.to_vec(),
+        };
+        let cap = policy.max_nodes();
+        let skip = aged.len().saturating_sub(cap);
+        aged[skip..].to_vec()
+    }
+
+    fn assert_graphs_identical(a: &EventGraph, b: &EventGraph, tag: &str) {
+        assert_eq!(a.node_count(), b.node_count(), "{tag}: node count");
+        for i in 0..a.node_count() {
+            assert_eq!(a.event(i), b.event(i), "{tag}: event {i}");
+            assert_eq!(a.in_neighbors(i), b.in_neighbors(i), "{tag}: nbrs {i}");
+        }
+    }
+
+    #[test]
+    fn window_matches_fresh_rebuild_for_every_policy() {
+        let events = random_events(600, 48, 120_000, 11);
+        let config = GraphConfig::new();
+        for policy in [
+            WindowPolicy::MaxNodes(64),
+            WindowPolicy::MaxAgeUs(20_000),
+            WindowPolicy::Both {
+                max_nodes: 100,
+                max_age_us: 30_000,
+            },
+        ] {
+            let mut w = SlidingWindowGraph::new(config, policy);
+            let mut ops = OpCount::new();
+            for e in &events {
+                w.push(*e, &mut ops);
+            }
+            let live = trailing(&events, policy);
+            assert_eq!(w.node_count(), live.len(), "{policy:?}: live count");
+            let mut oracle_ops = OpCount::new();
+            let oracle = kdtree_build(&live, &config, &mut oracle_ops);
+            assert_graphs_identical(
+                &w.to_event_graph(),
+                &oracle,
+                &format!("{policy:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_reselects_displaced_candidates() {
+        // Node capacity forces the degree cap to matter: coincident
+        // events make everyone a candidate of everyone, so evictions must
+        // promote previously displaced candidates into the freed slots.
+        let events: Vec<Event> = (0..120)
+            .map(|i| Event::new(i, 10, 10, Polarity::On))
+            .collect();
+        let config = GraphConfig::new().with_max_degree(4);
+        let policy = WindowPolicy::MaxNodes(16);
+        let mut w = SlidingWindowGraph::new(config, policy);
+        let mut ops = OpCount::new();
+        let mut any_reselect = false;
+        for e in &events {
+            let out = w.push(*e, &mut ops);
+            any_reselect |= !out.reselected.is_empty();
+        }
+        assert!(any_reselect, "degree-capped evictions must trigger repairs");
+        let live = trailing(&events, policy);
+        let oracle = kdtree_build(&live, &config, &mut OpCount::new());
+        assert_graphs_identical(&w.to_event_graph(), &oracle, "coincident");
+    }
+
+    #[test]
+    fn slot_handles_are_stable_and_reused() {
+        let mut w = SlidingWindowGraph::new(GraphConfig::new(), WindowPolicy::MaxNodes(3));
+        let mut ops = OpCount::new();
+        for i in 0..3u64 {
+            w.push(Event::new(i * 10, i as u16, 0, Polarity::On), &mut ops);
+        }
+        assert_eq!(w.slot_count(), 3);
+        let out = w.push(Event::new(40, 3, 0, Polarity::On), &mut ops);
+        // The evicted slot is recycled for the insert: no new allocation.
+        assert_eq!(w.slot_count(), 3, "ring reuses tombstoned slots");
+        assert_eq!(out.evicted, vec![out.inserted], "FIFO slot reuse");
+        assert!(w.is_live(out.inserted as usize));
+        assert_eq!(w.node_count(), 3);
+    }
+
+    #[test]
+    fn windowed_builder_agrees_with_batch_builders() {
+        let events = random_events(400, 32, 80_000, 3);
+        let config = GraphConfig::new();
+        let mut ops = OpCount::new();
+        let mut b = WindowedGraphBuilder::new(config, WindowPolicy::MaxNodes(usize::MAX));
+        for e in &events {
+            GraphBuilder::insert(&mut b, *e, &mut ops);
+        }
+        GraphBuilder::finish(&mut b, &mut ops);
+        let oracle = kdtree_build(&events, &config, &mut OpCount::new());
+        assert_graphs_identical(b.graph(), &oracle, "unbounded window");
+    }
+
+    #[test]
+    fn windowed_logits_match_full_recompute_over_trailing_window() {
+        // The engine's incremental frontier updates must agree with a full
+        // forward pass over the compacted trailing graph (approximately:
+        // the engine pools in f64, the batch path in f32).
+        let events = random_events(300, 24, 60_000, 7);
+        let config = GraphConfig::new();
+        let policy = WindowPolicy::MaxNodes(48);
+        let net = GnnNetwork::new(
+            &GnnConfig::new(3).with_hidden(vec![6, 6]),
+            &mut Rng64::seed_from_u64(1),
+        );
+        let mut engine = WindowedGnn::new(net, config, policy, 3);
+        let mut ops = OpCount::new();
+        let mut last = Tensor::zeros(&[3]);
+        for e in &events {
+            last = engine.update(*e, &mut ops);
+        }
+        let mut batch_net = GnnNetwork::new(
+            &GnnConfig::new(3).with_hidden(vec![6, 6]),
+            &mut Rng64::seed_from_u64(1),
+        );
+        let compact = engine.graph().to_event_graph();
+        let batch_logits = batch_net.forward(&compact, &mut ops);
+        for (a, b) in batch_logits.as_slice().iter().zip(last.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "batch {a} vs windowed {b}");
+        }
+    }
+
+    #[test]
+    fn per_event_cost_stays_flat_as_the_window_slides() {
+        let events = random_events(2_000, 48, 400_000, 9);
+        let net = GnnNetwork::new(&GnnConfig::new(2), &mut Rng64::seed_from_u64(2));
+        let mut engine = WindowedGnn::new(
+            net,
+            GraphConfig::new(),
+            WindowPolicy::MaxNodes(256),
+            2,
+        );
+        let mut early = 0u64;
+        let mut late = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            let mut ops = OpCount::new();
+            engine.update(*e, &mut ops);
+            // Compare saturated steady state (window already full) early
+            // vs late: sliding must not introduce growth or spikes.
+            if (400..600).contains(&i) {
+                early += ops.macs;
+            }
+            if (1_800..2_000).contains(&i) {
+                late += ops.macs;
+            }
+        }
+        assert!(
+            late < 3 * early,
+            "per-event cost grew as the window slid: early {early} vs late {late}"
+        );
+    }
+
+    #[test]
+    fn age_policy_empties_after_a_long_gap() {
+        let mut w = SlidingWindowGraph::new(
+            GraphConfig::new(),
+            WindowPolicy::MaxAgeUs(1_000),
+        );
+        let mut ops = OpCount::new();
+        for i in 0..5u64 {
+            w.push(Event::new(i * 100, 1, 1, Polarity::On), &mut ops);
+        }
+        assert_eq!(w.node_count(), 5);
+        let out = w.push(Event::new(1_000_000, 2, 2, Polarity::On), &mut ops);
+        assert_eq!(out.evicted.len(), 5, "everything aged out");
+        assert_eq!(w.node_count(), 1);
+        assert_eq!(w.to_event_graph().in_neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_rejected() {
+        let mut w = SlidingWindowGraph::new(GraphConfig::new(), WindowPolicy::MaxNodes(8));
+        let mut ops = OpCount::new();
+        w.push(Event::new(100, 1, 1, Polarity::On), &mut ops);
+        w.push(Event::new(50, 1, 1, Polarity::On), &mut ops);
+    }
+}

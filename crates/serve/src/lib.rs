@@ -47,9 +47,11 @@
 //! pipe.fit(&data);
 //!
 //! let mut rt = ServeRuntime::new(ServeConfig::new().with_queue_depth(128));
-//! let session = rt
-//!     .open_session(Box::new(GnnOnline::new(&pipe).unwrap()), data.resolution)
+//! let classifier = SessionBuilder::new(OnlineConfig::new(data.resolution))
+//!     .gnn(&pipe)
+//!     .build()
 //!     .unwrap();
+//! let session = rt.open_session(classifier, data.resolution).unwrap();
 //! for e in data.test[0].stream.iter() {
 //!     rt.offer(session, *e);
 //! }

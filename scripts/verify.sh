@@ -32,8 +32,8 @@
 #      ingress quarantined what it could not salvage, and every
 #      degradation curve is monotone non-increasing in the fault rate;
 #   8. a clippy gate denying `unwrap()`/`expect()` on the ingestion,
-#      serving, kernel and util crates — faults on those paths must
-#      surface as errors and quarantine counters, never as panics.
+#      serving, kernel, graph and util crates — faults on those paths
+#      must surface as errors and quarantine counters, never as panics.
 #
 # The smoke runs execute under EVLAB_OBS=1 with --metrics; afterwards
 # `obs_check` re-parses each metrics file with the crate's own JSON
@@ -86,6 +86,13 @@ cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
     --require tensor.conv.im2col_chunks \
     "$metrics"
 
+echo "==> obs_check: sliding-window counters nonzero (inserts, evictions, reselects)"
+cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
+    --require 'gnn.window.*' \
+    --require gnn.window.inserts \
+    --require gnn.window.evictions \
+    "$metrics"
+
 echo "==> serve_bench smoke (4 sessions/paradigm, forced overload, obs on)"
 EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin serve_bench -- \
     --smoke --out "$serve_out" --metrics "$serve_metrics"
@@ -111,8 +118,8 @@ cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
     --require serve.supervisor.restarts \
     "$chaos_metrics"
 
-echo "==> clippy panic gate: no unwrap/expect on ingestion, serving, kernel and util paths"
-cargo clippy -p evlab-events -p evlab-serve -p evlab-tensor -p evlab-util --no-deps --offline -- \
+echo "==> clippy panic gate: no unwrap/expect on ingestion, serving, kernel, graph and util paths"
+cargo clippy -p evlab-events -p evlab-serve -p evlab-tensor -p evlab-gnn -p evlab-util --no-deps --offline -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "==> OK: build, lints, tests, kernel bit-identity, hot-path determinism, alloc budget, serving degradation, chaos degradation and observability all pass"

@@ -219,16 +219,26 @@ fn serve_decisions_are_thread_invariant() {
                 .with_policy(DropPolicy::DropOldest)
                 .with_quantum(4);
             let mut rt = ServeRuntime::new(config);
+            let online = OnlineConfig::new(data.resolution).with_window_us(2_000);
             for _ in 0..2 {
-                rt.open_session(Box::new(SnnOnline::new(&snn, data.resolution).unwrap()), data.resolution)
-                    .unwrap();
                 rt.open_session(
-                    Box::new(CnnOnline::new(&cnn, data.resolution, 2_000).unwrap()),
+                    SessionBuilder::new(online).snn(&snn).build().unwrap(),
                     data.resolution,
                 )
                 .unwrap();
-                rt.open_session(Box::new(GnnOnline::new(&gnn).unwrap()), data.resolution)
-                    .unwrap();
+                rt.open_session(
+                    SessionBuilder::new(online).cnn(&cnn).build().unwrap(),
+                    data.resolution,
+                )
+                .unwrap();
+                rt.open_session(
+                    SessionBuilder::new(OnlineConfig::new(data.resolution))
+                        .gnn(&gnn)
+                        .build()
+                        .unwrap(),
+                    data.resolution,
+                )
+                .unwrap();
             }
             // Bursts of 32 into depth-8 queues: most events are shed, and
             // which ones survive must still be deterministic.

@@ -1,0 +1,218 @@
+//! The sliding-window contract, tested from the outside:
+//!
+//! 1. **Oracle equivalence** — a [`SlidingWindowGraph`] streamed through
+//!    any eviction policy is *bit-identical* (same events, same neighbour
+//!    lists) to a from-scratch `kdtree_build` over the trailing events the
+//!    policy retains — at every checkpoint, for every seed, and under
+//!    `EVLAB_THREADS` ∈ {1, 4}.
+//! 2. **No reset cliff** — the windowed `GnnOnline` session keeps its live
+//!    node count pinned at the window size and emits a *smoother* logit
+//!    trajectory than the old bound-by-reset engine, which discarded the
+//!    whole graph at the `max_nodes` boundary.
+
+use evlab::core::prelude::*;
+use evlab::datasets::shapes::shape_silhouettes;
+use evlab::datasets::DatasetConfig;
+use evlab::events::{Event, Polarity};
+use evlab::gnn::async_update::AsyncGnn;
+use evlab::gnn::build::{kdtree_build, GraphConfig};
+use evlab::gnn::window::{SlidingWindowGraph, WindowPolicy};
+use evlab::gnn::EventGraph;
+use evlab::tensor::OpCount;
+use evlab::util::{par, Rng64};
+
+fn random_events(n: usize, res: u16, span_us: u64, seed: u64) -> Vec<Event> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut ts: Vec<u64> = (0..n).map(|_| rng.next_below(span_us)).collect();
+    ts.sort_unstable();
+    ts.iter()
+        .map(|&t| {
+            Event::new(
+                t,
+                rng.next_below(res as u64) as u16,
+                rng.next_below(res as u64) as u16,
+                if rng.bernoulli(0.5) {
+                    Polarity::On
+                } else {
+                    Polarity::Off
+                },
+            )
+        })
+        .collect()
+}
+
+/// The trailing slice a policy retains once `events` have been pushed.
+fn trailing(events: &[Event], policy: WindowPolicy) -> Vec<Event> {
+    let Some(last) = events.last() else {
+        return Vec::new();
+    };
+    let aged: Vec<Event> = match policy.max_age_us() {
+        Some(age) => events
+            .iter()
+            .filter(|e| last.t.saturating_since(e.t) <= age)
+            .copied()
+            .collect(),
+        None => events.to_vec(),
+    };
+    let skip = aged.len().saturating_sub(policy.max_nodes());
+    aged[skip..].to_vec()
+}
+
+fn assert_graphs_identical(live: &EventGraph, oracle: &EventGraph, tag: &str) {
+    assert_eq!(live.node_count(), oracle.node_count(), "{tag}: node count");
+    for i in 0..live.node_count() {
+        assert_eq!(live.event(i), oracle.event(i), "{tag}: event {i}");
+        assert_eq!(
+            live.in_neighbors(i),
+            oracle.in_neighbors(i),
+            "{tag}: neighbours of node {i}"
+        );
+    }
+}
+
+/// Flattened adjacency for cross-thread bit comparison.
+fn adjacency(g: &EventGraph) -> Vec<Vec<u32>> {
+    (0..g.node_count()).map(|i| g.in_neighbors(i).to_vec()).collect()
+}
+
+#[test]
+fn windowed_graph_equals_fresh_rebuild_at_every_checkpoint() {
+    let policies = [
+        WindowPolicy::MaxNodes(48),
+        WindowPolicy::MaxAgeUs(15_000),
+        WindowPolicy::Both {
+            max_nodes: 80,
+            max_age_us: 25_000,
+        },
+    ];
+    for seed in [1u64, 7, 23] {
+        let events = random_events(450, 40, 90_000, seed);
+        let config = GraphConfig::new();
+        for policy in policies {
+            let mut window = SlidingWindowGraph::new(config, policy);
+            let mut ops = OpCount::new();
+            for (i, e) in events.iter().enumerate() {
+                window.push(*e, &mut ops);
+                // Checkpoint mid-stream, not just at the end: the window
+                // must be exact while it is still sliding.
+                if (i + 1) % 150 == 0 || i + 1 == events.len() {
+                    let seen = &events[..=i];
+                    let live = trailing(seen, policy);
+                    let oracle = kdtree_build(&live, &config, &mut OpCount::new());
+                    assert_graphs_identical(
+                        &window.to_event_graph(),
+                        &oracle,
+                        &format!("seed {seed}, {policy:?}, event {i}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_graph_is_thread_invariant() {
+    // The window engine is strictly serial per session, so its output must
+    // not depend on the global worker pool at all.
+    let events = random_events(500, 48, 100_000, 5);
+    let config = GraphConfig::new();
+    let policy = WindowPolicy::Both {
+        max_nodes: 96,
+        max_age_us: 30_000,
+    };
+    let run = |threads: usize| {
+        par::with_threads(threads, || {
+            let mut window = SlidingWindowGraph::new(config, policy);
+            let mut ops = OpCount::new();
+            for e in &events {
+                window.push(*e, &mut ops);
+            }
+            (adjacency(&window.to_event_graph()), ops.mults)
+        })
+    };
+    let serial = run(1);
+    let threaded = run(4);
+    assert_eq!(serial, threaded, "window state depends on EVLAB_THREADS");
+}
+
+#[test]
+fn gnn_online_has_no_reset_cliff() {
+    let data = shape_silhouettes(&DatasetConfig::tiny((16, 16)).with_split(6, 2));
+    let max_nodes = 40usize;
+    let mut pipe = GnnPipeline::new(
+        GnnPipelineConfig::new()
+            .with_epochs(10)
+            .with_max_nodes(max_nodes)
+            .with_seed(1),
+    );
+    pipe.fit(&data);
+    let stream = &data.test[0].stream;
+    assert!(
+        stream.len() > 2 * max_nodes,
+        "stream long enough to cross the old reset boundary"
+    );
+
+    // New engine: windowed session via the unified builder.
+    let mut session =
+        GnnOnline::with_config(&pipe, &OnlineConfig::new(data.resolution)).expect("trained");
+    session.begin_session();
+    let mut ops = OpCount::new();
+    let mut windowed_logits: Vec<Vec<f32>> = Vec::new();
+    let mut saturated = false;
+    for e in stream.iter() {
+        session.push_event(*e, &mut ops).expect("ordered");
+        let d = session.poll_decision().expect("one decision per event");
+        assert!(session.node_count() <= max_nodes);
+        if session.node_count() == max_nodes {
+            saturated = true;
+        }
+        if saturated {
+            // Structural pinning: once full, the window slides — the node
+            // count never snaps back the way engine.reset() did.
+            assert_eq!(session.node_count(), max_nodes, "reset cliff reappeared");
+            windowed_logits.push(d.logits.clone());
+        }
+    }
+    assert!(saturated, "window never filled");
+
+    // Old behaviour, reproduced in-test: append-only engine, full reset at
+    // the max_nodes boundary.
+    let net = pipe.network().expect("trained").clone();
+    let classes = net.classes();
+    let mut old = AsyncGnn::new(net, *pipe.graph_config(), classes);
+    let mut old_logits: Vec<Vec<f32>> = Vec::new();
+    let mut boundary_jumps: Vec<f32> = Vec::new();
+    for e in stream.iter() {
+        let was_reset = old.node_count() >= max_nodes;
+        if was_reset {
+            old.reset();
+        }
+        let logits = old.update(*e, &mut ops);
+        let logits = logits.as_slice().to_vec();
+        if was_reset {
+            if let Some(prev) = old_logits.last() {
+                boundary_jumps.push(linf(prev, &logits));
+            }
+        }
+        old_logits.push(logits);
+    }
+    assert!(!boundary_jumps.is_empty(), "old engine never reset");
+
+    let windowed_max_jump = windowed_logits
+        .windows(2)
+        .map(|w| linf(&w[0], &w[1]))
+        .fold(0.0f32, f32::max);
+    let old_boundary_jump = boundary_jumps.iter().fold(0.0f32, |a, &b| a.max(b));
+    assert!(
+        windowed_max_jump < old_boundary_jump,
+        "sliding window ({windowed_max_jump}) must be smoother than the reset \
+         discontinuity it replaced ({old_boundary_jump})"
+    );
+}
+
+fn linf(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
