@@ -33,10 +33,11 @@ use crate::gnn_pipeline::GnnPipeline;
 use crate::pipeline::EventClassifier;
 use crate::snn_pipeline::SnnPipeline;
 use evlab_cnn::encode::normalize;
-use evlab_events::{Event, EventStream};
+use evlab_events::{Event, EventStream, Polarity};
 use evlab_gnn::window::{WindowPolicy, WindowedGnn};
 use evlab_snn::event_driven::EventDrivenSnn;
 use evlab_tensor::{OpCount, Sequential};
+use evlab_util::frame::{Decoder, Encoder, FrameError, StateSnapshot};
 use evlab_util::EvlabError;
 
 /// One classification emitted by an online session.
@@ -126,6 +127,86 @@ pub trait OnlineClassifier {
     /// Returns an error if the underlying classifier cannot process the
     /// accumulated window.
     fn flush(&mut self, ops: &mut OpCount) -> Result<Option<Decision>, EvlabError>;
+
+    /// The session's durable state, when the paradigm supports
+    /// crash-consistent checkpointing. The native sessions ([`SnnOnline`],
+    /// [`CnnOnline`], [`GnnOnline`]) all do; adapters without a
+    /// serializable core (e.g. [`Batched`]) return `None` and are served
+    /// without durability.
+    fn as_snapshot(&self) -> Option<&dyn StateSnapshot> {
+        None
+    }
+
+    /// Mutable access to the durable state, for restore.
+    fn as_snapshot_mut(&mut self) -> Option<&mut dyn StateSnapshot> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot plumbing shared by the native sessions.
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`Decision`] for snapshot payloads (logit bit patterns
+/// preserved exactly).
+pub fn save_decision(d: &Decision, enc: &mut Encoder) {
+    enc.put_u64(d.class as u64);
+    enc.put_f32_slice(&d.logits);
+    enc.put_u64(d.events as u64);
+    enc.put_u64(d.t_us);
+}
+
+/// Decodes a [`Decision`] written by [`save_decision`].
+///
+/// # Errors
+///
+/// Returns [`FrameError`] on a truncated or corrupt payload.
+pub fn load_decision(dec: &mut Decoder) -> Result<Decision, FrameError> {
+    Ok(Decision {
+        class: dec.take_u64()? as usize,
+        logits: dec.take_f32_vec()?,
+        events: dec.take_u64()? as usize,
+        t_us: dec.take_u64()?,
+    })
+}
+
+/// Serializes an optional [`Decision`] (presence byte + payload).
+pub fn save_opt_decision(d: &Option<Decision>, enc: &mut Encoder) {
+    match d {
+        Some(d) => {
+            enc.put_bool(true);
+            save_decision(d, enc);
+        }
+        None => enc.put_bool(false),
+    }
+}
+
+/// Decodes an optional [`Decision`] written by [`save_opt_decision`].
+///
+/// # Errors
+///
+/// Returns [`FrameError`] on a truncated or corrupt payload.
+pub fn load_opt_decision(dec: &mut Decoder) -> Result<Option<Decision>, FrameError> {
+    if dec.take_bool()? {
+        Ok(Some(load_decision(dec)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn save_event(e: &Event, enc: &mut Encoder) {
+    enc.put_u64(e.t.as_micros());
+    enc.put_u16(e.x);
+    enc.put_u16(e.y);
+    enc.put_bool(e.polarity == Polarity::On);
+}
+
+fn load_event(dec: &mut Decoder) -> Result<Event, FrameError> {
+    let t = dec.take_u64()?;
+    let x = dec.take_u16()?;
+    let y = dec.take_u16()?;
+    let p = if dec.take_bool()? { Polarity::On } else { Polarity::Off };
+    Ok(Event::new(t, x, y, p))
 }
 
 /// Tracks the per-session ordering requirement shared by all sessions.
@@ -433,6 +514,77 @@ impl OnlineClassifier for SnnOnline {
             t_us: self.order.last_t.unwrap_or(0),
         }))
     }
+
+    fn as_snapshot(&self) -> Option<&dyn StateSnapshot> {
+        Some(self)
+    }
+
+    fn as_snapshot_mut(&mut self) -> Option<&mut dyn StateSnapshot> {
+        Some(self)
+    }
+}
+
+impl StateSnapshot for SnnOnline {
+    fn state_kind(&self) -> &'static str {
+        "snn-online"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        // Construction parameters, recorded for shape validation only.
+        enc.put_u16(self.downsample);
+        enc.put_u64(self.dt_us);
+        enc.put_u64(self.steps as u64);
+        enc.put_u16(self.out_res.0);
+        enc.put_u16(self.out_res.1);
+        // Session-mutable state.
+        enc.put_u64(self.block_last.len() as u64);
+        for b in &self.block_last {
+            enc.put_opt_u64(*b);
+        }
+        enc.put_opt_u64(self.t0);
+        enc.put_opt_u64(self.order.last_t);
+        save_opt_decision(&self.pending, enc);
+        enc.put_u64(self.events_since as u64);
+        enc.put_u64(self.current_step);
+        self.ed.save_state(enc);
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder) -> Result<(), FrameError> {
+        if dec.take_u16()? != self.downsample
+            || dec.take_u64()? != self.dt_us
+            || dec.take_u64()? != self.steps as u64
+            || dec.take_u16()? != self.out_res.0
+            || dec.take_u16()? != self.out_res.1
+        {
+            return Err(dec.corrupt("SNN session built with different parameters"));
+        }
+        let n = dec.take_u64()? as usize;
+        if n != self.block_last.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {n} blocks, session has {}",
+                self.block_last.len()
+            )));
+        }
+        let mut block_last = Vec::with_capacity(n);
+        for _ in 0..n {
+            block_last.push(dec.take_opt_u64()?);
+        }
+        let t0 = dec.take_opt_u64()?;
+        let last_t = dec.take_opt_u64()?;
+        let pending = load_opt_decision(dec)?;
+        let events_since = dec.take_u64()? as usize;
+        let current_step = dec.take_u64()?;
+        // The engine commits atomically; only then commit the scalars so a
+        // failed load leaves this session untouched.
+        self.ed.load_state(dec)?;
+        self.block_last = block_last;
+        self.t0 = t0;
+        self.order.last_t = last_t;
+        self.pending = pending;
+        self.events_since = events_since;
+        self.current_step = current_step;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -564,6 +716,64 @@ impl OnlineClassifier for CnnOnline {
         }
         Ok(Some(self.flush_window(ops)))
     }
+
+    fn as_snapshot(&self) -> Option<&dyn StateSnapshot> {
+        Some(self)
+    }
+
+    fn as_snapshot_mut(&mut self) -> Option<&mut dyn StateSnapshot> {
+        Some(self)
+    }
+}
+
+impl StateSnapshot for CnnOnline {
+    fn state_kind(&self) -> &'static str {
+        "cnn-online"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        // Construction parameters, recorded for shape validation only.
+        enc.put_u16(self.resolution.0);
+        enc.put_u16(self.resolution.1);
+        enc.put_u64(self.window_us);
+        // Session-mutable state: the whole undecided micro-batch.
+        enc.put_u64(self.buffer.len() as u64);
+        for e in &self.buffer {
+            save_event(e, enc);
+        }
+        enc.put_opt_u64(self.window_start);
+        enc.put_opt_u64(self.order.last_t);
+        save_opt_decision(&self.pending, enc);
+        enc.put_u64(self.events_since as u64);
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder) -> Result<(), FrameError> {
+        if dec.take_u16()? != self.resolution.0
+            || dec.take_u16()? != self.resolution.1
+            || dec.take_u64()? != self.window_us
+        {
+            return Err(dec.corrupt("CNN session built with different parameters"));
+        }
+        let n = dec.take_u64()? as usize;
+        // 13 bytes per serialized event: a corrupt count cannot over-allocate.
+        if n > dec.remaining() / 13 {
+            return Err(dec.corrupt(format!("{n} buffered events exceed the payload")));
+        }
+        let mut buffer = Vec::with_capacity(n);
+        for _ in 0..n {
+            buffer.push(load_event(dec)?);
+        }
+        let window_start = dec.take_opt_u64()?;
+        let last_t = dec.take_opt_u64()?;
+        let pending = load_opt_decision(dec)?;
+        let events_since = dec.take_u64()? as usize;
+        self.buffer = buffer;
+        self.window_start = window_start;
+        self.order.last_t = last_t;
+        self.pending = pending;
+        self.events_since = events_since;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -683,6 +893,45 @@ impl OnlineClassifier for GnnOnline {
 
     fn flush(&mut self, _ops: &mut OpCount) -> Result<Option<Decision>, EvlabError> {
         Ok(self.last_decision.take())
+    }
+
+    fn as_snapshot(&self) -> Option<&dyn StateSnapshot> {
+        Some(self)
+    }
+
+    fn as_snapshot_mut(&mut self) -> Option<&mut dyn StateSnapshot> {
+        Some(self)
+    }
+}
+
+impl StateSnapshot for GnnOnline {
+    fn state_kind(&self) -> &'static str {
+        "gnn-online"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        self.engine.save_state(enc);
+        enc.put_opt_u64(self.order.last_t);
+        save_opt_decision(&self.pending, enc);
+        enc.put_u64(self.events_since as u64);
+        save_opt_decision(&self.last_decision, enc);
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder) -> Result<(), FrameError> {
+        // Load into a clone so a failure further down the payload leaves
+        // the live engine untouched.
+        let mut engine = self.engine.clone();
+        engine.load_state(dec)?;
+        let last_t = dec.take_opt_u64()?;
+        let pending = load_opt_decision(dec)?;
+        let events_since = dec.take_u64()? as usize;
+        let last_decision = load_opt_decision(dec)?;
+        self.engine = engine;
+        self.order.last_t = last_t;
+        self.pending = pending;
+        self.events_since = events_since;
+        self.last_decision = last_decision;
+        Ok(())
     }
 }
 
@@ -950,6 +1199,126 @@ mod tests {
             .push_event(Event::new(500, 1, 1, Polarity::On), &mut ops)
             .unwrap_err();
         assert!(err.to_string().contains("out-of-order"));
+    }
+
+    /// Pushes half the stream, snapshots, restores into `fresh`, then runs
+    /// both to the end asserting bit-identical decision trajectories.
+    fn assert_snapshot_resumes(
+        mut live: Box<dyn OnlineClassifier + Send>,
+        mut fresh: Box<dyn OnlineClassifier + Send>,
+        stream: &EventStream,
+    ) {
+        live.begin_session();
+        fresh.begin_session();
+        let mut ops = OpCount::new();
+        let half = stream.len() / 2;
+        for e in stream.iter().take(half) {
+            live.push_event(*e, &mut ops).expect("ordered");
+        }
+        let bytes =
+            evlab_util::frame::snapshot_to_bytes(live.as_snapshot().expect("native session"));
+        evlab_util::frame::restore_from_bytes(
+            fresh.as_snapshot_mut().expect("native session"),
+            &bytes,
+        )
+        .expect("valid snapshot");
+        for e in stream.iter().skip(half) {
+            live.push_event(*e, &mut ops).expect("ordered");
+            fresh.push_event(*e, &mut ops).expect("ordered");
+            let a = live.poll_decision();
+            let b = fresh.poll_decision();
+            match (&a, &b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.class, b.class);
+                    assert_eq!(a.events, b.events);
+                    assert_eq!(a.t_us, b.t_us);
+                    for (x, y) in a.logits.iter().zip(&b.logits) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "bit-exact logits");
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("decision cadence diverged after restore"),
+            }
+        }
+        let fa = live.flush(&mut ops).expect("flush");
+        let fb = fresh.flush(&mut ops).expect("flush");
+        assert_eq!(fa.is_some(), fb.is_some());
+        if let (Some(a), Some(b)) = (fa, fb) {
+            assert_eq!(a.class, b.class);
+            for (x, y) in a.logits.iter().zip(&b.logits) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snn_session_snapshot_resumes_bit_identically() {
+        let data = tiny_data();
+        let mut pipe = SnnPipeline::new(SnnPipelineConfig::new().with_epochs(2).with_seed(1));
+        pipe.fit(&data);
+        let config = OnlineConfig::new(data.resolution);
+        let make = || SessionBuilder::new(config).snn(&pipe).build().expect("trained");
+        assert_snapshot_resumes(make(), make(), &data.test[0].stream);
+    }
+
+    #[test]
+    fn cnn_session_snapshot_resumes_bit_identically() {
+        let data = tiny_data();
+        let mut pipe = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(2).with_seed(1));
+        pipe.fit(&data);
+        let config = OnlineConfig::new(data.resolution).with_window_us(5_000);
+        let make = || SessionBuilder::new(config).cnn(&pipe).build().expect("trained");
+        assert_snapshot_resumes(make(), make(), &data.test[0].stream);
+    }
+
+    #[test]
+    fn gnn_session_snapshot_resumes_bit_identically() {
+        let data = tiny_data();
+        let mut pipe = GnnPipeline::new(
+            GnnPipelineConfig::new().with_epochs(2).with_max_nodes(30).with_seed(1),
+        );
+        pipe.fit(&data);
+        let config = OnlineConfig::new(data.resolution);
+        let make = || SessionBuilder::new(config).gnn(&pipe).build().expect("trained");
+        assert_snapshot_resumes(make(), make(), &data.test[0].stream);
+    }
+
+    #[test]
+    fn snapshot_rejects_cross_paradigm_and_mismatched_sessions() {
+        let data = tiny_data();
+        let mut gnn = GnnPipeline::new(GnnPipelineConfig::new().with_epochs(2).with_seed(1));
+        gnn.fit(&data);
+        let mut cnn = CnnPipeline::new(CnnPipelineConfig::new().with_epochs(2).with_seed(1));
+        cnn.fit(&data);
+        let config = OnlineConfig::new(data.resolution);
+        let g = SessionBuilder::new(config).gnn(&gnn).build().expect("trained");
+        let bytes = evlab_util::frame::snapshot_to_bytes(g.as_snapshot().expect("native"));
+        let mut c = SessionBuilder::new(config).cnn(&cnn).build().expect("trained");
+        assert!(matches!(
+            evlab_util::frame::restore_from_bytes(c.as_snapshot_mut().expect("native"), &bytes),
+            Err(FrameError::KindMismatch { .. })
+        ));
+        // Same paradigm, different construction parameters.
+        let mut narrow = CnnOnline::with_config(
+            &cnn,
+            &OnlineConfig::new(data.resolution).with_window_us(1_234),
+        )
+        .expect("trained");
+        let wide = CnnOnline::with_config(&cnn, &config).expect("trained");
+        let bytes = evlab_util::frame::snapshot_to_bytes(&wide);
+        assert!(narrow.load_state(&mut Decoder::new(&[])).is_err());
+        assert!(matches!(
+            evlab_util::frame::restore_from_bytes(&mut narrow, &bytes),
+            Err(FrameError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_adapter_has_no_snapshot() {
+        let data = tiny_data();
+        let pipe = CnnPipeline::new(CnnPipelineConfig::new());
+        let session = Batched::new(pipe, data.resolution);
+        assert!(session.as_snapshot().is_none());
     }
 
     #[test]

@@ -120,6 +120,11 @@ impl AerCodec {
         })
     }
 
+    /// The `(width, height)` the codec validates addresses against.
+    pub fn resolution(&self) -> (u16, u16) {
+        (self.width, self.height)
+    }
+
     /// Encodes one event into a 64-bit word. The timestamp wraps at 2³² µs.
     pub fn encode(&self, event: &Event) -> u64 {
         let ts = event.t.as_micros() & 0xFFFF_FFFF;

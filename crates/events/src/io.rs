@@ -37,10 +37,12 @@ pub enum ReadStreamError {
     Decode(DecodeAerError),
     /// Decoded events were not time-ordered.
     Order(EventOrderError),
-    /// The file ended mid-stream: the header promised more records than
-    /// the payload holds (counted under `ingest.truncated`).
+    /// The file ended mid-stream (counted under `ingest.truncated`):
+    /// either the header promised more records than the payload holds,
+    /// or the file ended inside the header itself (both fields 0 then —
+    /// no record count was recoverable).
     Truncated {
-        /// Records the header declared.
+        /// Records the header declared (0 when the header itself was cut).
         expected: u64,
         /// Whole records actually present.
         got: u64,
@@ -112,54 +114,116 @@ pub fn write_stream<W: Write>(stream: &EventStream, mut writer: W) -> io::Result
     Ok(())
 }
 
+/// Reads `buf.len()` bytes, mapping an EOF to the typed `Truncated`
+/// error: a file cut anywhere — even inside the header — means the
+/// producer died mid-write, which callers must be able to distinguish
+/// from "disk broke" ([`ReadStreamError::Io`]). Counted under
+/// `ingest.truncated`.
+fn read_exact_or_truncated<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    expected: u64,
+    got: u64,
+) -> Result<(), ReadStreamError> {
+    if let Err(e) = reader.read_exact(buf) {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            evlab_util::obs::counter_add("ingest.truncated", 1);
+            return Err(ReadStreamError::Truncated { expected, got });
+        }
+        return Err(ReadStreamError::Io(e));
+    }
+    Ok(())
+}
+
+/// Parses and validates the fixed header, returning the codec and the
+/// declared record count.
+fn read_header<R: Read>(reader: &mut R) -> Result<(AerCodec, u64), ReadStreamError> {
+    let mut magic = [0u8; 4];
+    read_exact_or_truncated(reader, &mut magic, 0, 0)?;
+    if magic != MAGIC {
+        return Err(ReadStreamError::BadMagic { found: magic });
+    }
+    let mut buf2 = [0u8; 2];
+    read_exact_or_truncated(reader, &mut buf2, 0, 0)?;
+    let version = u16::from_le_bytes(buf2);
+    if version != VERSION {
+        return Err(ReadStreamError::BadVersion { found: version });
+    }
+    read_exact_or_truncated(reader, &mut buf2, 0, 0)?;
+    let w = u16::from_le_bytes(buf2);
+    read_exact_or_truncated(reader, &mut buf2, 0, 0)?;
+    let h = u16::from_le_bytes(buf2);
+    let mut buf8 = [0u8; 8];
+    read_exact_or_truncated(reader, &mut buf8, 0, 0)?;
+    let count = u64::from_le_bytes(buf8);
+    // A corrupted header must surface as a typed error, not a panic.
+    let codec = AerCodec::try_new((w, h)).map_err(ReadStreamError::Decode)?;
+    Ok((codec, count))
+}
+
 /// Deserializes a stream written by [`write_stream`]. A `&mut` reference
 /// can be passed as the reader.
 ///
 /// # Errors
 ///
 /// Returns [`ReadStreamError`] on I/O failure, bad magic/version, AER
-/// decode failure, or out-of-order events.
+/// decode failure, out-of-order events, or a file cut short anywhere —
+/// a truncation inside the header or mid-record is the typed
+/// [`ReadStreamError::Truncated`], never a panic or a bare EOF.
 pub fn read_stream<R: Read>(mut reader: R) -> Result<EventStream, ReadStreamError> {
-    let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(ReadStreamError::BadMagic { found: magic });
-    }
-    let mut buf2 = [0u8; 2];
-    reader.read_exact(&mut buf2)?;
-    let version = u16::from_le_bytes(buf2);
-    if version != VERSION {
-        return Err(ReadStreamError::BadVersion { found: version });
-    }
-    reader.read_exact(&mut buf2)?;
-    let w = u16::from_le_bytes(buf2);
-    reader.read_exact(&mut buf2)?;
-    let h = u16::from_le_bytes(buf2);
+    let (codec, count) = read_header(&mut reader)?;
+    let (w, h) = codec.resolution();
     let mut buf8 = [0u8; 8];
-    reader.read_exact(&mut buf8)?;
-    let count = u64::from_le_bytes(buf8);
-    // A corrupted header must surface as a typed error, not a panic.
-    let codec = AerCodec::try_new((w, h)).map_err(ReadStreamError::Decode)?;
     let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
     for got in 0..count {
-        // A file cut mid-stream (the classic half-written final record)
-        // is a typed `Truncated` error, not a bare I/O failure: callers
-        // can distinguish "disk broke" from "producer died mid-write",
-        // and chaos runs count it under `ingest.truncated`.
-        if let Err(e) = reader.read_exact(&mut buf8) {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                evlab_util::obs::counter_add("ingest.truncated", 1);
-                return Err(ReadStreamError::Truncated {
-                    expected: count,
-                    got,
-                });
-            }
-            return Err(ReadStreamError::Io(e));
-        }
+        // The classic half-written final record lands here.
+        read_exact_or_truncated(&mut reader, &mut buf8, count, got)?;
         let word = u64::from_le_bytes(buf8);
         events.push(codec.decode(word).map_err(ReadStreamError::Decode)?);
     }
     EventStream::from_events((w, h), events).map_err(ReadStreamError::Order)
+}
+
+/// Salvage read: deserializes as much of a stream as is intact, returning
+/// the clean prefix of events together with the error (if any) that
+/// stopped reading — the recovery-path sibling of [`read_stream`], for
+/// callers that want the surviving events of a torn file instead of
+/// nothing.
+///
+/// The returned prefix holds exactly the records that decoded cleanly
+/// before the failure point; a truncated or corrupt tail never
+/// manufactures a phantom event.
+///
+/// # Errors
+///
+/// A header too damaged to establish the resolution (bad magic/version,
+/// truncation inside the header, undecodable geometry) or an ordering
+/// violation *within* the salvaged prefix is a hard error — there is no
+/// meaningful prefix to salvage then.
+pub fn read_stream_prefix<R: Read>(
+    mut reader: R,
+) -> Result<(EventStream, Option<ReadStreamError>), ReadStreamError> {
+    let (codec, count) = read_header(&mut reader)?;
+    let (w, h) = codec.resolution();
+    let mut buf8 = [0u8; 8];
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut tail_error = None;
+    for got in 0..count {
+        if let Err(e) = read_exact_or_truncated(&mut reader, &mut buf8, count, got) {
+            tail_error = Some(e);
+            break;
+        }
+        let word = u64::from_le_bytes(buf8);
+        match codec.decode(word) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                tail_error = Some(ReadStreamError::Decode(e));
+                break;
+            }
+        }
+    }
+    let stream = EventStream::from_events((w, h), events).map_err(ReadStreamError::Order)?;
+    Ok((stream, tail_error))
 }
 
 /// Serialized size in bytes for a stream of `n` events.
@@ -269,6 +333,63 @@ mod tests {
             before + 1
         );
         evlab_util::obs::set_enabled(false);
+    }
+
+    #[test]
+    fn truncation_inside_header_is_a_typed_error() {
+        let mut buf = Vec::new();
+        write_stream(&sample(), &mut buf).expect("write");
+        // Every cut inside the 18-byte header — including the empty file —
+        // is the typed Truncated error, never a bare I/O EOF.
+        for cut in 0..encoded_size(0) {
+            match read_stream(&buf[..cut]) {
+                Err(ReadStreamError::Truncated { expected: 0, got: 0 }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_read_salvages_clean_events() {
+        let stream = sample();
+        let mut buf = Vec::new();
+        write_stream(&stream, &mut buf).expect("write");
+        // Cut 3 bytes into record 498: records 0..498 are intact.
+        buf.truncate(encoded_size(498) + 3);
+        let (prefix, err) = read_stream_prefix(buf.as_slice()).expect("header intact");
+        assert_eq!(prefix.len(), 498);
+        assert_eq!(prefix.as_slice(), &stream.as_slice()[..498]);
+        assert!(matches!(
+            err,
+            Some(ReadStreamError::Truncated { expected: 500, got: 498 })
+        ));
+        // An undamaged file salvages completely with no tail error.
+        let mut full = Vec::new();
+        write_stream(&stream, &mut full).expect("write");
+        let (all, err) = read_stream_prefix(full.as_slice()).expect("header intact");
+        assert_eq!(all, stream);
+        assert!(err.is_none());
+    }
+
+    #[test]
+    fn prefix_read_stops_at_undecodable_word() {
+        let small = EventStream::from_events(
+            (4, 4),
+            vec![
+                Event::new(0, 1, 1, Polarity::On),
+                Event::new(5, 2, 2, Polarity::Off),
+            ],
+        )
+        .expect("valid");
+        let mut buf = Vec::new();
+        write_stream(&small, &mut buf).expect("write");
+        // Corrupt the second word's x address out of range.
+        let bad = AerCodec::new((640, 480)).encode(&Event::new(5, 600, 1, Polarity::On));
+        let n = buf.len();
+        buf[n - 8..].copy_from_slice(&bad.to_le_bytes());
+        let (prefix, err) = read_stream_prefix(buf.as_slice()).expect("header intact");
+        assert_eq!(prefix.len(), 1, "only the clean first event survives");
+        assert!(matches!(err, Some(ReadStreamError::Decode(_))));
     }
 
     #[test]

@@ -43,6 +43,7 @@ use crate::graph::{EventGraph, GraphView};
 use crate::network::GnnNetwork;
 use evlab_events::Event;
 use evlab_tensor::{OpCount, Tensor};
+use evlab_util::frame::{Decoder, Encoder, FrameError};
 use evlab_util::obs;
 use std::collections::{HashMap, VecDeque};
 
@@ -456,6 +457,120 @@ impl SlidingWindowGraph {
         }
     }
 
+    /// Serializes the full window state — slot table (events, seqs,
+    /// neighbour and out-edge lists, tombstones), live order, free list
+    /// and time cursor. The spatial cell index is *not* recorded: it is
+    /// rebuilt on load by replaying the live order, which reproduces the
+    /// per-cell seq-ordered FIFOs exactly. Construction parameters
+    /// (config, policy) are not recorded either; the recovery path
+    /// rebuilds the window with the same parameters before
+    /// [`SlidingWindowGraph::load_state`].
+    pub fn save_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slots.len() as u64);
+        for s in &self.slots {
+            enc.put_u64(s.event.t.as_micros());
+            enc.put_u16(s.event.x);
+            enc.put_u16(s.event.y);
+            enc.put_bool(s.event.polarity == evlab_events::Polarity::On);
+            enc.put_u64(s.seq);
+            enc.put_u32_slice(&s.nbrs);
+            enc.put_u64(s.outs.len() as u64);
+            for &(sq, o) in &s.outs {
+                enc.put_u64(sq);
+                enc.put_u32(o);
+            }
+            enc.put_bool(s.live);
+        }
+        enc.put_u32_slice(&self.order.iter().copied().collect::<Vec<u32>>());
+        enc.put_u32_slice(&self.free.iter().copied().collect::<Vec<u32>>());
+        enc.put_u64(self.next_seq);
+        enc.put_opt_u64(self.last_t);
+    }
+
+    /// Restores state written by [`SlidingWindowGraph::save_state`] into
+    /// an identically-configured window, bit-exactly (the compacted graph,
+    /// every future push outcome and the spatial index all match the
+    /// uninterrupted original).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on truncation or on slot references outside
+    /// the serialized table; the window is left untouched then.
+    pub fn load_state(&mut self, dec: &mut Decoder) -> Result<(), FrameError> {
+        let n = dec.take_u64()? as usize;
+        // Each slot is at least 38 bytes: a corrupt count cannot
+        // over-allocate.
+        if n as u64 > dec.remaining() as u64 / 38 {
+            return Err(dec.corrupt(format!("{n} slots exceed the payload")));
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = dec.take_u64()?;
+            let x = dec.take_u16()?;
+            let y = dec.take_u16()?;
+            let on = dec.take_bool()?;
+            let seq = dec.take_u64()?;
+            let nbrs = dec.take_u32_vec()?;
+            let m = dec.take_u64()? as usize;
+            if m as u64 > dec.remaining() as u64 / 12 {
+                return Err(dec.corrupt(format!("{m} out-edges exceed the payload")));
+            }
+            let mut outs = Vec::with_capacity(m);
+            for _ in 0..m {
+                let sq = dec.take_u64()?;
+                let o = dec.take_u32()?;
+                outs.push((sq, o));
+            }
+            let live = dec.take_bool()?;
+            slots.push(Slot {
+                event: Event::new(
+                    t,
+                    x,
+                    y,
+                    if on {
+                        evlab_events::Polarity::On
+                    } else {
+                        evlab_events::Polarity::Off
+                    },
+                ),
+                seq,
+                nbrs,
+                outs,
+                live,
+            });
+        }
+        let order = dec.take_u32_vec()?;
+        let free = dec.take_u32_vec()?;
+        let next_seq = dec.take_u64()?;
+        let last_t = dec.take_opt_u64()?;
+        let in_range = |i: u32| (i as usize) < slots.len();
+        for s in &slots {
+            if !s.nbrs.iter().copied().all(in_range)
+                || !s.outs.iter().all(|&(_, o)| in_range(o))
+            {
+                return Err(dec.corrupt("edge references a slot outside the table"));
+            }
+        }
+        if !order.iter().copied().all(in_range) || !free.iter().copied().all(in_range) {
+            return Err(dec.corrupt("order/free list references a slot outside the table"));
+        }
+        self.slots = slots;
+        self.order = order.into_iter().collect();
+        self.free = free.into_iter().collect();
+        self.next_seq = next_seq;
+        self.last_t = last_t;
+        // Rebuild the spatial index from the live order: `order` ascends
+        // by seq, so appending reproduces the seq-sorted cell FIFOs the
+        // live push path maintains.
+        self.cells.clear();
+        let live_order: Vec<u32> = self.order.iter().copied().collect();
+        for s in live_order {
+            let cell = self.cell_of(&self.slots[s as usize].event);
+            self.cells.entry(cell).or_default().push_back(s);
+        }
+        Ok(())
+    }
+
     /// Compacts the live window into a dense [`EventGraph`]: nodes in seq
     /// (time) order, neighbour slot ids remapped to dense indices. This is
     /// the bridge to every batch consumer — and the object the oracle
@@ -636,6 +751,59 @@ impl WindowedGnn {
         }
     }
 
+    /// Serializes the session-mutable state: the window store, the
+    /// per-slot feature caches for every layer, and the running f64 pool
+    /// accumulator (exact bit pattern — the pool is history-dependent, so
+    /// recomputing it from the restored rows would *not* reproduce the
+    /// pre-crash bits). The trained network is a construction input and
+    /// is not recorded.
+    pub fn save_state(&self, enc: &mut Encoder) {
+        self.graph.save_state(enc);
+        save_features(&self.input_features, enc);
+        enc.put_u64(self.layer_features.len() as u64);
+        for f in &self.layer_features {
+            save_features(f, enc);
+        }
+        enc.put_f64_slice(&self.pool_sum);
+    }
+
+    /// Restores state written by [`WindowedGnn::save_state`] into an
+    /// identically-constructed engine, bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on truncation, corruption, or shapes that
+    /// do not match this engine's layer dimensions.
+    pub fn load_state(&mut self, dec: &mut Decoder) -> Result<(), FrameError> {
+        let mut graph = self.graph.clone();
+        graph.load_state(dec)?;
+        let input_features = load_features(2, dec)?;
+        let layers = dec.take_u64()? as usize;
+        if layers != self.layer_features.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {layers} feature layers, engine has {}",
+                self.layer_features.len()
+            )));
+        }
+        let mut layer_features = Vec::with_capacity(layers);
+        for f in &self.layer_features {
+            layer_features.push(load_features(f.dim(), dec)?);
+        }
+        let pool_sum = dec.take_f64_vec()?;
+        if pool_sum.len() != self.pool_sum.len() {
+            return Err(dec.corrupt(format!(
+                "pool width {} != engine width {}",
+                pool_sum.len(),
+                self.pool_sum.len()
+            )));
+        }
+        self.graph = graph;
+        self.input_features = input_features;
+        self.layer_features = layer_features;
+        self.pool_sum = pool_sum;
+        Ok(())
+    }
+
     /// Processes one event and returns the updated class logits.
     pub fn update(&mut self, event: Event, ops: &mut OpCount) -> Tensor {
         let outcome = self.graph.push(event, ops);
@@ -722,6 +890,33 @@ impl WindowedGnn {
         Tensor::from_vec(&[self.classes], logits)
             .unwrap_or_else(|e| panic!("logit shape: {e}"))
     }
+}
+
+/// Serializes a slot-indexed feature cache: row count, then every row's
+/// f32 bit patterns (the dimension is a construction input).
+fn save_features(f: &NodeFeatures, enc: &mut Encoder) {
+    enc.put_u64(f.nodes() as u64);
+    for i in 0..f.nodes() {
+        for &v in f.row(i) {
+            enc.put_f32(v);
+        }
+    }
+}
+
+/// Restores a feature cache written by [`save_features`] at a known
+/// dimension.
+fn load_features(dim: usize, dec: &mut Decoder) -> Result<NodeFeatures, FrameError> {
+    let n = dec.take_u64()?;
+    if n.saturating_mul(dim.max(1) as u64).saturating_mul(4) > dec.remaining() as u64 {
+        return Err(dec.corrupt(format!("{n} feature rows exceed the payload")));
+    }
+    let mut f = NodeFeatures::zeros(n as usize, dim);
+    for i in 0..n as usize {
+        for v in f.row_mut(i) {
+            *v = dec.take_f32()?;
+        }
+    }
+    Ok(f)
 }
 
 #[cfg(test)]
@@ -917,6 +1112,91 @@ mod tests {
             late < 3 * early,
             "per-event cost grew as the window slid: early {early} vs late {late}"
         );
+    }
+
+    #[test]
+    fn window_state_round_trip_resumes_bit_identically() {
+        let events = random_events(400, 32, 80_000, 21);
+        let config = GraphConfig::new();
+        let policy = WindowPolicy::MaxNodes(48);
+        let mut oracle = SlidingWindowGraph::new(config, policy);
+        let mut ops = OpCount::new();
+        for e in &events[..200] {
+            oracle.push(*e, &mut ops);
+        }
+        let mut enc = Encoder::new();
+        oracle.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = SlidingWindowGraph::new(config, policy);
+        restored
+            .load_state(&mut Decoder::new(&bytes))
+            .expect("valid state");
+        // The restored window must behave identically from here on —
+        // same push outcomes, same compacted graph.
+        for e in &events[200..] {
+            let a = oracle.push(*e, &mut ops);
+            let b = restored.push(*e, &mut ops);
+            assert_eq!(a.inserted, b.inserted);
+            assert_eq!(a.evicted, b.evicted);
+            assert_eq!(a.reselected, b.reselected);
+        }
+        assert_graphs_identical(
+            &oracle.to_event_graph(),
+            &restored.to_event_graph(),
+            "restored window",
+        );
+    }
+
+    #[test]
+    fn engine_state_round_trip_resumes_bit_identically() {
+        let events = random_events(300, 24, 60_000, 23);
+        let config = GraphConfig::new();
+        let policy = WindowPolicy::MaxNodes(48);
+        let make_net = || {
+            GnnNetwork::new(
+                &GnnConfig::new(3).with_hidden(vec![6, 6]),
+                &mut Rng64::seed_from_u64(1),
+            )
+        };
+        let mut oracle = WindowedGnn::new(make_net(), config, policy, 3);
+        let mut ops = OpCount::new();
+        for e in &events[..150] {
+            oracle.update(*e, &mut ops);
+        }
+        let mut enc = Encoder::new();
+        oracle.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = WindowedGnn::new(make_net(), config, policy, 3);
+        restored
+            .load_state(&mut Decoder::new(&bytes))
+            .expect("valid state");
+        for e in &events[150..] {
+            let a = oracle.update(*e, &mut ops);
+            let b = restored.update(*e, &mut ops);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "logits must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_load_rejects_mismatched_shapes() {
+        let config = GraphConfig::new();
+        let policy = WindowPolicy::MaxNodes(16);
+        let net = GnnNetwork::new(
+            &GnnConfig::new(3).with_hidden(vec![6, 6]),
+            &mut Rng64::seed_from_u64(1),
+        );
+        let engine = WindowedGnn::new(net, config, policy, 3);
+        let mut enc = Encoder::new();
+        engine.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let other_net = GnnNetwork::new(
+            &GnnConfig::new(3).with_hidden(vec![6]),
+            &mut Rng64::seed_from_u64(1),
+        );
+        let mut other = WindowedGnn::new(other_net, config, policy, 3);
+        assert!(other.load_state(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

@@ -28,8 +28,15 @@
 //!   NaN/Inf logits are repaired and counted, and
 //!   [`ServeConfig::with_supervisor`] restarts failed sessions with
 //!   doubling backoff from their last-good checkpoint.
+//! * **Crash consistency** ([`durable::CheckpointManager`]) — durable
+//!   session snapshots on a configurable cadence, a checksummed
+//!   write-ahead log of every ingested AER word, epoch-keyed rotation,
+//!   and deterministic replay recovery: after a crash at *any* byte
+//!   offset, the recovered session is bit-identical to the pre-crash one
+//!   (pinned by `tests/recovery.rs`).
 //! * **Observability** — `serve.session.*`, `serve.queue.*`,
-//!   `serve.shed.*` and quarantine/restart counters in `evlab_util::obs`
+//!   `serve.shed.*`, quarantine/restart counters, plus `ckpt.*` / `wal.*`
+//!   durability counters and spans in `evlab_util::obs`
 //!   (enable with `EVLAB_OBS=1`).
 //!
 //! Decisions are deterministic: a session's output is a pure function of
@@ -59,10 +66,12 @@
 //! println!("{:?}", rt.session(session).unwrap().last_decision());
 //! ```
 
+pub mod durable;
 pub mod queue;
 pub mod runtime;
 pub mod session;
 
+pub use durable::{CheckpointManager, DurableConfig, RecoveryReport};
 pub use queue::{Admission, BoundedQueue, DropPolicy};
 pub use runtime::{ServeConfig, ServeRuntime, SupervisorPolicy};
 pub use session::{Session, SessionId, SessionStats};

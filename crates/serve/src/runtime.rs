@@ -190,6 +190,11 @@ impl ServeRuntime {
         self.sessions.get(id)
     }
 
+    /// Mutable session lookup for the durability layer.
+    pub(crate) fn session_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        self.sessions.get_mut(id)
+    }
+
     /// Offers one decoded event to a session's ingress queue.
     ///
     /// # Panics

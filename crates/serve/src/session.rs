@@ -8,11 +8,14 @@
 
 use std::time::Instant;
 
-use evlab_core::online::{Decision, OnlineClassifier};
+use evlab_core::online::{
+    load_opt_decision, save_opt_decision, Decision, OnlineClassifier,
+};
 use evlab_events::aer::AerCodec;
 use evlab_events::reorder::ReorderBuffer;
 use evlab_events::Event;
 use evlab_tensor::OpCount;
+use evlab_util::frame::{Decoder, Encoder, FrameError, StateSnapshot};
 use evlab_util::{obs, EvlabError};
 
 use crate::queue::{Admission, BoundedQueue, DropPolicy};
@@ -385,6 +388,14 @@ impl Session {
         self.open && self.error.is_some() && self.cooldown.is_some()
     }
 
+    /// Whether this session can be checkpointed: its classifier exposes
+    /// durable state through
+    /// [`evlab_util::frame::StateSnapshot`]. Adapter-served classifiers
+    /// (e.g. `Batched`) are not durable.
+    pub fn supports_snapshot(&self) -> bool {
+        self.classifier.as_snapshot().is_some()
+    }
+
     fn record_decision(&mut self, mut decision: Decision) {
         // NaN/Inf guard: corrupted ingress can poison activations; repair
         // to a valid (if low-confidence) decision and count the incident.
@@ -400,5 +411,170 @@ impl Session {
         obs::counter_add("serve.session.decisions", 1);
         self.history.push((decision.t_us, decision.class));
         self.last_decision = Some(decision);
+    }
+}
+
+fn save_stats(s: &SessionStats, enc: &mut Encoder) {
+    enc.put_u64(s.offered);
+    enc.put_u64(s.accepted);
+    enc.put_u64(s.shed_oldest);
+    enc.put_u64(s.shed_newest);
+    enc.put_u64(s.shed_rate);
+    enc.put_u64(s.processed);
+    enc.put_u64(s.decisions);
+    enc.put_u64(s.quarantined);
+    enc.put_u64(s.late_dropped);
+    enc.put_u64(s.restarts);
+    enc.put_u64(s.nonfinite_decisions);
+}
+
+fn load_stats(dec: &mut Decoder) -> Result<SessionStats, FrameError> {
+    Ok(SessionStats {
+        offered: dec.take_u64()?,
+        accepted: dec.take_u64()?,
+        shed_oldest: dec.take_u64()?,
+        shed_newest: dec.take_u64()?,
+        shed_rate: dec.take_u64()?,
+        processed: dec.take_u64()?,
+        decisions: dec.take_u64()?,
+        quarantined: dec.take_u64()?,
+        late_dropped: dec.take_u64()?,
+        restarts: dec.take_u64()?,
+        nonfinite_decisions: dec.take_u64()?,
+    })
+}
+
+fn save_ops(o: &OpCount, enc: &mut Encoder) {
+    enc.put_u64(o.macs);
+    enc.put_u64(o.effective_macs);
+    enc.put_u64(o.mults);
+    enc.put_u64(o.adds);
+    enc.put_u64(o.comparisons);
+    enc.put_u64(o.mem_reads);
+    enc.put_u64(o.mem_writes);
+}
+
+fn load_ops(dec: &mut Decoder) -> Result<OpCount, FrameError> {
+    let mut o = OpCount::new();
+    o.macs = dec.take_u64()?;
+    o.effective_macs = dec.take_u64()?;
+    o.mults = dec.take_u64()?;
+    o.adds = dec.take_u64()?;
+    o.comparisons = dec.take_u64()?;
+    o.mem_reads = dec.take_u64()?;
+    o.mem_writes = dec.take_u64()?;
+    Ok(o)
+}
+
+/// Durable session state: the classifier's
+/// [`StateSnapshot`] payload plus everything the session itself
+/// accumulated (reorder buffer, statistics, decision history, supervisor
+/// counters, op counts).
+///
+/// **Quiescence contract.** A snapshot captures the session *between*
+/// events: the ingress queue is not serialized, so the caller must drain
+/// it (e.g. `ServeRuntime::drain_all`) before saving — the checkpoint
+/// manager enforces this. Events still queued at save time are not lost
+/// by the format; they remain in the write-ahead log and are re-ingested
+/// on replay. Wall-clock state ([`Session::latencies_us`], the pending
+/// latency anchor) is measurement, not state, and resets on restore.
+impl StateSnapshot for Session {
+    fn state_kind(&self) -> &'static str {
+        "serve-session"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        // Classifier state, tagged with its own kind/version so a restore
+        // into a session serving a different paradigm fails loudly.
+        match self.classifier.as_snapshot() {
+            Some(snap) => {
+                enc.put_bool(true);
+                enc.put_str(snap.state_kind());
+                enc.put_u16(snap.state_version());
+                snap.save_state(enc);
+            }
+            None => enc.put_bool(false),
+        }
+        match &self.reorder {
+            Some(buf) => {
+                enc.put_bool(true);
+                buf.save_state(enc);
+            }
+            None => enc.put_bool(false),
+        }
+        save_stats(&self.stats, enc);
+        enc.put_u64(self.history.len() as u64);
+        for &(t, class) in &self.history {
+            enc.put_u64(t);
+            enc.put_u64(class as u64);
+        }
+        save_opt_decision(&self.last_decision, enc);
+        save_ops(&self.ops, enc);
+        enc.put_u64(self.restarts as u64);
+        enc.put_opt_u64(self.cooldown.map(u64::from));
+        enc.put_bool(self.open);
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder) -> Result<(), FrameError> {
+        if dec.take_bool()? {
+            let Some(snap) = self.classifier.as_snapshot_mut() else {
+                return Err(dec.corrupt("snapshot has classifier state, session has none"));
+            };
+            let kind = dec.take_str()?.to_string();
+            if kind != snap.state_kind() {
+                return Err(FrameError::KindMismatch {
+                    expected: snap.state_kind().to_string(),
+                    found: kind,
+                });
+            }
+            let version = dec.take_u16()?;
+            if version != snap.state_version() {
+                return Err(FrameError::StateVersionMismatch {
+                    expected: snap.state_version(),
+                    found: version,
+                });
+            }
+            snap.load_state(dec)?;
+        } else if self.classifier.as_snapshot().is_some() {
+            return Err(dec.corrupt("snapshot has no classifier state, session expects it"));
+        }
+        if dec.take_bool()? {
+            let Some(buf) = &mut self.reorder else {
+                return Err(dec.corrupt("snapshot has a reorder buffer, session has none"));
+            };
+            buf.load_state(dec)?;
+        } else if self.reorder.is_some() {
+            return Err(dec.corrupt("snapshot has no reorder buffer, session expects one"));
+        }
+        self.stats = load_stats(dec)?;
+        let n = dec.take_u64()? as usize;
+        if n > dec.remaining() / 16 {
+            return Err(dec.corrupt(format!("{n} history entries exceed the payload")));
+        }
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = dec.take_u64()?;
+            let class = dec.take_u64()? as usize;
+            history.push((t, class));
+        }
+        self.history = history;
+        self.last_decision = load_opt_decision(dec)?;
+        self.ops = load_ops(dec)?;
+        let restarts = dec.take_u64()?;
+        self.restarts = u32::try_from(restarts)
+            .map_err(|_| dec.corrupt(format!("restart count {restarts} overflows u32")))?;
+        self.cooldown = match dec.take_opt_u64()? {
+            Some(c) => Some(
+                u32::try_from(c)
+                    .map_err(|_| dec.corrupt(format!("cooldown {c} overflows u32")))?,
+            ),
+            None => None,
+        };
+        self.open = dec.take_bool()?;
+        // Wall-clock measurement state restarts with the process.
+        self.latencies_us.clear();
+        self.oldest_pending = None;
+        self.error = None;
+        Ok(())
     }
 }

@@ -11,6 +11,7 @@
 use crate::encode::SpikeTrain;
 use crate::network::SnnNetwork;
 use evlab_tensor::{OpCount, Tensor};
+use evlab_util::frame::{Decoder, Encoder, FrameError};
 use evlab_util::{obs, par};
 
 /// Minimum layer width before an injection fans out across threads; the
@@ -185,6 +186,69 @@ impl EventDrivenSnn {
         for j in fired {
             self.inject(layer_idx + 1, j, 1.0, t, ops, spike_counts);
         }
+    }
+
+    /// Serializes the session-mutable state — per-neuron membrane
+    /// potentials and last-update steps, hidden layers and readout — as
+    /// exact IEEE bit patterns. Weights and neuron parameters are
+    /// construction inputs ([`EventDrivenSnn::from_network`]) and are not
+    /// recorded; the recovery path rebuilds the engine from the same
+    /// trained network before calling [`EventDrivenSnn::load_state`].
+    pub fn save_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.layers.len() as u64);
+        for l in &self.layers {
+            enc.put_f32_slice(&l.v);
+            enc.put_u64_slice(&l.last_step);
+        }
+        enc.put_f32_slice(&self.readout_v);
+        enc.put_u64_slice(&self.readout_last);
+    }
+
+    /// Restores state written by [`EventDrivenSnn::save_state`] into an
+    /// identically-constructed engine, bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] if the payload is truncated or its shapes
+    /// (layer count, per-layer width, class count) do not match this
+    /// engine; the engine is left untouched then.
+    pub fn load_state(&mut self, dec: &mut Decoder) -> Result<(), FrameError> {
+        let n = dec.take_u64()? as usize;
+        if n != self.layers.len() {
+            return Err(dec.corrupt(format!(
+                "snapshot has {n} layers, engine has {}",
+                self.layers.len()
+            )));
+        }
+        let mut layer_state = Vec::with_capacity(n);
+        for l in &self.layers {
+            let v = dec.take_f32_vec()?;
+            let last = dec.take_u64_vec()?;
+            if v.len() != l.out_size || last.len() != l.out_size {
+                return Err(dec.corrupt(format!(
+                    "layer state width {} != {} neurons",
+                    v.len(),
+                    l.out_size
+                )));
+            }
+            layer_state.push((v, last));
+        }
+        let readout_v = dec.take_f32_vec()?;
+        let readout_last = dec.take_u64_vec()?;
+        if readout_v.len() != self.classes || readout_last.len() != self.classes {
+            return Err(dec.corrupt(format!(
+                "readout state width {} != {} classes",
+                readout_v.len(),
+                self.classes
+            )));
+        }
+        for (l, (v, last)) in self.layers.iter_mut().zip(layer_state) {
+            l.v = v;
+            l.last_step = last;
+        }
+        self.readout_v = readout_v;
+        self.readout_last = readout_last;
+        Ok(())
     }
 
     /// Input dimensionality expected by [`EventDrivenSnn::inject_input`].
@@ -391,6 +455,54 @@ mod tests {
             ed.inject_input(4, 1, &mut OpCount::new())
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bit_identically() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let net = SnnNetwork::new(SnnConfig::new(12, 3).with_hidden(vec![10]), &mut rng);
+        let mut oracle = EventDrivenSnn::from_network(&net);
+        let mut trng = Rng64::seed_from_u64(10);
+        let train = dense_train(12, 20, 3, &mut trng);
+        let mut ops = OpCount::new();
+        // Run the oracle halfway, snapshot, restore into a fresh engine
+        // built from the same network, then continue both in lockstep.
+        for t in 0..10 {
+            for &i in train.at(t) {
+                oracle.inject_input(i as usize, t as u64 + 1, &mut ops);
+            }
+        }
+        let mut enc = Encoder::new();
+        oracle.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = EventDrivenSnn::from_network(&net);
+        restored
+            .load_state(&mut Decoder::new(&bytes))
+            .expect("valid state");
+        for t in 10..20 {
+            for &i in train.at(t) {
+                oracle.inject_input(i as usize, t as u64 + 1, &mut ops);
+                restored.inject_input(i as usize, t as u64 + 1, &mut ops);
+            }
+        }
+        let a = oracle.logits_at(20);
+        let b = restored.logits_at(20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "logits must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_shape_mismatch() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let net = SnnNetwork::new(SnnConfig::new(12, 3).with_hidden(vec![10]), &mut rng);
+        let ed = EventDrivenSnn::from_network(&net);
+        let mut enc = Encoder::new();
+        ed.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let other_net = SnnNetwork::new(SnnConfig::new(12, 3).with_hidden(vec![8]), &mut rng);
+        let mut other = EventDrivenSnn::from_network(&other_net);
+        assert!(other.load_state(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub enum EvlabError {
     ReadStream(BoxedSource),
     /// A tensor shape mismatch (`evlab_tensor::tensor::ShapeError`).
     Shape(BoxedSource),
+    /// A snapshot/WAL framing failure ([`crate::frame::FrameError`] or
+    /// [`crate::frame::RecordError`]).
+    Frame(BoxedSource),
     /// A serve-runtime failure (unknown session, closed session, …).
     Serve(String),
     /// Free-form application error.
@@ -84,6 +87,12 @@ impl EvlabError {
         EvlabError::Shape(Box::new(source))
     }
 
+    /// Wraps a [`crate::frame::FrameError`] or
+    /// [`crate::frame::RecordError`] from the snapshot/WAL layer.
+    pub fn frame(source: impl Error + Send + Sync + 'static) -> Self {
+        EvlabError::Frame(Box::new(source))
+    }
+
     /// A serve-runtime error with the given message.
     pub fn serve(message: impl Into<String>) -> Self {
         EvlabError::Serve(message.into())
@@ -104,6 +113,7 @@ impl fmt::Display for EvlabError {
             EvlabError::DecodeAer(e) => write!(f, "aer decode error: {e}"),
             EvlabError::ReadStream(e) => write!(f, "stream read error: {e}"),
             EvlabError::Shape(e) => write!(f, "shape error: {e}"),
+            EvlabError::Frame(e) => write!(f, "frame error: {e}"),
             EvlabError::Serve(m) => write!(f, "serve error: {m}"),
             EvlabError::Msg(m) => write!(f, "{m}"),
         }
@@ -118,7 +128,8 @@ impl Error for EvlabError {
             EvlabError::EventOrder(e)
             | EvlabError::DecodeAer(e)
             | EvlabError::ReadStream(e)
-            | EvlabError::Shape(e) => Some(e.as_ref()),
+            | EvlabError::Shape(e)
+            | EvlabError::Frame(e) => Some(e.as_ref()),
             EvlabError::Serve(_) | EvlabError::Msg(_) => None,
         }
     }

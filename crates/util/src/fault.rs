@@ -21,6 +21,8 @@
 //! | `rollover` | `rollover=OFF` | shift by OFF µs, wrap at the 32-bit boundary  |
 //! | `hot`      | `hot=K:P`      | K hot pixels each firing alongside real events|
 //! | `burst`    | `burst=P:N`    | inject an N-event noise burst                 |
+//! | `file_trunc` | `file_trunc=P` | truncate a durable file at a seeded offset  |
+//! | `file_torn`  | `file_torn=P`  | garble a durable file's tail (torn write)   |
 //!
 //! Rates are probabilities in `[0, 1]` per offered event. Fault decisions
 //! are **nested across rates**: the per-event uniform draw depends only on
@@ -130,6 +132,12 @@ pub struct FaultSpec {
     pub burst: f64,
     /// Events per noise burst.
     pub burst_len: usize,
+    /// Probability of truncating a durable file at a seeded offset
+    /// (crash mid-write), applied per [`FaultInjector::damage_file`] call.
+    pub file_trunc: f64,
+    /// Probability of garbling a durable file's tail bytes (torn sector
+    /// write), applied per [`FaultInjector::damage_file`] call.
+    pub file_torn: f64,
 }
 
 impl Default for FaultSpec {
@@ -147,6 +155,8 @@ impl Default for FaultSpec {
             hot_rate: 0.0,
             burst: 0.0,
             burst_len: 0,
+            file_trunc: 0.0,
+            file_torn: 0.0,
         }
     }
 }
@@ -227,6 +237,8 @@ impl FaultSpec {
                     spec.burst = parse_rate(item, p)?;
                     spec.burst_len = parse_u64(item, n)? as usize;
                 }
+                "file_trunc" => spec.file_trunc = parse_rate(item, value)?,
+                "file_torn" => spec.file_torn = parse_rate(item, value)?,
                 other => {
                     return Err(FaultSpecError {
                         item: item.to_string(),
@@ -248,6 +260,8 @@ impl FaultSpec {
             || self.rollover_offset_us.is_some()
             || (self.hot_pixels > 0 && self.hot_rate > 0.0)
             || (self.burst > 0.0 && self.burst_len > 0)
+            || self.file_trunc > 0.0
+            || self.file_torn > 0.0
     }
 
     /// Returns a copy with a different seed (e.g. per session or per
@@ -267,6 +281,8 @@ impl FaultSpec {
             reorder: 0.0,
             reorder_skew_us: 0,
             rollover_offset_us: None,
+            file_trunc: 0.0,
+            file_torn: 0.0,
             ..self.clone()
         }
     }
@@ -325,6 +341,10 @@ pub struct FaultReport {
     pub burst_events: u64,
     /// Events whose timestamps wrapped at the 32-bit boundary.
     pub rolled_over: u64,
+    /// Durable files truncated at a seeded offset.
+    pub file_truncated: u64,
+    /// Durable files whose tail bytes were garbled (torn write).
+    pub file_torn: u64,
 }
 
 impl FaultReport {
@@ -342,6 +362,8 @@ impl FaultReport {
         obs::counter_add("fault.hot_events", self.hot_events);
         obs::counter_add("fault.burst_events", self.burst_events);
         obs::counter_add("fault.rolled_over", self.rolled_over);
+        obs::counter_add("fault.file.truncated", self.file_truncated);
+        obs::counter_add("fault.file.torn", self.file_torn);
     }
 }
 
@@ -364,6 +386,8 @@ mod chan {
     pub const HOT: u64 = 5;
     pub const BURST: u64 = 6;
     pub const DETAIL: u64 = 7;
+    pub const FILE_TRUNC: u64 = 8;
+    pub const FILE_TORN: u64 = 9;
 }
 
 /// A stateful, seeded injector applying one [`FaultSpec`].
@@ -566,6 +590,47 @@ impl FaultInjector {
         (Some(w), dup)
     }
 
+    /// Applies the file-level fault models to the raw bytes of a durable
+    /// artifact (a snapshot or WAL as it would land on disk): `file_trunc`
+    /// truncates at a seeded offset (crash mid-write), `file_torn` XORs
+    /// nonzero masks over the final bytes (torn sector write — length
+    /// preserved, content garbled). Returns `true` if the bytes were
+    /// damaged.
+    ///
+    /// Each call consumes one injector index, so a sequence of files is
+    /// damaged deterministically and the decisions nest across rates like
+    /// every other fault channel.
+    pub fn damage_file(&mut self, bytes: &mut Vec<u8>) -> bool {
+        let mut detail = None;
+        let mut damaged = false;
+        if !bytes.is_empty()
+            && self.spec.file_trunc > 0.0
+            && self.draw(chan::FILE_TRUNC) < self.spec.file_trunc
+        {
+            let r = detail.get_or_insert_with(|| self.detail_rng());
+            let keep = r.next_below(bytes.len() as u64) as usize;
+            bytes.truncate(keep);
+            self.report.file_truncated += 1;
+            damaged = true;
+        }
+        if !bytes.is_empty()
+            && self.spec.file_torn > 0.0
+            && self.draw(chan::FILE_TORN) < self.spec.file_torn
+        {
+            let r = detail.get_or_insert_with(|| self.detail_rng());
+            let n = 1 + r.next_below(bytes.len().min(16) as u64) as usize;
+            let start = bytes.len() - n;
+            for b in &mut bytes[start..] {
+                // XOR with a nonzero mask: every torn byte really changes.
+                *b ^= 1 + r.next_below(255) as u8;
+            }
+            self.report.file_torn += 1;
+            damaged = true;
+        }
+        self.index += 1;
+        damaged
+    }
+
     /// Applies the word-level fault models to a batch of AER words.
     pub fn apply_words(&mut self, words: &[u64]) -> Vec<u64> {
         let mut out = Vec::with_capacity(words.len());
@@ -724,6 +789,68 @@ mod tests {
         assert_eq!(sub.rollover_offset_us, None);
         assert_eq!(sub.drop, 0.1);
         assert!(!FaultInjector::new(&sub).disorders_time());
+    }
+
+    #[test]
+    fn file_faults_parse_and_activate() {
+        let s = FaultSpec::parse("seed=11,file_trunc=0.5,file_torn=0.25").expect("valid");
+        assert_eq!(s.file_trunc, 0.5);
+        assert_eq!(s.file_torn, 0.25);
+        assert!(s.is_active());
+        assert!(FaultSpec::parse("file_trunc=2").is_err());
+        // File faults never reach the sensor-side subset.
+        let sub = s.sensor_subset();
+        assert_eq!(sub.file_trunc, 0.0);
+        assert_eq!(sub.file_torn, 0.0);
+    }
+
+    #[test]
+    fn damage_file_is_deterministic_and_counted() {
+        let spec = FaultSpec::parse("seed=13,file_trunc=0.5,file_torn=0.5").unwrap();
+        let run = |spec: &FaultSpec| {
+            let mut inj = FaultInjector::new(spec);
+            let files: Vec<Vec<u8>> = (0..64u8)
+                .map(|i| {
+                    let mut f: Vec<u8> = (0..200u8).map(|b| b ^ i).collect();
+                    inj.damage_file(&mut f);
+                    f
+                })
+                .collect();
+            (files, inj.report())
+        };
+        let (a, ra) = run(&spec);
+        let (b, rb) = run(&spec);
+        assert_eq!(a, b, "file damage must replay bit-identically");
+        assert_eq!(ra, rb);
+        assert!(ra.file_truncated > 10, "truncations fired: {}", ra.file_truncated);
+        assert!(ra.file_torn > 10, "torn writes fired: {}", ra.file_torn);
+        // Truncation shortens; a torn write alone preserves length but
+        // garbles content.
+        assert!(a.iter().any(|f| f.len() < 200));
+        assert!(a
+            .iter()
+            .enumerate()
+            .any(|(i, f)| f.len() == 200 && *f != (0..200u8).map(|b| b ^ i as u8).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn file_faults_nest_across_rates() {
+        let file = |i: u8| -> Vec<u8> { vec![i; 64] };
+        let damaged_at = |rate: &str| -> Vec<bool> {
+            let spec = FaultSpec::parse(&format!("seed=17,file_trunc={rate}")).unwrap();
+            let mut inj = FaultInjector::new(&spec);
+            (0..128u8)
+                .map(|i| {
+                    let mut f = file(i);
+                    inj.damage_file(&mut f)
+                })
+                .collect()
+        };
+        let lo = damaged_at("0.1");
+        let hi = damaged_at("0.6");
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(!l || h, "file {i} damaged at 0.1 but not at 0.6");
+        }
     }
 
     #[test]

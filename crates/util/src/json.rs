@@ -249,19 +249,17 @@ impl Json {
 /// temporary file first, which is then renamed over the target. A crash
 /// or failure mid-write can therefore never leave a truncated or partial
 /// artifact at `path` — readers see either the old file or the new one.
-pub fn write_atomic(path: impl AsRef<std::path::Path>, contents: &str) -> std::io::Result<()> {
-    let path = path.as_ref();
-    let mut tmp_name = path.as_os_str().to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = std::path::PathBuf::from(tmp_name);
-    std::fs::write(&tmp, contents)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e)
-        }
-    }
+///
+/// # Errors
+///
+/// Returns [`crate::EvlabError::Io`] if the temp-file write or the rename
+/// fails. On either failure the temp file is removed, so an error never
+/// leaks a stray `*.tmp.<pid>` sibling.
+pub fn write_atomic(
+    path: impl AsRef<std::path::Path>,
+    contents: &str,
+) -> Result<(), crate::EvlabError> {
+    crate::frame::write_atomic_bytes(path, contents.as_bytes())
 }
 
 impl fmt::Display for Json {
@@ -583,6 +581,29 @@ mod tests {
             });
         let _ = std::fs::remove_file(&path);
         assert!(!tmp_left, "temporary file must not survive");
+    }
+
+    #[test]
+    fn write_atomic_surfaces_typed_error_and_no_temp_leak() {
+        // Point at a file inside a directory that cannot be written to:
+        // a path whose parent is a *file*, which fails on every platform
+        // (and regardless of uid, unlike permission bits under root).
+        let dir = std::env::temp_dir();
+        let blocker = dir.join(format!("evlab_json_blocker_{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").expect("blocker");
+        let target = blocker.join("out.json");
+        let err = write_atomic(&target, "{}").expect_err("write into non-directory");
+        assert!(
+            matches!(err, crate::EvlabError::Io(_)),
+            "expected typed Io error, got {err}"
+        );
+        // The failed attempt must not leak a temp sibling anywhere.
+        let leaked = std::fs::read_dir(&dir)
+            .expect("list temp dir")
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().contains("out.json.tmp"));
+        let _ = std::fs::remove_file(&blocker);
+        assert!(!leaked, "error path must not leak a temp file");
     }
 
     #[test]

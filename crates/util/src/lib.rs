@@ -27,8 +27,12 @@
 //!   the per-crate error types convert into it via `From`.
 //! * [`fault`] — the seeded, deterministic fault-injection layer (AER word
 //!   corruption, drop/duplication, timestamp disorder, hot pixels, burst
-//!   noise) behind the `EVLAB_FAULTS` spec string, applied at sensor
-//!   output and serve ingress for chaos runs.
+//!   noise, file truncation/torn writes) behind the `EVLAB_FAULTS` spec
+//!   string, applied at sensor output, serve ingress and durable files
+//!   for chaos runs.
+//! * [`frame`] — versioned, CRC-framed binary serialization
+//!   ([`frame::StateSnapshot`], checksummed record streams) under the
+//!   crash-consistent checkpoint/WAL recovery layer in `evlab-serve`.
 //!
 //! # Examples
 //!
@@ -43,6 +47,7 @@
 pub mod error;
 pub mod fault;
 pub mod fixed;
+pub mod frame;
 pub mod json;
 pub mod lut;
 pub mod obs;

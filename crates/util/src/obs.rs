@@ -339,7 +339,12 @@ pub fn snapshot_json() -> Json {
 
 /// Writes [`snapshot_json`] to `path` atomically (temp file + rename), so
 /// a crash mid-write can never leave a truncated artifact behind.
-pub fn write_metrics(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+///
+/// # Errors
+///
+/// Returns [`crate::EvlabError::Io`] if the write or rename fails; the
+/// temp file does not survive the failure.
+pub fn write_metrics(path: impl AsRef<std::path::Path>) -> Result<(), crate::EvlabError> {
     crate::json::write_atomic(path, &(snapshot_json().to_string_pretty() + "\n"))
 }
 

@@ -31,7 +31,11 @@
 #      the binary exits non-zero unless faults fired, the hardened
 #      ingress quarantined what it could not salvage, and every
 #      degradation curve is monotone non-increasing in the fault rate;
-#   8. a clippy gate denying `unwrap()`/`expect()` on the ingestion,
+#   8. a smoke run of `recovery_bench` (crash-consistent checkpointing:
+#      snapshot + WAL recovery across all three paradigms, with a torn
+#      WAL tail forced) — the binary exits non-zero unless every
+#      recovered session is bit-identical to its uncrashed oracle;
+#   9. a clippy gate denying `unwrap()`/`expect()` on the ingestion,
 #      serving, kernel, graph and util crates — faults on those paths
 #      must surface as errors and quarantine counters, never as panics.
 #
@@ -65,7 +69,9 @@ serve_out="$(mktemp /tmp/evlab_serve_smoke.XXXXXX.json)"
 serve_metrics="$(mktemp /tmp/evlab_serve_obs.XXXXXX.json)"
 chaos_out="$(mktemp /tmp/evlab_chaos_smoke.XXXXXX.json)"
 chaos_metrics="$(mktemp /tmp/evlab_chaos_obs.XXXXXX.json)"
-trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics" "$chaos_out" "$chaos_metrics"' EXIT
+recovery_out="$(mktemp /tmp/evlab_recovery_smoke.XXXXXX.json)"
+recovery_metrics="$(mktemp /tmp/evlab_recovery_obs.XXXXXX.json)"
+trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics" "$chaos_out" "$chaos_metrics" "$recovery_out" "$recovery_metrics"' EXIT
 
 echo "==> kernel bit-identity tests (blocked kernels vs naive oracles)"
 cargo test -q --offline --test kernel_equivalence
@@ -118,8 +124,19 @@ cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
     --require serve.supervisor.restarts \
     "$chaos_metrics"
 
+echo "==> recovery_bench smoke (crash + torn WAL tail x 3 paradigms; bit-identical recovery gated)"
+EVLAB_OBS=1 cargo run -q --release --offline -p evlab-bench --bin recovery_bench -- \
+    --smoke --out "$recovery_out" --metrics "$recovery_metrics"
+
+echo "==> obs_check: checkpoint and write-ahead-log counters nonzero"
+cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
+    --require 'ckpt.*' \
+    --require 'wal.*' \
+    --require wal.torn_tails \
+    "$recovery_metrics"
+
 echo "==> clippy panic gate: no unwrap/expect on ingestion, serving, kernel, graph and util paths"
 cargo clippy -p evlab-events -p evlab-serve -p evlab-tensor -p evlab-gnn -p evlab-util --no-deps --offline -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "==> OK: build, lints, tests, kernel bit-identity, hot-path determinism, alloc budget, serving degradation, chaos degradation and observability all pass"
+echo "==> OK: build, lints, tests, kernel bit-identity, hot-path determinism, alloc budget, serving degradation, chaos degradation, crash recovery and observability all pass"

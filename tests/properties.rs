@@ -347,3 +347,64 @@ fn reorder_buffer_round_trips_bounded_jitter() {
         assert_eq!(got, want, "case {case}: multiset changed in transit");
     }
 }
+
+#[test]
+fn truncated_aer_files_salvage_the_exact_prefix_and_never_panic() {
+    use evlab::events::io::{read_stream, read_stream_prefix, ReadStreamError};
+
+    // The on-disk format: 18-byte header (magic, version, resolution,
+    // count) followed by 8-byte AER words.
+    const HEADER: usize = 18;
+    let mut rng = Rng64::seed_from_u64(0x7AE5);
+    for case in 0..CASES {
+        let stream = rand_stream(&mut rng, 32, 48);
+        let mut bytes = Vec::new();
+        evlab::events::io::write_stream(&stream, &mut bytes).expect("write");
+        assert_eq!(bytes.len(), HEADER + 8 * stream.len());
+
+        // Cut the file at EVERY byte offset: the strict reader must fail
+        // with the typed `Truncated` error (never a panic, never a bare
+        // EOF), and the salvage reader must return exactly the events
+        // whose records survived intact — no phantom tail event.
+        for off in 0..bytes.len() {
+            let cut = &bytes[..off];
+            match read_stream(cut) {
+                Err(ReadStreamError::Truncated { expected, got }) => {
+                    if off >= HEADER {
+                        assert_eq!(expected, stream.len() as u64, "case {case} offset {off}");
+                        assert_eq!(got as usize, (off - HEADER) / 8, "case {case} offset {off}");
+                    } else {
+                        assert_eq!((expected, got), (0, 0), "case {case} offset {off}");
+                    }
+                }
+                Ok(_) => panic!("case {case} offset {off}: truncated file read as complete"),
+                Err(e) => panic!("case {case} offset {off}: wrong error kind {e:?}"),
+            }
+            match read_stream_prefix(cut) {
+                Ok((prefix, Some(ReadStreamError::Truncated { .. }))) => {
+                    assert!(off >= HEADER, "case {case} offset {off}: salvaged a cut header");
+                    let intact = (off - HEADER) / 8;
+                    assert_eq!(
+                        prefix.as_slice(),
+                        &stream.as_slice()[..intact],
+                        "case {case} offset {off}: salvage prefix mismatch"
+                    );
+                }
+                Err(ReadStreamError::Truncated { .. }) => {
+                    assert!(off < HEADER, "case {case} offset {off}: lost a salvageable prefix")
+                }
+                Ok((_, tail)) => {
+                    panic!("case {case} offset {off}: unexpected salvage tail {tail:?}")
+                }
+                Err(e) => panic!("case {case} offset {off}: wrong salvage error {e:?}"),
+            }
+        }
+
+        // The untruncated file still round-trips through both readers.
+        let full = read_stream(&bytes[..]).expect("full read");
+        assert_eq!(full.as_slice(), stream.as_slice());
+        let (salvaged, tail) = read_stream_prefix(&bytes[..]).expect("full salvage");
+        assert!(tail.is_none(), "clean file reported a tail error");
+        assert_eq!(salvaged.as_slice(), stream.as_slice());
+    }
+}
