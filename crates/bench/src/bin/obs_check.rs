@@ -8,14 +8,18 @@
 //! stopped running), which is exactly the failure mode the observability
 //! layer exists to catch.
 //!
-//! Usage: `obs_check [--require NAME ...] PATH [PATH ...]` — exits
-//! non-zero on the first missing/zero counter or unparseable file. With
-//! one or more `--require NAME` flags the required set is exactly those
-//! counters instead of the built-in pipeline list (used by `verify.sh` to
-//! validate serving metrics, where only `serve.*` counters exist). A
-//! required name ending in `.*` passes when at least one counter under
-//! that prefix exists and is nonzero (used for `fault.*`, where the exact
-//! counter set depends on which fault models fired).
+//! Usage: `obs_check [--require NAME ...] [--forbid PATTERN ...]
+//! PATH [PATH ...]` — exits non-zero on the first missing/zero counter or
+//! unparseable file. With one or more `--require NAME` flags the required
+//! set is exactly those counters instead of the built-in pipeline list
+//! (used by `verify.sh` to validate serving metrics, where only `serve.*`
+//! counters exist). A required name ending in `.*` passes when at least
+//! one counter under that prefix exists and is nonzero (used for
+//! `fault.*`, where the exact counter set depends on which fault models
+//! fired). `--forbid PATTERN` inverts the gate: any counter matching the
+//! pattern (`*` matches any run of characters) with a nonzero value fails
+//! the check — used for `check.*violations`, where a nonzero counter
+//! means a runtime invariant fired.
 
 use evlab_util::json::Json;
 
@@ -35,7 +39,20 @@ const REQUIRED_NONZERO: &[&str] = &[
     "gnn.serial_fallback",
 ];
 
-fn check_file(path: &str, required: &[String]) -> Result<(), String> {
+/// Tiny glob: `*` matches any (possibly empty) run of characters;
+/// everything else matches literally.
+fn glob_matches(pattern: &str, name: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == name,
+        Some((head, tail)) => match name.strip_prefix(head) {
+            None => false,
+            Some(rest) => (0..=rest.len())
+                .any(|i| rest.is_char_boundary(i) && glob_matches(tail, &rest[i..])),
+        },
+    }
+}
+
+fn check_file(path: &str, required: &[String], forbidden: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e:?}"))?;
     let counters = doc
@@ -69,6 +86,17 @@ fn check_file(path: &str, required: &[String]) -> Result<(), String> {
             Some(v) => eprintln!("[obs_check]   {name:<40} {v}"),
         }
     }
+    for pattern in forbidden {
+        for (k, v) in counters.entries().unwrap_or(&[]) {
+            if glob_matches(pattern, k) {
+                if let Some(n) = v.as_u64() {
+                    if n > 0 {
+                        failures.push(format!("forbidden counter `{k}` is {n}"));
+                    }
+                }
+            }
+        }
+    }
     if doc.get("spans").is_none() {
         failures.push("no `spans` object".to_string());
     }
@@ -82,14 +110,16 @@ fn check_file(path: &str, required: &[String]) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut required: Vec<String> = Vec::new();
+    let mut forbidden: Vec<String> = Vec::new();
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
-        if arg == "--require" {
+        if arg == "--require" || arg == "--forbid" {
             match it.next() {
-                Some(name) => required.push(name),
+                Some(name) if arg == "--require" => required.push(name),
+                Some(name) => forbidden.push(name),
                 None => {
-                    eprintln!("--require needs a counter name");
+                    eprintln!("{arg} needs a counter name");
                     std::process::exit(2);
                 }
             }
@@ -97,16 +127,18 @@ fn main() {
             paths.push(arg);
         }
     }
-    if required.is_empty() {
+    if required.is_empty() && forbidden.is_empty() {
         required = REQUIRED_NONZERO.iter().map(|s| s.to_string()).collect();
     }
     if paths.is_empty() {
-        eprintln!("usage: obs_check [--require NAME ...] PATH [PATH ...]");
+        eprintln!(
+            "usage: obs_check [--require NAME ...] [--forbid PATTERN ...] PATH [PATH ...]"
+        );
         std::process::exit(2);
     }
     for path in &paths {
         eprintln!("[obs_check] {path}");
-        if let Err(e) = check_file(path, &required) {
+        if let Err(e) = check_file(path, &required, &forbidden) {
             eprintln!("[obs_check] FAILED: {e}");
             std::process::exit(1);
         }

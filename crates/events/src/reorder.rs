@@ -38,6 +38,7 @@
 //! ```
 
 use crate::event::{Event, Timestamp};
+use evlab_util::check::{self, Invariant, Report};
 use evlab_util::fault::ROLLOVER_PERIOD_US;
 use evlab_util::frame::{Decoder, Encoder, FrameError, StateSnapshot};
 use evlab_util::obs;
@@ -100,10 +101,16 @@ impl TimeUnwrapper {
 /// A bounded-skew reorder buffer restoring monotone timestamps.
 ///
 /// Holds up to `skew_us` of event time: an event is released once the
-/// newest timestamp seen exceeds it by **at least** `skew_us`. The
+/// newest timestamp seen exceeds it by **at least** `skew_us` — exactly
+/// `max_seen - t >= skew_us`, never a clamped watermark subtraction. The
 /// release watermark is `max_seen - skew_us`, and the boundary is
 /// *inclusive* — an event with `t == watermark` is delivered, not held
 /// (equivalently: an event is held only while `max_seen - t < skew_us`).
+/// The same rule gives streams that start at `t < skew_us` an implicit
+/// **warm-up phase**: while `max_seen < skew_us` no watermark exists yet
+/// and *nothing* is released, not even `t == 0` (a clamped
+/// `max_seen.saturating_sub(skew_us)` watermark would leak zero-time
+/// events before their disorder horizon had passed).
 /// Any input whose per-event displacement is bounded by `skew_us / 2`
 /// (so two events can cross by at most `skew_us`) comes out exactly
 /// time-sorted. Events older than the newest released timestamp are
@@ -178,9 +185,9 @@ impl ReorderBuffer {
         self.late_dropped
     }
 
-    /// Offers one event; ready events — those at or below the watermark
-    /// `max_seen - skew_us` (inclusive boundary) — are appended to `out`
-    /// in timestamp order. Returns how many were released.
+    /// Offers one event; ready events — those with
+    /// `max_seen - t >= skew_us` (inclusive boundary) — are appended to
+    /// `out` in timestamp order. Returns how many were released.
     pub fn push(&mut self, event: Event, out: &mut Vec<Event>) -> usize {
         let t = event.t.as_micros();
         if let Some(last) = self.last_released {
@@ -203,17 +210,23 @@ impl ReorderBuffer {
         )));
         self.seq += 1;
         self.max_seen = self.max_seen.max(t);
-        self.release(out)
+        let released = self.release(out);
+        check::run(self);
+        released
     }
 
     fn release(&mut self, out: &mut Vec<Event>) -> usize {
-        let watermark = self.max_seen.saturating_sub(self.skew_us);
         let mut released = 0;
         while let Some(Reverse((t, _, _))) = self.heap.peek() {
-            // Inclusive boundary: `t == watermark` is delivered. Holding
-            // it would strand boundary events forever on streams whose
-            // inter-event gap equals the skew tolerance exactly.
-            if *t > watermark {
+            // Inclusive boundary: `max_seen - t == skew_us` is delivered.
+            // Holding it would strand boundary events forever on streams
+            // whose inter-event gap equals the skew tolerance exactly.
+            // Phrased as a distance (held events always have
+            // `t <= max_seen`) rather than against a clamped
+            // `max_seen - skew_us` watermark, so a stream starting at
+            // `t < skew_us` keeps even its zero-time events buffered
+            // through the warm-up phase.
+            if self.max_seen.saturating_sub(*t) < self.skew_us {
                 break;
             }
             let Some(Reverse((t, _, he))) = self.heap.pop() else {
@@ -254,6 +267,7 @@ impl ReorderBuffer {
             });
             released += 1;
         }
+        check::run(self);
         released
     }
 
@@ -328,12 +342,66 @@ impl StateSnapshot for ReorderBuffer {
             let on = dec.take_bool()?;
             heap.push(Reverse((t, s, HeapEvent { x, y, on })));
         }
-        self.heap = heap;
-        self.seq = seq;
-        self.max_seen = max_seen;
-        self.last_released = last_released;
-        self.late_dropped = late_dropped;
+        // Assemble a candidate and hold it to the live-buffer invariants
+        // before committing: a checksum-passing but semantically corrupt
+        // snapshot (releasable held events, a held event older than the
+        // quarantine boundary) must surface as a typed error, never load.
+        let candidate = ReorderBuffer {
+            skew_us: self.skew_us,
+            heap,
+            seq,
+            max_seen,
+            last_released,
+            late_dropped,
+        };
+        if let Some(violation) = check::verify(&candidate).into_iter().next() {
+            return Err(dec.corrupt(format!("snapshot violates invariant: {violation}")));
+        }
+        *self = candidate;
         Ok(())
+    }
+}
+
+/// Machine-checked form of the release/quarantine contract
+/// ([`evlab_util::check`]): run after every `push` and `flush` when
+/// `EVLAB_CHECK` is active.
+impl Invariant for ReorderBuffer {
+    fn invariant_name(&self) -> &'static str {
+        "reorder-buffer"
+    }
+
+    fn check_invariants(&self, r: &mut Report) {
+        for &Reverse((t, s, _)) in self.heap.iter() {
+            r.require(s < self.seq, || {
+                format!("held seq {s} not below the next seq {}", self.seq)
+            });
+            r.require(t <= self.max_seen, || {
+                format!("held t {t} exceeds max_seen {}", self.max_seen)
+            });
+            // Release completeness + warm-up: everything still held must
+            // genuinely be inside the skew horizon. A clamped watermark
+            // breaks the mirror-image check (nothing releasable remains),
+            // which is exactly the near-zero-time bug this pins.
+            r.require(self.max_seen.saturating_sub(t) < self.skew_us || self.skew_us == 0, || {
+                format!(
+                    "held t {t} is releasable: max_seen {} exceeds it by >= skew {}",
+                    self.max_seen, self.skew_us
+                )
+            });
+            if let Some(last) = self.last_released {
+                r.require(t >= last, || {
+                    format!("held t {t} older than last released {last}")
+                });
+            }
+        }
+        if let Some(last) = self.last_released {
+            r.require(last <= self.max_seen, || {
+                format!("last released {last} exceeds max_seen {}", self.max_seen)
+            });
+        }
+        r.require(self.heap.len() as u64 <= self.seq, || {
+            format!("{} held events but only {} ever pushed", self.heap.len(), self.seq)
+        });
     }
 }
 
@@ -377,6 +445,55 @@ mod tests {
         assert_eq!(released, 1);
         assert_eq!(buf.late_dropped(), 0);
         assert_eq!(out[1].t.as_micros(), 100);
+    }
+
+    #[test]
+    fn warm_up_holds_zero_time_events_until_horizon_passes() {
+        // Stream starting at t < skew_us: a clamped watermark
+        // (`max_seen.saturating_sub(skew_us)` = 0, inclusive boundary)
+        // used to release t == 0 on arrival, before its disorder horizon.
+        let mut buf = ReorderBuffer::new(100);
+        let mut out = Vec::new();
+        assert_eq!(buf.push(ev(0), &mut out), 0, "t=0 must warm up, not release");
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.push(ev(50), &mut out), 0);
+        assert_eq!(buf.push(ev(99), &mut out), 0, "max_seen 99 < skew: still warming up");
+        assert!(out.is_empty());
+        assert_eq!(buf.len(), 3);
+        // max_seen reaches skew: exactly the t=0 event is 100us old now.
+        assert_eq!(buf.push(ev(100), &mut out), 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].t.as_micros(), 0);
+        buf.flush(&mut out);
+        let ts: Vec<u64> = out.iter().map(|e| e.t.as_micros()).collect();
+        assert_eq!(ts, vec![0, 50, 99, 100]);
+        assert_eq!(buf.late_dropped(), 0);
+    }
+
+    #[test]
+    fn warm_up_reorders_near_zero_disorder() {
+        // Disorder entirely inside the warm-up window must still come out
+        // sorted; premature release of t=0 would have pinned
+        // last_released before 0's peers arrived.
+        let mut buf = ReorderBuffer::new(100);
+        let mut out = Vec::new();
+        for t in [5u64, 0, 3, 120, 60] {
+            buf.push(ev(t), &mut out);
+        }
+        buf.flush(&mut out);
+        let ts: Vec<u64> = out.iter().map(|e| e.t.as_micros()).collect();
+        assert_eq!(ts, vec![0, 3, 5, 60, 120]);
+        assert_eq!(buf.late_dropped(), 0);
+    }
+
+    #[test]
+    fn stream_starting_exactly_at_skew_boundary() {
+        let mut buf = ReorderBuffer::new(100);
+        let mut out = Vec::new();
+        assert_eq!(buf.push(ev(100), &mut out), 0, "distance 0 < skew: held");
+        assert_eq!(buf.push(ev(200), &mut out), 1, "distance 100 == skew: released");
+        assert_eq!(out[0].t.as_micros(), 100);
+        assert_eq!(buf.len(), 1);
     }
 
     #[test]
@@ -463,6 +580,41 @@ mod tests {
             restore_from_bytes(&mut other, &bytes),
             Err(FrameError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn invariant_flags_releasable_held_event() {
+        // A hand-corrupted buffer — a held event whose disorder horizon
+        // has already passed — must be flagged by the invariant layer.
+        // This is the machine-checked mirror image of the warm-up fix: a
+        // clamped-watermark release would leave this state unreachable.
+        let mut bad = ReorderBuffer::new(50);
+        bad.heap.push(Reverse((0, 0, HeapEvent { x: 0, y: 0, on: true })));
+        bad.seq = 1;
+        bad.max_seen = 500;
+        let violations = check::verify(&bad);
+        assert!(
+            violations.iter().any(|v| v.contains("releasable")),
+            "expected a release-completeness violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_invariant_violating_state() {
+        use evlab_util::frame::{restore_from_bytes, snapshot_to_bytes, FrameError};
+        // A snapshot that frames correctly (CRC passes) but encodes
+        // semantically corrupt state: a held event older than the
+        // quarantine boundary. Restore must fail typed, not load it.
+        let mut bad = ReorderBuffer::new(50);
+        bad.heap.push(Reverse((10, 0, HeapEvent { x: 1, y: 1, on: true })));
+        bad.seq = 1;
+        bad.max_seen = 40;
+        bad.last_released = Some(30);
+        let bytes = snapshot_to_bytes(&bad);
+        let mut target = ReorderBuffer::new(50);
+        let err = restore_from_bytes(&mut target, &bytes);
+        assert!(matches!(err, Err(FrameError::Corrupt { .. })), "got {err:?}");
+        assert!(target.is_empty(), "failed restore must not commit state");
     }
 
     #[test]

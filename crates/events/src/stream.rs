@@ -1,6 +1,7 @@
 //! Time-sorted event streams.
 
 use crate::event::{Event, Polarity, Timestamp};
+use evlab_util::check::{self, Invariant, Report};
 use std::error::Error;
 use std::fmt;
 
@@ -110,11 +111,13 @@ impl EventStream {
                 return Err(EventOrderError::OutOfOrder { index: i });
             }
         }
-        Ok(EventStream {
+        let stream = EventStream {
             width: resolution.0,
             height: resolution.1,
             events,
-        })
+        };
+        check::run(&stream);
+        Ok(stream)
     }
 
     /// Creates a stream from unsorted events by stably sorting them by
@@ -313,11 +316,13 @@ impl EventStream {
         }
         events.extend_from_slice(&self.events[i..]);
         events.extend_from_slice(&other.events[j..]);
-        EventStream {
+        let merged = EventStream {
             width: self.width,
             height: self.height,
             events,
-        }
+        };
+        check::run(&merged);
+        merged
     }
 
     /// Counts events of each polarity, returned as `(on, off)`.
@@ -328,6 +333,38 @@ impl EventStream {
             .filter(|e| e.polarity == Polarity::On)
             .count();
         (on, self.events.len() - on)
+    }
+}
+
+/// Machine-checked form of the sortedness/bounds contract
+/// ([`evlab_util::check`]): run by the bulk constructors and `merge`.
+/// `push` is O(1) and validates incrementally through its typed error, so
+/// it is exempt — a full scan there would make stream assembly quadratic
+/// under `EVLAB_CHECK`.
+impl Invariant for EventStream {
+    fn invariant_name(&self) -> &'static str {
+        "event-stream"
+    }
+
+    fn check_invariants(&self, r: &mut Report) {
+        for (i, w) in self.events.windows(2).enumerate() {
+            r.require(w[0].t <= w[1].t, || {
+                format!(
+                    "timestamps decrease at index {}: {} then {}",
+                    i + 1,
+                    w[0].t.as_micros(),
+                    w[1].t.as_micros()
+                )
+            });
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            r.require(e.x < self.width && e.y < self.height, || {
+                format!(
+                    "event {i} at ({}, {}) outside the {}x{} sensor",
+                    e.x, e.y, self.width, self.height
+                )
+            });
+        }
     }
 }
 

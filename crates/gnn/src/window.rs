@@ -43,6 +43,7 @@ use crate::graph::{EventGraph, GraphView};
 use crate::network::GnnNetwork;
 use evlab_events::Event;
 use evlab_tensor::{OpCount, Tensor};
+use evlab_util::check::{self, Invariant, Report};
 use evlab_util::frame::{Decoder, Encoder, FrameError};
 use evlab_util::obs;
 use std::collections::{HashMap, VecDeque};
@@ -450,6 +451,7 @@ impl SlidingWindowGraph {
         ops.record_write(1);
         obs::counter_add("gnn.window.inserts", 1);
         obs::counter_add("gnn.window.evictions", evicted.len() as u64);
+        check::run(self);
         PushOutcome {
             inserted: s,
             evicted,
@@ -554,20 +556,32 @@ impl SlidingWindowGraph {
         if !order.iter().copied().all(in_range) || !free.iter().copied().all(in_range) {
             return Err(dec.corrupt("order/free list references a slot outside the table"));
         }
-        self.slots = slots;
-        self.order = order.into_iter().collect();
-        self.free = free.into_iter().collect();
-        self.next_seq = next_seq;
-        self.last_t = last_t;
-        // Rebuild the spatial index from the live order: `order` ascends
-        // by seq, so appending reproduces the seq-sorted cell FIFOs the
-        // live push path maintains.
-        self.cells.clear();
-        let live_order: Vec<u32> = self.order.iter().copied().collect();
+        // Assemble a candidate, rebuilding the spatial index from the
+        // live order (`order` ascends by seq, so appending reproduces the
+        // seq-sorted cell FIFOs the live push path maintains), then hold
+        // it to the full window invariants before committing: a
+        // checksum-passing but semantically corrupt snapshot must surface
+        // as a typed error with the window left untouched.
+        let mut candidate = SlidingWindowGraph {
+            config: self.config,
+            policy: self.policy,
+            slots,
+            order: order.into_iter().collect(),
+            free: free.into_iter().collect(),
+            cells: HashMap::new(),
+            cell_size: self.cell_size,
+            next_seq,
+            last_t,
+        };
+        let live_order: Vec<u32> = candidate.order.iter().copied().collect();
         for s in live_order {
-            let cell = self.cell_of(&self.slots[s as usize].event);
-            self.cells.entry(cell).or_default().push_back(s);
+            let cell = candidate.cell_of(&candidate.slots[s as usize].event);
+            candidate.cells.entry(cell).or_default().push_back(s);
         }
+        if let Some(violation) = check::verify(&candidate).into_iter().next() {
+            return Err(dec.corrupt(format!("snapshot violates invariant: {violation}")));
+        }
+        *self = candidate;
         Ok(())
     }
 
@@ -587,6 +601,146 @@ impl SlidingWindowGraph {
             g.push_node(sl.event, nbrs);
         }
         g
+    }
+}
+
+/// Machine-checked form of the slot-stability contract
+/// ([`evlab_util::check`]): run after every `push` and against every
+/// restored snapshot.
+impl Invariant for SlidingWindowGraph {
+    fn invariant_name(&self) -> &'static str {
+        "sliding-window"
+    }
+
+    fn check_invariants(&self, r: &mut Report) {
+        // Every slot is either live (on the order ring) or tombstoned
+        // (on the free list) — slots are never leaked or double-booked.
+        r.require(self.order.len() + self.free.len() == self.slots.len(), || {
+            format!(
+                "{} live + {} free != {} slots",
+                self.order.len(),
+                self.free.len(),
+                self.slots.len()
+            )
+        });
+        r.require(self.order.len() <= self.policy.max_nodes(), || {
+            format!(
+                "{} live nodes exceed the count bound {}",
+                self.order.len(),
+                self.policy.max_nodes()
+            )
+        });
+        if !self.order.is_empty() {
+            r.require(self.last_t.is_some(), || {
+                "live nodes but no time cursor".to_string()
+            });
+        }
+        let in_range = |i: u32| (i as usize) < self.slots.len();
+        let mut prev_seq: Option<u64> = None;
+        for &s in &self.order {
+            if !in_range(s) {
+                r.require(false, || format!("order entry {s} out of range"));
+                continue;
+            }
+            let sl = &self.slots[s as usize];
+            r.require(sl.live, || format!("order entry {s} is tombstoned"));
+            r.require(sl.seq < self.next_seq, || {
+                format!("slot {s} seq {} not below next_seq {}", sl.seq, self.next_seq)
+            });
+            r.require(prev_seq.is_none_or(|p| p < sl.seq), || {
+                format!("order ring not strictly seq-ascending at slot {s}")
+            });
+            prev_seq = Some(sl.seq);
+            let t = sl.event.t.as_micros();
+            r.require(self.last_t.is_some_and(|last| t <= last), || {
+                format!("live slot {s} at t {t} is newer than the cursor {:?}", self.last_t)
+            });
+            if let (Some(age), Some(last)) = (self.policy.max_age_us(), self.last_t) {
+                r.require(last.saturating_sub(t) <= age, || {
+                    format!("live slot {s} is {}us old, bound {age}us", last - t)
+                });
+            }
+            r.require(sl.nbrs.len() <= self.config.max_degree, || {
+                format!("slot {s} holds {} in-edges, cap {}", sl.nbrs.len(), self.config.max_degree)
+            });
+            // In-neighbours: live, strictly older, seq-ascending, and
+            // mirrored by the neighbour's out-edge list.
+            let mut prev_nbr: Option<u64> = None;
+            for &j in &sl.nbrs {
+                if !in_range(j) {
+                    r.require(false, || format!("slot {s} in-edge {j} out of range"));
+                    continue;
+                }
+                let nb = &self.slots[j as usize];
+                r.require(nb.live, || format!("slot {s} in-edge to tombstoned {j}"));
+                r.require(nb.seq < sl.seq, || {
+                    format!("slot {s} in-edge to non-older {j}")
+                });
+                r.require(prev_nbr.is_none_or(|p| p < nb.seq), || {
+                    format!("slot {s} in-edges not strictly seq-ascending")
+                });
+                prev_nbr = Some(nb.seq);
+                r.require(nb.outs.iter().any(|&(sq, o)| sq == sl.seq && o == s), || {
+                    format!("slot {s} in-edge to {j} lacks the mirror out-edge")
+                });
+            }
+            // Out-edges: live newer nodes, seq-ascending, mirrored.
+            let mut prev_out: Option<u64> = None;
+            for &(sq, o) in &sl.outs {
+                if !in_range(o) {
+                    r.require(false, || format!("slot {s} out-edge {o} out of range"));
+                    continue;
+                }
+                let ob = &self.slots[o as usize];
+                r.require(ob.live && ob.seq == sq && sq > sl.seq, || {
+                    format!("slot {s} out-edge ({sq}, {o}) is stale")
+                });
+                r.require(prev_out.is_none_or(|p| p < sq), || {
+                    format!("slot {s} out-edges not strictly seq-ascending")
+                });
+                prev_out = Some(sq);
+                r.require(ob.nbrs.contains(&s), || {
+                    format!("slot {s} out-edge to {o} lacks the mirror in-edge")
+                });
+            }
+        }
+        for &s in &self.free {
+            if !in_range(s) {
+                r.require(false, || format!("free entry {s} out of range"));
+                continue;
+            }
+            let sl = &self.slots[s as usize];
+            r.require(!sl.live, || format!("free entry {s} is still live"));
+            r.require(sl.nbrs.is_empty() && sl.outs.is_empty(), || {
+                format!("tombstoned slot {s} kept stale edges")
+            });
+        }
+        // Spatial index: per-cell FIFOs hold exactly the live set, each
+        // id under its own cell key, oldest first.
+        let mut indexed = 0usize;
+        for (key, list) in &self.cells {
+            let mut prev: Option<u64> = None;
+            for &s in list {
+                indexed += 1;
+                if !in_range(s) {
+                    r.require(false, || format!("cell entry {s} out of range"));
+                    continue;
+                }
+                let sl = &self.slots[s as usize];
+                r.require(sl.live, || format!("cell {key:?} indexes tombstoned {s}"));
+                r.require(self.cell_of(&sl.event) == *key, || {
+                    format!("slot {s} filed under the wrong cell {key:?}")
+                });
+                r.require(prev.is_none_or(|p| p < sl.seq), || {
+                    format!("cell {key:?} FIFO not seq-ascending")
+                });
+                prev = Some(sl.seq);
+            }
+            r.require(!list.is_empty(), || format!("empty cell {key:?} not pruned"));
+        }
+        r.require(indexed == self.order.len(), || {
+            format!("{indexed} indexed ids != {} live nodes", self.order.len())
+        });
     }
 }
 

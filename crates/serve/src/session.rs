@@ -15,6 +15,7 @@ use evlab_events::aer::AerCodec;
 use evlab_events::reorder::ReorderBuffer;
 use evlab_events::Event;
 use evlab_tensor::OpCount;
+use evlab_util::check::{self, Invariant, Report};
 use evlab_util::frame::{Decoder, Encoder, FrameError, StateSnapshot};
 use evlab_util::{obs, EvlabError};
 
@@ -251,6 +252,7 @@ impl Session {
             // event can never surface it here.
             Admission::Quarantined => {}
         }
+        check::run(self);
         admission
     }
 
@@ -286,6 +288,7 @@ impl Session {
             consumed += 1;
         }
         self.stats.processed += consumed as u64;
+        check::run(self);
         consumed
     }
 
@@ -325,7 +328,7 @@ impl Session {
                 return Err(EvlabError::serve("flush failed: classifier error on reordered tail"));
             }
         }
-        match self.classifier.flush(&mut self.ops) {
+        let result = match self.classifier.flush(&mut self.ops) {
             Ok(Some(decision)) => {
                 self.record_decision(decision.clone());
                 Ok(Some(decision))
@@ -336,7 +339,9 @@ impl Session {
                 obs::counter_add("serve.session.errors", 1);
                 Err(e)
             }
-        }
+        };
+        check::run(self);
+        result
     }
 
     /// Closes the session; further offers are rejected.
@@ -379,6 +384,7 @@ impl Session {
             buf.reset();
         }
         obs::counter_add("serve.supervisor.restarts", 1);
+        check::run(self);
         true
     }
 
@@ -411,6 +417,82 @@ impl Session {
         obs::counter_add("serve.session.decisions", 1);
         self.history.push((decision.t_us, decision.class));
         self.last_decision = Some(decision);
+    }
+}
+
+/// Machine-checked queue/state-machine legality ([`evlab_util::check`]):
+/// run after every offer, drain, flush and supervisor restart, and
+/// against every restored snapshot. All conservation laws hold across
+/// restore too — the queue is not durable, which only slackens the
+/// admission inequality, never inverts it.
+impl Invariant for Session {
+    fn invariant_name(&self) -> &'static str {
+        "serve-session"
+    }
+
+    fn check_invariants(&self, r: &mut Report) {
+        let s = &self.stats;
+        // Every offered event is accounted for exactly once at ingress.
+        r.require(s.offered == s.accepted + s.shed_newest + s.shed_rate, || {
+            format!(
+                "{} offered != {} accepted + {} shed_newest + {} shed_rate",
+                s.offered, s.accepted, s.shed_newest, s.shed_rate
+            )
+        });
+        // Accepted events are still queued, processed, or shed-oldest;
+        // the remainder is bounded by classifier failures (an event can
+        // be lost mid-push when the classifier errors).
+        r.require(
+            s.accepted >= s.shed_oldest + s.processed + self.queue.len() as u64,
+            || {
+                format!(
+                    "{} accepted < {} shed_oldest + {} processed + {} queued",
+                    s.accepted,
+                    s.shed_oldest,
+                    s.processed,
+                    self.queue.len()
+                )
+            },
+        );
+        r.require(self.queue.len() <= self.queue.capacity(), || {
+            format!(
+                "queue holds {} events, capacity {}",
+                self.queue.len(),
+                self.queue.capacity()
+            )
+        });
+        r.require(s.decisions == self.history.len() as u64, || {
+            format!(
+                "{} decisions but {} history entries",
+                s.decisions,
+                self.history.len()
+            )
+        });
+        r.require(self.latencies_us.len() as u64 <= s.decisions, || {
+            format!(
+                "{} latency samples exceed {} decisions",
+                self.latencies_us.len(),
+                s.decisions
+            )
+        });
+        r.require(self.cooldown.is_none() || self.error.is_some(), || {
+            "cooldown counting down without a live error".to_string()
+        });
+        r.require(u64::from(self.restarts) == s.restarts, || {
+            format!(
+                "session counted {} restarts, stats say {}",
+                self.restarts, s.restarts
+            )
+        });
+        if let Some(buf) = &self.reorder {
+            r.require(s.late_dropped >= buf.late_dropped(), || {
+                format!(
+                    "stats late_dropped {} behind the buffer's {}",
+                    s.late_dropped,
+                    buf.late_dropped()
+                )
+            });
+        }
     }
 }
 
@@ -563,18 +645,23 @@ impl StateSnapshot for Session {
         let restarts = dec.take_u64()?;
         self.restarts = u32::try_from(restarts)
             .map_err(|_| dec.corrupt(format!("restart count {restarts} overflows u32")))?;
-        self.cooldown = match dec.take_opt_u64()? {
-            Some(c) => Some(
-                u32::try_from(c)
-                    .map_err(|_| dec.corrupt(format!("cooldown {c} overflows u32")))?,
-            ),
-            None => None,
-        };
+        // Consume the recorded cooldown for format compatibility, but do
+        // not restore it: the cooldown counts down a *live* error's
+        // backoff, and the error itself is not durable (cleared below).
+        // Restoring it would leave a stale backoff that a future failure
+        // silently inherits.
+        if let Some(c) = dec.take_opt_u64()? {
+            u32::try_from(c).map_err(|_| dec.corrupt(format!("cooldown {c} overflows u32")))?;
+        }
+        self.cooldown = None;
         self.open = dec.take_bool()?;
         // Wall-clock measurement state restarts with the process.
         self.latencies_us.clear();
         self.oldest_pending = None;
         self.error = None;
+        if let Some(violation) = check::verify(self).into_iter().next() {
+            return Err(dec.corrupt(format!("snapshot violates invariant: {violation}")));
+        }
         Ok(())
     }
 }

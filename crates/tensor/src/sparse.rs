@@ -13,6 +13,7 @@
 //! experiments.
 
 use crate::tensor::Tensor;
+use evlab_util::check::{self, Invariant, Report};
 use evlab_util::par;
 
 /// Minimum rows per chunk before `spmv_into` fans rows out over the
@@ -70,13 +71,15 @@ impl CsrMatrix {
             }
             row_ptr.push(values.len());
         }
-        CsrMatrix {
+        let csr = CsrMatrix {
             rows,
             cols,
             row_ptr,
             col_idx,
             values,
-        }
+        };
+        check::run(&csr);
+        csr
     }
 
     /// Builds an empty matrix, to be filled row by row with
@@ -236,6 +239,54 @@ impl CsrMatrix {
     /// pointers (32 b).
     pub fn size_bits(&self) -> usize {
         32 * (self.values.len() + self.col_idx.len() + self.row_ptr.len())
+    }
+}
+
+/// Machine-checked CSR well-formedness ([`evlab_util::check`]): run by
+/// the bulk constructor and the fuzz lab. Per-`push_row` checking would
+/// turn incremental assembly quadratic, so `push_row` relies on its own
+/// panics plus a final [`check::run`] by callers that want the guarantee.
+impl Invariant for CsrMatrix {
+    fn invariant_name(&self) -> &'static str {
+        "csr-matrix"
+    }
+
+    fn check_invariants(&self, r: &mut Report) {
+        r.require(self.row_ptr.len() == self.rows + 1, || {
+            format!("{} row pointers for {} rows", self.row_ptr.len(), self.rows)
+        });
+        r.require(self.col_idx.len() == self.values.len(), || {
+            format!("{} col indices vs {} values", self.col_idx.len(), self.values.len())
+        });
+        r.require(self.row_ptr.first() == Some(&0), || "row_ptr[0] != 0".to_string());
+        r.require(self.row_ptr.last() == Some(&self.values.len()), || {
+            format!(
+                "row_ptr end {:?} != nnz {}",
+                self.row_ptr.last(),
+                self.values.len()
+            )
+        });
+        for w in self.row_ptr.windows(2) {
+            r.require(w[0] <= w[1], || {
+                format!("row_ptr not monotone: {} then {}", w[0], w[1])
+            });
+        }
+        for row in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+            if hi > self.col_idx.len() || lo > hi {
+                continue; // already reported above
+            }
+            let mut prev: Option<u32> = None;
+            for &c in &self.col_idx[lo..hi] {
+                r.require((c as usize) < self.cols, || {
+                    format!("row {row} column {c} outside {} cols", self.cols)
+                });
+                r.require(prev.is_none_or(|p| p < c), || {
+                    format!("row {row} columns not strictly increasing at {c}")
+                });
+                prev = Some(c);
+            }
+        }
     }
 }
 

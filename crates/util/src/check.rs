@@ -1,0 +1,241 @@
+//! Zero-cost-when-off runtime invariant layer.
+//!
+//! The differential fuzz lab (`fuzz_lab` in `evlab-bench`) and the paper
+//! pipelines share one failure mode that unit tests are bad at catching:
+//! a data structure that silently drifts out of its documented contract
+//! (a reorder buffer releasing an event before its skew horizon, a
+//! sliding window whose out-edge lists stop mirroring its in-edge lists,
+//! a CSR matrix with a non-monotone row pointer) and only corrupts
+//! results many operations later. This module turns those contracts into
+//! machine-checked invariants:
+//!
+//! * Core structures implement [`Invariant`], enumerating every internal
+//!   consistency requirement through [`Report::require`].
+//! * Mutating entry points call [`run`] on themselves. When checking is
+//!   **off** — the default in release builds — that call is a single
+//!   relaxed atomic load. When **on**, a violated invariant records
+//!   `check.violations` / `check.<name>.violations` observability
+//!   counters plus a process-global tally ([`total_violations`]) and then
+//!   panics with the violation list, so the failing operation is caught
+//!   at the moment of corruption rather than at the symptom.
+//!
+//! Checking is enabled by `EVLAB_CHECK=1` (any value other than `0` or
+//! empty), disabled by `EVLAB_CHECK=0`, and defaults to **on under
+//! `cfg(debug_assertions)`** — the workspace test suite therefore runs
+//! fully checked, while release serving pays one branch per call site.
+//! [`set_enabled`] overrides both for the current process (used by the
+//! fuzz lab, which checks unconditionally regardless of build profile).
+//!
+//! # Examples
+//!
+//! ```
+//! use evlab_util::check::{self, Invariant, Report};
+//!
+//! struct Window { len: usize, cap: usize }
+//! impl Invariant for Window {
+//!     fn invariant_name(&self) -> &'static str { "window" }
+//!     fn check_invariants(&self, r: &mut Report) {
+//!         r.require(self.len <= self.cap, || {
+//!             format!("len {} exceeds cap {}", self.len, self.cap)
+//!         });
+//!     }
+//! }
+//!
+//! check::set_enabled(true);
+//! check::run(&Window { len: 3, cap: 8 }); // fine
+//! assert!(check::verify(&Window { len: 9, cap: 8 }).len() == 1);
+//! ```
+
+use crate::obs;
+use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide override: -1 = follow `EVLAB_CHECK` / build profile,
+/// 0 = forced off, 1 = forced on.
+static OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+
+/// The `EVLAB_CHECK` / `debug_assertions` default, read once.
+static DEFAULT: OnceLock<bool> = OnceLock::new();
+
+/// Invariant runs performed while enabled (cheap liveness signal).
+static RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Violations detected since process start. Recorded *before* the panic,
+/// so a harness that catches the unwind (the fuzz lab) still sees the
+/// tally — and so does this module's own gate even when `EVLAB_OBS` is
+/// off and no `check.*` counter was recorded.
+static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether invariant checking is active. One relaxed atomic load on the
+/// fast path; the environment is consulted once per process.
+pub fn enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => *DEFAULT.get_or_init(|| match std::env::var("EVLAB_CHECK") {
+            Ok(v) => {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            }
+            Err(_) => cfg!(debug_assertions),
+        }),
+    }
+}
+
+/// Forces checking on or off for this process, overriding `EVLAB_CHECK`
+/// and the build-profile default.
+pub fn set_enabled(on: bool) {
+    OVERRIDE.store(i8::from(on), Ordering::Relaxed);
+}
+
+/// Reverts [`set_enabled`] to the `EVLAB_CHECK` / build-profile default.
+pub fn clear_override() {
+    OVERRIDE.store(-1, Ordering::Relaxed);
+}
+
+/// Invariant runs performed so far while checking was enabled.
+pub fn total_runs() -> u64 {
+    RUNS.load(Ordering::Relaxed)
+}
+
+/// Invariant violations detected so far (normally the process panics on
+/// the first one; a harness catching the unwind reads the tally here).
+pub fn total_violations() -> u64 {
+    VIOLATIONS.load(Ordering::Relaxed)
+}
+
+/// Collects the violations of one invariant check.
+#[derive(Debug)]
+pub struct Report {
+    name: &'static str,
+    violations: Vec<String>,
+}
+
+impl Report {
+    /// Records a violation when `cond` is false. The message closure runs
+    /// only on failure, so passing checks never format strings.
+    pub fn require(&mut self, cond: bool, msg: impl FnOnce() -> String) {
+        if !cond {
+            self.violations.push(msg());
+        }
+    }
+
+    /// The invariant name this report was opened for.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A machine-checkable consistency contract over a data structure.
+pub trait Invariant {
+    /// Stable kebab-case name, used in `check.<name>.violations` counters
+    /// and panic messages.
+    fn invariant_name(&self) -> &'static str;
+
+    /// Enumerates every internal consistency requirement through
+    /// [`Report::require`]. Must not mutate observable state.
+    fn check_invariants(&self, r: &mut Report);
+}
+
+/// Runs `x`'s invariants as a pure query — no gating, no counters, no
+/// panic — returning the violation messages. Unit tests use this to
+/// assert that a deliberately corrupted structure *is* flagged.
+pub fn verify<T: Invariant + ?Sized>(x: &T) -> Vec<String> {
+    let mut r = Report {
+        name: x.invariant_name(),
+        violations: Vec::new(),
+    };
+    x.check_invariants(&mut r);
+    r.violations
+}
+
+/// Checks `x`'s invariants when checking is [`enabled`]. Records
+/// `check.runs` plus, per violation, `check.violations` and
+/// `check.<name>.violations`; then panics listing every violation.
+///
+/// # Panics
+///
+/// Panics if any invariant is violated (that is the point: the contract
+/// broke *here*, not wherever the corrupted state is consumed later).
+pub fn run<T: Invariant + ?Sized>(x: &T) {
+    if !enabled() {
+        return;
+    }
+    RUNS.fetch_add(1, Ordering::Relaxed);
+    obs::counter_add("check.runs", 1);
+    let violations = verify(x);
+    if violations.is_empty() {
+        return;
+    }
+    let name = x.invariant_name();
+    VIOLATIONS.fetch_add(violations.len() as u64, Ordering::Relaxed);
+    obs::counter_add("check.violations", violations.len() as u64);
+    obs::counter_add(&format!("check.{name}.violations"), violations.len() as u64);
+    panic!(
+        "invariant `{name}` violated ({} finding{}):\n  {}",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" },
+        violations.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    struct Counter {
+        value: u64,
+        bound: u64,
+    }
+
+    impl Invariant for Counter {
+        fn invariant_name(&self) -> &'static str {
+            "test-counter"
+        }
+
+        fn check_invariants(&self, r: &mut Report) {
+            r.require(self.value <= self.bound, || {
+                format!("value {} exceeds bound {}", self.value, self.bound)
+            });
+            r.require(self.bound > 0, || "zero bound".to_string());
+        }
+    }
+
+    #[test]
+    fn verify_reports_each_violation() {
+        assert!(verify(&Counter { value: 1, bound: 4 }).is_empty());
+        assert_eq!(verify(&Counter { value: 9, bound: 4 }).len(), 1);
+        assert_eq!(verify(&Counter { value: 9, bound: 0 }).len(), 2);
+    }
+
+    // One test, not several: `set_enabled` is process-global, and the
+    // test harness runs tests concurrently.
+    #[test]
+    fn run_respects_override_and_counts_violations() {
+        set_enabled(false);
+        let before = total_violations();
+        // Would panic if checking were active.
+        run(&Counter { value: 9, bound: 0 });
+        assert_eq!(total_violations(), before);
+
+        set_enabled(true);
+        run(&Counter { value: 1, bound: 4 });
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run(&Counter { value: 9, bound: 4 });
+        }));
+        clear_override();
+        assert!(caught.is_err(), "violation must panic");
+        assert_eq!(total_violations(), before + 1);
+    }
+
+    #[test]
+    fn messages_are_lazy() {
+        let mut r = Report {
+            name: "lazy",
+            violations: Vec::new(),
+        };
+        r.require(true, || unreachable!("message built for a passing check"));
+        assert!(r.violations.is_empty());
+    }
+}

@@ -231,7 +231,10 @@ impl Json {
     }
 
     /// Parses a JSON document. Strict: exactly one value, standard JSON
-    /// grammar, `\uXXXX` escapes limited to the Basic Multilingual Plane.
+    /// grammar. `\uXXXX` escapes cover all of Unicode — astral-plane
+    /// characters arrive as `\uHHHH\uLLLL` surrogate pairs and are
+    /// assembled into the real character; an unpaired surrogate half is
+    /// a typed [`JsonError`], never a mangled `String`.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
@@ -307,6 +310,17 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Four hex digits starting at `start`, or `None` when short or not all
+/// `[0-9a-fA-F]` (stricter than `from_str_radix`, which takes a `+`).
+fn hex4(bytes: &[u8], start: usize) -> Option<u32> {
+    let hex = bytes.get(start..start + 4)?;
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return None;
+    }
+    let hex = std::str::from_utf8(hex).ok()?;
+    u32::from_str_radix(hex, 16).ok()
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -420,17 +434,46 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or(JsonError { pos: *pos, message: "short \\u escape" })?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| JsonError { pos: *pos, message: "bad \\u escape" })?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| JsonError { pos: *pos, message: "bad \\u escape" })?;
-                        out.push(char::from_u32(code).ok_or(JsonError {
-                            pos: *pos,
-                            message: "surrogate \\u escape unsupported",
-                        })?);
+                        let hi = hex4(bytes, *pos + 1)
+                            .ok_or(JsonError { pos: *pos, message: "bad \\u escape" })?;
+                        let ch = match hi {
+                            // High surrogate: JSON encodes astral-plane
+                            // characters as a \uHHHH\uLLLL pair. Assemble
+                            // it; a surrogate half on its own is not a
+                            // Unicode scalar value and must be rejected,
+                            // never smuggled into a String.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 5) != Some(&b'\\')
+                                    || bytes.get(*pos + 6) != Some(&b'u')
+                                {
+                                    return Err(JsonError {
+                                        pos: *pos,
+                                        message: "unpaired high surrogate \\u escape",
+                                    });
+                                }
+                                let lo = hex4(bytes, *pos + 7)
+                                    .ok_or(JsonError { pos: *pos, message: "bad \\u escape" })?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(JsonError {
+                                        pos: *pos,
+                                        message: "unpaired high surrogate \\u escape",
+                                    });
+                                }
+                                *pos += 6;
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or(JsonError { pos: *pos, message: "bad \\u escape" })?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(JsonError {
+                                    pos: *pos,
+                                    message: "unpaired low surrogate \\u escape",
+                                })
+                            }
+                            _ => char::from_u32(hi)
+                                .ok_or(JsonError { pos: *pos, message: "bad \\u escape" })?,
+                        };
+                        out.push(ch);
                         *pos += 4;
                     }
                     _ => return Err(JsonError { pos: *pos, message: "bad escape" }),
@@ -526,6 +569,51 @@ mod tests {
         let doc = Json::obj([("k", Json::str("a\"b\\c\nd\te\u{1}"))]);
         let text = doc.to_string_pretty();
         assert_eq!(Json::parse(&text).expect("parses"), doc);
+    }
+
+    #[test]
+    fn surrogate_pairs_assemble_outside_bmp() {
+        // The pair form other JSON writers emit for astral-plane
+        // characters: U+1F600.
+        let parsed = Json::parse(r#""\ud83d\ude00""#).expect("parses");
+        assert_eq!(parsed, Json::str("\u{1F600}"));
+        // Mixed-case hex, surrounded by plain text.
+        let parsed = Json::parse(r#""ok \uD83D\uDE00!""#).expect("parses");
+        assert_eq!(parsed, Json::str("ok \u{1F600}!"));
+        // BMP escapes are unaffected, including the top of the plane.
+        assert_eq!(Json::parse(r#""\uffff""#).expect("parses"), Json::str("\u{FFFF}"));
+        assert_eq!(Json::parse(r#""\u0041""#).expect("parses"), Json::str("A"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_typed_errors() {
+        for (bad, want) in [
+            (r#""\ud800""#, "unpaired high surrogate \\u escape"),
+            (r#""\ud83d tail""#, "unpaired high surrogate \\u escape"),
+            (r#""\ud83d\n""#, "unpaired high surrogate \\u escape"),
+            (r#""\ud83dA""#, "unpaired high surrogate \\u escape"),
+            (r#""\ude00""#, "unpaired low surrogate \\u escape"),
+            (r#""\ud83d\ude0""#, "bad \\u escape"),
+            (r#""\u12g4""#, "bad \\u escape"),
+            (r#""\u+123""#, "bad \\u escape"),
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert_eq!(err.message, want, "{bad}");
+        }
+    }
+
+    #[test]
+    fn astral_text_round_trips_through_writer() {
+        // The writer emits astral characters as raw UTF-8; the parser
+        // must take both that form and the escaped-pair form to the same
+        // value.
+        let doc = Json::obj([("emoji", Json::str("a\u{1F600}b\u{10FFFF}"))]);
+        let text = doc.to_string_pretty();
+        assert_eq!(Json::parse(&text).expect("parses"), doc);
+        assert_eq!(
+            Json::parse(r#"{"emoji": "a\ud83d\ude00b\udbff\udfff"}"#).expect("parses"),
+            doc
+        );
     }
 
     #[test]

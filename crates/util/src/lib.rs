@@ -33,6 +33,11 @@
 //! * [`frame`] — versioned, CRC-framed binary serialization
 //!   ([`frame::StateSnapshot`], checksummed record streams) under the
 //!   crash-consistent checkpoint/WAL recovery layer in `evlab-serve`.
+//! * [`check`] — the zero-cost-when-off runtime invariant layer behind
+//!   `EVLAB_CHECK` (default on in debug builds): core data structures
+//!   implement [`check::Invariant`] and their mutating entry points call
+//!   [`check::run`], so contract drift panics at the corrupting operation
+//!   instead of surfacing many operations later.
 //!
 //! # Examples
 //!
@@ -44,6 +49,7 @@
 //! assert!((0.0..1.0).contains(&x));
 //! ```
 
+pub mod check;
 pub mod error;
 pub mod fault;
 pub mod fixed;

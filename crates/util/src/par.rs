@@ -166,6 +166,12 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// count — so the reduction tree (and therefore every floating-point
 /// rounding) is invariant under `EVLAB_THREADS`. `len == 0` yields 1
 /// (one empty chunk), matching [`chunk_ranges`].
+///
+/// Degenerate tuning values are clamped rather than rejected:
+/// `min_per_chunk == 0` behaves as 1 (no division by zero) and
+/// `max_chunks == 0` behaves as 1, so the result is always in
+/// `[1, max(max_chunks, 1)]` and feeding it to [`chunk_ranges`] always
+/// produces a valid exact partition.
 pub fn chunk_count(len: usize, min_per_chunk: usize, max_chunks: usize) -> usize {
     (len / min_per_chunk.max(1)).clamp(1, max_chunks.max(1))
 }
@@ -681,6 +687,50 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(chunk_count(0, 8_192, 16), 1);
         assert_eq!(chunk_count(1 << 30, 8_192, 16), 16);
+    }
+
+    #[test]
+    fn chunk_count_degenerate_tuning_property() {
+        // Seeded sweep over the full degenerate cross-product:
+        // min_per_chunk == 0 acts as 1, max_chunks == 0 acts as 1, and
+        // the result always drives chunk_ranges to an exact partition.
+        let mut rng = crate::rng::Rng64::seed_from_u64(0x9aa7);
+        for case in 0..2_000u32 {
+            let len = match case % 4 {
+                0 => 0,
+                1 => rng.next_below(4) as usize,
+                _ => rng.next_below(1 << 20) as usize,
+            };
+            let min_per_chunk = match case % 3 {
+                0 => 0,
+                _ => rng.next_below(10_000) as usize,
+            };
+            let max_chunks = match case % 5 {
+                0 => 0,
+                _ => rng.next_below(64) as usize,
+            };
+            let n = chunk_count(len, min_per_chunk, max_chunks);
+            assert!(n >= 1, "len {len} mpc {min_per_chunk} mc {max_chunks}");
+            assert!(n <= max_chunks.max(1), "count exceeds requested cap");
+            assert_eq!(
+                n,
+                chunk_count(len, min_per_chunk.max(1), max_chunks.max(1)),
+                "0 must behave exactly as 1"
+            );
+            let ranges = chunk_ranges(len, n);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous, non-overlapping");
+                assert!(r.end >= r.start);
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "exact partition of 0..{len}");
+            if len > 0 {
+                assert!(ranges.iter().all(|r| !r.is_empty()), "no empty chunk");
+            } else {
+                assert_eq!(ranges, vec![0..0], "len 0: single empty range");
+            }
+        }
     }
 
     #[test]

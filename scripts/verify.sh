@@ -35,7 +35,19 @@
 #      snapshot + WAL recovery across all three paradigms, with a torn
 #      WAL tail forced) — the binary exits non-zero unless every
 #      recovered session is bit-identical to its uncrashed oracle;
-#   9. a clippy gate denying `unwrap()`/`expect()` on the ingestion,
+#   9. a smoke run of `fuzz_lab` (differential fuzzing: naive vs
+#      optimized graph builders, blocked vs naive GEMM, serial vs
+#      threaded execution, checkpoint/restore vs uninterrupted oracle,
+#      reorder buffer vs its contract model, json writer/parser round
+#      trips — 8 seeds per target plus the committed regression corpus,
+#      with `evlab_util::check` runtime invariants forced on) — the
+#      binary exits non-zero on any mismatch, panic, or invariant
+#      violation, and `obs_check --forbid 'check.*violations'` re-checks
+#      the metrics for invariant-violation counters;
+#  10. the full workspace test suite again under `EVLAB_CHECK=1`, so
+#      every release-profile test also runs with the runtime invariant
+#      layer active (debug builds get it from `debug_assertions`);
+#  11. a clippy gate denying `unwrap()`/`expect()` on the ingestion,
 #      serving, kernel, graph and util crates — faults on those paths
 #      must surface as errors and quarantine counters, never as panics.
 #
@@ -71,7 +83,8 @@ chaos_out="$(mktemp /tmp/evlab_chaos_smoke.XXXXXX.json)"
 chaos_metrics="$(mktemp /tmp/evlab_chaos_obs.XXXXXX.json)"
 recovery_out="$(mktemp /tmp/evlab_recovery_smoke.XXXXXX.json)"
 recovery_metrics="$(mktemp /tmp/evlab_recovery_obs.XXXXXX.json)"
-trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics" "$chaos_out" "$chaos_metrics" "$recovery_out" "$recovery_metrics"' EXIT
+fuzz_metrics="$(mktemp /tmp/evlab_fuzz_obs.XXXXXX.json)"
+trap 'rm -f "$out" "$metrics" "$serve_out" "$serve_metrics" "$chaos_out" "$chaos_metrics" "$recovery_out" "$recovery_metrics" "$fuzz_metrics"' EXIT
 
 echo "==> kernel bit-identity tests (blocked kernels vs naive oracles)"
 cargo test -q --offline --test kernel_equivalence
@@ -135,8 +148,24 @@ cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
     --require wal.torn_tails \
     "$recovery_metrics"
 
+echo "==> fuzz_lab smoke (6 differential targets + regression corpus; invariants forced on)"
+EVLAB_OBS=1 EVLAB_CHECK=1 cargo run -q --release --offline -p evlab-bench --bin fuzz_lab -- \
+    --smoke --metrics "$fuzz_metrics"
+
+echo "==> obs_check: fuzz cases ran, zero invariant-violation counters"
+cargo run -q --release --offline -p evlab-bench --bin obs_check -- \
+    --require fuzz.cases \
+    --require fuzz.targets \
+    --require fuzz.regressions \
+    --require check.runs \
+    --forbid 'check.*violations' \
+    "$fuzz_metrics"
+
+echo "==> cargo test --workspace under EVLAB_CHECK=1 (runtime invariant layer active)"
+EVLAB_CHECK=1 cargo test -q --workspace --offline
+
 echo "==> clippy panic gate: no unwrap/expect on ingestion, serving, kernel, graph and util paths"
 cargo clippy -p evlab-events -p evlab-serve -p evlab-tensor -p evlab-gnn -p evlab-util --no-deps --offline -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "==> OK: build, lints, tests, kernel bit-identity, hot-path determinism, alloc budget, serving degradation, chaos degradation, crash recovery and observability all pass"
+echo "==> OK: build, lints, tests, kernel bit-identity, hot-path determinism, alloc budget, serving degradation, chaos degradation, crash recovery, differential fuzzing, runtime invariants and observability all pass"

@@ -210,6 +210,116 @@ fn gnn_online_has_no_reset_cliff() {
     );
 }
 
+/// A burst of events sharing one timestamp straddling the `MaxNodes`
+/// boundary: eviction order among time-ties must be FIFO (arrival order),
+/// exactly matching the positional trailing-slice oracle — the window may
+/// not pick an arbitrary member of the tied group.
+#[test]
+fn max_nodes_eviction_breaks_timestamp_ties_fifo() {
+    let config = GraphConfig::new();
+    let policy = WindowPolicy::MaxNodes(4);
+    // Six events at t=100 (distinct pixels so they are distinguishable),
+    // then two later singletons that each force one more eviction into
+    // the still-tied group.
+    let mut events: Vec<Event> = (0..6)
+        .map(|i| Event::new(100, 2 * i as u16, 3, Polarity::On))
+        .collect();
+    events.push(Event::new(200, 20, 3, Polarity::On));
+    events.push(Event::new(300, 22, 3, Polarity::On));
+
+    let mut window = SlidingWindowGraph::new(config, policy);
+    let mut ops = OpCount::new();
+    for (i, e) in events.iter().enumerate() {
+        window.push(*e, &mut ops);
+        let live = trailing(&events[..=i], policy);
+        let oracle = kdtree_build(&live, &config, &mut OpCount::new());
+        assert_graphs_identical(
+            &window.to_event_graph(),
+            &oracle,
+            &format!("tied burst, event {i}"),
+        );
+    }
+    // After the full stream the survivors are the last four by arrival:
+    // the final two t=100 events (positions 4 and 5), then t=200, t=300.
+    let survivors: Vec<(u64, u16)> = {
+        let g = window.to_event_graph();
+        (0..g.node_count())
+            .map(|i| (g.event(i).t.as_micros(), g.event(i).x))
+            .collect()
+    };
+    assert_eq!(
+        survivors,
+        vec![(100, 8), (100, 10), (200, 20), (300, 22)],
+        "FIFO tie-break within the t=100 group"
+    );
+}
+
+/// `MaxAgeUs` boundary semantics: a node whose age is *exactly* the bound
+/// stays live (the contract is `age > max_age_us` evicts); one more
+/// microsecond evicts it. Both sides checked against the trailing oracle.
+#[test]
+fn max_age_boundary_keeps_exactly_aged_node() {
+    let config = GraphConfig::new();
+    let policy = WindowPolicy::MaxAgeUs(1_000);
+    let events = [
+        Event::new(0, 1, 1, Polarity::On),
+        // Exactly at the bound: age of the t=0 node is 1000 == max_age.
+        Event::new(1_000, 3, 1, Polarity::On),
+        // One past the bound relative to t=0 (age 1001) — evicts it; the
+        // t=1000 node (age 1) survives.
+        Event::new(1_001, 5, 1, Polarity::On),
+    ];
+    let mut window = SlidingWindowGraph::new(config, policy);
+    let mut ops = OpCount::new();
+
+    window.push(events[0], &mut ops);
+    let outcome = window.push(events[1], &mut ops);
+    assert!(
+        outcome.evicted.is_empty(),
+        "age exactly equal to the bound must not evict"
+    );
+    assert_eq!(window.node_count(), 2);
+
+    let outcome = window.push(events[2], &mut ops);
+    assert_eq!(outcome.evicted.len(), 1, "age one past the bound evicts");
+    assert_eq!(window.node_count(), 2);
+    for (i, _) in events.iter().enumerate() {
+        let live = trailing(&events[..=i], policy);
+        assert_eq!(live.len(), if i == 0 { 1 } else { 2 }, "oracle agrees at {i}");
+    }
+    let oracle = kdtree_build(&trailing(&events, policy), &config, &mut OpCount::new());
+    assert_graphs_identical(&window.to_event_graph(), &oracle, "age boundary");
+}
+
+/// The tie-heavy streams above must also be bit-identical under
+/// `EVLAB_THREADS` 1 vs 4 — every `PushOutcome` field and the final
+/// adjacency, not just the surviving node set.
+#[test]
+fn tie_break_outcomes_are_thread_invariant() {
+    let mut events = random_events(300, 32, 3_000, 11); // dense → many ties
+    // Guarantee exact-boundary ages exist in the stream.
+    events.push(Event::new(4_000, 1, 1, Polarity::On));
+    events.push(Event::new(5_000, 2, 2, Polarity::On));
+    let config = GraphConfig::new();
+    let policy = WindowPolicy::Both {
+        max_nodes: 24,
+        max_age_us: 1_000,
+    };
+    let run = |threads: usize| {
+        par::with_threads(threads, || {
+            let mut window = SlidingWindowGraph::new(config, policy);
+            let mut ops = OpCount::new();
+            let mut outcomes: Vec<(u32, Vec<u32>, Vec<u32>)> = Vec::new();
+            for e in &events {
+                let o = window.push(*e, &mut ops);
+                outcomes.push((o.inserted, o.evicted, o.reselected));
+            }
+            (outcomes, adjacency(&window.to_event_graph()))
+        })
+    };
+    assert_eq!(run(1), run(4), "tie-break depends on EVLAB_THREADS");
+}
+
 fn linf(a: &[f32], b: &[f32]) -> f32 {
     a.iter()
         .zip(b)
